@@ -1,0 +1,81 @@
+//! Benches of the testbed simulator itself: event throughput of one
+//! run-to-failure and the cost of the monitored sampling loop. These bound
+//! how fast the "one week" of paper §IV data collection replays in silico.
+//!
+//! Run with `cargo bench -p f2pm-bench --bench simulator`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use f2pm_sim::{AnomalyConfig, Campaign, CampaignConfig, SimConfig, Simulation};
+
+fn fast_cfg() -> SimConfig {
+    SimConfig {
+        anomaly: AnomalyConfig {
+            leak_size_mib: (4.0, 8.0),
+            leak_prob_per_home: (0.6, 0.9),
+            ..AnomalyConfig::default()
+        },
+        ..SimConfig::default()
+    }
+}
+
+fn bench_run_to_failure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/run_to_failure");
+    group.sample_size(10);
+    for browsers in [10u32, 50, 150] {
+        let cfg = SimConfig {
+            num_browsers: browsers,
+            ..fast_cfg()
+        };
+        // Report completed requests as throughput so regressions in the
+        // event loop show up directly.
+        let probe = Simulation::new(cfg.clone(), 1).run_to_failure(40_000.0);
+        group.throughput(Throughput::Elements(probe.completed_requests));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{browsers}_browsers")),
+            &cfg,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    Simulation::new(cfg.clone(), seed).run_to_failure(40_000.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monitored_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/monitored_run");
+    group.sample_size(10);
+    let cfg = CampaignConfig {
+        sim: fast_cfg(),
+        runs: 1,
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::new(cfg, 3);
+    group.bench_function("one_sampled_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            campaign.run_once(seed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut sim = Simulation::new(fast_cfg(), 9);
+    sim.advance_until(100.0);
+    let mut group = c.benchmark_group("simulator/snapshot");
+    group.bench_function("take_snapshot", |b| b.iter(|| sim.snapshot()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_run_to_failure,
+    bench_monitored_campaign,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches behind the paper's Table III: training time of each
+//! §III-D method, with all parameters vs only the lasso-selected subset.
+//!
+//! Run with `cargo bench -p f2pm-bench --bench table3_training_time`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2pm::F2pmConfig;
+use f2pm_features::{aggregate_history, lasso_path, Dataset};
+use f2pm_ml::paper_method_suite;
+use f2pm_monitor::DataHistory;
+use f2pm_sim::Campaign;
+
+/// Build the two training-set variants once (smaller campaign than the
+/// experiments bin, so the bench suite stays minutes, not hours).
+fn training_sets() -> (Dataset, Dataset) {
+    let mut cfg = F2pmConfig::default();
+    cfg.campaign.runs = 4;
+    let runs = Campaign::new(cfg.campaign.clone(), 42).run_all();
+    let history = DataHistory::from_campaign(&runs);
+    let points = aggregate_history(&history, &cfg.aggregation);
+    let dataset = Dataset::from_points(&points);
+    let (train, _) = dataset.split_holdout(cfg.train_fraction, cfg.split_seed);
+
+    let selection = lasso_path(&train, &cfg.lambda_grid, &cfg.lasso_solver);
+    let point = selection
+        .strongest_selection(cfg.min_selected_features)
+        .expect("selection");
+    let idx: Vec<usize> = point
+        .selected_names
+        .iter()
+        .map(|n| dataset.column_index(n).expect("column"))
+        .collect();
+    let selected = train.select_columns(&idx);
+    (train, selected)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (all, selected) = training_sets();
+    // The §III-D methods, one Lasso row (λ = 10⁴) representative of the
+    // grid (all λ share the same solver cost profile).
+    let suite = paper_method_suite(&[1e4]);
+
+    let mut group = c.benchmark_group("table3_training_time");
+    group.sample_size(10);
+    for reg in &suite {
+        group.bench_with_input(
+            BenchmarkId::new(reg.name(), "all_params"),
+            &all,
+            |b, ds| b.iter(|| reg.fit(&ds.x, &ds.y).expect("fit")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(reg.name(), "lasso_selected"),
+            &selected,
+            |b, ds| b.iter(|| reg.fit(&ds.x, &ds.y).expect("fit")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches behind the paper's Table IV: validation time (batch
+//! prediction + metric computation) per method, all-params vs selected.
+//!
+//! Run with `cargo bench -p f2pm-bench --bench table4_validation_time`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2pm::F2pmConfig;
+use f2pm_features::{aggregate_history, lasso_path, Dataset};
+use f2pm_ml::{paper_method_suite, Metrics, Model, SMaeThreshold};
+use f2pm_monitor::DataHistory;
+use f2pm_sim::Campaign;
+
+struct Variant {
+    label: &'static str,
+    valid: Dataset,
+    models: Vec<(String, Box<dyn Model>)>,
+}
+
+fn fitted_variants() -> Vec<Variant> {
+    let mut cfg = F2pmConfig::default();
+    cfg.campaign.runs = 4;
+    let runs = Campaign::new(cfg.campaign.clone(), 42).run_all();
+    let history = DataHistory::from_campaign(&runs);
+    let points = aggregate_history(&history, &cfg.aggregation);
+    let dataset = Dataset::from_points(&points);
+    let (train, valid) = dataset.split_holdout(cfg.train_fraction, cfg.split_seed);
+
+    let selection = lasso_path(&train, &cfg.lambda_grid, &cfg.lasso_solver);
+    let point = selection
+        .strongest_selection(cfg.min_selected_features)
+        .expect("selection");
+    let idx: Vec<usize> = point
+        .selected_names
+        .iter()
+        .map(|n| dataset.column_index(n).expect("column"))
+        .collect();
+
+    let suite = paper_method_suite(&[1e4]);
+    let fit_all = |train: &Dataset| {
+        suite
+            .iter()
+            .map(|r| (r.name(), r.fit(&train.x, &train.y).expect("fit")))
+            .collect::<Vec<_>>()
+    };
+
+    vec![
+        Variant {
+            label: "all_params",
+            models: fit_all(&train),
+            valid,
+        },
+        Variant {
+            label: "lasso_selected",
+            models: fit_all(&train.select_columns(&idx)),
+            valid: dataset
+                .split_holdout(cfg.train_fraction, cfg.split_seed)
+                .1
+                .select_columns(&idx),
+        },
+    ]
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let variants = fitted_variants();
+    let mut group = c.benchmark_group("table4_validation_time");
+    group.sample_size(10);
+    for v in &variants {
+        for (name, model) in &v.models {
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), v.label),
+                &v.valid,
+                |b, ds| {
+                    b.iter(|| {
+                        let pred = model.predict(&ds.x).expect("predict");
+                        Metrics::compute(&pred, &ds.y, SMaeThreshold::paper_default())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

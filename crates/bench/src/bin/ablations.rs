@@ -1,0 +1,258 @@
+//! Ablations over the reproduction's load-bearing design choices
+//! (DESIGN.md §5). Each section isolates one knob and reports how the
+//! paper-relevant quantities move.
+//!
+//! ```text
+//! cargo run --release -p f2pm-bench --bin ablations [-- section ...]
+//! sections: window stddev smoothing mix skew diversity
+//! ```
+
+use f2pm::{correlate_response_time, F2pmConfig};
+use f2pm_features::{aggregate_history, AggregationConfig, Dataset};
+use f2pm_ml::{
+    evaluate_one, LinearRegression, M5Params, M5Prime, RepTree, RepTreeParams,
+};
+use f2pm_monitor::DataHistory;
+use f2pm_sim::tpcw::Mix;
+use f2pm_sim::{AnomalyConfig, Campaign, CampaignConfig, SimConfig};
+
+const SEED: u64 = 20_250_706;
+
+fn campaign_history(cfg: &CampaignConfig, seed: u64) -> DataHistory {
+    DataHistory::from_campaign(&Campaign::new(cfg.clone(), seed).run_all())
+}
+
+fn base_config() -> F2pmConfig {
+    let mut cfg = F2pmConfig::default();
+    cfg.campaign.runs = 6;
+    cfg
+}
+
+/// How the aggregation window width trades accuracy against dataset size
+/// and training cost (the paper's §III-B motivation for aggregation).
+fn ablate_window() {
+    println!("\n=== Ablation: aggregation window width ===");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12}",
+        "window(s)", "windows", "reptree smae", "train(s)"
+    );
+    let cfg = base_config();
+    let history = campaign_history(&cfg.campaign, SEED);
+    for window in [5.0, 10.0, 30.0, 60.0, 120.0] {
+        let agg = AggregationConfig {
+            window_s: window,
+            min_points: 2,
+        ..AggregationConfig::default()
+        };
+        let points = aggregate_history(&history, &agg);
+        let ds = Dataset::from_points(&points);
+        let (train, valid) = ds.split_holdout(cfg.train_fraction, cfg.split_seed);
+        let rep = evaluate_one(
+            &RepTree::new(RepTreeParams::default()),
+            &train,
+            &valid,
+            cfg.smae,
+        )
+        .expect("fit");
+        println!(
+            "{window:>10.0} {:>10} {:>14.1} {:>12.4}",
+            ds.len(),
+            rep.metrics.smae,
+            rep.train_time_s
+        );
+    }
+    println!("(paper: aggregation cuts model-building time without hurting accuracy)");
+}
+
+/// M5P smoothing constant k: why the reproduction defaults to k = 0.
+fn ablate_smoothing() {
+    println!("\n=== Ablation: M5P smoothing constant k ===");
+    println!("{:>6} {:>14}", "k", "m5p smae");
+    // Needs a campaign rich enough that M5P actually grows a tree (on a
+    // small one pruning collapses it to a single plane and k is a no-op).
+    let mut cfg = base_config();
+    cfg.campaign.runs = 12;
+    let history = campaign_history(&cfg.campaign, SEED);
+    let points = aggregate_history(&history, &cfg.aggregation);
+    let ds = Dataset::from_points(&points);
+    let (train, valid) = ds.split_holdout(cfg.train_fraction, cfg.split_seed);
+    for k in [0.0, 2.0, 5.0, 15.0, 50.0] {
+        let rep = evaluate_one(
+            &M5Prime::new(M5Params {
+                smoothing_k: k,
+                ..M5Params::default()
+            }),
+            &train,
+            &valid,
+            cfg.smae,
+        )
+        .expect("fit");
+        println!("{k:>6.0} {:>14.1}", rep.metrics.smae);
+    }
+    println!("(Wang & Witten's k = 15 blends in ancestor planes fit across leak regimes)");
+}
+
+/// TPC-W mix: anomaly accrual is load-coupled through the Home interaction,
+/// so the mix changes how fast the guest dies.
+fn ablate_mix() {
+    println!("\n=== Ablation: TPC-W workload mix ===");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "mix", "fail t(s)", "requests", "req/s"
+    );
+    for mix in [Mix::Browsing, Mix::Shopping, Mix::Ordering] {
+        let mut sim_cfg = SimConfig::default();
+        sim_cfg.browser.mix = mix;
+        let cfg = CampaignConfig {
+            sim: sim_cfg,
+            runs: 3,
+            ..CampaignConfig::default()
+        };
+        let runs = Campaign::new(cfg, SEED).run_all();
+        let mean_fail: f64 = runs
+            .iter()
+            .filter_map(|r| r.fail_time)
+            .sum::<f64>()
+            / runs.len() as f64;
+        let total_req: u64 = runs
+            .iter()
+            .map(|r| r.samples.iter().map(|s| s.completed).sum::<u64>())
+            .sum();
+        let total_time: f64 = runs.iter().map(|r| r.duration()).sum();
+        println!(
+            "{:>10} {:>12.0} {:>14} {:>12.2}",
+            mix.name(),
+            mean_fail,
+            total_req,
+            total_req as f64 / total_time
+        );
+    }
+    println!("(browsing hits Home most often → leaks fastest → dies soonest)");
+}
+
+/// Sampling-clock skew: the inter-generation-time signal behind Fig. 3
+/// only exists because overload stretches the monitor's clock.
+fn ablate_skew() {
+    println!("\n=== Ablation: sampling-clock overload skew ===");
+    println!("{:>8} {:>12} {:>10}", "skew", "pearson r", "slope");
+    for skew in [0.0, 0.1, 0.35, 1.0] {
+        let cfg = CampaignConfig {
+            overload_skew: skew,
+            runs: 1,
+            ..CampaignConfig::default()
+        };
+        let runs = Campaign::new(cfg, SEED).run_all();
+        let corr = correlate_response_time(&runs[0]);
+        println!("{skew:>8.2} {:>12.3} {:>10.3}", corr.pearson_r, corr.slope);
+    }
+    println!("(with zero skew only jitter remains and the correlation collapses)");
+}
+
+/// Per-run anomaly diversity: narrow ranges make RTTF nearly linear in
+/// memory state and erase the tree advantage the paper reports.
+fn ablate_diversity() {
+    println!("\n=== Ablation: per-run anomaly-rate diversity ===");
+    println!(
+        "{:>22} {:>14} {:>14} {:>10}",
+        "leak prob range", "reptree smae", "linear smae", "ratio"
+    );
+    for (lo, hi) in [(0.45, 0.55), (0.30, 0.70), (0.15, 0.85)] {
+        let mut cfg = base_config();
+        // Diversity only helps the trees once the campaign has enough runs
+        // to cover the regime space (each run is one drawn leak rate).
+        cfg.campaign.runs = 10;
+        cfg.campaign.sim.anomaly = AnomalyConfig {
+            leak_prob_per_home: (lo, hi),
+            ..AnomalyConfig::default()
+        };
+        let history = campaign_history(&cfg.campaign, SEED);
+        let points = aggregate_history(&history, &cfg.aggregation);
+        let ds = Dataset::from_points(&points);
+        let (train, valid) = ds.split_holdout(cfg.train_fraction, cfg.split_seed);
+        let rep = evaluate_one(
+            &RepTree::new(RepTreeParams::default()),
+            &train,
+            &valid,
+            cfg.smae,
+        )
+        .expect("fit");
+        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae)
+            .expect("fit");
+        println!(
+            "{:>22} {:>14.1} {:>14.1} {:>10.2}",
+            format!("({lo:.2}, {hi:.2})"),
+            rep.metrics.smae,
+            lin.metrics.smae,
+            lin.metrics.smae / rep.metrics.smae
+        );
+    }
+    println!(
+        "(narrow ranges keep RTTF near-linear in memory state — absolute errors are\n\
+         small and linear models suffice; widening the range raises everyone's error\n\
+         and, given enough runs to cover the regimes, the trees' relative advantage)"
+    );
+}
+
+/// Extended feature layout: do the per-window standard deviations (the
+/// `_std` columns) buy accuracy on top of the paper's means + slopes?
+fn ablate_stddev_features() {
+    println!("\n=== Ablation: per-window stddev features ===");
+    println!("{:>10} {:>14} {:>14}", "layout", "reptree smae", "linear smae");
+    let mut cfg = base_config();
+    cfg.campaign.runs = 10;
+    let history = campaign_history(&cfg.campaign, SEED);
+    for include_stddev in [false, true] {
+        let agg = AggregationConfig {
+            include_stddev,
+            ..cfg.aggregation
+        };
+        let points = aggregate_history(&history, &agg);
+        let ds = Dataset::from_points_with(&points, &agg);
+        let (train, valid) = ds.split_holdout(cfg.train_fraction, cfg.split_seed);
+        let rep = evaluate_one(
+            &RepTree::new(RepTreeParams::default()),
+            &train,
+            &valid,
+            cfg.smae,
+        )
+        .expect("fit");
+        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae)
+            .expect("fit");
+        println!(
+            "{:>10} {:>14.1} {:>14.1}",
+            if include_stddev { "44 cols" } else { "30 cols" },
+            rep.metrics.smae,
+            lin.metrics.smae
+        );
+    }
+    println!(
+        "(on this workload the stddev columns are nearly redundant with the slopes —\n\
+         the capability matters for feature sets the paper lets users customize,\n\
+         not for beating the 30-column default here)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |s: &str| all || args.iter().any(|a| a == s);
+
+    if want("window") {
+        ablate_window();
+    }
+    if want("stddev") {
+        ablate_stddev_features();
+    }
+    if want("smoothing") {
+        ablate_smoothing();
+    }
+    if want("mix") {
+        ablate_mix();
+    }
+    if want("skew") {
+        ablate_skew();
+    }
+    if want("diversity") {
+        ablate_diversity();
+    }
+}

@@ -1,0 +1,69 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [all|fig3|fig4|table1|table2|table3|table4|fig5]...
+//!             [--seed N] [--out DIR] [--quick]
+//! ```
+//!
+//! With no experiment argument, runs `all`. Data collection (the simulated
+//! monitoring campaign) happens once and is shared by every requested
+//! experiment.
+
+use f2pm_bench::{ExperimentContext, ExperimentOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let mut opts = ExperimentOptions::default();
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--out needs a directory")),
+                );
+            }
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [all|fig3|fig4|table1|table2|table3|table4|fig5]... \
+                     [--seed N] [--out DIR] [--quick]"
+                );
+                return;
+            }
+            exp @ ("all" | "fig3" | "fig4" | "table1" | "table2" | "table3" | "table4"
+            | "fig5") => wanted.push(exp.to_string()),
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+
+    let mut ctx = ExperimentContext::new(opts);
+    for w in wanted {
+        match w.as_str() {
+            "all" => ctx.all(),
+            "fig3" => ctx.fig3(),
+            "fig4" => ctx.fig4(),
+            "table1" => ctx.table1(),
+            "table2" => ctx.table2(),
+            "table3" => ctx.table3(),
+            "table4" => ctx.table4(),
+            "fig5" => ctx.fig5(),
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,142 @@
+//! Hyper-parameter sweeps behind the shipped `f2pm-ml` defaults
+//! (development utility; DESIGN.md §5 cites these results).
+//!
+//! ```text
+//! cargo run --release -p f2pm-bench --bin svr_sweep [-- section ...]
+//! sections: trees svr-rbf svr-linear lssvm
+//! ```
+
+use f2pm::F2pmConfig;
+use f2pm_features::{aggregate_history, Dataset};
+use f2pm_ml::{
+    evaluate_one, Kernel, LsSvmRegressor, M5Params, M5Prime, RepTree, RepTreeParams,
+    SMaeThreshold, SvrParams, SvrRegressor,
+};
+use f2pm_monitor::DataHistory;
+use f2pm_sim::Campaign;
+
+fn training_sets() -> (Dataset, Dataset) {
+    let mut cfg = F2pmConfig::default();
+    cfg.campaign.runs = 12;
+    let runs = Campaign::new(cfg.campaign.clone(), 42).run_all();
+    let history = DataHistory::from_campaign(&runs);
+    let points = aggregate_history(&history, &cfg.aggregation);
+    let ds = Dataset::from_points(&points);
+    ds.split_holdout(cfg.train_fraction, cfg.split_seed)
+}
+
+fn sweep_trees(train: &Dataset, valid: &Dataset) {
+    println!("\n--- M5P min_instances × smoothing k ---");
+    for mi in [8usize, 20, 40, 80, 150] {
+        for k in [0.0, 15.0] {
+            let reg = M5Prime::new(M5Params {
+                min_instances: mi,
+                smoothing_k: k,
+                ..M5Params::default()
+            });
+            let r = evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+            println!(
+                "m5p mi={mi:<4} k={k:<4} smae={:8.2} train={:.3}s",
+                r.metrics.smae, r.train_time_s
+            );
+        }
+    }
+    println!("\n--- REP-Tree min_instances ---");
+    for mi in [2usize, 4, 10, 20, 50] {
+        let reg = RepTree::new(RepTreeParams {
+            min_instances: mi,
+            ..RepTreeParams::default()
+        });
+        let r = evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+        println!(
+            "rep mi={mi:<4} smae={:8.2} train={:.3}s",
+            r.metrics.smae, r.train_time_s
+        );
+    }
+}
+
+fn sweep_svr_rbf(train: &Dataset, valid: &Dataset) {
+    println!("\n--- ε-SVR, RBF kernel ---");
+    for gamma in [0.01, 0.03, 0.1, 0.3] {
+        for c in [10.0, 100.0, 1000.0] {
+            for eps in [5.0, 20.0] {
+                let reg = SvrRegressor::new(SvrParams {
+                    kernel: Kernel::Rbf { gamma },
+                    c,
+                    epsilon: eps,
+                    ..SvrParams::default()
+                });
+                let r =
+                    evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+                println!(
+                    "svr-rbf g={gamma:<5} C={c:<6} eps={eps:<4} smae={:8.2} train={:.3}s",
+                    r.metrics.smae, r.train_time_s
+                );
+            }
+        }
+    }
+}
+
+fn sweep_svr_linear(train: &Dataset, valid: &Dataset) {
+    println!("\n--- ε-SVR, linear kernel (the paper-suite choice) ---");
+    for c in [1.0, 10.0, 100.0, 1000.0] {
+        for eps in [1.0, 5.0] {
+            let reg = SvrRegressor::new(SvrParams {
+                kernel: Kernel::Linear,
+                c,
+                epsilon: eps,
+                ..SvrParams::default()
+            });
+            let r = evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+            println!(
+                "svr-lin C={c:<6} eps={eps:<4} smae={:8.2} train={:.3}s",
+                r.metrics.smae, r.train_time_s
+            );
+        }
+    }
+}
+
+fn sweep_lssvm(train: &Dataset, valid: &Dataset) {
+    println!("\n--- LS-SVM ---");
+    for g2 in [0.1, 1.0, 10.0, 100.0] {
+        let reg = LsSvmRegressor::new(Kernel::Linear, g2);
+        let r = evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+        println!(
+            "lssvm-lin gamma={g2:<6} smae={:8.2} train={:.3}s",
+            r.metrics.smae, r.train_time_s
+        );
+    }
+    for kg in [0.01, 0.03, 0.1] {
+        for g2 in [1.0, 10.0, 100.0] {
+            let reg = LsSvmRegressor::new(Kernel::Rbf { gamma: kg }, g2);
+            let r = evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+            println!(
+                "lssvm-rbf k={kg:<5} gamma={g2:<6} smae={:8.2} train={:.3}s",
+                r.metrics.smae, r.train_time_s
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |s: &str| all || args.iter().any(|a| a == s);
+
+    eprintln!("collecting the shared 12-run campaign...");
+    let (train, valid) = training_sets();
+    eprintln!("{} train / {} validation windows", train.len(), valid.len());
+
+    if want("trees") {
+        sweep_trees(&train, &valid);
+    }
+    if want("svr-rbf") {
+        sweep_svr_rbf(&train, &valid);
+    }
+    if want("svr-linear") {
+        sweep_svr_linear(&train, &valid);
+    }
+    if want("lssvm") {
+        sweep_lssvm(&train, &valid);
+    }
+}

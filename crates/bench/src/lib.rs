@@ -1,0 +1,21 @@
+//! # f2pm-bench
+//!
+//! Regenerates every table and figure of the paper's evaluation (§IV)
+//! against the simulated testbed. The [`experiments`] module holds the
+//! implementations; the `experiments` binary is a thin CLI over them, and
+//! the Criterion benches in `benches/` time the training/validation paths
+//! behind Tables III and IV.
+//!
+//! | Paper artifact | Function | Output |
+//! |---|---|---|
+//! | Fig. 3 (RT correlation)        | [`experiments::fig3`]   | `fig3_rt_correlation.csv` |
+//! | Fig. 4 (lasso path)            | [`experiments::fig4`]   | `fig4_lasso_path.csv` |
+//! | Table I (weights at λ = 10⁹)   | [`experiments::table1`] | `table1_weights.csv` |
+//! | Table II (S-MAE)               | [`experiments::table2`] | `table2_smae.csv` |
+//! | Table III (training time)      | [`experiments::table3`] | `table3_training_time.csv` |
+//! | Table IV (validation time)     | [`experiments::table4`] | `table4_validation_time.csv` |
+//! | Fig. 5 (predicted vs real)     | [`experiments::fig5`]   | `fig5_<method>.csv` |
+
+pub mod experiments;
+
+pub use experiments::{ExperimentContext, ExperimentOptions};

@@ -1,0 +1,46 @@
+//! `f2pm` — the framework as a command-line tool.
+//!
+//! ```text
+//! f2pm campaign --runs 6 --seed 42 --out history.csv [--quick]
+//! f2pm monitor  --seconds 30 --interval 1.5 --out history.csv
+//! f2pm evaluate --history history.csv [--window 10]
+//! f2pm train    --history history.csv --method rep_tree --out model.txt
+//! f2pm predict  --model model.txt --history history.csv
+//! ```
+//!
+//! `campaign` collects data from the simulated testbed; `monitor` samples
+//! the *real* local Linux host via `/proc`; `evaluate` compares the §III-D
+//! method suite on a history; `train` fits one method and persists the
+//! model; `predict` replays a history's last run through a saved model and
+//! prints the per-window RTTF estimates.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "campaign" => commands::campaign(rest),
+        "monitor" => commands::monitor(rest),
+        "evaluate" => commands::evaluate(rest),
+        "train" => commands::train(rest),
+        "predict" => commands::predict(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", commands::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Framework configuration.
+
+use f2pm_features::{AggregationConfig, LassoSolverConfig};
+use f2pm_ml::SMaeThreshold;
+use f2pm_sim::CampaignConfig;
+
+/// Complete configuration of an F2PM workflow run.
+#[derive(Debug, Clone)]
+pub struct F2pmConfig {
+    /// The monitoring campaign (simulated testbed + sampling clock).
+    pub campaign: CampaignConfig,
+    /// Datapoint aggregation (window width, Fig. 2).
+    pub aggregation: AggregationConfig,
+    /// λ grid for the Lasso regularization path (§III-C). Empty disables
+    /// feature selection — the phase is optional in the paper's Fig. 1.
+    pub lambda_grid: Vec<f64>,
+    /// Lasso solver options.
+    pub lasso_solver: LassoSolverConfig,
+    /// λ values at which "Lasso as a Predictor" rows are evaluated
+    /// (Table II evaluates the whole grid).
+    pub lasso_predictor_lambdas: Vec<f64>,
+    /// S-MAE tolerance (Table II uses a 10 % threshold).
+    pub smae: SMaeThreshold,
+    /// Fraction of aggregated datapoints used for training (the rest
+    /// validate).
+    pub train_fraction: f64,
+    /// Holdout shuffle seed.
+    pub split_seed: u64,
+    /// Minimum features a lasso selection must retain to be used as the
+    /// "selected parameters" training set.
+    pub min_selected_features: usize,
+    /// Drop aggregated windows whose robust z-score exceeds this threshold
+    /// in any column (monitoring glitches, mid-restart samples). `None`
+    /// keeps everything — the paper's §IV setup. Caution: run trajectories
+    /// are explosive near the crash, so tight thresholds trim exactly the
+    /// near-failure windows the RTTF models need most; use large values
+    /// (≫ 10) and check the retained count.
+    pub outlier_threshold: Option<f64>,
+    /// Split train/validation by *run* instead of by row. Rows of one run
+    /// are autocorrelated, so the run-aware split is the honest
+    /// generalization estimate; the row split mirrors a WEKA-style holdout.
+    pub split_by_runs: bool,
+}
+
+impl Default for F2pmConfig {
+    fn default() -> Self {
+        let lambda_grid = f2pm_features::paper_lambda_grid();
+        F2pmConfig {
+            campaign: CampaignConfig::default(),
+            aggregation: AggregationConfig::default(),
+            lasso_predictor_lambdas: lambda_grid.clone(),
+            lambda_grid,
+            lasso_solver: LassoSolverConfig::default(),
+            smae: SMaeThreshold::paper_default(),
+            train_fraction: 0.7,
+            split_seed: 0xf2b1,
+            min_selected_features: 3,
+            outlier_threshold: None,
+            split_by_runs: false,
+        }
+    }
+}
+
+impl F2pmConfig {
+    /// A configuration sized for fast tests and examples: fewer, shorter
+    /// runs with aggressive anomaly rates.
+    pub fn quick() -> Self {
+        use f2pm_sim::{AnomalyConfig, SimConfig};
+        let mut cfg = F2pmConfig::default();
+        cfg.campaign.runs = 4;
+        cfg.campaign.sim = SimConfig {
+            anomaly: AnomalyConfig {
+                leak_size_mib: (4.0, 8.0),
+                leak_prob_per_home: (0.6, 0.9),
+                ..AnomalyConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        cfg.aggregation.window_s = 20.0;
+        cfg.lasso_predictor_lambdas = vec![1.0, 1e9];
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shapes() {
+        let cfg = F2pmConfig::default();
+        assert_eq!(cfg.lambda_grid.len(), 10);
+        assert_eq!(cfg.lambda_grid[9], 1e9);
+        assert_eq!(cfg.lasso_predictor_lambdas.len(), 10);
+        assert!(matches!(cfg.smae, SMaeThreshold::Relative(f) if (f - 0.1).abs() < 1e-12));
+        assert!(cfg.train_fraction > 0.5 && cfg.train_fraction < 1.0);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let q = F2pmConfig::quick();
+        assert!(q.campaign.runs < F2pmConfig::default().campaign.runs);
+        assert_eq!(q.lasso_predictor_lambdas.len(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Response-time correlation (the paper's Fig. 3).
+//!
+//! §III-B demonstrates that the *inter-generation time* of monitoring
+//! datapoints — how much the FMC's nominally fixed sampling clock stretches
+//! under load — correlates with the response time remote clients observe.
+//! The paper fits a linear-regression model mapping inter-generation time
+//! to response time and overlays three curves: measured generation time,
+//! measured RT (ground truth from instrumented emulated browsers), and the
+//! "Correlated RT" the model produces.
+//!
+//! This matters beyond the figure: it gives operators a pragmatic estimate
+//! of end-user latency with zero instrumentation at the endpoints.
+
+use f2pm_linalg::Matrix;
+use f2pm_ml::{LinearRegression, Regressor};
+use f2pm_sim::Run;
+
+/// One time-series sample of the Fig. 3 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtPoint {
+    /// Time within the run (s).
+    pub t: f64,
+    /// Inter-generation time of the monitor datapoints (s).
+    pub generation_time: f64,
+    /// Ground-truth mean client response time (s).
+    pub response_time: f64,
+    /// Response time estimated from the generation time alone.
+    pub correlated_rt: f64,
+}
+
+/// The fitted correlation and its series.
+#[derive(Debug, Clone)]
+pub struct RtCorrelation {
+    /// The fitted linear map `rt ≈ intercept + slope × generation_time`.
+    pub intercept: f64,
+    /// Slope of the linear map.
+    pub slope: f64,
+    /// Pearson correlation between generation time and response time.
+    pub pearson_r: f64,
+    /// The three Fig. 3 curves.
+    pub series: Vec<RtPoint>,
+}
+
+/// Fit the Fig. 3 correlation on one monitored run.
+///
+/// Samples with no completed requests (response time 0) are excluded from
+/// the fit, mirroring the paper's per-interaction ground truth.
+pub fn correlate_response_time(run: &Run) -> RtCorrelation {
+    // Build (generation_time, response_time) pairs per sample.
+    let mut t = Vec::new();
+    let mut gen = Vec::new();
+    let mut rt = Vec::new();
+    for pair in run.samples.windows(2) {
+        let dt = pair[1].t - pair[0].t;
+        if pair[1].response_time_s > 0.0 {
+            t.push(pair[1].t);
+            gen.push(dt);
+            rt.push(pair[1].response_time_s);
+        }
+    }
+    assert!(
+        gen.len() >= 8,
+        "run too short to correlate ({} usable samples)",
+        gen.len()
+    );
+
+    // Fit rt ~ gen with the framework's own linear regression.
+    let mut x = Matrix::zeros(gen.len(), 1);
+    for (i, &g) in gen.iter().enumerate() {
+        x[(i, 0)] = g;
+    }
+    let model = LinearRegression::new()
+        .fit(&x, &rt)
+        .expect("correlation fit");
+    let intercept = model.predict_row(&[0.0]);
+    let slope = model.predict_row(&[1.0]) - intercept;
+
+    let pearson_r = pearson(&gen, &rt);
+
+    let series = t
+        .iter()
+        .zip(gen.iter().zip(&rt))
+        .map(|(&ti, (&g, &r))| RtPoint {
+            t: ti,
+            generation_time: g,
+            response_time: r,
+            correlated_rt: model.predict_row(&[g]),
+        })
+        .collect();
+
+    RtCorrelation {
+        intercept,
+        slope,
+        pearson_r,
+        series,
+    }
+}
+
+/// Online response-time estimator built from a fitted [`RtCorrelation`].
+///
+/// §III-B: "this technique can be effectively used ... to have a pragmatic
+/// estimation of the response time seen by end users, without any
+/// modification to the software at the end point." Feed it raw datapoint
+/// timestamps (e.g. from a live FMC stream); it converts the observed
+/// inter-generation gaps into end-user latency estimates using the linear
+/// map fitted offline.
+#[derive(Debug, Clone)]
+pub struct RtEstimator {
+    intercept: f64,
+    slope: f64,
+    last_t: Option<f64>,
+    /// Exponentially weighted estimate (smooths single-gap jitter).
+    ewma: Option<f64>,
+    /// EWMA weight of the newest observation.
+    alpha: f64,
+}
+
+impl RtEstimator {
+    /// Build from a fitted correlation. `alpha` is the EWMA weight of the
+    /// newest observation (0 < alpha ≤ 1; 1 disables smoothing).
+    pub fn new(corr: &RtCorrelation, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        RtEstimator {
+            intercept: corr.intercept,
+            slope: corr.slope,
+            last_t: None,
+            ewma: None,
+            alpha,
+        }
+    }
+
+    /// Observe the timestamp of the next datapoint; returns the updated
+    /// response-time estimate once two timestamps have been seen. Estimates
+    /// are floored at zero (the linear map can go negative for very short
+    /// gaps).
+    pub fn observe(&mut self, t_gen: f64) -> Option<f64> {
+        let estimate = match self.last_t {
+            None => None,
+            Some(prev) => {
+                let gap = (t_gen - prev).max(0.0);
+                let raw = (self.intercept + self.slope * gap).max(0.0);
+                let smoothed = match self.ewma {
+                    None => raw,
+                    Some(e) => self.alpha * raw + (1.0 - self.alpha) * e,
+                };
+                self.ewma = Some(smoothed);
+                Some(smoothed)
+            }
+        };
+        self.last_t = Some(t_gen);
+        estimate
+    }
+
+    /// The current estimate, if any.
+    pub fn current(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Forget stream state (e.g. after the monitored system restarted).
+    pub fn reset(&mut self) {
+        self.last_t = None;
+        self.ewma = None;
+    }
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_sim::{AnomalyConfig, Campaign, CampaignConfig, SimConfig};
+
+    fn one_run() -> Run {
+        let cfg = CampaignConfig {
+            sim: SimConfig {
+                anomaly: AnomalyConfig {
+                    leak_size_mib: (5.0, 9.0),
+                    leak_prob_per_home: (0.7, 0.9),
+                    ..AnomalyConfig::default()
+                },
+                ..SimConfig::default()
+            },
+            runs: 1,
+            ..CampaignConfig::default()
+        };
+        Campaign::new(cfg, 77).run_all().remove(0)
+    }
+
+    #[test]
+    fn correlation_is_positive_and_meaningful() {
+        let run = one_run();
+        let corr = correlate_response_time(&run);
+        assert!(
+            corr.pearson_r > 0.3,
+            "generation time should track RT (r = {})",
+            corr.pearson_r
+        );
+        assert!(corr.slope > 0.0, "slope {}", corr.slope);
+        assert!(corr.series.len() > 100);
+    }
+
+    #[test]
+    fn correlated_rt_tracks_measured_rt_better_than_a_constant() {
+        let run = one_run();
+        let corr = correlate_response_time(&run);
+        let mean_rt = corr.series.iter().map(|p| p.response_time).sum::<f64>()
+            / corr.series.len() as f64;
+        let model_err: f64 = corr
+            .series
+            .iter()
+            .map(|p| (p.correlated_rt - p.response_time).abs())
+            .sum();
+        let const_err: f64 = corr
+            .series
+            .iter()
+            .map(|p| (mean_rt - p.response_time).abs())
+            .sum();
+        assert!(
+            model_err < const_err,
+            "model {model_err:.2} vs constant {const_err:.2}"
+        );
+    }
+
+    #[test]
+    fn both_curves_rise_toward_failure() {
+        // Fig. 3's qualitative content: generation time and RT both grow
+        // as anomalies accumulate.
+        let run = one_run();
+        let corr = correlate_response_time(&run);
+        let n = corr.series.len();
+        let q = n / 4;
+        let early_rt: f64 =
+            corr.series[..q].iter().map(|p| p.response_time).sum::<f64>() / q as f64;
+        let late_rt: f64 = corr.series[n - q..]
+            .iter()
+            .map(|p| p.response_time)
+            .sum::<f64>()
+            / q as f64;
+        let early_gen: f64 =
+            corr.series[..q].iter().map(|p| p.generation_time).sum::<f64>() / q as f64;
+        let late_gen: f64 = corr.series[n - q..]
+            .iter()
+            .map(|p| p.generation_time)
+            .sum::<f64>()
+            / q as f64;
+        assert!(late_rt > 2.0 * early_rt, "rt {early_rt:.3} → {late_rt:.3}");
+        assert!(late_gen > early_gen, "gen {early_gen:.3} → {late_gen:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_run_panics() {
+        let run = Run {
+            seed: 0,
+            samples: vec![],
+            fail_time: None,
+        };
+        correlate_response_time(&run);
+    }
+
+    #[test]
+    fn rt_estimator_tracks_live_latency_from_timestamps_alone() {
+        // Fit on one run, then replay a *fresh* run's datapoint timestamps
+        // through the online estimator and compare with its measured RT.
+        let corr = correlate_response_time(&one_run());
+        let mut est = RtEstimator::new(&corr, 0.3);
+
+        let fresh = {
+            let cfg = CampaignConfig {
+                sim: SimConfig {
+                    anomaly: AnomalyConfig {
+                        leak_size_mib: (5.0, 9.0),
+                        leak_prob_per_home: (0.7, 0.9),
+                        ..AnomalyConfig::default()
+                    },
+                    ..SimConfig::default()
+                },
+                runs: 1,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(cfg, 1234).run_all().remove(0)
+        };
+
+        let mut pairs = Vec::new();
+        for s in &fresh.samples {
+            if let Some(e) = est.observe(s.t) {
+                if s.response_time_s > 0.0 {
+                    pairs.push((e, s.response_time_s));
+                }
+            }
+        }
+        assert!(pairs.len() > 100);
+        // The estimate must track the trend: correlation with measured RT
+        // clearly positive on unseen data.
+        let (es, rs): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let r = pearson(&es, &rs);
+        assert!(r > 0.4, "online estimate should track RT (r = {r:.3})");
+    }
+
+    #[test]
+    fn rt_estimator_stream_semantics() {
+        let corr = correlate_response_time(&one_run());
+        let mut est = RtEstimator::new(&corr, 1.0);
+        assert!(est.observe(0.0).is_none(), "first timestamp primes only");
+        assert!(est.observe(1.5).is_some());
+        assert!(est.current().is_some());
+        est.reset();
+        assert!(est.current().is_none());
+        assert!(est.observe(100.0).is_none(), "reset forgets the stream");
+        // Estimates are never negative even for tiny gaps.
+        assert!(est.observe(100.0001).unwrap() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0, 1]")]
+    fn rt_estimator_rejects_bad_alpha() {
+        let corr = correlate_response_time(&one_run());
+        RtEstimator::new(&corr, 0.0);
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Incremental knowledge-base construction (§III-A).
+//!
+//! "Determining the size of the dataset to be collected in this phase
+//! could require a long period of training time. F2PM can support this
+//! task incrementally, via the set of metrics that allow the user to
+//! evaluate the accuracy of the produced models. If the estimated accuracy
+//! is not sufficient, further system runs can be executed to collect new
+//! data into the training set, and to produce new models."
+//!
+//! [`IncrementalTrainer`] is that loop: collect a batch of monitored runs,
+//! estimate accuracy by **leave-one-run-out** cross-validation (the honest
+//! estimate — a deployed model always faces runs it never saw), and keep
+//! collecting until the estimate reaches the user's target or the budget
+//! runs out.
+
+use crate::config::F2pmConfig;
+use f2pm_features::{aggregate_run, RunTaggedDataset};
+use f2pm_ml::{evaluate_one, Regressor};
+use f2pm_sim::{Campaign, Run};
+
+/// Stopping rule and budget for the incremental loop.
+#[derive(Debug, Clone)]
+pub struct IncrementalConfig {
+    /// Pipeline configuration (aggregation, S-MAE threshold, simulator).
+    pub base: F2pmConfig,
+    /// Monitored runs collected per iteration.
+    pub batch_runs: usize,
+    /// Maximum iterations before giving up.
+    pub max_batches: usize,
+    /// Stop once the leave-one-run-out S-MAE estimate drops to this (s).
+    pub target_smae: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            base: F2pmConfig::default(),
+            batch_runs: 2,
+            max_batches: 6,
+            target_smae: 120.0,
+        }
+    }
+}
+
+/// Accuracy estimate after one iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationReport {
+    /// Total runs collected so far.
+    pub runs: usize,
+    /// Aggregated (labeled) datapoints so far.
+    pub datapoints: usize,
+    /// Leave-one-run-out S-MAE estimate (s).
+    pub louo_smae: f64,
+    /// Standard deviation of the per-fold S-MAE.
+    pub louo_std: f64,
+}
+
+/// Outcome of the whole loop.
+#[derive(Debug)]
+pub struct IncrementalOutcome {
+    /// One report per iteration, chronological.
+    pub iterations: Vec<IterationReport>,
+    /// Whether the target was reached within the budget.
+    pub reached_target: bool,
+    /// Every collected run (for final model training).
+    pub runs: Vec<Run>,
+}
+
+impl IncrementalOutcome {
+    /// The final accuracy estimate.
+    pub fn final_smae(&self) -> Option<f64> {
+        self.iterations.last().map(|i| i.louo_smae)
+    }
+}
+
+/// Drives the collect → estimate → decide loop.
+pub struct IncrementalTrainer {
+    cfg: IncrementalConfig,
+    seed: u64,
+}
+
+impl IncrementalTrainer {
+    /// Create with a master seed.
+    pub fn new(cfg: IncrementalConfig, seed: u64) -> Self {
+        assert!(cfg.batch_runs >= 1, "need at least one run per batch");
+        assert!(cfg.max_batches >= 1, "need at least one batch");
+        IncrementalTrainer { cfg, seed }
+    }
+
+    /// Run the loop with the given method as the accuracy probe.
+    pub fn run(&self, probe: &dyn Regressor) -> IncrementalOutcome {
+        let mut campaign_cfg = self.cfg.base.campaign.clone();
+        campaign_cfg.runs = self.cfg.batch_runs;
+
+        let mut runs: Vec<Run> = Vec::new();
+        let mut iterations = Vec::new();
+        let mut reached = false;
+
+        for batch in 0..self.cfg.max_batches {
+            // Collect one more batch (each batch gets its own derived seed
+            // so runs never repeat).
+            let campaign =
+                Campaign::new(campaign_cfg.clone(), self.seed.wrapping_add(batch as u64));
+            runs.extend(campaign.run_all());
+
+            // Aggregate per run and estimate accuracy by leave-one-run-out.
+            let per_run: Vec<_> = runs
+                .iter()
+                .map(|r| {
+                    let data = f2pm_monitor::RunData {
+                        datapoints: r
+                            .samples
+                            .iter()
+                            .map(f2pm_monitor::history::sample_to_datapoint)
+                            .collect(),
+                        fail_time: r.fail_time,
+                    };
+                    aggregate_run(&data, &self.cfg.base.aggregation)
+                })
+                .collect();
+            let tagged = RunTaggedDataset::from_run_points_with(&per_run, &self.cfg.base.aggregation);
+
+            let mut fold_smaes = Vec::new();
+            for (_, train, valid) in tagged.leave_one_run_out() {
+                if let Ok(rep) = evaluate_one(probe, &train, &valid, self.cfg.base.smae) {
+                    fold_smaes.push(rep.metrics.smae);
+                }
+            }
+            let (mean, std) = if fold_smaes.is_empty() {
+                (f64::INFINITY, 0.0)
+            } else {
+                let m = fold_smaes.iter().sum::<f64>() / fold_smaes.len() as f64;
+                let v = fold_smaes.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
+                    / fold_smaes.len() as f64;
+                (m, v.sqrt())
+            };
+
+            iterations.push(IterationReport {
+                runs: runs.len(),
+                datapoints: tagged.dataset.len(),
+                louo_smae: mean,
+                louo_std: std,
+            });
+
+            if mean <= self.cfg.target_smae {
+                reached = true;
+                break;
+            }
+        }
+
+        IncrementalOutcome {
+            iterations,
+            reached_target: reached,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_ml::{RepTree, RepTreeParams};
+
+    fn quick_incremental(target: f64, max_batches: usize) -> IncrementalConfig {
+        IncrementalConfig {
+            base: F2pmConfig::quick(),
+            batch_runs: 2,
+            max_batches,
+            target_smae: target,
+        }
+    }
+
+    #[test]
+    fn loop_accumulates_runs_and_reports() {
+        let cfg = quick_incremental(1.0, 3); // unreachable target → full budget
+        let trainer = IncrementalTrainer::new(cfg, 5);
+        let probe = RepTree::new(RepTreeParams::default());
+        let out = trainer.run(&probe);
+        assert_eq!(out.iterations.len(), 3);
+        assert!(!out.reached_target);
+        assert_eq!(out.runs.len(), 6);
+        // Runs accumulate monotonically across iterations.
+        for w in out.iterations.windows(2) {
+            assert!(w[1].runs > w[0].runs);
+            assert!(w[1].datapoints > w[0].datapoints);
+        }
+        assert!(out.final_smae().unwrap().is_finite());
+    }
+
+    #[test]
+    fn loop_stops_early_on_generous_target() {
+        let cfg = quick_incremental(1e9, 5); // trivially reachable
+        let trainer = IncrementalTrainer::new(cfg, 6);
+        let probe = RepTree::new(RepTreeParams::default());
+        let out = trainer.run(&probe);
+        assert!(out.reached_target);
+        assert_eq!(out.iterations.len(), 1, "should stop after the first batch");
+        assert_eq!(out.runs.len(), 2);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let cfg = quick_incremental(1.0, 2);
+        let probe = RepTree::new(RepTreeParams::default());
+        let a = IncrementalTrainer::new(cfg.clone(), 9).run(&probe);
+        let b = IncrementalTrainer::new(cfg, 9).run(&probe);
+        assert_eq!(a.iterations.len(), b.iterations.len());
+        for (x, y) in a.iterations.iter().zip(&b.iterations) {
+            assert_eq!(x.louo_smae, y.louo_smae);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_batch_runs_panics() {
+        let mut cfg = quick_incremental(1.0, 1);
+        cfg.batch_runs = 0;
+        IncrementalTrainer::new(cfg, 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Proactive software rejuvenation driven by RTTF predictions.
+//!
+//! The use case that motivates F2PM (§I): instead of letting the
+//! application crash and rebooting reactively, restart ("rejuvenate") it
+//! proactively when the predicted RTTF falls below a safety margin `T`.
+//! The S-MAE metric exists precisely because a prediction error below `T`
+//! is then harmless.
+//!
+//! [`ProactiveRejuvenator`] closes the loop against the simulated testbed:
+//! it monitors a live simulation through an [`OnlinePredictor`], restarts
+//! the guest when the policy fires, and accounts the downtime of planned
+//! restarts vs. crashes — letting the experiments compare proactive and
+//! reactive operation.
+
+use crate::predictor::OnlinePredictor;
+use f2pm_monitor::{Collector, SimCollector};
+use f2pm_sim::{SimConfig, Simulation};
+
+/// When to trigger a proactive restart.
+#[derive(Debug, Clone, Copy)]
+pub struct RejuvenationPolicy {
+    /// Restart when predicted RTTF ≤ this threshold (s).
+    pub rttf_threshold_s: f64,
+    /// Require this many consecutive below-threshold estimates before
+    /// firing (debounce against single-window noise).
+    pub consecutive_hits: usize,
+    /// Downtime of a *planned* restart (s) — much cheaper than crash
+    /// recovery, which also loses in-flight state.
+    pub planned_restart_s: f64,
+    /// Downtime of an *unplanned* crash recovery (s).
+    pub crash_recovery_s: f64,
+    /// Whether a planned restart also re-copies the database files
+    /// (defragmenting the layout). A plain application restart does not —
+    /// fragmentation is the anomaly class rejuvenation alone cannot clear,
+    /// so without this the guest's lives get progressively shorter when
+    /// fragmentation anomalies are enabled.
+    pub defragment_on_restart: bool,
+}
+
+impl Default for RejuvenationPolicy {
+    fn default() -> Self {
+        RejuvenationPolicy {
+            rttf_threshold_s: 180.0,
+            consecutive_hits: 2,
+            planned_restart_s: 30.0,
+            crash_recovery_s: 300.0,
+            defragment_on_restart: true,
+        }
+    }
+}
+
+/// Outcome of operating the testbed under a policy for a given horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejuvenationOutcome {
+    /// Proactive restarts performed.
+    pub planned_restarts: usize,
+    /// Crashes that still slipped through.
+    pub crashes: usize,
+    /// Total downtime charged (s).
+    pub downtime_s: f64,
+    /// Total operating horizon (s).
+    pub horizon_s: f64,
+    /// Requests served across all lives of the system.
+    pub completed_requests: u64,
+}
+
+impl RejuvenationOutcome {
+    /// Availability over the horizon, in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        1.0 - (self.downtime_s / self.horizon_s).clamp(0.0, 1.0)
+    }
+}
+
+/// Drives simulated guests under a prediction-based restart policy.
+pub struct ProactiveRejuvenator {
+    sim_cfg: SimConfig,
+    policy: RejuvenationPolicy,
+}
+
+impl ProactiveRejuvenator {
+    /// Create for a testbed configuration and policy.
+    pub fn new(sim_cfg: SimConfig, policy: RejuvenationPolicy) -> Self {
+        ProactiveRejuvenator { sim_cfg, policy }
+    }
+
+    /// Operate the system proactively for `horizon_s` of simulated time,
+    /// restarting whenever the predictor (reset after each life) says the
+    /// end is near. `seed` seeds each consecutive life deterministically.
+    pub fn run_proactive(
+        &self,
+        predictor: &mut OnlinePredictor,
+        horizon_s: f64,
+        seed: u64,
+    ) -> RejuvenationOutcome {
+        let mut elapsed = 0.0;
+        let mut life = 0u64;
+        let mut planned = 0usize;
+        let mut crashes = 0usize;
+        let mut downtime = 0.0;
+        let mut completed = 0u64;
+        let mut carry_frag: Option<f64> = None;
+
+        while elapsed < horizon_s {
+            let mut sim = Simulation::new(self.sim_cfg.clone(), seed.wrapping_add(life));
+            if let Some(f) = carry_frag {
+                sim.set_fragmentation(f);
+            }
+            let mut collector = SimCollector::new(sim, Default::default(), seed ^ life);
+            predictor.reset();
+            let mut hits = 0usize;
+
+            let life_result = loop {
+                match collector.collect() {
+                    None => break LifeEnd::Crash,
+                    Some(d) => {
+                        let t = d.t_gen;
+                        if elapsed + t >= horizon_s {
+                            break LifeEnd::HorizonReached;
+                        }
+                        if let Some(est) = predictor.push(d) {
+                            if est <= self.policy.rttf_threshold_s {
+                                hits += 1;
+                                if hits >= self.policy.consecutive_hits {
+                                    break LifeEnd::Planned(t);
+                                }
+                            } else {
+                                hits = 0;
+                            }
+                        }
+                    }
+                }
+            };
+
+            let sim = collector.into_simulation();
+            completed += sim.completed_requests();
+            // Restarts clear memory/threads/locks but not the disk layout,
+            // unless the policy pays for a file re-copy.
+            carry_frag = if self.policy.defragment_on_restart {
+                None
+            } else {
+                Some(sim.fragmentation())
+            };
+            match life_result {
+                LifeEnd::Crash => {
+                    crashes += 1;
+                    let t = sim.failed_at().unwrap_or(0.0);
+                    elapsed += t + self.policy.crash_recovery_s;
+                    downtime += self.policy.crash_recovery_s;
+                }
+                LifeEnd::Planned(t) => {
+                    planned += 1;
+                    elapsed += t + self.policy.planned_restart_s;
+                    downtime += self.policy.planned_restart_s;
+                }
+                LifeEnd::HorizonReached => break,
+            }
+            life += 1;
+        }
+
+        RejuvenationOutcome {
+            planned_restarts: planned,
+            crashes,
+            downtime_s: downtime,
+            horizon_s,
+            completed_requests: completed,
+        }
+    }
+
+    /// Reactive baseline: run each life to its crash, pay crash recovery.
+    pub fn run_reactive(&self, horizon_s: f64, seed: u64) -> RejuvenationOutcome {
+        let mut elapsed = 0.0;
+        let mut life = 0u64;
+        let mut crashes = 0usize;
+        let mut downtime = 0.0;
+        let mut completed = 0u64;
+
+        while elapsed < horizon_s {
+            let mut sim = Simulation::new(self.sim_cfg.clone(), seed.wrapping_add(life));
+            let outcome = sim.run_to_failure(horizon_s - elapsed);
+            completed += outcome.completed_requests;
+            if outcome.failed {
+                crashes += 1;
+                elapsed += outcome.fail_time + self.policy.crash_recovery_s;
+                downtime += self.policy.crash_recovery_s;
+            } else {
+                elapsed = horizon_s;
+            }
+            life += 1;
+        }
+
+        RejuvenationOutcome {
+            planned_restarts: 0,
+            crashes,
+            downtime_s: downtime,
+            horizon_s,
+            completed_requests: completed,
+        }
+    }
+}
+
+enum LifeEnd {
+    Crash,
+    Planned(f64),
+    HorizonReached,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::F2pmConfig;
+    use crate::workflow::run_workflow;
+
+    /// Train a model on the quick campaign, then operate proactively.
+    #[test]
+    fn proactive_beats_reactive_availability() {
+        let cfg = F2pmConfig::quick();
+        let report = run_workflow(&cfg, 11);
+        let all = report.all_parameters();
+        let best = all
+            .by_name("rep_tree")
+            .or_else(|| all.best_by_smae())
+            .expect("model");
+
+        // Rebuild a fresh model of the same method for ownership (reports
+        // hold theirs); rep_tree refits fast.
+        let policy = RejuvenationPolicy::default();
+        let rejuvenator = ProactiveRejuvenator::new(cfg.campaign.sim.clone(), policy);
+
+        // Reuse the fitted model via the report (move it out through a
+        // re-fit: train a fresh identical model on the same data is overkill
+        // here — instead wrap the boxed model directly).
+        let report2 = run_workflow(&cfg, 11);
+        let mut variants = report2.variants;
+        let variant = variants.remove(0);
+        let idx = variant
+            .reports
+            .into_iter()
+            .filter_map(|r| r.ok())
+            .find(|r| r.name == best.name)
+            .expect("same method");
+        let mut predictor = OnlinePredictor::new(
+            idx.model,
+            &variant.columns,
+            cfg.aggregation,
+        );
+
+        let horizon = 6000.0;
+        let proactive = rejuvenator.run_proactive(&mut predictor, horizon, 1234);
+        let reactive = rejuvenator.run_reactive(horizon, 1234);
+
+        assert!(proactive.planned_restarts > 0, "policy never fired");
+        assert!(
+            proactive.crashes <= reactive.crashes,
+            "proactive {} vs reactive {} crashes",
+            proactive.crashes,
+            reactive.crashes
+        );
+        assert!(
+            proactive.availability() > reactive.availability(),
+            "proactive {:.4} vs reactive {:.4}",
+            proactive.availability(),
+            reactive.availability()
+        );
+    }
+
+    #[test]
+    fn fragmentation_carries_across_restarts_without_defrag() {
+        use f2pm_sim::{AnomalyConfig, SimConfig};
+        // Enable fragmentation anomalies; without defrag the layout state
+        // accumulates across lives, so later lives die sooner.
+        let sim_cfg = SimConfig {
+            anomaly: AnomalyConfig {
+                frag_delta_per_home: (0.0004, 0.0008),
+                ..AnomalyConfig::all_classes()
+            },
+            ..SimConfig::default()
+        };
+        let cfg = F2pmConfig::quick();
+        let report = run_workflow(&cfg, 21);
+        let mut variants = report.variants;
+        let variant = variants.remove(0);
+        let columns = variant.columns.clone();
+        let rep = variant
+            .reports
+            .into_iter()
+            .filter_map(|r| r.ok())
+            .find(|r| r.name == "rep_tree")
+            .expect("model");
+        let mut predictor = OnlinePredictor::new(rep.model, &columns, cfg.aggregation);
+
+        let horizon = 5000.0;
+        let no_defrag = ProactiveRejuvenator::new(
+            sim_cfg.clone(),
+            RejuvenationPolicy {
+                defragment_on_restart: false,
+                ..RejuvenationPolicy::default()
+            },
+        )
+        .run_proactive(&mut predictor, horizon, 777);
+
+        predictor.reset();
+        let with_defrag = ProactiveRejuvenator::new(
+            sim_cfg,
+            RejuvenationPolicy::default(),
+        )
+        .run_proactive(&mut predictor, horizon, 777);
+
+        // Without defragmentation lives get shorter, so the same horizon
+        // needs at least as many interventions (restarts + crashes).
+        let events = |o: &RejuvenationOutcome| o.planned_restarts + o.crashes;
+        assert!(
+            events(&no_defrag) >= events(&with_defrag),
+            "no-defrag {:?} vs defrag {:?}",
+            (no_defrag.planned_restarts, no_defrag.crashes),
+            (with_defrag.planned_restarts, with_defrag.crashes)
+        );
+    }
+
+    #[test]
+    fn outcome_availability_math() {
+        let o = RejuvenationOutcome {
+            planned_restarts: 2,
+            crashes: 1,
+            downtime_s: 100.0,
+            horizon_s: 1000.0,
+            completed_requests: 0,
+        };
+        assert!((o.availability() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! The end-to-end F2PM workflow (the paper's Fig. 1).
+
+use crate::config::F2pmConfig;
+use crate::report::{F2pmReport, VariantReport};
+use f2pm_features::{
+    aggregate_run, lasso_path, robust_outlier_filter, Dataset, RunTaggedDataset,
+};
+use f2pm_ml::evaluate_all;
+use f2pm_monitor::DataHistory;
+use f2pm_sim::Campaign;
+
+/// Run the complete workflow against the simulated testbed: monitoring
+/// campaign → aggregation → selection → model generation/validation.
+pub fn run_workflow(cfg: &F2pmConfig, seed: u64) -> F2pmReport {
+    let campaign = Campaign::new(cfg.campaign.clone(), seed);
+    let runs = campaign.run_all();
+    let history = DataHistory::from_campaign(&runs);
+    run_workflow_on_history(cfg, &history)
+}
+
+/// Run the workflow phases downstream of monitoring on an existing data
+/// history (e.g. one received by the FMS from real FMC clients).
+pub fn run_workflow_on_history(cfg: &F2pmConfig, history: &DataHistory) -> F2pmReport {
+    // Phase 2: aggregation + added metrics + RTTF labels, per run so the
+    // optional run-aware split knows the provenance of every window.
+    let per_run: Vec<_> = history
+        .runs()
+        .iter()
+        .filter(|r| r.fail_time.is_some())
+        .map(|r| aggregate_run(r, &cfg.aggregation))
+        .collect();
+    let tagged = RunTaggedDataset::from_run_points_with(&per_run, &cfg.aggregation);
+    let mut dataset = tagged.dataset.clone();
+    let mut run_of_row = tagged.run_of_row.clone();
+
+    // Optional data selection: drop outlier windows (monitoring glitches).
+    if let Some(threshold) = cfg.outlier_threshold {
+        let kept = robust_outlier_filter(&dataset.x, threshold);
+        dataset = dataset.select_rows(&kept);
+        run_of_row = kept.iter().map(|&i| run_of_row[i]).collect();
+    }
+    let points = dataset.len();
+    assert!(
+        dataset.len() > 10,
+        "not enough labeled aggregated datapoints ({}); run more campaigns",
+        dataset.len()
+    );
+
+    let (train, valid) = if cfg.split_by_runs {
+        split_by_runs(&dataset, &run_of_row, tagged.runs, cfg.train_fraction)
+    } else {
+        dataset.split_holdout(cfg.train_fraction, cfg.split_seed)
+    };
+
+    // Phase 3 (optional): lasso regularization path for feature selection.
+    let selection = if cfg.lambda_grid.is_empty() {
+        None
+    } else {
+        Some(lasso_path(&train, &cfg.lambda_grid, &cfg.lasso_solver))
+    };
+
+    // Phase 4: model generation + validation, on each training-set variant.
+    let suite = f2pm_ml::paper_method_suite(&cfg.lasso_predictor_lambdas);
+    let mut variants = Vec::new();
+
+    let all_reports = evaluate_all(&suite, &train, &valid, cfg.smae);
+    variants.push(VariantReport {
+        variant: "all parameters".to_string(),
+        columns: dataset.names.clone(),
+        reports: all_reports,
+    });
+
+    if let Some(sel) = &selection {
+        if let Some(point) = sel.strongest_selection(cfg.min_selected_features) {
+            let idx: Vec<usize> = point
+                .selected_names
+                .iter()
+                .map(|n| dataset.column_index(n).expect("column exists"))
+                .collect();
+            let train_sel = train.select_columns(&idx);
+            let valid_sel = valid.select_columns(&idx);
+            let reports = evaluate_all(&suite, &train_sel, &valid_sel, cfg.smae);
+            variants.push(VariantReport {
+                variant: format!(
+                    "parameters selected by lasso (λ = {:.0e}, {} columns)",
+                    point.lambda,
+                    idx.len()
+                ),
+                columns: point.selected_names.clone(),
+                reports,
+            });
+        }
+    }
+
+    F2pmReport {
+        aggregated_points: points,
+        runs: history.fail_count(),
+        selection,
+        variants,
+    }
+}
+
+/// Deterministic run-aware split: the last ⌈(1 − frac)·runs⌉ runs (by run
+/// index) validate, earlier runs train — mimicking deployment, where the
+/// model faces runs collected after its training data.
+fn split_by_runs(
+    dataset: &Dataset,
+    run_of_row: &[usize],
+    runs: usize,
+    train_fraction: f64,
+) -> (Dataset, Dataset) {
+    let train_runs = ((runs as f64 * train_fraction).round() as usize)
+        .clamp(1, runs.saturating_sub(1).max(1));
+    let mut train_rows = Vec::new();
+    let mut valid_rows = Vec::new();
+    for (row, &run) in run_of_row.iter().enumerate() {
+        if run < train_runs {
+            train_rows.push(row);
+        } else {
+            valid_rows.push(row);
+        }
+    }
+    (
+        dataset.select_rows(&train_rows),
+        dataset.select_rows(&valid_rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workflow_end_to_end() {
+        let cfg = F2pmConfig::quick();
+        let report = run_workflow(&cfg, 7);
+
+        assert_eq!(report.runs, 4);
+        assert!(report.aggregated_points > 50);
+        assert!(report.selection.is_some());
+
+        // Fig. 4 shape: monotone non-increasing λ → #selected.
+        let series = report.selection.as_ref().unwrap().fig4_series();
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1, "lasso path not monotone: {series:?}");
+        }
+
+        // All-parameters variant ran the full suite (5 + 2 lasso rows).
+        let all = report.all_parameters();
+        assert_eq!(all.reports.len(), 7);
+        let ok = all.ok_reports().count();
+        assert!(ok >= 6, "only {ok}/7 methods succeeded");
+
+        // The best model predicts substantially better than the naive mean
+        // predictor (RAE < 1).
+        let best = report.best_by_smae().expect("models exist");
+        assert!(
+            best.metrics.rae < 0.8,
+            "best model RAE {} too close to the mean predictor",
+            best.metrics.rae
+        );
+    }
+
+    #[test]
+    fn selection_disabled_when_grid_empty() {
+        let mut cfg = F2pmConfig::quick();
+        cfg.lambda_grid.clear();
+        let report = run_workflow(&cfg, 9);
+        assert!(report.selection.is_none());
+        assert_eq!(report.variants.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough labeled")]
+    fn empty_history_panics_with_guidance() {
+        let cfg = F2pmConfig::quick();
+        run_workflow_on_history(&cfg, &DataHistory::new());
+    }
+
+    #[test]
+    fn extended_stddev_layout_flows_through_the_workflow() {
+        let mut cfg = F2pmConfig::quick();
+        cfg.aggregation.include_stddev = true;
+        let report = run_workflow(&cfg, 23);
+        let all = report.all_parameters();
+        assert_eq!(all.columns.len(), 44, "extended layout expected");
+        assert!(all.columns.contains(&"swap_used_std".to_string()));
+        let best = report.best_by_smae().expect("models");
+        assert!(best.metrics.rae < 1.0);
+    }
+
+    #[test]
+    fn run_aware_split_also_works_end_to_end() {
+        let mut cfg = F2pmConfig::quick();
+        cfg.split_by_runs = true;
+        let report = run_workflow(&cfg, 13);
+        let best = report.best_by_smae().expect("models");
+        // Cross-run generalization is harder than the row split, but the
+        // model must still clearly beat the mean predictor.
+        assert!(best.metrics.rae < 1.0, "RAE {}", best.metrics.rae);
+    }
+
+    #[test]
+    fn outlier_filter_threshold_semantics() {
+        // Run trajectories are explosive near the crash, so moderate
+        // thresholds trim the tail; only an enormous one keeps everything
+        // (that is why the config docs say "use large values").
+        let cfg_plain = F2pmConfig::quick();
+        let report_plain = run_workflow(&cfg_plain, 17);
+        let mut cfg_filtered = F2pmConfig::quick();
+        cfg_filtered.outlier_threshold = Some(1e9);
+        let report_filtered = run_workflow(&cfg_filtered, 17);
+        assert_eq!(
+            report_filtered.aggregated_points,
+            report_plain.aggregated_points
+        );
+
+        // Aggressive thresholds drop rows — checked against the filter
+        // directly (the full workflow would rightly refuse to train on the
+        // remnant).
+        let runs = f2pm_sim::Campaign::new(cfg_plain.campaign.clone(), 17).run_all();
+        let history = DataHistory::from_campaign(&runs);
+        let per_run: Vec<_> = history
+            .runs()
+            .iter()
+            .filter(|r| r.fail_time.is_some())
+            .map(|r| aggregate_run(r, &cfg_plain.aggregation))
+            .collect();
+        let tagged = RunTaggedDataset::from_run_points(&per_run);
+        let kept = robust_outlier_filter(&tagged.dataset.x, 3.0);
+        assert!(
+            kept.len() < tagged.dataset.len(),
+            "threshold 3 should trim the explosive tail"
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! Named regression datasets and deterministic splitting.
+
+use crate::aggregate::{
+    aggregated_column_names, aggregated_column_names_with, AggregatedPoint, AggregationConfig,
+};
+use f2pm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A named design matrix plus target vector.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Column names, `x.cols()` entries.
+    pub names: Vec<String>,
+    /// Design matrix, one row per sample.
+    pub x: Matrix,
+    /// Target (RTTF, seconds), one entry per row.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Assemble a dataset from labeled aggregated points (censored points
+    /// are skipped).
+    pub fn from_points(points: &[AggregatedPoint]) -> Self {
+        let names = aggregated_column_names();
+        let labeled: Vec<&AggregatedPoint> =
+            points.iter().filter(|p| p.rttf.is_some()).collect();
+        let mut x = Matrix::zeros(labeled.len(), names.len());
+        let mut y = Vec::with_capacity(labeled.len());
+        for (i, p) in labeled.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(&p.inputs());
+            y.push(p.rttf.expect("filtered"));
+        }
+        Dataset { names, x, y }
+    }
+
+    /// Assemble with an explicit aggregation configuration — with
+    /// `include_stddev` set this produces the extended 44-column layout
+    /// (means + slopes + inter-generation pair + per-feature stddevs).
+    pub fn from_points_with(points: &[AggregatedPoint], cfg: &AggregationConfig) -> Self {
+        let names = aggregated_column_names_with(cfg);
+        let labeled: Vec<&AggregatedPoint> =
+            points.iter().filter(|p| p.rttf.is_some()).collect();
+        let mut x = Matrix::zeros(labeled.len(), names.len());
+        let mut y = Vec::with_capacity(labeled.len());
+        for (i, p) in labeled.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(&p.inputs_with(cfg));
+            y.push(p.rttf.expect("filtered"));
+        }
+        Dataset { names, x, y }
+    }
+
+    /// Build directly from components.
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions.
+    pub fn new(names: Vec<String>, x: Matrix, y: Vec<f64>) -> Self {
+        assert_eq!(names.len(), x.cols(), "names/columns mismatch");
+        assert_eq!(x.rows(), y.len(), "rows/target mismatch");
+        Dataset { names, x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of input columns.
+    pub fn width(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Project onto a subset of columns (by index, order preserved).
+    pub fn select_columns(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            names: idx.iter().map(|&j| self.names[j].clone()).collect(),
+            x: self.x.select_columns(idx),
+            y: self.y.clone(),
+        }
+    }
+
+    /// Project onto a subset of columns by name.
+    ///
+    /// # Panics
+    /// Panics if any name is unknown.
+    pub fn select_named(&self, names: &[&str]) -> Dataset {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| self.column_index(n).unwrap_or_else(|| panic!("unknown column {n}")))
+            .collect();
+        self.select_columns(&idx)
+    }
+
+    /// Subset of rows (by index).
+    pub fn select_rows(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            names: self.names.clone(),
+            x: self.x.select_rows(idx),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Deterministic shuffled holdout split: `train_frac` of the rows go to
+    /// the training set, the rest to validation.
+    pub fn split_holdout(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac out of range");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let cut = (self.len() as f64 * train_frac).round() as usize;
+        let (train_idx, valid_idx) = idx.split_at(cut.min(self.len()));
+        (self.select_rows(train_idx), self.select_rows(valid_idx))
+    }
+
+    /// Deterministic k-fold splitter.
+    pub fn k_fold(&self, k: usize, seed: u64) -> KFold {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        KFold {
+            idx,
+            k,
+            fold: 0,
+        }
+    }
+}
+
+/// Iterator over `(train, valid)` row-index pairs of a k-fold split.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    idx: Vec<usize>,
+    k: usize,
+    fold: usize,
+}
+
+impl Iterator for KFold {
+    type Item = (Vec<usize>, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fold >= self.k {
+            return None;
+        }
+        let n = self.idx.len();
+        let lo = n * self.fold / self.k;
+        let hi = n * (self.fold + 1) / self.k;
+        self.fold += 1;
+        let valid: Vec<usize> = self.idx[lo..hi].to_vec();
+        let train: Vec<usize> = self.idx[..lo]
+            .iter()
+            .chain(&self.idx[hi..])
+            .copied()
+            .collect();
+        Some((train, valid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let fi = i as f64;
+            x.row_mut(i).copy_from_slice(&[fi, fi * 2.0, fi * 3.0]);
+            y.push(fi * 10.0);
+        }
+        Dataset::new(names, x, y)
+    }
+
+    #[test]
+    fn construction_checks_dimensions() {
+        let d = toy(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.width(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "names/columns mismatch")]
+    fn bad_names_panic() {
+        Dataset::new(vec!["a".into()], Matrix::zeros(2, 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn column_selection_by_name() {
+        let d = toy(4);
+        let s = d.select_named(&["c", "a"]);
+        assert_eq!(s.names, vec!["c", "a"]);
+        assert_eq!(s.x[(2, 0)], 6.0); // c of row 2
+        assert_eq!(s.x[(2, 1)], 2.0); // a of row 2
+        assert_eq!(s.y, d.y);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_panics() {
+        toy(3).select_named(&["zzz"]);
+    }
+
+    #[test]
+    fn row_selection() {
+        let d = toy(5);
+        let s = d.select_rows(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![40.0, 0.0]);
+        assert_eq!(s.x.row(0), &[4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn holdout_split_partitions_rows() {
+        let d = toy(100);
+        let (tr, va) = d.split_holdout(0.8, 7);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 20);
+        // No sample is lost or duplicated: targets are all distinct here.
+        let mut all: Vec<i64> = tr
+            .y
+            .iter()
+            .chain(&va.y)
+            .map(|v| v.round() as i64)
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..100).map(|i| i * 10).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn holdout_split_is_deterministic_and_seed_sensitive() {
+        let d = toy(50);
+        let (a1, _) = d.split_holdout(0.5, 1);
+        let (a2, _) = d.split_holdout(0.5, 1);
+        let (b, _) = d.split_holdout(0.5, 2);
+        assert_eq!(a1.y, a2.y);
+        assert_ne!(a1.y, b.y);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let d = toy(23);
+        let mut seen = [0usize; 23];
+        for (train, valid) in d.k_fold(5, 3) {
+            assert_eq!(train.len() + valid.len(), 23);
+            for &i in &valid {
+                seen[i] += 1;
+            }
+            // train and valid are disjoint
+            for &i in &valid {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row validates exactly once");
+    }
+
+    #[test]
+    fn from_points_with_produces_extended_layout() {
+        use crate::aggregate::aggregate_run;
+        use f2pm_monitor::{Datapoint, RunData};
+        let pts: Vec<Datapoint> = (0..20)
+            .map(|i| Datapoint {
+                t_gen: i as f64 * 1.5,
+                values: [i as f64; 14],
+            })
+            .collect();
+        let cfg = AggregationConfig {
+            window_s: 10.0,
+            min_points: 1,
+            include_stddev: true,
+        };
+        let points = aggregate_run(
+            &RunData {
+                datapoints: pts,
+                fail_time: Some(60.0),
+            },
+            &cfg,
+        );
+        let ds = Dataset::from_points_with(&points, &cfg);
+        assert_eq!(ds.width(), 44);
+        assert!(ds.column_index("mem_used_std").is_some());
+        // The varying synthetic feature has non-zero window stddev.
+        let j = ds.column_index("swap_used_std").unwrap();
+        assert!(ds.x[(0, j)] > 0.0);
+    }
+
+    #[test]
+    fn from_points_skips_censored() {
+        use crate::aggregate::{aggregate_run, AggregationConfig};
+        use f2pm_monitor::{Datapoint, RunData};
+        let pts: Vec<Datapoint> = (0..20)
+            .map(|i| Datapoint {
+                t_gen: i as f64 * 1.5,
+                values: [i as f64; 14],
+            })
+            .collect();
+        let cfg = AggregationConfig {
+            window_s: 10.0,
+            min_points: 1,
+        ..AggregationConfig::default()
+        };
+        let labeled = aggregate_run(
+            &RunData {
+                datapoints: pts.clone(),
+                fail_time: Some(60.0),
+            },
+            &cfg,
+        );
+        let censored = aggregate_run(
+            &RunData {
+                datapoints: pts,
+                fail_time: None,
+            },
+            &cfg,
+        );
+        let mut mixed = labeled.clone();
+        mixed.extend(censored);
+        let ds = Dataset::from_points(&mixed);
+        assert_eq!(ds.len(), labeled.len());
+        assert_eq!(ds.width(), 30);
+        assert!(ds.y.iter().all(|&v| v >= 0.0));
+    }
+}

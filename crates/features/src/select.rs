@@ -1,0 +1,253 @@
+//! Feature selection by Lasso Regularization (§III-C, Fig. 4, Table I).
+//!
+//! For each λ in a user-supplied λ̄ vector, fit the lasso and record which
+//! columns keep non-zero weight. Higher λ zeroes more weights; the paper's
+//! Fig. 4 plots the selected count against λ ∈ {10⁰, …, 10⁹}, and Table I
+//! lists the surviving weights at λ = 10⁹.
+//!
+//! The λ values in the paper are large because the objective is evaluated
+//! in raw units (RTTF in seconds against memory features in KB); we keep
+//! raw units too, so the same grid exhibits the same monotone-shrinking
+//! behaviour. Per-λ fits are independent given a warm start, so the sweep
+//! fans out over crossbeam scoped threads when the grid is large.
+
+use crate::dataset::Dataset;
+use crate::lasso::{LassoProblem, LassoSolution, LassoSolverConfig};
+
+/// One point of the regularization path.
+#[derive(Debug, Clone)]
+pub struct LassoPathPoint {
+    /// Penalty value.
+    pub lambda: f64,
+    /// Fitted solution at this λ.
+    pub solution: LassoSolution,
+    /// Names of the selected (non-zero-weight) columns.
+    pub selected_names: Vec<String>,
+}
+
+impl LassoPathPoint {
+    /// Number of selected parameters (the y-axis of Fig. 4).
+    pub fn selected_count(&self) -> usize {
+        self.selected_names.len()
+    }
+
+    /// `(name, weight)` pairs of the surviving features, sorted by
+    /// decreasing |weight| — the layout of the paper's Table I.
+    pub fn weight_table(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .solution
+            .selected()
+            .into_iter()
+            .map(|j| (self.selected_names_source(j), self.solution.beta[j]))
+            .collect();
+        rows.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        rows
+    }
+
+    fn selected_names_source(&self, j: usize) -> String {
+        // `selected_names` is aligned with `solution.selected()` order.
+        let pos = self
+            .solution
+            .selected()
+            .iter()
+            .position(|&s| s == j)
+            .expect("selected index");
+        self.selected_names[pos].clone()
+    }
+}
+
+/// Full output of the selection phase.
+#[derive(Debug, Clone)]
+pub struct SelectionReport {
+    /// One entry per λ, in the order given.
+    pub path: Vec<LassoPathPoint>,
+}
+
+impl SelectionReport {
+    /// The `(λ, selected_count)` series of Fig. 4.
+    pub fn fig4_series(&self) -> Vec<(f64, usize)> {
+        self.path
+            .iter()
+            .map(|p| (p.lambda, p.selected_count()))
+            .collect()
+    }
+
+    /// The path point with the given λ, if present.
+    pub fn at_lambda(&self, lambda: f64) -> Option<&LassoPathPoint> {
+        self.path.iter().find(|p| p.lambda == lambda)
+    }
+
+    /// Column indices selected at the *largest* λ that still keeps at
+    /// least `min_features` features — the training set the paper feeds
+    /// the "parameters selected by Lasso" model variants.
+    pub fn strongest_selection(&self, min_features: usize) -> Option<&LassoPathPoint> {
+        self.path
+            .iter()
+            .filter(|p| p.selected_count() >= min_features)
+            .max_by(|a, b| a.lambda.partial_cmp(&b.lambda).unwrap())
+    }
+}
+
+/// The paper's λ grid: 10⁰ … 10⁹.
+///
+/// ```
+/// let g = f2pm_features::paper_lambda_grid();
+/// assert_eq!(g.len(), 10);
+/// assert_eq!(g[0], 1.0);
+/// assert_eq!(g[9], 1e9);
+/// ```
+pub fn paper_lambda_grid() -> Vec<f64> {
+    (0..=9).map(|k| 10f64.powi(k)).collect()
+}
+
+/// Run the lasso regularization path over a λ grid.
+///
+/// λ values are solved in ascending order with warm starts (the active set
+/// only shrinks, so the warm start is excellent), then reported in the
+/// caller's original order.
+pub fn lasso_path(
+    dataset: &Dataset,
+    lambdas: &[f64],
+    cfg: &LassoSolverConfig,
+) -> SelectionReport {
+    assert!(!lambdas.is_empty(), "empty lambda grid");
+    let problem = LassoProblem::new(&dataset.x, &dataset.y);
+
+    // Ascending solve order for warm starting.
+    let mut order: Vec<usize> = (0..lambdas.len()).collect();
+    order.sort_by(|&a, &b| lambdas[a].partial_cmp(&lambdas[b]).unwrap());
+
+    let mut solutions: Vec<Option<LassoSolution>> = vec![None; lambdas.len()];
+    let mut warm: Option<Vec<f64>> = None;
+    for &i in &order {
+        let sol = problem.solve(lambdas[i], warm.as_deref(), cfg);
+        warm = Some(sol.beta.clone());
+        solutions[i] = Some(sol);
+    }
+
+    let path = solutions
+        .into_iter()
+        .enumerate()
+        .map(|(i, sol)| {
+            let solution = sol.expect("solved");
+            let selected_names = solution
+                .selected()
+                .into_iter()
+                .map(|j| dataset.names[j].clone())
+                .collect();
+            LassoPathPoint {
+                lambda: lambdas[i],
+                solution,
+                selected_names,
+            }
+        })
+        .collect();
+
+    SelectionReport { path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_linalg::Matrix;
+
+    /// y depends strongly on col 0, weakly on col 1, not at all on col 2.
+    fn toy_dataset(n: usize) -> Dataset {
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.37).sin() * 100.0;
+            let b = (i as f64 * 0.91).cos() * 100.0;
+            let c = ((i * 13) % 17) as f64;
+            x.row_mut(i).copy_from_slice(&[a, b, c]);
+            y.push(5.0 * a + 0.05 * b);
+        }
+        Dataset::new(
+            vec!["strong".into(), "weak".into(), "junk".into()],
+            x,
+            y,
+        )
+    }
+
+    #[test]
+    fn path_is_monotone_nonincreasing() {
+        let ds = toy_dataset(400);
+        let lambdas: Vec<f64> = (0..10).map(|k| 10f64.powi(k - 4)).collect();
+        let report = lasso_path(&ds, &lambdas, &LassoSolverConfig::default());
+        let series = report.fig4_series();
+        for pair in series.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "selection grew with λ: {series:?}"
+            );
+        }
+        assert_eq!(series.len(), 10);
+    }
+
+    #[test]
+    fn weak_features_drop_first() {
+        // The weak feature's drop threshold is λ ≈ 2·cov(weak, y) ≈ 500 in
+        // this construction; 2000 is safely above it, 1e-6 safely below.
+        let ds = toy_dataset(400);
+        let lambdas = vec![1e-6, 2e3];
+        let report = lasso_path(&ds, &lambdas, &LassoSolverConfig::default());
+        let full = &report.path[0];
+        let sparse = &report.path[1];
+        assert!(full.selected_count() >= 2);
+        assert!(sparse.selected_count() < full.selected_count());
+        if sparse.selected_count() == 1 {
+            assert_eq!(sparse.selected_names, vec!["strong"]);
+        }
+    }
+
+    #[test]
+    fn weight_table_sorted_by_magnitude() {
+        let ds = toy_dataset(300);
+        let report = lasso_path(&ds, &[1e-6], &LassoSolverConfig::default());
+        let table = report.path[0].weight_table();
+        for pair in table.windows(2) {
+            assert!(pair[0].1.abs() >= pair[1].1.abs());
+        }
+        assert_eq!(table[0].0, "strong");
+    }
+
+    #[test]
+    fn report_lookups() {
+        let ds = toy_dataset(200);
+        let report = lasso_path(&ds, &[1.0, 100.0], &LassoSolverConfig::default());
+        assert!(report.at_lambda(1.0).is_some());
+        assert!(report.at_lambda(42.0).is_none());
+        let strongest = report.strongest_selection(1);
+        if let Some(p) = strongest {
+            assert!(p.selected_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn paper_grid_is_ten_decades() {
+        let g = paper_lambda_grid();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g[0], 1.0);
+        assert_eq!(g[9], 1e9);
+        for pair in g.windows(2) {
+            assert!((pair[1] / pair[0] - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn caller_order_preserved_despite_warm_start_reorder() {
+        let ds = toy_dataset(200);
+        let lambdas = vec![100.0, 1e-6]; // descending
+        let report = lasso_path(&ds, &lambdas, &LassoSolverConfig::default());
+        assert_eq!(report.path[0].lambda, 100.0);
+        assert_eq!(report.path[1].lambda, 1e-6);
+        assert!(report.path[1].selected_count() >= report.path[0].selected_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty lambda grid")]
+    fn empty_grid_panics() {
+        let ds = toy_dataset(10);
+        lasso_path(&ds, &[], &LassoSolverConfig::default());
+    }
+}

@@ -1,0 +1,270 @@
+//! Data selection: training-set extraction beyond column selection.
+//!
+//! The paper's workflow (§I, Fig. 1) includes "a data selection step...
+//! where a number of training sets (including different sub-sets of
+//! features and metrics) are extracted from the data set". Column
+//! selection lives in [`crate::select`]; this module covers the *row*
+//! dimension:
+//!
+//! - **outlier filtering** by robust z-score (median/MAD), dropping
+//!   windows whose feature values are wildly off — e.g. sampled mid-restart
+//!   or during a monitoring hiccup;
+//! - **run-aware splitting**: the aggregated windows of one run are highly
+//!   autocorrelated, so a row-random holdout leaks information between
+//!   train and validation. Splitting by *run* (and its extreme form,
+//!   leave-one-run-out) gives the honest generalization estimate a
+//!   deployed F2PM needs: the model will always face runs it has never
+//!   seen.
+
+use crate::aggregate::AggregatedPoint;
+use crate::dataset::Dataset;
+use f2pm_linalg::Matrix;
+
+/// Robust per-column outlier filter.
+///
+/// A row is dropped when any column's robust z-score
+/// `|x − median| / (1.4826 · MAD)` exceeds `threshold`. Constant columns
+/// (MAD = 0) never reject. Returns the kept row indices.
+pub fn robust_outlier_filter(x: &Matrix, threshold: f64) -> Vec<usize> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let (n, p) = x.shape();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Column medians and MADs.
+    let mut medians = vec![0.0; p];
+    let mut mads = vec![0.0; p];
+    let mut work: Vec<f64> = Vec::with_capacity(n);
+    for j in 0..p {
+        work.clear();
+        work.extend((0..n).map(|i| x[(i, j)]));
+        medians[j] = median_in_place(&mut work);
+        work.clear();
+        work.extend((0..n).map(|i| (x[(i, j)] - medians[j]).abs()));
+        mads[j] = median_in_place(&mut work) * 1.4826;
+    }
+    (0..n)
+        .filter(|&i| {
+            (0..p).all(|j| {
+                // Columns whose MAD is zero or numerically negligible
+                // relative to their median cannot discriminate outliers
+                // (any deviation would be float noise amplified to a huge
+                // z-score) and never reject.
+                let mad = mads[j];
+                let eps = 1e-9 * medians[j].abs().max(1.0);
+                mad <= eps || (x[(i, j)] - medians[j]).abs() <= threshold * mad
+            })
+        })
+        .collect()
+}
+
+fn median_in_place(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mid = v.len() / 2;
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// A dataset whose rows remember which run produced them.
+#[derive(Debug, Clone)]
+pub struct RunTaggedDataset {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Run index of each row (parallel to the dataset rows).
+    pub run_of_row: Vec<usize>,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl RunTaggedDataset {
+    /// Build from per-run aggregated points (censored points skipped, like
+    /// [`Dataset::from_points`]), using the paper's default 30-column
+    /// layout.
+    pub fn from_run_points(per_run: &[Vec<AggregatedPoint>]) -> Self {
+        Self::from_run_points_with(per_run, &crate::aggregate::AggregationConfig::default())
+    }
+
+    /// Build with an explicit aggregation configuration (e.g. the extended
+    /// layout with per-window stddev columns).
+    pub fn from_run_points_with(
+        per_run: &[Vec<AggregatedPoint>],
+        cfg: &crate::aggregate::AggregationConfig,
+    ) -> Self {
+        let mut all: Vec<AggregatedPoint> = Vec::new();
+        let mut run_of_row = Vec::new();
+        for (run_idx, points) in per_run.iter().enumerate() {
+            for p in points {
+                if p.rttf.is_some() {
+                    all.push(p.clone());
+                    run_of_row.push(run_idx);
+                }
+            }
+        }
+        let dataset = Dataset::from_points_with(&all, cfg);
+        debug_assert_eq!(dataset.len(), run_of_row.len());
+        RunTaggedDataset {
+            dataset,
+            run_of_row,
+            runs: per_run.len(),
+        }
+    }
+
+    /// Split by run: runs in `valid_runs` validate, the rest train.
+    pub fn split_by_runs(&self, valid_runs: &[usize]) -> (Dataset, Dataset) {
+        let mut train_rows = Vec::new();
+        let mut valid_rows = Vec::new();
+        for (row, &run) in self.run_of_row.iter().enumerate() {
+            if valid_runs.contains(&run) {
+                valid_rows.push(row);
+            } else {
+                train_rows.push(row);
+            }
+        }
+        (
+            self.dataset.select_rows(&train_rows),
+            self.dataset.select_rows(&valid_rows),
+        )
+    }
+
+    /// Leave-one-run-out iterator: yields `(held_out_run, train, valid)`.
+    pub fn leave_one_run_out(&self) -> impl Iterator<Item = (usize, Dataset, Dataset)> + '_ {
+        (0..self.runs).filter_map(move |run| {
+            let (train, valid) = self.split_by_runs(&[run]);
+            if train.is_empty() || valid.is_empty() {
+                None
+            } else {
+                Some((run, train, valid))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate_run, AggregationConfig};
+    use f2pm_monitor::{Datapoint, RunData};
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median_in_place(&mut []), 0.0);
+        assert_eq!(median_in_place(&mut [3.0]), 3.0);
+        assert_eq!(median_in_place(&mut [1.0, 9.0]), 5.0);
+        assert_eq!(median_in_place(&mut [9.0, 1.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn outlier_filter_keeps_clean_rows() {
+        let mut x = Matrix::zeros(20, 2);
+        for i in 0..20 {
+            x[(i, 0)] = i as f64;
+            x[(i, 1)] = 100.0 + (i % 3) as f64;
+        }
+        let kept = robust_outlier_filter(&x, 8.0);
+        assert_eq!(kept.len(), 20, "no outliers → keep everything");
+    }
+
+    #[test]
+    fn outlier_filter_drops_spikes() {
+        let mut x = Matrix::zeros(21, 2);
+        for i in 0..21 {
+            x[(i, 0)] = i as f64;
+            x[(i, 1)] = 50.0 + (i % 5) as f64;
+        }
+        x[(10, 1)] = 1e9; // monitoring glitch
+        let kept = robust_outlier_filter(&x, 8.0);
+        assert_eq!(kept.len(), 20);
+        assert!(!kept.contains(&10));
+    }
+
+    #[test]
+    fn constant_columns_never_reject() {
+        let mut x = Matrix::zeros(10, 2);
+        for i in 0..10 {
+            x[(i, 0)] = 42.0; // constant (MAD 0)
+            x[(i, 1)] = i as f64;
+        }
+        let kept = robust_outlier_filter(&x, 3.0);
+        assert_eq!(kept.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        robust_outlier_filter(&Matrix::zeros(2, 2), 0.0);
+    }
+
+    fn synthetic_runs(n_runs: usize) -> Vec<Vec<AggregatedPoint>> {
+        let cfg = AggregationConfig {
+            window_s: 10.0,
+            min_points: 1,
+        ..AggregationConfig::default()
+        };
+        (0..n_runs)
+            .map(|r| {
+                let pts: Vec<Datapoint> = (0..40)
+                    .map(|i| Datapoint {
+                        t_gen: i as f64 * 1.5,
+                        values: [r as f64 * 100.0 + i as f64; 14],
+                    })
+                    .collect();
+                aggregate_run(
+                    &RunData {
+                        datapoints: pts,
+                        fail_time: Some(80.0),
+                    },
+                    &cfg,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_tagging_preserves_counts() {
+        let per_run = synthetic_runs(3);
+        let expected: usize = per_run.iter().map(|p| p.len()).sum();
+        let tagged = RunTaggedDataset::from_run_points(&per_run);
+        assert_eq!(tagged.dataset.len(), expected);
+        assert_eq!(tagged.runs, 3);
+        assert_eq!(tagged.run_of_row.len(), expected);
+    }
+
+    #[test]
+    fn split_by_runs_is_exact() {
+        let per_run = synthetic_runs(3);
+        let sizes: Vec<usize> = per_run.iter().map(|p| p.len()).collect();
+        let tagged = RunTaggedDataset::from_run_points(&per_run);
+        let (train, valid) = tagged.split_by_runs(&[1]);
+        assert_eq!(valid.len(), sizes[1]);
+        assert_eq!(train.len(), sizes[0] + sizes[2]);
+        // Run 1's feature signature (values 100..140) appears only in valid.
+        for i in 0..train.len() {
+            let v = train.x[(i, 1)]; // mem_used column
+            assert!(!(100.0..140.0).contains(&v), "run-1 row leaked into train");
+        }
+    }
+
+    #[test]
+    fn leave_one_run_out_covers_every_run_once() {
+        let per_run = synthetic_runs(4);
+        let tagged = RunTaggedDataset::from_run_points(&per_run);
+        let folds: Vec<usize> = tagged.leave_one_run_out().map(|(r, _, _)| r).collect();
+        assert_eq!(folds, vec![0, 1, 2, 3]);
+        for (_, train, valid) in tagged.leave_one_run_out() {
+            assert_eq!(train.len() + valid.len(), tagged.dataset.len());
+        }
+    }
+
+    #[test]
+    fn single_run_yields_no_louo_folds() {
+        let per_run = synthetic_runs(1);
+        let tagged = RunTaggedDataset::from_run_points(&per_run);
+        assert_eq!(tagged.leave_one_run_out().count(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the OLS normal-equation path, ridge systems, and the LS-SVM
+//! kernel solve (`f2pm-ml`). The factorization stores the lower triangle `L`
+//! with `A = L Lᵀ` and solves by forward/back substitution.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// The lower-triangular Cholesky factor of an SPD matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper triangle is left as zeros).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the caller is trusted on
+    /// symmetry (the pipeline always passes Gram/kernel matrices, which are
+    /// symmetric by construction).
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive, and [`LinalgError::NonFinite`] if the input has
+    /// NaN/inf entries.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { what: "cholesky input" });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // d = a[j][j] - sum_k l[j][k]^2
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factor `a + ridge * I` — convenience for regularized systems. `ridge`
+    /// must be ≥ 0.
+    pub fn factor_ridged(a: &Matrix, ridge: f64) -> Result<Self> {
+        assert!(ridge >= 0.0, "ridge must be non-negative");
+        if ridge == 0.0 {
+            return Self::factor(a);
+        }
+        let n = a.rows();
+        let mut b = a.clone();
+        for i in 0..n {
+            b[(i, i)] += ridge;
+        }
+        Self::factor(&b)
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` using the stored factor.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let li = self.l.row(i);
+            let mut s = y[i];
+            for k in 0..i {
+                s -= li[k] * y[k];
+            }
+            y[i] = s / li[i];
+        }
+        // Back substitution: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= self.l[(k, i)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solve for several right-hand sides stacked as matrix columns.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// log-determinant of `A` (numerically stable via the factor diagonal).
+    pub fn log_det(&self) -> f64 {
+        (0..self.order())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd3() -> Matrix {
+        // A = M Mᵀ + I for a fixed M → strictly SPD.
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 3.0], &[2.0, 0.0, 1.0]]);
+        let mut a = m.matmul(&m.transpose()).unwrap();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = spd3();
+        a[(1, 1)] = f64::NAN;
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_rescues_singular() {
+        // Rank-1 matrix: not PD, but PD after ridging.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::factor(&a).is_err());
+        assert!(Cholesky::factor_ridged(&a, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn solve_matrix_identity_rhs_gives_inverse() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv = ch.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dimension_check() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn random_spd_solve_roundtrip(
+            vals in proptest::collection::vec(-3.0_f64..3.0, 16),
+            x in proptest::collection::vec(-5.0_f64..5.0, 4),
+        ) {
+            let m = Matrix::from_vec(4, 4, vals);
+            let mut a = m.matmul(&m.transpose()).unwrap();
+            for i in 0..4 { a[(i, i)] += 2.0; } // ensure strictly SPD
+            let b = a.matvec(&x).unwrap();
+            let ch = Cholesky::factor(&a).unwrap();
+            let got = ch.solve(&b).unwrap();
+            for (g, t) in got.iter().zip(&x) {
+                prop_assert!((g - t).abs() < 1e-6);
+            }
+        }
+    }
+}

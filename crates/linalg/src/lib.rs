@@ -1,0 +1,51 @@
+//! # f2pm-linalg
+//!
+//! Minimal, dependency-free dense linear algebra for the F2PM reproduction.
+//!
+//! The F2PM pipeline hand-rolls all of its regressors (OLS, lasso coordinate
+//! descent, LS-SVM kernel solves, SVR), so it needs a small but solid dense
+//! linear-algebra kernel: a row-major [`Matrix`], Cholesky and Householder-QR
+//! factorizations, triangular solves, a conjugate-gradient fallback for large
+//! well-conditioned systems, and column statistics / standardization used by
+//! the feature pipeline.
+//!
+//! Everything operates on `f64`. Matrices are stored row-major in a single
+//! contiguous `Vec<f64>` (cache-friendly for the row-wise access patterns of
+//! the regression solvers; see the Rust Performance Book guidance on
+//! contiguous storage and avoiding per-element allocation).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use f2pm_linalg::{Matrix, lstsq};
+//!
+//! // Fit y = 2x + 1 exactly.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = lstsq(&x, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-10);
+//! assert!((beta[1] - 2.0).abs() < 1e-10);
+//! ```
+
+// Indexed loops in the numeric kernels intentionally mirror the textbook
+// algorithm statements (i/j/k over matrix entries).
+#![allow(clippy::needless_range_loop)]
+
+mod cg;
+mod cholesky;
+mod error;
+mod matrix;
+mod qr;
+mod stats;
+mod vector;
+
+pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::{lstsq, residual_norm, QrFactorization};
+pub use stats::{mean, variance, ColumnStats, Standardizer};
+pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,325 @@
+//! Householder QR factorization and least-squares solve.
+//!
+//! OLS (`f2pm-ml::linreg`) prefers QR over the normal equations for
+//! numerical stability: the Gram matrix squares the condition number, while
+//! QR works on the design matrix directly. M5P/REP-Tree leaf models also use
+//! [`lstsq`] for their per-leaf linear fits.
+
+use crate::{dot, LinalgError, Matrix, Result};
+
+/// A Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Householder vectors are stored compactly in the lower trapezoid of the
+/// working matrix; `R` occupies the upper triangle.
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    qr: Matrix,
+    /// Scalar `tau` coefficients of the Householder reflectors.
+    tau: Vec<f64>,
+}
+
+/// Relative tolerance under which an `R` diagonal counts as rank-deficient.
+const RANK_TOL: f64 = 1e-12;
+
+impl QrFactorization {
+    /// Factor `a` (requires `rows >= cols`).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr (needs rows >= cols)",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { what: "qr input" });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        // Workhorse buffer for the reflector (perf-book: reuse collections).
+        let mut v = vec![0.0; m];
+        for k in 0..n {
+            // Build Householder vector from column k, rows k..m.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let x = qr[(i, k)];
+                norm_sq += x * x;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            v[k] = 1.0;
+            for i in k + 1..m {
+                v[i] = qr[(i, k)] / v0;
+            }
+            tau[k] = -v0 / alpha;
+
+            // Apply reflector to remaining columns: A = (I - tau v vᵀ) A.
+            for j in k..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += v[i] * qr[(i, j)];
+                }
+                s *= tau[k];
+                for i in k..m {
+                    qr[(i, j)] -= s * v[i];
+                }
+            }
+            // Store the reflector below the diagonal, R value on it.
+            qr[(k, k)] = alpha;
+            for i in k + 1..m {
+                qr[(i, k)] = v[i];
+            }
+        }
+        Ok(QrFactorization { qr, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Apply `Qᵀ` to a vector in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            // v = [1, qr[k+1..m, k]]
+            let mut s = b[k];
+            for i in k + 1..m {
+                s += self.qr[(i, k)] * b[i];
+            }
+            s *= self.tau[k];
+            b[k] -= s;
+            for i in k + 1..m {
+                b[i] -= s * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||₂`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back-substitute R x = y[0..n].
+        let scale = self
+            .qr
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+            .max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= RANK_TOL * scale {
+                return Err(LinalgError::RankDeficient { column: i });
+            }
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+
+    /// Extract the `n x n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Whether the factored matrix has full column rank (by diagonal test).
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self
+            .qr
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+            .max(1.0);
+        (0..self.cols()).all(|i| self.qr[(i, i)].abs() > RANK_TOL * scale)
+    }
+}
+
+/// One-shot least-squares solve `min ||A x - b||₂` via Householder QR.
+///
+/// Falls back to a tiny ridge-regularized normal-equation solve when `A` is
+/// rank deficient — common after lasso selection keeps duplicated features
+/// such as `swap_used_slope`/`swap_free_slope`, which are exact negations —
+/// or *underdetermined* (fewer samples than columns, e.g. a model fitted on
+/// a very short monitoring campaign). Either way the caller gets a usable
+/// minimum-norm-ish solution.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() >= a.cols() {
+        match QrFactorization::factor(a)?.solve(b) {
+            Ok(x) => return Ok(x),
+            Err(LinalgError::RankDeficient { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let gram = a.gram();
+    let scale = (0..gram.rows()).map(|i| gram[(i, i)]).fold(0.0_f64, f64::max);
+    let ridge = (scale.max(1.0)) * 1e-8;
+    let ch = crate::Cholesky::factor_ridged(&gram, ridge)?;
+    let aty = a.matvec_t(b)?;
+    ch.solve(&aty)
+}
+
+/// Residual 2-norm `||A x - b||₂` — handy for tests and diagnostics.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.matvec(x).expect("residual_norm: dimension mismatch");
+    let mut s = 0.0;
+    for i in 0..b.len() {
+        let d = ax[i] - b[i];
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+#[allow(dead_code)]
+fn column_dot(a: &Matrix, j: usize, k: usize) -> f64 {
+    dot(&a.col(j), &a.col(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x_true = vec![1.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_regression() {
+        // y = 3 + 2t sampled with no noise at 5 points.
+        let t: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let rows: Vec<Vec<f64>> = t.iter().map(|&ti| vec![1.0, ti]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs);
+        let b: Vec<f64> = t.iter().map(|&ti| 3.0 + 2.0 * ti).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_reproduces_norms() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let f = QrFactorization::factor(&a).unwrap();
+        let r = f.r();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r[(1, 0)], 0.0);
+        // ||A||_F == ||R||_F since Q is orthogonal.
+        assert!((a.frobenius_norm() - r.frobenius_norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn underdetermined_rejected_by_qr_but_lstsq_falls_back() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrFactorization::factor(&a).is_err());
+        // lstsq routes rows < cols through the ridge path: an interpolating
+        // solution with small residual exists here.
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0]]);
+        let b = [3.0, 5.0];
+        let x = lstsq(&a, &b).unwrap();
+        assert!(residual_norm(&a, &x, &b) < 1e-3, "residual {}", residual_norm(&a, &x, &b));
+    }
+
+    #[test]
+    fn rank_deficient_detected_but_lstsq_falls_back() {
+        // Second column is 2x the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let f = QrFactorization::factor(&a).unwrap();
+        assert!(!f.is_full_rank());
+        assert!(matches!(
+            f.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+        // lstsq still produces a small-residual solution via ridge fallback.
+        let b = vec![1.0, 2.0, 3.0]; // b = a * [1, 0]
+        let x = lstsq(&a, &b).unwrap();
+        assert!(residual_norm(&a, &x, &b) < 1e-3);
+    }
+
+    #[test]
+    fn zero_column_does_not_crash_factor() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]);
+        let f = QrFactorization::factor(&a).unwrap();
+        assert!(!f.is_full_rank());
+    }
+
+    #[test]
+    fn solve_dimension_check() {
+        let a = Matrix::identity(3);
+        let f = QrFactorization::factor(&a).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            QrFactorization::factor(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn qr_solve_minimizes_residual(
+            vals in proptest::collection::vec(-5.0_f64..5.0, 12),
+            xt in proptest::collection::vec(-3.0_f64..3.0, 3),
+            noise in proptest::collection::vec(-0.1_f64..0.1, 4),
+        ) {
+            // Build a well-conditioned 4x3 design (add identity block).
+            let mut a = Matrix::from_vec(4, 3, vals);
+            for i in 0..3 { a[(i, i)] += 10.0; }
+            let clean = a.matvec(&xt).unwrap();
+            let b: Vec<f64> = clean.iter().zip(&noise).map(|(c, n)| c + n).collect();
+            let x = lstsq(&a, &b).unwrap();
+            let r_opt = residual_norm(&a, &x, &b);
+            // Any perturbation of the solution must not reduce the residual.
+            for j in 0..3 {
+                for delta in [-1e-3, 1e-3] {
+                    let mut xp = x.clone();
+                    xp[j] += delta;
+                    prop_assert!(residual_norm(&a, &xp, &b) + 1e-12 >= r_opt);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! The hot inner loops of the regressors (coordinate descent, SMO, CG) are
+//! built from these primitives. They are deliberately slice-based and
+//! allocation-free so the callers can reuse workhorse buffers (perf-book:
+//! "Reusing Collections").
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ (the hot path skips the check in
+/// release via `debug_assert!`).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Manual 4-way unroll: helps LLVM vectorize the reduction without
+    // requiring -ffast-math style reassociation.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm (maximum absolute value); 0 for an empty slice.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// `y += alpha * x`, the classic BLAS axpy.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Element-wise `a - b` into a fresh vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_handles_tail_lengths() {
+        // Lengths around the unroll width of 4.
+        for n in 0..9 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let expect: f64 = a.iter().map(|x| x * x).sum();
+            assert_eq!(dot(&a, &a), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn norm2_pythagorean() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_inf_picks_max_abs() {
+        assert_eq!(norm_inf(&[1.0, -7.5, 3.0]), 7.5);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![1.0, -2.0];
+        scale(-3.0, &mut a);
+        assert_eq!(a, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[5.0, 1.0], &[2.0, 3.0]), vec![3.0, -2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_commutes(a in proptest::collection::vec(-1e3_f64..1e3, 0..64)) {
+            let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+            let ab = dot(&a, &b);
+            let ba = dot(&b, &a);
+            prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+        }
+
+        #[test]
+        fn dot_matches_naive(a in proptest::collection::vec(-1e3_f64..1e3, 0..64)) {
+            let b: Vec<f64> = a.iter().map(|x| x - 2.0).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let fast = dot(&a, &b);
+            prop_assert!((naive - fast).abs() <= 1e-6 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn norm2_nonnegative_and_scales(
+            a in proptest::collection::vec(-1e3_f64..1e3, 1..32),
+            alpha in -10.0_f64..10.0,
+        ) {
+            let n = norm2(&a);
+            prop_assert!(n >= 0.0);
+            let mut b = a.clone();
+            scale(alpha, &mut b);
+            prop_assert!((norm2(&b) - alpha.abs() * n).abs() <= 1e-8 * (1.0 + n));
+        }
+
+        #[test]
+        fn axpy_then_sub_roundtrip(
+            x in proptest::collection::vec(-1e3_f64..1e3, 0..32),
+        ) {
+            // y = 0 + 1*x, then x - y == 0
+            let mut y = vec![0.0; x.len()];
+            axpy(1.0, &x, &mut y);
+            let d = sub(&x, &y);
+            prop_assert!(norm_inf(&d) == 0.0);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Baseline predictors.
+//!
+//! The paper's RAE metric (Eq. 6) normalizes against "a simple predictor,
+//! namely the average of the actual measurement". These baselines make
+//! that comparison explicit — and add the domain-specific one any systems
+//! person would reach for first: *capacity over rate*, i.e. estimate the
+//! RTTF as remaining-swap divided by the swap consumption rate. A learned
+//! model that cannot beat these is not earning its training time.
+
+use crate::regressor::{check_training_data, Model, Regressor};
+use crate::MlError;
+use f2pm_linalg::Matrix;
+
+/// Predicts the training-set mean, always. This is the RAE denominator's
+/// "simple predictor" as an actual model (RAE of this model ≈ 1).
+#[derive(Debug, Clone, Default)]
+pub struct MeanPredictor;
+
+impl MeanPredictor {
+    /// Create the baseline.
+    pub fn new() -> Self {
+        MeanPredictor
+    }
+}
+
+/// Fitted mean model.
+#[derive(Debug, Clone)]
+pub struct MeanModel {
+    mean: f64,
+    width: usize,
+}
+
+impl Model for MeanModel {
+    fn width(&self) -> usize {
+        self.width
+    }
+    fn predict_row(&self, _row: &[f64]) -> f64 {
+        self.mean
+    }
+}
+
+impl Regressor for MeanPredictor {
+    fn name(&self) -> String {
+        "mean_baseline".to_string()
+    }
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn Model>, MlError> {
+        check_training_data(x, y)?;
+        Ok(Box::new(MeanModel {
+            mean: y.iter().sum::<f64>() / y.len() as f64,
+            width: x.cols(),
+        }))
+    }
+}
+
+/// Capacity-over-rate baseline: `RTTF ≈ remaining / rate`, computed from
+/// one *level* column (how much budget is left) and one *slope* column
+/// (how fast it is being consumed per aggregated window).
+///
+/// For the F2PM layout the natural instantiation is
+/// `remaining = swap_free`, `rate = swap_used_slope` — the "when does the
+/// swap run out at the current burn rate" estimate. Falls back to the
+/// training mean when the rate is non-positive (nothing is being burned).
+#[derive(Debug, Clone)]
+pub struct CapacityOverRate {
+    /// Column index of the remaining-capacity feature.
+    pub level_col: usize,
+    /// Column index of the consumption-rate feature (per window).
+    pub rate_col: usize,
+    /// Seconds per aggregated window (to convert the per-window slope into
+    /// a per-second rate).
+    pub window_s: f64,
+}
+
+impl CapacityOverRate {
+    /// Create for the given column layout.
+    pub fn new(level_col: usize, rate_col: usize, window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        CapacityOverRate {
+            level_col,
+            rate_col,
+            window_s,
+        }
+    }
+}
+
+/// Fitted capacity-over-rate model.
+#[derive(Debug, Clone)]
+pub struct CapacityOverRateModel {
+    level_col: usize,
+    rate_col: usize,
+    window_s: f64,
+    fallback: f64,
+    /// Cap on predictions (max observed target × 1.5) so a near-zero rate
+    /// does not produce absurd horizons.
+    cap: f64,
+    width: usize,
+}
+
+impl Model for CapacityOverRateModel {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let remaining = row[self.level_col].max(0.0);
+        // slope is per raw datapoint (Eq. 1); treat it as per window-mean
+        // sample interval: rate per second ≈ slope / (window / count)… the
+        // exact scale is absorbed by the window_s calibration parameter.
+        let rate = row[self.rate_col] / self.window_s;
+        if rate <= 1e-9 {
+            return self.fallback;
+        }
+        (remaining / rate).min(self.cap)
+    }
+}
+
+impl Regressor for CapacityOverRate {
+    fn name(&self) -> String {
+        "capacity_over_rate".to_string()
+    }
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn Model>, MlError> {
+        check_training_data(x, y)?;
+        if self.level_col >= x.cols() || self.rate_col >= x.cols() {
+            return Err(MlError::WidthMismatch {
+                expected: x.cols(),
+                got: self.level_col.max(self.rate_col) + 1,
+            });
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let max = y.iter().cloned().fold(0.0_f64, f64::max);
+        Ok(Box::new(CapacityOverRateModel {
+            level_col: self.level_col,
+            rate_col: self.rate_col,
+            window_s: self.window_s,
+            fallback: mean,
+            cap: max * 1.5,
+            width: x.cols(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_predictor_predicts_mean() {
+        let x = Matrix::zeros(4, 2);
+        let y = [10.0, 20.0, 30.0, 40.0];
+        let m = MeanPredictor::new().fit(&x, &y).unwrap();
+        assert_eq!(m.predict_row(&[1.0, 2.0]), 25.0);
+        assert_eq!(m.width(), 2);
+    }
+
+    #[test]
+    fn mean_predictor_has_rae_one() {
+        use crate::metrics::{Metrics, SMaeThreshold};
+        let x = Matrix::zeros(5, 1);
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = MeanPredictor::new().fit(&x, &y).unwrap();
+        let pred = m.predict(&x).unwrap();
+        let metrics = Metrics::compute(&pred, &y, SMaeThreshold::Absolute(0.0));
+        assert!((metrics.rae - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_over_rate_exact_on_synthetic_burn() {
+        // remaining = 1000 - 2t (level col), burn rate = 2/s (rate col per
+        // 10-s window = 20), true rttf = remaining / 2.
+        let n = 50;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = i as f64 * 5.0;
+            let remaining = 1000.0 - 2.0 * t;
+            x.row_mut(i).copy_from_slice(&[remaining, 20.0]);
+            y.push(remaining / 2.0);
+        }
+        let reg = CapacityOverRate::new(0, 1, 10.0);
+        let m = reg.fit(&x, &y).unwrap();
+        for i in 0..n {
+            assert!((m.predict_row(x.row(i)) - y[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn capacity_over_rate_falls_back_on_zero_rate() {
+        let x = Matrix::from_rows(&[&[500.0, 10.0], &[400.0, 10.0]]);
+        let y = [50.0, 40.0];
+        let m = CapacityOverRate::new(0, 1, 10.0).fit(&x, &y).unwrap();
+        let p = m.predict_row(&[500.0, 0.0]);
+        assert_eq!(p, 45.0, "mean fallback");
+        // Negative rate (swap draining) also falls back.
+        assert_eq!(m.predict_row(&[500.0, -3.0]), 45.0);
+    }
+
+    #[test]
+    fn capacity_over_rate_caps_horizon() {
+        let x = Matrix::from_rows(&[&[500.0, 10.0], &[400.0, 10.0]]);
+        let y = [500.0, 400.0];
+        let m = CapacityOverRate::new(0, 1, 10.0).fit(&x, &y).unwrap();
+        // Tiny but positive rate → capped at 1.5 × max(y).
+        let p = m.predict_row(&[500.0, 1e-6]);
+        assert_eq!(p, 750.0);
+    }
+
+    #[test]
+    fn bad_columns_rejected() {
+        let x = Matrix::zeros(3, 2);
+        let y = [1.0, 2.0, 3.0];
+        let reg = CapacityOverRate::new(5, 1, 10.0);
+        assert!(matches!(
+            reg.fit(&x, &y),
+            Err(MlError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        CapacityOverRate::new(0, 1, 0.0);
+    }
+}

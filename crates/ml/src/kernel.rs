@@ -1,0 +1,178 @@
+//! Kernels shared by the SVR and LS-SVM models.
+
+use f2pm_linalg::Matrix;
+
+/// Sample count above which [`Kernel::matrix`] parallelizes.
+pub const PARALLEL_THRESHOLD: usize = 512;
+
+/// Kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `k(u, v) = uᵀv`.
+    Linear,
+    /// `k(u, v) = exp(−γ ‖u − v‖²)`.
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluate the kernel on two rows.
+    #[inline]
+    pub fn eval(&self, u: &[f64], v: &[f64]) -> f64 {
+        debug_assert_eq!(u.len(), v.len());
+        match self {
+            Kernel::Linear => f2pm_linalg::dot(u, v),
+            Kernel::Rbf { gamma } => {
+                let mut d2 = 0.0;
+                for (a, b) in u.iter().zip(v) {
+                    let d = a - b;
+                    d2 += d * d;
+                }
+                (-gamma * d2).exp()
+            }
+        }
+    }
+
+    /// Full symmetric kernel matrix of a sample set.
+    ///
+    /// Above [`PARALLEL_THRESHOLD`] rows the `O(n²)` evaluation fans out
+    /// over crossbeam scoped threads (one contiguous row-band per thread —
+    /// each band writes a disjoint slice, so no synchronization is needed;
+    /// see the workspace's data-parallelism guides).
+    pub fn matrix(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        if n < PARALLEL_THRESHOLD {
+            return self.matrix_serial(x);
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        let mut data = vec![0.0; n * n];
+        {
+            // Split the flat buffer into per-band mutable slices.
+            let band = n.div_ceil(threads);
+            let mut slices: Vec<&mut [f64]> = Vec::with_capacity(threads);
+            let mut rest = data.as_mut_slice();
+            for _ in 0..threads {
+                let take = (band * n).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                slices.push(head);
+                rest = tail;
+            }
+            crossbeam::thread::scope(|scope| {
+                for (t, slice) in slices.into_iter().enumerate() {
+                    let start = t * band;
+                    scope.spawn(move |_| {
+                        for (local, i) in (start..(start + slice.len() / n)).enumerate() {
+                            let ri = x.row(i);
+                            let row = &mut slice[local * n..(local + 1) * n];
+                            for (j, out) in row.iter_mut().enumerate() {
+                                *out = self.eval(ri, x.row(j));
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("kernel matrix scope");
+        }
+        Matrix::from_vec(n, n, data)
+    }
+
+    fn matrix_serial(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            let ri = x.row(i);
+            for j in i..n {
+                let v = self.eval(ri, x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Kernel row between one query and every training sample.
+    pub fn row(&self, query: &[f64], x: &Matrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..x.rows()).map(|i| self.eval(query, x.row(i))));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel_is_dot() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // Self-similarity is 1.
+        assert_eq!(k.eval(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        // Symmetric, in (0, 1], decreasing in distance.
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[2.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0 && near <= 1.0);
+        assert_eq!(
+            k.eval(&[0.0, 1.0], &[1.0, 0.0]),
+            k.eval(&[1.0, 0.0], &[0.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn kernel_matrix_symmetric_unit_diagonal_for_rbf() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[2.0, 2.0]]);
+        let k = Kernel::Rbf { gamma: 1.0 }.matrix(&x);
+        for i in 0..3 {
+            assert_eq!(k[(i, i)], 1.0);
+            for j in 0..3 {
+                assert_eq!(k[(i, j)], k[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        // Build a sample set larger than the parallel threshold and check
+        // the banded parallel path agrees with the serial one exactly.
+        let n = PARALLEL_THRESHOLD + 37;
+        let mut x = Matrix::zeros(n, 3);
+        for i in 0..n {
+            x.row_mut(i).copy_from_slice(&[
+                (i as f64 * 0.37).sin(),
+                (i as f64 * 0.11).cos(),
+                i as f64 / n as f64,
+            ]);
+        }
+        for kern in [Kernel::Linear, Kernel::Rbf { gamma: 0.4 }] {
+            let par = kern.matrix(&x);
+            let ser = kern.matrix_serial(&x);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(par[(i, j)], ser[(i, j)], "{kern:?} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_row_matches_matrix_column() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let kern = Kernel::Rbf { gamma: 0.3 };
+        let km = kern.matrix(&x);
+        let mut row = Vec::new();
+        kern.row(x.row(1), &x, &mut row);
+        for j in 0..3 {
+            assert_eq!(row[j], km[(1, j)]);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Ordinary least-squares linear regression (the paper's Eq. 3 model).
+
+use crate::regressor::{check_training_data, Model, Regressor};
+use crate::MlError;
+use f2pm_linalg::{lstsq, Matrix};
+
+/// OLS with intercept, solved by Householder QR (with a ridge fallback for
+/// collinear designs, see [`f2pm_linalg::lstsq`]).
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression;
+
+impl LinearRegression {
+    /// Create the method.
+    pub fn new() -> Self {
+        LinearRegression
+    }
+}
+
+/// A fitted linear model `y = b0 + Σ b_j x_j`.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// Intercept.
+    pub intercept: f64,
+    /// Per-feature coefficients.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit directly (also used by the tree learners for leaf models).
+    pub fn fit(x: &Matrix, y: &[f64]) -> Result<LinearModel, MlError> {
+        check_training_data(x, y)?;
+        let design = x.with_intercept();
+        let beta = lstsq(&design, y)?;
+        Ok(LinearModel {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        })
+    }
+
+    /// Fit a constant (intercept-only) model — the degenerate case tree
+    /// leaves fall back to when too few samples remain.
+    pub fn constant(value: f64, width: usize) -> LinearModel {
+        LinearModel {
+            intercept: value,
+            coefficients: vec![0.0; width],
+        }
+    }
+}
+
+impl Model for LinearModel {
+    fn width(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.intercept + f2pm_linalg::dot(&self.coefficients, row)
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn name(&self) -> String {
+        "linear_regression".to_string()
+    }
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn Model>, MlError> {
+        Ok(Box::new(LinearModel::fit(x, y)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let mut x = Matrix::zeros(20, 2);
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let a = i as f64;
+            let b = (i as f64 * 0.5).sin() * 3.0;
+            x.row_mut(i).copy_from_slice(&[a, b]);
+            y.push(7.0 - 2.0 * a + 0.5 * b);
+        }
+        let model = LinearModel::fit(&x, &y).unwrap();
+        assert!((model.intercept - 7.0).abs() < 1e-9);
+        assert!((model.coefficients[0] + 2.0).abs() < 1e-10);
+        assert!((model.coefficients[1] - 0.5).abs() < 1e-10);
+        assert!((model.predict_row(&[10.0, 0.0]) - (-13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_trait_roundtrip() {
+        let reg = LinearRegression::new();
+        assert_eq!(reg.name(), "linear_regression");
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let y = [1.0, 3.0, 5.0];
+        let m = reg.fit(&x, &y).unwrap();
+        assert_eq!(m.width(), 1);
+        let pred = m.predict(&x).unwrap();
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let reg = LinearRegression::new();
+        assert!(matches!(
+            reg.fit(&Matrix::zeros(0, 3), &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert!(matches!(
+            reg.fit(&x, &[1.0, f64::NAN]),
+            Err(MlError::NonFiniteData)
+        ));
+    }
+
+    #[test]
+    fn collinear_design_still_fits() {
+        // Two identical columns: QR reports rank deficiency, the ridge
+        // fallback still produces a small-residual fit.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0], &[4.0, 4.0]]);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let model = LinearModel::fit(&x, &y).unwrap();
+        for i in 0..4 {
+            assert!((model.predict_row(x.row(i)) - y[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constant_model() {
+        let m = LinearModel::constant(42.0, 5);
+        assert_eq!(m.width(), 5);
+        assert_eq!(m.predict_row(&[1.0, 2.0, 3.0, 4.0, 5.0]), 42.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn interpolates_noiseless_planes(
+            b0 in -10.0_f64..10.0,
+            b1 in -10.0_f64..10.0,
+            b2 in -10.0_f64..10.0,
+        ) {
+            let mut x = Matrix::zeros(12, 2);
+            let mut y = Vec::new();
+            for i in 0..12 {
+                let a = (i as f64 * 1.1).sin() * 5.0;
+                let b = (i as f64 * 0.7).cos() * 5.0;
+                x.row_mut(i).copy_from_slice(&[a, b]);
+                y.push(b0 + b1 * a + b2 * b);
+            }
+            let model = LinearModel::fit(&x, &y).unwrap();
+            for i in 0..12 {
+                prop_assert!((model.predict_row(x.row(i)) - y[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Validation metrics (§III-D of the paper).
+//!
+//! For each model F2PM reports: Mean Absolute Error (Eq. 5), Relative
+//! Absolute Error (Eq. 6/7), Maximum Absolute Error, and the Soft-Mean
+//! Absolute Error — the MAE variant that zeroes errors below a tolerance
+//! threshold `T`, motivating proactive rejuvenation triggered `T` seconds
+//! ahead of the predicted failure.
+
+/// The S-MAE tolerance threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SMaeThreshold {
+    /// Absolute tolerance in seconds: errors below `T` count as zero.
+    Absolute(f64),
+    /// Relative tolerance: errors below `frac × |actual RTTF|` count as
+    /// zero. The paper's Table II caption ("10 % threshold") is read this
+    /// way — a prediction within 10 % of the true remaining time is good
+    /// enough to schedule a rejuvenation.
+    Relative(f64),
+}
+
+impl SMaeThreshold {
+    /// The paper's Table II setting.
+    pub fn paper_default() -> Self {
+        SMaeThreshold::Relative(0.10)
+    }
+
+    fn tolerance(&self, actual: f64) -> f64 {
+        match self {
+            SMaeThreshold::Absolute(t) => *t,
+            SMaeThreshold::Relative(f) => f * actual.abs(),
+        }
+    }
+}
+
+/// The paper's §III-D metric set for one model on one validation set.
+///
+/// ```
+/// use f2pm_ml::{Metrics, SMaeThreshold};
+///
+/// let predicted = [105.0, 190.0, 330.0];
+/// let actual    = [100.0, 200.0, 300.0];
+/// let m = Metrics::compute(&predicted, &actual, SMaeThreshold::Relative(0.10));
+/// assert_eq!(m.max_ae, 30.0);
+/// // errors of 5 % and 5 % are inside the 10 % tolerance; only the 30 s
+/// // error on the last sample counts toward the soft MAE.
+/// assert!((m.smae - 10.0).abs() < 1e-12);
+/// assert!(m.smae <= m.mae);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Mean Absolute Error (s), Eq. 5.
+    pub mae: f64,
+    /// Relative Absolute Error vs the mean predictor, Eq. 6.
+    pub rae: f64,
+    /// Maximum absolute error (s).
+    pub max_ae: f64,
+    /// Soft-MAE (s) under the chosen threshold.
+    pub smae: f64,
+    /// Validation-set size.
+    pub n: usize,
+}
+
+impl Metrics {
+    /// Compute all metrics from predictions vs observations.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or empty input.
+    pub fn compute(predicted: &[f64], actual: &[f64], smae: SMaeThreshold) -> Metrics {
+        assert_eq!(predicted.len(), actual.len(), "prediction/actual mismatch");
+        assert!(!predicted.is_empty(), "empty validation set");
+        let n = predicted.len();
+
+        let mut abs_sum = 0.0;
+        let mut max_ae = 0.0_f64;
+        let mut soft_sum = 0.0;
+        for (&f, &y) in predicted.iter().zip(actual) {
+            let e = (f - y).abs();
+            abs_sum += e;
+            max_ae = max_ae.max(e);
+            if e >= smae.tolerance(y) {
+                soft_sum += e;
+            }
+        }
+        let mae = abs_sum / n as f64;
+        let smae_v = soft_sum / n as f64;
+
+        // Eq. 7: the simple predictor is the mean of |y|; Eq. 6 normalizes
+        // total absolute error by the simple predictor's.
+        let y_bar = actual.iter().map(|y| y.abs()).sum::<f64>() / n as f64;
+        let denom: f64 = actual.iter().map(|y| (y_bar - y).abs()).sum();
+        let rae = if denom > 0.0 {
+            abs_sum / denom
+        } else if abs_sum == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+
+        Metrics {
+            mae,
+            rae,
+            max_ae,
+            smae: smae_v,
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction_is_all_zero() {
+        let y = [10.0, 20.0, 30.0];
+        let m = Metrics::compute(&y, &y, SMaeThreshold::Absolute(0.0));
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.max_ae, 0.0);
+        assert_eq!(m.smae, 0.0);
+        assert_eq!(m.rae, 0.0);
+        assert_eq!(m.n, 3);
+    }
+
+    #[test]
+    fn mae_and_max_known_values() {
+        let f = [12.0, 18.0, 35.0];
+        let y = [10.0, 20.0, 30.0];
+        let m = Metrics::compute(&f, &y, SMaeThreshold::Absolute(0.0));
+        assert!((m.mae - 3.0).abs() < 1e-12); // (2+2+5)/3
+        assert_eq!(m.max_ae, 5.0);
+    }
+
+    #[test]
+    fn smae_absolute_threshold_forgives_small_errors() {
+        let f = [12.0, 18.0, 35.0];
+        let y = [10.0, 20.0, 30.0];
+        // Errors 2, 2, 5; threshold 3 forgives the first two.
+        let m = Metrics::compute(&f, &y, SMaeThreshold::Absolute(3.0));
+        assert!((m.smae - 5.0 / 3.0).abs() < 1e-12);
+        // MAE unaffected.
+        assert!((m.mae - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smae_relative_threshold() {
+        let f = [105.0, 120.0];
+        let y = [100.0, 100.0];
+        // Errors 5 (5 % → forgiven at 10 %), 20 (20 % → kept).
+        let m = Metrics::compute(&f, &y, SMaeThreshold::paper_default());
+        assert!((m.smae - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rae_of_mean_predictor_is_one() {
+        let y = [10.0, 20.0, 30.0, 40.0];
+        let mean = 25.0;
+        let f = [mean; 4];
+        let m = Metrics::compute(&f, &y, SMaeThreshold::Absolute(0.0));
+        assert!((m.rae - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rae_degenerate_constant_target() {
+        let y = [5.0, 5.0];
+        let perfect = Metrics::compute(&[5.0, 5.0], &y, SMaeThreshold::Absolute(0.0));
+        assert_eq!(perfect.rae, 0.0);
+        let wrong = Metrics::compute(&[6.0, 6.0], &y, SMaeThreshold::Absolute(0.0));
+        assert_eq!(wrong.rae, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty validation set")]
+    fn empty_input_panics() {
+        Metrics::compute(&[], &[], SMaeThreshold::Absolute(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn smae_never_exceeds_mae(
+            pairs in proptest::collection::vec((0.0_f64..1000.0, 0.0_f64..1000.0), 1..50),
+            thr in 0.0_f64..100.0,
+        ) {
+            let (f, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let m = Metrics::compute(&f, &y, SMaeThreshold::Absolute(thr));
+            prop_assert!(m.smae <= m.mae + 1e-12);
+            prop_assert!(m.max_ae + 1e-12 >= m.mae);
+        }
+
+        #[test]
+        fn larger_threshold_never_raises_smae(
+            pairs in proptest::collection::vec((0.0_f64..1000.0, 0.0_f64..1000.0), 1..50),
+        ) {
+            let (f, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let a = Metrics::compute(&f, &y, SMaeThreshold::Absolute(10.0)).smae;
+            let b = Metrics::compute(&f, &y, SMaeThreshold::Absolute(50.0)).smae;
+            prop_assert!(b <= a + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The object-safe `Regressor` / `Model` interface.
+
+use crate::MlError;
+use f2pm_linalg::Matrix;
+
+/// A fitted prediction model: maps a feature row to a predicted RTTF.
+pub trait Model: Send + Sync {
+    /// Feature width the model expects.
+    fn width(&self) -> usize;
+
+    /// Predict one row. Implementations may assume `row.len() == width()`;
+    /// use [`Model::predict_checked`] for validated access.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predict one row with width validation.
+    fn predict_checked(&self, row: &[f64]) -> Result<f64, MlError> {
+        if row.len() != self.width() {
+            return Err(MlError::WidthMismatch {
+                expected: self.width(),
+                got: row.len(),
+            });
+        }
+        Ok(self.predict_row(row))
+    }
+
+    /// Predict every row of a matrix.
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if x.cols() != self.width() {
+            return Err(MlError::WidthMismatch {
+                expected: self.width(),
+                got: x.cols(),
+            });
+        }
+        Ok((0..x.rows()).map(|i| self.predict_row(x.row(i))).collect())
+    }
+}
+
+/// A learning method: fits a [`Model`] from a design matrix and target.
+///
+/// ```
+/// use f2pm_linalg::Matrix;
+/// use f2pm_ml::{LinearRegression, Regressor};
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+/// let y = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+/// let model = LinearRegression::new().fit(&x, &y).unwrap();
+/// assert!((model.predict_row(&[10.0]) - 21.0).abs() < 1e-9);
+/// ```
+pub trait Regressor: Send + Sync {
+    /// Stable method name, used in reports (e.g. `"rep_tree"`).
+    fn name(&self) -> String;
+
+    /// Fit a model.
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<Box<dyn Model>, MlError>;
+}
+
+/// Validate common preconditions shared by every `fit` implementation.
+pub(crate) fn check_training_data(x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+    if x.rows() == 0 || x.cols() == 0 || y.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.rows() != y.len() {
+        return Err(MlError::WidthMismatch {
+            expected: x.rows(),
+            got: y.len(),
+        });
+    }
+    if !x.is_finite() || y.iter().any(|v| !v.is_finite()) {
+        return Err(MlError::NonFiniteData);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstModel(f64, usize);
+    impl Model for ConstModel {
+        fn width(&self) -> usize {
+            self.1
+        }
+        fn predict_row(&self, _row: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn predict_checked_validates_width() {
+        let m = ConstModel(5.0, 3);
+        assert_eq!(m.predict_checked(&[0.0, 0.0, 0.0]).unwrap(), 5.0);
+        assert!(matches!(
+            m.predict_checked(&[0.0]),
+            Err(MlError::WidthMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn predict_matrix_maps_rows() {
+        let m = ConstModel(2.0, 2);
+        let x = Matrix::zeros(4, 2);
+        assert_eq!(m.predict(&x).unwrap(), vec![2.0; 4]);
+        assert!(m.predict(&Matrix::zeros(4, 3)).is_err());
+    }
+
+    #[test]
+    fn training_data_checks() {
+        let ok = Matrix::zeros(3, 2);
+        assert!(check_training_data(&ok, &[1.0, 2.0, 3.0]).is_ok());
+        assert!(matches!(
+            check_training_data(&Matrix::zeros(0, 2), &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        assert!(check_training_data(&ok, &[1.0]).is_err());
+        assert!(matches!(
+            check_training_data(&ok, &[1.0, f64::NAN, 3.0]),
+            Err(MlError::NonFiniteData)
+        ));
+        let mut bad = Matrix::zeros(2, 2);
+        bad[(0, 0)] = f64::INFINITY;
+        assert!(matches!(
+            check_training_data(&bad, &[1.0, 2.0]),
+            Err(MlError::NonFiniteData)
+        ));
+    }
+}

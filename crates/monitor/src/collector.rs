@@ -1,0 +1,456 @@
+//! Feature collectors.
+//!
+//! A [`Collector`] produces the next [`Datapoint`] each time it is polled.
+//! Two implementations ship with the crate:
+//!
+//! - [`SimCollector`] drives an `f2pm-sim` [`Simulation`] forward by one
+//!   (load-skewed) sampling interval per poll — the in-silico equivalent of
+//!   the paper's FMC sampling a guest every ~1.5 s;
+//! - [`ProcCollector`] reads the local Linux `/proc` filesystem, making the
+//!   framework usable against a *real* machine with zero instrumentation,
+//!   exactly as the paper advertises.
+
+use crate::datapoint::{Datapoint, FeatureId};
+use f2pm_sim::{SimRng, Simulation};
+use std::fs;
+use std::io;
+
+/// Anything that can produce the next datapoint.
+pub trait Collector {
+    /// Collect one datapoint. `None` means the source is exhausted (e.g.
+    /// the simulated guest crashed).
+    fn collect(&mut self) -> Option<Datapoint>;
+}
+
+/// Configuration of the simulated sampling clock.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCollectorConfig {
+    /// Nominal sampling interval (s); the paper's FMC waits ≈ 1.5 s.
+    pub nominal_interval: f64,
+    /// How strongly guest overload stretches the interval.
+    pub overload_skew: f64,
+    /// Gaussian jitter standard deviation (s).
+    pub jitter_std: f64,
+}
+
+impl Default for SimCollectorConfig {
+    fn default() -> Self {
+        SimCollectorConfig {
+            nominal_interval: 1.5,
+            overload_skew: 0.35,
+            jitter_std: 0.05,
+        }
+    }
+}
+
+/// Samples a live [`Simulation`].
+pub struct SimCollector {
+    sim: Simulation,
+    cfg: SimCollectorConfig,
+    jitter: SimRng,
+    next_t: f64,
+}
+
+impl SimCollector {
+    /// Wrap a simulation. `seed` feeds only the sampling-jitter stream.
+    pub fn new(sim: Simulation, cfg: SimCollectorConfig, seed: u64) -> Self {
+        let next_t = sim.now() + cfg.nominal_interval;
+        SimCollector {
+            sim,
+            cfg,
+            jitter: SimRng::new(seed),
+            next_t,
+        }
+    }
+
+    /// Immutable access to the wrapped simulation.
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access (e.g. to drain response records for Fig. 3).
+    pub fn simulation_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Consume the collector, returning the simulation.
+    pub fn into_simulation(self) -> Simulation {
+        self.sim
+    }
+}
+
+impl Collector for SimCollector {
+    fn collect(&mut self) -> Option<Datapoint> {
+        if !self.sim.advance_until(self.next_t) {
+            return None; // guest crashed before the sampling instant
+        }
+        let snap = self.sim.snapshot();
+        let d = Datapoint::from(&snap);
+        let skew = 1.0 + self.cfg.overload_skew * self.sim.overload_factor();
+        let jitter = self.jitter.gaussian(0.0, self.cfg.jitter_std);
+        let interval = (self.cfg.nominal_interval * skew + jitter)
+            .max(self.cfg.nominal_interval * 0.25);
+        self.next_t = self.sim.now() + interval;
+        Some(d)
+    }
+}
+
+/// Reads the 14 features from the local Linux `/proc` filesystem.
+///
+/// CPU percentages need two readings of `/proc/stat`; the first `collect`
+/// call therefore primes the counters and reports all-zero CPU fields.
+pub struct ProcCollector {
+    /// Monotonic start instant (defines `Tgen = now - start`).
+    start: std::time::Instant,
+    /// Last raw jiffy counters from `/proc/stat`.
+    last_jiffies: Option<[u64; 8]>,
+    /// Root of the proc filesystem (overridable for tests).
+    proc_root: std::path::PathBuf,
+}
+
+impl ProcCollector {
+    /// Collector over the real `/proc`.
+    pub fn new() -> Self {
+        Self::with_root("/proc")
+    }
+
+    /// Collector over an alternative proc root (testing).
+    pub fn with_root(root: impl Into<std::path::PathBuf>) -> Self {
+        ProcCollector {
+            start: std::time::Instant::now(),
+            last_jiffies: None,
+            proc_root: root.into(),
+        }
+    }
+
+    fn read(&self, file: &str) -> io::Result<String> {
+        fs::read_to_string(self.proc_root.join(file))
+    }
+
+    /// Parse `/proc/meminfo` (values stay in kB — the datapoint unit).
+    fn meminfo(&self) -> io::Result<[f64; 7]> {
+        let text = self.read("meminfo")?;
+        let mut total = 0.0;
+        let mut free = 0.0;
+        let mut buffers = 0.0;
+        let mut cached = 0.0;
+        let mut shmem = 0.0;
+        let mut swap_total = 0.0;
+        let mut swap_free = 0.0;
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let key = it.next().unwrap_or("");
+            let val: f64 = it.next().unwrap_or("0").parse().unwrap_or(0.0);
+            match key {
+                "MemTotal:" => total = val,
+                "MemFree:" => free = val,
+                "Buffers:" => buffers = val,
+                "Cached:" => cached = val,
+                "Shmem:" => shmem = val,
+                "SwapTotal:" => swap_total = val,
+                "SwapFree:" => swap_free = val,
+                _ => {}
+            }
+        }
+        let used = (total - free - buffers - cached).max(0.0);
+        Ok([
+            used,
+            free,
+            shmem,
+            buffers,
+            cached,
+            (swap_total - swap_free).max(0.0),
+            swap_free,
+        ])
+    }
+
+    /// Parse the aggregate `cpu` line of `/proc/stat` into 8 jiffy counters
+    /// (user, nice, system, idle, iowait, irq, softirq, steal).
+    fn stat_jiffies(&self) -> io::Result<[u64; 8]> {
+        let text = self.read("stat")?;
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("cpu "))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no cpu line"))?;
+        let mut out = [0u64; 8];
+        for (slot, tok) in out.iter_mut().zip(line.split_whitespace().skip(1)) {
+            *slot = tok.parse().unwrap_or(0);
+        }
+        Ok(out)
+    }
+
+    /// Thread count from `/proc/loadavg` field 4 (`running/total`).
+    fn thread_count(&self) -> io::Result<f64> {
+        let text = self.read("loadavg")?;
+        let field = text.split_whitespace().nth(3).unwrap_or("0/0");
+        let total = field.split('/').nth(1).unwrap_or("0");
+        Ok(total.parse().unwrap_or(0.0))
+    }
+
+    /// Collect, returning an error instead of `Option` for callers that
+    /// want the cause.
+    pub fn try_collect(&mut self) -> io::Result<Datapoint> {
+        let mem = self.meminfo()?;
+        let nth = self.thread_count()?;
+        let jif = self.stat_jiffies()?;
+
+        let mut d = Datapoint {
+            t_gen: self.start.elapsed().as_secs_f64(),
+            values: [0.0; 14],
+        };
+        d.set(FeatureId::NThreads, nth);
+        d.set(FeatureId::MemUsed, mem[0]);
+        d.set(FeatureId::MemFree, mem[1]);
+        d.set(FeatureId::MemShared, mem[2]);
+        d.set(FeatureId::MemBuffers, mem[3]);
+        d.set(FeatureId::MemCached, mem[4]);
+        d.set(FeatureId::SwapUsed, mem[5]);
+        d.set(FeatureId::SwapFree, mem[6]);
+
+        if let Some(prev) = self.last_jiffies {
+            let delta: Vec<f64> = jif
+                .iter()
+                .zip(&prev)
+                .map(|(a, b)| a.saturating_sub(*b) as f64)
+                .collect();
+            let total: f64 = delta.iter().sum();
+            if total > 0.0 {
+                let pct = |i: usize| delta[i] / total * 100.0;
+                d.set(FeatureId::CpuUser, pct(0));
+                d.set(FeatureId::CpuNice, pct(1));
+                // Fold irq+softirq into system, as `top` effectively does.
+                d.set(FeatureId::CpuSystem, pct(2) + pct(5) + pct(6));
+                d.set(FeatureId::CpuIdle, pct(3));
+                d.set(FeatureId::CpuIowait, pct(4));
+                d.set(FeatureId::CpuSteal, pct(7));
+            }
+        }
+        self.last_jiffies = Some(jif);
+        Ok(d)
+    }
+}
+
+impl Default for ProcCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector for ProcCollector {
+    fn collect(&mut self) -> Option<Datapoint> {
+        self.try_collect().ok()
+    }
+}
+
+/// Replays a recorded [`crate::DataHistory`] run as a live datapoint
+/// stream — for feeding an online predictor (or any other consumer) from
+/// archived data instead of a live guest. Yields the datapoints of every
+/// run in order and ends at the history's end.
+pub struct ReplayCollector {
+    datapoints: std::vec::IntoIter<Datapoint>,
+}
+
+impl ReplayCollector {
+    /// Replay every datapoint of a history (fail events are skipped — the
+    /// consumer learns about failure by the stream ending).
+    pub fn new(history: &crate::DataHistory) -> Self {
+        let datapoints: Vec<Datapoint> = history
+            .runs()
+            .into_iter()
+            .flat_map(|r| r.datapoints)
+            .collect();
+        ReplayCollector {
+            datapoints: datapoints.into_iter(),
+        }
+    }
+
+    /// Replay a single run's datapoints.
+    pub fn for_run(run: &crate::RunData) -> Self {
+        ReplayCollector {
+            datapoints: run.datapoints.clone().into_iter(),
+        }
+    }
+
+    /// Datapoints remaining.
+    pub fn remaining(&self) -> usize {
+        self.datapoints.len()
+    }
+}
+
+impl Collector for ReplayCollector {
+    fn collect(&mut self) -> Option<Datapoint> {
+        self.datapoints.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_sim::{AnomalyConfig, SimConfig};
+
+    fn fast_sim(seed: u64) -> Simulation {
+        Simulation::new(
+            SimConfig {
+                anomaly: AnomalyConfig {
+                    leak_size_mib: (6.0, 10.0),
+                    leak_prob_per_home: (0.8, 0.9),
+                    ..AnomalyConfig::default()
+                },
+                ..SimConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn sim_collector_produces_monotone_timestamps() {
+        let mut c = SimCollector::new(fast_sim(1), SimCollectorConfig::default(), 1);
+        let mut last = -1.0;
+        for _ in 0..50 {
+            let d = c.collect().expect("guest alive early");
+            assert!(d.t_gen > last);
+            assert!(d.is_finite());
+            last = d.t_gen;
+        }
+    }
+
+    #[test]
+    fn sim_collector_ends_at_failure() {
+        let mut c = SimCollector::new(fast_sim(2), SimCollectorConfig::default(), 2);
+        let mut n = 0;
+        while c.collect().is_some() {
+            n += 1;
+            assert!(n < 1_000_000, "collector never terminated");
+        }
+        assert!(n > 50, "crashed too early: {n} datapoints");
+        assert!(c.simulation().failed_at().is_some());
+    }
+
+    #[test]
+    fn sim_collector_interval_stretches_under_load() {
+        let mut c = SimCollector::new(fast_sim(3), SimCollectorConfig::default(), 3);
+        let mut times = Vec::new();
+        while let Some(d) = c.collect() {
+            times.push(d.t_gen);
+        }
+        let n = times.len();
+        assert!(n > 100);
+        let q = n / 4;
+        let early = (times[q] - times[0]) / q as f64;
+        let late = (times[n - 1] - times[n - 1 - q]) / q as f64;
+        assert!(late > early, "early {early:.3} late {late:.3}");
+    }
+
+    #[test]
+    fn proc_collector_reads_real_proc() {
+        // We are on Linux in CI; /proc exists.
+        let mut c = ProcCollector::new();
+        let first = c.try_collect().expect("collect from /proc");
+        assert!(first.is_finite());
+        assert!(first.get(FeatureId::MemFree) > 0.0);
+        assert!(first.get(FeatureId::NThreads) > 0.0);
+        // CPU percentages are zero on the priming read.
+        assert_eq!(first.get(FeatureId::CpuUser), 0.0);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let second = c.try_collect().expect("second collect");
+        let cpu_total = second.get(FeatureId::CpuUser)
+            + second.get(FeatureId::CpuNice)
+            + second.get(FeatureId::CpuSystem)
+            + second.get(FeatureId::CpuIowait)
+            + second.get(FeatureId::CpuSteal)
+            + second.get(FeatureId::CpuIdle);
+        assert!(
+            (cpu_total - 100.0).abs() < 5.0 || cpu_total == 0.0,
+            "cpu total {cpu_total}"
+        );
+        assert!(second.t_gen > first.t_gen);
+    }
+
+    #[test]
+    fn proc_collector_with_synthetic_root() {
+        let dir = std::env::temp_dir().join(format!("f2pm_proc_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("meminfo"),
+            "MemTotal: 2097152 kB\nMemFree: 1048576 kB\nBuffers: 10240 kB\n\
+             Cached: 204800 kB\nShmem: 8192 kB\nSwapTotal: 1048576 kB\nSwapFree: 524288 kB\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("stat"),
+            "cpu  100 10 50 800 40 0 0 5\ncpu0 50 5 25 400 20 0 0 2\n",
+        )
+        .unwrap();
+        fs::write(dir.join("loadavg"), "0.5 0.4 0.3 2/345 9999\n").unwrap();
+
+        let mut c = ProcCollector::with_root(&dir);
+        let d1 = c.try_collect().unwrap();
+        assert_eq!(d1.get(FeatureId::NThreads), 345.0);
+        // Values are kept in kB, the datapoint unit.
+        assert!((d1.get(FeatureId::MemFree) - 1048576.0).abs() < 1.0);
+        assert!((d1.get(FeatureId::SwapUsed) - 524288.0).abs() < 1.0);
+        assert!((d1.get(FeatureId::MemCached) - 204800.0).abs() < 1.0);
+        // used = total - free - buffers - cached (kB).
+        assert!(
+            (d1.get(FeatureId::MemUsed) - (2097152.0 - 1048576.0 - 10240.0 - 204800.0)).abs()
+                < 1.0
+        );
+
+        // Second read with advanced jiffies → percentages.
+        fs::write(
+            dir.join("stat"),
+            "cpu  200 10 100 900 80 0 0 10\n",
+        )
+        .unwrap();
+        let d2 = c.try_collect().unwrap();
+        // Deltas: user 100, nice 0, sys 50, idle 100, iow 40, steal 5 → total 295.
+        assert!((d2.get(FeatureId::CpuUser) - 100.0 / 295.0 * 100.0).abs() < 0.1);
+        assert!((d2.get(FeatureId::CpuIowait) - 40.0 / 295.0 * 100.0).abs() < 0.1);
+        assert!((d2.get(FeatureId::CpuSteal) - 5.0 / 295.0 * 100.0).abs() < 0.1);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_collector_streams_history_in_order() {
+        use crate::history::DataHistory;
+        let mut h = DataHistory::new();
+        for i in 0..10 {
+            h.push_datapoint(Datapoint {
+                t_gen: i as f64,
+                values: [i as f64; 14],
+            });
+        }
+        h.push_fail(12.0);
+        for i in 0..5 {
+            h.push_datapoint(Datapoint {
+                t_gen: i as f64,
+                values: [100.0 + i as f64; 14],
+            });
+        }
+        let mut replay = ReplayCollector::new(&h);
+        assert_eq!(replay.remaining(), 15);
+        let mut got = Vec::new();
+        while let Some(d) = replay.collect() {
+            got.push(d.values[0]);
+        }
+        assert_eq!(got.len(), 15);
+        assert_eq!(got[0], 0.0);
+        assert_eq!(got[9], 9.0);
+        assert_eq!(got[10], 100.0);
+        assert!(replay.collect().is_none(), "exhausted");
+
+        // Single-run replay.
+        let runs = h.runs();
+        let mut one = ReplayCollector::for_run(&runs[1]);
+        assert_eq!(one.remaining(), 5);
+        assert_eq!(one.collect().unwrap().values[0], 100.0);
+    }
+
+    #[test]
+    fn proc_collector_missing_root_errors() {
+        let mut c = ProcCollector::with_root("/nonexistent_f2pm_path");
+        assert!(c.try_collect().is_err());
+        assert!(c.collect().is_none());
+    }
+}

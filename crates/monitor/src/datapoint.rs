@@ -1,0 +1,229 @@
+//! Datapoints and feature identifiers (§III-A of the paper).
+
+use f2pm_sim::SystemSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// The 14 monitored system features, in canonical order.
+///
+/// Names follow the paper's Table I nomenclature (`mem_used`,
+/// `swap_free`, ...). `Tgen` is *not* a feature — it is the datapoint
+/// timestamp, from which the aggregation phase derives the
+/// inter-generation-time metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureId {
+    /// `nth`: active threads in the system.
+    NThreads,
+    /// `Mused`: memory used by applications (MiB).
+    MemUsed,
+    /// `Mfree`: free memory (MiB).
+    MemFree,
+    /// `Mshared`: shared-buffer memory (MiB).
+    MemShared,
+    /// `Mbuff`: OS buffer memory (MiB).
+    MemBuffers,
+    /// `Mcached`: disk-cache memory (MiB).
+    MemCached,
+    /// `SWused`: used swap (MiB).
+    SwapUsed,
+    /// `SWfree`: free swap (MiB).
+    SwapFree,
+    /// `CPUus`: userspace CPU %.
+    CpuUser,
+    /// `CPUni`: positive-nice CPU %.
+    CpuNice,
+    /// `CPUsys`: kernel CPU %.
+    CpuSystem,
+    /// `CPUiow`: I/O-wait CPU %.
+    CpuIowait,
+    /// `CPUst`: hypervisor-steal CPU %.
+    CpuSteal,
+    /// `CPUid`: idle CPU %.
+    CpuIdle,
+}
+
+/// All features in canonical order.
+pub const FEATURES: [FeatureId; 14] = [
+    FeatureId::NThreads,
+    FeatureId::MemUsed,
+    FeatureId::MemFree,
+    FeatureId::MemShared,
+    FeatureId::MemBuffers,
+    FeatureId::MemCached,
+    FeatureId::SwapUsed,
+    FeatureId::SwapFree,
+    FeatureId::CpuUser,
+    FeatureId::CpuNice,
+    FeatureId::CpuSystem,
+    FeatureId::CpuIowait,
+    FeatureId::CpuSteal,
+    FeatureId::CpuIdle,
+];
+
+impl FeatureId {
+    /// Index in [`FEATURES`] / in [`Datapoint::values`].
+    pub fn index(self) -> usize {
+        FEATURES.iter().position(|&f| f == self).expect("in table")
+    }
+
+    /// Table-I-style snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureId::NThreads => "n_threads",
+            FeatureId::MemUsed => "mem_used",
+            FeatureId::MemFree => "mem_free",
+            FeatureId::MemShared => "mem_shared",
+            FeatureId::MemBuffers => "mem_buffers",
+            FeatureId::MemCached => "mem_cached",
+            FeatureId::SwapUsed => "swap_used",
+            FeatureId::SwapFree => "swap_free",
+            FeatureId::CpuUser => "cpu_user",
+            FeatureId::CpuNice => "cpu_nice",
+            FeatureId::CpuSystem => "cpu_system",
+            FeatureId::CpuIowait => "cpu_iowait",
+            FeatureId::CpuSteal => "cpu_steal",
+            FeatureId::CpuIdle => "cpu_idle",
+        }
+    }
+
+    /// Look a feature up by its snake_case name.
+    pub fn from_name(name: &str) -> Option<FeatureId> {
+        FEATURES.iter().copied().find(|f| f.name() == name)
+    }
+}
+
+/// One raw monitoring datapoint: `Tgen` plus the 14 feature values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Datapoint {
+    /// `Tgen`: elapsed time since system (re)start, seconds.
+    pub t_gen: f64,
+    /// Feature values in [`FEATURES`] order.
+    pub values: [f64; 14],
+}
+
+impl Datapoint {
+    /// Value of one feature.
+    pub fn get(&self, f: FeatureId) -> f64 {
+        self.values[f.index()]
+    }
+
+    /// Set one feature value.
+    pub fn set(&mut self, f: FeatureId, v: f64) {
+        self.values[f.index()] = v;
+    }
+
+    /// Whether timestamp and all values are finite.
+    pub fn is_finite(&self) -> bool {
+        self.t_gen.is_finite() && self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Memory features are reported in **kB**, like the paper's `free`-based
+/// tooling (the simulator models memory in MiB internally).
+pub const KIB_PER_MIB: f64 = 1024.0;
+
+impl From<&SystemSnapshot> for Datapoint {
+    fn from(s: &SystemSnapshot) -> Self {
+        Datapoint {
+            t_gen: s.t,
+            values: [
+                s.n_threads,
+                s.mem_used * KIB_PER_MIB,
+                s.mem_free * KIB_PER_MIB,
+                s.mem_shared * KIB_PER_MIB,
+                s.mem_buffers * KIB_PER_MIB,
+                s.mem_cached * KIB_PER_MIB,
+                s.swap_used * KIB_PER_MIB,
+                s.swap_free * KIB_PER_MIB,
+                s.cpu_user,
+                s.cpu_nice,
+                s.cpu_system,
+                s.cpu_iowait,
+                s.cpu_steal,
+                s.cpu_idle,
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_unique_features() {
+        assert_eq!(FEATURES.len(), 14);
+        let mut names: Vec<&str> = FEATURES.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &f) in FEATURES.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for f in FEATURES {
+            assert_eq!(FeatureId::from_name(f.name()), Some(f));
+        }
+        assert_eq!(FeatureId::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn get_set() {
+        let mut d = Datapoint {
+            t_gen: 1.0,
+            values: [0.0; 14],
+        };
+        d.set(FeatureId::SwapUsed, 512.0);
+        assert_eq!(d.get(FeatureId::SwapUsed), 512.0);
+        assert_eq!(d.values[6], 512.0);
+    }
+
+    #[test]
+    fn from_snapshot_preserves_every_field() {
+        let s = SystemSnapshot {
+            t: 10.0,
+            n_threads: 140.0,
+            mem_used: 1.0,
+            mem_free: 2.0,
+            mem_shared: 3.0,
+            mem_buffers: 4.0,
+            mem_cached: 5.0,
+            swap_used: 6.0,
+            swap_free: 7.0,
+            cpu_user: 8.0,
+            cpu_nice: 9.0,
+            cpu_system: 10.0,
+            cpu_iowait: 11.0,
+            cpu_steal: 12.0,
+            cpu_idle: 13.0,
+        };
+        let d = Datapoint::from(&s);
+        assert_eq!(d.t_gen, 10.0);
+        assert_eq!(d.get(FeatureId::NThreads), 140.0);
+        // Memory features convert MiB → kB; thread and CPU features do not.
+        assert_eq!(d.get(FeatureId::MemUsed), 1024.0);
+        assert_eq!(d.get(FeatureId::MemCached), 5.0 * 1024.0);
+        assert_eq!(d.get(FeatureId::SwapFree), 7.0 * 1024.0);
+        assert_eq!(d.get(FeatureId::CpuIdle), 13.0);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut d = Datapoint {
+            t_gen: 0.0,
+            values: [1.0; 14],
+        };
+        assert!(d.is_finite());
+        d.set(FeatureId::CpuUser, f64::NAN);
+        assert!(!d.is_finite());
+        d.set(FeatureId::CpuUser, 1.0);
+        d.t_gen = f64::INFINITY;
+        assert!(!d.is_finite());
+    }
+}

@@ -1,0 +1,170 @@
+//! Feature Monitor Client (FMC).
+//!
+//! The paper's thin client: it periodically gathers feature measurements on
+//! the monitored machine and ships them to the FMS over TCP. This
+//! implementation wraps any [`Collector`] — the simulator-backed one for
+//! experiments or [`crate::ProcCollector`] for a real host — and streams
+//! until the source is exhausted.
+
+use crate::collector::Collector;
+use crate::datapoint::Datapoint;
+use crate::wire::{Message, PROTOCOL_VERSION};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// FMC configuration.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct FmcConfig {
+    /// Identifier reported in the handshake.
+    pub host_id: u32,
+    /// Wall-clock pause between samples (None = as fast as the collector
+    /// yields; the simulator-backed collector paces itself in virtual
+    /// time, so no real sleep is needed there).
+    pub pause: Option<std::time::Duration>,
+}
+
+
+/// A connected FMC.
+pub struct FeatureMonitorClient {
+    stream: TcpStream,
+    cfg: FmcConfig,
+    sent: u64,
+}
+
+impl FeatureMonitorClient {
+    /// Connect and perform the handshake.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: FmcConfig) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: cfg.host_id,
+        }
+        .write_to(&mut stream)?;
+        Ok(FeatureMonitorClient {
+            stream,
+            cfg,
+            sent: 0,
+        })
+    }
+
+    /// Datapoints sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Send one datapoint.
+    pub fn send_datapoint(&mut self, d: &Datapoint) -> io::Result<()> {
+        Message::Datapoint(*d).write_to(&mut self.stream)?;
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Send a fail event.
+    pub fn send_fail(&mut self, t: f64) -> io::Result<()> {
+        Message::Fail { t }.write_to(&mut self.stream)
+    }
+
+    /// Drain a collector to the server: stream datapoints until the source
+    /// is exhausted or `max_points` is hit. Returns the number of
+    /// datapoints sent by this call. The caller follows up with
+    /// [`FeatureMonitorClient::send_fail`] if the source died of the
+    /// failure condition.
+    pub fn stream_collector<C: Collector>(
+        &mut self,
+        collector: &mut C,
+        max_points: Option<u64>,
+    ) -> io::Result<u64> {
+        let mut n = 0u64;
+        while max_points.is_none_or(|m| n < m) {
+            match collector.collect() {
+                Some(d) => {
+                    self.send_datapoint(&d)?;
+                    n += 1;
+                    if let Some(p) = self.cfg.pause {
+                        std::thread::sleep(p);
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
+    /// Orderly close.
+    pub fn close(mut self) -> io::Result<()> {
+        Message::Bye.write_to(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{SimCollector, SimCollectorConfig};
+    use crate::fms::FeatureMonitorServer;
+    use f2pm_sim::{AnomalyConfig, SimConfig, Simulation};
+
+    fn fast_sim(seed: u64) -> Simulation {
+        Simulation::new(
+            SimConfig {
+                anomaly: AnomalyConfig {
+                    leak_size_mib: (6.0, 10.0),
+                    leak_prob_per_home: (0.8, 0.9),
+                    ..AnomalyConfig::default()
+                },
+                ..SimConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn end_to_end_sim_to_server() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let mut client =
+            FeatureMonitorClient::connect(server.addr(), FmcConfig::default()).unwrap();
+
+        let mut collector =
+            SimCollector::new(fast_sim(5), SimCollectorConfig::default(), 5);
+        let sent = client.stream_collector(&mut collector, None).unwrap();
+        let fail_t = collector.simulation().failed_at().expect("guest crashed");
+        client.send_fail(fail_t).unwrap();
+        client.close().unwrap();
+
+        assert!(sent > 50, "sent only {sent}");
+        for _ in 0..200 {
+            if server.datapoint_count() == sent {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let history = server.shutdown();
+        assert_eq!(history.datapoint_count() as u64, sent);
+        assert_eq!(history.fail_count(), 1);
+        let runs = history.runs();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].fail_time.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn max_points_respected() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let mut client =
+            FeatureMonitorClient::connect(server.addr(), FmcConfig::default()).unwrap();
+        let mut collector =
+            SimCollector::new(fast_sim(6), SimCollectorConfig::default(), 6);
+        let sent = client.stream_collector(&mut collector, Some(10)).unwrap();
+        assert_eq!(sent, 10);
+        assert_eq!(client.sent(), 10);
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_failure_is_an_error() {
+        // Port 1 on localhost is almost certainly closed.
+        let r = FeatureMonitorClient::connect("127.0.0.1:1", FmcConfig::default());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Feature Monitor Server (FMS).
+//!
+//! The paper's FMS receives datapoints from one or more thin FMC clients
+//! over TCP/IP and accumulates them into the data history used for model
+//! training. This implementation accepts any number of concurrent clients,
+//! each served by its own thread; the shared history sits behind a
+//! `parking_lot::Mutex` (cheap uncontended locking — see the workspace's
+//! HPC guides).
+
+use crate::history::DataHistory;
+use crate::wire::{Message, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared server state.
+struct Shared {
+    /// Combined history across every client (the paper's single training
+    /// corpus).
+    history: Mutex<DataHistory>,
+    /// Per-host histories keyed by the `Hello` handshake's host id — for
+    /// deployments monitoring several guests whose data should train
+    /// separate models.
+    by_host: Mutex<HashMap<u32, DataHistory>>,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    datapoints: AtomicU64,
+}
+
+/// Handle to a running server; dropping it does *not* stop the server —
+/// call [`FmsHandle::shutdown`].
+pub struct FmsHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// The Feature Monitor Server.
+pub struct FeatureMonitorServer;
+
+impl FeatureMonitorServer {
+    /// Bind and start accepting in a background thread. Use port 0 to let
+    /// the OS choose.
+    pub fn start(addr: impl ToSocketAddrs) -> io::Result<FmsHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            history: Mutex::new(DataHistory::new()),
+            by_host: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            datapoints: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("fms-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn fms accept thread");
+        Ok(FmsHandle {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let conn_shared = Arc::clone(&shared);
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name("fms-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, conn_shared);
+                    })
+                    .expect("spawn fms connection thread");
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    let mut host: Option<u32> = None;
+    while let Some(msg) = Message::read_from(&mut stream)? {
+        match msg {
+            Message::Hello { version, host_id } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("client protocol {version} != {PROTOCOL_VERSION}"),
+                    ));
+                }
+                host = Some(host_id);
+            }
+            Message::Datapoint(d) => {
+                shared.history.lock().push_datapoint(d);
+                if let Some(h) = host {
+                    shared.by_host.lock().entry(h).or_default().push_datapoint(d);
+                }
+                shared.datapoints.fetch_add(1, Ordering::Relaxed);
+            }
+            Message::Fail { t } => {
+                shared.history.lock().push_fail(t);
+                if let Some(h) = host {
+                    shared.by_host.lock().entry(h).or_default().push_fail(t);
+                }
+            }
+            Message::Bye => break,
+        }
+    }
+    Ok(())
+}
+
+impl FmsHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Datapoints received so far (all clients).
+    pub fn datapoint_count(&self) -> u64 {
+        self.shared.datapoints.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn connection_count(&self) -> u64 {
+        self.shared.connections.load(Ordering::SeqCst)
+    }
+
+    /// Clone the accumulated history.
+    pub fn history(&self) -> DataHistory {
+        self.shared.history.lock().clone()
+    }
+
+    /// Host ids that have completed a handshake and sent data.
+    pub fn hosts(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.shared.by_host.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clone one host's history (None if the host never sent anything).
+    pub fn history_for(&self, host: u32) -> Option<DataHistory> {
+        self.shared.by_host.lock().get(&host).cloned()
+    }
+
+    /// Stop accepting, unblock the accept loop, and join it. Connection
+    /// threads finish on their clients' Bye/EOF.
+    pub fn shutdown(mut self) -> DataHistory {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.history.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapoint::Datapoint;
+
+    fn dp(t: f64) -> Datapoint {
+        Datapoint {
+            t_gen: t,
+            values: [t; 14],
+        }
+    }
+
+    #[test]
+    fn receives_datapoints_and_fail_events() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: 42,
+        }
+        .write_to(&mut stream)
+        .unwrap();
+        for i in 0..5 {
+            Message::Datapoint(dp(i as f64)).write_to(&mut stream).unwrap();
+        }
+        Message::Fail { t: 10.0 }.write_to(&mut stream).unwrap();
+        Message::Bye.write_to(&mut stream).unwrap();
+        drop(stream);
+
+        // Wait for the server thread to drain the socket.
+        for _ in 0..100 {
+            if server.datapoint_count() == 5 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let history = server.shutdown();
+        assert_eq!(history.datapoint_count(), 5);
+        assert_eq!(history.fail_count(), 1);
+        let runs = history.runs();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].fail_time, Some(10.0));
+    }
+
+    #[test]
+    fn multiple_clients_interleave() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    Message::Hello {
+                        version: PROTOCOL_VERSION,
+                        host_id: k,
+                    }
+                    .write_to(&mut s)
+                    .unwrap();
+                    for i in 0..25 {
+                        Message::Datapoint(dp(i as f64)).write_to(&mut s).unwrap();
+                    }
+                    Message::Bye.write_to(&mut s).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for _ in 0..200 {
+            if server.datapoint_count() == 100 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.datapoint_count(), 100);
+        assert!(server.connection_count() >= 4);
+        let history = server.shutdown();
+        assert_eq!(history.datapoint_count(), 100);
+    }
+
+    #[test]
+    fn per_host_histories_are_segregated() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for host in [7u32, 9] {
+            let mut s = TcpStream::connect(addr).unwrap();
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                host_id: host,
+            }
+            .write_to(&mut s)
+            .unwrap();
+            for i in 0..(host as usize) {
+                Message::Datapoint(dp(i as f64)).write_to(&mut s).unwrap();
+            }
+            Message::Fail {
+                t: host as f64 * 10.0,
+            }
+            .write_to(&mut s)
+            .unwrap();
+            Message::Bye.write_to(&mut s).unwrap();
+        }
+        for _ in 0..200 {
+            if server.datapoint_count() == 16 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.hosts(), vec![7, 9]);
+        let h7 = server.history_for(7).expect("host 7 present");
+        let h9 = server.history_for(9).expect("host 9 present");
+        assert_eq!(h7.datapoint_count(), 7);
+        assert_eq!(h9.datapoint_count(), 9);
+        assert_eq!(h7.runs()[0].fail_time, Some(70.0));
+        assert_eq!(h9.runs()[0].fail_time, Some(90.0));
+        assert!(server.history_for(999).is_none());
+        // The combined history still sees everything.
+        let all = server.shutdown();
+        assert_eq!(all.datapoint_count(), 16);
+        assert_eq!(all.fail_count(), 2);
+    }
+
+    #[test]
+    fn wrong_protocol_version_drops_connection() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        Message::Hello {
+            version: 999,
+            host_id: 0,
+        }
+        .write_to(&mut s)
+        .unwrap();
+        Message::Datapoint(dp(1.0)).write_to(&mut s).unwrap();
+        drop(s);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // The datapoint after the bad hello must not land.
+        assert_eq!(server.datapoint_count(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_without_clients() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let history = server.shutdown();
+        assert_eq!(history.datapoint_count(), 0);
+    }
+}

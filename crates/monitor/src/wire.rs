@@ -1,0 +1,261 @@
+//! Binary wire format between FMC and FMS.
+//!
+//! Frames are length-prefixed: a `u32` big-endian payload length, then a
+//! one-byte message tag, then the payload. All floats are IEEE-754 f64
+//! big-endian. The format is deliberately tiny and hand-rolled (no serde
+//! format crate in the offline dependency set) and versioned through the
+//! `Hello` handshake.
+
+use crate::datapoint::Datapoint;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Maximum accepted frame payload (defensive bound).
+const MAX_FRAME: usize = 64 * 1024;
+
+/// Messages exchanged between FMC (client) and FMS (server).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client handshake: protocol version + arbitrary host identifier.
+    Hello {
+        /// Protocol version of the sender.
+        version: u16,
+        /// Opaque host identifier chosen by the client.
+        host_id: u32,
+    },
+    /// One monitoring datapoint.
+    Datapoint(Datapoint),
+    /// The monitored system met the failure condition at time `t`.
+    Fail {
+        /// Seconds since the monitored system's start.
+        t: f64,
+    },
+    /// Orderly goodbye.
+    Bye,
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Datapoint(_) => 2,
+            Message::Fail { .. } => 3,
+            Message::Bye => 4,
+        }
+    }
+
+    /// Encode into a fresh frame (length prefix included).
+    pub fn encode(&self) -> BytesMut {
+        let mut payload = BytesMut::with_capacity(8 + 15 * 8);
+        payload.put_u8(self.tag());
+        match self {
+            Message::Hello { version, host_id } => {
+                payload.put_u16(*version);
+                payload.put_u32(*host_id);
+            }
+            Message::Datapoint(d) => {
+                payload.put_f64(d.t_gen);
+                for v in d.values {
+                    payload.put_f64(v);
+                }
+            }
+            Message::Fail { t } => payload.put_f64(*t),
+            Message::Bye => {}
+        }
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32(payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode one message from a full payload (tag + body, no length
+    /// prefix).
+    pub fn decode(mut payload: &[u8]) -> io::Result<Message> {
+        if payload.is_empty() {
+            return Err(bad("empty payload"));
+        }
+        let tag = payload.get_u8();
+        match tag {
+            1 => {
+                if payload.remaining() < 6 {
+                    return Err(bad("short hello"));
+                }
+                Ok(Message::Hello {
+                    version: payload.get_u16(),
+                    host_id: payload.get_u32(),
+                })
+            }
+            2 => {
+                if payload.remaining() < 15 * 8 {
+                    return Err(bad("short datapoint"));
+                }
+                let t_gen = payload.get_f64();
+                let mut values = [0.0; 14];
+                for v in &mut values {
+                    *v = payload.get_f64();
+                }
+                Ok(Message::Datapoint(Datapoint { t_gen, values }))
+            }
+            3 => {
+                if payload.remaining() < 8 {
+                    return Err(bad("short fail"));
+                }
+                Ok(Message::Fail {
+                    t: payload.get_f64(),
+                })
+            }
+            4 => Ok(Message::Bye),
+            other => Err(bad(&format!("unknown tag {other}"))),
+        }
+    }
+
+    /// Write this message as one frame to a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let frame = self.encode();
+        w.write_all(&frame)
+    }
+
+    /// Read one framed message from a stream. `Ok(None)` on clean EOF at a
+    /// frame boundary.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
+        let mut len_buf = [0u8; 4];
+        if !read_exact_or_eof(r, &mut len_buf)? { return Ok(None) }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(bad(&format!("bad frame length {len}")));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Message::decode(&payload).map(Some)
+    }
+}
+
+/// Like `read_exact`, but returns `Ok(false)` if EOF hits before the first
+/// byte (clean connection close).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(bad("eof mid-frame")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapoint::FeatureId;
+
+    fn sample_dp() -> Datapoint {
+        let mut d = Datapoint {
+            t_gen: 123.456,
+            values: [0.0; 14],
+        };
+        for (i, f) in crate::datapoint::FEATURES.iter().enumerate() {
+            d.set(*f, i as f64 * 1.5 - 3.0);
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                host_id: 77,
+            },
+            Message::Datapoint(sample_dp()),
+            Message::Fail { t: 999.25 },
+            Message::Bye,
+        ];
+        for m in msgs {
+            let frame = m.encode();
+            let payload = &frame[4..];
+            let got = Message::decode(payload).unwrap();
+            assert_eq!(got, m);
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_multiple_messages() {
+        let mut buf: Vec<u8> = Vec::new();
+        let msgs = vec![
+            Message::Hello {
+                version: 1,
+                host_id: 1,
+            },
+            Message::Datapoint(sample_dp()),
+            Message::Datapoint(sample_dp()),
+            Message::Fail { t: 1.0 },
+            Message::Bye,
+        ];
+        for m in &msgs {
+            m.write_to(&mut buf).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for expect in &msgs {
+            let got = Message::read_from(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, expect);
+        }
+        assert!(Message::read_from(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn datapoint_values_survive_exactly() {
+        let d = sample_dp();
+        let frame = Message::Datapoint(d).encode();
+        match Message::decode(&frame[4..]).unwrap() {
+            Message::Datapoint(got) => {
+                assert_eq!(got.t_gen, 123.456);
+                assert_eq!(got.get(FeatureId::NThreads), -3.0);
+                assert_eq!(got.values, d.values);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_rejected() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[1, 0]).is_err()); // short hello
+        assert!(Message::decode(&[2, 0, 0]).is_err()); // short datapoint
+        assert!(Message::decode(&[3]).is_err()); // short fail
+        assert!(Message::decode(&[99]).is_err()); // unknown tag
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let frame = Message::Fail { t: 5.0 }.encode();
+        let cut = &frame[..frame.len() - 2];
+        let mut cursor = std::io::Cursor::new(cut.to_vec());
+        assert!(Message::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.push(4);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(Message::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let buf = 0u32.to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(Message::read_from(&mut cursor).is_err());
+    }
+}

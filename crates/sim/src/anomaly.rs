@@ -1,0 +1,439 @@
+//! Anomaly injectors.
+//!
+//! Two generators, exactly as the paper ships them (§III-E):
+//!
+//! - **Memory leaks**: each leak allocates (and dirties — the paper stresses
+//!   that writing is what forces physical allocation) a contiguous chunk
+//!   whose size is drawn from a *uniform* distribution, at inter-arrival
+//!   times drawn from an *exponential* distribution whose mean is itself
+//!   drawn uniformly at startup.
+//! - **Unterminated threads**: spawned at exponential inter-arrival times
+//!   whose mean is drawn uniformly at startup.
+//!
+//! Both support the paper's §IV *load-coupled* mode, where the faulty
+//! servlet leaks on each TPC-W Home interaction with a per-run probability,
+//! making anomaly accrual track server throughput (which is what produces
+//! the paper's Fig. 5 observation that anomaly accumulation *decelerates*
+//! near the crash as throughput collapses).
+
+use crate::rng::SimRng;
+
+/// How anomalies are generated during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionMode {
+    /// Timer-driven (the paper's standalone utilities): leaks and thread
+    /// spawns arrive on their own exponential clocks, independent of load.
+    TimeDriven,
+    /// Load-coupled (the paper's TPC-W experiment): every Home interaction
+    /// leaks with probability `leak_prob` and spawns an unterminated thread
+    /// with probability `thread_prob`; both probabilities are drawn per run.
+    LoadCoupled,
+}
+
+/// Configuration ranges for the injectors. Every "range" field is the
+/// uniform interval the per-run parameter is drawn from, mirroring the
+/// paper's "drawn uniformly at random at startup, in a range defined by the
+/// user".
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// Injection mode.
+    pub mode: InjectionMode,
+    /// Leak size range (MiB), uniform per leak.
+    pub leak_size_mib: (f64, f64),
+    /// Range of the *mean* leak inter-arrival time (s) for time-driven mode.
+    pub leak_mean_interval_s: (f64, f64),
+    /// Range of the per-Home leak probability for load-coupled mode.
+    pub leak_prob_per_home: (f64, f64),
+    /// Range of the *mean* thread-spawn inter-arrival (s), time-driven mode.
+    pub thread_mean_interval_s: (f64, f64),
+    /// Range of the per-Home thread-spawn probability, load-coupled mode.
+    pub thread_prob_per_home: (f64, f64),
+    /// Range of the per-Home unreleased-lock probability (the paper's §I
+    /// "unreleased locks" anomaly class). Zero by default: the paper's §IV
+    /// experiment injects only leaks and threads.
+    pub lock_prob_per_home: (f64, f64),
+    /// Range of the per-Home file-fragmentation increment (the §I "file
+    /// fragmentation" class; write churn scatters database pages). Zero by
+    /// default for the same reason.
+    pub frag_delta_per_home: (f64, f64),
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        // Wide per-run ranges, matching the paper's emphasis on anomalies
+        // "occurring at different rates": consecutive runs draw very
+        // different leak intensities, so identical feature values can map
+        // to very different RTTFs across runs — the nonlinearity that makes
+        // the tree methods win Table II.
+        AnomalyConfig {
+            mode: InjectionMode::LoadCoupled,
+            leak_size_mib: (0.5, 3.5),
+            leak_mean_interval_s: (1.0, 4.0),
+            leak_prob_per_home: (0.15, 0.85),
+            thread_mean_interval_s: (8.0, 30.0),
+            thread_prob_per_home: (0.02, 0.20),
+            lock_prob_per_home: (0.0, 0.0),
+            frag_delta_per_home: (0.0, 0.0),
+        }
+    }
+}
+
+impl AnomalyConfig {
+    /// A configuration exercising *all four* §I anomaly classes at once
+    /// (leaks, threads, unreleased locks, file fragmentation) — beyond the
+    /// paper's §IV experiment, which injects the first two.
+    pub fn all_classes() -> Self {
+        AnomalyConfig {
+            lock_prob_per_home: (0.01, 0.06),
+            frag_delta_per_home: (0.0001, 0.0008),
+            ..AnomalyConfig::default()
+        }
+    }
+}
+
+/// An injected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnomalyEvent {
+    /// `mib` of heap leaked (and dirtied, so physically allocated).
+    MemoryLeak {
+        /// Size of the leaked chunk in MiB.
+        mib: f64,
+    },
+    /// One thread detached and never joined.
+    UnterminatedThread,
+    /// One lock acquired and never released.
+    UnreleasedLock,
+    /// Database files fragmented a little further.
+    FileFragmentation {
+        /// Fragmentation-ratio increment.
+        delta: f64,
+    },
+}
+
+/// Injector for the two auxiliary anomaly classes (unreleased locks, file
+/// fragmentation), load-coupled like the primary ones.
+#[derive(Debug, Clone)]
+pub struct AuxInjector {
+    lock_prob: f64,
+    frag_delta: f64,
+    rng: SimRng,
+    locks: u64,
+    frag_total: f64,
+}
+
+impl AuxInjector {
+    /// Draw per-run parameters from the config ranges.
+    pub fn new(cfg: &AnomalyConfig, mut rng: SimRng) -> Self {
+        let lock_prob = rng.uniform(cfg.lock_prob_per_home.0, cfg.lock_prob_per_home.1);
+        let frag_delta =
+            rng.uniform(cfg.frag_delta_per_home.0, cfg.frag_delta_per_home.1);
+        AuxInjector {
+            lock_prob,
+            frag_delta,
+            rng,
+            locks: 0,
+            frag_total: 0.0,
+        }
+    }
+
+    /// The per-run lock-leak probability drawn at startup.
+    pub fn lock_prob(&self) -> f64 {
+        self.lock_prob
+    }
+
+    /// The per-run fragmentation increment drawn at startup.
+    pub fn frag_delta(&self) -> f64 {
+        self.frag_delta
+    }
+
+    /// Load-coupled hook: events fired by one Home interaction (0-2).
+    pub fn on_home_interaction(&mut self) -> Vec<AnomalyEvent> {
+        let mut out = Vec::new();
+        if self.lock_prob > 0.0 && self.rng.bernoulli(self.lock_prob) {
+            self.locks += 1;
+            out.push(AnomalyEvent::UnreleasedLock);
+        }
+        if self.frag_delta > 0.0 {
+            self.frag_total += self.frag_delta;
+            out.push(AnomalyEvent::FileFragmentation {
+                delta: self.frag_delta,
+            });
+        }
+        out
+    }
+
+    /// Locks leaked so far this run.
+    pub fn locks(&self) -> u64 {
+        self.locks
+    }
+
+    /// Cumulated fragmentation injected this run.
+    pub fn frag_total(&self) -> f64 {
+        self.frag_total
+    }
+}
+
+/// Memory-leak generator with per-run drawn parameters.
+#[derive(Debug, Clone)]
+pub struct LeakInjector {
+    size_range: (f64, f64),
+    /// Mean of the exponential inter-arrival clock (time-driven mode).
+    mean_interval: f64,
+    /// Per-Home leak probability (load-coupled mode).
+    prob_per_home: f64,
+    rng: SimRng,
+    total_leaked_mib: f64,
+    leaks: u64,
+}
+
+impl LeakInjector {
+    /// Draw per-run parameters from the config ranges.
+    pub fn new(cfg: &AnomalyConfig, mut rng: SimRng) -> Self {
+        let mean_interval =
+            rng.uniform(cfg.leak_mean_interval_s.0, cfg.leak_mean_interval_s.1);
+        let prob_per_home =
+            rng.uniform(cfg.leak_prob_per_home.0, cfg.leak_prob_per_home.1);
+        LeakInjector {
+            size_range: cfg.leak_size_mib,
+            mean_interval,
+            prob_per_home,
+            rng,
+            total_leaked_mib: 0.0,
+            leaks: 0,
+        }
+    }
+
+    /// The per-run mean inter-arrival time drawn at startup.
+    pub fn mean_interval(&self) -> f64 {
+        self.mean_interval
+    }
+
+    /// The per-run Home-hit leak probability drawn at startup.
+    pub fn prob_per_home(&self) -> f64 {
+        self.prob_per_home
+    }
+
+    /// Next inter-arrival delay for the time-driven clock.
+    pub fn next_delay(&mut self) -> f64 {
+        self.rng.exponential(self.mean_interval)
+    }
+
+    /// Fire a leak unconditionally, returning the event.
+    pub fn leak(&mut self) -> AnomalyEvent {
+        let mib = self.rng.uniform(self.size_range.0, self.size_range.1);
+        self.total_leaked_mib += mib;
+        self.leaks += 1;
+        AnomalyEvent::MemoryLeak { mib }
+    }
+
+    /// Load-coupled hook: called on every Home interaction; leaks with the
+    /// per-run probability.
+    pub fn on_home_interaction(&mut self) -> Option<AnomalyEvent> {
+        if self.rng.bernoulli(self.prob_per_home) {
+            Some(self.leak())
+        } else {
+            None
+        }
+    }
+
+    /// Total MiB leaked so far this run.
+    pub fn total_leaked_mib(&self) -> f64 {
+        self.total_leaked_mib
+    }
+
+    /// Number of leaks so far this run.
+    pub fn leak_count(&self) -> u64 {
+        self.leaks
+    }
+}
+
+/// Unterminated-thread generator with per-run drawn parameters.
+#[derive(Debug, Clone)]
+pub struct ThreadInjector {
+    mean_interval: f64,
+    prob_per_home: f64,
+    rng: SimRng,
+    spawned: u64,
+}
+
+impl ThreadInjector {
+    /// Draw per-run parameters from the config ranges.
+    pub fn new(cfg: &AnomalyConfig, mut rng: SimRng) -> Self {
+        let mean_interval =
+            rng.uniform(cfg.thread_mean_interval_s.0, cfg.thread_mean_interval_s.1);
+        let prob_per_home =
+            rng.uniform(cfg.thread_prob_per_home.0, cfg.thread_prob_per_home.1);
+        ThreadInjector {
+            mean_interval,
+            prob_per_home,
+            rng,
+            spawned: 0,
+        }
+    }
+
+    /// The per-run mean inter-arrival time drawn at startup.
+    pub fn mean_interval(&self) -> f64 {
+        self.mean_interval
+    }
+
+    /// The per-run Home-hit spawn probability drawn at startup.
+    pub fn prob_per_home(&self) -> f64 {
+        self.prob_per_home
+    }
+
+    /// Next inter-arrival delay for the time-driven clock.
+    pub fn next_delay(&mut self) -> f64 {
+        self.rng.exponential(self.mean_interval)
+    }
+
+    /// Fire a spawn unconditionally.
+    pub fn spawn(&mut self) -> AnomalyEvent {
+        self.spawned += 1;
+        AnomalyEvent::UnterminatedThread
+    }
+
+    /// Load-coupled hook for Home interactions.
+    pub fn on_home_interaction(&mut self) -> Option<AnomalyEvent> {
+        if self.rng.bernoulli(self.prob_per_home) {
+            Some(self.spawn())
+        } else {
+            None
+        }
+    }
+
+    /// Threads spawned so far this run.
+    pub fn spawned(&self) -> u64 {
+        self.spawned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnomalyConfig {
+        AnomalyConfig::default()
+    }
+
+    #[test]
+    fn per_run_parameters_within_ranges() {
+        for seed in 0..50 {
+            let li = LeakInjector::new(&cfg(), SimRng::new(seed));
+            assert!((1.0..=4.0).contains(&li.mean_interval()));
+            assert!((0.15..=0.85).contains(&li.prob_per_home()));
+            let ti = ThreadInjector::new(&cfg(), SimRng::new(seed + 1000));
+            assert!((8.0..=30.0).contains(&ti.mean_interval()));
+            assert!((0.02..=0.20).contains(&ti.prob_per_home()));
+        }
+    }
+
+    #[test]
+    fn per_run_parameters_vary_across_seeds() {
+        let means: Vec<f64> = (0..20)
+            .map(|s| LeakInjector::new(&cfg(), SimRng::new(s)).mean_interval())
+            .collect();
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max - min > 0.5, "means suspiciously clustered: {min}..{max}");
+    }
+
+    #[test]
+    fn leak_sizes_uniform_in_range() {
+        let mut li = LeakInjector::new(&cfg(), SimRng::new(7));
+        let mut sum = 0.0;
+        for _ in 0..5000 {
+            match li.leak() {
+                AnomalyEvent::MemoryLeak { mib } => {
+                    assert!((0.5..3.5).contains(&mib));
+                    sum += mib;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let mean = sum / 5000.0;
+        assert!((mean - 2.0).abs() < 0.1, "mean leak {mean}");
+        assert_eq!(li.leak_count(), 5000);
+        assert!((li.total_leaked_mib() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_driven_delays_have_configured_mean() {
+        let mut li = LeakInjector::new(&cfg(), SimRng::new(11));
+        let expect = li.mean_interval();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| li.next_delay()).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - expect).abs() < 0.1 * expect,
+            "empirical {emp} vs drawn mean {expect}"
+        );
+    }
+
+    #[test]
+    fn load_coupled_rate_matches_drawn_probability() {
+        let mut li = LeakInjector::new(&cfg(), SimRng::new(13));
+        let p = li.prob_per_home();
+        let n = 20_000;
+        let hits = (0..n).filter(|_| li.on_home_interaction().is_some()).count();
+        let emp = hits as f64 / n as f64;
+        assert!((emp - p).abs() < 0.02, "empirical {emp} vs p {p}");
+    }
+
+    #[test]
+    fn thread_injector_counts_spawns() {
+        let mut ti = ThreadInjector::new(&cfg(), SimRng::new(17));
+        let mut n = 0;
+        for _ in 0..10_000 {
+            if ti.on_home_interaction().is_some() {
+                n += 1;
+            }
+        }
+        assert_eq!(ti.spawned(), n);
+        assert!(n > 0);
+        assert_eq!(ti.spawn(), AnomalyEvent::UnterminatedThread);
+        assert_eq!(ti.spawned(), n + 1);
+    }
+
+    #[test]
+    fn aux_injector_disabled_by_default() {
+        let mut aux = AuxInjector::new(&cfg(), SimRng::new(31));
+        for _ in 0..1000 {
+            assert!(aux.on_home_interaction().is_empty());
+        }
+        assert_eq!(aux.locks(), 0);
+        assert_eq!(aux.frag_total(), 0.0);
+    }
+
+    #[test]
+    fn aux_injector_fires_all_classes_when_enabled() {
+        let mut aux = AuxInjector::new(&AnomalyConfig::all_classes(), SimRng::new(37));
+        let mut locks = 0;
+        let mut frags = 0;
+        for _ in 0..5000 {
+            for ev in aux.on_home_interaction() {
+                match ev {
+                    AnomalyEvent::UnreleasedLock => locks += 1,
+                    AnomalyEvent::FileFragmentation { delta } => {
+                        assert!(delta > 0.0);
+                        frags += 1;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert!(locks > 0, "locks should leak");
+        assert_eq!(frags, 5000, "fragmentation advances every Home hit");
+        assert_eq!(aux.locks(), locks);
+        assert!((aux.frag_total() - 5000.0 * aux.frag_delta()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injectors_are_deterministic_per_seed() {
+        let mut a = LeakInjector::new(&cfg(), SimRng::new(23));
+        let mut b = LeakInjector::new(&cfg(), SimRng::new(23));
+        for _ in 0..100 {
+            assert_eq!(a.next_delay(), b.next_delay());
+            assert_eq!(a.leak(), b.leak());
+        }
+    }
+}

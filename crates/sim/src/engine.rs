@@ -1,0 +1,567 @@
+//! The discrete-event simulation engine.
+//!
+//! Couples the emulated browsers, the app-server pricing model, the VM
+//! resource models and the anomaly injectors into one deterministic event
+//! loop. Events are totally ordered by `(time, sequence)` so runs replay
+//! bit-identically from a seed.
+//!
+//! External drivers (the monitoring harness, examples, benches) advance the
+//! simulation with [`Simulation::advance_until`] and read
+//! [`Simulation::snapshot`] — exactly the interface a monitoring client has
+//! onto a real guest: you can look, but only at sampling instants.
+
+use crate::anomaly::{
+    AnomalyConfig, AnomalyEvent, AuxInjector, InjectionMode, LeakInjector, ThreadInjector,
+};
+use crate::failure::{FailureCondition, HealthContext};
+use crate::rng::SimRng;
+use crate::server::{AppServer, ServerConfig};
+use crate::tpcw::{BrowserConfig, EmulatedBrowser, Interaction};
+use crate::vm::{SystemSnapshot, VirtualMachine, VmConfig};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// VM sizing and OS model parameters.
+    pub vm: VmConfig,
+    /// Server pricing model.
+    pub server: ServerConfig,
+    /// Emulated-browser population size.
+    pub num_browsers: u32,
+    /// Per-browser behaviour.
+    pub browser: BrowserConfig,
+    /// Anomaly injection.
+    pub anomaly: AnomalyConfig,
+    /// Failure condition terminating a run.
+    pub failure: FailureCondition,
+    /// Interval (s) at which resource models are integrated and the
+    /// failure condition evaluated.
+    pub state_dt: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            vm: VmConfig::paper_default(),
+            server: ServerConfig::default(),
+            num_browsers: 50,
+            browser: BrowserConfig::default(),
+            anomaly: AnomalyConfig::default(),
+            failure: FailureCondition::paper_default(),
+            state_dt: 1.0,
+        }
+    }
+}
+
+/// Result of driving a run to completion.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Whether the failure condition fired.
+    pub failed: bool,
+    /// Time of failure (or the horizon, if it never fired).
+    pub fail_time: f64,
+    /// Requests completed during the run.
+    pub completed_requests: u64,
+    /// Total MiB leaked.
+    pub leaked_mib: f64,
+    /// Unterminated threads spawned.
+    pub leaked_threads: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Browser `id` issues its next interaction.
+    Issue { browser: u32 },
+    /// A request completes.
+    Complete {
+        browser: u32,
+        interaction: Interaction,
+        issued_at: f64,
+    },
+    /// Time-driven leak clock tick.
+    LeakTick,
+    /// Time-driven thread-spawn clock tick.
+    ThreadTick,
+    /// Periodic resource integration + failure check.
+    StateUpdate,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Ties break
+        // on sequence number for full determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A completed-request record (ground truth the paper collects by
+/// instrumenting the emulated browsers — footnote 1 of §III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseRecord {
+    /// Completion time (s since boot).
+    pub completed_at: f64,
+    /// The interaction served.
+    pub interaction: Interaction,
+    /// Client-observed response time (s).
+    pub response_s: f64,
+}
+
+/// One bootable, runnable simulated testbed.
+pub struct Simulation {
+    cfg: SimConfig,
+    vm: VirtualMachine,
+    server: AppServer,
+    browsers: Vec<EmulatedBrowser>,
+    leak_injector: LeakInjector,
+    thread_injector: ThreadInjector,
+    aux_injector: AuxInjector,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    now: f64,
+    last_state_update: f64,
+    failed_at: Option<f64>,
+    /// Completed-request log since last drain.
+    responses: Vec<ResponseRecord>,
+    /// Rolling mean response time over the last state interval.
+    recent_rt: f64,
+}
+
+impl Simulation {
+    /// Boot a fresh testbed with the given seed.
+    pub fn new(cfg: SimConfig, seed: u64) -> Self {
+        let mut root = SimRng::new(seed);
+        let vm = VirtualMachine::new(cfg.vm, root.fork());
+        let server = AppServer::new(cfg.server);
+        let browsers: Vec<EmulatedBrowser> = (0..cfg.num_browsers)
+            .map(|id| EmulatedBrowser::new(id, cfg.browser, root.fork()))
+            .collect();
+        let leak_injector = LeakInjector::new(&cfg.anomaly, root.fork());
+        let thread_injector = ThreadInjector::new(&cfg.anomaly, root.fork());
+        let aux_injector = AuxInjector::new(&cfg.anomaly, root.fork());
+
+        let mut sim = Simulation {
+            cfg,
+            vm,
+            server,
+            browsers,
+            leak_injector,
+            thread_injector,
+            aux_injector,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            last_state_update: 0.0,
+            failed_at: None,
+            responses: Vec::new(),
+            recent_rt: 0.0,
+        };
+        sim.bootstrap(&mut root);
+        sim
+    }
+
+    fn bootstrap(&mut self, rng: &mut SimRng) {
+        // Stagger browser start-ups over the first think-time's worth of
+        // seconds so the ramp-up is not a thundering herd.
+        for id in 0..self.browsers.len() as u32 {
+            let offset = rng.uniform(0.0, self.cfg.browser.think_mean_s.max(0.1));
+            self.schedule(offset, EventKind::Issue { browser: id });
+        }
+        if self.cfg.anomaly.mode == InjectionMode::TimeDriven {
+            let d = self.leak_injector.next_delay();
+            self.schedule(d, EventKind::LeakTick);
+            let d = self.thread_injector.next_delay();
+            self.schedule(d, EventKind::ThreadTick);
+        }
+        self.schedule(self.cfg.state_dt, EventKind::StateUpdate);
+    }
+
+    fn schedule(&mut self, at: f64, kind: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.seq += 1;
+        self.queue.push(Event {
+            time: at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Whether (and when) the failure condition fired.
+    pub fn failed_at(&self) -> Option<f64> {
+        self.failed_at
+    }
+
+    /// Current 15-feature snapshot.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        self.vm.snapshot()
+    }
+
+    /// Load skew factor the monitoring client experiences (drives the
+    /// inter-generation time of datapoints, §III-B).
+    pub fn overload_factor(&self) -> f64 {
+        self.vm.overload_factor()
+    }
+
+    /// Drain the completed-request log accumulated since the last call.
+    pub fn drain_responses(&mut self) -> Vec<ResponseRecord> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Total MiB leaked so far.
+    pub fn leaked_mib(&self) -> f64 {
+        self.vm.leaked_mib()
+    }
+
+    /// Unterminated threads spawned so far.
+    pub fn leaked_threads(&self) -> u64 {
+        self.thread_injector.spawned()
+    }
+
+    /// Unreleased locks leaked so far.
+    pub fn leaked_locks(&self) -> u64 {
+        self.aux_injector.locks()
+    }
+
+    /// Current database-file fragmentation ratio.
+    pub fn fragmentation(&self) -> f64 {
+        self.vm.disk().fragmentation()
+    }
+
+    /// Seed the on-disk layout state — restarts do not defragment, so a
+    /// rejuvenation harness carries the previous life's fragmentation into
+    /// the next boot unless it models a full file re-copy.
+    pub fn set_fragmentation(&mut self, f: f64) {
+        self.vm.disk_mut().set_fragmentation(f);
+    }
+
+    /// Requests completed so far.
+    pub fn completed_requests(&self) -> u64 {
+        self.server.completed()
+    }
+
+    /// Process events until simulated time reaches `t` (or failure).
+    /// Returns `true` while the system is still alive.
+    pub fn advance_until(&mut self, t: f64) -> bool {
+        while self.failed_at.is_none() {
+            match self.queue.peek() {
+                Some(ev) if ev.time <= t => {
+                    let ev = self.queue.pop().expect("peeked");
+                    self.now = ev.time;
+                    self.dispatch(ev);
+                }
+                _ => break,
+            }
+        }
+        if self.failed_at.is_none() {
+            self.now = self.now.max(t);
+        }
+        self.failed_at.is_none()
+    }
+
+    /// Run until the failure condition fires or `horizon` seconds elapse.
+    pub fn run_to_failure(&mut self, horizon: f64) -> RunOutcome {
+        while self.failed_at.is_none() && self.now < horizon {
+            let step = (self.now + 60.0).min(horizon);
+            self.advance_until(step);
+        }
+        RunOutcome {
+            failed: self.failed_at.is_some(),
+            fail_time: self.failed_at.unwrap_or(horizon),
+            completed_requests: self.server.completed(),
+            leaked_mib: self.vm.leaked_mib(),
+            leaked_threads: self.thread_injector.spawned(),
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Issue { browser } => self.on_issue(browser),
+            EventKind::Complete {
+                browser,
+                interaction,
+                issued_at,
+            } => self.on_complete(browser, interaction, issued_at),
+            EventKind::LeakTick => {
+                if let AnomalyEvent::MemoryLeak { mib } = self.leak_injector.leak() {
+                    self.vm.leak_memory(mib);
+                }
+                let d = self.leak_injector.next_delay();
+                self.schedule(self.now + d, EventKind::LeakTick);
+            }
+            EventKind::ThreadTick => {
+                self.thread_injector.spawn();
+                self.vm.leak_thread();
+                let d = self.thread_injector.next_delay();
+                self.schedule(self.now + d, EventKind::ThreadTick);
+            }
+            EventKind::StateUpdate => self.on_state_update(),
+        }
+    }
+
+    fn on_issue(&mut self, browser: u32) {
+        let b = &mut self.browsers[browser as usize];
+        let interaction = b.next_interaction();
+
+        // The paper's modified Home servlet: anomalies on session entry,
+        // coupled to load.
+        if interaction == Interaction::Home && self.cfg.anomaly.mode == InjectionMode::LoadCoupled
+        {
+            if let Some(AnomalyEvent::MemoryLeak { mib }) =
+                self.leak_injector.on_home_interaction()
+            {
+                self.vm.leak_memory(mib);
+            }
+            if self.thread_injector.on_home_interaction().is_some() {
+                self.vm.leak_thread();
+            }
+            for ev in self.aux_injector.on_home_interaction() {
+                match ev {
+                    AnomalyEvent::UnreleasedLock => self.server.leak_lock(),
+                    AnomalyEvent::FileFragmentation { delta } => {
+                        self.vm.disk_mut().fragment(delta)
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let (memory, threads, disk) = self.vm.tiers();
+        let rt = self.server.admit(interaction, memory, threads, disk);
+        self.schedule(
+            self.now + rt,
+            EventKind::Complete {
+                browser,
+                interaction,
+                issued_at: self.now,
+            },
+        );
+    }
+
+    fn on_complete(&mut self, browser: u32, interaction: Interaction, issued_at: f64) {
+        let rt = self.now - issued_at;
+        self.server.complete(interaction, rt);
+        self.responses.push(ResponseRecord {
+            completed_at: self.now,
+            interaction,
+            response_s: rt,
+        });
+        let think = self.browsers[browser as usize].think_time();
+        self.schedule(self.now + think, EventKind::Issue { browser });
+    }
+
+    fn on_state_update(&mut self) {
+        let dt = self.now - self.last_state_update;
+        self.last_state_update = self.now;
+        let disk_pages = self.server.drain_disk_pages();
+        self.vm.advance(
+            dt,
+            self.server.active_requests(),
+            self.server.cpu_demand_rate(),
+            self.server.io_activity(),
+            if dt > 0.0 { disk_pages / dt } else { 0.0 },
+        );
+
+        // Rolling response-time estimate over recent completions.
+        let window_start = self.now - 10.0 * self.cfg.state_dt;
+        let recent: Vec<f64> = self
+            .responses
+            .iter()
+            .rev()
+            .take_while(|r| r.completed_at >= window_start)
+            .map(|r| r.response_s)
+            .collect();
+        if !recent.is_empty() {
+            self.recent_rt = recent.iter().sum::<f64>() / recent.len() as f64;
+        }
+
+        let snap = self.vm.snapshot();
+        let health = HealthContext {
+            unbacked_mib: if self.vm.memory_exhausted() { 1.0 } else { 0.0 },
+            thread_limit: self.vm.thread_limit_hit(),
+            recent_response_s: self.recent_rt,
+            recent_intergen_s: 0.0,
+        };
+        if self.cfg.failure.is_failed(&snap, &health) {
+            self.failed_at = Some(self.now);
+            return;
+        }
+        self.schedule(self.now + self.cfg.state_dt, EventKind::StateUpdate);
+    }
+
+    /// Mean response time over the last ~10 state intervals.
+    pub fn recent_response_time(&self) -> f64 {
+        self.recent_rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SimConfig {
+        // Aggressive leak rates so tests converge fast.
+        SimConfig {
+            anomaly: AnomalyConfig {
+                leak_size_mib: (4.0, 8.0),
+                leak_prob_per_home: (0.8, 0.9),
+                ..AnomalyConfig::default()
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_reaches_failure() {
+        let mut sim = Simulation::new(quick_cfg(), 1);
+        let out = sim.run_to_failure(30_000.0);
+        assert!(out.failed, "no failure within horizon");
+        assert!(out.fail_time > 100.0, "failed suspiciously fast: {}", out.fail_time);
+        assert!(out.completed_requests > 1000);
+        assert!(out.leaked_mib > 2000.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = Simulation::new(quick_cfg(), 99).run_to_failure(30_000.0);
+        let b = Simulation::new(quick_cfg(), 99).run_to_failure(30_000.0);
+        assert_eq!(a.fail_time, b.fail_time);
+        assert_eq!(a.completed_requests, b.completed_requests);
+        assert_eq!(a.leaked_mib, b.leaked_mib);
+    }
+
+    #[test]
+    fn different_seeds_give_different_fail_times() {
+        // Use the default (moderate, load-coupled) anomaly rates: with the
+        // aggressive quick_cfg the swap-bandwidth ceiling dominates and all
+        // seeds die at the same quantized instant.
+        let a = Simulation::new(SimConfig::default(), 1).run_to_failure(30_000.0);
+        let b = Simulation::new(SimConfig::default(), 2).run_to_failure(30_000.0);
+        assert!(a.failed && b.failed);
+        assert_ne!(a.fail_time, b.fail_time);
+    }
+
+    #[test]
+    fn advance_until_respects_time() {
+        let mut sim = Simulation::new(quick_cfg(), 3);
+        assert!(sim.advance_until(50.0));
+        assert!((sim.now() - 50.0).abs() < 1e-9);
+        let snap = sim.snapshot();
+        assert!(snap.t <= 50.0);
+    }
+
+    #[test]
+    fn memory_trajectory_is_monotone_under_leaks() {
+        let mut sim = Simulation::new(quick_cfg(), 4);
+        let mut last_leaked = 0.0;
+        for k in 1..=10 {
+            sim.advance_until(k as f64 * 100.0);
+            if sim.failed_at().is_some() {
+                break;
+            }
+            let leaked = sim.leaked_mib();
+            assert!(leaked >= last_leaked, "leaked memory decreased");
+            last_leaked = leaked;
+        }
+        assert!(last_leaked > 0.0);
+    }
+
+    #[test]
+    fn responses_are_recorded_and_drained() {
+        let mut sim = Simulation::new(quick_cfg(), 5);
+        sim.advance_until(120.0);
+        let r = sim.drain_responses();
+        assert!(!r.is_empty());
+        assert!(r.iter().all(|x| x.response_s >= 0.0));
+        assert!(r.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        assert!(sim.drain_responses().is_empty(), "drain must empty the log");
+    }
+
+    #[test]
+    fn response_time_degrades_toward_failure() {
+        let mut sim = Simulation::new(quick_cfg(), 6);
+        let out = sim.run_to_failure(30_000.0);
+        assert!(out.failed);
+        let all = sim.drain_responses();
+        assert!(all.len() > 500);
+        // Compare mean RT in the first and last 10% of the run.
+        let n = all.len();
+        let early: f64 =
+            all[..n / 10].iter().map(|r| r.response_s).sum::<f64>() / (n / 10) as f64;
+        let late: f64 = all[n - n / 10..].iter().map(|r| r.response_s).sum::<f64>()
+            / (n / 10) as f64;
+        assert!(
+            late > 3.0 * early,
+            "RT should blow up near failure: early {early:.4} late {late:.4}"
+        );
+    }
+
+    #[test]
+    fn time_driven_mode_also_fails() {
+        let cfg = SimConfig {
+            anomaly: AnomalyConfig {
+                mode: InjectionMode::TimeDriven,
+                leak_size_mib: (4.0, 8.0),
+                leak_mean_interval_s: (0.5, 1.0),
+                thread_mean_interval_s: (5.0, 10.0),
+                ..AnomalyConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, 7);
+        let out = sim.run_to_failure(30_000.0);
+        assert!(out.failed);
+        assert!(out.leaked_threads > 0);
+    }
+
+    #[test]
+    fn overload_factor_rises_before_failure() {
+        let mut sim = Simulation::new(quick_cfg(), 8);
+        sim.advance_until(60.0);
+        let early = sim.overload_factor();
+        let out = sim.run_to_failure(30_000.0);
+        assert!(out.failed);
+        let late = sim.overload_factor();
+        assert!(late > early, "early {early} late {late}");
+    }
+
+    #[test]
+    fn no_browsers_means_no_load_coupled_failure() {
+        let cfg = SimConfig {
+            num_browsers: 0,
+            ..quick_cfg()
+        };
+        let mut sim = Simulation::new(cfg, 9);
+        let out = sim.run_to_failure(2000.0);
+        assert!(!out.failed);
+        assert_eq!(out.completed_requests, 0);
+        assert_eq!(out.leaked_mib, 0.0);
+    }
+}

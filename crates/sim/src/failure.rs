@@ -1,0 +1,220 @@
+//! User-defined failure conditions.
+//!
+//! F2PM lets the user define when the system counts as "failed" from the
+//! values of one or more monitored features (§I, §III). This module gives
+//! the same flexibility: a [`FailureCondition`] is a composable predicate
+//! over the current [`SystemSnapshot`] plus a little extra health context
+//! the simulator knows (unbacked memory demand, thread-limit hang, recent
+//! client response time).
+
+use crate::vm::SystemSnapshot;
+
+/// Extra, non-snapshot health signals a condition may use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthContext {
+    /// Anonymous memory demand not backed by RAM or swap (MiB). > 0 means
+    /// the kernel would OOM-kill or the guest livelocks.
+    pub unbacked_mib: f64,
+    /// The guest hit its thread limit.
+    pub thread_limit: bool,
+    /// Mean client-observed response time over the last sampling window (s).
+    pub recent_response_s: f64,
+    /// Inter-generation time of monitor datapoints over the last window (s);
+    /// §III-B lets the user set a threshold on this derived metric.
+    pub recent_intergen_s: f64,
+}
+
+/// A composable failure predicate.
+#[derive(Debug, Clone)]
+pub enum FailureCondition {
+    /// Free memory below `min_free_mib` AND free swap below
+    /// `min_swap_free_mib` — the paper's observation that "the system
+    /// becomes immediately unavailable when there is no more free memory
+    /// and the swap space is used completely".
+    MemoryExhaustion {
+        /// Free RAM threshold (MiB).
+        min_free_mib: f64,
+        /// Free swap threshold (MiB).
+        min_swap_free_mib: f64,
+    },
+    /// Anonymous demand exceeds RAM + swap (hard OOM).
+    UnbackedMemory,
+    /// Thread limit reached (hang).
+    ThreadLimit,
+    /// Mean client response time above a threshold (SLA death).
+    ResponseTime {
+        /// Threshold (s).
+        threshold_s: f64,
+    },
+    /// Monitor datapoint inter-generation time above a threshold (§III-B).
+    InterGenerationTime {
+        /// Threshold (s).
+        threshold_s: f64,
+    },
+    /// Any sub-condition holding fails the system.
+    Any(Vec<FailureCondition>),
+    /// All sub-conditions must hold.
+    All(Vec<FailureCondition>),
+}
+
+impl FailureCondition {
+    /// The condition used by the paper's TPC-W experiment: the guest dies
+    /// of memory exhaustion, detected slightly before the literal zero so
+    /// the restart automation can still act, or of a hard OOM/hang.
+    pub fn paper_default() -> Self {
+        FailureCondition::Any(vec![
+            FailureCondition::MemoryExhaustion {
+                min_free_mib: 48.0,
+                min_swap_free_mib: 24.0,
+            },
+            FailureCondition::UnbackedMemory,
+            FailureCondition::ThreadLimit,
+        ])
+    }
+
+    /// Evaluate against a snapshot + health context.
+    pub fn is_failed(&self, snap: &SystemSnapshot, health: &HealthContext) -> bool {
+        match self {
+            FailureCondition::MemoryExhaustion {
+                min_free_mib,
+                min_swap_free_mib,
+            } => snap.mem_free <= *min_free_mib && snap.swap_free <= *min_swap_free_mib,
+            FailureCondition::UnbackedMemory => health.unbacked_mib > 0.0,
+            FailureCondition::ThreadLimit => health.thread_limit,
+            FailureCondition::ResponseTime { threshold_s } => {
+                health.recent_response_s > *threshold_s
+            }
+            FailureCondition::InterGenerationTime { threshold_s } => {
+                health.recent_intergen_s > *threshold_s
+            }
+            FailureCondition::Any(cs) => cs.iter().any(|c| c.is_failed(snap, health)),
+            FailureCondition::All(cs) => cs.iter().all(|c| c.is_failed(snap, health)),
+        }
+    }
+}
+
+/// Object-safe alias for user-supplied predicates outside the enum.
+pub trait FailurePredicate {
+    /// Whether the system counts as failed.
+    fn is_failed(&self, snap: &SystemSnapshot, health: &HealthContext) -> bool;
+}
+
+impl FailurePredicate for FailureCondition {
+    fn is_failed(&self, snap: &SystemSnapshot, health: &HealthContext) -> bool {
+        FailureCondition::is_failed(self, snap, health)
+    }
+}
+
+impl<F> FailurePredicate for F
+where
+    F: Fn(&SystemSnapshot, &HealthContext) -> bool,
+{
+    fn is_failed(&self, snap: &SystemSnapshot, health: &HealthContext) -> bool {
+        self(snap, health)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(mem_free: f64, swap_free: f64) -> SystemSnapshot {
+        SystemSnapshot {
+            t: 100.0,
+            n_threads: 200.0,
+            mem_used: 1500.0,
+            mem_free,
+            mem_shared: 24.0,
+            mem_buffers: 10.0,
+            mem_cached: 50.0,
+            swap_used: 1024.0 - swap_free,
+            swap_free,
+            cpu_user: 40.0,
+            cpu_nice: 1.0,
+            cpu_system: 10.0,
+            cpu_iowait: 30.0,
+            cpu_steal: 3.0,
+            cpu_idle: 16.0,
+        }
+    }
+
+    #[test]
+    fn memory_exhaustion_requires_both_thresholds() {
+        let c = FailureCondition::MemoryExhaustion {
+            min_free_mib: 50.0,
+            min_swap_free_mib: 20.0,
+        };
+        let h = HealthContext::default();
+        assert!(c.is_failed(&snap(10.0, 5.0), &h));
+        assert!(!c.is_failed(&snap(10.0, 500.0), &h), "swap still free");
+        assert!(!c.is_failed(&snap(900.0, 5.0), &h), "RAM still free");
+    }
+
+    #[test]
+    fn unbacked_and_thread_limit() {
+        let h_ok = HealthContext::default();
+        let h_oom = HealthContext {
+            unbacked_mib: 1.0,
+            ..Default::default()
+        };
+        let h_hang = HealthContext {
+            thread_limit: true,
+            ..Default::default()
+        };
+        let s = snap(500.0, 500.0);
+        assert!(!FailureCondition::UnbackedMemory.is_failed(&s, &h_ok));
+        assert!(FailureCondition::UnbackedMemory.is_failed(&s, &h_oom));
+        assert!(FailureCondition::ThreadLimit.is_failed(&s, &h_hang));
+    }
+
+    #[test]
+    fn response_time_and_intergen_thresholds() {
+        let s = snap(500.0, 500.0);
+        let h = HealthContext {
+            recent_response_s: 4.0,
+            recent_intergen_s: 2.5,
+            ..Default::default()
+        };
+        assert!(FailureCondition::ResponseTime { threshold_s: 3.0 }.is_failed(&s, &h));
+        assert!(!FailureCondition::ResponseTime { threshold_s: 5.0 }.is_failed(&s, &h));
+        assert!(
+            FailureCondition::InterGenerationTime { threshold_s: 2.0 }.is_failed(&s, &h)
+        );
+        assert!(
+            !FailureCondition::InterGenerationTime { threshold_s: 3.0 }.is_failed(&s, &h)
+        );
+    }
+
+    #[test]
+    fn any_and_all_combinators() {
+        let s = snap(10.0, 5.0); // memory exhausted
+        let h = HealthContext::default();
+        let mem = FailureCondition::MemoryExhaustion {
+            min_free_mib: 50.0,
+            min_swap_free_mib: 20.0,
+        };
+        let rt = FailureCondition::ResponseTime { threshold_s: 3.0 }; // not failed
+        let any = FailureCondition::Any(vec![mem.clone(), rt.clone()]);
+        let all = FailureCondition::All(vec![mem, rt]);
+        assert!(any.is_failed(&s, &h));
+        assert!(!all.is_failed(&s, &h));
+        // Empty combinators: Any(∅)=false, All(∅)=true (vacuous truth).
+        assert!(!FailureCondition::Any(vec![]).is_failed(&s, &h));
+        assert!(FailureCondition::All(vec![]).is_failed(&s, &h));
+    }
+
+    #[test]
+    fn paper_default_fires_on_exhaustion() {
+        let c = FailureCondition::paper_default();
+        let h = HealthContext::default();
+        assert!(c.is_failed(&snap(40.0, 20.0), &h));
+        assert!(!c.is_failed(&snap(1000.0, 1024.0), &h));
+    }
+
+    #[test]
+    fn closure_predicate_works() {
+        let pred = |s: &SystemSnapshot, _h: &HealthContext| s.cpu_iowait > 25.0;
+        let s = snap(500.0, 500.0);
+        assert!(FailurePredicate::is_failed(&pred, &s, &HealthContext::default()));
+    }
+}

@@ -1,0 +1,66 @@
+//! # f2pm-sim
+//!
+//! A deterministic discrete-event simulator of the F2PM paper's testbed: a
+//! virtual machine hosting a TPC-W-style multi-tier web application that
+//! accumulates software anomalies (memory leaks and unterminated threads)
+//! until it crashes.
+//!
+//! The paper (§IV) ran the real thing — TPC-W Java servlets on Tomcat +
+//! MySQL inside VMware VMs on a 32-core HP ProLiant — for a week, restarting
+//! the VM on every crash. We do not have that hardware or week; this crate
+//! is the substitution (see `DESIGN.md` §2). What matters for the F2PM
+//! pipeline is *only* what the monitoring client can observe: the 15
+//! system-level features and the times at which the failure condition is
+//! met. The simulator therefore models, at feature level:
+//!
+//! - **Memory**: application working set + leaked bytes, OS page cache and
+//!   buffers that are reclaimed under pressure, then swap that fills and
+//!   accelerates as the crash approaches (the paper's own narrative for why
+//!   `SWused` slope is so predictive).
+//! - **CPU accounting**: the `us/ni/sy/wa/st/id` breakdown as `top` would
+//!   report it, with iowait driven by swap traffic and steal time by
+//!   hypervisor contention.
+//! - **Threads**: Tomcat-style worker pool plus injected unterminated
+//!   threads, each pinning stack memory and adding scheduler drag.
+//! - **Workload**: emulated browsers running TPC-W sessions (14 web
+//!   interactions, standard mix transition matrices, exponential think
+//!   times), served by a processor-sharing app-server + DB model whose
+//!   response time blows up under memory pressure — reproducing the paper's
+//!   Fig. 3 coupling between client response time and the monitor's
+//!   datapoint inter-generation time.
+//! - **Anomaly injection**: both the paper's §III-E synthetic injectors
+//!   (leak size ~ Uniform, inter-arrival ~ Exp with uniformly drawn mean)
+//!   and the §IV load-coupled mode where every TPC-W *Home* interaction
+//!   leaks with some probability, so anomaly accrual tracks throughput.
+//!
+//! Everything is driven by a seeded RNG, so campaigns are reproducible.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use f2pm_sim::{SimConfig, Simulation};
+//!
+//! let cfg = SimConfig::default();
+//! let mut sim = Simulation::new(cfg, 42);
+//! let outcome = sim.run_to_failure(40_000.0);
+//! assert!(outcome.failed, "the default config accumulates anomalies until crash");
+//! assert!(outcome.fail_time > 0.0);
+//! ```
+
+mod anomaly;
+mod engine;
+mod failure;
+mod harness;
+pub mod os;
+mod rng;
+mod server;
+pub mod tpcw;
+mod vm;
+
+pub use anomaly::{AnomalyConfig, AnomalyEvent, AuxInjector, LeakInjector, ThreadInjector};
+pub use engine::{RunOutcome, SimConfig, Simulation};
+pub use failure::{FailureCondition, FailurePredicate};
+pub use harness::{Campaign, CampaignConfig, Run, RunSample};
+pub use rng::SimRng;
+pub use server::{AppServer, ServerConfig};
+pub use vm::{SystemSnapshot, VirtualMachine, VmConfig};

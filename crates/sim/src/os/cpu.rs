@@ -1,0 +1,290 @@
+//! CPU time-accounting model.
+//!
+//! Converts the instantaneous load on the simulated guest into the
+//! percentage breakdown that `top`/`vmstat` report and the paper's monitor
+//! samples: `us`, `ni`, `sy`, `wa` (iowait), `st` (steal), `id`.
+//!
+//! The model is driven by three inputs per interval:
+//! - `work_demand`: CPU-seconds per second of user work requested by the
+//!   application (can exceed the number of vCPUs — then the guest saturates
+//!   and the overload factor grows);
+//! - `swap_traffic`: MiB/s of swap I/O from the memory model → iowait;
+//! - a stochastic hypervisor steal component (the host in the paper runs
+//!   other VMs on the same 32 cores).
+
+use crate::rng::SimRng;
+
+/// Static CPU configuration for the guest.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// Number of virtual CPUs.
+    pub vcpus: f64,
+    /// Kernel overhead as a fraction of user work (syscalls, network stack).
+    pub sys_fraction: f64,
+    /// Baseline kernel activity in CPU-seconds/s (kswapd idle scans, timers).
+    pub sys_baseline: f64,
+    /// Nice workload (background, positive-nice) in CPU-seconds/s.
+    pub nice_baseline: f64,
+    /// Mean hypervisor steal fraction of a vCPU.
+    pub steal_mean: f64,
+    /// Standard deviation of the steal fraction.
+    pub steal_std: f64,
+    /// Swap traffic (MiB/s) that saturates iowait at 100 %.
+    pub iowait_saturation_traffic: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            vcpus: 2.0,
+            sys_fraction: 0.18,
+            sys_baseline: 0.02,
+            nice_baseline: 0.01,
+            steal_mean: 0.03,
+            steal_std: 0.015,
+            iowait_saturation_traffic: 80.0,
+        }
+    }
+}
+
+/// One sampled breakdown; fields are percentages in `[0, 100]` that sum to
+/// (approximately) 100 × vcpus normalized to 100.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuBreakdown {
+    /// Userspace CPU %.
+    pub user: f64,
+    /// Positive-nice userspace CPU %.
+    pub nice: f64,
+    /// Kernel CPU %.
+    pub system: f64,
+    /// I/O wait %.
+    pub iowait: f64,
+    /// Hypervisor steal %.
+    pub steal: f64,
+    /// Idle %.
+    pub idle: f64,
+}
+
+impl CpuBreakdown {
+    /// Sum of all components (should be ~100).
+    pub fn total(&self) -> f64 {
+        self.user + self.nice + self.system + self.iowait + self.steal + self.idle
+    }
+}
+
+/// CPU accounting model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cfg: CpuConfig,
+    rng: SimRng,
+    /// Demand that could not be served this interval, normalized to vCPUs.
+    overload: f64,
+}
+
+impl CpuModel {
+    /// Create with its own RNG stream for steal jitter.
+    pub fn new(cfg: CpuConfig, rng: SimRng) -> Self {
+        CpuModel {
+            cfg,
+            rng,
+            overload: 0.0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Compute the breakdown for an interval with the given inputs.
+    ///
+    /// * `work_demand` — user CPU-seconds per wall second demanded.
+    /// * `swap_traffic` — MiB/s of swap I/O.
+    /// * `disk_utilization` — data-disk busy fraction in `[0, 1]` (database
+    ///   reads the page cache could not serve).
+    ///
+    /// Percentages are normalized so the six components sum to 100, the way
+    /// `top` reports a multi-core machine in aggregate mode.
+    pub fn sample(
+        &mut self,
+        work_demand: f64,
+        swap_traffic: f64,
+        disk_utilization: f64,
+    ) -> CpuBreakdown {
+        let capacity = self.cfg.vcpus;
+
+        // Steal comes off the top: the hypervisor services other VMs first.
+        let steal_frac = self
+            .rng
+            .gaussian(self.cfg.steal_mean, self.cfg.steal_std)
+            .clamp(0.0, 0.5);
+        let steal = steal_frac * capacity;
+        let avail = (capacity - steal).max(0.05);
+
+        // iowait: cycles the runnable mix spends blocked on swap I/O or on
+        // database reads missing the cache.
+        let iow_frac = (swap_traffic / self.cfg.iowait_saturation_traffic
+            + 0.5 * disk_utilization.clamp(0.0, 1.0))
+        .clamp(0.0, 0.95);
+        let iowait = iow_frac * avail;
+        let compute_avail = (avail - iowait).max(0.01);
+
+        // Kernel time scales with the user work actually performed plus the
+        // reclaim/swap management overhead.
+        let demand = work_demand.max(0.0);
+        let sys_demand = self.cfg.sys_baseline
+            + self.cfg.sys_fraction * demand
+            + 0.004 * swap_traffic;
+        let nice_demand = self.cfg.nice_baseline;
+
+        let total_demand = demand + sys_demand + nice_demand;
+        let scale = if total_demand > compute_avail {
+            compute_avail / total_demand
+        } else {
+            1.0
+        };
+        self.overload = ((total_demand - compute_avail) / capacity).max(0.0);
+
+        let user = demand * scale;
+        let system = sys_demand * scale;
+        let nice = nice_demand * scale;
+        let idle = (capacity - steal - iowait - user - system - nice).max(0.0);
+
+        let to_pct = 100.0 / capacity;
+        CpuBreakdown {
+            user: user * to_pct,
+            nice: nice * to_pct,
+            system: system * to_pct,
+            iowait: iowait * to_pct,
+            steal: steal * to_pct,
+            idle: idle * to_pct,
+        }
+    }
+
+    /// Overload factor from the last sample: how much demand exceeded
+    /// capacity, normalized to vCPUs. Zero when the guest keeps up.
+    pub fn overload(&self) -> f64 {
+        self.overload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuModel {
+        CpuModel::new(CpuConfig::default(), SimRng::new(42))
+    }
+
+    #[test]
+    fn breakdown_sums_to_100() {
+        let mut m = model();
+        for demand in [0.0, 0.5, 1.0, 2.0, 5.0] {
+            for traffic in [0.0, 10.0, 60.0, 200.0] {
+                for util in [0.0, 0.4, 1.0] {
+                    let b = m.sample(demand, traffic, util);
+                    assert!(
+                        (b.total() - 100.0).abs() < 1e-6,
+                        "demand {demand} traffic {traffic} util {util}: total {}",
+                        b.total()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_components_nonnegative() {
+        let mut m = model();
+        for _ in 0..200 {
+            let b = m.sample(3.0, 150.0, 0.0);
+            for v in [b.user, b.nice, b.system, b.iowait, b.steal, b.idle] {
+                assert!(v >= 0.0, "negative component in {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_dominates_an_idle_guest() {
+        let mut m = model();
+        let b = m.sample(0.0, 0.0, 0.0);
+        assert!(b.idle > 85.0, "idle = {}", b.idle);
+        assert!(b.user < 5.0);
+        assert_eq!(m.overload(), 0.0);
+    }
+
+    #[test]
+    fn user_grows_with_demand_until_saturation() {
+        let mut m = model();
+        let low = m.sample(0.3, 0.0, 0.0).user;
+        let mid = m.sample(1.0, 0.0, 0.0).user;
+        let high = m.sample(1.8, 0.0, 0.0).user;
+        assert!(low < mid && mid < high, "{low} {mid} {high}");
+        // Saturated guest: idle collapses.
+        let sat = m.sample(10.0, 0.0, 0.0);
+        assert!(sat.idle < 3.0, "idle = {}", sat.idle);
+        assert!(m.overload() > 0.0);
+    }
+
+    #[test]
+    fn iowait_tracks_disk_utilization() {
+        let mut m = model();
+        let calm = m.sample(0.5, 0.0, 0.0).iowait;
+        let busy_disk = m.sample(0.5, 0.0, 0.8).iowait;
+        assert!(
+            busy_disk > calm + 20.0,
+            "disk misses must show as iowait: calm {calm} busy {busy_disk}"
+        );
+    }
+
+    #[test]
+    fn iowait_tracks_swap_traffic() {
+        let mut m = model();
+        let calm = m.sample(0.5, 0.0, 0.0).iowait;
+        let thrash = m.sample(0.5, 70.0, 0.0).iowait;
+        assert!(thrash > calm + 30.0, "calm {calm} thrash {thrash}");
+    }
+
+    #[test]
+    fn iowait_is_capped() {
+        let mut m = model();
+        let b = m.sample(0.5, 100_000.0, 0.0);
+        assert!(b.iowait <= 96.0, "iowait = {}", b.iowait);
+    }
+
+    #[test]
+    fn steal_is_stochastic_but_bounded() {
+        let mut m = model();
+        let steals: Vec<f64> = (0..500).map(|_| m.sample(0.5, 0.0, 0.0).steal).collect();
+        let min = steals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = steals.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(min >= 0.0);
+        assert!(max <= 50.0);
+        assert!(max > min, "steal should vary");
+        let mean = steals.iter().sum::<f64>() / steals.len() as f64;
+        // steal_mean=3% of a vCPU over 2 vCPUs → ~3% of total when expressed
+        // against capacity... the model normalizes per-capacity, so expect
+        // around 3%.
+        assert!((mean - 3.0).abs() < 1.0, "mean steal {mean}");
+    }
+
+    #[test]
+    fn overload_reflects_queue_growth() {
+        let mut m = model();
+        m.sample(1.0, 0.0, 0.0);
+        let calm = m.overload();
+        m.sample(6.0, 0.0, 0.0);
+        let over = m.overload();
+        assert_eq!(calm, 0.0);
+        assert!(over > 1.0, "overload = {over}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = CpuModel::new(CpuConfig::default(), SimRng::new(9));
+        let mut b = CpuModel::new(CpuConfig::default(), SimRng::new(9));
+        for _ in 0..50 {
+            assert_eq!(a.sample(1.0, 20.0, 0.0), b.sample(1.0, 20.0, 0.0));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Disk subsystem model.
+//!
+//! The paper's catalogue of anomaly classes (§I) includes **file
+//! fragmentation** alongside memory leaks and unterminated threads: a
+//! long-running guest whose database files fragment pays progressively
+//! more seeks per logical read. This module models the data volume the
+//! database tier sits on:
+//!
+//! - a service time per page read/write that splits into transfer cost
+//!   (bandwidth-bound, stable) and positioning cost (seek/rotate, which
+//!   *grows* with the fragmentation ratio);
+//! - a fragmentation state in `[0, 1)` that anomaly injection advances and
+//!   that a rejuvenation (re-copying files on restart) resets;
+//! - utilization accounting so the CPU model can derive iowait from data
+//!   disk traffic as well as swap traffic.
+
+/// Static disk parameters (shaped after the 7.2k-rpm SATA disks behind the
+/// paper's VMware hosts).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Sequential transfer time per 16 KiB page (ms).
+    pub transfer_ms_per_page: f64,
+    /// Average positioning (seek + rotational) cost per *discontiguous*
+    /// page (ms).
+    pub seek_ms: f64,
+    /// Fraction of pages that are discontiguous on a freshly laid-out
+    /// volume.
+    pub base_discontiguity: f64,
+    /// Device saturation: page operations per second the disk can sustain
+    /// when fully fragmented access patterns dominate.
+    pub max_iops: f64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            transfer_ms_per_page: 0.12,
+            seek_ms: 8.5,
+            // OLTP page access is substantially random even on a fresh
+            // layout; fragmentation anomalies push this toward 1.
+            base_discontiguity: 0.15,
+            max_iops: 140.0,
+        }
+    }
+}
+
+/// Dynamic disk state.
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    cfg: DiskConfig,
+    /// Fragmentation ratio in `[0, 1)`: probability that the next page of
+    /// a logically sequential read requires a positioning operation.
+    fragmentation: f64,
+    /// Pages served since boot (diagnostics).
+    pages_served: u64,
+    /// Utilization in `[0, 1]` over the last accounting interval.
+    utilization: f64,
+}
+
+impl DiskModel {
+    /// A freshly laid-out volume.
+    pub fn new(cfg: DiskConfig) -> Self {
+        DiskModel {
+            fragmentation: cfg.base_discontiguity,
+            cfg,
+            pages_served: 0,
+            utilization: 0.0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &DiskConfig {
+        &self.cfg
+    }
+
+    /// Current fragmentation ratio.
+    pub fn fragmentation(&self) -> f64 {
+        self.fragmentation
+    }
+
+    /// Advance fragmentation by `delta` (from write churn or the
+    /// fragmentation anomaly injector). Saturates below 1.
+    pub fn fragment(&mut self, delta: f64) {
+        debug_assert!(delta >= 0.0);
+        self.fragmentation = (self.fragmentation + delta).min(0.95);
+    }
+
+    /// Defragment back to the clean layout (what a full rejuvenation with
+    /// file re-copy achieves).
+    pub fn defragment(&mut self) {
+        self.fragmentation = self.cfg.base_discontiguity;
+    }
+
+    /// Set the fragmentation ratio directly — used to carry layout state
+    /// across restarts: an application restart clears leaked memory and
+    /// threads but does *not* tidy the on-disk layout.
+    pub fn set_fragmentation(&mut self, f: f64) {
+        self.fragmentation = f.clamp(self.cfg.base_discontiguity, 0.95);
+    }
+
+    /// Expected service time (seconds) for `pages` logically sequential
+    /// page reads at the current fragmentation level.
+    pub fn read_time_s(&mut self, pages: f64) -> f64 {
+        debug_assert!(pages >= 0.0);
+        self.pages_served += pages as u64;
+        let per_page_ms = self.cfg.transfer_ms_per_page + self.fragmentation * self.cfg.seek_ms;
+        pages * per_page_ms / 1000.0
+    }
+
+    /// Record the I/O demand of the last interval and return the resulting
+    /// utilization in `[0, 1]` (`pages_per_s` of demand against the
+    /// device's fragmentation-adjusted capacity).
+    pub fn account_utilization(&mut self, pages_per_s: f64) -> f64 {
+        let per_page_ms =
+            self.cfg.transfer_ms_per_page + self.fragmentation * self.cfg.seek_ms;
+        let capacity = (1000.0 / per_page_ms).min(self.cfg.max_iops * 10.0);
+        self.utilization = (pages_per_s / capacity).clamp(0.0, 1.0);
+        self.utilization
+    }
+
+    /// Utilization recorded by the last [`DiskModel::account_utilization`].
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Pages served since boot.
+    pub fn pages_served(&self) -> u64 {
+        self.pages_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_disk_is_fast() {
+        let mut d = DiskModel::new(DiskConfig::default());
+        let t = d.read_time_s(100.0);
+        // 100 pages at ~1.4 ms each (transfer + 15 % seeks).
+        assert!(t < 0.2, "read time {t}");
+        assert_eq!(d.pages_served(), 100);
+    }
+
+    #[test]
+    fn fragmentation_slows_reads_markedly() {
+        let mut clean = DiskModel::new(DiskConfig::default());
+        let mut frag = DiskModel::new(DiskConfig::default());
+        frag.fragment(0.5);
+        let tc = clean.read_time_s(100.0);
+        let tf = frag.read_time_s(100.0);
+        assert!(tf > 3.0 * tc, "clean {tc} fragmented {tf}");
+    }
+
+    #[test]
+    fn fragmentation_saturates_below_one() {
+        let mut d = DiskModel::new(DiskConfig::default());
+        for _ in 0..100 {
+            d.fragment(0.1);
+        }
+        assert!(d.fragmentation() <= 0.95);
+    }
+
+    #[test]
+    fn defragment_restores_baseline() {
+        let mut d = DiskModel::new(DiskConfig::default());
+        d.fragment(0.4);
+        assert!(d.fragmentation() > 0.4);
+        d.defragment();
+        assert_eq!(d.fragmentation(), DiskConfig::default().base_discontiguity);
+    }
+
+    #[test]
+    fn utilization_grows_with_demand_and_fragmentation() {
+        let mut d = DiskModel::new(DiskConfig::default());
+        let low = d.account_utilization(100.0);
+        let high = d.account_utilization(2000.0);
+        assert!(high > low);
+        d.fragment(0.6);
+        let fragged = d.account_utilization(100.0);
+        assert!(fragged > low, "same demand, more seeks → busier disk");
+        assert!(d.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn zero_demand_zero_utilization() {
+        let mut d = DiskModel::new(DiskConfig::default());
+        assert_eq!(d.account_utilization(0.0), 0.0);
+        assert_eq!(d.read_time_s(0.0), 0.0);
+    }
+}

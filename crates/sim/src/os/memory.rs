@@ -1,0 +1,380 @@
+//! Virtual-machine memory and swap model.
+//!
+//! Reproduces, at the granularity visible to `free`, how a Linux guest
+//! behaves while an application leaks memory:
+//!
+//! 1. While plenty of RAM is free, the page cache grows toward a preferred
+//!    working size (serving the TPC-W database) and anonymous memory is
+//!    fully resident.
+//! 2. As anonymous demand (app working set + leaks + thread stacks) grows,
+//!    the kernel reclaims page cache and buffers down to a floor.
+//! 3. Once reclaim is exhausted, anonymous pages spill to swap. Swap-out
+//!    traffic — and, once the resident set no longer fits, thrashing
+//!    swap-in traffic — grows superlinearly as free swap vanishes. This is
+//!    the accelerating `SWused` trajectory the paper calls out in §III-B as
+//!    the reason slopes are such strong predictors.
+//! 4. When free memory and free swap are both (near) zero the guest is
+//!    effectively dead; the failure condition in [`crate::failure`] keys on
+//!    exactly that.
+//!
+//! All quantities are mebibytes stored as `f64`.
+
+/// Static sizing of the simulated guest's memory.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryConfig {
+    /// Physical RAM visible to the guest (MiB).
+    pub total_ram: f64,
+    /// Swap partition size (MiB).
+    pub total_swap: f64,
+    /// RAM permanently claimed by the kernel and resident daemons (MiB).
+    pub kernel_reserved: f64,
+    /// Preferred page-cache size when memory is plentiful (MiB).
+    pub cache_preferred: f64,
+    /// Page cache floor the kernel keeps even under pressure (MiB).
+    pub cache_floor: f64,
+    /// Preferred buffer size (MiB).
+    pub buffers_preferred: f64,
+    /// Buffer floor under pressure (MiB).
+    pub buffers_floor: f64,
+    /// Shared memory segments (MiB) — roughly constant in the testbed.
+    pub shared: f64,
+    /// Time constant (s) for cache growth toward its target.
+    pub cache_growth_tau: f64,
+    /// Sustained swap device bandwidth (MiB/s) used to convert swap traffic
+    /// into iowait pressure.
+    pub swap_bandwidth: f64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        // Shaped after the paper's Ubuntu 10.04 guests: a small VM that a
+        // servlet container plus MySQL can exhaust in a few thousand
+        // seconds of leaking.
+        MemoryConfig {
+            total_ram: 2048.0,
+            total_swap: 1024.0,
+            kernel_reserved: 160.0,
+            cache_preferred: 700.0,
+            cache_floor: 40.0,
+            buffers_preferred: 120.0,
+            buffers_floor: 8.0,
+            shared: 24.0,
+            cache_growth_tau: 120.0,
+            swap_bandwidth: 60.0,
+        }
+    }
+}
+
+/// The `free`-style snapshot exposed to the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryState {
+    /// Memory used by applications (anonymous resident set), MiB.
+    pub used: f64,
+    /// Free memory, MiB.
+    pub free: f64,
+    /// Shared memory, MiB.
+    pub shared: f64,
+    /// Kernel buffers, MiB.
+    pub buffers: f64,
+    /// Page cache, MiB.
+    pub cached: f64,
+    /// Swap in use, MiB.
+    pub swap_used: f64,
+    /// Swap free, MiB.
+    pub swap_free: f64,
+}
+
+/// Dynamic memory model; call [`MemoryModel::advance`] to integrate.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    cfg: MemoryConfig,
+    /// Current page cache size (MiB).
+    cached: f64,
+    /// Current buffers size (MiB).
+    buffers: f64,
+    /// Anonymous demand: working set + leaks + thread stacks (MiB).
+    anon_demand: f64,
+    /// Portion of anonymous demand currently on swap (MiB).
+    swap_used: f64,
+    /// Swap traffic rate over the last advance (MiB/s), drives iowait.
+    swap_traffic: f64,
+}
+
+impl MemoryModel {
+    /// Fresh guest right after boot.
+    pub fn new(cfg: MemoryConfig) -> Self {
+        MemoryModel {
+            buffers: cfg.buffers_floor,
+            cached: cfg.cache_floor,
+            anon_demand: 0.0,
+            swap_used: 0.0,
+            swap_traffic: 0.0,
+            cfg,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Set the anonymous memory demand (working set + leaked + stacks).
+    pub fn set_anon_demand(&mut self, mib: f64) {
+        self.anon_demand = mib.max(0.0);
+    }
+
+    /// Current anonymous demand (MiB).
+    pub fn anon_demand(&self) -> f64 {
+        self.anon_demand
+    }
+
+    /// RAM available to anonymous pages after the kernel reserve and the
+    /// *current* cache/buffers.
+    fn anon_capacity(&self) -> f64 {
+        (self.cfg.total_ram - self.cfg.kernel_reserved - self.cfg.shared
+            - self.cached
+            - self.buffers)
+            .max(0.0)
+    }
+
+    /// Integrate the model over `dt` seconds given the current I/O activity
+    /// level (`io_activity` in [0, 1], from the workload: DB reads populate
+    /// the cache).
+    pub fn advance(&mut self, dt: f64, io_activity: f64) {
+        debug_assert!(dt >= 0.0);
+        if dt == 0.0 {
+            return;
+        }
+        let io = io_activity.clamp(0.0, 1.0);
+
+        // --- Phase 1: cache/buffer targets given current pressure. ---
+        let ram_for_anon_max =
+            self.cfg.total_ram - self.cfg.kernel_reserved - self.cfg.shared
+                - self.cfg.cache_floor
+                - self.cfg.buffers_floor;
+
+        // Headroom the kernel can spend on reclaimable pages: whatever anon
+        // demand leaves free, plus the floors it never gives up. Buffers are
+        // sized first (they are small), the page cache gets the rest; both
+        // relax toward an I/O-scaled preferred size when memory is ample
+        // and shrink to their floors as anonymous demand squeezes them out.
+        let headroom = (ram_for_anon_max - self.anon_demand).max(0.0)
+            + self.cfg.cache_floor
+            + self.cfg.buffers_floor;
+        let buf_pref = self.cfg.buffers_floor
+            + (self.cfg.buffers_preferred - self.cfg.buffers_floor) * (0.3 + 0.7 * io);
+        let buf_target = buf_pref
+            .min(headroom - self.cfg.cache_floor)
+            .max(self.cfg.buffers_floor);
+        let cache_pref = self.cfg.cache_floor
+            + (self.cfg.cache_preferred - self.cfg.cache_floor) * (0.3 + 0.7 * io);
+        let cache_target = cache_pref
+            .min(headroom - buf_target)
+            .max(self.cfg.cache_floor);
+
+        // Growth is slow (tau), reclaim is fast (tau/8): the kernel drops
+        // clean pages much faster than it repopulates them.
+        let grow_alpha = 1.0 - (-dt / self.cfg.cache_growth_tau).exp();
+        let reclaim_alpha = 1.0 - (-dt / (self.cfg.cache_growth_tau / 8.0)).exp();
+        let cache_alpha = if cache_target < self.cached { reclaim_alpha } else { grow_alpha };
+        let buf_alpha = if buf_target < self.buffers { reclaim_alpha } else { grow_alpha };
+        self.cached += (cache_target - self.cached) * cache_alpha;
+        self.buffers += (buf_target - self.buffers) * buf_alpha;
+
+        // --- Phase 2: swap what does not fit. ---
+        let capacity = self.anon_capacity();
+        let overflow = (self.anon_demand - capacity).max(0.0);
+        let swap_target = overflow.min(self.cfg.total_swap);
+        // Swap-out is bandwidth limited.
+        let max_delta = self.cfg.swap_bandwidth * dt;
+        let delta = (swap_target - self.swap_used).clamp(-max_delta, max_delta);
+        self.swap_used = (self.swap_used + delta).clamp(0.0, self.cfg.total_swap);
+
+        // --- Phase 3: traffic estimate for iowait coupling. ---
+        // Base: the migration we just performed. Thrash: once a meaningful
+        // share of the working set lives on swap, page faults force
+        // continuous swap-in, growing superlinearly with swap occupancy.
+        let occupancy = self.swap_used / self.cfg.total_swap.max(1.0);
+        let thrash = self.cfg.swap_bandwidth * occupancy * occupancy * 0.9;
+        self.swap_traffic = delta.abs() / dt + thrash;
+    }
+
+    /// Swap traffic (MiB/s) over the last `advance`; feeds the CPU iowait
+    /// model and the server slowdown factor.
+    pub fn swap_traffic(&self) -> f64 {
+        self.swap_traffic
+    }
+
+    /// Fraction of swap in use, `[0, 1]`.
+    pub fn swap_occupancy(&self) -> f64 {
+        if self.cfg.total_swap <= 0.0 {
+            0.0
+        } else {
+            self.swap_used / self.cfg.total_swap
+        }
+    }
+
+    /// Degree of memory overcommit: anonymous demand not backed by RAM or
+    /// swap (MiB). When this is positive the guest cannot make progress.
+    pub fn unbacked_demand(&self) -> f64 {
+        (self.anon_demand - self.anon_capacity() - self.cfg.total_swap).max(0.0)
+    }
+
+    /// Produce the `free`-style snapshot.
+    pub fn state(&self) -> MemoryState {
+        let resident_anon = (self.anon_demand - self.swap_used)
+            .clamp(0.0, self.anon_capacity());
+        let used = resident_anon + self.cfg.kernel_reserved;
+        let free = (self.cfg.total_ram
+            - used
+            - self.cfg.shared
+            - self.buffers
+            - self.cached)
+            .max(0.0);
+        MemoryState {
+            used,
+            free,
+            shared: self.cfg.shared,
+            buffers: self.buffers,
+            cached: self.cached,
+            swap_used: self.swap_used,
+            swap_free: (self.cfg.total_swap - self.swap_used).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MemoryModel {
+        MemoryModel::new(MemoryConfig::default())
+    }
+
+    /// Drive the model with a fixed anon demand for `secs` seconds.
+    fn settle(m: &mut MemoryModel, demand: f64, secs: f64, io: f64) {
+        m.set_anon_demand(demand);
+        let steps = (secs / 1.0) as usize;
+        for _ in 0..steps {
+            m.advance(1.0, io);
+        }
+    }
+
+    #[test]
+    fn fresh_guest_has_high_free_memory() {
+        let m = model();
+        let s = m.state();
+        assert!(s.free > 1500.0, "free = {}", s.free);
+        assert_eq!(s.swap_used, 0.0);
+        assert_eq!(s.swap_free, 1024.0);
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let mut m = model();
+        for demand in [0.0, 400.0, 1200.0, 2200.0, 3200.0] {
+            settle(&mut m, demand, 600.0, 0.5);
+            let s = m.state();
+            let total = s.used + s.free + s.shared + s.buffers + s.cached;
+            assert!(
+                (total - m.config().total_ram).abs() < 1.0,
+                "demand {demand}: breakdown sums to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_grows_when_memory_plentiful() {
+        let mut m = model();
+        settle(&mut m, 300.0, 900.0, 1.0);
+        let s = m.state();
+        assert!(s.cached > 400.0, "cached = {}", s.cached);
+        assert_eq!(s.swap_used, 0.0);
+    }
+
+    #[test]
+    fn cache_reclaimed_under_pressure_before_swapping() {
+        let mut m = model();
+        settle(&mut m, 300.0, 900.0, 1.0);
+        let cached_before = m.state().cached;
+        // Push demand near (but under) RAM capacity: cache shrinks, swap
+        // stays (almost) unused.
+        settle(&mut m, 1700.0, 600.0, 1.0);
+        let s = m.state();
+        assert!(s.cached < cached_before / 3.0, "cached = {}", s.cached);
+        assert!(s.swap_used < 100.0, "swap_used = {}", s.swap_used);
+    }
+
+    #[test]
+    fn swap_fills_when_demand_exceeds_ram() {
+        let mut m = model();
+        settle(&mut m, 2500.0, 1200.0, 0.5);
+        let s = m.state();
+        assert!(s.swap_used > 500.0, "swap_used = {}", s.swap_used);
+        assert!(s.free < 100.0, "free = {}", s.free);
+    }
+
+    #[test]
+    fn swap_is_bandwidth_limited() {
+        let mut m = model();
+        m.set_anon_demand(3000.0);
+        m.advance(1.0, 0.5);
+        let s = m.state();
+        assert!(
+            s.swap_used <= m.config().swap_bandwidth + 1e-9,
+            "swap jumped to {} in 1 s",
+            s.swap_used
+        );
+    }
+
+    #[test]
+    fn swap_never_exceeds_total() {
+        let mut m = model();
+        settle(&mut m, 10_000.0, 3000.0, 0.5);
+        let s = m.state();
+        assert!(s.swap_used <= m.config().total_swap);
+        assert_eq!(s.swap_free, 0.0);
+        assert!(m.unbacked_demand() > 0.0);
+    }
+
+    #[test]
+    fn swap_traffic_superlinear_near_exhaustion() {
+        let mut low = model();
+        settle(&mut low, 2100.0, 1200.0, 0.5);
+        let mut high = model();
+        settle(&mut high, 2800.0, 1200.0, 0.5);
+        assert!(
+            high.swap_traffic() > 2.0 * low.swap_traffic(),
+            "traffic low {} high {}",
+            low.swap_traffic(),
+            high.swap_traffic()
+        );
+    }
+
+    #[test]
+    fn swap_drains_when_pressure_relieved() {
+        let mut m = model();
+        settle(&mut m, 2600.0, 1200.0, 0.5);
+        let filled = m.state().swap_used;
+        assert!(filled > 300.0);
+        settle(&mut m, 200.0, 1200.0, 0.5);
+        assert!(m.state().swap_used < filled / 4.0);
+    }
+
+    #[test]
+    fn occupancy_and_zero_dt() {
+        let mut m = model();
+        assert_eq!(m.swap_occupancy(), 0.0);
+        m.advance(0.0, 0.5); // must not panic or change state
+        assert_eq!(m.state().swap_used, 0.0);
+    }
+
+    #[test]
+    fn io_activity_modulates_cache_target() {
+        let mut idle = model();
+        settle(&mut idle, 300.0, 900.0, 0.0);
+        let mut busy = model();
+        settle(&mut busy, 300.0, 900.0, 1.0);
+        assert!(busy.state().cached > idle.state().cached);
+    }
+}

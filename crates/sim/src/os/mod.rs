@@ -1,0 +1,16 @@
+//! Operating-system resource models for the simulated VM.
+//!
+//! These models produce, at every instant of simulated time, exactly the
+//! quantities the paper's Feature Monitor Client samples from standard
+//! tooling (`free`, `top`/`vmstat`): the memory breakdown, the swap state,
+//! the CPU time percentages, and the thread count.
+
+pub mod cpu;
+pub mod disk;
+pub mod memory;
+pub mod threads;
+
+pub use cpu::{CpuBreakdown, CpuConfig, CpuModel};
+pub use disk::{DiskConfig, DiskModel};
+pub use memory::{MemoryConfig, MemoryModel, MemoryState};
+pub use threads::{ThreadConfig, ThreadModel};

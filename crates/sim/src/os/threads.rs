@@ -1,0 +1,180 @@
+//! Thread-population model.
+//!
+//! Tracks the number of threads a `ps -eLf`-style count would report on the
+//! guest: the static base population (kernel threads, JVM service threads,
+//! Tomcat acceptor/worker pool, MySQL threads), per-request transient
+//! workers, and — critically for the paper — *unterminated threads* leaked
+//! by the faulty servlet, each of which pins stack memory forever and adds
+//! scheduler drag.
+
+/// Static thread-model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadConfig {
+    /// Threads present on an idle, healthy guest.
+    pub base_threads: u32,
+    /// Worker threads spawned per concurrently active request.
+    pub workers_per_request: f64,
+    /// Stack memory pinned per leaked thread (MiB). The JVM default
+    /// `-Xss512k` matches the paper era.
+    pub stack_mib_per_leak: f64,
+    /// Scheduler drag: fractional CPU overhead per 1000 leaked threads.
+    pub sched_drag_per_1000: f64,
+    /// Hard thread limit; reaching it hangs the application.
+    pub thread_limit: u32,
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        ThreadConfig {
+            base_threads: 140,
+            workers_per_request: 1.0,
+            stack_mib_per_leak: 0.5,
+            sched_drag_per_1000: 0.25,
+            thread_limit: 8000,
+        }
+    }
+}
+
+/// Dynamic thread population.
+#[derive(Debug, Clone)]
+pub struct ThreadModel {
+    cfg: ThreadConfig,
+    leaked: u32,
+    active_requests: u32,
+}
+
+impl ThreadModel {
+    /// Fresh guest.
+    pub fn new(cfg: ThreadConfig) -> Self {
+        ThreadModel {
+            cfg,
+            leaked: 0,
+            active_requests: 0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ThreadConfig {
+        &self.cfg
+    }
+
+    /// Record a leaked (unterminated) thread.
+    pub fn leak_thread(&mut self) {
+        self.leaked = self.leaked.saturating_add(1);
+    }
+
+    /// Number of leaked threads so far.
+    pub fn leaked(&self) -> u32 {
+        self.leaked
+    }
+
+    /// Update the number of concurrently active requests.
+    pub fn set_active_requests(&mut self, n: u32) {
+        self.active_requests = n;
+    }
+
+    /// Total visible thread count.
+    pub fn total(&self) -> u32 {
+        let workers =
+            (self.active_requests as f64 * self.cfg.workers_per_request).ceil() as u32;
+        self.cfg
+            .base_threads
+            .saturating_add(workers)
+            .saturating_add(self.leaked)
+    }
+
+    /// Stack memory pinned by leaked threads (MiB).
+    pub fn leaked_stack_mib(&self) -> f64 {
+        self.leaked as f64 * self.cfg.stack_mib_per_leak
+    }
+
+    /// CPU drag factor from oversubscribed scheduling: multiply service
+    /// times by `1 + drag`.
+    pub fn scheduler_drag(&self) -> f64 {
+        self.leaked as f64 / 1000.0 * self.cfg.sched_drag_per_1000
+    }
+
+    /// Whether the guest hit its thread limit (application hang).
+    pub fn at_limit(&self) -> bool {
+        self.total() >= self.cfg.thread_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_guest_reports_base_threads() {
+        let t = ThreadModel::new(ThreadConfig::default());
+        assert_eq!(t.total(), 140);
+        assert_eq!(t.leaked(), 0);
+        assert_eq!(t.leaked_stack_mib(), 0.0);
+        assert!(!t.at_limit());
+    }
+
+    #[test]
+    fn leaks_accumulate_monotonically() {
+        let mut t = ThreadModel::new(ThreadConfig::default());
+        for i in 1..=100 {
+            t.leak_thread();
+            assert_eq!(t.leaked(), i);
+        }
+        assert_eq!(t.total(), 240);
+        assert_eq!(t.leaked_stack_mib(), 50.0);
+    }
+
+    #[test]
+    fn active_requests_add_workers() {
+        let mut t = ThreadModel::new(ThreadConfig::default());
+        t.set_active_requests(25);
+        assert_eq!(t.total(), 165);
+        t.set_active_requests(0);
+        assert_eq!(t.total(), 140);
+    }
+
+    #[test]
+    fn scheduler_drag_scales_with_leaks() {
+        let mut t = ThreadModel::new(ThreadConfig::default());
+        assert_eq!(t.scheduler_drag(), 0.0);
+        for _ in 0..2000 {
+            t.leak_thread();
+        }
+        assert!((t.scheduler_drag() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_limit_detection() {
+        let cfg = ThreadConfig {
+            thread_limit: 150,
+            ..ThreadConfig::default()
+        };
+        let mut t = ThreadModel::new(cfg);
+        assert!(!t.at_limit());
+        for _ in 0..10 {
+            t.leak_thread();
+        }
+        assert!(t.at_limit());
+    }
+
+    #[test]
+    fn fractional_workers_round_up() {
+        let cfg = ThreadConfig {
+            workers_per_request: 0.5,
+            ..ThreadConfig::default()
+        };
+        let mut t = ThreadModel::new(cfg);
+        t.set_active_requests(3);
+        assert_eq!(t.total(), 142); // ceil(1.5) = 2
+    }
+
+    #[test]
+    fn saturating_behaviour_at_u32_extremes() {
+        let mut t = ThreadModel::new(ThreadConfig::default());
+        t.leaked = u32::MAX - 1;
+        t.leak_thread();
+        t.leak_thread(); // must not overflow
+        assert_eq!(t.leaked(), u32::MAX);
+        assert!(t.at_limit());
+    }
+}

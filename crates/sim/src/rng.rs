@@ -1,0 +1,205 @@
+//! Seeded random-number utilities for the simulator.
+//!
+//! Every stochastic element of the testbed (think times, leak sizes, anomaly
+//! inter-arrival times, hypervisor steal) draws from a [`SimRng`], which
+//! wraps a seeded [`rand::rngs::StdRng`] so a whole campaign replays
+//! bit-identically from its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG with the distribution helpers the testbed needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child RNG; used to give each simulator
+    /// component its own stream so adding draws in one component does not
+    /// perturb another (important for A/B-ing anomaly configurations).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. `lo == hi` returns `lo`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform: lo > hi");
+        if lo == hi {
+            lo
+        } else {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    ///
+    /// The paper's injectors (§III-E) draw anomaly inter-arrival times from
+    /// exponential distributions whose means are themselves drawn uniformly
+    /// at startup.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential: non-positive mean");
+        let u = 1.0 - self.uniform01(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform01() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box-Muller (single value; simple and branch-free
+    /// enough for non-hot paths like steal-time jitter).
+    pub fn gaussian(&mut self, mean: f64, std: f64) -> f64 {
+        debug_assert!(std >= 0.0);
+        let u1 = (1.0 - self.uniform01()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform01();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Sample an index from a discrete probability row (values ≥ 0; the row
+    /// is normalized internally). Returns the last index if rounding leaves
+    /// residual mass.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        debug_assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "categorical: zero total weight");
+        let mut u = self.uniform01() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if u < w {
+                return i;
+            }
+            u -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A raw u64 draw (for deriving seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform01(), b.uniform01());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.uniform01() == b.uniform01()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_parent_consumption() {
+        let mut parent1 = SimRng::new(99);
+        let mut child1 = parent1.fork();
+        let mut parent2 = SimRng::new(99);
+        let mut child2 = parent2.fork();
+        // Consume from parent1 only; children must still agree.
+        for _ in 0..10 {
+            parent1.uniform01();
+        }
+        for _ in 0..20 {
+            assert_eq!(child1.uniform01(), child2.uniform01());
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+        assert_eq!(r.uniform(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn exponential_mean_approximately_correct() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let mean = 3.5;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - mean).abs() < 0.1,
+            "empirical mean {emp} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.exponential(0.001) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = SimRng::new(13);
+        let hits = (0..10_000).filter(|_| r.bernoulli(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SimRng::new(17);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian(2.0, 1.5)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 2.25).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = SimRng::new(23);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.categorical(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / 10_000.0;
+        assert!((frac2 - 0.75).abs() < 0.03, "frac2 {frac2}");
+    }
+
+    #[test]
+    fn categorical_single_weight() {
+        let mut r = SimRng::new(1);
+        assert_eq!(r.categorical(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Application-server response-time model.
+//!
+//! Approximates the Tomcat + MySQL tier as a processor-sharing server whose
+//! per-request response time inflates with (a) concurrency, (b) scheduler
+//! drag from leaked threads, (c) serialization behind leaked (unreleased)
+//! locks, (d) database time priced by the explicit DB/disk tier — cache
+//! misses pay fragmentation-dependent positioning costs — and (e) memory
+//! thrash once the guest is swapping. Together these are the mechanisms
+//! behind the paper's Fig. 3 response-time blow-up, across all the anomaly
+//! classes its §I catalogue names (memory leaks, unterminated threads,
+//! unreleased locks, file fragmentation).
+//!
+//! Rather than re-scheduling completions as concurrency changes (true PS),
+//! the model prices a request at arrival from the instantaneous system
+//! state. At the ~seconds timescale the monitor samples, the approximation
+//! is indistinguishable from true PS and keeps the event loop simple.
+
+use crate::os::disk::DiskModel;
+use crate::os::memory::MemoryModel;
+use crate::os::threads::ThreadModel;
+use crate::tpcw::database::{DatabaseConfig, DatabaseModel};
+use crate::tpcw::Interaction;
+
+/// Static server-model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Relative CPU speed of the guest (1.0 = demands in
+    /// [`Interaction::demand`] are taken at face value).
+    pub speed: f64,
+    /// Concurrency at which queueing doubles the base service time.
+    pub concurrency_knee: f64,
+    /// Multiplier applied to the squared swap-occupancy term of the memory
+    /// slowdown (how violently thrash hurts).
+    pub thrash_weight: f64,
+    /// Serialization cost per leaked lock: each unreleased lock effectively
+    /// removes this much of the concurrency knee (requests queue behind
+    /// held mutexes).
+    pub lock_knee_penalty: f64,
+    /// Database tier parameters.
+    pub database: DatabaseConfig,
+    /// Hard ceiling on a single response time (s); EB timeouts in the real
+    /// testbed cap observable latency similarly.
+    pub max_response_s: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            speed: 1.0,
+            concurrency_knee: 12.0,
+            thrash_weight: 24.0,
+            lock_knee_penalty: 0.04,
+            database: DatabaseConfig::default(),
+            max_response_s: 30.0,
+        }
+    }
+}
+
+/// Dynamic app-server state.
+#[derive(Debug, Clone)]
+pub struct AppServer {
+    cfg: ServerConfig,
+    database: DatabaseModel,
+    active: u32,
+    completed: u64,
+    /// Leaked (never released) locks.
+    leaked_locks: u32,
+    /// Total CPU-seconds demanded by currently-active requests / their
+    /// response times — used to derive CPU work demand.
+    cpu_demand_rate: f64,
+    /// Total DB-seconds rate of active requests — drives page-cache
+    /// activity.
+    db_demand_rate: f64,
+    /// Physical disk pages pushed since the last drain (for iowait
+    /// accounting in the engine's state update).
+    disk_pages_pending: f64,
+}
+
+impl AppServer {
+    /// New idle server.
+    pub fn new(cfg: ServerConfig) -> Self {
+        AppServer {
+            database: DatabaseModel::new(cfg.database),
+            cfg,
+            active: 0,
+            completed: 0,
+            leaked_locks: 0,
+            cpu_demand_rate: 0.0,
+            db_demand_rate: 0.0,
+            disk_pages_pending: 0.0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The database tier (read access for diagnostics).
+    pub fn database(&self) -> &DatabaseModel {
+        &self.database
+    }
+
+    /// Requests currently in service.
+    pub fn active_requests(&self) -> u32 {
+        self.active
+    }
+
+    /// Requests completed since boot.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Record an unreleased lock (the paper's §I "unreleased locks"
+    /// anomaly class): every leaked lock serializes a little more of the
+    /// request mix.
+    pub fn leak_lock(&mut self) {
+        self.leaked_locks = self.leaked_locks.saturating_add(1);
+    }
+
+    /// Leaked locks so far.
+    pub fn leaked_locks(&self) -> u32 {
+        self.leaked_locks
+    }
+
+    /// Current user CPU work demand (CPU-seconds per second) — feeds the
+    /// CPU accounting model.
+    pub fn cpu_demand_rate(&self) -> f64 {
+        self.cpu_demand_rate
+    }
+
+    /// Current DB activity, normalized to `[0, 1]` for the page-cache model.
+    pub fn io_activity(&self) -> f64 {
+        (self.db_demand_rate / 1.0).clamp(0.0, 1.0)
+    }
+
+    /// Drain the physical disk pages accumulated since the last call
+    /// (engine state update → disk utilization → iowait).
+    pub fn drain_disk_pages(&mut self) -> f64 {
+        std::mem::take(&mut self.disk_pages_pending)
+    }
+
+    /// Effective concurrency knee after lock serialization.
+    fn effective_knee(&self) -> f64 {
+        let eaten = self.leaked_locks as f64 * self.cfg.lock_knee_penalty;
+        (self.cfg.concurrency_knee - eaten).max(1.0)
+    }
+
+    /// Price a newly arrived request: returns its response time (s) given
+    /// the current memory, thread and disk state, and marks it active.
+    pub fn admit(
+        &mut self,
+        interaction: Interaction,
+        memory: &MemoryModel,
+        threads: &ThreadModel,
+        disk: &mut DiskModel,
+    ) -> f64 {
+        let d = interaction.demand();
+
+        // (a) Concurrency: processor-sharing style inflation, with the
+        // knee shrunk by leaked locks (c).
+        let queue_factor = 1.0 + self.active as f64 / self.effective_knee();
+
+        // (b) Leaked-thread scheduler drag.
+        let drag = 1.0 + threads.scheduler_drag();
+
+        // (d) Database phase: priced by the explicit DB/disk tier from the
+        // current OS page cache (cache eviction → misses → seeks).
+        let cached = memory.state().cached;
+        let (db_time, disk_pages) = self.database.query_time_s(interaction, cached, disk);
+        self.disk_pages_pending += disk_pages;
+
+        // (e) Memory thrash: superlinear in swap occupancy, so the last few
+        // hundred MiB of swap hurt far more than the first.
+        let occ = memory.swap_occupancy();
+        let thrash = 1.0 + self.cfg.thrash_weight * occ * occ;
+
+        let base = d.cpu_s * drag / self.cfg.speed + db_time;
+        let rt = (base * queue_factor * thrash).min(self.cfg.max_response_s);
+
+        self.active += 1;
+        self.recompute_rates(interaction, rt, true);
+        rt
+    }
+
+    /// Mark a previously admitted request complete.
+    pub fn complete(&mut self, interaction: Interaction, response_time: f64) {
+        debug_assert!(self.active > 0, "complete without admit");
+        self.active = self.active.saturating_sub(1);
+        self.completed += 1;
+        self.recompute_rates(interaction, response_time, false);
+    }
+
+    fn recompute_rates(&mut self, interaction: Interaction, rt: f64, add: bool) {
+        let d = interaction.demand();
+        let rt = rt.max(1e-3);
+        let cpu = d.cpu_s / rt;
+        let db = d.db_s / rt;
+        if add {
+            self.cpu_demand_rate += cpu;
+            self.db_demand_rate += db;
+        } else {
+            self.cpu_demand_rate = (self.cpu_demand_rate - cpu).max(0.0);
+            self.db_demand_rate = (self.db_demand_rate - db).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::disk::{DiskConfig, DiskModel};
+    use crate::os::memory::{MemoryConfig, MemoryModel};
+    use crate::os::threads::{ThreadConfig, ThreadModel};
+
+    fn healthy_memory() -> MemoryModel {
+        let mut m = MemoryModel::new(MemoryConfig::default());
+        m.set_anon_demand(300.0);
+        for _ in 0..600 {
+            m.advance(1.0, 0.5);
+        }
+        m
+    }
+
+    fn thrashing_memory() -> MemoryModel {
+        let mut m = MemoryModel::new(MemoryConfig::default());
+        m.set_anon_demand(2700.0);
+        for _ in 0..1500 {
+            m.advance(1.0, 0.5);
+        }
+        m
+    }
+
+    fn disk() -> DiskModel {
+        DiskModel::new(DiskConfig::default())
+    }
+
+    #[test]
+    fn healthy_server_is_fast() {
+        let mem = healthy_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        let rt = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        assert!(rt < 0.1, "healthy Home rt = {rt}");
+        assert_eq!(s.active_requests(), 1);
+    }
+
+    #[test]
+    fn thrashing_guest_is_slow() {
+        let healthy = healthy_memory();
+        let sick = thrashing_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut d1 = disk();
+        let mut d2 = disk();
+        let mut a = AppServer::new(ServerConfig::default());
+        let mut b = AppServer::new(ServerConfig::default());
+        let fast = a.admit(Interaction::BestSellers, &healthy, &thr, &mut d1);
+        let slow = b.admit(Interaction::BestSellers, &sick, &thr, &mut d2);
+        assert!(
+            slow > 8.0 * fast,
+            "thrash should dominate: fast {fast} slow {slow}"
+        );
+    }
+
+    #[test]
+    fn cache_eviction_alone_slows_heavy_queries() {
+        // Memory pressure that evicts the page cache but has NOT started
+        // swapping yet: database time must already inflate (the early-
+        // warning signal the page-cache feature carries).
+        let healthy = healthy_memory();
+        let mut squeezed = MemoryModel::new(MemoryConfig::default());
+        squeezed.set_anon_demand(1700.0);
+        for _ in 0..600 {
+            squeezed.advance(1.0, 0.5);
+        }
+        assert!(squeezed.state().swap_used < 120.0, "should not be swapping much");
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut d1 = disk();
+        let mut d2 = disk();
+        let mut a = AppServer::new(ServerConfig::default());
+        let mut b = AppServer::new(ServerConfig::default());
+        let warm = a.admit(Interaction::BestSellers, &healthy, &thr, &mut d1);
+        let cold = b.admit(Interaction::BestSellers, &squeezed, &thr, &mut d2);
+        assert!(cold > 2.0 * warm, "warm {warm} cold {cold}");
+    }
+
+    #[test]
+    fn concurrency_inflates_response_time() {
+        let mem = healthy_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        let first = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        for _ in 0..24 {
+            s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        }
+        let loaded = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        assert!(loaded > 2.0 * first, "first {first} loaded {loaded}");
+    }
+
+    #[test]
+    fn leaked_threads_add_drag() {
+        let mem = healthy_memory();
+        let mut thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        let before = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        s.complete(Interaction::Home, before);
+        // 6000 leaked threads × 0.25 drag per 1000 → 2.5× CPU time.
+        for _ in 0..6000 {
+            thr.leak_thread();
+        }
+        let after = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        assert!(after > 1.4 * before, "before {before} after {after}");
+    }
+
+    #[test]
+    fn leaked_locks_serialize_the_server() {
+        let mem = healthy_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        // Load the server, measure, then leak locks and re-measure.
+        for _ in 0..10 {
+            s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        }
+        let before = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        s.complete(Interaction::Home, before);
+        for _ in 0..250 {
+            s.leak_lock();
+        }
+        let after = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        assert!(
+            after > 2.0 * before,
+            "locks should serialize: before {before} after {after}"
+        );
+        assert_eq!(s.leaked_locks(), 250);
+    }
+
+    #[test]
+    fn lock_knee_never_collapses_below_one() {
+        let mut s = AppServer::new(ServerConfig::default());
+        for _ in 0..100_000 {
+            s.leak_lock();
+        }
+        assert!(s.effective_knee() >= 1.0);
+    }
+
+    #[test]
+    fn response_time_is_capped() {
+        let sick = thrashing_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        for _ in 0..200 {
+            let rt = s.admit(Interaction::BestSellers, &sick, &thr, &mut dsk);
+            assert!(rt <= s.config().max_response_s);
+        }
+    }
+
+    #[test]
+    fn admit_complete_bookkeeping() {
+        let mem = healthy_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        let rt1 = s.admit(Interaction::Home, &mem, &thr, &mut dsk);
+        let rt2 = s.admit(Interaction::SearchResults, &mem, &thr, &mut dsk);
+        assert_eq!(s.active_requests(), 2);
+        assert!(s.cpu_demand_rate() > 0.0);
+        s.complete(Interaction::Home, rt1);
+        s.complete(Interaction::SearchResults, rt2);
+        assert_eq!(s.active_requests(), 0);
+        assert_eq!(s.completed(), 2);
+        assert!(s.cpu_demand_rate().abs() < 1e-9);
+        assert!(s.io_activity().abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_pages_accumulate_and_drain() {
+        let sick = thrashing_memory(); // cold cache → misses
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        for _ in 0..10 {
+            s.admit(Interaction::BestSellers, &sick, &thr, &mut dsk);
+        }
+        let pages = s.drain_disk_pages();
+        assert!(pages > 100.0, "cold BestSellers should hit disk: {pages}");
+        assert_eq!(s.drain_disk_pages(), 0.0, "drain empties");
+        assert!(s.database().physical_reads() > 0);
+    }
+
+    #[test]
+    fn io_activity_bounded() {
+        let mem = healthy_memory();
+        let thr = ThreadModel::new(ThreadConfig::default());
+        let mut dsk = disk();
+        let mut s = AppServer::new(ServerConfig::default());
+        for _ in 0..500 {
+            s.admit(Interaction::BestSellers, &mem, &thr, &mut dsk);
+        }
+        assert!(s.io_activity() <= 1.0);
+    }
+}

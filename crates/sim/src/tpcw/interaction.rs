@@ -1,0 +1,239 @@
+//! The 14 TPC-W web interactions and their service demands.
+
+/// The fourteen web interactions of the TPC-W specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Interaction {
+    /// Store home page — the interaction the paper's modified servlet uses
+    /// to inject anomalies (every Home hit may leak memory or spawn an
+    /// unterminated thread).
+    Home,
+    /// List of newly added products.
+    NewProducts,
+    /// Best-sellers listing (the classic heavy database query).
+    BestSellers,
+    /// Single product detail page.
+    ProductDetail,
+    /// Search form.
+    SearchRequest,
+    /// Search result listing.
+    SearchResults,
+    /// Shopping-cart view/update.
+    ShoppingCart,
+    /// Customer registration form.
+    CustomerRegistration,
+    /// Buy request (order form).
+    BuyRequest,
+    /// Buy confirm (order placement; transactional).
+    BuyConfirm,
+    /// Order inquiry form.
+    OrderInquiry,
+    /// Last-order display.
+    OrderDisplay,
+    /// Admin product-update form.
+    AdminRequest,
+    /// Admin product-update commit.
+    AdminConfirm,
+}
+
+/// All interactions in a fixed canonical order.
+pub const INTERACTIONS: [Interaction; 14] = [
+    Interaction::Home,
+    Interaction::NewProducts,
+    Interaction::BestSellers,
+    Interaction::ProductDetail,
+    Interaction::SearchRequest,
+    Interaction::SearchResults,
+    Interaction::ShoppingCart,
+    Interaction::CustomerRegistration,
+    Interaction::BuyRequest,
+    Interaction::BuyConfirm,
+    Interaction::OrderInquiry,
+    Interaction::OrderDisplay,
+    Interaction::AdminRequest,
+    Interaction::AdminConfirm,
+];
+
+/// Service demand of one interaction on a healthy guest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceDemand {
+    /// CPU seconds of servlet + JVM work.
+    pub cpu_s: f64,
+    /// Database time in seconds (I/O + query execution), which also drives
+    /// page-cache activity.
+    pub db_s: f64,
+    /// Transient heap churn in MiB (allocated and freed per request) — it
+    /// perturbs `Mused` at sampling granularity.
+    pub heap_churn_mib: f64,
+}
+
+impl Interaction {
+    /// Stable index of this interaction in [`INTERACTIONS`].
+    pub fn index(self) -> usize {
+        INTERACTIONS.iter().position(|&i| i == self).expect("in table")
+    }
+
+    /// Short lowercase name (matches common TPC-W tooling output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Interaction::Home => "home",
+            Interaction::NewProducts => "new_products",
+            Interaction::BestSellers => "best_sellers",
+            Interaction::ProductDetail => "product_detail",
+            Interaction::SearchRequest => "search_request",
+            Interaction::SearchResults => "search_results",
+            Interaction::ShoppingCart => "shopping_cart",
+            Interaction::CustomerRegistration => "customer_registration",
+            Interaction::BuyRequest => "buy_request",
+            Interaction::BuyConfirm => "buy_confirm",
+            Interaction::OrderInquiry => "order_inquiry",
+            Interaction::OrderDisplay => "order_display",
+            Interaction::AdminRequest => "admin_request",
+            Interaction::AdminConfirm => "admin_confirm",
+        }
+    }
+
+    /// Nominal service demand on an unloaded, healthy guest.
+    ///
+    /// Values are shaped after published TPC-W characterizations (Bezenek
+    /// et al., cited by the paper): listing/search interactions are
+    /// DB-heavy, BestSellers is the heaviest query, forms are nearly free,
+    /// transactional interactions pay commit latency.
+    pub fn demand(self) -> ServiceDemand {
+        match self {
+            Interaction::Home => ServiceDemand {
+                cpu_s: 0.012,
+                db_s: 0.008,
+                heap_churn_mib: 0.4,
+            },
+            Interaction::NewProducts => ServiceDemand {
+                cpu_s: 0.018,
+                db_s: 0.035,
+                heap_churn_mib: 0.8,
+            },
+            Interaction::BestSellers => ServiceDemand {
+                cpu_s: 0.022,
+                db_s: 0.110,
+                heap_churn_mib: 1.0,
+            },
+            Interaction::ProductDetail => ServiceDemand {
+                cpu_s: 0.010,
+                db_s: 0.012,
+                heap_churn_mib: 0.5,
+            },
+            Interaction::SearchRequest => ServiceDemand {
+                cpu_s: 0.006,
+                db_s: 0.002,
+                heap_churn_mib: 0.2,
+            },
+            Interaction::SearchResults => ServiceDemand {
+                cpu_s: 0.020,
+                db_s: 0.055,
+                heap_churn_mib: 0.9,
+            },
+            Interaction::ShoppingCart => ServiceDemand {
+                cpu_s: 0.014,
+                db_s: 0.018,
+                heap_churn_mib: 0.6,
+            },
+            Interaction::CustomerRegistration => ServiceDemand {
+                cpu_s: 0.008,
+                db_s: 0.004,
+                heap_churn_mib: 0.3,
+            },
+            Interaction::BuyRequest => ServiceDemand {
+                cpu_s: 0.016,
+                db_s: 0.020,
+                heap_churn_mib: 0.6,
+            },
+            Interaction::BuyConfirm => ServiceDemand {
+                cpu_s: 0.024,
+                db_s: 0.060,
+                heap_churn_mib: 0.8,
+            },
+            Interaction::OrderInquiry => ServiceDemand {
+                cpu_s: 0.006,
+                db_s: 0.002,
+                heap_churn_mib: 0.2,
+            },
+            Interaction::OrderDisplay => ServiceDemand {
+                cpu_s: 0.014,
+                db_s: 0.030,
+                heap_churn_mib: 0.6,
+            },
+            Interaction::AdminRequest => ServiceDemand {
+                cpu_s: 0.010,
+                db_s: 0.010,
+                heap_churn_mib: 0.4,
+            },
+            Interaction::AdminConfirm => ServiceDemand {
+                cpu_s: 0.020,
+                db_s: 0.075,
+                heap_churn_mib: 0.7,
+            },
+        }
+    }
+
+    /// Whether this interaction begins a TPC-W session (the paper injects
+    /// anomalies in the servlet serving this page).
+    pub fn is_session_entry(self) -> bool {
+        self == Interaction::Home
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_14_unique_entries() {
+        assert_eq!(INTERACTIONS.len(), 14);
+        for (i, a) in INTERACTIONS.iter().enumerate() {
+            for b in &INTERACTIONS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, &x) in INTERACTIONS.iter().enumerate() {
+            assert_eq!(x.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = INTERACTIONS.iter().map(|i| i.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn demands_are_positive_and_bounded() {
+        for i in INTERACTIONS {
+            let d = i.demand();
+            assert!(d.cpu_s > 0.0 && d.cpu_s < 0.1, "{i:?}");
+            assert!(d.db_s >= 0.0 && d.db_s < 0.5, "{i:?}");
+            assert!(d.heap_churn_mib >= 0.0 && d.heap_churn_mib < 5.0, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn best_sellers_is_heaviest_db_interaction() {
+        let bs = Interaction::BestSellers.demand().db_s;
+        for i in INTERACTIONS {
+            assert!(i.demand().db_s <= bs, "{i:?} heavier than BestSellers");
+        }
+    }
+
+    #[test]
+    fn home_is_the_session_entry() {
+        assert!(Interaction::Home.is_session_entry());
+        assert_eq!(
+            INTERACTIONS.iter().filter(|i| i.is_session_entry()).count(),
+            1
+        );
+    }
+}

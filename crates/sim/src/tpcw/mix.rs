@@ -1,0 +1,187 @@
+//! TPC-W interaction mixes.
+//!
+//! The TPC-W specification defines three workload mixes via 14×14 Markov
+//! transition matrices; their fingerprints are the stationary
+//! per-interaction frequencies (WIPSb browsing ≈ 95 % browse / 5 % order,
+//! WIPS shopping ≈ 80/20, WIPSo ordering ≈ 50/50). The simulator keeps a
+//! first-order model: after each response the browser draws the *next*
+//! interaction from the mix's stationary frequency table (except a fresh
+//! session, which always starts at Home). This preserves per-interaction
+//! arrival rates — which is what drives server load, database cache
+//! activity, and Home-coupled anomaly injection — while staying compact.
+//! The substitution is recorded in `DESIGN.md` §2.
+
+use super::interaction::{Interaction, INTERACTIONS};
+
+/// The three standard TPC-W mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// WIPSb: browsing-dominated (95/5).
+    Browsing,
+    /// WIPS: the default shopping mix (80/20).
+    Shopping,
+    /// WIPSo: ordering-heavy (50/50).
+    Ordering,
+}
+
+/// A normalized frequency table over the 14 interactions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixTable {
+    weights: [f64; 14],
+}
+
+impl Mix {
+    /// Frequency table for this mix (percentages from the TPC-W spec's
+    /// stationary distributions, lightly rounded).
+    pub fn table(self) -> MixTable {
+        // Order matches INTERACTIONS:
+        // home, new_products, best_sellers, product_detail, search_request,
+        // search_results, shopping_cart, customer_registration, buy_request,
+        // buy_confirm, order_inquiry, order_display, admin_request,
+        // admin_confirm
+        let weights = match self {
+            Mix::Browsing => [
+                29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30,
+                0.25, 0.10, 0.09,
+            ],
+            Mix::Shopping => [
+                16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75,
+                0.66, 0.10, 0.09,
+            ],
+            Mix::Ordering => [
+                9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25,
+                0.22, 0.12, 0.11,
+            ],
+        };
+        MixTable::new(weights)
+    }
+
+    /// Human-readable mix name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::Browsing => "browsing",
+            Mix::Shopping => "shopping",
+            Mix::Ordering => "ordering",
+        }
+    }
+}
+
+impl MixTable {
+    /// Build a table, normalizing the weights to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero or any is negative.
+    pub fn new(raw: [f64; 14]) -> Self {
+        let total: f64 = raw.iter().sum();
+        assert!(total > 0.0, "MixTable: zero total weight");
+        assert!(raw.iter().all(|&w| w >= 0.0), "MixTable: negative weight");
+        let mut weights = raw;
+        for w in &mut weights {
+            *w /= total;
+        }
+        MixTable { weights }
+    }
+
+    /// Probability of the given interaction.
+    pub fn probability(&self, i: Interaction) -> f64 {
+        self.weights[i.index()]
+    }
+
+    /// The raw normalized weight row (order of [`INTERACTIONS`]).
+    pub fn weights(&self) -> &[f64; 14] {
+        &self.weights
+    }
+
+    /// Draw an interaction using the provided RNG.
+    pub fn draw(&self, rng: &mut crate::rng::SimRng) -> Interaction {
+        INTERACTIONS[rng.categorical(&self.weights[..])]
+    }
+
+    /// Fraction of the mix that is "ordering" activity (cart onwards) —
+    /// the figure the spec's 95/5, 80/20, 50/50 shorthand refers to.
+    pub fn ordering_fraction(&self) -> f64 {
+        INTERACTIONS
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Interaction::ShoppingCart
+                        | Interaction::CustomerRegistration
+                        | Interaction::BuyRequest
+                        | Interaction::BuyConfirm
+                        | Interaction::OrderInquiry
+                        | Interaction::OrderDisplay
+                        | Interaction::AdminRequest
+                        | Interaction::AdminConfirm
+                )
+            })
+            .map(|&i| self.probability(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn tables_are_normalized() {
+        for mix in [Mix::Browsing, Mix::Shopping, Mix::Ordering] {
+            let t = mix.table();
+            let sum: f64 = t.weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{mix:?} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn ordering_fractions_match_spec_shorthand() {
+        assert!(Mix::Browsing.table().ordering_fraction() < 0.06);
+        let shop = Mix::Shopping.table().ordering_fraction();
+        assert!((0.15..0.25).contains(&shop), "shopping {shop}");
+        let ord = Mix::Ordering.table().ordering_fraction();
+        assert!((0.45..0.55).contains(&ord), "ordering {ord}");
+    }
+
+    #[test]
+    fn browsing_mix_hits_home_most() {
+        let t = Mix::Browsing.table();
+        let home = t.probability(Interaction::Home);
+        for i in INTERACTIONS {
+            assert!(t.probability(i) <= home, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn draw_matches_probabilities() {
+        let t = Mix::Shopping.table();
+        let mut rng = SimRng::new(123);
+        let n = 50_000;
+        let mut counts = [0usize; 14];
+        for _ in 0..n {
+            counts[t.draw(&mut rng).index()] += 1;
+        }
+        for (idx, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            let expect = t.weights()[idx];
+            assert!(
+                (emp - expect).abs() < 0.01,
+                "{:?}: empirical {emp:.4} vs {expect:.4}",
+                INTERACTIONS[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total")]
+    fn zero_table_rejected() {
+        let _ = MixTable::new([0.0; 14]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Mix::Shopping.name(), "shopping");
+        assert_eq!(Mix::Browsing.name(), "browsing");
+        assert_eq!(Mix::Ordering.name(), "ordering");
+    }
+}

@@ -1,0 +1,25 @@
+//! TPC-W workload model.
+//!
+//! The paper's testbed drives a Java-servlet implementation of the TPC-W
+//! on-line bookstore with emulated browsers (EBs). This module reproduces
+//! the workload at the level the simulator needs:
+//!
+//! - the 14 standard web interactions with per-interaction CPU and database
+//!   service demands ([`interaction`]),
+//! - the three standard mixes (browsing / shopping / ordering) as
+//!   interaction-frequency tables ([`mix`]) — a first-order simplification
+//!   of the spec's full 14×14 transition matrices that preserves the
+//!   per-interaction arrival frequencies (what drives load and Home-coupled
+//!   anomaly injection; documented in `DESIGN.md` §2),
+//! - emulated browsers with exponential think times and finite sessions
+//!   ([`browser`]).
+
+pub mod browser;
+pub mod database;
+pub mod interaction;
+pub mod mix;
+
+pub use browser::{BrowserConfig, EmulatedBrowser};
+pub use database::{DatabaseConfig, DatabaseModel};
+pub use interaction::{Interaction, ServiceDemand, INTERACTIONS};
+pub use mix::{Mix, MixTable};

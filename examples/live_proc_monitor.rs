@@ -1,0 +1,61 @@
+//! Monitor the *real* machine this example runs on.
+//!
+//! F2PM is application-agnostic because it only reads system-level
+//! features from standard OS tooling. This example uses the framework's
+//! `/proc` collector — the same 14 features the paper's FMC samples — on
+//! the local Linux host, printing a datapoint every second.
+//!
+//! ```text
+//! cargo run --release --example live_proc_monitor -- [seconds]
+//! ```
+
+use f2pm_repro::f2pm_monitor::{FeatureId, ProcCollector, FEATURES};
+
+fn main() {
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let mut collector = ProcCollector::new();
+    // Priming read: the CPU percentages need two /proc/stat readings.
+    match collector.try_collect() {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("cannot read /proc ({e}); this example needs Linux");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6} {:>6}",
+        "t(s)", "threads", "used(kB)", "free(kB)", "cach(kB)", "swap(kB)", "us%", "sy%", "id%"
+    );
+
+    for _ in 0..seconds {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let d = collector.try_collect().expect("collect from /proc");
+        println!(
+            "{:>7.1} {:>9.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>6.1} {:>6.1} {:>6.1}",
+            d.t_gen,
+            d.get(FeatureId::NThreads),
+            d.get(FeatureId::MemUsed),
+            d.get(FeatureId::MemFree),
+            d.get(FeatureId::MemCached),
+            d.get(FeatureId::SwapUsed),
+            d.get(FeatureId::CpuUser),
+            d.get(FeatureId::CpuSystem),
+            d.get(FeatureId::CpuIdle),
+        );
+    }
+
+    println!("\nfull feature vector of the last datapoint:");
+    let last = collector.try_collect().expect("final collect");
+    for f in FEATURES {
+        println!("  {:<14} {:>14.2}", f.name(), last.get(f));
+    }
+    println!(
+        "\nfeed these datapoints into an FMC (examples/remote_monitoring.rs), or straight into the\n\
+         aggregation pipeline, to build failure models for this machine."
+    );
+}

@@ -1,0 +1,85 @@
+//! Train on one "machine", predict on another: the deployment split the
+//! paper's architecture implies (models built where the FMS lives, applied
+//! near the monitored guest).
+//!
+//! 1. collect a campaign and archive it as CSV;
+//! 2. train a REP-Tree, persist it to a text file;
+//! 3. "elsewhere": load the model and the archive, replay the datapoint
+//!    stream through an online predictor, and compare the live estimates
+//!    against ground truth.
+//!
+//! ```text
+//! cargo run --release --example model_persistence
+//! ```
+
+use f2pm_repro::f2pm::F2pmConfig;
+use f2pm_repro::f2pm_features::{aggregate_history, Dataset};
+use f2pm_repro::f2pm_ml::{persist, RepTree, RepTreeParams, SavedModel};
+use f2pm_repro::f2pm_monitor::{load_csv, save_csv, DataHistory};
+use f2pm_repro::f2pm_sim::Campaign;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("f2pm_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let history_path = dir.join("history.csv");
+    let model_path = dir.join("rep_tree.model");
+
+    // --- Training side -------------------------------------------------
+    let cfg = F2pmConfig::quick();
+    println!("[train side] collecting {} runs...", cfg.campaign.runs);
+    let runs = Campaign::new(cfg.campaign.clone(), 77).run_all();
+    let history = DataHistory::from_campaign(&runs);
+    save_csv(&history, &history_path).expect("archive history");
+
+    let points = aggregate_history(&history, &cfg.aggregation);
+    let ds = Dataset::from_points(&points);
+    let tree = RepTree::new(RepTreeParams::default())
+        .fit_tree(&ds.x, &ds.y)
+        .expect("fit");
+    println!(
+        "[train side] fitted rep_tree with {} leaves on {} windows",
+        tree.leaf_count(),
+        ds.len()
+    );
+    persist::save(&SavedModel::RepTree(tree), &model_path).expect("persist model");
+    println!(
+        "[train side] model saved to {} ({} bytes)",
+        model_path.display(),
+        std::fs::metadata(&model_path).unwrap().len()
+    );
+
+    // --- Prediction side (a different process in real deployments) -----
+    let loaded = persist::load(&model_path).expect("load model");
+    println!("\n[predict side] loaded a `{}` model", loaded.kind());
+    let archive = load_csv(&history_path).expect("load archive");
+    let run = archive.runs().into_iter().next().expect("first run");
+    let fail_t = run.fail_time.expect("failing run");
+
+    let agg = cfg.aggregation;
+    let points = f2pm_repro::f2pm_features::aggregate_run(&run, &agg);
+    println!(
+        "[predict side] replaying {} windows of the archived run (fails at {:.0} s):\n",
+        points.len(),
+        fail_t
+    );
+    println!("{:>10} {:>16} {:>14} {:>10}", "t(s)", "predicted(s)", "actual(s)", "error(s)");
+    let model = loaded.as_model();
+    let show = points.len().min(10);
+    for p in points.iter().take(show) {
+        let est = model.predict_row(&p.inputs()).max(0.0);
+        let actual = p.rttf.unwrap();
+        println!(
+            "{:>10.1} {:>16.1} {:>14.1} {:>10.1}",
+            p.t_repr,
+            est,
+            actual,
+            (est - actual).abs()
+        );
+    }
+    if points.len() > show {
+        println!("   ... ({} more windows)", points.len() - show);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nthe saved model file is plain text — open it in an editor to inspect the tree.");
+}

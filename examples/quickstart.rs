@@ -1,0 +1,32 @@
+//! Quickstart: run the full F2PM workflow end-to-end on the simulated
+//! TPC-W testbed and pick the best RTTF prediction model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use f2pm_repro::f2pm::{run_workflow, F2pmConfig};
+
+fn main() {
+    // A small campaign so the example finishes in seconds: 4 runs of the
+    // leaking TPC-W guest, sampled every ~1.5 s until each crash.
+    let mut cfg = F2pmConfig::quick();
+    cfg.campaign.runs = 4;
+
+    println!("collecting {} monitored runs-to-failure...", cfg.campaign.runs);
+    let report = run_workflow(&cfg, 42);
+
+    // The report carries, per training-set variant, every §III-D metric
+    // for every method — the same comparison the paper's Tables II-IV show.
+    println!("{}", report.summary());
+
+    let best = report.best_by_smae().expect("models were trained");
+    println!(
+        "selected model: {} (S-MAE {:.1} s, RAE {:.3}, trained in {:.3} s)",
+        best.name, best.metrics.smae, best.metrics.rae, best.train_time_s
+    );
+    println!(
+        "a prediction error below 10% of the true RTTF costs nothing here — \
+         that is the margin a proactive rejuvenation would absorb."
+    );
+}

@@ -1,0 +1,70 @@
+//! Watch the simulated testbed die: boots the TPC-W guest with the
+//! paper's anomaly injection (memory leaks + unterminated threads coupled
+//! to the Home interaction) and prints the `free`/`top`-style feature
+//! trajectory until the failure condition fires.
+//!
+//! This is the substrate the whole reproduction stands on — the same
+//! qualitative story as the paper's §IV testbed: page cache reclaimed
+//! first, then swap fills and accelerates, response time blows up, and the
+//! guest dies of memory exhaustion.
+//!
+//! ```text
+//! cargo run --release --example tpcw_testbed
+//! ```
+
+use f2pm_repro::f2pm_sim::{SimConfig, Simulation};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    let mut sim = Simulation::new(SimConfig::default(), seed);
+
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>8}",
+        "t(s)", "used(M)", "free(M)", "cach(M)", "swap(M)", "thread", "us%", "wa%", "id%", "rt(s)"
+    );
+
+    let mut next_print = 0.0;
+    loop {
+        if !sim.advance_until(next_print) {
+            break;
+        }
+        let s = sim.snapshot();
+        let responses = sim.drain_responses();
+        let rt = if responses.is_empty() {
+            0.0
+        } else {
+            responses.iter().map(|r| r.response_s).sum::<f64>() / responses.len() as f64
+        };
+        println!(
+            "{:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>7.1} {:>7.1} {:>7.1} {:>8.3}",
+            s.t,
+            s.mem_used,
+            s.mem_free,
+            s.mem_cached,
+            s.swap_used,
+            s.n_threads,
+            s.cpu_user,
+            s.cpu_iowait,
+            s.cpu_idle,
+            rt
+        );
+        next_print += 60.0;
+        if next_print > 40_000.0 {
+            println!("guest survived the horizon (seed {seed})");
+            return;
+        }
+    }
+
+    let fail = sim.failed_at().expect("loop exits on failure");
+    println!(
+        "\nguest FAILED at t = {:.0} s after leaking {:.0} MiB and {} threads \
+         ({} requests served)",
+        fail,
+        sim.leaked_mib(),
+        sim.leaked_threads(),
+        sim.completed_requests()
+    );
+}

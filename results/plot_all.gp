@@ -1,0 +1,34 @@
+# Renders the reproduced figures from the experiments CSVs.
+# Usage: gnuplot plot_all.gp   (run inside the results/ directory)
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+
+# --- Fig. 3: response-time correlation -------------------------------
+set output "fig3_rt_correlation.png"
+set title "Fig. 3 - Response Time Correlation"
+set xlabel "Execution Time (seconds)"
+set ylabel "Seconds"
+set key top left
+plot "fig3_rt_correlation.csv" using 1:2 skip 1 with lines title "Generation time", \
+     ""                        using 1:3 skip 1 with lines title "Response Time", \
+     ""                        using 1:4 skip 1 with lines title "Correlated RT"
+
+# --- Fig. 4: lasso path ----------------------------------------------
+set output "fig4_lasso_path.png"
+set title "Fig. 4 - Parameters selected by Lasso"
+set xlabel "lambda"
+set ylabel "Selected Parameters"
+set logscale x
+set key off
+plot "fig4_lasso_path.csv" using 1:2 skip 1 with linespoints pt 7
+
+# --- Fig. 5: predicted vs real RTTF per model ------------------------
+unset logscale x
+set key off
+set xlabel "RTTF (seconds)"
+set ylabel "Predicted RTTF (seconds)"
+do for [m in "linear_regression m5p rep_tree svm ls_svm lasso_lambda_1e9"] {
+    set output sprintf("fig5_%s.png", m)
+    set title sprintf("Fig. 5 - %s", m)
+    plot sprintf("fig5_%s.csv", m) using 1:2 skip 1 with points pt 7 ps 0.3, x with lines lw 2
+}

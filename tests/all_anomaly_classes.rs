@@ -1,0 +1,83 @@
+//! Integration test: F2PM against all four §I anomaly classes at once —
+//! memory leaks, unterminated threads, unreleased locks, and file
+//! fragmentation — with the disk/database tier and lock serialization
+//! shaping the failure signature.
+
+use f2pm_repro::f2pm::{run_workflow, F2pmConfig};
+use f2pm_repro::f2pm_sim::{AnomalyConfig, SimConfig, Simulation};
+
+fn four_class_sim() -> SimConfig {
+    SimConfig {
+        anomaly: AnomalyConfig {
+            leak_size_mib: (4.0, 8.0),
+            leak_prob_per_home: (0.5, 0.8),
+            ..AnomalyConfig::all_classes()
+        },
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn all_four_classes_accumulate_and_kill_the_guest() {
+    let mut sim = Simulation::new(four_class_sim(), 31);
+    let out = sim.run_to_failure(40_000.0);
+    assert!(out.failed, "guest must die");
+    assert!(out.leaked_mib > 500.0, "leaks accumulated");
+    assert!(out.leaked_threads > 0, "threads leaked");
+    assert!(sim.leaked_locks() > 0, "locks leaked");
+    assert!(
+        sim.fragmentation() > 0.2,
+        "fragmentation advanced: {}",
+        sim.fragmentation()
+    );
+}
+
+#[test]
+fn fragmentation_shows_up_in_iowait_before_swapping() {
+    // Fragmentation-only anomalies (no leaks): the guest never swaps, but
+    // database reads get slower and iowait rises — a failure signature the
+    // memory features alone cannot carry.
+    let cfg = SimConfig {
+        anomaly: AnomalyConfig {
+            leak_prob_per_home: (0.0, 0.0),
+            thread_prob_per_home: (0.0, 0.0),
+            lock_prob_per_home: (0.0, 0.0),
+            frag_delta_per_home: (0.0008, 0.0012),
+            ..AnomalyConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg, 41);
+    sim.advance_until(300.0);
+    let early = sim.snapshot();
+    sim.advance_until(3_000.0);
+    let late = sim.snapshot();
+    assert!(late.swap_used < 5.0, "no swapping in this scenario");
+    assert!(
+        sim.fragmentation() > 0.5,
+        "fragmentation {}",
+        sim.fragmentation()
+    );
+    assert!(
+        late.cpu_iowait > early.cpu_iowait + 5.0,
+        "iowait should rise with fragmentation: {} -> {}",
+        early.cpu_iowait,
+        late.cpu_iowait
+    );
+    // Client latency degrades too.
+    assert!(sim.recent_response_time() > 0.05);
+}
+
+#[test]
+fn workflow_learns_on_four_class_data() {
+    let mut cfg = F2pmConfig::quick();
+    cfg.campaign.sim = four_class_sim();
+    let report = run_workflow(&cfg, 51);
+    assert!(report.runs >= 4);
+    let best = report.best_by_smae().expect("models trained");
+    assert!(
+        best.metrics.rae < 0.9,
+        "model must beat the mean predictor on four-class data (RAE {})",
+        best.metrics.rae
+    );
+}

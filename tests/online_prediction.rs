@@ -1,0 +1,85 @@
+//! Integration of the online-prediction path: a model trained offline on
+//! one campaign drives live RTTF estimates — and a rejuvenation policy —
+//! against fresh guests it has never seen.
+
+use f2pm_repro::f2pm::{
+    run_workflow, F2pmConfig, OnlinePredictor, ProactiveRejuvenator, RejuvenationPolicy,
+};
+use f2pm_repro::f2pm_monitor::{Collector, SimCollector, SimCollectorConfig};
+use f2pm_repro::f2pm_sim::Simulation;
+
+fn trained_predictor(cfg: &F2pmConfig, seed: u64) -> OnlinePredictor {
+    let report = run_workflow(cfg, seed);
+    let mut variants = report.variants;
+    let variant = variants.remove(0);
+    let columns = variant.columns.clone();
+    let rep = variant
+        .reports
+        .into_iter()
+        .filter_map(|r| r.ok())
+        .find(|r| r.name == "rep_tree")
+        .expect("rep_tree trained");
+    OnlinePredictor::new(rep.model, &columns, cfg.aggregation)
+}
+
+#[test]
+fn live_estimates_trend_to_zero_before_the_crash() {
+    let cfg = F2pmConfig::quick();
+    let mut predictor = trained_predictor(&cfg, 31);
+
+    // Fresh, unseen guest.
+    let sim = Simulation::new(cfg.campaign.sim.clone(), 999_331);
+    let mut collector = SimCollector::new(sim, SimCollectorConfig::default(), 1);
+    let mut estimates: Vec<(f64, f64)> = Vec::new();
+    while let Some(d) = collector.collect() {
+        let t = d.t_gen;
+        if let Some(e) = predictor.push(d) {
+            estimates.push((t, e));
+        }
+    }
+    let fail_t = collector.simulation().failed_at().expect("crashed");
+    assert!(estimates.len() > 5, "only {} estimates", estimates.len());
+
+    // The final pre-crash estimate must be small in absolute terms and
+    // much smaller than the earliest estimate.
+    let first = estimates.first().unwrap().1;
+    let (last_t, last_e) = *estimates.last().unwrap();
+    assert!(last_t < fail_t);
+    assert!(
+        last_e < first,
+        "estimates should fall toward failure: first {first:.0}, last {last_e:.0}"
+    );
+    let true_last_rttf = fail_t - last_t;
+    assert!(
+        (last_e - true_last_rttf).abs() < 150.0,
+        "final estimate {last_e:.0}s vs true {true_last_rttf:.0}s"
+    );
+}
+
+#[test]
+fn rejuvenation_policy_prevents_crashes_on_unseen_guests() {
+    let cfg = F2pmConfig::quick();
+    let mut predictor = trained_predictor(&cfg, 32);
+    let policy = RejuvenationPolicy {
+        rttf_threshold_s: 150.0,
+        consecutive_hits: 2,
+        planned_restart_s: 20.0,
+        crash_recovery_s: 240.0,
+        defragment_on_restart: true,
+    };
+    let rejuvenator = ProactiveRejuvenator::new(cfg.campaign.sim.clone(), policy);
+    let horizon = 4000.0;
+
+    let proactive = rejuvenator.run_proactive(&mut predictor, horizon, 555);
+    let reactive = rejuvenator.run_reactive(horizon, 555);
+
+    assert!(reactive.crashes >= 3, "baseline should crash repeatedly");
+    assert!(
+        proactive.crashes < reactive.crashes,
+        "proactive {} vs reactive {}",
+        proactive.crashes,
+        reactive.crashes
+    );
+    assert!(proactive.availability() > reactive.availability());
+    assert!(proactive.downtime_s < reactive.downtime_s);
+}

@@ -1,0 +1,130 @@
+//! Property-based tests over the cross-crate pipeline with synthetic
+//! (simulator-free) histories: whatever the raw stream looks like, the
+//! aggregation/labeling/selection stages must keep their invariants.
+
+use f2pm_repro::f2pm_features::{
+    aggregate_run, lasso_path, AggregationConfig, Dataset, LassoSolverConfig,
+};
+use f2pm_repro::f2pm_monitor::{Datapoint, FeatureId, RunData};
+use proptest::prelude::*;
+
+/// Generate a plausible raw run: increasing timestamps, non-negative
+/// feature values, and a fail time after the last sample.
+fn arb_run() -> impl Strategy<Value = RunData> {
+    (
+        20usize..200,
+        0.5f64..3.0,
+        proptest::collection::vec(0.0f64..5000.0, 14),
+    )
+        .prop_map(|(n, step, base)| {
+            let datapoints: Vec<Datapoint> = (0..n)
+                .map(|i| {
+                    let mut d = Datapoint {
+                        t_gen: i as f64 * step,
+                        values: [0.0; 14],
+                    };
+                    for (j, b) in base.iter().enumerate() {
+                        // Mild drift plus deterministic wiggle.
+                        d.values[j] = b + i as f64 * 0.3 + ((i * (j + 3)) % 7) as f64;
+                    }
+                    d
+                })
+                .collect();
+            let last_t = datapoints.last().unwrap().t_gen;
+            RunData {
+                datapoints,
+                fail_time: Some(last_t + 30.0),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregation_conserves_and_orders(run in arb_run()) {
+        let cfg = AggregationConfig { window_s: 10.0, min_points: 1, ..AggregationConfig::default() };
+        let agg = aggregate_run(&run, &cfg);
+        // Conservation with min_points = 1: nothing dropped, nothing duplicated.
+        let total: usize = agg.iter().map(|a| a.count).sum();
+        prop_assert_eq!(total, run.datapoints.len());
+        // Windows ordered, representative times inside their windows.
+        for w in agg.windows(2) {
+            prop_assert!(w[0].window_start < w[1].window_start);
+            prop_assert!(w[0].t_repr < w[1].t_repr);
+        }
+        for a in &agg {
+            prop_assert!(a.t_repr >= a.window_start && a.t_repr < a.window_end);
+        }
+    }
+
+    #[test]
+    fn rttf_is_monotone_decreasing_in_time(run in arb_run()) {
+        let cfg = AggregationConfig { window_s: 15.0, min_points: 1, ..AggregationConfig::default() };
+        let agg = aggregate_run(&run, &cfg);
+        for w in agg.windows(2) {
+            prop_assert!(w[0].rttf.unwrap() > w[1].rttf.unwrap());
+        }
+        // RTTF + representative time = fail time, exactly.
+        let fail = run.fail_time.unwrap();
+        for a in &agg {
+            prop_assert!((a.rttf.unwrap() + a.t_repr - fail).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_means_stay_within_raw_bounds(run in arb_run()) {
+        let cfg = AggregationConfig { window_s: 12.0, min_points: 1, ..AggregationConfig::default() };
+        let agg = aggregate_run(&run, &cfg);
+        let j = FeatureId::MemUsed.index();
+        let lo = run
+            .datapoints
+            .iter()
+            .map(|d| d.values[j])
+            .fold(f64::INFINITY, f64::min);
+        let hi = run
+            .datapoints
+            .iter()
+            .map(|d| d.values[j])
+            .fold(f64::NEG_INFINITY, f64::max);
+        for a in &agg {
+            prop_assert!(a.means[j] >= lo - 1e-9 && a.means[j] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lasso_path_shrinks_overall_on_any_dataset(run in arb_run()) {
+        // Strict per-step monotonicity of the support size is NOT a lasso
+        // theorem — variables can re-enter on collinear designs (and these
+        // synthetic runs are nearly collinear by construction; the paper
+        // itself hedges with "likely"). What must hold for any data: the
+        // support never exceeds the width, a huge λ empties it, and the
+        // large-λ end is no bigger than the small-λ end.
+        let cfg = AggregationConfig { window_s: 10.0, min_points: 1, ..AggregationConfig::default() };
+        let agg = aggregate_run(&run, &cfg);
+        let ds = Dataset::from_points(&agg);
+        prop_assume!(ds.len() >= 10);
+        let lambdas: Vec<f64> = (0..8).map(|k| 10f64.powi(k * 2 - 3)).collect();
+        let report = lasso_path(&ds, &lambdas, &LassoSolverConfig::default());
+        let series = report.fig4_series();
+        for (_, count) in &series {
+            prop_assert!(*count <= ds.width());
+        }
+        prop_assert!(series.last().unwrap().1 <= series.first().unwrap().1);
+        prop_assert_eq!(series.last().unwrap().1, 0, "λ=1e11 must kill all");
+    }
+
+    #[test]
+    fn intergen_time_reflects_sampling_step(
+        run in arb_run(),
+    ) {
+        // The synthetic runs use a constant step: every window's mean
+        // inter-generation time must equal that step.
+        let step = run.datapoints[1].t_gen - run.datapoints[0].t_gen;
+        let cfg = AggregationConfig { window_s: 20.0, min_points: 2, ..AggregationConfig::default() };
+        for a in aggregate_run(&run, &cfg) {
+            prop_assert!((a.intergen_mean - step).abs() < 1e-9);
+            prop_assert!(a.intergen_slope.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration test of the paper's deployment architecture: FMC streams a
+//! monitored guest over real TCP to an FMS, and the workflow trains on
+//! what the server received.
+
+use f2pm_repro::f2pm::{run_workflow_on_history, F2pmConfig};
+use f2pm_repro::f2pm_monitor::{
+    FeatureMonitorClient, FeatureMonitorServer, FmcConfig, SimCollector, SimCollectorConfig,
+};
+use f2pm_repro::f2pm_sim::Simulation;
+
+#[test]
+fn fmc_to_fms_to_models() {
+    let cfg = F2pmConfig::quick();
+    let server = FeatureMonitorServer::start("127.0.0.1:0").expect("bind");
+
+    let mut total_sent = 0u64;
+    for run in 0..cfg.campaign.runs as u64 {
+        let mut client = FeatureMonitorClient::connect(
+            server.addr(),
+            FmcConfig {
+                host_id: run as u32,
+                pause: None,
+            },
+        )
+        .expect("connect");
+        let sim = Simulation::new(cfg.campaign.sim.clone(), 500 + run);
+        let mut collector = SimCollector::new(sim, SimCollectorConfig::default(), run);
+        total_sent += client.stream_collector(&mut collector, None).expect("stream");
+        let fail_t = collector.simulation().failed_at().expect("failure");
+        client.send_fail(fail_t).expect("fail event");
+        client.close().expect("bye");
+    }
+
+    // Drain: wait until the server has seen every datapoint.
+    for _ in 0..300 {
+        if server.datapoint_count() == total_sent {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let history = server.shutdown();
+    assert_eq!(history.datapoint_count() as u64, total_sent);
+    assert_eq!(history.fail_count(), cfg.campaign.runs);
+
+    // The received history is good enough to train on.
+    let report = run_workflow_on_history(&cfg, &history);
+    let best = report.best_by_smae().expect("models trained");
+    assert!(best.metrics.rae < 1.0, "RAE {}", best.metrics.rae);
+}
+
+#[test]
+fn concurrent_fmcs_stream_in_parallel() {
+    // Several guests monitored at once (the paper's FMS serves multiple
+    // clients); each connection streams a bounded number of datapoints.
+    let server = FeatureMonitorServer::start("127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let per_client = 50u64;
+    let handles: Vec<_> = (0..4u64)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut client = FeatureMonitorClient::connect(
+                    addr,
+                    FmcConfig {
+                        host_id: k as u32,
+                        pause: None,
+                    },
+                )
+                .expect("connect");
+                let sim = Simulation::new(Default::default(), 900 + k);
+                let mut collector =
+                    SimCollector::new(sim, SimCollectorConfig::default(), k);
+                let sent = client
+                    .stream_collector(&mut collector, Some(per_client))
+                    .expect("stream");
+                client.close().expect("bye");
+                sent
+            })
+        })
+        .collect();
+    let sent: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(sent, 4 * per_client);
+
+    for _ in 0..300 {
+        if server.datapoint_count() == sent {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let history = server.shutdown();
+    assert_eq!(history.datapoint_count() as u64, sent);
+}
