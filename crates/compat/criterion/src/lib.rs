@@ -1,0 +1,246 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the harness surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId`) with a plain wall-clock measurement loop: per benchmark it
+//! warms up once, then times `sample_size` iterations (stopping early once a
+//! time budget is exhausted) and prints min/mean/max to stdout. No
+//! statistical analysis, HTML reports, or comparison baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-bench wall-clock budget after which sampling stops early.
+const SAMPLE_TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Measurement settings + sink for results.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benches of a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Measure a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let samples = &b.samples;
+        if samples.is_empty() {
+            println!("  {}/{}: no samples", self.name, id.id);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{}: mean {:?} (min {:?}, max {:?}, {} samples){}",
+            self.name,
+            id.id,
+            mean,
+            min,
+            max,
+            samples.len(),
+            rate
+        );
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per iteration. Runs one
+    /// untimed warmup, then up to `sample_size` timed iterations, stopping
+    /// early when the per-bench time budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if started.elapsed() > SAMPLE_TIME_BUDGET && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(stub_group, sample_bench);
+
+    #[test]
+    fn harness_runs_and_samples() {
+        stub_group();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stub of the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since Rust 1.63), which covers the only crossbeam API this
+//! workspace uses. Semantic difference kept from real crossbeam: the scope
+//! returns `thread::Result<R>` and spawned closures receive a scope
+//! argument (always ignored at our call sites).
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention.
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Scope passed to [`scope`] closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a unit scope token
+        /// (crossbeam passes a nested `&Scope`; every call site in this
+        /// workspace ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// joins all of them before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk, src) in out.chunks_mut(2).zip(data.chunks(2)) {
+                handles.push(scope.spawn(move |_| {
+                    for (o, s) in chunk.iter_mut().zip(src) {
+                        *o = s * 10;
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let n = super::thread::scope(|scope| scope.spawn(|_| 7).join().unwrap()).unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few plain-data
+//! structs but never routes them through a serde *format* crate (the wire
+//! format is hand-rolled — see `f2pm-monitor::wire`). This stub therefore
+//! only has to make the derives and trait bounds compile: the traits are
+//! markers blanket-implemented for every type, and the derive macros expand
+//! to nothing.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-satisfied `DeserializeOwned` stand-in.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    struct Probe {
+        a: f64,
+        b: u32,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Tagged {
+        One,
+        Two(f64),
+    }
+
+    fn needs_serialize<T: super::Serialize>(_t: &T) {}
+
+    #[test]
+    fn derives_compile_and_traits_blanket() {
+        let p = Probe { a: 1.0, b: 2 };
+        needs_serialize(&p);
+        needs_serialize(&Tagged::Two(3.0));
+        assert_eq!(p, p);
+        assert_ne!(Tagged::One, Tagged::Two(0.0));
+    }
+}

@@ -9,7 +9,7 @@ use f2pm_repro::f2pm::{run_workflow, F2pmConfig};
 fn medium_report() -> f2pm_repro::f2pm::F2pmReport {
     let mut cfg = F2pmConfig::default();
     cfg.campaign.runs = 6;
-    run_workflow(&cfg, 20_2507)
+    run_workflow(&cfg, 42)
 }
 
 #[test]
