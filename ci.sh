@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo gate: format, lint, test, and smoke the perf report.
+#
+# Everything runs --offline: the third-party surface is vendored as stub
+# crates under crates/compat/, so no network access is needed (or wanted).
+# Clippy is scoped to the f2pm packages — the compat stubs only have to
+# compile, not be lint-clean.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+F2PM_PACKAGES=(
+    f2pm-repro f2pm f2pm-linalg f2pm-ml f2pm-features
+    f2pm-monitor f2pm-sim f2pm-cli f2pm-bench
+)
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+clippy_args=()
+for p in "${F2PM_PACKAGES[@]}"; do clippy_args+=(-p "$p"); done
+cargo clippy --offline --all-targets "${clippy_args[@]}" -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> perf_report smoke (reduced sizes)"
+cargo run --release --offline -p f2pm-bench --bin perf_report -- --smoke
+
+echo "CI OK"

@@ -1,0 +1,57 @@
+//! Kernel Gram matrix construction: seed-style naive evaluation vs the
+//! blocked symmetric path, at the paper's campaign scale (2000 windows ×
+//! 30 aggregated features). The acceptance bar for the compute-core
+//! rework is ≥ 3× on this shape; `perf_report` records the tracked
+//! numbers in `BENCH_compute.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use f2pm_linalg::Matrix;
+use f2pm_ml::Kernel;
+
+/// Campaign-shaped sample set (deterministic, no RNG in benches).
+fn sample(n: usize, p: usize) -> Matrix {
+    let mut x = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            x[(i, j)] = ((i * p + j) as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.013).cos();
+        }
+    }
+    x
+}
+
+/// Replica of the seed implementation's large-`n` path: every one of the
+/// n² pairs evaluated directly, no symmetry, no Gram reuse.
+fn seed_naive(kern: &Kernel, x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        let ri = x.row(i);
+        for j in 0..n {
+            k[(i, j)] = kern.eval(ri, x.row(j));
+        }
+    }
+    k
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let (n, p) = (2000, 30);
+    let x = sample(n, p);
+    let mut group = c.benchmark_group("gram_matrix");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n) as u64));
+    for (label, kern) in [
+        ("linear", Kernel::Linear),
+        ("rbf", Kernel::Rbf { gamma: 0.03 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("seed_naive", label), &kern, |b, kern| {
+            b.iter(|| seed_naive(kern, &x))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", label), &kern, |b, kern| {
+            b.iter(|| kern.matrix(&x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(gram, bench_gram);
+criterion_main!(gram);

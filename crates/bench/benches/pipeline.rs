@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use f2pm::F2pmConfig;
-use f2pm_features::{
-    aggregate_history, lasso_path, paper_lambda_grid, Dataset, LassoSolverConfig,
-};
+use f2pm_features::{aggregate_history, lasso_path, paper_lambda_grid, Dataset, LassoSolverConfig};
 use f2pm_ml::{Metrics, SMaeThreshold};
 use f2pm_monitor::{DataHistory, Datapoint, Message};
 use f2pm_sim::Campaign;
@@ -27,9 +25,10 @@ fn bench_aggregation(c: &mut Criterion) {
     let n = h.datapoint_count();
     let mut group = c.benchmark_group("pipeline/aggregation");
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function(BenchmarkId::from_parameter(format!("{n}_datapoints")), |b| {
-        b.iter(|| aggregate_history(&h, &cfg.aggregation))
-    });
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("{n}_datapoints")),
+        |b| b.iter(|| aggregate_history(&h, &cfg.aggregation)),
+    );
     group.finish();
 }
 

@@ -1,0 +1,71 @@
+//! Batched model scoring: the per-row `predict_row` loop (one standardize
+//! allocation per call in the seed) vs `predict_batch` (per-thread scratch,
+//! parallel bands). Covers both kernel models; the tree/linear models use
+//! the default loop and are benched only as a baseline sanity row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use f2pm_linalg::Matrix;
+use f2pm_ml::{
+    Kernel, LinearRegression, LsSvmRegressor, Model, Regressor, SvrParams, SvrRegressor,
+};
+
+fn design(n: usize, p: usize, phase: f64) -> (Matrix, Vec<f64>) {
+    let mut x = Matrix::zeros(n, p);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        for j in 0..p {
+            x[(i, j)] = ((i * p + j) as f64 * 0.23 + phase).sin() * 3.0;
+        }
+        y.push((i as f64 * 0.11).cos() * 40.0 + 100.0);
+    }
+    (x, y)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (train_x, train_y) = design(600, 8, 0.0);
+    let (query, _) = design(2000, 8, 1.7);
+
+    let models: Vec<(&str, Box<dyn Model>)> = vec![
+        (
+            "svr",
+            SvrRegressor::new(SvrParams {
+                kernel: Kernel::Rbf { gamma: 0.1 },
+                ..SvrParams::default()
+            })
+            .fit(&train_x, &train_y)
+            .expect("svr fit"),
+        ),
+        (
+            "ls_svm",
+            LsSvmRegressor::new(Kernel::Rbf { gamma: 0.1 }, 10.0)
+                .fit(&train_x, &train_y)
+                .expect("ls-svm fit"),
+        ),
+        (
+            "linear",
+            LinearRegression::new()
+                .fit(&train_x, &train_y)
+                .expect("linear fit"),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("predict_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(query.rows() as u64));
+    for (name, model) in &models {
+        group.bench_with_input(BenchmarkId::new("per_row", name), model, |b, m| {
+            b.iter(|| -> Vec<f64> {
+                (0..query.rows())
+                    .map(|i| m.predict_row(query.row(i)))
+                    .collect()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", name), model, |b, m| {
+            b.iter(|| m.predict_batch(&query).expect("width"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(predict, bench_predict);
+criterion_main!(predict);

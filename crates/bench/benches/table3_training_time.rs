@@ -43,11 +43,9 @@ fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_training_time");
     group.sample_size(10);
     for reg in &suite {
-        group.bench_with_input(
-            BenchmarkId::new(reg.name(), "all_params"),
-            &all,
-            |b, ds| b.iter(|| reg.fit(&ds.x, &ds.y).expect("fit")),
-        );
+        group.bench_with_input(BenchmarkId::new(reg.name(), "all_params"), &all, |b, ds| {
+            b.iter(|| reg.fit(&ds.x, &ds.y).expect("fit"))
+        });
         group.bench_with_input(
             BenchmarkId::new(reg.name(), "lasso_selected"),
             &selected,

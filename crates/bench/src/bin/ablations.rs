@@ -9,9 +9,7 @@
 
 use f2pm::{correlate_response_time, F2pmConfig};
 use f2pm_features::{aggregate_history, AggregationConfig, Dataset};
-use f2pm_ml::{
-    evaluate_one, LinearRegression, M5Params, M5Prime, RepTree, RepTreeParams,
-};
+use f2pm_ml::{evaluate_one, LinearRegression, M5Params, M5Prime, RepTree, RepTreeParams};
 use f2pm_monitor::DataHistory;
 use f2pm_sim::tpcw::Mix;
 use f2pm_sim::{AnomalyConfig, Campaign, CampaignConfig, SimConfig};
@@ -42,7 +40,7 @@ fn ablate_window() {
         let agg = AggregationConfig {
             window_s: window,
             min_points: 2,
-        ..AggregationConfig::default()
+            ..AggregationConfig::default()
         };
         let points = aggregate_history(&history, &agg);
         let ds = Dataset::from_points(&points);
@@ -109,11 +107,8 @@ fn ablate_mix() {
             ..CampaignConfig::default()
         };
         let runs = Campaign::new(cfg, SEED).run_all();
-        let mean_fail: f64 = runs
-            .iter()
-            .filter_map(|r| r.fail_time)
-            .sum::<f64>()
-            / runs.len() as f64;
+        let mean_fail: f64 =
+            runs.iter().filter_map(|r| r.fail_time).sum::<f64>() / runs.len() as f64;
         let total_req: u64 = runs
             .iter()
             .map(|r| r.samples.iter().map(|s| s.completed).sum::<u64>())
@@ -176,8 +171,7 @@ fn ablate_diversity() {
             cfg.smae,
         )
         .expect("fit");
-        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae)
-            .expect("fit");
+        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae).expect("fit");
         println!(
             "{:>22} {:>14.1} {:>14.1} {:>10.2}",
             format!("({lo:.2}, {hi:.2})"),
@@ -197,7 +191,10 @@ fn ablate_diversity() {
 /// `_std` columns) buy accuracy on top of the paper's means + slopes?
 fn ablate_stddev_features() {
     println!("\n=== Ablation: per-window stddev features ===");
-    println!("{:>10} {:>14} {:>14}", "layout", "reptree smae", "linear smae");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "layout", "reptree smae", "linear smae"
+    );
     let mut cfg = base_config();
     cfg.campaign.runs = 10;
     let history = campaign_history(&cfg.campaign, SEED);
@@ -216,8 +213,7 @@ fn ablate_stddev_features() {
             cfg.smae,
         )
         .expect("fit");
-        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae)
-            .expect("fit");
+        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae).expect("fit");
         println!(
             "{:>10} {:>14.1} {:>14.1}",
             if include_stddev { "44 cols" } else { "30 cols" },

@@ -27,7 +27,8 @@ fn main() {
             }
             "--out" => {
                 opts.out_dir = PathBuf::from(
-                    args.next().unwrap_or_else(|| die("--out needs a directory")),
+                    args.next()
+                        .unwrap_or_else(|| die("--out needs a directory")),
                 );
             }
             "--quick" => opts.quick = true,
@@ -38,8 +39,10 @@ fn main() {
                 );
                 return;
             }
-            exp @ ("all" | "fig3" | "fig4" | "table1" | "table2" | "table3" | "table4"
-            | "fig5") => wanted.push(exp.to_string()),
+            exp
+            @ ("all" | "fig3" | "fig4" | "table1" | "table2" | "table3" | "table4" | "fig5") => {
+                wanted.push(exp.to_string())
+            }
             other => die(&format!("unknown argument {other}")),
         }
     }

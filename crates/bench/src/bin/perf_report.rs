@@ -1,0 +1,172 @@
+//! `perf_report` — one-shot compute-core performance snapshot.
+//!
+//! Times the three optimized hot paths against their seed-style baselines
+//! (Gram construction, SVR training, batched prediction) with plain
+//! wall-clock best-of-N and writes the numbers to `BENCH_compute.json`
+//! (override with `--out <path>`). Unlike the criterion benches this is
+//! meant to be committed: it gives the next session a tracked baseline.
+//!
+//! `--smoke` is the CI gate variant: 1/5-scale problems, one timed rep,
+//! and a scratch output under `target/` so the tracked baseline survives.
+
+use f2pm_linalg::Matrix;
+use f2pm_ml::{Kernel, LsSvmRegressor, Model, Regressor, SvrParams, SvrRegressor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn sample(n: usize, p: usize, phase: f64) -> Matrix {
+    let mut x = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            x[(i, j)] = ((i * p + j) as f64 * 0.37 + phase).sin() * 2.0 + (i as f64 * 0.013).cos();
+        }
+    }
+    x
+}
+
+fn target(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.11).cos() * 40.0 + 100.0)
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock seconds for `f` (one untimed warmup).
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Replica of the seed's large-`n` Gram path: all n² pairs, no symmetry.
+fn seed_naive_gram(kern: &Kernel, x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        let ri = x.row(i);
+        for j in 0..n {
+            k[(i, j)] = kern.eval(ri, x.row(j));
+        }
+    }
+    k
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = Some(it.next().expect("--out needs a path").clone());
+            }
+            // CI mode: tiny sizes, single timed rep, and a scratch output
+            // path so the committed baseline BENCH_compute.json is not
+            // overwritten by throwaway numbers.
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown flag {other:?} (supported: --out <path>, --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_compute_smoke.json".to_string()
+        } else {
+            "BENCH_compute.json".to_string()
+        }
+    });
+    let reps = if smoke { 1 } else { 3 };
+    let scale = if smoke { 5 } else { 1 };
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"f2pm-bench perf_report\",");
+    let _ = writeln!(json, "  \"machine_threads\": {threads},");
+
+    // --- Gram construction at the paper's campaign scale (2000 x 30). ---
+    let (n, p) = (2000 / scale, 30);
+    let x = sample(n, p, 0.0);
+    eprintln!("gram {n}x{p}...");
+    let _ = writeln!(json, "  \"gram_{n}x{p}\": {{");
+    for (idx, (label, kern)) in [
+        ("linear", Kernel::Linear),
+        ("rbf", Kernel::Rbf { gamma: 0.03 }),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let naive = best_of(reps, || seed_naive_gram(kern, &x));
+        let opt = best_of(reps, || kern.matrix(&x));
+        eprintln!(
+            "  {label}: naive {naive:.4}s, optimized {opt:.4}s ({:.2}x)",
+            naive / opt
+        );
+        let _ = writeln!(json, "    \"{label}_seed_naive_s\": {naive:.6},");
+        let _ = writeln!(json, "    \"{label}_optimized_s\": {opt:.6},");
+        let tail = if idx == 1 { "" } else { "," };
+        let _ = writeln!(json, "    \"{label}_speedup\": {:.2}{tail}", naive / opt);
+    }
+    let _ = writeln!(json, "  }},");
+
+    // --- SVR training (shrinking on vs off) on a mid-size problem. ---
+    let (tn, tp) = (800 / scale, 12);
+    let tx = sample(tn, tp, 0.4);
+    let ty = target(tn);
+    eprintln!("svr train {tn}x{tp}...");
+    let fit = |shrinking: bool| {
+        SvrRegressor::new(SvrParams {
+            kernel: Kernel::Rbf { gamma: 0.05 },
+            shrinking,
+            ..SvrParams::default()
+        })
+        .fit_svr(&tx, &ty)
+        .expect("svr fit")
+    };
+    let plain = best_of(reps, || fit(false));
+    let shrunk = best_of(reps, || fit(true));
+    eprintln!("  plain {plain:.4}s, shrinking {shrunk:.4}s");
+    let _ = writeln!(json, "  \"svr_train_{tn}x{tp}\": {{");
+    let _ = writeln!(json, "    \"no_shrinking_s\": {plain:.6},");
+    let _ = writeln!(json, "    \"shrinking_s\": {shrunk:.6}");
+    let _ = writeln!(json, "  }},");
+
+    // --- Batched prediction: per-row loop vs predict_batch. ---
+    let query = sample(2000 / scale, tp, 1.7);
+    eprintln!("predict {} rows...", query.rows());
+    let _ = writeln!(json, "  \"predict_{}\": {{", query.rows());
+    let models: Vec<(&str, Box<dyn Model>)> = vec![
+        ("svr", Box::new(fit(true))),
+        (
+            "ls_svm",
+            LsSvmRegressor::new(Kernel::Rbf { gamma: 0.05 }, 10.0)
+                .fit(&tx, &ty)
+                .expect("ls-svm fit"),
+        ),
+    ];
+    for (idx, (name, model)) in models.iter().enumerate() {
+        let per_row = best_of(reps, || -> Vec<f64> {
+            (0..query.rows())
+                .map(|i| model.predict_row(query.row(i)))
+                .collect()
+        });
+        let batch = best_of(reps, || model.predict_batch(&query).expect("width"));
+        eprintln!("  {name}: per-row {per_row:.4}s, batch {batch:.4}s");
+        let _ = writeln!(json, "    \"{name}_per_row_s\": {per_row:.6},");
+        let tail = if idx + 1 == models.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}_batch_s\": {batch:.6}{tail}");
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("writing BENCH_compute.json");
+    println!("wrote {out_path}");
+}

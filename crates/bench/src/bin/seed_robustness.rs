@@ -8,18 +8,43 @@ use f2pm_monitor::DataHistory;
 use f2pm_sim::Campaign;
 
 fn main() {
-    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    println!("{:>6} {:>10} {:>10} {:>10} {:>8} {:>8}", "seed", "reptree", "m5p", "linear", "lin/rep", "windows");
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "seed", "reptree", "m5p", "linear", "lin/rep", "windows"
+    );
     for seed in 1..=8u64 {
         let mut cfg = F2pmConfig::default();
         cfg.campaign.runs = runs;
-        let history = DataHistory::from_campaign(&Campaign::new(cfg.campaign.clone(), seed).run_all());
+        let history =
+            DataHistory::from_campaign(&Campaign::new(cfg.campaign.clone(), seed).run_all());
         let points = aggregate_history(&history, &cfg.aggregation);
         let ds = Dataset::from_points(&points);
         let (train, valid) = ds.split_holdout(cfg.train_fraction, cfg.split_seed);
-        let rep = evaluate_one(&RepTree::new(RepTreeParams::default()), &train, &valid, cfg.smae).unwrap().metrics.smae;
-        let m5 = evaluate_one(&M5Prime::new(M5Params::default()), &train, &valid, cfg.smae).unwrap().metrics.smae;
-        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae).unwrap().metrics.smae;
-        println!("{seed:>6} {rep:>10.1} {m5:>10.1} {lin:>10.1} {:>8.2} {:>8}", lin/rep, ds.len());
+        let rep = evaluate_one(
+            &RepTree::new(RepTreeParams::default()),
+            &train,
+            &valid,
+            cfg.smae,
+        )
+        .unwrap()
+        .metrics
+        .smae;
+        let m5 = evaluate_one(&M5Prime::new(M5Params::default()), &train, &valid, cfg.smae)
+            .unwrap()
+            .metrics
+            .smae;
+        let lin = evaluate_one(&LinearRegression::new(), &train, &valid, cfg.smae)
+            .unwrap()
+            .metrics
+            .smae;
+        println!(
+            "{seed:>6} {rep:>10.1} {m5:>10.1} {lin:>10.1} {:>8.2} {:>8}",
+            lin / rep,
+            ds.len()
+        );
     }
 }

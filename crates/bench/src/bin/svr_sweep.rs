@@ -9,8 +9,8 @@
 use f2pm::F2pmConfig;
 use f2pm_features::{aggregate_history, Dataset};
 use f2pm_ml::{
-    evaluate_one, Kernel, LsSvmRegressor, M5Params, M5Prime, RepTree, RepTreeParams,
-    SMaeThreshold, SvrParams, SvrRegressor,
+    evaluate_one, Kernel, LsSvmRegressor, M5Params, M5Prime, RepTree, RepTreeParams, SMaeThreshold,
+    SvrParams, SvrRegressor,
 };
 use f2pm_monitor::DataHistory;
 use f2pm_sim::Campaign;
@@ -66,8 +66,7 @@ fn sweep_svr_rbf(train: &Dataset, valid: &Dataset) {
                     epsilon: eps,
                     ..SvrParams::default()
                 });
-                let r =
-                    evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
+                let r = evaluate_one(&reg, train, valid, SMaeThreshold::paper_default()).unwrap();
                 println!(
                     "svr-rbf g={gamma:<5} C={c:<6} eps={eps:<4} smae={:8.2} train={:.3}s",
                     r.metrics.smae, r.train_time_s

@@ -112,7 +112,10 @@ impl ExperimentContext {
             let selection = lasso_path(&train, &self.cfg.lambda_grid, &self.cfg.lasso_solver);
 
             let suite = f2pm_ml::paper_method_suite(&self.cfg.lasso_predictor_lambdas);
-            eprintln!("[models] fitting {} methods on all parameters...", suite.len());
+            eprintln!(
+                "[models] fitting {} methods on all parameters...",
+                suite.len()
+            );
             let all_reports = evaluate_all(&suite, &train, &valid, self.cfg.smae);
 
             let (sel_names, sel_lambda) = {
@@ -260,7 +263,11 @@ impl ExperimentContext {
                 }
             }
         }
-        let path = self.write_csv(file, &format!("algorithm,{column}_all,{column}_selected"), &rows);
+        let path = self.write_csv(
+            file,
+            &format!("algorithm,{column}_all,{column}_selected"),
+            &rows,
+        );
         println!("wrote {}", path.display());
     }
 
@@ -397,7 +404,10 @@ do for [m in "linear_regression m5p rep_tree svm ls_svm lasso_lambda_1e9"] {
 "#;
         let path = self.opts.out_dir.join("plot_all.gp");
         fs::write(&path, script).expect("write gnuplot script");
-        println!("wrote {} (render with: gnuplot plot_all.gp)", path.display());
+        println!(
+            "wrote {} (render with: gnuplot plot_all.gp)",
+            path.display()
+        );
     }
 
     /// Run everything on the shared campaign.

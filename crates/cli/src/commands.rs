@@ -261,11 +261,9 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     let history_path = require(&flags, "history")?;
     let agg = aggregation_from(&flags)?;
 
-    let saved =
-        persist::load(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let saved = persist::load(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
     let model = saved.as_model();
-    let history =
-        load_csv(&history_path).map_err(|e| format!("reading {history_path}: {e}"))?;
+    let history = load_csv(&history_path).map_err(|e| format!("reading {history_path}: {e}"))?;
     let runs = history.runs();
     let run = runs.last().ok_or("history has no runs")?;
     let points = aggregate_run(run, &agg);
@@ -277,19 +275,30 @@ pub fn predict(args: &[String]) -> Result<(), String> {
         "{:>10} {:>16} {:>16}",
         "t(s)",
         "predicted RTTF(s)",
-        if run.fail_time.is_some() { "actual RTTF(s)" } else { "actual (n/a)" }
-    );
-    for p in &points {
-        let inputs = p.inputs();
-        if inputs.len() != model.width() {
-            return Err(format!(
-                "model expects {} inputs but the aggregation produced {} — \
-                 was the model trained with a different --window?",
-                model.width(),
-                inputs.len()
-            ));
+        if run.fail_time.is_some() {
+            "actual RTTF(s)"
+        } else {
+            "actual (n/a)"
         }
-        let est = model.predict_row(&inputs).max(0.0);
+    );
+    // One batched scoring pass over every window (the kernel models score
+    // this allocation-free and in parallel) instead of a per-window call.
+    let width = points[0].inputs().len();
+    if width != model.width() {
+        return Err(format!(
+            "model expects {} inputs but the aggregation produced {} — \
+             was the model trained with a different --window?",
+            model.width(),
+            width
+        ));
+    }
+    let mut x = f2pm_linalg::Matrix::zeros(points.len(), width);
+    for (i, p) in points.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(&p.inputs());
+    }
+    let estimates = model.predict_batch(&x).map_err(|e| e.to_string())?;
+    for (p, est) in points.iter().zip(&estimates) {
+        let est = est.max(0.0);
         match p.rttf {
             Some(actual) => println!("{:>10.1} {:>16.1} {:>16.1}", p.t_repr, est, actual),
             None => println!("{:>10.1} {:>16.1} {:>16}", p.t_repr, est, "-"),

@@ -58,12 +58,20 @@ fn full_lifecycle_campaign_evaluate_train_predict() {
         "--out",
         hist.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(hist.exists());
 
     // 2. Compare methods.
     let out = f2pm(&["evaluate", "--history", hist.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8_lossy(&out.stdout);
     assert!(table.contains("rep_tree"));
     assert!(table.contains("S-MAE"));
@@ -78,7 +86,11 @@ fn full_lifecycle_campaign_evaluate_train_predict() {
         "--out",
         model.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let model_text = std::fs::read_to_string(&model).unwrap();
     assert!(model_text.starts_with("f2pm-model 1\nrep_tree"));
 
@@ -90,7 +102,11 @@ fn full_lifecycle_campaign_evaluate_train_predict() {
         "--history",
         hist.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let preds = String::from_utf8_lossy(&out.stdout);
     assert!(preds.contains("predicted RTTF"));
     // At least a handful of prediction rows with actuals present.

@@ -236,7 +236,12 @@ pub mod collection {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64;
-            let n = self.size.lo + if span > 1 { rng.below(span) as usize } else { 0 };
+            let n = self.size.lo
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }

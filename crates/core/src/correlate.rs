@@ -220,8 +220,8 @@ mod tests {
     fn correlated_rt_tracks_measured_rt_better_than_a_constant() {
         let run = one_run();
         let corr = correlate_response_time(&run);
-        let mean_rt = corr.series.iter().map(|p| p.response_time).sum::<f64>()
-            / corr.series.len() as f64;
+        let mean_rt =
+            corr.series.iter().map(|p| p.response_time).sum::<f64>() / corr.series.len() as f64;
         let model_err: f64 = corr
             .series
             .iter()
@@ -246,15 +246,21 @@ mod tests {
         let corr = correlate_response_time(&run);
         let n = corr.series.len();
         let q = n / 4;
-        let early_rt: f64 =
-            corr.series[..q].iter().map(|p| p.response_time).sum::<f64>() / q as f64;
+        let early_rt: f64 = corr.series[..q]
+            .iter()
+            .map(|p| p.response_time)
+            .sum::<f64>()
+            / q as f64;
         let late_rt: f64 = corr.series[n - q..]
             .iter()
             .map(|p| p.response_time)
             .sum::<f64>()
             / q as f64;
-        let early_gen: f64 =
-            corr.series[..q].iter().map(|p| p.generation_time).sum::<f64>() / q as f64;
+        let early_gen: f64 = corr.series[..q]
+            .iter()
+            .map(|p| p.generation_time)
+            .sum::<f64>()
+            / q as f64;
         let late_gen: f64 = corr.series[n - q..]
             .iter()
             .map(|p| p.generation_time)

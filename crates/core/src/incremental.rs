@@ -118,7 +118,8 @@ impl IncrementalTrainer {
                     aggregate_run(&data, &self.cfg.base.aggregation)
                 })
                 .collect();
-            let tagged = RunTaggedDataset::from_run_points_with(&per_run, &self.cfg.base.aggregation);
+            let tagged =
+                RunTaggedDataset::from_run_points_with(&per_run, &self.cfg.base.aggregation);
 
             let mut fold_smaes = Vec::new();
             for (_, train, valid) in tagged.leave_one_run_out() {

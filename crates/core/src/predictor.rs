@@ -34,11 +34,7 @@ impl OnlinePredictor {
     /// # Panics
     /// Panics if a column name is unknown or the count mismatches the
     /// model's width.
-    pub fn new(
-        model: Box<dyn Model>,
-        column_names: &[String],
-        agg: AggregationConfig,
-    ) -> Self {
+    pub fn new(model: Box<dyn Model>, column_names: &[String], agg: AggregationConfig) -> Self {
         let all = f2pm_features::aggregate::aggregated_column_names_with(&agg);
         let column_idx: Vec<usize> = column_names
             .iter()
@@ -88,6 +84,9 @@ impl OnlinePredictor {
         let point = points.into_iter().next_back()?;
         let inputs = point.inputs();
         let row: Vec<f64> = self.column_idx.iter().map(|&j| inputs[j]).collect();
+        // One window = one row, so this is the single-row path; the kernel
+        // models standardize into stack scratch here (no per-estimate
+        // allocation), and batched replay goes through `predict_batch`.
         let estimate = self.model.predict_row(&row).max(0.0);
         self.last_estimate = Some(estimate);
         Some(estimate)
@@ -137,7 +136,7 @@ mod tests {
                 &AggregationConfig {
                     window_s: 30.0,
                     min_points: 2,
-                ..AggregationConfig::default()
+                    ..AggregationConfig::default()
                 },
             ));
         }
@@ -161,7 +160,7 @@ mod tests {
             AggregationConfig {
                 window_s: 30.0,
                 min_points: 2,
-            ..AggregationConfig::default()
+                ..AggregationConfig::default()
             },
         );
         let mut estimates = Vec::new();
@@ -194,7 +193,7 @@ mod tests {
             AggregationConfig {
                 window_s: 30.0,
                 min_points: 2,
-            ..AggregationConfig::default()
+                ..AggregationConfig::default()
             },
         );
         let mut estimates = Vec::new();
@@ -224,7 +223,7 @@ mod tests {
             AggregationConfig {
                 window_s: 30.0,
                 min_points: 2,
-            ..AggregationConfig::default()
+                ..AggregationConfig::default()
             },
         );
         for i in 0..50 {
@@ -248,7 +247,7 @@ mod tests {
             AggregationConfig {
                 window_s: 30.0,
                 min_points: 2,
-            ..AggregationConfig::default()
+                ..AggregationConfig::default()
             },
         );
         for i in 0..20 {

@@ -238,11 +238,7 @@ mod tests {
             .filter_map(|r| r.ok())
             .find(|r| r.name == best.name)
             .expect("same method");
-        let mut predictor = OnlinePredictor::new(
-            idx.model,
-            &variant.columns,
-            cfg.aggregation,
-        );
+        let mut predictor = OnlinePredictor::new(idx.model, &variant.columns, cfg.aggregation);
 
         let horizon = 6000.0;
         let proactive = rejuvenator.run_proactive(&mut predictor, horizon, 1234);
@@ -299,11 +295,8 @@ mod tests {
         .run_proactive(&mut predictor, horizon, 777);
 
         predictor.reset();
-        let with_defrag = ProactiveRejuvenator::new(
-            sim_cfg,
-            RejuvenationPolicy::default(),
-        )
-        .run_proactive(&mut predictor, horizon, 777);
+        let with_defrag = ProactiveRejuvenator::new(sim_cfg, RejuvenationPolicy::default())
+            .run_proactive(&mut predictor, horizon, 777);
 
         // Without defragmentation lives get shorter, so the same horizon
         // needs at least as many interventions (restarts + crashes).

@@ -2,9 +2,7 @@
 
 use crate::config::F2pmConfig;
 use crate::report::{F2pmReport, VariantReport};
-use f2pm_features::{
-    aggregate_run, lasso_path, robust_outlier_filter, Dataset, RunTaggedDataset,
-};
+use f2pm_features::{aggregate_run, lasso_path, robust_outlier_filter, Dataset, RunTaggedDataset};
 use f2pm_ml::evaluate_all;
 use f2pm_monitor::DataHistory;
 use f2pm_sim::Campaign;
@@ -109,8 +107,8 @@ fn split_by_runs(
     runs: usize,
     train_fraction: f64,
 ) -> (Dataset, Dataset) {
-    let train_runs = ((runs as f64 * train_fraction).round() as usize)
-        .clamp(1, runs.saturating_sub(1).max(1));
+    let train_runs =
+        ((runs as f64 * train_fraction).round() as usize).clamp(1, runs.saturating_sub(1).max(1));
     let mut train_rows = Vec::new();
     let mut valid_rows = Vec::new();
     for (row, &run) in run_of_row.iter().enumerate() {

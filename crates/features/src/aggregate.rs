@@ -93,7 +93,13 @@ pub fn aggregate_run(run: &RunData, cfg: &AggregationConfig) -> Vec<AggregatedPo
             None
         };
         if window.len() >= cfg.min_points {
-            out.push(aggregate_window(window, prev, w_start, w_end, run.fail_time));
+            out.push(aggregate_window(
+                window,
+                prev,
+                w_start,
+                w_end,
+                run.fail_time,
+            ));
         }
         start_idx = end_idx;
     }
@@ -176,10 +182,7 @@ fn aggregate_window(
 /// Aggregate every run of a data history, concatenating the results. Only
 /// failing runs carry RTTF labels; censored runs are skipped by default
 /// because the paper's training target requires the fail event.
-pub fn aggregate_history(
-    history: &DataHistory,
-    cfg: &AggregationConfig,
-) -> Vec<AggregatedPoint> {
+pub fn aggregate_history(history: &DataHistory, cfg: &AggregationConfig) -> Vec<AggregatedPoint> {
     history
         .runs()
         .iter()
@@ -269,7 +272,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 1,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_run(&r, &cfg);
         assert_eq!(agg.len(), 1);
@@ -289,7 +292,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 1,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_run(&r, &cfg);
         // Eq. 1: (x_end - x_start) / n = (50 - 10) / 4 = 10.
@@ -305,7 +308,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 1,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_run(&r, &cfg);
         let total: usize = agg.iter().map(|a| a.count).sum();
@@ -339,7 +342,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 5.0,
             min_points: 1,
-        include_stddev: false,
+            include_stddev: false,
         };
         for a in aggregate_run(&r, &cfg) {
             assert!(a.rttf.is_none());
@@ -353,7 +356,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 2,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_run(&r, &cfg);
         assert_eq!(agg.len(), 1);
@@ -371,7 +374,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 2,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_run(&r, &cfg);
         assert_eq!(agg.len(), 2);
@@ -440,7 +443,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 5.0,
             min_points: 1,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_run(&r, &cfg);
         assert_eq!(agg[0].inputs().len(), aggregated_column_names().len());
@@ -460,7 +463,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 5.0,
             min_points: 1,
-        include_stddev: false,
+            include_stddev: false,
         };
         let agg = aggregate_history(&h, &cfg);
         assert!(!agg.is_empty());

@@ -24,8 +24,7 @@ impl Dataset {
     /// are skipped).
     pub fn from_points(points: &[AggregatedPoint]) -> Self {
         let names = aggregated_column_names();
-        let labeled: Vec<&AggregatedPoint> =
-            points.iter().filter(|p| p.rttf.is_some()).collect();
+        let labeled: Vec<&AggregatedPoint> = points.iter().filter(|p| p.rttf.is_some()).collect();
         let mut x = Matrix::zeros(labeled.len(), names.len());
         let mut y = Vec::with_capacity(labeled.len());
         for (i, p) in labeled.iter().enumerate() {
@@ -40,8 +39,7 @@ impl Dataset {
     /// (means + slopes + inter-generation pair + per-feature stddevs).
     pub fn from_points_with(points: &[AggregatedPoint], cfg: &AggregationConfig) -> Self {
         let names = aggregated_column_names_with(cfg);
-        let labeled: Vec<&AggregatedPoint> =
-            points.iter().filter(|p| p.rttf.is_some()).collect();
+        let labeled: Vec<&AggregatedPoint> = points.iter().filter(|p| p.rttf.is_some()).collect();
         let mut x = Matrix::zeros(labeled.len(), names.len());
         let mut y = Vec::with_capacity(labeled.len());
         for (i, p) in labeled.iter().enumerate() {
@@ -97,7 +95,10 @@ impl Dataset {
     pub fn select_named(&self, names: &[&str]) -> Dataset {
         let idx: Vec<usize> = names
             .iter()
-            .map(|n| self.column_index(n).unwrap_or_else(|| panic!("unknown column {n}")))
+            .map(|n| {
+                self.column_index(n)
+                    .unwrap_or_else(|| panic!("unknown column {n}"))
+            })
             .collect();
         self.select_columns(&idx)
     }
@@ -129,11 +130,7 @@ impl Dataset {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         idx.shuffle(&mut rng);
-        KFold {
-            idx,
-            k,
-            fold: 0,
-        }
+        KFold { idx, k, fold: 0 }
     }
 }
 
@@ -228,12 +225,7 @@ mod tests {
         assert_eq!(tr.len(), 80);
         assert_eq!(va.len(), 20);
         // No sample is lost or duplicated: targets are all distinct here.
-        let mut all: Vec<i64> = tr
-            .y
-            .iter()
-            .chain(&va.y)
-            .map(|v| v.round() as i64)
-            .collect();
+        let mut all: Vec<i64> = tr.y.iter().chain(&va.y).map(|v| v.round() as i64).collect();
         all.sort_unstable();
         let expect: Vec<i64> = (0..100).map(|i| i * 10).collect();
         assert_eq!(all, expect);
@@ -263,7 +255,10 @@ mod tests {
                 assert!(!train.contains(&i));
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each row validates exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each row validates exactly once"
+        );
     }
 
     #[test]
@@ -309,7 +304,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 1,
-        ..AggregationConfig::default()
+            ..AggregationConfig::default()
         };
         let labeled = aggregate_run(
             &RunData {

@@ -208,8 +208,7 @@ impl LassoProblem {
             }
         }
 
-        let intercept =
-            self.y_mean - f2pm_linalg::dot(&beta, &self.x_mean);
+        let intercept = self.y_mean - f2pm_linalg::dot(&beta, &self.x_mean);
         LassoSolution {
             lambda,
             beta,
@@ -304,8 +303,7 @@ mod tests {
         let prob = LassoProblem::new(&x, &y);
         let sol = prob.solve(0.01, None, &LassoSolverConfig::default());
         let row = [2.0, -1.0, 0.5];
-        let manual =
-            sol.intercept + sol.beta[0] * 2.0 + -sol.beta[1] + sol.beta[2] * 0.5;
+        let manual = sol.intercept + sol.beta[0] * 2.0 + -sol.beta[1] + sol.beta[2] * 0.5;
         assert_eq!(sol.predict_row(&row), manual);
     }
 
@@ -330,7 +328,12 @@ mod tests {
         let prob = LassoProblem::new(&x, &y);
         let cold = prob.solve(0.05, None, &LassoSolverConfig::default());
         let warm = prob.solve(0.049, Some(&cold.beta), &LassoSolverConfig::default());
-        assert!(warm.sweeps <= cold.sweeps, "warm {} cold {}", warm.sweeps, cold.sweeps);
+        assert!(
+            warm.sweeps <= cold.sweeps,
+            "warm {} cold {}",
+            warm.sweeps,
+            cold.sweeps
+        );
     }
 
     #[test]

@@ -105,11 +105,7 @@ pub fn paper_lambda_grid() -> Vec<f64> {
 /// λ values are solved in ascending order with warm starts (the active set
 /// only shrinks, so the warm start is excellent), then reported in the
 /// caller's original order.
-pub fn lasso_path(
-    dataset: &Dataset,
-    lambdas: &[f64],
-    cfg: &LassoSolverConfig,
-) -> SelectionReport {
+pub fn lasso_path(dataset: &Dataset, lambdas: &[f64], cfg: &LassoSolverConfig) -> SelectionReport {
     assert!(!lambdas.is_empty(), "empty lambda grid");
     let problem = LassoProblem::new(&dataset.x, &dataset.y);
 
@@ -162,11 +158,7 @@ mod tests {
             x.row_mut(i).copy_from_slice(&[a, b, c]);
             y.push(5.0 * a + 0.05 * b);
         }
-        Dataset::new(
-            vec!["strong".into(), "weak".into(), "junk".into()],
-            x,
-            y,
-        )
+        Dataset::new(vec!["strong".into(), "weak".into(), "junk".into()], x, y)
     }
 
     #[test]
@@ -176,10 +168,7 @@ mod tests {
         let report = lasso_path(&ds, &lambdas, &LassoSolverConfig::default());
         let series = report.fig4_series();
         for pair in series.windows(2) {
-            assert!(
-                pair[1].1 <= pair[0].1,
-                "selection grew with λ: {series:?}"
-            );
+            assert!(pair[1].1 <= pair[0].1, "selection grew with λ: {series:?}");
         }
         assert_eq!(series.len(), 10);
     }

@@ -204,7 +204,7 @@ mod tests {
         let cfg = AggregationConfig {
             window_s: 10.0,
             min_points: 1,
-        ..AggregationConfig::default()
+            ..AggregationConfig::default()
         };
         (0..n_runs)
             .map(|r| {

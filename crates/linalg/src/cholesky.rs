@@ -33,7 +33,9 @@ impl Cholesky {
             });
         }
         if !a.is_finite() {
-            return Err(LinalgError::NonFinite { what: "cholesky input" });
+            return Err(LinalgError::NonFinite {
+                what: "cholesky input",
+            });
         }
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -137,10 +139,7 @@ impl Cholesky {
 
     /// log-determinant of `A` (numerically stable via the factor diagonal).
     pub fn log_det(&self) -> f64 {
-        (0..self.order())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.order()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 }
 

@@ -100,7 +100,9 @@ mod tests {
         }
         .to_string()
         .contains("10 iterations"));
-        assert!(LinalgError::NonFinite { what: "rhs" }.to_string().contains("rhs"));
+        assert!(LinalgError::NonFinite { what: "rhs" }
+            .to_string()
+            .contains("rhs"));
     }
 
     #[test]

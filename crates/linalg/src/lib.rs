@@ -34,6 +34,7 @@
 mod cg;
 mod cholesky;
 mod error;
+mod gemm;
 mod matrix;
 mod qr;
 mod stats;
@@ -42,6 +43,10 @@ mod vector;
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
+pub use gemm::{
+    matmul_blocked, mirror_upper, on_triangle_bands, row_norms_sq, syrk_rows, syrk_rows_upper,
+    syrk_rows_upper_scratch, worker_count, GEMM_BLOCK_COLS, GEMM_BLOCK_K, PARALLEL_MIN_ELEMS,
+};
 pub use matrix::Matrix;
 pub use qr::{lstsq, residual_norm, QrFactorization};
 pub use stats::{mean, variance, ColumnStats, Standardizer};

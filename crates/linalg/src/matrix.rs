@@ -15,14 +15,86 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// Minimum element count for the drop-time buffer pool. Smaller
+/// allocations are cheap to refault; buffers at or above this (8 MiB)
+/// cost milliseconds of page faults to recreate, which dominates the
+/// Gram-matrix hot path when models are fit repeatedly (CV folds,
+/// benches).
+const POOL_MIN_ELEMS: usize = 1 << 20;
+
+thread_local! {
+    /// One cached large backing buffer per thread. Holding a single
+    /// slot bounds retained memory to the largest recent matrix while
+    /// still turning the common alloc-compute-drop-realloc cycle of
+    /// equal-sized Gram matrices into a no-fault reuse.
+    static BUF_POOL: std::cell::RefCell<Option<Vec<f64>>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Fetch a pooled buffer resized to `len` (contents unspecified), or
+/// `None` if the pool is empty or too small.
+fn pool_take(len: usize) -> Option<Vec<f64>> {
+    if len < POOL_MIN_ELEMS {
+        return None;
+    }
+    BUF_POOL.with(|p| {
+        let mut slot = p.borrow_mut();
+        match slot.take() {
+            Some(mut v) if v.capacity() >= len => {
+                if v.len() >= len {
+                    v.truncate(len);
+                } else {
+                    v.resize(len, 0.0);
+                }
+                Some(v)
+            }
+            other => {
+                *slot = other;
+                None
+            }
+        }
+    })
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.data);
+        if v.capacity() >= POOL_MIN_ELEMS {
+            BUF_POOL.with(|p| {
+                let mut slot = p.borrow_mut();
+                let keep = slot
+                    .as_ref()
+                    .is_none_or(|old| old.capacity() < v.capacity());
+                if keep {
+                    *slot = Some(v);
+                }
+            });
+        }
+    }
+}
+
 impl Matrix {
     /// All-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        let len = rows * cols;
+        let data = match pool_take(len) {
+            Some(mut v) => {
+                v.fill(0.0);
+                v
+            }
+            None => vec![0.0; len],
+        };
+        Matrix { rows, cols, data }
+    }
+
+    /// Matrix of the given shape with **unspecified** (but initialized)
+    /// contents — a scratch target for kernels that overwrite every
+    /// element. Reuses the drop-time buffer pool when possible, which
+    /// skips both the zero-fill and the page faults of a fresh
+    /// allocation; callers must not read an element before writing it.
+    pub fn scratch(rows: usize, cols: usize) -> Self {
+        let len = rows * cols;
+        let data = pool_take(len).unwrap_or_else(|| vec![0.0; len]);
+        Matrix { rows, cols, data }
     }
 
     /// Identity matrix of order `n`.
@@ -62,7 +134,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -107,6 +183,12 @@ impl Matrix {
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// The raw row-major backing slice, mutably (for in-place kernels).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Whether every entry is finite.
@@ -157,6 +239,10 @@ impl Matrix {
     }
 
     /// Matrix-matrix product `A B`.
+    ///
+    /// Large products (≥ [`crate::PARALLEL_MIN_ELEMS`] output elements)
+    /// delegate to the cache-blocked, parallel [`crate::matmul_blocked`],
+    /// which produces bit-identical results.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -164,6 +250,9 @@ impl Matrix {
                 lhs: self.shape(),
                 rhs: other.shape(),
             });
+        }
+        if self.rows * other.cols >= crate::PARALLEL_MIN_ELEMS {
+            return crate::matmul_blocked(self, other);
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         // ikj loop order: the inner loop streams over contiguous rows of

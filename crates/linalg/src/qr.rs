@@ -184,7 +184,9 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         }
     }
     let gram = a.gram();
-    let scale = (0..gram.rows()).map(|i| gram[(i, i)]).fold(0.0_f64, f64::max);
+    let scale = (0..gram.rows())
+        .map(|i| gram[(i, i)])
+        .fold(0.0_f64, f64::max);
     let ridge = (scale.max(1.0)) * 1e-8;
     let ch = crate::Cholesky::factor_ridged(&gram, ridge)?;
     let aty = a.matvec_t(b)?;
@@ -255,7 +257,11 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0]]);
         let b = [3.0, 5.0];
         let x = lstsq(&a, &b).unwrap();
-        assert!(residual_norm(&a, &x, &b) < 1e-3, "residual {}", residual_norm(&a, &x, &b));
+        assert!(
+            residual_norm(&a, &x, &b) < 1e-3,
+            "residual {}",
+            residual_norm(&a, &x, &b)
+        );
     }
 
     #[test]

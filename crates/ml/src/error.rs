@@ -30,7 +30,10 @@ impl fmt::Display for MlError {
         match self {
             MlError::EmptyTrainingSet => write!(f, "empty training set"),
             MlError::WidthMismatch { expected, got } => {
-                write!(f, "feature width mismatch: model expects {expected}, got {got}")
+                write!(
+                    f,
+                    "feature width mismatch: model expects {expected}, got {got}"
+                )
             }
             MlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             MlError::NonFiniteData => write!(f, "training data contains NaN or inf"),
@@ -69,7 +72,9 @@ mod tests {
         };
         assert!(w.to_string().contains("expects 3"));
         assert!(MlError::NonFiniteData.to_string().contains("NaN"));
-        assert!(MlError::DidNotConverge { stage: "svr" }.to_string().contains("svr"));
+        assert!(MlError::DidNotConverge { stage: "svr" }
+            .to_string()
+            .contains("svr"));
     }
 
     #[test]

@@ -199,8 +199,12 @@ mod tests {
         let xv = x.select_rows(&valid_idx);
         let yv: Vec<f64> = valid_idx.iter().map(|&i| y[i]).collect();
 
-        let single = RepTree::new(RepTreeParams::default()).fit(&xt, &yt).unwrap();
-        let forest = BaggedRepTree::new(ForestParams::default()).fit(&xt, &yt).unwrap();
+        let single = RepTree::new(RepTreeParams::default())
+            .fit(&xt, &yt)
+            .unwrap();
+        let forest = BaggedRepTree::new(ForestParams::default())
+            .fit(&xt, &yt)
+            .unwrap();
         let ms = mae(single.as_ref(), &xv, &yv);
         let mf = mae(forest.as_ref(), &xv, &yv);
         assert!(
@@ -212,8 +216,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = noisy_steps(150);
-        let a = BaggedRepTree::new(ForestParams::default()).fit(&x, &y).unwrap();
-        let b = BaggedRepTree::new(ForestParams::default()).fit(&x, &y).unwrap();
+        let a = BaggedRepTree::new(ForestParams::default())
+            .fit(&x, &y)
+            .unwrap();
+        let b = BaggedRepTree::new(ForestParams::default())
+            .fit(&x, &y)
+            .unwrap();
         for i in 0..x.rows() {
             assert_eq!(a.predict_row(x.row(i)), b.predict_row(x.row(i)));
         }

@@ -1,9 +1,20 @@
 //! Kernels shared by the SVR and LS-SVM models.
 
-use f2pm_linalg::Matrix;
+use f2pm_linalg::{mirror_upper, on_triangle_bands, syrk_rows, syrk_rows_upper_scratch, Matrix};
 
-/// Sample count above which [`Kernel::matrix`] parallelizes.
-pub const PARALLEL_THRESHOLD: usize = 512;
+/// Sample count above which [`Kernel::matrix`] fans out over threads.
+///
+/// Lowered from the original 512: with the symmetric blocked path one
+/// Gram row costs ~`n · p` flops plus (for RBF) `n` `exp` calls, so at
+/// n = 256 a band is already ≥ 100 µs of work — an order of magnitude
+/// above the ~10 µs spawn/join cost per scoped thread (see the
+/// `gram_matrix` bench and DESIGN.md "Performance architecture").
+pub const PARALLEL_THRESHOLD: usize = 256;
+
+/// Sample count below which [`Kernel::matrix`] keeps the direct per-pair
+/// evaluation ([`Kernel::matrix_reference`]): the Gram detour costs two
+/// extra passes over the matrix, which only pays once `n²` is non-trivial.
+const BLOCKED_THRESHOLD: usize = 32;
 
 /// Kernel functions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,51 +48,65 @@ impl Kernel {
 
     /// Full symmetric kernel matrix of a sample set.
     ///
-    /// Above [`PARALLEL_THRESHOLD`] rows the `O(n²)` evaluation fans out
-    /// over crossbeam scoped threads (one contiguous row-band per thread —
-    /// each band writes a disjoint slice, so no synchronization is needed;
-    /// see the workspace's data-parallelism guides).
+    /// Built on the blocked symmetric rank-k update `G = X·Xᵀ` from
+    /// `f2pm-linalg`: the linear kernel *is* that Gram, and the RBF kernel
+    /// reuses it through `‖u − v‖² = ‖u‖² + ‖v‖² − 2 uᵀv`, with the squared
+    /// norms read off `G`'s diagonal (so the diagonal distance is exactly
+    /// zero and `K_ii` exactly 1). Only the upper triangle is computed and
+    /// transformed; the lower one is mirrored. Above [`PARALLEL_THRESHOLD`]
+    /// rows the triangle fans out over scoped threads in bands of equal
+    /// triangle area (each band writes a disjoint slice — no locks).
+    ///
+    /// Values can differ from [`Kernel::matrix_reference`] by a few ulps
+    /// (the norm trick reassociates the distance computation); everything
+    /// downstream tolerates that, and the property tests pin it to a
+    /// 1e-9 relative band.
     pub fn matrix(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
-        if n < PARALLEL_THRESHOLD {
-            return self.matrix_serial(x);
+        if n < BLOCKED_THRESHOLD {
+            return self.matrix_reference(x);
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
-        let mut data = vec![0.0; n * n];
-        {
-            // Split the flat buffer into per-band mutable slices.
-            let band = n.div_ceil(threads);
-            let mut slices: Vec<&mut [f64]> = Vec::with_capacity(threads);
-            let mut rest = data.as_mut_slice();
-            for _ in 0..threads {
-                let take = (band * n).min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                slices.push(head);
-                rest = tail;
-            }
-            crossbeam::thread::scope(|scope| {
-                for (t, slice) in slices.into_iter().enumerate() {
-                    let start = t * band;
-                    scope.spawn(move |_| {
-                        for (local, i) in (start..(start + slice.len() / n)).enumerate() {
-                            let ri = x.row(i);
-                            let row = &mut slice[local * n..(local + 1) * n];
-                            for (j, out) in row.iter_mut().enumerate() {
-                                *out = self.eval(ri, x.row(j));
-                            }
+        let workers = if n >= PARALLEL_THRESHOLD {
+            f2pm_linalg::worker_count(n, n * n / 2)
+        } else {
+            1
+        };
+        match self {
+            Kernel::Linear => syrk_rows(x),
+            Kernel::Rbf { gamma } => {
+                // Scratch variant: the strict lower triangle starts out
+                // unspecified, but the transform below only reads `j >= i`
+                // and `mirror_upper` overwrites the rest.
+                let mut g = syrk_rows_upper_scratch(x);
+                // Squared row norms straight from the Gram diagonal: using
+                // the *same* dot products keeps `sq[i] + sq[i] − 2·G_ii`
+                // exactly zero, hence an exact unit diagonal after exp.
+                let sq: Vec<f64> = (0..n).map(|i| g[(i, i)]).collect();
+                let gamma = *gamma;
+                let sq = &sq;
+                on_triangle_bands(g.as_mut_slice(), n, workers, move |first, band| {
+                    let rows = band.len() / n;
+                    for local in 0..rows {
+                        let i = first + local;
+                        let sqi = sq[i];
+                        let row = &mut band[local * n..(local + 1) * n];
+                        for j in i..n {
+                            let d2 = (sqi + sq[j] - 2.0 * row[j]).max(0.0);
+                            row[j] = (-gamma * d2).exp();
                         }
-                    });
-                }
-            })
-            .expect("kernel matrix scope");
+                    }
+                });
+                mirror_upper(&mut g);
+                g
+            }
         }
-        Matrix::from_vec(n, n, data)
     }
 
-    fn matrix_serial(&self, x: &Matrix) -> Matrix {
+    /// Reference kernel matrix: direct per-pair evaluation of the upper
+    /// triangle, mirrored. This is the small-`n` path of [`Kernel::matrix`]
+    /// and the baseline the equivalence tests and the `gram_matrix` bench
+    /// compare against.
+    pub fn matrix_reference(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
         let mut k = Matrix::zeros(n, n);
         for i in 0..n {
@@ -96,6 +121,9 @@ impl Kernel {
     }
 
     /// Kernel row between one query and every training sample.
+    ///
+    /// Reuses `out`'s capacity — allocation-free once warmed up, which is
+    /// what the batched prediction paths rely on.
     pub fn row(&self, query: &[f64], x: &Matrix, out: &mut Vec<f64>) {
         out.clear();
         out.extend((0..x.rows()).map(|i| self.eval(query, x.row(i))));
@@ -105,6 +133,7 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn linear_kernel_is_dot() {
@@ -128,6 +157,18 @@ mod tests {
         );
     }
 
+    fn wavy(n: usize, p: usize) -> Matrix {
+        let mut x = Matrix::zeros(n, p);
+        for i in 0..n {
+            for j in 0..p {
+                x[(i, j)] = ((i * p + j) as f64 * 0.37).sin() * 2.0
+                    + (i as f64 * 0.11).cos()
+                    + i as f64 / n as f64;
+            }
+        }
+        x
+    }
+
     #[test]
     fn kernel_matrix_symmetric_unit_diagonal_for_rbf() {
         let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[2.0, 2.0]]);
@@ -141,26 +182,51 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matrix_matches_serial() {
-        // Build a sample set larger than the parallel threshold and check
-        // the banded parallel path agrees with the serial one exactly.
-        let n = PARALLEL_THRESHOLD + 37;
-        let mut x = Matrix::zeros(n, 3);
-        for i in 0..n {
-            x.row_mut(i).copy_from_slice(&[
-                (i as f64 * 0.37).sin(),
-                (i as f64 * 0.11).cos(),
-                i as f64 / n as f64,
-            ]);
+    fn blocked_rbf_diagonal_is_exactly_one() {
+        // Above BLOCKED_THRESHOLD the norm-trick path runs; the diagonal
+        // must still be *exactly* 1 (squared norms come from the Gram
+        // diagonal itself, so the self-distance is exactly zero).
+        let x = wavy(100, 5);
+        let k = Kernel::Rbf { gamma: 0.7 }.matrix(&x);
+        for i in 0..100 {
+            assert_eq!(k[(i, i)], 1.0, "diagonal at {i}");
         }
-        for kern in [Kernel::Linear, Kernel::Rbf { gamma: 0.4 }] {
-            let par = kern.matrix(&x);
-            let ser = kern.matrix_serial(&x);
-            for i in 0..n {
-                for j in 0..n {
-                    assert_eq!(par[(i, j)], ser[(i, j)], "{kern:?} at ({i},{j})");
-                }
+    }
+
+    /// Shared check: `matrix` vs `matrix_reference` within 1e-9 relative
+    /// (the norm trick reassociates the distance sum, so a few ulps of
+    /// drift are expected; exact symmetry is not negotiable).
+    fn assert_close_to_reference(kern: Kernel, x: &Matrix) {
+        let fast = kern.matrix(x);
+        let refr = kern.matrix_reference(x);
+        let n = x.rows();
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (fast[(i, j)], refr[(i, j)]);
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "{kern:?} at ({i},{j}): {a} vs {b}"
+                );
+                assert_eq!(fast[(i, j)], fast[(j, i)], "symmetry at ({i},{j})");
             }
+        }
+    }
+
+    #[test]
+    fn blocked_matrix_matches_reference() {
+        // Big enough for the Gram path, below the parallel threshold.
+        let x = wavy(120, 4);
+        for kern in [Kernel::Linear, Kernel::Rbf { gamma: 0.4 }] {
+            assert_close_to_reference(kern, &x);
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_reference() {
+        // Crosses PARALLEL_THRESHOLD so the banded thread path runs.
+        let x = wavy(PARALLEL_THRESHOLD + 37, 3);
+        for kern in [Kernel::Linear, Kernel::Rbf { gamma: 0.4 }] {
+            assert_close_to_reference(kern, &x);
         }
     }
 
@@ -173,6 +239,21 @@ mod tests {
         kern.row(x.row(1), &x, &mut row);
         for j in 0..3 {
             assert_eq!(row[j], km[(1, j)]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_gram_paths_agree(
+            vals in proptest::collection::vec(-3.0_f64..3.0, 160),
+            gamma in 0.01_f64..2.0,
+        ) {
+            // 40 x 4: above BLOCKED_THRESHOLD, so the syrk path is active.
+            let x = Matrix::from_vec(40, 4, vals);
+            assert_close_to_reference(Kernel::Linear, &x);
+            assert_close_to_reference(Kernel::Rbf { gamma }, &x);
         }
     }
 }

@@ -24,6 +24,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod baseline;
+pub(crate) mod batch;
 pub mod error;
 pub mod forest;
 pub mod kernel;
@@ -45,7 +46,7 @@ pub use kernel::Kernel;
 pub use lasso::LassoRegressor;
 pub use linreg::LinearRegression;
 pub use lssvm::LsSvmRegressor;
-pub use m5p::{M5Prime, M5Params};
+pub use m5p::{M5Params, M5Prime};
 pub use metrics::{Metrics, SMaeThreshold};
 pub use persist::SavedModel;
 pub use regressor::{Model, Regressor};

@@ -115,13 +115,26 @@ impl Model for LsSvmModel {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        let mut q = row.to_vec();
-        self.standardizer.transform_row(&mut q);
-        let mut acc = self.bias;
-        for (i, a) in self.alpha.iter().enumerate() {
-            acc += a * self.kernel.eval(&q, self.support.row(i));
-        }
-        acc
+        crate::batch::kernel_predict_row(
+            &self.kernel,
+            &self.standardizer,
+            &self.support,
+            &self.alpha,
+            self.bias,
+            row,
+        )
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        crate::regressor::check_batch_width(self.width, x)?;
+        Ok(crate::batch::kernel_predict_batch(
+            &self.kernel,
+            &self.standardizer,
+            &self.support,
+            &self.alpha,
+            self.bias,
+            x,
+        ))
     }
 }
 
@@ -177,7 +190,9 @@ mod tests {
             x.row_mut(i).copy_from_slice(&[a, b]);
             y.push(3.0 * a - 2.0 * b + 10.0);
         }
-        let m = LsSvmRegressor::new(Kernel::Linear, 1e6).fit(&x, &y).unwrap();
+        let m = LsSvmRegressor::new(Kernel::Linear, 1e6)
+            .fit(&x, &y)
+            .unwrap();
         for i in 0..60 {
             assert!(
                 (m.predict_row(x.row(i)) - y[i]).abs() < 0.5,
@@ -196,7 +211,10 @@ mod tests {
             .unwrap();
         assert_eq!(m.alpha().len(), 40);
         let nonzero = m.alpha().iter().filter(|a| a.abs() > 1e-12).count();
-        assert!(nonzero > 35, "LS-SVM should be dense, got {nonzero} non-zeros");
+        assert!(
+            nonzero > 35,
+            "LS-SVM should be dense, got {nonzero} non-zeros"
+        );
     }
 
     #[test]
@@ -217,7 +235,12 @@ mod tests {
                 .sum::<f64>()
                 / y.len() as f64
         };
-        assert!(mae(tight.as_ref()) < mae(loose.as_ref()), "tight {} loose {}", mae(tight.as_ref()), mae(loose.as_ref()));
+        assert!(
+            mae(tight.as_ref()) < mae(loose.as_ref()),
+            "tight {} loose {}",
+            mae(tight.as_ref()),
+            mae(loose.as_ref())
+        );
     }
 
     #[test]

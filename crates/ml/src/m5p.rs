@@ -107,9 +107,7 @@ impl M5Model {
         fn rec(nodes: &[Node], at: usize) -> usize {
             match &nodes[at] {
                 Node::Leaf { .. } => 1,
-                Node::Split { left, right, .. } => {
-                    1 + rec(nodes, *left).max(rec(nodes, *right))
-                }
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
             }
         }
         rec(&self.nodes, self.root)
@@ -127,7 +125,11 @@ impl M5Model {
                 model,
                 ..
             } => {
-                let child = if row[*feature] <= *threshold { *left } else { *right };
+                let child = if row[*feature] <= *threshold {
+                    *left
+                } else {
+                    *right
+                };
                 let (p_child, n_child) = self.predict_smoothed(child, row);
                 let q = model.predict_row(row);
                 let k = self.smoothing_k;
@@ -254,18 +256,17 @@ fn sd(y: &[f64], idx: &[usize]) -> f64 {
     }
     let n = idx.len() as f64;
     let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n;
-    let var = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum::<f64>() / n;
+    let var = idx
+        .iter()
+        .map(|&i| (y[i] - mean) * (y[i] - mean))
+        .sum::<f64>()
+        / n;
     var.sqrt()
 }
 
 /// Find the SDR-maximizing `(feature, threshold)` split, or `None` when no
 /// split leaves both sides with at least `min_side` instances.
-fn best_split(
-    x: &Matrix,
-    y: &[f64],
-    idx: &[usize],
-    min_side: usize,
-) -> Option<(usize, f64)> {
+fn best_split(x: &Matrix, y: &[f64], idx: &[usize], min_side: usize) -> Option<(usize, f64)> {
     let min_side = min_side.max(1);
     let n = idx.len();
     let sd_all = sd(y, idx);
@@ -303,8 +304,7 @@ fn best_split(
             }
             let sd_l = sd_from_sums(sum, sum2, nl);
             let sd_r = sd_from_sums(total - sum, total2 - sum2, nr);
-            let sdr =
-                sd_all - (nl as f64 / n as f64) * sd_l - (nr as f64 / n as f64) * sd_r;
+            let sdr = sd_all - (nl as f64 / n as f64) * sd_l - (nr as f64 / n as f64) * sd_r;
             if best.is_none_or(|(_, _, b)| sdr > b) {
                 best = Some((feature, 0.5 * (xv + xn), sdr));
             }
@@ -410,7 +410,11 @@ mod tests {
             let a = i as f64 / n as f64 * 10.0; // 0..10
             let b = ((i * 7) % 13) as f64;
             x.row_mut(i).copy_from_slice(&[a, b]);
-            y.push(if a <= 5.0 { 2.0 * a + 1.0 } else { -3.0 * a + 26.0 });
+            y.push(if a <= 5.0 {
+                2.0 * a + 1.0
+            } else {
+                -3.0 * a + 26.0
+            });
         }
         (x, y)
     }
@@ -479,8 +483,7 @@ mod tests {
         .fit(&x, &y)
         .unwrap();
         let raw_jump = (raw.predict_row(&[5.001, 5.0]) - raw.predict_row(&[4.999, 5.0])).abs();
-        let smooth_jump =
-            (m.predict_row(&[5.001, 5.0]) - m.predict_row(&[4.999, 5.0])).abs();
+        let smooth_jump = (m.predict_row(&[5.001, 5.0]) - m.predict_row(&[4.999, 5.0])).abs();
         assert!(
             smooth_jump <= raw_jump + 1e-9,
             "smooth {smooth_jump} raw {raw_jump}"
@@ -557,6 +560,9 @@ mod tests {
         let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
         let y = [1.0, 2.0, 3.0, 4.0];
         let idx: Vec<usize> = (0..4).collect();
-        assert!(best_split(&x, &y, &idx, 1).is_none(), "equal xs cannot split");
+        assert!(
+            best_split(&x, &y, &idx, 1).is_none(),
+            "equal xs cannot split"
+        );
     }
 }

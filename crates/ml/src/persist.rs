@@ -115,8 +115,7 @@ pub fn to_string(model: &SavedModel) -> String {
                         left,
                         right,
                         mean,
-                    } => writeln!(s, "split {feature} {threshold} {left} {right} {mean}")
-                        .unwrap(),
+                    } => writeln!(s, "split {feature} {threshold} {left} {right} {mean}").unwrap(),
                 }
             }
         }
@@ -263,8 +262,7 @@ pub fn from_str(text: &str) -> io::Result<SavedModel> {
             })
         }
         "ls_svm" => {
-            let (width, kernel, st, bias, coeff, support) =
-                read_kernel_model(&mut lines, "alpha")?;
+            let (width, kernel, st, bias, coeff, support) = read_kernel_model(&mut lines, "alpha")?;
             SavedModel::LsSvm(LsSvmModel {
                 kernel,
                 standardizer: st,
@@ -301,7 +299,10 @@ impl<'a> Reader<'a> {
         let line = self.next_line()?;
         let mut it = line.split_whitespace();
         if it.next() != Some(label) {
-            return Err(bad(self.at, &format!("expected {label:?} line, got {line:?}")));
+            return Err(bad(
+                self.at,
+                &format!("expected {label:?} line, got {line:?}"),
+            ));
         }
         Ok(it.collect())
     }
@@ -382,10 +383,15 @@ fn read_reptree(r: &mut Reader) -> io::Result<RepTreeModel> {
             _ => return Err(bad(r.at, &format!("bad tree node line {line:?}"))),
         }
     }
-    validate_tree_indices(r.at, root, count, nodes.iter().map(|n| match n {
-        RepNode::Leaf { .. } => None,
-        RepNode::Split { left, right, .. } => Some((*left, *right)),
-    }))?;
+    validate_tree_indices(
+        r.at,
+        root,
+        count,
+        nodes.iter().map(|n| match n {
+            RepNode::Leaf { .. } => None,
+            RepNode::Split { left, right, .. } => Some((*left, *right)),
+        }),
+    )?;
     Ok(RepTreeModel { nodes, root, width })
 }
 
@@ -434,10 +440,15 @@ fn read_m5(r: &mut Reader) -> io::Result<M5Model> {
             _ => return Err(bad(r.at, &format!("bad m5 node line {line:?}"))),
         }
     }
-    validate_tree_indices(r.at, root, count, nodes.iter().map(|n| match n {
-        M5Node::Leaf { .. } => None,
-        M5Node::Split { left, right, .. } => Some((*left, *right)),
-    }))?;
+    validate_tree_indices(
+        r.at,
+        root,
+        count,
+        nodes.iter().map(|n| match n {
+            M5Node::Leaf { .. } => None,
+            M5Node::Split { left, right, .. } => Some((*left, *right)),
+        }),
+    )?;
     Ok(M5Model {
         nodes,
         root,
@@ -496,11 +507,13 @@ fn read_kernel_model(r: &mut Reader, coeff_label: &str) -> io::Result<KernelMode
 }
 
 fn parse_f64(line: usize, t: &str) -> io::Result<f64> {
-    t.parse().map_err(|_| bad(line, &format!("bad float {t:?}")))
+    t.parse()
+        .map_err(|_| bad(line, &format!("bad float {t:?}")))
 }
 
 fn parse_usize(line: usize, t: &str) -> io::Result<usize> {
-    t.parse().map_err(|_| bad(line, &format!("bad integer {t:?}")))
+    t.parse()
+        .map_err(|_| bad(line, &format!("bad integer {t:?}")))
 }
 
 fn parse_floats(line: usize, toks: &[&str]) -> io::Result<Vec<f64>> {
@@ -531,8 +544,8 @@ mod tests {
     use super::*;
     use crate::kernel::Kernel;
     use crate::{
-        LinearRegression, LsSvmRegressor, M5Params, M5Prime, Regressor, RepTree,
-        RepTreeParams, SvrParams, SvrRegressor,
+        LinearRegression, LsSvmRegressor, M5Params, M5Prime, Regressor, RepTree, RepTreeParams,
+        SvrParams, SvrRegressor,
     };
 
     fn training_data(n: usize) -> (Matrix, Vec<f64>) {
@@ -661,7 +674,8 @@ mod tests {
         let bad_linear = "f2pm-model 1\nlinear\nwidth 3\nintercept 1\ncoefficients 2 1 2\nend\n";
         assert!(from_str(bad_linear).is_err());
         // Tree with out-of-range child.
-        let bad_tree = "f2pm-model 1\nrep_tree\nwidth 1\nroot 0\nnodes 1\nsplit 0 1.0 5 6 0.0\nend\n";
+        let bad_tree =
+            "f2pm-model 1\nrep_tree\nwidth 1\nroot 0\nnodes 1\nsplit 0 1.0 5 6 0.0\nend\n";
         assert!(from_str(bad_tree).is_err());
         // Missing end.
         let no_end = "f2pm-model 1\nlinear\nwidth 1\nintercept 1\ncoefficients 1 2\n";

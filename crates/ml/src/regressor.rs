@@ -24,15 +24,33 @@ pub trait Model: Send + Sync {
     }
 
     /// Predict every row of a matrix.
-    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        if x.cols() != self.width() {
-            return Err(MlError::WidthMismatch {
-                expected: self.width(),
-                got: x.cols(),
-            });
-        }
+    ///
+    /// The default walks [`Model::predict_row`]. The kernel models (SVR,
+    /// LS-SVM) override it with an allocation-free parallel path — one
+    /// standardized-row scratch buffer per thread, reused across the
+    /// thread's band of rows — that produces bit-identical results to
+    /// the default (asserted by the `predict_equivalence` test suite).
+    fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        check_batch_width(self.width(), x)?;
         Ok((0..x.rows()).map(|i| self.predict_row(x.row(i))).collect())
     }
+
+    /// Predict every row of a matrix (alias of [`Model::predict_batch`],
+    /// kept for the established call sites).
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        self.predict_batch(x)
+    }
+}
+
+/// Shared width validation for `predict_batch` implementations.
+pub(crate) fn check_batch_width(width: usize, x: &Matrix) -> Result<(), MlError> {
+    if x.cols() != width {
+        return Err(MlError::WidthMismatch {
+            expected: width,
+            got: x.cols(),
+        });
+    }
+    Ok(())
 }
 
 /// A learning method: fits a [`Model`] from a design matrix and target.
@@ -91,7 +109,10 @@ mod tests {
         assert_eq!(m.predict_checked(&[0.0, 0.0, 0.0]).unwrap(), 5.0);
         assert!(matches!(
             m.predict_checked(&[0.0]),
-            Err(MlError::WidthMismatch { expected: 3, got: 1 })
+            Err(MlError::WidthMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

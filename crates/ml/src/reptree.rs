@@ -83,7 +83,10 @@ pub struct RepTreeModel {
 impl RepTreeModel {
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     fn descend(&self, row: &[f64]) -> usize {
@@ -98,7 +101,11 @@ impl RepTreeModel {
                     right,
                     ..
                 } => {
-                    at = if row[*feature] <= *threshold { *left } else { *right };
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -136,14 +143,7 @@ impl RepTree {
         let (prune_idx, grow_idx) = idx.split_at(prune_n);
 
         let mut nodes = Vec::new();
-        let root = grow(
-            x,
-            y,
-            grow_idx.to_vec(),
-            0,
-            &self.params,
-            &mut nodes,
-        );
+        let root = grow(x, y, grow_idx.to_vec(), 0, &self.params, &mut nodes);
 
         let mut model = RepTreeModel {
             nodes,
@@ -218,13 +218,7 @@ fn rep_prune(model: &mut RepTreeModel, x: &Matrix, y: &[f64], prune_idx: Vec<usi
     prune_rec(&mut model.nodes, root, x, y, prune_idx);
 }
 
-fn prune_rec(
-    nodes: &mut Vec<Node>,
-    at: usize,
-    x: &Matrix,
-    y: &[f64],
-    idx: Vec<usize>,
-) -> f64 {
+fn prune_rec(nodes: &mut Vec<Node>, at: usize, x: &Matrix, y: &[f64], idx: Vec<usize>) -> f64 {
     let (feature, threshold, left, right, mean) = match &nodes[at] {
         Node::Leaf { value } => {
             return idx.iter().map(|&i| (y[i] - value) * (y[i] - value)).sum();
@@ -312,8 +306,7 @@ mod tests {
             .map(|(p, t)| (p - t).abs())
             .sum::<f64>()
             / y.len() as f64;
-        let mean_mae =
-            y.iter().map(|t| (t - mean).abs()).sum::<f64>() / y.len() as f64;
+        let mean_mae = y.iter().map(|t| (t - mean).abs()).sum::<f64>() / y.len() as f64;
         assert!(tree_mae < mean_mae / 5.0, "tree {tree_mae} mean {mean_mae}");
     }
 

@@ -37,6 +37,11 @@ pub struct SvrParams {
     pub max_sweeps: usize,
     /// Convergence tolerance on the largest β change in a sweep.
     pub tol: f64,
+    /// LIBSVM-style shrinking: drop coordinates pinned at ±C from the
+    /// sweep and re-check them on periodic full passes (and always before
+    /// declaring convergence). Disable for the plain reference sweep —
+    /// the equivalence tests compare both settings.
+    pub shrinking: bool,
 }
 
 impl Default for SvrParams {
@@ -50,6 +55,7 @@ impl Default for SvrParams {
             epsilon: 5.0,
             max_sweeps: 400,
             tol: 1e-4,
+            shrinking: true,
         }
     }
 }
@@ -93,13 +99,26 @@ impl Model for SvrModel {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        let mut z = row.to_vec();
-        self.standardizer.transform_row(&mut z);
-        let mut acc = self.bias;
-        for (i, b) in self.beta.iter().enumerate() {
-            acc += b * self.kernel.eval(&z, self.support.row(i));
-        }
-        acc
+        crate::batch::kernel_predict_row(
+            &self.kernel,
+            &self.standardizer,
+            &self.support,
+            &self.beta,
+            self.bias,
+            row,
+        )
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        crate::regressor::check_batch_width(self.width, x)?;
+        Ok(crate::batch::kernel_predict_batch(
+            &self.kernel,
+            &self.standardizer,
+            &self.support,
+            &self.beta,
+            self.bias,
+            x,
+        ))
     }
 }
 
@@ -113,42 +132,87 @@ impl SvrRegressor {
         let z = standardizer.transform(x);
         let n = z.rows();
 
-        // Q = K + 1 (bias absorption).
-        let mut q = p.kernel.matrix(&z);
-        for i in 0..n {
-            for j in 0..n {
-                q[(i, j)] += 1.0;
-            }
-        }
+        // Bias absorption without forming Q = K + 11ᵀ: since
+        // (Qβ)_i = (Kβ)_i + Σβ and Q_ii = K_ii + 1, it suffices to keep
+        // the raw Gram plus one running scalar — no O(n²) add pass, no
+        // second n×n matrix.
+        let k = p.kernel.matrix(&z);
 
         let mut beta = vec![0.0; n];
-        // Gradient cache: g = Qβ − y, maintained incrementally.
-        let mut g: Vec<f64> = y.iter().map(|v| -v).collect();
+        // Gradient cache: g_core = Kβ − y, maintained incrementally; the
+        // effective gradient of coordinate i is g_core[i] + s with s = Σβ.
+        let mut g_core: Vec<f64> = y.iter().map(|v| -v).collect();
+        let mut s = 0.0_f64;
+
+        // Shrinking state: sweep only over `active`; a coordinate that
+        // sits pinned at ±C for two consecutive visits is dropped until
+        // the next full pass. Full passes run every FULL_PASS_EVERY
+        // sweeps and always before convergence is declared, so a shrunk
+        // coordinate whose gradient flips back gets reactivated.
+        const FULL_PASS_EVERY: usize = 8;
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut pinned = vec![0u8; n];
+        let mut since_full = 0usize;
 
         let mut converged = false;
         for _sweep in 0..p.max_sweeps {
+            let full = !p.shrinking || active.len() == n || since_full >= FULL_PASS_EVERY;
+            if full {
+                since_full = 0;
+                if active.len() != n {
+                    active.clear();
+                    active.extend(0..n);
+                    pinned.iter_mut().for_each(|c| *c = 0);
+                }
+            } else {
+                since_full += 1;
+            }
             let mut max_delta = 0.0_f64;
-            for i in 0..n {
-                let qii = q[(i, i)];
+            let mut w = 0usize;
+            for r in 0..active.len() {
+                let i = active[r];
+                let qii = k[(i, i)] + 1.0;
                 if qii <= 0.0 {
+                    active[w] = i;
+                    w += 1;
                     continue;
                 }
-                let unreg = beta[i] - g[i] / qii;
+                let gi = g_core[i] + s;
+                let unreg = beta[i] - gi / qii;
                 let new = soft(unreg, p.epsilon / qii).clamp(-p.c, p.c);
                 let delta = new - beta[i];
                 if delta != 0.0 {
                     beta[i] = new;
-                    // g += delta * Q[:, i]
-                    let qrow = q.row(i); // symmetric: row == column
-                    for (gk, qk) in g.iter_mut().zip(qrow) {
-                        *gk += delta * qk;
+                    // g_core += delta * K[:, i] (full-length, so shrunk
+                    // coordinates stay consistent for reactivation).
+                    let krow = k.row(i); // symmetric: row == column
+                    for (gk, kk) in g_core.iter_mut().zip(krow) {
+                        *gk += delta * kk;
                     }
+                    s += delta;
                     max_delta = max_delta.max(delta.abs());
                 }
+                let keep = if p.shrinking && delta == 0.0 && (beta[i] == p.c || beta[i] == -p.c) {
+                    pinned[i] = pinned[i].saturating_add(1);
+                    pinned[i] < 2
+                } else {
+                    pinned[i] = 0;
+                    true
+                };
+                if keep {
+                    active[w] = i;
+                    w += 1;
+                }
             }
+            active.truncate(w);
             if max_delta <= p.tol {
-                converged = true;
-                break;
+                if full {
+                    converged = true;
+                    break;
+                }
+                // The shrunk set converged: force a full verification
+                // pass before accepting.
+                since_full = FULL_PASS_EVERY;
             }
         }
         if !converged {

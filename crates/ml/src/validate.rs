@@ -51,7 +51,7 @@ pub fn evaluate_one(
     let train_time_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let predictions = model.predict(&valid.x)?;
+    let predictions = model.predict_batch(&valid.x)?;
     let metrics = Metrics::compute(&predictions, &valid.y, smae);
     let validation_time_s = t1.elapsed().as_secs_f64();
 
@@ -131,8 +131,12 @@ pub fn cross_validate(
     }
     let n = smaes.len() as f64;
     let smae_mean = smaes.iter().sum::<f64>() / n;
-    let smae_std =
-        (smaes.iter().map(|s| (s - smae_mean) * (s - smae_mean)).sum::<f64>() / n).sqrt();
+    let smae_std = (smaes
+        .iter()
+        .map(|s| (s - smae_mean) * (s - smae_mean))
+        .sum::<f64>()
+        / n)
+        .sqrt();
     Ok(CrossValidation {
         smae_mean,
         smae_std,
@@ -186,11 +190,7 @@ mod tests {
             x.row_mut(i).copy_from_slice(&[t, swap, cpu]);
             y.push((2000.0 - t).max(0.0));
         }
-        Dataset::new(
-            vec!["t".into(), "swap".into(), "cpu".into()],
-            x,
-            y,
-        )
+        Dataset::new(vec!["t".into(), "swap".into(), "cpu".into()], x, y)
     }
 
     #[test]

@@ -88,8 +88,8 @@ impl Collector for SimCollector {
         let d = Datapoint::from(&snap);
         let skew = 1.0 + self.cfg.overload_skew * self.sim.overload_factor();
         let jitter = self.jitter.gaussian(0.0, self.cfg.jitter_std);
-        let interval = (self.cfg.nominal_interval * skew + jitter)
-            .max(self.cfg.nominal_interval * 0.25);
+        let interval =
+            (self.cfg.nominal_interval * skew + jitter).max(self.cfg.nominal_interval * 0.25);
         self.next_t = self.sim.now() + interval;
         Some(d)
     }
@@ -392,16 +392,11 @@ mod tests {
         assert!((d1.get(FeatureId::MemCached) - 204800.0).abs() < 1.0);
         // used = total - free - buffers - cached (kB).
         assert!(
-            (d1.get(FeatureId::MemUsed) - (2097152.0 - 1048576.0 - 10240.0 - 204800.0)).abs()
-                < 1.0
+            (d1.get(FeatureId::MemUsed) - (2097152.0 - 1048576.0 - 10240.0 - 204800.0)).abs() < 1.0
         );
 
         // Second read with advanced jiffies → percentages.
-        fs::write(
-            dir.join("stat"),
-            "cpu  200 10 100 900 80 0 0 10\n",
-        )
-        .unwrap();
+        fs::write(dir.join("stat"), "cpu  200 10 100 900 80 0 0 10\n").unwrap();
         let d2 = c.try_collect().unwrap();
         // Deltas: user 100, nice 0, sys 50, idle 100, iow 40, steal 5 → total 295.
         assert!((d2.get(FeatureId::CpuUser) - 100.0 / 295.0 * 100.0).abs() < 0.1);

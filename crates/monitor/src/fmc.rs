@@ -13,8 +13,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// FMC configuration.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FmcConfig {
     /// Identifier reported in the handshake.
     pub host_id: u32,
@@ -23,7 +22,6 @@ pub struct FmcConfig {
     /// time, so no real sleep is needed there).
     pub pause: Option<std::time::Duration>,
 }
-
 
 /// A connected FMC.
 pub struct FeatureMonitorClient {
@@ -125,8 +123,7 @@ mod tests {
         let mut client =
             FeatureMonitorClient::connect(server.addr(), FmcConfig::default()).unwrap();
 
-        let mut collector =
-            SimCollector::new(fast_sim(5), SimCollectorConfig::default(), 5);
+        let mut collector = SimCollector::new(fast_sim(5), SimCollectorConfig::default(), 5);
         let sent = client.stream_collector(&mut collector, None).unwrap();
         let fail_t = collector.simulation().failed_at().expect("guest crashed");
         client.send_fail(fail_t).unwrap();
@@ -152,8 +149,7 @@ mod tests {
         let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
         let mut client =
             FeatureMonitorClient::connect(server.addr(), FmcConfig::default()).unwrap();
-        let mut collector =
-            SimCollector::new(fast_sim(6), SimCollectorConfig::default(), 6);
+        let mut collector = SimCollector::new(fast_sim(6), SimCollectorConfig::default(), 6);
         let sent = client.stream_collector(&mut collector, Some(10)).unwrap();
         assert_eq!(sent, 10);
         assert_eq!(client.sent(), 10);

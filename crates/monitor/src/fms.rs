@@ -105,7 +105,12 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()
             Message::Datapoint(d) => {
                 shared.history.lock().push_datapoint(d);
                 if let Some(h) = host {
-                    shared.by_host.lock().entry(h).or_default().push_datapoint(d);
+                    shared
+                        .by_host
+                        .lock()
+                        .entry(h)
+                        .or_default()
+                        .push_datapoint(d);
                 }
                 shared.datapoints.fetch_add(1, Ordering::Relaxed);
             }
@@ -192,7 +197,9 @@ mod tests {
         .write_to(&mut stream)
         .unwrap();
         for i in 0..5 {
-            Message::Datapoint(dp(i as f64)).write_to(&mut stream).unwrap();
+            Message::Datapoint(dp(i as f64))
+                .write_to(&mut stream)
+                .unwrap();
         }
         Message::Fail { t: 10.0 }.write_to(&mut stream).unwrap();
         Message::Bye.write_to(&mut stream).unwrap();

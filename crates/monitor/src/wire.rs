@@ -122,7 +122,9 @@ impl Message {
     /// frame boundary.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
         let mut len_buf = [0u8; 4];
-        if !read_exact_or_eof(r, &mut len_buf)? { return Ok(None) }
+        if !read_exact_or_eof(r, &mut len_buf)? {
+            return Ok(None);
+        }
         let len = u32::from_be_bytes(len_buf) as usize;
         if len == 0 || len > MAX_FRAME {
             return Err(bad(&format!("bad frame length {len}")));
@@ -209,7 +211,10 @@ mod tests {
             let got = Message::read_from(&mut cursor).unwrap().unwrap();
             assert_eq!(&got, expect);
         }
-        assert!(Message::read_from(&mut cursor).unwrap().is_none(), "clean EOF");
+        assert!(
+            Message::read_from(&mut cursor).unwrap().is_none(),
+            "clean EOF"
+        );
     }
 
     #[test]

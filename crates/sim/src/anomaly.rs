@@ -125,8 +125,7 @@ impl AuxInjector {
     /// Draw per-run parameters from the config ranges.
     pub fn new(cfg: &AnomalyConfig, mut rng: SimRng) -> Self {
         let lock_prob = rng.uniform(cfg.lock_prob_per_home.0, cfg.lock_prob_per_home.1);
-        let frag_delta =
-            rng.uniform(cfg.frag_delta_per_home.0, cfg.frag_delta_per_home.1);
+        let frag_delta = rng.uniform(cfg.frag_delta_per_home.0, cfg.frag_delta_per_home.1);
         AuxInjector {
             lock_prob,
             frag_delta,
@@ -189,10 +188,8 @@ pub struct LeakInjector {
 impl LeakInjector {
     /// Draw per-run parameters from the config ranges.
     pub fn new(cfg: &AnomalyConfig, mut rng: SimRng) -> Self {
-        let mean_interval =
-            rng.uniform(cfg.leak_mean_interval_s.0, cfg.leak_mean_interval_s.1);
-        let prob_per_home =
-            rng.uniform(cfg.leak_prob_per_home.0, cfg.leak_prob_per_home.1);
+        let mean_interval = rng.uniform(cfg.leak_mean_interval_s.0, cfg.leak_mean_interval_s.1);
+        let prob_per_home = rng.uniform(cfg.leak_prob_per_home.0, cfg.leak_prob_per_home.1);
         LeakInjector {
             size_range: cfg.leak_size_mib,
             mean_interval,
@@ -259,10 +256,8 @@ pub struct ThreadInjector {
 impl ThreadInjector {
     /// Draw per-run parameters from the config ranges.
     pub fn new(cfg: &AnomalyConfig, mut rng: SimRng) -> Self {
-        let mean_interval =
-            rng.uniform(cfg.thread_mean_interval_s.0, cfg.thread_mean_interval_s.1);
-        let prob_per_home =
-            rng.uniform(cfg.thread_prob_per_home.0, cfg.thread_prob_per_home.1);
+        let mean_interval = rng.uniform(cfg.thread_mean_interval_s.0, cfg.thread_mean_interval_s.1);
+        let prob_per_home = rng.uniform(cfg.thread_prob_per_home.0, cfg.thread_prob_per_home.1);
         ThreadInjector {
             mean_interval,
             prob_per_home,
@@ -334,7 +329,10 @@ mod tests {
             .collect();
         let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = means.iter().cloned().fold(0.0_f64, f64::max);
-        assert!(max - min > 0.5, "means suspiciously clustered: {min}..{max}");
+        assert!(
+            max - min > 0.5,
+            "means suspiciously clustered: {min}..{max}"
+        );
     }
 
     #[test]
@@ -374,7 +372,9 @@ mod tests {
         let mut li = LeakInjector::new(&cfg(), SimRng::new(13));
         let p = li.prob_per_home();
         let n = 20_000;
-        let hits = (0..n).filter(|_| li.on_home_interaction().is_some()).count();
+        let hits = (0..n)
+            .filter(|_| li.on_home_interaction().is_some())
+            .count();
         let emp = hits as f64 / n as f64;
         assert!((emp - p).abs() < 0.02, "empirical {emp} vs p {p}");
     }

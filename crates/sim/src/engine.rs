@@ -332,10 +332,8 @@ impl Simulation {
 
         // The paper's modified Home servlet: anomalies on session entry,
         // coupled to load.
-        if interaction == Interaction::Home && self.cfg.anomaly.mode == InjectionMode::LoadCoupled
-        {
-            if let Some(AnomalyEvent::MemoryLeak { mib }) =
-                self.leak_injector.on_home_interaction()
+        if interaction == Interaction::Home && self.cfg.anomaly.mode == InjectionMode::LoadCoupled {
+            if let Some(AnomalyEvent::MemoryLeak { mib }) = self.leak_injector.on_home_interaction()
             {
                 self.vm.leak_memory(mib);
             }
@@ -345,9 +343,7 @@ impl Simulation {
             for ev in self.aux_injector.on_home_interaction() {
                 match ev {
                     AnomalyEvent::UnreleasedLock => self.server.leak_lock(),
-                    AnomalyEvent::FileFragmentation { delta } => {
-                        self.vm.disk_mut().fragment(delta)
-                    }
+                    AnomalyEvent::FileFragmentation { delta } => self.vm.disk_mut().fragment(delta),
                     _ => {}
                 }
             }
@@ -443,7 +439,11 @@ mod tests {
         let mut sim = Simulation::new(quick_cfg(), 1);
         let out = sim.run_to_failure(30_000.0);
         assert!(out.failed, "no failure within horizon");
-        assert!(out.fail_time > 100.0, "failed suspiciously fast: {}", out.fail_time);
+        assert!(
+            out.fail_time > 100.0,
+            "failed suspiciously fast: {}",
+            out.fail_time
+        );
         assert!(out.completed_requests > 1000);
         assert!(out.leaked_mib > 2000.0);
     }
@@ -513,10 +513,9 @@ mod tests {
         assert!(all.len() > 500);
         // Compare mean RT in the first and last 10% of the run.
         let n = all.len();
-        let early: f64 =
-            all[..n / 10].iter().map(|r| r.response_s).sum::<f64>() / (n / 10) as f64;
-        let late: f64 = all[n - n / 10..].iter().map(|r| r.response_s).sum::<f64>()
-            / (n / 10) as f64;
+        let early: f64 = all[..n / 10].iter().map(|r| r.response_s).sum::<f64>() / (n / 10) as f64;
+        let late: f64 =
+            all[n - n / 10..].iter().map(|r| r.response_s).sum::<f64>() / (n / 10) as f64;
         assert!(
             late > 3.0 * early,
             "RT should blow up near failure: early {early:.4} late {late:.4}"

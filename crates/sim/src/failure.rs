@@ -177,12 +177,8 @@ mod tests {
         };
         assert!(FailureCondition::ResponseTime { threshold_s: 3.0 }.is_failed(&s, &h));
         assert!(!FailureCondition::ResponseTime { threshold_s: 5.0 }.is_failed(&s, &h));
-        assert!(
-            FailureCondition::InterGenerationTime { threshold_s: 2.0 }.is_failed(&s, &h)
-        );
-        assert!(
-            !FailureCondition::InterGenerationTime { threshold_s: 3.0 }.is_failed(&s, &h)
-        );
+        assert!(FailureCondition::InterGenerationTime { threshold_s: 2.0 }.is_failed(&s, &h));
+        assert!(!FailureCondition::InterGenerationTime { threshold_s: 3.0 }.is_failed(&s, &h));
     }
 
     #[test]
@@ -215,6 +211,10 @@ mod tests {
     fn closure_predicate_works() {
         let pred = |s: &SystemSnapshot, _h: &HealthContext| s.cpu_iowait > 25.0;
         let s = snap(500.0, 500.0);
-        assert!(FailurePredicate::is_failed(&pred, &s, &HealthContext::default()));
+        assert!(FailurePredicate::is_failed(
+            &pred,
+            &s,
+            &HealthContext::default()
+        ));
     }
 }

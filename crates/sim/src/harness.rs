@@ -160,8 +160,8 @@ impl Campaign {
             // §III-B: overload stretches the next interval.
             let skew = 1.0 + self.cfg.overload_skew * sim.overload_factor();
             let jitter = jitter_rng.gaussian(0.0, self.cfg.jitter_std);
-            let interval = (self.cfg.sample_interval * skew + jitter)
-                .max(self.cfg.sample_interval * 0.25);
+            let interval =
+                (self.cfg.sample_interval * skew + jitter).max(self.cfg.sample_interval * 0.25);
             next_sample = t + interval;
         }
 
@@ -232,17 +232,9 @@ mod tests {
         assert!(s.len() > 100);
         // Mean interval over the first quarter vs the last quarter.
         let q = s.len() / 4;
-        let early: f64 = s[1..q]
-            .windows(2)
-            .map(|w| w[1].t - w[0].t)
-            .sum::<f64>()
-            / (q - 2) as f64;
+        let early: f64 = s[1..q].windows(2).map(|w| w[1].t - w[0].t).sum::<f64>() / (q - 2) as f64;
         let lastq = &s[s.len() - q..];
-        let late: f64 = lastq
-            .windows(2)
-            .map(|w| w[1].t - w[0].t)
-            .sum::<f64>()
-            / (q - 1) as f64;
+        let late: f64 = lastq.windows(2).map(|w| w[1].t - w[0].t).sum::<f64>() / (q - 1) as f64;
         assert!(
             late > early * 1.05,
             "inter-generation time should grow: early {early:.3} late {late:.3}"
@@ -290,6 +282,9 @@ mod tests {
             "swap slope should not shrink: early {early:.4} late {late:.4}"
         );
         let final_swap = s[n - 1].snapshot.swap_used;
-        assert!(final_swap > 900.0, "swap nearly full at failure: {final_swap}");
+        assert!(
+            final_swap > 900.0,
+            "swap nearly full at failure: {final_swap}"
+        );
     }
 }

@@ -132,9 +132,8 @@ impl CpuModel {
         // Kernel time scales with the user work actually performed plus the
         // reclaim/swap management overhead.
         let demand = work_demand.max(0.0);
-        let sys_demand = self.cfg.sys_baseline
-            + self.cfg.sys_fraction * demand
-            + 0.004 * swap_traffic;
+        let sys_demand =
+            self.cfg.sys_baseline + self.cfg.sys_fraction * demand + 0.004 * swap_traffic;
         let nice_demand = self.cfg.nice_baseline;
 
         let total_demand = demand + sys_demand + nice_demand;

@@ -111,8 +111,7 @@ impl DiskModel {
     /// utilization in `[0, 1]` (`pages_per_s` of demand against the
     /// device's fragmentation-adjusted capacity).
     pub fn account_utilization(&mut self, pages_per_s: f64) -> f64 {
-        let per_page_ms =
-            self.cfg.transfer_ms_per_page + self.fragmentation * self.cfg.seek_ms;
+        let per_page_ms = self.cfg.transfer_ms_per_page + self.fragmentation * self.cfg.seek_ms;
         let capacity = (1000.0 / per_page_ms).min(self.cfg.max_iops * 10.0);
         self.utilization = (pages_per_s / capacity).clamp(0.0, 1.0);
         self.utilization

@@ -131,7 +131,9 @@ impl MemoryModel {
     /// RAM available to anonymous pages after the kernel reserve and the
     /// *current* cache/buffers.
     fn anon_capacity(&self) -> f64 {
-        (self.cfg.total_ram - self.cfg.kernel_reserved - self.cfg.shared
+        (self.cfg.total_ram
+            - self.cfg.kernel_reserved
+            - self.cfg.shared
             - self.cached
             - self.buffers)
             .max(0.0)
@@ -148,10 +150,11 @@ impl MemoryModel {
         let io = io_activity.clamp(0.0, 1.0);
 
         // --- Phase 1: cache/buffer targets given current pressure. ---
-        let ram_for_anon_max =
-            self.cfg.total_ram - self.cfg.kernel_reserved - self.cfg.shared
-                - self.cfg.cache_floor
-                - self.cfg.buffers_floor;
+        let ram_for_anon_max = self.cfg.total_ram
+            - self.cfg.kernel_reserved
+            - self.cfg.shared
+            - self.cfg.cache_floor
+            - self.cfg.buffers_floor;
 
         // Headroom the kernel can spend on reclaimable pages: whatever anon
         // demand leaves free, plus the floors it never gives up. Buffers are
@@ -176,8 +179,16 @@ impl MemoryModel {
         // clean pages much faster than it repopulates them.
         let grow_alpha = 1.0 - (-dt / self.cfg.cache_growth_tau).exp();
         let reclaim_alpha = 1.0 - (-dt / (self.cfg.cache_growth_tau / 8.0)).exp();
-        let cache_alpha = if cache_target < self.cached { reclaim_alpha } else { grow_alpha };
-        let buf_alpha = if buf_target < self.buffers { reclaim_alpha } else { grow_alpha };
+        let cache_alpha = if cache_target < self.cached {
+            reclaim_alpha
+        } else {
+            grow_alpha
+        };
+        let buf_alpha = if buf_target < self.buffers {
+            reclaim_alpha
+        } else {
+            grow_alpha
+        };
         self.cached += (cache_target - self.cached) * cache_alpha;
         self.buffers += (buf_target - self.buffers) * buf_alpha;
 
@@ -222,15 +233,10 @@ impl MemoryModel {
 
     /// Produce the `free`-style snapshot.
     pub fn state(&self) -> MemoryState {
-        let resident_anon = (self.anon_demand - self.swap_used)
-            .clamp(0.0, self.anon_capacity());
+        let resident_anon = (self.anon_demand - self.swap_used).clamp(0.0, self.anon_capacity());
         let used = resident_anon + self.cfg.kernel_reserved;
-        let free = (self.cfg.total_ram
-            - used
-            - self.cfg.shared
-            - self.buffers
-            - self.cached)
-            .max(0.0);
+        let free =
+            (self.cfg.total_ram - used - self.cfg.shared - self.buffers - self.cached).max(0.0);
         MemoryState {
             used,
             free,

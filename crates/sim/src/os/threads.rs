@@ -75,8 +75,7 @@ impl ThreadModel {
 
     /// Total visible thread count.
     pub fn total(&self) -> u32 {
-        let workers =
-            (self.active_requests as f64 * self.cfg.workers_per_request).ceil() as u32;
+        let workers = (self.active_requests as f64 * self.cfg.workers_per_request).ceil() as u32;
         self.cfg
             .base_threads
             .saturating_add(workers)

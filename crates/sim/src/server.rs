@@ -274,7 +274,10 @@ mod tests {
         for _ in 0..600 {
             squeezed.advance(1.0, 0.5);
         }
-        assert!(squeezed.state().swap_used < 120.0, "should not be swapping much");
+        assert!(
+            squeezed.state().swap_used < 120.0,
+            "should not be swapping much"
+        );
         let thr = ThreadModel::new(ThreadConfig::default());
         let mut d1 = disk();
         let mut d2 = disk();

@@ -183,7 +183,10 @@ mod tests {
         fragged.fragment(0.5);
         let (t_clean, _) = d.query_time_s(Interaction::BestSellers, 40.0, &mut clean);
         let (t_frag, _) = d.query_time_s(Interaction::BestSellers, 40.0, &mut fragged);
-        assert!(t_frag > 3.0 * t_clean, "clean {t_clean} fragmented {t_frag}");
+        assert!(
+            t_frag > 3.0 * t_clean,
+            "clean {t_clean} fragmented {t_frag}"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub struct ServiceDemand {
 impl Interaction {
     /// Stable index of this interaction in [`INTERACTIONS`].
     pub fn index(self) -> usize {
-        INTERACTIONS.iter().position(|&i| i == self).expect("in table")
+        INTERACTIONS
+            .iter()
+            .position(|&i| i == self)
+            .expect("in table")
     }
 
     /// Short lowercase name (matches common TPC-W tooling output).

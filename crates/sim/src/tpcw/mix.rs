@@ -41,16 +41,16 @@ impl Mix {
         // admin_confirm
         let weights = match self {
             Mix::Browsing => [
-                29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30,
-                0.25, 0.10, 0.09,
+                29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30, 0.25, 0.10,
+                0.09,
             ],
             Mix::Shopping => [
-                16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75,
-                0.66, 0.10, 0.09,
+                16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75, 0.66, 0.10,
+                0.09,
             ],
             Mix::Ordering => [
-                9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25,
-                0.22, 0.12, 0.11,
+                9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25, 0.22,
+                0.12, 0.11,
             ],
         };
         MixTable::new(weights)

@@ -245,9 +245,9 @@ impl VirtualMachine {
         self.memory.set_anon_demand(anon);
         self.memory.advance(dt, io_activity);
         let disk_util = self.disk.account_utilization(disk_pages_per_s);
-        self.last_cpu =
-            self.cpu
-                .sample(cpu_demand, self.memory.swap_traffic(), disk_util);
+        self.last_cpu = self
+            .cpu
+            .sample(cpu_demand, self.memory.swap_traffic(), disk_util);
         self.now += dt;
     }
 

@@ -62,7 +62,10 @@ fn main() {
         },
         ..cfg.campaign.sim.clone()
     };
-    println!("\ntraining on {} four-class runs-to-failure...", cfg.campaign.runs);
+    println!(
+        "\ntraining on {} four-class runs-to-failure...",
+        cfg.campaign.runs
+    );
     let report = run_workflow(&cfg, 99);
     let best = report.best_by_smae().expect("models trained");
     println!(

@@ -10,9 +10,7 @@
 //! ```
 
 use f2pm_repro::f2pm::F2pmConfig;
-use f2pm_repro::f2pm_features::{
-    aggregate_history, lasso_path, paper_lambda_grid, Dataset,
-};
+use f2pm_repro::f2pm_features::{aggregate_history, lasso_path, paper_lambda_grid, Dataset};
 use f2pm_repro::f2pm_monitor::DataHistory;
 use f2pm_repro::f2pm_sim::Campaign;
 
@@ -44,7 +42,11 @@ fn main() {
         if point.selected_count() == 0 {
             continue;
         }
-        println!("\n  λ = {:.0e} keeps {} parameters:", point.lambda, point.selected_count());
+        println!(
+            "\n  λ = {:.0e} keeps {} parameters:",
+            point.lambda,
+            point.selected_count()
+        );
         for (name, w) in point.weight_table().iter().take(8) {
             println!("    {name:<24} {w:>18.12}");
         }

@@ -7,7 +7,7 @@
 //! ```
 
 use f2pm_repro::f2pm::{F2pmConfig, IncrementalConfig, IncrementalTrainer};
-use f2pm_repro::f2pm_ml::{RepTree, RepTreeParams, Regressor};
+use f2pm_repro::f2pm_ml::{Regressor, RepTree, RepTreeParams};
 
 fn main() {
     let cfg = IncrementalConfig {

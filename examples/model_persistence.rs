@@ -62,7 +62,10 @@ fn main() {
         points.len(),
         fail_t
     );
-    println!("{:>10} {:>16} {:>14} {:>10}", "t(s)", "predicted(s)", "actual(s)", "error(s)");
+    println!(
+        "{:>10} {:>16} {:>14} {:>10}",
+        "t(s)", "predicted(s)", "actual(s)", "error(s)"
+    );
     let model = loaded.as_model();
     let show = points.len().min(10);
     for p in points.iter().take(show) {

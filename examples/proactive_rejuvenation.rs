@@ -20,7 +20,10 @@ use f2pm_repro::f2pm::{
 fn main() {
     // 1. Knowledge base: a monitored campaign on the faulty testbed.
     let cfg = F2pmConfig::quick();
-    println!("training on {} monitored runs-to-failure...", cfg.campaign.runs);
+    println!(
+        "training on {} monitored runs-to-failure...",
+        cfg.campaign.runs
+    );
     let report = run_workflow(&cfg, 11);
 
     // 2. Pick the paper's winner (REP-Tree) and wrap it as an online

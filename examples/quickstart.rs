@@ -13,7 +13,10 @@ fn main() {
     let mut cfg = F2pmConfig::quick();
     cfg.campaign.runs = 4;
 
-    println!("collecting {} monitored runs-to-failure...", cfg.campaign.runs);
+    println!(
+        "collecting {} monitored runs-to-failure...",
+        cfg.campaign.runs
+    );
     let report = run_workflow(&cfg, 42);
 
     // The report carries, per training-set variant, every §III-D metric

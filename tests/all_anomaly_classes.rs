@@ -54,7 +54,7 @@ fn fragmentation_shows_up_in_iowait_before_swapping() {
     let mut sim = Simulation::new(cfg, 41);
     // Instantaneous iowait is noisy (it rides the simulated request mix),
     // so compare window averages rather than single snapshots.
-    let mut window_mean_iowait = |sim: &mut Simulation, from: f64| {
+    let window_mean_iowait = |sim: &mut Simulation, from: f64| {
         let samples = 10;
         let mut sum = 0.0;
         for k in 1..=samples {

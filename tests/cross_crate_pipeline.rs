@@ -1,6 +1,7 @@
 //! Cross-crate integration: wire the pipeline stage by stage (simulator →
 //! monitor → features → ml) and check the conservation laws between them.
 
+use f2pm_repro::f2pm::F2pmConfig;
 use f2pm_repro::f2pm_features::{aggregate_history, aggregate_run, Dataset};
 use f2pm_repro::f2pm_linalg::Matrix;
 use f2pm_repro::f2pm_ml::{
@@ -8,7 +9,6 @@ use f2pm_repro::f2pm_ml::{
 };
 use f2pm_repro::f2pm_monitor::{DataHistory, FeatureId};
 use f2pm_repro::f2pm_sim::{AnomalyConfig, Campaign, CampaignConfig, SimConfig};
-use f2pm_repro::f2pm::F2pmConfig;
 
 fn campaign(runs: usize, seed: u64) -> Vec<f2pm_repro::f2pm_sim::Run> {
     let cfg = CampaignConfig {
@@ -87,7 +87,10 @@ fn feature_trajectories_match_physical_expectations() {
     let first = run.datapoints.first().unwrap();
     let last = run.datapoints.last().unwrap();
 
-    assert!(first.get(FeatureId::SwapUsed) < 1024.0, "fresh guest barely swaps");
+    assert!(
+        first.get(FeatureId::SwapUsed) < 1024.0,
+        "fresh guest barely swaps"
+    );
     assert!(
         last.get(FeatureId::SwapUsed) > 900.0 * 1024.0,
         "swap nearly full at failure: {} kB",

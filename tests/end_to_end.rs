@@ -58,12 +58,19 @@ fn svm_rows_sit_near_linear_regression() {
 #[test]
 fn fig4_lasso_path_monotone_and_exhaustive() {
     let report = medium_report();
-    let series = report.selection.as_ref().expect("selection ran").fig4_series();
+    let series = report
+        .selection
+        .as_ref()
+        .expect("selection ran")
+        .fig4_series();
     assert_eq!(series.len(), 10, "λ = 10⁰..10⁹");
     for w in series.windows(2) {
         assert!(w[1].1 <= w[0].1, "path must shrink: {series:?}");
     }
-    assert!(series[0].1 >= 12, "small λ keeps most parameters: {series:?}");
+    assert!(
+        series[0].1 >= 12,
+        "small λ keeps most parameters: {series:?}"
+    );
     assert!(series[9].1 <= 4, "λ=1e9 keeps almost nothing: {series:?}");
 }
 

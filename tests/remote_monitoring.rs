@@ -25,7 +25,9 @@ fn fmc_to_fms_to_models() {
         .expect("connect");
         let sim = Simulation::new(cfg.campaign.sim.clone(), 500 + run);
         let mut collector = SimCollector::new(sim, SimCollectorConfig::default(), run);
-        total_sent += client.stream_collector(&mut collector, None).expect("stream");
+        total_sent += client
+            .stream_collector(&mut collector, None)
+            .expect("stream");
         let fail_t = collector.simulation().failed_at().expect("failure");
         client.send_fail(fail_t).expect("fail event");
         client.close().expect("bye");
@@ -67,8 +69,7 @@ fn concurrent_fmcs_stream_in_parallel() {
                 )
                 .expect("connect");
                 let sim = Simulation::new(Default::default(), 900 + k);
-                let mut collector =
-                    SimCollector::new(sim, SimCollectorConfig::default(), k);
+                let mut collector = SimCollector::new(sim, SimCollectorConfig::default(), k);
                 let sent = client
                     .stream_collector(&mut collector, Some(per_client))
                     .expect("stream");
