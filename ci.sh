@@ -10,7 +10,7 @@ cd "$(dirname "$0")"
 
 F2PM_PACKAGES=(
     f2pm-repro f2pm f2pm-linalg f2pm-ml f2pm-features
-    f2pm-monitor f2pm-sim f2pm-cli f2pm-bench
+    f2pm-monitor f2pm-sim f2pm-serve f2pm-cli f2pm-bench
 )
 
 echo "==> cargo fmt --check"
@@ -26,5 +26,11 @@ cargo test -q --offline --workspace
 
 echo "==> perf_report smoke (reduced sizes)"
 cargo run --release --offline -p f2pm-bench --bin perf_report -- --smoke
+
+echo "==> serve loadgen smoke (reduced fleet)"
+cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke
+python3 -m json.tool target/BENCH_serve_smoke.json > /dev/null
+# The tracked full-scale baseline must stay well-formed too.
+python3 -m json.tool BENCH_serve.json > /dev/null
 
 echo "CI OK"

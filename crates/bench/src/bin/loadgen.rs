@@ -1,0 +1,426 @@
+//! `loadgen` — load-generation harness for the `f2pm-serve` service.
+//!
+//! Starts an in-process [`PredictionServer`], then drives hundreds of
+//! concurrent simulated FMC clients against it: every client owns a
+//! `SimCollector`-backed datapoint stream (wire protocol v2), interleaves
+//! `PredictRequest`s to measure serving latency, and survives simulated
+//! guest deaths with `Fail` + a fresh collector — exactly a monitored
+//! fleet's traffic shape.
+//!
+//! Mid-run (at half the total datapoints) a new model is hot-installed in
+//! the registry; clients must observe the new model generation on the
+//! SAME connections (no reset). The harness verifies:
+//!
+//! - zero dropped frames (blocking backpressure end to end),
+//! - a live per-host RTTF estimate for every client,
+//! - the hot reload is visible without any reconnect,
+//!
+//! and writes throughput + latency percentiles to `BENCH_serve.json`
+//! (`--smoke`: 1/6-scale, scratch output under `target/`, for CI).
+
+use f2pm_features::AggregationConfig;
+use f2pm_ml::linreg::LinearModel;
+use f2pm_ml::persist::SavedModel;
+use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
+use f2pm_monitor::{Collector, SimCollector, SimCollectorConfig};
+use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig};
+use f2pm_sim::{AnomalyConfig, SimConfig, Simulation};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    clients: usize,
+    points: usize,
+    shards: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut clients = None;
+    let mut points = None;
+    let mut shards = None;
+    let mut out = None;
+    let mut smoke = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("bad value for {name}"))
+        };
+        match a.as_str() {
+            "--clients" => clients = Some(val("--clients")),
+            "--points" => points = Some(val("--points")),
+            "--shards" => shards = Some(val("--shards")),
+            "--out" => out = it.next().cloned(),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other:?} \
+                     (supported: --clients N --points N --shards N --out PATH --smoke)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    Args {
+        clients: clients.unwrap_or(if smoke { 40 } else { 240 }),
+        points: points.unwrap_or(if smoke { 120 } else { 300 }),
+        shards: shards.unwrap_or(threads.min(8)),
+        out: out.unwrap_or_else(|| {
+            if smoke {
+                "target/BENCH_serve_smoke.json".to_string()
+            } else {
+                "BENCH_serve.json".to_string()
+            }
+        }),
+        smoke,
+    }
+}
+
+fn agg() -> AggregationConfig {
+    AggregationConfig {
+        window_s: 30.0,
+        min_points: 2,
+        ..AggregationConfig::default()
+    }
+}
+
+fn model(intercept: f64) -> SavedModel {
+    let width = f2pm_features::aggregate::aggregated_column_names_with(&agg()).len();
+    SavedModel::Linear(LinearModel {
+        intercept,
+        coefficients: vec![0.0; width],
+    })
+}
+
+/// Aggressive anomaly rates so simulated guests degrade (and sometimes
+/// die) within a few hundred datapoints — exercising the Fail path.
+fn sim(seed: u64) -> Simulation {
+    Simulation::new(
+        SimConfig {
+            anomaly: AnomalyConfig {
+                leak_size_mib: (6.0, 10.0),
+                leak_prob_per_home: (0.8, 0.9),
+                ..AnomalyConfig::default()
+            },
+            ..SimConfig::default()
+        },
+        seed,
+    )
+}
+
+struct ClientReport {
+    sent: u64,
+    fails: u64,
+    latencies_us: Vec<u64>,
+    saw_estimate: bool,
+    max_generation: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: SocketAddr,
+    host: u32,
+    points: usize,
+    sent_total: &AtomicU64,
+    reload_generation: &AtomicU64,
+) -> ClientReport {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: host,
+    }
+    .write_to(&mut stream)
+    .expect("hello");
+
+    let mut collector =
+        SimCollector::new(sim(host as u64), SimCollectorConfig::default(), host as u64);
+    let mut life = 0u64;
+    let mut report = ClientReport {
+        sent: 0,
+        fails: 0,
+        latencies_us: Vec::new(),
+        saw_estimate: false,
+        max_generation: 0,
+    };
+    for i in 0..points {
+        let d = loop {
+            match collector.collect() {
+                Some(d) => break d,
+                None => {
+                    // The guest died: report the failure, start a new life.
+                    let t = collector.simulation().failed_at().unwrap_or(0.0);
+                    Message::Fail { t }.write_to(&mut stream).expect("fail");
+                    report.fails += 1;
+                    life += 1;
+                    let seed = host as u64 + life * 10_007;
+                    collector = SimCollector::new(sim(seed), SimCollectorConfig::default(), seed);
+                }
+            }
+        };
+        Message::Datapoint(d)
+            .write_to(&mut stream)
+            .expect("datapoint");
+        report.sent += 1;
+        sent_total.fetch_add(1, Ordering::Relaxed);
+
+        if i % 10 == 9 {
+            let started = Instant::now();
+            Message::PredictRequest { host_id: host }
+                .write_to(&mut stream)
+                .expect("predict request");
+            // Pushed alerts may arrive before the reply; skip them.
+            loop {
+                match Message::read_from(&mut stream)
+                    .expect("reply")
+                    .expect("open")
+                {
+                    Message::RttfEstimate {
+                        rttf,
+                        model_generation,
+                        ..
+                    } => {
+                        report
+                            .latencies_us
+                            .push(started.elapsed().as_micros() as u64);
+                        report.saw_estimate |= rttf.is_some();
+                        report.max_generation = report.max_generation.max(model_generation);
+                        break;
+                    }
+                    Message::Alert { .. } => {}
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+        }
+    }
+
+    // The reload fired at the halfway point; poll until this host's
+    // estimate carries the new generation (a fresh window must close
+    // post-reload, so feed a few more datapoints if needed).
+    let target = reload_generation.load(Ordering::SeqCst);
+    'wait: for _ in 0..200 {
+        if target == 0 || report.max_generation >= target {
+            break;
+        }
+        if let Some(d) = collector.collect() {
+            Message::Datapoint(d)
+                .write_to(&mut stream)
+                .expect("datapoint");
+            report.sent += 1;
+            sent_total.fetch_add(1, Ordering::Relaxed);
+        }
+        Message::PredictRequest { host_id: host }
+            .write_to(&mut stream)
+            .expect("predict request");
+        loop {
+            match Message::read_from(&mut stream)
+                .expect("reply")
+                .expect("open")
+            {
+                Message::RttfEstimate {
+                    rttf,
+                    model_generation,
+                    ..
+                } => {
+                    report.saw_estimate |= rttf.is_some();
+                    report.max_generation = report.max_generation.max(model_generation);
+                    continue 'wait;
+                }
+                Message::Alert { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    Message::Bye.write_to(&mut stream).ok();
+    report
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let registry = ModelRegistry::new(
+        model(1000.0),
+        f2pm_features::aggregate::aggregated_column_names_with(&agg()),
+        agg(),
+    )
+    .expect("registry");
+    let server = PredictionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards: args.shards,
+            queue_cap: 1024,
+            policy: AlertPolicy::default(),
+        },
+        registry,
+    )
+    .expect("start server");
+    let registry = server.registry();
+    let addr = server.addr();
+    eprintln!(
+        "loadgen: {} clients x {} points against {} ({} shards{})",
+        args.clients,
+        args.points,
+        addr,
+        args.shards,
+        if args.smoke { ", smoke" } else { "" }
+    );
+
+    let sent_total = Arc::new(AtomicU64::new(0));
+    let reload_generation = Arc::new(AtomicU64::new(0));
+    let half = (args.clients * args.points / 2) as u64;
+    let started = Instant::now();
+
+    // Hot-reload trigger: once half the fleet's datapoints are in, swap
+    // the model mid-run on the live server.
+    let reloader = {
+        let sent_total = Arc::clone(&sent_total);
+        let reload_generation = Arc::clone(&reload_generation);
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            while sent_total.load(Ordering::Relaxed) < half {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            let g = registry.install(model(500.0)).expect("hot reload");
+            reload_generation.store(g, Ordering::SeqCst);
+            g
+        })
+    };
+
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let sent_total = &sent_total;
+                let reload_generation = &reload_generation;
+                s.spawn(move || {
+                    run_client(addr, c as u32, args.points, sent_total, reload_generation)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let reload_gen = reloader.join().expect("reloader");
+    let wall_s = started.elapsed().as_secs_f64();
+    let snap = server.shutdown();
+
+    let datapoints: u64 = reports.iter().map(|r| r.sent).sum();
+    let fails: u64 = reports.iter().map(|r| r.fails).sum();
+    let with_estimate = reports.iter().filter(|r| r.saw_estimate).count();
+    let saw_reload = reports
+        .iter()
+        .filter(|r| r.max_generation >= reload_gen)
+        .count();
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let lat_max = latencies.last().copied().unwrap_or(0);
+
+    eprintln!(
+        "{datapoints} datapoints in {wall_s:.2}s ({:.0}/s), {} predict RTTs \
+         (p50 {p50}us p95 {p95}us p99 {p99}us max {lat_max}us)",
+        datapoints as f64 / wall_s,
+        latencies.len()
+    );
+    eprintln!(
+        "estimates {} | alerts {} | fails {fails} | reload gen {reload_gen} seen by \
+         {saw_reload}/{} clients | dropped {}",
+        snap.estimates, snap.alerts, args.clients, snap.dropped
+    );
+
+    // --- Hard checks: the acceptance criteria of the harness. ---
+    let mut failures = Vec::new();
+    if snap.dropped != 0 {
+        failures.push(format!("{} frames dropped (must be 0)", snap.dropped));
+    }
+    if with_estimate != args.clients {
+        failures.push(format!(
+            "only {with_estimate}/{} clients got a live RTTF estimate",
+            args.clients
+        ));
+    }
+    if saw_reload == 0 {
+        failures.push("no client observed the hot-reloaded model".to_string());
+    }
+    if snap.total_accepted != args.clients as u64 {
+        failures.push(format!(
+            "{} connections accepted for {} clients — a connection was reset",
+            snap.total_accepted, args.clients
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"f2pm-bench loadgen\",");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"clients\": {},", args.clients);
+    let _ = writeln!(json, "  \"points_per_client\": {},", args.points);
+    let _ = writeln!(json, "  \"shards\": {},", args.shards);
+    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
+    let _ = writeln!(json, "  \"datapoints\": {datapoints},");
+    let _ = writeln!(
+        json,
+        "  \"ingest_rate_per_s\": {:.1},",
+        datapoints as f64 / wall_s
+    );
+    let _ = writeln!(json, "  \"predict_rtt_us\": {{");
+    let _ = writeln!(json, "    \"samples\": {},", latencies.len());
+    let _ = writeln!(json, "    \"p50\": {p50},");
+    let _ = writeln!(json, "    \"p95\": {p95},");
+    let _ = writeln!(json, "    \"p99\": {p99},");
+    let _ = writeln!(json, "    \"max\": {lat_max}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"estimates\": {},", snap.estimates);
+    let _ = writeln!(json, "  \"alerts\": {},", snap.alerts);
+    let _ = writeln!(json, "  \"sim_failures_reported\": {fails},");
+    let _ = writeln!(json, "  \"dropped_frames\": {},", snap.dropped);
+    let _ = writeln!(json, "  \"connections_accepted\": {},", snap.total_accepted);
+    let _ = writeln!(json, "  \"clients_with_live_estimate\": {with_estimate},");
+    let _ = writeln!(json, "  \"hot_reload_generation\": {reload_gen},");
+    let _ = writeln!(json, "  \"clients_saw_reload\": {saw_reload},");
+    let _ = writeln!(json, "  \"checks_passed\": {}", failures.is_empty());
+    json.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
+    std::fs::File::create(&args.out)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,7 @@ use f2pm_ml::{
     Regressor, RepTree, RepTreeParams, SavedModel, SvrParams, SvrRegressor,
 };
 use f2pm_monitor::{load_csv, save_csv, Collector, DataHistory, Datapoint, ProcCollector};
+use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig};
 use f2pm_sim::Campaign;
 use std::collections::HashMap;
 
@@ -20,8 +21,14 @@ USAGE:
   f2pm evaluate --history history.csv [--window SECS] [--train-frac F]
   f2pm train    --history history.csv --method NAME --out model.txt [--window SECS]
   f2pm predict  --model model.txt --history history.csv [--window SECS]
+  f2pm serve    --model model.txt [--addr HOST:PORT] [--shards N] [--queue CAP]
+                [--threshold SECS] [--hits K] [--window SECS] [--seconds N] [--watch]
 
-METHODS (train): linear, rep_tree, m5p, svm, ls_svm";
+METHODS (train): linear, rep_tree, m5p, svm, ls_svm
+
+`serve` starts the sharded online RTTF prediction service (wire protocol
+v1 + v2); `--watch` hot-reloads the model whenever the file changes, and
+`--seconds` bounds the run (default: forever).";
 
 /// Parse `--key value` pairs and bare `--flag`s.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -33,7 +40,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         };
         // Bare boolean flags.
-        if matches!(key, "quick") {
+        if matches!(key, "quick" | "watch") {
             out.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -307,6 +314,96 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `f2pm serve`: the sharded online RTTF prediction service.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let model_path = require(&flags, "model")?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let agg = aggregation_from(&flags)?;
+    let mut cfg = ServeConfig::default();
+    if let Some(n) = get_parsed::<usize>(&flags, "shards")? {
+        if n == 0 {
+            return Err("--shards must be positive".to_string());
+        }
+        cfg.shards = n;
+    }
+    if let Some(c) = get_parsed::<usize>(&flags, "queue")? {
+        cfg.queue_cap = c.max(1);
+    }
+    let mut policy = AlertPolicy::default();
+    if let Some(t) = get_parsed::<f64>(&flags, "threshold")? {
+        policy.rttf_threshold_s = t;
+    }
+    if let Some(h) = get_parsed::<usize>(&flags, "hits")? {
+        policy.consecutive_hits = h.max(1);
+    }
+    cfg.policy = policy;
+    let seconds: Option<u64> = get_parsed(&flags, "seconds")?;
+    let watch = flags.contains_key("watch");
+
+    let registry = ModelRegistry::from_file(&model_path, agg)
+        .map_err(|e| format!("loading {model_path}: {e}"))?;
+    let kind = registry.current().kind;
+    let server = PredictionServer::start(&*addr, cfg, registry)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let registry = server.registry();
+    println!(
+        "serving {kind} model from {model_path} on {} ({} shards, alert ≤ {:.0} s × {})",
+        server.addr(),
+        cfg.shards,
+        policy.rttf_threshold_s,
+        policy.consecutive_hits
+    );
+
+    let mtime = |p: &str| std::fs::metadata(p).and_then(|m| m.modified()).ok();
+    let mut last_mtime = mtime(&model_path);
+    let started = std::time::Instant::now();
+    let mut stats_printed = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        if watch {
+            let now_mtime = mtime(&model_path);
+            if now_mtime.is_some() && now_mtime != last_mtime {
+                last_mtime = now_mtime;
+                match registry.reload_from_file(&model_path) {
+                    Ok(g) => eprintln!("hot-reloaded {model_path} → model generation {g}"),
+                    Err(e) => eprintln!("reload of {model_path} failed (keeping current): {e}"),
+                }
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed >= 5.0 * (stats_printed + 1) as f64 {
+            let snap = server.metrics();
+            eprintln!(
+                "[{:>6.0}s] conns {} | datapoints {} | estimates {} | alerts {} | \
+                 gen {} | depths {:?}",
+                elapsed,
+                snap.connections,
+                snap.datapoints,
+                snap.estimates,
+                snap.alerts,
+                snap.model_generation,
+                snap.shard_depths
+            );
+            stats_printed += 1;
+        }
+        if let Some(s) = seconds {
+            if elapsed >= s as f64 {
+                break;
+            }
+        }
+    }
+    let snap = server.shutdown();
+    println!(
+        "served {} datapoints, {} estimates, {} alerts ({} connections total, {} dropped)",
+        snap.datapoints, snap.estimates, snap.alerts, snap.total_accepted, snap.dropped
+    );
+    Ok(())
+}
+
 /// Shared helper so tests can synthesize a tiny valid history file.
 #[allow(dead_code)]
 pub fn write_tiny_history(path: &std::path::Path) {
@@ -444,6 +541,53 @@ mod tests {
         assert!(train(&s(&["--history", "x.csv"])).is_err()); // no method/out
         assert!(predict(&s(&["--model", "m.txt"])).is_err()); // no history
         assert!(evaluate(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn serve_runs_bounded_and_hot_reloads_on_watch() {
+        let dir = std::env::temp_dir().join(format!("f2pm_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.txt");
+        // A hand-written linear model over the full default aggregated
+        // layout (what `from_file` serves against).
+        let width =
+            f2pm_features::aggregate::aggregated_column_names_with(&AggregationConfig::default())
+                .len();
+        let saved = SavedModel::Linear(f2pm_ml::linreg::LinearModel {
+            intercept: 900.0,
+            coefficients: vec![0.0; width],
+        });
+        persist::save(&saved, &model).unwrap();
+
+        // Overwrite the model file shortly after startup; --watch must
+        // pick it up without the server restarting.
+        let model_c = model.clone();
+        let rewriter = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(600));
+            let saved = SavedModel::Linear(f2pm_ml::linreg::LinearModel {
+                intercept: 450.0,
+                coefficients: vec![0.0; width],
+            });
+            persist::save(&saved, &model_c).unwrap();
+        });
+        serve(&s(&[
+            "--model",
+            model.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--seconds",
+            "2",
+            "--watch",
+        ]))
+        .unwrap();
+        rewriter.join().unwrap();
+
+        // Bad flags are rejected up front.
+        assert!(serve(&s(&["--addr", "127.0.0.1:0"])).is_err()); // no --model
+        assert!(serve(&s(&["--model", model.to_str().unwrap(), "--shards", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

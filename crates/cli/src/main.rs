@@ -6,13 +6,16 @@
 //! f2pm evaluate --history history.csv [--window 10]
 //! f2pm train    --history history.csv --method rep_tree --out model.txt
 //! f2pm predict  --model model.txt --history history.csv
+//! f2pm serve    --model model.txt --addr 0.0.0.0:7878 --shards 4 --watch
 //! ```
 //!
 //! `campaign` collects data from the simulated testbed; `monitor` samples
 //! the *real* local Linux host via `/proc`; `evaluate` compares the §III-D
 //! method suite on a history; `train` fits one method and persists the
 //! model; `predict` replays a history's last run through a saved model and
-//! prints the per-window RTTF estimates.
+//! prints the per-window RTTF estimates; `serve` runs the sharded online
+//! prediction service (live per-host RTTF estimates, pushed rejuvenation
+//! alerts, model hot-reload).
 
 mod commands;
 
@@ -30,6 +33,7 @@ fn main() -> ExitCode {
         "evaluate" => commands::evaluate(rest),
         "train" => commands::train(rest),
         "predict" => commands::predict(rest),
+        "serve" => commands::serve(rest),
         "--help" | "-h" | "help" => {
             println!("{}", commands::USAGE);
             return ExitCode::SUCCESS;

@@ -1,10 +1,15 @@
 //! Offline stub of the `crossbeam` crate.
 //!
-//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
-//! (stable since Rust 1.63), which covers the only crossbeam API this
-//! workspace uses. Semantic difference kept from real crossbeam: the scope
-//! returns `thread::Result<R>` and spawned closures receive a scope
-//! argument (always ignored at our call sites).
+//! Provides the two crossbeam APIs this workspace uses:
+//!
+//! - `crossbeam::thread::scope` on top of `std::thread::scope` (stable
+//!   since Rust 1.63). Semantic difference kept from real crossbeam: the
+//!   scope returns `thread::Result<R>` and spawned closures receive a
+//!   scope argument (always ignored at our call sites);
+//! - `crossbeam::channel::{bounded, unbounded}` — MPMC channels built on
+//!   `Mutex` + `Condvar`, carrying the subset of the real API the serving
+//!   layer needs (`send`/`recv`, `try_send`/`try_recv`, `len`, cloneable
+//!   ends, disconnect-on-last-drop).
 
 pub mod thread {
     //! Scoped threads with the crossbeam calling convention.
@@ -51,6 +56,246 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! MPMC channels with the crossbeam calling convention.
+    //!
+    //! A channel is a `VecDeque` behind a mutex with two condvars (one for
+    //! senders waiting on a full bounded queue, one for receivers waiting
+    //! on an empty one). Both ends are cloneable; the channel disconnects
+    //! when the last end of either side drops, exactly like the real
+    //! crate: `send` to a receiver-less channel fails, `recv` on a
+    //! sender-less channel drains the queue and then fails.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`]: every receiver is gone, the
+    /// message comes back.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`]: every sender is gone and the
+    /// queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (messages are distributed, not
+    /// broadcast).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Channel with a fixed capacity: `send` blocks while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be positive");
+        new_chan(Some(cap))
+    }
+
+    /// Channel without a capacity bound: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is queued (or every receiver is gone).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.chan.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queue the message only if there is room right now.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or every sender is gone and the
+        /// queue is drained).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Pop a message only if one is queued right now.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders blocked on a full queue so they can observe
+                // the disconnect.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -78,5 +323,113 @@ mod tests {
     fn scope_returns_closure_value() {
         let n = super::thread::scope(|scope| scope.spawn(|_| 7).join().unwrap()).unwrap();
         assert_eq!(n, 7);
+    }
+
+    mod channel {
+        use crate::channel::{bounded, unbounded, RecvError, TryRecvError, TrySendError};
+
+        #[test]
+        fn bounded_roundtrip_in_order() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(tx.len(), 4);
+            for i in 0..4 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+            assert!(rx.is_empty());
+        }
+
+        #[test]
+        fn try_send_full_and_try_recv_empty() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1u32).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn send_blocks_until_capacity_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(0u64).unwrap();
+            let t = std::thread::spawn(move || tx.send(1).is_ok());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 0);
+            assert!(t.join().unwrap(), "blocked send completed");
+            assert_eq!(rx.recv().unwrap(), 1);
+        }
+
+        #[test]
+        fn disconnects_when_ends_drop() {
+            let (tx, rx) = bounded(4);
+            tx.send(9u8).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9), "queued survives sender drop");
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = bounded(4);
+            drop(rx);
+            assert!(tx.send(1u8).is_err());
+            assert!(matches!(
+                tx.try_send(2u8),
+                Err(TrySendError::Disconnected(2))
+            ));
+        }
+
+        #[test]
+        fn clone_counts_keep_channel_alive() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(5i32).unwrap(); // clone keeps the send side alive
+            assert_eq!(rx.recv(), Ok(5));
+            let rx2 = rx.clone();
+            drop(rx);
+            tx2.send(6).unwrap(); // clone keeps the receive side alive
+            assert_eq!(rx2.recv(), Ok(6));
+        }
+
+        #[test]
+        fn mpmc_distributes_every_message_once() {
+            let (tx, rx) = bounded(8);
+            let producers: Vec<_> = (0..4)
+                .map(|k| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..50u64 {
+                            tx.send(k * 1000 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut all: Vec<u64> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            let mut expect: Vec<u64> = (0..4)
+                .flat_map(|k| (0..50).map(move |i| k * 1000 + i))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(all, expect);
+        }
     }
 }

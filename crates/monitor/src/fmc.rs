@@ -10,10 +10,11 @@ use crate::collector::Collector;
 use crate::datapoint::Datapoint;
 use crate::wire::{Message, PROTOCOL_VERSION};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// FMC configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct FmcConfig {
     /// Identifier reported in the handshake.
     pub host_id: u32,
@@ -21,29 +22,49 @@ pub struct FmcConfig {
     /// yields; the simulator-backed collector paces itself in virtual
     /// time, so no real sleep is needed there).
     pub pause: Option<std::time::Duration>,
+    /// Reconnect attempts after a mid-stream send failure before the
+    /// client gives up on that message (0 = fail hard on the first send
+    /// error, the pre-reconnect behavior).
+    pub max_reconnect_attempts: u32,
+    /// Backoff before the first reconnect attempt; doubles per attempt.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for FmcConfig {
+    fn default() -> Self {
+        FmcConfig {
+            host_id: 0,
+            pause: None,
+            max_reconnect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(20),
+        }
+    }
 }
 
 /// A connected FMC.
 pub struct FeatureMonitorClient {
     stream: TcpStream,
+    /// Resolved server address, kept for reconnects.
+    addr: SocketAddr,
     cfg: FmcConfig,
     sent: u64,
+    dropped: u64,
+    reconnects: u64,
 }
 
 impl FeatureMonitorClient {
     /// Connect and perform the handshake.
     pub fn connect(addr: impl ToSocketAddrs, cfg: FmcConfig) -> io::Result<Self> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Message::Hello {
-            version: PROTOCOL_VERSION,
-            host_id: cfg.host_id,
-        }
-        .write_to(&mut stream)?;
+        let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
+        let stream = handshake(stream, &cfg)?;
         Ok(FeatureMonitorClient {
             stream,
+            addr,
             cfg,
             sent: 0,
+            dropped: 0,
+            reconnects: 0,
         })
     }
 
@@ -52,16 +73,74 @@ impl FeatureMonitorClient {
         self.sent
     }
 
-    /// Send one datapoint.
+    /// Datapoints dropped because send *and* every reconnect attempt
+    /// failed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Successful mid-stream reconnects performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Send one message, transparently reconnecting (with bounded
+    /// exponential backoff) when the server connection broke mid-stream.
+    /// Returns `Ok(false)` when the message had to be dropped after every
+    /// attempt failed — the stream itself stays usable for later sends.
+    fn send_resilient(&mut self, msg: &Message) -> io::Result<bool> {
+        let first_err = match msg.write_to(&mut self.stream) {
+            Ok(()) => return Ok(true),
+            Err(e) => e,
+        };
+        if self.cfg.max_reconnect_attempts == 0 {
+            return Err(first_err);
+        }
+        let mut backoff = self.cfg.reconnect_backoff;
+        for _ in 0..self.cfg.max_reconnect_attempts {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+            let Ok(stream) = TcpStream::connect(self.addr) else {
+                continue;
+            };
+            let Ok(mut stream) = handshake(stream, &self.cfg) else {
+                continue;
+            };
+            if msg.write_to(&mut stream).is_ok() {
+                self.stream = stream;
+                self.reconnects += 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Send one datapoint. A broken connection triggers transparent
+    /// reconnect-with-backoff; if every attempt fails the datapoint is
+    /// counted in [`FeatureMonitorClient::dropped`] instead of surfacing a
+    /// mid-stream error (set `max_reconnect_attempts: 0` to fail hard).
     pub fn send_datapoint(&mut self, d: &Datapoint) -> io::Result<()> {
-        Message::Datapoint(*d).write_to(&mut self.stream)?;
-        self.sent += 1;
+        if self.send_resilient(&Message::Datapoint(*d))? {
+            self.sent += 1;
+        } else {
+            self.dropped += 1;
+        }
         Ok(())
     }
 
-    /// Send a fail event.
+    /// Send a fail event (reconnecting like
+    /// [`FeatureMonitorClient::send_datapoint`]; a fail event that cannot
+    /// be delivered at all *is* surfaced, because silently dropping it
+    /// would corrupt the run labeling).
     pub fn send_fail(&mut self, t: f64) -> io::Result<()> {
-        Message::Fail { t }.write_to(&mut self.stream)
+        if self.send_resilient(&Message::Fail { t })? {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fail event undeliverable after reconnect attempts",
+            ))
+        }
     }
 
     /// Drain a collector to the server: stream datapoints until the source
@@ -94,6 +173,17 @@ impl FeatureMonitorClient {
     pub fn close(mut self) -> io::Result<()> {
         Message::Bye.write_to(&mut self.stream)
     }
+}
+
+/// Open the connection's handshake: nodelay + Hello.
+fn handshake(mut stream: TcpStream, cfg: &FmcConfig) -> io::Result<TcpStream> {
+    stream.set_nodelay(true).ok();
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: cfg.host_id,
+    }
+    .write_to(&mut stream)?;
+    Ok(stream)
 }
 
 #[cfg(test)]
@@ -162,5 +252,128 @@ mod tests {
         // Port 1 on localhost is almost certainly closed.
         let r = FeatureMonitorClient::connect("127.0.0.1:1", FmcConfig::default());
         assert!(r.is_err());
+    }
+
+    fn dp(t: f64) -> crate::Datapoint {
+        crate::Datapoint {
+            t_gen: t,
+            values: [t; 14],
+        }
+    }
+
+    #[test]
+    fn datapoints_dropped_not_errored_when_server_stays_down() {
+        // A raw listener the test controls end to end: dropping the
+        // accepted stream with unread data forces an immediate RST, and
+        // dropping the listener makes every reconnect attempt fail too —
+        // unlike `FmsHandle::shutdown`, which lets live connections drain.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = FeatureMonitorClient::connect(
+            addr,
+            FmcConfig {
+                max_reconnect_attempts: 2,
+                reconnect_backoff: std::time::Duration::from_millis(1),
+                ..FmcConfig::default()
+            },
+        )
+        .unwrap();
+        client.send_datapoint(&dp(0.0)).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+        drop(listener);
+        // The kernel socket buffer may swallow writes until the peer's RST
+        // is processed; keep sending (paced, so the RST has time to land) —
+        // none of them may return Err, and the undeliverable ones must land
+        // in the dropped counter.
+        for i in 1..500 {
+            client
+                .send_datapoint(&dp(i as f64))
+                .expect("send never hard-errors mid-stream");
+            if client.dropped() > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(client.dropped() > 0, "drops counted once the pipe broke");
+        // A fail event that cannot be delivered is a hard error, though.
+        assert!(client.send_fail(99.0).is_err());
+    }
+
+    #[test]
+    fn reconnects_to_restarted_server_with_backoff() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut client = FeatureMonitorClient::connect(
+            addr,
+            FmcConfig {
+                host_id: 3,
+                max_reconnect_attempts: 5,
+                reconnect_backoff: std::time::Duration::from_millis(5),
+                ..FmcConfig::default()
+            },
+        )
+        .unwrap();
+        client.send_datapoint(&dp(0.0)).unwrap();
+        server.shutdown();
+
+        // Rebind the same port (retry briefly: the OS may need a moment to
+        // release it).
+        let server2 = (0..50)
+            .find_map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                FeatureMonitorServer::start(addr).ok()
+            })
+            .expect("rebind restarted server");
+
+        let mut delivered = 0u64;
+        for i in 1..200 {
+            client.send_datapoint(&dp(i as f64)).unwrap();
+            if client.reconnects() > 0 {
+                delivered += 1;
+                if delivered >= 5 {
+                    break;
+                }
+            }
+        }
+        assert!(client.reconnects() > 0, "client reconnected");
+        assert!(delivered >= 5);
+        client.send_fail(500.0).unwrap();
+        client.close().unwrap();
+        // The restarted server received the post-reconnect traffic,
+        // including the re-handshake that names the host.
+        for _ in 0..200 {
+            if server2.datapoint_count() >= delivered && server2.hosts() == vec![3] {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(server2.datapoint_count() >= delivered);
+        assert_eq!(server2.hosts(), vec![3]);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn zero_reconnect_attempts_fails_hard() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let mut client = FeatureMonitorClient::connect(
+            server.addr(),
+            FmcConfig {
+                max_reconnect_attempts: 0,
+                ..FmcConfig::default()
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut saw_err = false;
+        for i in 0..60 {
+            if client.send_datapoint(&dp(i as f64)).is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "pre-reconnect behavior: hard error surfaces");
+        assert_eq!(client.dropped(), 0);
     }
 }

@@ -8,7 +8,7 @@
 //! HPC guides).
 
 use crate::history::DataHistory;
-use crate::wire::{Message, PROTOCOL_VERSION};
+use crate::wire::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -27,7 +27,11 @@ struct Shared {
     /// separate models.
     by_host: Mutex<HashMap<u32, DataHistory>>,
     stop: AtomicBool,
+    /// Live connections (incremented on accept, decremented when the
+    /// connection thread finishes).
     connections: AtomicU64,
+    /// Connections accepted since start (never decremented).
+    total_accepted: AtomicU64,
     datapoints: AtomicU64,
 }
 
@@ -53,6 +57,7 @@ impl FeatureMonitorServer {
             by_host: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
             connections: AtomicU64::new(0),
+            total_accepted: AtomicU64::new(0),
             datapoints: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
@@ -77,27 +82,38 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Ok(stream) => {
                 let conn_shared = Arc::clone(&shared);
                 shared.connections.fetch_add(1, Ordering::SeqCst);
+                shared.total_accepted.fetch_add(1, Ordering::SeqCst);
                 std::thread::Builder::new()
                     .name("fms-conn".into())
                     .spawn(move || {
-                        let _ = serve_connection(stream, conn_shared);
+                        let _ = serve_connection(stream, &conn_shared);
+                        conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
                     })
                     .expect("spawn fms connection thread");
             }
-            Err(_) => break,
+            // Transient accept errors (EMFILE, ECONNABORTED, EINTR, ...)
+            // must not kill the server: back off briefly and keep
+            // accepting. Only an explicit shutdown exits the loop.
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
         }
     }
 }
 
-fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let mut stream = stream;
     let mut host: Option<u32> = None;
     while let Some(msg) = Message::read_from(&mut stream)? {
         match msg {
             Message::Hello { version, host_id } => {
-                if version != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!("client protocol {version} != {PROTOCOL_VERSION}"),
+                        format!(
+                            "client protocol {version} outside \
+                             {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+                        ),
                     ));
                 }
                 host = Some(host_id);
@@ -121,6 +137,15 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) -> io::Result<()
                 }
             }
             Message::Bye => break,
+            // v2 serving traffic: the passive FMS only collects — it has
+            // no estimates to answer with, so requests are ignored and
+            // server-role frames from a confused peer are dropped
+            // (`f2pm-serve` is the server that speaks these).
+            Message::PredictRequest { .. }
+            | Message::StatsRequest
+            | Message::RttfEstimate { .. }
+            | Message::Alert { .. }
+            | Message::Stats { .. } => {}
         }
     }
     Ok(())
@@ -137,9 +162,14 @@ impl FmsHandle {
         self.shared.datapoints.load(Ordering::Relaxed)
     }
 
-    /// Connections accepted so far.
+    /// Connections currently live (accepted and not yet disconnected).
     pub fn connection_count(&self) -> u64 {
         self.shared.connections.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted since the server started (never decreases).
+    pub fn total_accepted(&self) -> u64 {
+        self.shared.total_accepted.load(Ordering::SeqCst)
     }
 
     /// Clone the accumulated history.
@@ -251,9 +281,80 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         assert_eq!(server.datapoint_count(), 100);
-        assert!(server.connection_count() >= 4);
+        assert_eq!(server.total_accepted(), 4);
+        // All four clients sent Bye and closed: the live count drains.
+        for _ in 0..200 {
+            if server.connection_count() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.connection_count(), 0, "live count reflects closes");
         let history = server.shutdown();
         assert_eq!(history.datapoint_count(), 100);
+    }
+
+    #[test]
+    fn connection_count_tracks_live_connections() {
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut streams = Vec::new();
+        for k in 0..3u32 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                host_id: k,
+            }
+            .write_to(&mut s)
+            .unwrap();
+            streams.push(s);
+        }
+        for _ in 0..200 {
+            if server.connection_count() == 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.connection_count(), 3);
+        assert_eq!(server.total_accepted(), 3);
+        // Closing clients must bring the live count back down while the
+        // accepted total stays put.
+        drop(streams);
+        for _ in 0..200 {
+            if server.connection_count() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.connection_count(), 0);
+        assert_eq!(server.total_accepted(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn v1_clients_still_accepted() {
+        // A v1 handshake (the pre-serving protocol) must keep working.
+        let server = FeatureMonitorServer::start("127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        Message::Hello {
+            version: 1,
+            host_id: 5,
+        }
+        .write_to(&mut s)
+        .unwrap();
+        for i in 0..3 {
+            Message::Datapoint(dp(i as f64)).write_to(&mut s).unwrap();
+        }
+        Message::Bye.write_to(&mut s).unwrap();
+        drop(s);
+        for _ in 0..200 {
+            if server.datapoint_count() == 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.datapoint_count(), 3);
+        server.shutdown();
     }
 
     #[test]

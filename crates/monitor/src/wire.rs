@@ -1,22 +1,40 @@
-//! Binary wire format between FMC and FMS.
+//! Binary wire format between FMC and FMS / `f2pm-serve`.
 //!
 //! Frames are length-prefixed: a `u32` big-endian payload length, then a
 //! one-byte message tag, then the payload. All floats are IEEE-754 f64
 //! big-endian. The format is deliberately tiny and hand-rolled (no serde
 //! format crate in the offline dependency set) and versioned through the
 //! `Hello` handshake.
+//!
+//! ## Versions
+//!
+//! - **v1** is the passive-collection protocol: `Hello`, `Datapoint`,
+//!   `Fail`, `Bye` — a client streams samples, the server accumulates.
+//! - **v2** adds the online-serving messages: `PredictRequest` /
+//!   [`Message::RttfEstimate`] (client-pulled estimates),
+//!   [`Message::Alert`] (server-pushed rejuvenation alerts), and
+//!   `StatsRequest` / [`Message::Stats`] (server metrics snapshot).
+//!
+//! Servers accept any handshake version in
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]; a v1 client never
+//! emits a v2 tag, so the v1 subset keeps working unchanged.
 
 use crate::datapoint::Datapoint;
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
-/// Maximum accepted frame payload (defensive bound).
-const MAX_FRAME: usize = 64 * 1024;
+/// Oldest protocol version servers still accept.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
-/// Messages exchanged between FMC (client) and FMS (server).
+/// Maximum accepted frame payload. A corrupt (or hostile) length prefix
+/// must never translate into a huge allocation: `read_from` rejects any
+/// frame claiming more than this *before* allocating the payload buffer.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Messages exchanged between FMC (client) and FMS / serve (server).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client handshake: protocol version + arbitrary host identifier.
@@ -35,6 +53,59 @@ pub enum Message {
     },
     /// Orderly goodbye.
     Bye,
+    /// v2, client → server: ask for the latest RTTF estimate of a host.
+    PredictRequest {
+        /// Host whose estimate is requested.
+        host_id: u32,
+    },
+    /// v2, server → client: latest RTTF estimate (reply to
+    /// [`Message::PredictRequest`]).
+    RttfEstimate {
+        /// Host the estimate belongs to.
+        host_id: u32,
+        /// Guest time (s) of the window that produced the estimate (0 when
+        /// `rttf` is `None`).
+        t: f64,
+        /// Predicted remaining time to failure (s); `None` when no
+        /// aggregation window has closed for this host yet.
+        rttf: Option<f64>,
+        /// Generation of the model that produced the estimate (bumps on
+        /// every hot-reload).
+        model_generation: u64,
+    },
+    /// v2, server → client (unsolicited): the host's predicted RTTF fell
+    /// below the rejuvenation threshold for enough consecutive windows.
+    Alert {
+        /// Host the alert fires for.
+        host_id: u32,
+        /// Guest time (s) of the triggering window.
+        t: f64,
+        /// The estimate that fired the alert (s).
+        rttf: f64,
+        /// The policy threshold it undercut (s).
+        threshold: f64,
+    },
+    /// v2, client → server: ask for a server metrics snapshot.
+    StatsRequest,
+    /// v2, server → client: metrics snapshot (reply to
+    /// [`Message::StatsRequest`]).
+    Stats {
+        /// Live client connections.
+        connections: u64,
+        /// Datapoints ingested since start.
+        datapoints: u64,
+        /// RTTF estimates produced since start.
+        estimates: u64,
+        /// Rejuvenation alerts fired since start.
+        alerts: u64,
+        /// Frames dropped (always 0 under blocking backpressure; kept for
+        /// lossy transports).
+        dropped: u64,
+        /// Current model generation.
+        model_generation: u64,
+        /// Queue depth per shard at snapshot time.
+        shard_depths: Vec<u32>,
+    },
 }
 
 impl Message {
@@ -44,6 +115,21 @@ impl Message {
             Message::Datapoint(_) => 2,
             Message::Fail { .. } => 3,
             Message::Bye => 4,
+            Message::PredictRequest { .. } => 5,
+            Message::RttfEstimate { .. } => 6,
+            Message::Alert { .. } => 7,
+            Message::StatsRequest => 8,
+            Message::Stats { .. } => 9,
+        }
+    }
+
+    /// Lowest protocol version in which this message exists.
+    pub fn min_version(&self) -> u16 {
+        match self {
+            Message::Hello { .. } | Message::Datapoint(_) | Message::Fail { .. } | Message::Bye => {
+                1
+            }
+            _ => 2,
         }
     }
 
@@ -64,6 +150,51 @@ impl Message {
             }
             Message::Fail { t } => payload.put_f64(*t),
             Message::Bye => {}
+            Message::PredictRequest { host_id } => payload.put_u32(*host_id),
+            Message::RttfEstimate {
+                host_id,
+                t,
+                rttf,
+                model_generation,
+            } => {
+                payload.put_u32(*host_id);
+                payload.put_f64(*t);
+                payload.put_u8(rttf.is_some() as u8);
+                payload.put_f64(rttf.unwrap_or(0.0));
+                payload.put_u64(*model_generation);
+            }
+            Message::Alert {
+                host_id,
+                t,
+                rttf,
+                threshold,
+            } => {
+                payload.put_u32(*host_id);
+                payload.put_f64(*t);
+                payload.put_f64(*rttf);
+                payload.put_f64(*threshold);
+            }
+            Message::StatsRequest => {}
+            Message::Stats {
+                connections,
+                datapoints,
+                estimates,
+                alerts,
+                dropped,
+                model_generation,
+                shard_depths,
+            } => {
+                payload.put_u64(*connections);
+                payload.put_u64(*datapoints);
+                payload.put_u64(*estimates);
+                payload.put_u64(*alerts);
+                payload.put_u64(*dropped);
+                payload.put_u64(*model_generation);
+                payload.put_u16(shard_depths.len() as u16);
+                for d in shard_depths {
+                    payload.put_u32(*d);
+                }
+            }
         }
         let mut frame = BytesMut::with_capacity(4 + payload.len());
         frame.put_u32(payload.len() as u32);
@@ -108,6 +239,69 @@ impl Message {
                 })
             }
             4 => Ok(Message::Bye),
+            5 => {
+                if payload.remaining() < 4 {
+                    return Err(bad("short predict request"));
+                }
+                Ok(Message::PredictRequest {
+                    host_id: payload.get_u32(),
+                })
+            }
+            6 => {
+                if payload.remaining() < 4 + 8 + 1 + 8 + 8 {
+                    return Err(bad("short rttf estimate"));
+                }
+                let host_id = payload.get_u32();
+                let t = payload.get_f64();
+                let has = payload.get_u8();
+                let value = payload.get_f64();
+                if has > 1 {
+                    return Err(bad("bad rttf presence flag"));
+                }
+                Ok(Message::RttfEstimate {
+                    host_id,
+                    t,
+                    rttf: (has == 1).then_some(value),
+                    model_generation: payload.get_u64(),
+                })
+            }
+            7 => {
+                if payload.remaining() < 4 + 3 * 8 {
+                    return Err(bad("short alert"));
+                }
+                Ok(Message::Alert {
+                    host_id: payload.get_u32(),
+                    t: payload.get_f64(),
+                    rttf: payload.get_f64(),
+                    threshold: payload.get_f64(),
+                })
+            }
+            8 => Ok(Message::StatsRequest),
+            9 => {
+                if payload.remaining() < 6 * 8 + 2 {
+                    return Err(bad("short stats"));
+                }
+                let connections = payload.get_u64();
+                let datapoints = payload.get_u64();
+                let estimates = payload.get_u64();
+                let alerts = payload.get_u64();
+                let dropped = payload.get_u64();
+                let model_generation = payload.get_u64();
+                let n = payload.get_u16() as usize;
+                if payload.remaining() < n * 4 {
+                    return Err(bad("short stats shard depths"));
+                }
+                let shard_depths = (0..n).map(|_| payload.get_u32()).collect();
+                Ok(Message::Stats {
+                    connections,
+                    datapoints,
+                    estimates,
+                    alerts,
+                    dropped,
+                    model_generation,
+                    shard_depths,
+                })
+            }
             other => Err(bad(&format!("unknown tag {other}"))),
         }
     }
@@ -120,6 +314,11 @@ impl Message {
 
     /// Read one framed message from a stream. `Ok(None)` on clean EOF at a
     /// frame boundary.
+    ///
+    /// The length prefix is validated against [`MAX_FRAME`] *before* the
+    /// payload buffer is allocated, so a corrupt prefix costs at most an
+    /// `InvalidData` error naming the offending length — never a multi-GB
+    /// allocation.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
         let mut len_buf = [0u8; 4];
         if !read_exact_or_eof(r, &mut len_buf)? {
@@ -127,7 +326,7 @@ impl Message {
         }
         let len = u32::from_be_bytes(len_buf) as usize;
         if len == 0 || len > MAX_FRAME {
-            return Err(bad(&format!("bad frame length {len}")));
+            return Err(bad(&format!("bad frame length {len} (max {MAX_FRAME})")));
         }
         let mut payload = vec![0u8; len];
         r.read_exact(&mut payload)?;
@@ -171,9 +370,8 @@ mod tests {
         d
     }
 
-    #[test]
-    fn roundtrip_all_variants() {
-        let msgs = vec![
+    fn all_variants() -> Vec<Message> {
+        vec![
             Message::Hello {
                 version: PROTOCOL_VERSION,
                 host_id: 77,
@@ -181,12 +379,59 @@ mod tests {
             Message::Datapoint(sample_dp()),
             Message::Fail { t: 999.25 },
             Message::Bye,
-        ];
-        for m in msgs {
+            Message::PredictRequest { host_id: 9 },
+            Message::RttfEstimate {
+                host_id: 9,
+                t: 120.5,
+                rttf: Some(431.75),
+                model_generation: 3,
+            },
+            Message::RttfEstimate {
+                host_id: 1,
+                t: 0.0,
+                rttf: None,
+                model_generation: 1,
+            },
+            Message::Alert {
+                host_id: 4,
+                t: 500.0,
+                rttf: 90.0,
+                threshold: 180.0,
+            },
+            Message::StatsRequest,
+            Message::Stats {
+                connections: 12,
+                datapoints: 34_000,
+                estimates: 2800,
+                alerts: 3,
+                dropped: 0,
+                model_generation: 2,
+                shard_depths: vec![0, 7, 2, 0],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for m in all_variants() {
             let frame = m.encode();
             let payload = &frame[4..];
             let got = Message::decode(payload).unwrap();
             assert_eq!(got, m);
+        }
+    }
+
+    #[test]
+    fn v2_tags_carry_v2_min_version() {
+        for m in all_variants() {
+            let expect = match m {
+                Message::Hello { .. }
+                | Message::Datapoint(_)
+                | Message::Fail { .. }
+                | Message::Bye => 1,
+                _ => 2,
+            };
+            assert_eq!(m.min_version(), expect, "{m:?}");
         }
     }
 
@@ -238,6 +483,36 @@ mod tests {
         assert!(Message::decode(&[2, 0, 0]).is_err()); // short datapoint
         assert!(Message::decode(&[3]).is_err()); // short fail
         assert!(Message::decode(&[99]).is_err()); // unknown tag
+        assert!(Message::decode(&[5, 0]).is_err()); // short predict request
+        assert!(Message::decode(&[6, 0, 0, 0, 0]).is_err()); // short estimate
+        assert!(Message::decode(&[7, 1, 2]).is_err()); // short alert
+        assert!(Message::decode(&[9, 0]).is_err()); // short stats
+                                                    // Stats whose depth count exceeds the remaining payload.
+        let mut stats = Message::Stats {
+            connections: 1,
+            datapoints: 1,
+            estimates: 1,
+            alerts: 0,
+            dropped: 0,
+            model_generation: 1,
+            shard_depths: vec![1, 2],
+        }
+        .encode()
+        .to_vec();
+        let n = stats.len();
+        stats.truncate(n - 4); // cut one depth entry
+        assert!(Message::decode(&stats[4..]).is_err());
+        // Estimate with a corrupt presence flag.
+        let mut est = Message::RttfEstimate {
+            host_id: 0,
+            t: 0.0,
+            rttf: Some(1.0),
+            model_generation: 0,
+        }
+        .encode()
+        .to_vec();
+        est[4 + 1 + 4 + 8] = 2; // flag byte: frame(4) + tag + host(4) + t(8)
+        assert!(Message::decode(&est[4..]).is_err());
     }
 
     #[test]
@@ -258,9 +533,159 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_length_prefix_errors_without_allocating() {
+        // A multi-GB claimed length must come back as InvalidData naming
+        // the offending length — not as an allocation attempt.
+        let claimed: u32 = 3_000_000_000;
+        let mut buf = claimed.to_be_bytes().to_vec();
+        buf.push(4);
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = Message::read_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("3000000000"), "error names the length: {msg}");
+    }
+
+    #[test]
+    fn frame_cap_boundary() {
+        // One past MAX_FRAME: rejected before any payload read.
+        let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        buf.push(4);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(Message::read_from(&mut cursor).is_err());
+        // Exactly MAX_FRAME: accepted as a length (payload decode then
+        // fails on the unknown tag, proving we got past the cap check).
+        let mut buf = (MAX_FRAME as u32).to_be_bytes().to_vec();
+        buf.extend(vec![0xEEu8; MAX_FRAME]);
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = Message::read_from(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("unknown tag"), "{err}");
+    }
+
+    #[test]
     fn zero_length_frame_rejected() {
         let buf = 0u32.to_be_bytes().to_vec();
         let mut cursor = std::io::Cursor::new(buf);
         assert!(Message::read_from(&mut cursor).is_err());
+    }
+
+    mod properties {
+        //! Property round-trips: every v1 and v2 message survives
+        //! encode → frame → decode bit-exactly, singly and in streams.
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Finite, sign/scale-diverse f64s (wire floats are raw IEEE-754,
+        /// so any finite value must survive exactly).
+        fn arb_f64() -> impl Strategy<Value = f64> {
+            (0u8..4, -1.0e12f64..1.0e12).prop_map(|(k, v)| match k {
+                0 => v,
+                1 => v * 1.0e-9,
+                2 => v.trunc(),
+                _ => 0.0,
+            })
+        }
+
+        fn arb_datapoint() -> impl Strategy<Value = Datapoint> {
+            (arb_f64(), proptest::collection::vec(arb_f64(), 14)).prop_map(|(t_gen, vals)| {
+                let mut values = [0.0; 14];
+                values.copy_from_slice(&vals);
+                Datapoint { t_gen, values }
+            })
+        }
+
+        /// One strategy covering every message variant, v1 and v2. (The
+        /// offline proptest stub supports 2- and 3-tuples, so the inputs
+        /// nest.)
+        fn arb_message() -> impl Strategy<Value = Message> {
+            (
+                (0u8..10, (0u64..u64::MAX, 0u32..u32::MAX, 0u16..u16::MAX)),
+                (arb_f64(), arb_f64(), arb_f64()),
+                (
+                    arb_datapoint(),
+                    proptest::collection::vec(0u32..100_000, 0..9),
+                ),
+            )
+                .prop_map(
+                    |((pick, (n, host_id, version)), (a, b, c), (dp, depths))| match pick {
+                        0 => Message::Hello { version, host_id },
+                        1 => Message::Datapoint(dp),
+                        2 => Message::Fail { t: a },
+                        3 => Message::Bye,
+                        4 => Message::PredictRequest { host_id },
+                        5 => Message::RttfEstimate {
+                            host_id,
+                            t: a,
+                            rttf: Some(b),
+                            model_generation: n,
+                        },
+                        6 => Message::RttfEstimate {
+                            host_id,
+                            t: a,
+                            rttf: None,
+                            model_generation: n,
+                        },
+                        7 => Message::Alert {
+                            host_id,
+                            t: a,
+                            rttf: b,
+                            threshold: c,
+                        },
+                        8 => Message::StatsRequest,
+                        _ => Message::Stats {
+                            connections: n % 100_000,
+                            datapoints: n,
+                            estimates: n / 3,
+                            alerts: n % 17,
+                            dropped: n % 5,
+                            model_generation: n % 1000,
+                            shard_depths: depths,
+                        },
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            #[test]
+            fn any_message_roundtrips(m in arb_message()) {
+                let frame = m.encode();
+                prop_assert!(frame.len() >= 5, "frame has prefix + tag");
+                prop_assert!(frame.len() - 4 <= MAX_FRAME, "fits the cap");
+                let got = Message::decode(&frame[4..])
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(got, m);
+            }
+
+            #[test]
+            fn message_streams_roundtrip(
+                msgs in proptest::collection::vec(arb_message(), 1..12)
+            ) {
+                let mut buf: Vec<u8> = Vec::new();
+                for m in &msgs {
+                    m.write_to(&mut buf)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                }
+                let mut cursor = std::io::Cursor::new(buf);
+                for expect in &msgs {
+                    let got = Message::read_from(&mut cursor)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    prop_assert_eq!(got.as_ref(), Some(expect));
+                }
+                let eof = Message::read_from(&mut cursor)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert!(eof.is_none(), "clean EOF after the last frame");
+            }
+
+            #[test]
+            fn truncated_frames_never_decode(m in arb_message(), cut in 1usize..20) {
+                let frame = m.encode().to_vec();
+                prop_assume!(cut < frame.len());
+                let mut cursor = std::io::Cursor::new(frame[..frame.len() - cut].to_vec());
+                // A truncated stream must yield an error, never a message.
+                prop_assert!(Message::read_from(&mut cursor).is_err());
+            }
+        }
     }
 }

@@ -1,0 +1,36 @@
+//! # f2pm-serve
+//!
+//! The online serving side of the F2PM reproduction: a multi-tenant RTTF
+//! prediction service. Where the FMS of `f2pm-monitor` passively collects
+//! training data, this crate *answers* — many monitored hosts stream
+//! datapoints in, and the server keeps a live Remaining-Time-To-Failure
+//! estimate per host, pushes rejuvenation alerts when an estimate stays
+//! under the safety threshold, and exposes a metrics snapshot over the
+//! same wire protocol (v2).
+//!
+//! Architecture (see `DESIGN.md` §8):
+//!
+//! - **[`server`]** — accept loop + one reader thread per connection; v1
+//!   clients keep working untouched.
+//! - **[`shard`]** — hosts are pinned to shard workers over bounded
+//!   crossbeam channels (blocking send = backpressure, zero drops); each
+//!   worker owns its hosts' `OnlinePredictor` state lock-free.
+//! - **[`registry`]** — hot-reloadable model storage: an atomic `Arc`
+//!   swap re-points every host's next prediction at the new model without
+//!   dropping connections or window state.
+//! - **[`metrics`]** — lock-free counters + a power-of-two
+//!   prediction-latency histogram.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod shard;
+
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{PredictionServer, ServeConfig, ServeHandle};
+pub use shard::{
+    AlertPolicy, ClientWriter, EstimateBoard, PublishedEstimate, ShardEvent, ShardPool,
+};

@@ -1,0 +1,250 @@
+//! Serving metrics: lock-free counters + a prediction-latency histogram.
+//!
+//! One [`ServeMetrics`] is shared by the acceptor, every reader thread and
+//! every shard worker; all updates are relaxed atomics so the hot ingest
+//! path never takes a lock for accounting. [`ServeMetrics::snapshot`]
+//! materializes a consistent-enough [`MetricsSnapshot`] for the `Stats`
+//! wire reply and for the load-generation reports.
+
+use f2pm_monitor::wire::Message;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two µs latency buckets: bucket `i` holds latencies in
+/// `[2^(i-1), 2^i)` µs (bucket 0 = sub-µs), the last bucket is open-ended.
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// Shared, lock-free serving counters.
+#[derive(Default)]
+pub struct ServeMetrics {
+    connections: AtomicU64,
+    total_accepted: AtomicU64,
+    datapoints: AtomicU64,
+    estimates: AtomicU64,
+    alerts: AtomicU64,
+    dropped: AtomicU64,
+    predict_requests: AtomicU64,
+    stats_requests: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServeMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A connection was accepted.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.total_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection ended (any reason).
+    pub fn connection_closed(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One datapoint ingested off the wire.
+    pub fn datapoint(&self) {
+        self.datapoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One RTTF estimate produced, taking `took` of shard-worker time
+    /// (aggregation + model evaluation).
+    pub fn estimate(&self, took: Duration) {
+        self.estimates.fetch_add(1, Ordering::Relaxed);
+        let us = took.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (u64::BITS - us.leading_zeros()).min(LATENCY_BUCKETS as u32 - 1);
+        self.latency[bucket as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One rejuvenation alert fired.
+    pub fn alert(&self) {
+        self.alerts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One frame dropped (never happens under blocking backpressure; the
+    /// counter exists so the invariant is observable).
+    pub fn drop_frame(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `PredictRequest` served.
+    pub fn predict_request(&self) {
+        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `StatsRequest` served.
+    pub fn stats_request(&self) {
+        self.stats_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Materialize a snapshot. Queue depths and model generation live
+    /// outside the metrics (shard pool / registry), so the caller passes
+    /// them in.
+    pub fn snapshot(&self, shard_depths: Vec<u32>, model_generation: u64) -> MetricsSnapshot {
+        let latency: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            total_accepted: self.total_accepted.load(Ordering::Relaxed),
+            datapoints: self.datapoints.load(Ordering::Relaxed),
+            estimates: self.estimates.load(Ordering::Relaxed),
+            alerts: self.alerts.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            predict_requests: self.predict_requests.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            latency_buckets: latency,
+            shard_depths,
+            model_generation,
+        }
+    }
+}
+
+/// Point-in-time view of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Live client connections.
+    pub connections: u64,
+    /// Connections accepted since start.
+    pub total_accepted: u64,
+    /// Datapoints ingested since start.
+    pub datapoints: u64,
+    /// RTTF estimates produced since start.
+    pub estimates: u64,
+    /// Rejuvenation alerts fired since start.
+    pub alerts: u64,
+    /// Frames dropped since start (0 under blocking backpressure).
+    pub dropped: u64,
+    /// `PredictRequest`s served since start.
+    pub predict_requests: u64,
+    /// `StatsRequest`s served since start.
+    pub stats_requests: u64,
+    /// Prediction-latency histogram; bucket `i` counts estimates that took
+    /// `[2^(i-1), 2^i)` µs of shard-worker time.
+    pub latency_buckets: Vec<u64>,
+    /// Queue depth per shard at snapshot time.
+    pub shard_depths: Vec<u32>,
+    /// Current model generation.
+    pub model_generation: u64,
+}
+
+impl MetricsSnapshot {
+    /// Upper-bound latency (µs) of quantile `q` in `[0, 1]`, from the
+    /// power-of-two histogram. `None` when no estimate has been recorded.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(if i == 0 { 1 } else { 1u64 << i });
+            }
+        }
+        Some(1u64 << (self.latency_buckets.len() - 1))
+    }
+
+    /// Render as the wire `Stats` reply.
+    pub fn to_message(&self) -> Message {
+        Message::Stats {
+            connections: self.connections,
+            datapoints: self.datapoints,
+            estimates: self.estimates,
+            alerts: self.alerts,
+            dropped: self.dropped,
+            model_generation: self.model_generation,
+            shard_depths: self.shard_depths.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_snapshot() {
+        let m = ServeMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        for _ in 0..5 {
+            m.datapoint();
+        }
+        m.estimate(Duration::from_micros(3));
+        m.alert();
+        m.predict_request();
+        m.stats_request();
+        let s = m.snapshot(vec![1, 0], 4);
+        assert_eq!(s.connections, 1);
+        assert_eq!(s.total_accepted, 2);
+        assert_eq!(s.datapoints, 5);
+        assert_eq!(s.estimates, 1);
+        assert_eq!(s.alerts, 1);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.predict_requests, 1);
+        assert_eq!(s.stats_requests, 1);
+        assert_eq!(s.shard_depths, vec![1, 0]);
+        assert_eq!(s.model_generation, 4);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_power_of_two() {
+        let m = ServeMetrics::new();
+        m.estimate(Duration::from_micros(0)); // bucket 0
+        m.estimate(Duration::from_micros(1)); // bucket 1: [1, 2)
+        m.estimate(Duration::from_micros(3)); // bucket 2: [2, 4)
+        m.estimate(Duration::from_micros(100)); // bucket 7: [64, 128)
+        m.estimate(Duration::from_secs(3600)); // clamped to the last bucket
+        let s = m.snapshot(vec![], 1);
+        assert_eq!(s.latency_buckets[0], 1);
+        assert_eq!(s.latency_buckets[1], 1);
+        assert_eq!(s.latency_buckets[2], 1);
+        assert_eq!(s.latency_buckets[7], 1);
+        assert_eq!(*s.latency_buckets.last().unwrap(), 1);
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantiles_read_bucket_upper_bounds() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.snapshot(vec![], 1).latency_quantile_us(0.5), None);
+        for _ in 0..98 {
+            m.estimate(Duration::from_micros(3)); // bucket 2 → bound 4
+        }
+        m.estimate(Duration::from_micros(40)); // bucket 6 → bound 64
+        m.estimate(Duration::from_micros(1000)); // bucket 10 → bound 1024
+        let s = m.snapshot(vec![], 1);
+        assert_eq!(s.latency_quantile_us(0.5), Some(4));
+        assert_eq!(s.latency_quantile_us(0.99), Some(64));
+        assert_eq!(s.latency_quantile_us(1.0), Some(1024));
+    }
+
+    #[test]
+    fn stats_message_mirrors_snapshot() {
+        let m = ServeMetrics::new();
+        m.datapoint();
+        let s = m.snapshot(vec![3], 2);
+        match s.to_message() {
+            Message::Stats {
+                datapoints,
+                model_generation,
+                shard_depths,
+                ..
+            } => {
+                assert_eq!(datapoints, 1);
+                assert_eq!(model_generation, 2);
+                assert_eq!(shard_depths, vec![3]);
+            }
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Hot-reloadable model registry.
+//!
+//! The serving path must be able to swap in a freshly trained model (the
+//! FMS keeps learning while the service predicts) without dropping
+//! connections or resetting per-host window state. The registry therefore
+//! separates two lifetimes:
+//!
+//! - the **registry** lives as long as the server and pins the input
+//!   contract (column names + aggregation config, fixed at creation);
+//! - the **model entry** is an immutable `Arc` the registry swaps
+//!   atomically on every [`ModelRegistry::install`].
+//!
+//! Predictors never hold a concrete model. They hold a
+//! [`ModelRegistry::shared_model`] handle — a thin [`Model`] that forwards
+//! each prediction to the entry current *at that moment*. A hot-reload is
+//! one `Arc` swap: in-flight predictions finish on the old entry (their
+//! clone keeps it alive), the next window scores on the new one, and no
+//! per-host `OnlinePredictor` buffer is touched.
+
+use f2pm_features::AggregationConfig;
+use f2pm_ml::persist::{self, SavedModel};
+use f2pm_ml::Model;
+use parking_lot::RwLock;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One installed model plus its generation stamp.
+pub struct ModelEntry {
+    /// The fitted model (any of the §III-D method suite).
+    pub model: Box<dyn Model>,
+    /// 1 for the boot model, +1 per reload.
+    pub generation: u64,
+    /// Type tag of the persisted model (`"linear"`, `"rep_tree"`, ...).
+    pub kind: &'static str,
+}
+
+/// The registry: current model entry + the fixed input contract.
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelEntry>>,
+    generation: AtomicU64,
+    columns: Vec<String>,
+    agg: AggregationConfig,
+}
+
+impl ModelRegistry {
+    /// Create a registry serving `saved` with the given input columns and
+    /// aggregation config. Fails if the model width does not match the
+    /// column count, or a column name is not part of the aggregated
+    /// layout `agg` defines.
+    pub fn new(
+        saved: SavedModel,
+        columns: Vec<String>,
+        agg: AggregationConfig,
+    ) -> io::Result<Arc<Self>> {
+        let all = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+        for c in &columns {
+            if !all.contains(c) {
+                return Err(invalid(format!("unknown aggregated column {c:?}")));
+            }
+        }
+        check_width(&saved, columns.len())?;
+        let kind = saved.kind();
+        let registry = Arc::new(ModelRegistry {
+            current: RwLock::new(Arc::new(ModelEntry {
+                model: saved.into_model(),
+                generation: 1,
+                kind,
+            })),
+            generation: AtomicU64::new(1),
+            columns,
+            agg,
+        });
+        Ok(registry)
+    }
+
+    /// Create a registry serving a model file, using the full aggregated
+    /// column layout (the layout `f2pm train` fits against).
+    pub fn from_file(path: impl AsRef<Path>, agg: AggregationConfig) -> io::Result<Arc<Self>> {
+        let saved = persist::load(path)?;
+        let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+        Self::new(saved, columns, agg)
+    }
+
+    /// Install a new model atomically; every shared-model handle sees it
+    /// on its next prediction. Returns the new generation.
+    pub fn install(&self, saved: SavedModel) -> io::Result<u64> {
+        check_width(&saved, self.columns.len())?;
+        let kind = saved.kind();
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.current.write() = Arc::new(ModelEntry {
+            model: saved.into_model(),
+            generation,
+            kind,
+        });
+        Ok(generation)
+    }
+
+    /// Reload the model from a file (the hot-reload path for `f2pm serve`
+    /// watching a model file the trainer overwrites).
+    pub fn reload_from_file(&self, path: impl AsRef<Path>) -> io::Result<u64> {
+        self.install(persist::load(path)?)
+    }
+
+    /// The entry currently being served.
+    pub fn current(&self) -> Arc<ModelEntry> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Generation of the current entry (1 = boot model).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// The fixed input columns (in model order).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The fixed aggregation config.
+    pub fn agg(&self) -> AggregationConfig {
+        self.agg
+    }
+
+    /// A [`Model`] handle that always predicts with the registry's current
+    /// entry. Hand this to an `OnlinePredictor` to make it hot-reloadable.
+    pub fn shared_model(self: &Arc<Self>) -> Box<dyn Model> {
+        Box::new(RegistryModel {
+            width: self.columns.len(),
+            registry: Arc::clone(self),
+        })
+    }
+}
+
+/// A `Model` view of the registry's current entry (see
+/// [`ModelRegistry::shared_model`]).
+struct RegistryModel {
+    registry: Arc<ModelRegistry>,
+    /// Cached: install() guarantees every entry has this width.
+    width: usize,
+}
+
+impl Model for RegistryModel {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        // Clone the Arc out of the lock so a concurrent reload never
+        // blocks on (or is blocked by) an in-flight prediction.
+        let entry = self.registry.current();
+        entry.model.predict_row(row)
+    }
+
+    fn predict_batch(&self, x: &f2pm_linalg::Matrix) -> Result<Vec<f64>, f2pm_ml::MlError> {
+        let entry = self.registry.current();
+        entry.model.predict_batch(x)
+    }
+}
+
+fn check_width(saved: &SavedModel, columns: usize) -> io::Result<()> {
+    let width = saved.as_model().width();
+    if width != columns {
+        return Err(invalid(format!(
+            "model width {width} != registry column count {columns}"
+        )));
+    }
+    Ok(())
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_ml::linreg::LinearModel;
+
+    fn linear(intercept: f64, coefficients: Vec<f64>) -> SavedModel {
+        SavedModel::Linear(LinearModel {
+            intercept,
+            coefficients,
+        })
+    }
+
+    fn test_columns() -> Vec<String> {
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()]
+    }
+
+    #[test]
+    fn install_swaps_model_for_shared_handles() {
+        let reg = ModelRegistry::new(
+            linear(1000.0, vec![-2.0, 0.0]),
+            test_columns(),
+            AggregationConfig::default(),
+        )
+        .unwrap();
+        let handle = reg.shared_model();
+        assert_eq!(handle.width(), 2);
+        assert_eq!(handle.predict_row(&[100.0, 0.0]), 800.0);
+        assert_eq!(reg.generation(), 1);
+
+        let g = reg.install(linear(500.0, vec![-1.0, 0.0])).unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(reg.generation(), 2);
+        // Same handle, new model — no re-wiring needed.
+        assert_eq!(handle.predict_row(&[100.0, 0.0]), 400.0);
+        assert_eq!(reg.current().kind, "linear");
+    }
+
+    #[test]
+    fn width_mismatch_rejected_at_create_and_install() {
+        let r = ModelRegistry::new(
+            linear(0.0, vec![1.0]),
+            test_columns(),
+            AggregationConfig::default(),
+        );
+        assert!(r.is_err(), "1-wide model vs 2 columns");
+
+        let reg = ModelRegistry::new(
+            linear(0.0, vec![1.0, 2.0]),
+            test_columns(),
+            AggregationConfig::default(),
+        )
+        .unwrap();
+        assert!(reg.install(linear(0.0, vec![1.0, 2.0, 3.0])).is_err());
+        assert_eq!(reg.generation(), 1, "failed install leaves generation");
+        assert_eq!(reg.current().generation, 1);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let r = ModelRegistry::new(
+            linear(0.0, vec![1.0]),
+            vec!["bogus".to_string()],
+            AggregationConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_reload() {
+        let dir = std::env::temp_dir().join(format!("f2pm_registry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let agg = AggregationConfig::default();
+        let width = f2pm_features::aggregate::aggregated_column_names_with(&agg).len();
+
+        persist::save(&linear(7.0, vec![0.0; width]), &path).unwrap();
+        let reg = ModelRegistry::from_file(&path, agg).unwrap();
+        let handle = reg.shared_model();
+        assert_eq!(handle.predict_row(&vec![1.0; width]), 7.0);
+
+        persist::save(&linear(9.0, vec![0.0; width]), &path).unwrap();
+        assert_eq!(reg.reload_from_file(&path).unwrap(), 2);
+        assert_eq!(handle.predict_row(&vec![1.0; width]), 9.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swapped_out_entry_survives_inflight_use() {
+        let reg = ModelRegistry::new(
+            linear(10.0, vec![0.0, 0.0]),
+            test_columns(),
+            AggregationConfig::default(),
+        )
+        .unwrap();
+        let old = reg.current();
+        reg.install(linear(20.0, vec![0.0, 0.0])).unwrap();
+        // The old entry stays valid for whoever still holds it.
+        assert_eq!(old.model.predict_row(&[0.0, 0.0]), 10.0);
+        assert_eq!(reg.current().model.predict_row(&[0.0, 0.0]), 20.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The online prediction server.
+//!
+//! Accepts FMC connections (wire v1 *and* v2), decodes frames on one
+//! reader thread per connection, and routes datapoints to the shard
+//! workers over bounded queues (see [`crate::shard`]). v2 connections
+//! additionally get:
+//!
+//! - `PredictRequest` → `RttfEstimate` replies, answered directly from the
+//!   last-estimate board (readers never block on a shard worker);
+//! - pushed `Alert`s when the host's predicted RTTF stays below the
+//!   rejuvenation threshold (see [`AlertPolicy`]);
+//! - `StatsRequest` → `Stats` snapshots of the serving metrics.
+//!
+//! Model hot-reloads go through the shared [`ModelRegistry`]: calling
+//! [`ModelRegistry::install`] (or `reload_from_file`) swaps the model for
+//! every host's next prediction without dropping a single connection.
+
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::ModelRegistry;
+use crate::shard::{AlertPolicy, ClientWriter, EstimateBoard, ShardEvent, ShardPool};
+use f2pm_monitor::wire::{Message, MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Shard worker count (hosts are pinned `host % shards`).
+    pub shards: usize,
+    /// Bounded per-shard queue capacity (events).
+    pub queue_cap: usize,
+    /// When to push rejuvenation alerts.
+    pub policy: AlertPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_cap: 1024,
+            policy: AlertPolicy::default(),
+        }
+    }
+}
+
+/// Shared server state.
+struct Inner {
+    stop: AtomicBool,
+    registry: Arc<ModelRegistry>,
+    board: Arc<EstimateBoard>,
+    pool: ShardPool,
+}
+
+/// The online prediction server (see the module docs).
+pub struct PredictionServer;
+
+impl PredictionServer {
+    /// Bind `addr`, spawn the shard workers and the acceptor, and return a
+    /// handle controlling the server.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        registry: Arc<ModelRegistry>,
+    ) -> io::Result<ServeHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = ShardPool::start(
+            cfg.shards,
+            cfg.queue_cap,
+            Arc::clone(&registry),
+            cfg.policy,
+            Arc::clone(&metrics),
+        );
+        let board = pool.board();
+        let inner = Arc::new(Inner {
+            stop: AtomicBool::new(false),
+            registry,
+            board,
+            pool,
+        });
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let readers = Arc::clone(&readers);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("f2pm-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, inner, metrics, readers))
+                .expect("spawn acceptor")
+        };
+        Ok(ServeHandle {
+            addr,
+            inner: Some(inner),
+            metrics,
+            accept: Some(accept),
+            readers,
+        })
+    }
+}
+
+/// Running-server handle; dropping it without
+/// [`ServeHandle::shutdown`] leaves the server running detached.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    inner: Option<Arc<Inner>>,
+    metrics: Arc<ServeMetrics>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServeHandle {
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hot-reloadable model registry this server predicts with.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.inner.as_ref().expect("server running").registry)
+    }
+
+    /// A point-in-time metrics snapshot (queue depths and model generation
+    /// included).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = self.inner.as_ref().expect("server running");
+        self.metrics
+            .snapshot(inner.pool.queue_depths(), inner.registry.generation())
+    }
+
+    /// Stop accepting, close every connection, drain the shard queues and
+    /// join all threads. Returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        let inner = self.inner.take().expect("server running");
+        inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        TcpStream::connect(self.addr).ok();
+        if let Some(a) = self.accept.take() {
+            a.join().ok();
+        }
+        let readers: Vec<_> = std::mem::take(&mut *self.readers.lock());
+        for r in readers {
+            r.join().ok();
+        }
+        let depths = inner.pool.queue_depths();
+        let generation = inner.registry.generation();
+        let snapshot = self.metrics.snapshot(depths, generation);
+        match Arc::try_unwrap(inner) {
+            Ok(inner) => inner.pool.shutdown(),
+            Err(_) => unreachable!("all reader threads joined"),
+        }
+        snapshot
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    metrics: Arc<ServeMetrics>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                metrics.connection_opened();
+                let inner = Arc::clone(&inner);
+                let metrics = Arc::clone(&metrics);
+                let handle = std::thread::Builder::new()
+                    .name("f2pm-serve-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(stream, &inner, &metrics).ok();
+                        metrics.connection_closed();
+                    })
+                    .expect("spawn reader");
+                readers.lock().push(handle);
+            }
+            Err(_) => {
+                // Transient accept errors (EMFILE, ECONNABORTED, EINTR)
+                // must not kill the server.
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Read frames, honoring the stop flag: the stream has a short read
+/// timeout, and a timeout at a *frame boundary* loops back to check stop.
+/// Returns `Ok(None)` on clean EOF or stop.
+fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    match read_full(stream, &mut len_buf, stop, true)? {
+        ReadOutcome::Done => {}
+        ReadOutcome::Closed => return Ok(None),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len} (max {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(stream, &mut payload, stop, false)? {
+        ReadOutcome::Done => {}
+        ReadOutcome::Closed => return Ok(None),
+    }
+    Message::decode(&payload).map(Some)
+}
+
+enum ReadOutcome {
+    Done,
+    Closed,
+}
+
+/// `read_exact` with stop-awareness. `at_boundary` means EOF before the
+/// first byte is a clean close (between frames) rather than a truncation.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    at_boundary: bool,
+) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(ReadOutcome::Closed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_boundary => return Ok(ReadOutcome::Closed),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    inner: &Arc<Inner>,
+    metrics: &Arc<ServeMetrics>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+
+    // Handshake first: anything else is a protocol violation.
+    let (host, version) = match read_frame(&mut stream, &inner.stop)? {
+        Some(Message::Hello { version, host_id })
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
+            (host_id, version)
+        }
+        _ => return Ok(()),
+    };
+
+    // v2 clients get a writer: replies and pushed alerts share it, so
+    // frames never interleave.
+    let writer = if version >= 2 {
+        let w = ClientWriter::new(stream.try_clone()?);
+        inner.pool.send(
+            host,
+            ShardEvent::Subscribe {
+                host,
+                writer: w.clone(),
+            },
+        )?;
+        Some(w)
+    } else {
+        None
+    };
+
+    let result = connection_loop(&mut stream, host, writer.as_ref(), inner, metrics);
+    if writer.is_some() {
+        inner.pool.send(host, ShardEvent::Unsubscribe { host }).ok();
+    }
+    result
+}
+
+fn connection_loop(
+    stream: &mut TcpStream,
+    host: u32,
+    writer: Option<&ClientWriter>,
+    inner: &Arc<Inner>,
+    metrics: &Arc<ServeMetrics>,
+) -> io::Result<()> {
+    while let Some(msg) = read_frame(stream, &inner.stop)? {
+        match msg {
+            Message::Datapoint(d) => {
+                metrics.datapoint();
+                // Blocking send = backpressure through TCP, never a drop.
+                inner.pool.send(host, ShardEvent::Datapoint { host, d })?;
+            }
+            Message::Fail { t } => {
+                inner.pool.send(host, ShardEvent::Fail { host, t })?;
+            }
+            Message::Bye => break,
+            Message::PredictRequest { host_id } => {
+                metrics.predict_request();
+                let reply = match inner.board.get(host_id) {
+                    Some(est) => Message::RttfEstimate {
+                        host_id,
+                        t: est.t,
+                        rttf: Some(est.rttf),
+                        model_generation: est.generation,
+                    },
+                    None => Message::RttfEstimate {
+                        host_id,
+                        t: 0.0,
+                        rttf: None,
+                        model_generation: inner.registry.generation(),
+                    },
+                };
+                if let Some(w) = writer {
+                    w.send(&reply)?;
+                }
+            }
+            Message::StatsRequest => {
+                metrics.stats_request();
+                let snapshot =
+                    metrics.snapshot(inner.pool.queue_depths(), inner.registry.generation());
+                if let Some(w) = writer {
+                    w.send(&snapshot.to_message())?;
+                }
+            }
+            // Server-bound only; a client echoing server messages is
+            // ignored, like unknown traffic in the passive FMS.
+            Message::Hello { .. }
+            | Message::RttfEstimate { .. }
+            | Message::Alert { .. }
+            | Message::Stats { .. } => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,509 @@
+//! Shard workers: per-host prediction state behind bounded queues.
+//!
+//! The seed FMS funnels every connection into one `Mutex<DataHistory>`;
+//! fine for passive collection, but an online predictor does real work per
+//! datapoint (window aggregation + model evaluation), so a global lock
+//! would serialize the whole fleet. The serve path shards instead:
+//!
+//! ```text
+//! reader threads ──bounded channel──▶ shard worker 0 ─┐
+//!       (decode)  ──bounded channel──▶ shard worker 1 ─┼─▶ estimate board
+//!                 ──bounded channel──▶ shard worker N ─┘   + pushed alerts
+//! ```
+//!
+//! A host is pinned to shard `host % n_shards`, so all of its events are
+//! processed in order by a single worker and per-host state needs no
+//! locking at all. The channels are *bounded* and readers use *blocking*
+//! sends: a slow shard applies backpressure through TCP instead of
+//! dropping frames.
+
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+use f2pm::{OnlinePredictor, RejuvenationPolicy};
+use f2pm_monitor::wire::Message;
+use f2pm_monitor::Datapoint;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// When a shard worker pushes a rejuvenation [`Message::Alert`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlertPolicy {
+    /// Alert when predicted RTTF ≤ this threshold (s).
+    pub rttf_threshold_s: f64,
+    /// Require this many consecutive below-threshold estimates (debounce
+    /// against single-window noise).
+    pub consecutive_hits: usize,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> Self {
+        RejuvenationPolicy::default().into()
+    }
+}
+
+impl From<RejuvenationPolicy> for AlertPolicy {
+    fn from(p: RejuvenationPolicy) -> Self {
+        AlertPolicy {
+            rttf_threshold_s: p.rttf_threshold_s,
+            consecutive_hits: p.consecutive_hits,
+        }
+    }
+}
+
+/// A cloneable, frame-atomic writer to one client connection. The mutex
+/// guarantees a pushed alert from a shard worker and a reply from the
+/// reader thread never interleave bytes inside a frame.
+#[derive(Clone)]
+pub struct ClientWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl ClientWriter {
+    /// Wrap a connection's write half.
+    pub fn new(stream: TcpStream) -> Self {
+        ClientWriter {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Write one whole frame under the lock.
+    pub fn send(&self, msg: &Message) -> io::Result<()> {
+        let frame = msg.encode();
+        let mut stream = self.stream.lock();
+        stream.write_all(&frame)
+    }
+}
+
+/// Latest published estimate of one host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedEstimate {
+    /// Guest time (s) of the window that produced it.
+    pub t: f64,
+    /// The RTTF estimate (s).
+    pub rttf: f64,
+    /// Generation of the model that produced it.
+    pub generation: u64,
+}
+
+/// Last-estimate board: shard workers publish, reader threads answer
+/// `PredictRequest`s from it without touching worker state. Striped by
+/// host so readers of different hosts rarely contend.
+pub struct EstimateBoard {
+    stripes: Vec<Mutex<HashMap<u32, PublishedEstimate>>>,
+}
+
+impl EstimateBoard {
+    fn new(stripes: usize) -> Self {
+        EstimateBoard {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, host: u32) -> &Mutex<HashMap<u32, PublishedEstimate>> {
+        &self.stripes[host as usize % self.stripes.len()]
+    }
+
+    /// Publish `host`'s newest estimate.
+    pub fn publish(&self, host: u32, est: PublishedEstimate) {
+        self.stripe(host).lock().insert(host, est);
+    }
+
+    /// The newest estimate of `host`, if any window has closed.
+    pub fn get(&self, host: u32) -> Option<PublishedEstimate> {
+        self.stripe(host).lock().get(&host).copied()
+    }
+
+    /// Forget `host` (its life ended; stale estimates must not leak into
+    /// the next life).
+    pub fn clear(&self, host: u32) {
+        self.stripe(host).lock().remove(&host);
+    }
+}
+
+/// One event routed to a shard worker.
+pub enum ShardEvent {
+    /// A datapoint from `host` to fold into its prediction window.
+    Datapoint {
+        /// Originating host.
+        host: u32,
+        /// The sample.
+        d: Datapoint,
+    },
+    /// `host` met the failure condition at time `t`; its predictor state
+    /// and published estimate reset for the next life.
+    Fail {
+        /// Originating host.
+        host: u32,
+        /// Failure time (s).
+        t: f64,
+    },
+    /// A v2 connection wants pushed alerts for `host`.
+    Subscribe {
+        /// Subscribing host.
+        host: u32,
+        /// Where to push alerts.
+        writer: ClientWriter,
+    },
+    /// `host`'s connection closed; stop pushing alerts.
+    Unsubscribe {
+        /// Unsubscribing host.
+        host: u32,
+    },
+}
+
+/// Per-host worker state (owned by exactly one shard worker — no locks).
+struct HostState {
+    predictor: OnlinePredictor,
+    /// Consecutive below-threshold estimates so far.
+    hits: usize,
+    /// Alert sink of the host's live v2 connection, if any.
+    writer: Option<ClientWriter>,
+}
+
+impl HostState {
+    fn new(registry: &Arc<ModelRegistry>) -> Self {
+        HostState {
+            predictor: OnlinePredictor::new(
+                registry.shared_model(),
+                registry.columns(),
+                registry.agg(),
+            ),
+            hits: 0,
+            writer: None,
+        }
+    }
+}
+
+/// The shard workers plus their input queues.
+pub struct ShardPool {
+    senders: Vec<crossbeam::channel::Sender<ShardEvent>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    board: Arc<EstimateBoard>,
+}
+
+impl ShardPool {
+    /// Spawn `n_shards` workers, each behind a bounded queue of
+    /// `queue_cap` events.
+    pub fn start(
+        n_shards: usize,
+        queue_cap: usize,
+        registry: Arc<ModelRegistry>,
+        policy: AlertPolicy,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let n_shards = n_shards.max(1);
+        let board = Arc::new(EstimateBoard::new(n_shards * 4));
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let (tx, rx) = crossbeam::channel::bounded(queue_cap.max(1));
+            senders.push(tx);
+            let registry = Arc::clone(&registry);
+            let board = Arc::clone(&board);
+            let metrics = Arc::clone(&metrics);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("f2pm-shard-{shard}"))
+                    .spawn(move || worker_loop(rx, registry, policy, board, metrics))
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardPool {
+            senders,
+            workers,
+            board,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Route one event to `host`'s shard, blocking while its queue is full
+    /// (backpressure, never drops). Errors only if the worker died.
+    pub fn send(&self, host: u32, event: ShardEvent) -> io::Result<()> {
+        let shard = host as usize % self.senders.len();
+        self.senders[shard]
+            .send(event)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard worker gone"))
+    }
+
+    /// Current queue depth per shard.
+    pub fn queue_depths(&self) -> Vec<u32> {
+        self.senders.iter().map(|s| s.len() as u32).collect()
+    }
+
+    /// The shared last-estimate board.
+    pub fn board(&self) -> Arc<EstimateBoard> {
+        Arc::clone(&self.board)
+    }
+
+    /// Drop the queues and wait for every worker to drain and exit.
+    pub fn shutdown(self) {
+        drop(self.senders);
+        for w in self.workers {
+            w.join().ok();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: crossbeam::channel::Receiver<ShardEvent>,
+    registry: Arc<ModelRegistry>,
+    policy: AlertPolicy,
+    board: Arc<EstimateBoard>,
+    metrics: Arc<ServeMetrics>,
+) {
+    let mut hosts: HashMap<u32, HostState> = HashMap::new();
+    while let Ok(event) = rx.recv() {
+        match event {
+            ShardEvent::Datapoint { host, d } => {
+                let state = hosts
+                    .entry(host)
+                    .or_insert_with(|| HostState::new(&registry));
+                let t = d.t_gen;
+                let started = Instant::now();
+                if let Some(rttf) = state.predictor.push(d) {
+                    metrics.estimate(started.elapsed());
+                    board.publish(
+                        host,
+                        PublishedEstimate {
+                            t,
+                            rttf,
+                            generation: registry.generation(),
+                        },
+                    );
+                    evaluate_alert(host, t, rttf, state, policy, &metrics);
+                }
+            }
+            ShardEvent::Fail { host, t: _ } => {
+                // A new life starts: window state and debounce reset, and
+                // the stale estimate leaves the board.
+                if let Some(state) = hosts.get_mut(&host) {
+                    state.predictor.reset();
+                    state.hits = 0;
+                }
+                board.clear(host);
+            }
+            ShardEvent::Subscribe { host, writer } => {
+                hosts
+                    .entry(host)
+                    .or_insert_with(|| HostState::new(&registry))
+                    .writer = Some(writer);
+            }
+            ShardEvent::Unsubscribe { host } => {
+                if let Some(state) = hosts.get_mut(&host) {
+                    state.writer = None;
+                }
+            }
+        }
+    }
+}
+
+fn evaluate_alert(
+    host: u32,
+    t: f64,
+    rttf: f64,
+    state: &mut HostState,
+    policy: AlertPolicy,
+    metrics: &ServeMetrics,
+) {
+    if rttf > policy.rttf_threshold_s {
+        state.hits = 0;
+        return;
+    }
+    state.hits += 1;
+    if state.hits < policy.consecutive_hits {
+        return;
+    }
+    state.hits = 0;
+    metrics.alert();
+    if let Some(writer) = &state.writer {
+        let alert = Message::Alert {
+            host_id: host,
+            t,
+            rttf,
+            threshold: policy.rttf_threshold_s,
+        };
+        if writer.send(&alert).is_err() {
+            // Client went away mid-push; the reader thread will
+            // unsubscribe, we just stop writing into the broken pipe.
+            state.writer = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_features::AggregationConfig;
+    use f2pm_ml::linreg::LinearModel;
+    use f2pm_ml::persist::SavedModel;
+    use f2pm_monitor::FeatureId;
+    use std::time::Duration;
+
+    /// rttf = 1000 − 2 × swap_used, over a 30 s / 2-point window.
+    fn test_registry() -> Arc<ModelRegistry> {
+        ModelRegistry::new(
+            SavedModel::Linear(LinearModel {
+                intercept: 1000.0,
+                coefficients: vec![-2.0, 0.0],
+            }),
+            vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+            AggregationConfig {
+                window_s: 30.0,
+                min_points: 2,
+                ..AggregationConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn dp(t: f64, swap: f64) -> Datapoint {
+        let mut d = Datapoint {
+            t_gen: t,
+            values: [1.0; 14],
+        };
+        d.set(FeatureId::SwapUsed, swap);
+        d
+    }
+
+    fn wait_for<F: Fn() -> bool>(cond: F) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("condition not reached in time");
+    }
+
+    #[test]
+    fn hosts_keep_isolated_estimates_across_shards() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = ShardPool::start(
+            2,
+            64,
+            test_registry(),
+            AlertPolicy::default(),
+            Arc::clone(&metrics),
+        );
+        let board = pool.board();
+        // Interleave three hosts at different swap levels; windows close
+        // every 30 s of guest time.
+        for i in 0..30 {
+            let t = i as f64 * 5.0;
+            for (host, swap) in [(1u32, 100.0), (2, 200.0), (7, 300.0)] {
+                pool.send(
+                    host,
+                    ShardEvent::Datapoint {
+                        host,
+                        d: dp(t, swap),
+                    },
+                )
+                .unwrap();
+            }
+        }
+        wait_for(|| [1u32, 2, 7].iter().all(|&h| board.get(h).is_some()));
+        assert_eq!(board.get(1).unwrap().rttf, 800.0);
+        assert_eq!(board.get(2).unwrap().rttf, 600.0);
+        assert_eq!(board.get(7).unwrap().rttf, 400.0);
+        assert_eq!(board.get(1).unwrap().generation, 1);
+        assert!(board.get(99).is_none());
+        pool.shutdown();
+        let snap = metrics.snapshot(vec![], 1);
+        assert!(snap.estimates >= 3);
+        assert_eq!(snap.alerts, 0, "all estimates far above threshold");
+    }
+
+    #[test]
+    fn fail_resets_host_state_and_board() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = ShardPool::start(
+            1,
+            64,
+            test_registry(),
+            AlertPolicy::default(),
+            Arc::clone(&metrics),
+        );
+        let board = pool.board();
+        for i in 0..10 {
+            pool.send(
+                4,
+                ShardEvent::Datapoint {
+                    host: 4,
+                    d: dp(i as f64 * 5.0, 100.0),
+                },
+            )
+            .unwrap();
+        }
+        wait_for(|| board.get(4).is_some());
+        pool.send(4, ShardEvent::Fail { host: 4, t: 50.0 }).unwrap();
+        wait_for(|| board.get(4).is_none());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn alert_fires_after_consecutive_hits_only() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let policy = AlertPolicy {
+            rttf_threshold_s: 180.0,
+            consecutive_hits: 2,
+        };
+        let pool = ShardPool::start(1, 64, test_registry(), policy, Arc::clone(&metrics));
+        // swap 450 → rttf 100 ≤ 180: every closed window is a hit. Close
+        // enough windows for ≥ 2 consecutive hits.
+        for i in 0..30 {
+            pool.send(
+                5,
+                ShardEvent::Datapoint {
+                    host: 5,
+                    d: dp(i as f64 * 5.0, 450.0),
+                },
+            )
+            .unwrap();
+        }
+        wait_for(|| metrics.snapshot(vec![], 1).alerts >= 1);
+        pool.shutdown();
+        let snap = metrics.snapshot(vec![], 1);
+        assert!(snap.alerts >= 1);
+        // Debounce: one alert per `consecutive_hits` window closures, so
+        // alerts ≤ estimates / 2.
+        assert!(snap.alerts <= snap.estimates / 2, "{snap:?}");
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure_without_loss() {
+        let metrics = Arc::new(ServeMetrics::new());
+        // Tiny queue, one shard: the sender must block, not drop.
+        let pool = ShardPool::start(
+            1,
+            2,
+            test_registry(),
+            AlertPolicy::default(),
+            Arc::clone(&metrics),
+        );
+        let n = 500u64;
+        for i in 0..n {
+            pool.send(
+                0,
+                ShardEvent::Datapoint {
+                    host: 0,
+                    d: dp(i as f64, 100.0),
+                },
+            )
+            .unwrap();
+        }
+        pool.shutdown(); // joins after the queue fully drains
+        let snap = metrics.snapshot(vec![], 1);
+        assert!(snap.estimates > 0);
+        assert_eq!(snap.dropped, 0);
+    }
+}

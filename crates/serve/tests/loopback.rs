@@ -1,0 +1,353 @@
+//! Loopback integration tests: real TCP, real frames, the full
+//! reader → shard → board → reply path.
+//!
+//! The model is hand-built so estimates are exactly predictable:
+//! `rttf = 1000 − 2 × swap_used` over `["swap_used", "swap_used_slope"]`,
+//! with a 30 s / 2-point aggregation window.
+
+use f2pm_features::AggregationConfig;
+use f2pm_ml::linreg::LinearModel;
+use f2pm_ml::persist::SavedModel;
+use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
+use f2pm_monitor::{Datapoint, FeatureId, FeatureMonitorClient, FmcConfig};
+use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig, ServeHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn agg() -> AggregationConfig {
+    AggregationConfig {
+        window_s: 30.0,
+        min_points: 2,
+        ..AggregationConfig::default()
+    }
+}
+
+fn linear(intercept: f64, swap_coef: f64) -> SavedModel {
+    SavedModel::Linear(LinearModel {
+        intercept,
+        coefficients: vec![swap_coef, 0.0],
+    })
+}
+
+fn start_server(shards: usize) -> ServeHandle {
+    let registry = ModelRegistry::new(
+        linear(1000.0, -2.0),
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        agg(),
+    )
+    .unwrap();
+    PredictionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards,
+            queue_cap: 256,
+            policy: AlertPolicy::default(),
+        },
+        registry,
+    )
+    .unwrap()
+}
+
+fn dp(t: f64, swap: f64) -> Datapoint {
+    let mut d = Datapoint {
+        t_gen: t,
+        values: [1.0; 14],
+    };
+    d.set(FeatureId::SwapUsed, swap);
+    d
+}
+
+/// A raw v2 test client speaking the wire protocol directly.
+struct V2Client {
+    stream: TcpStream,
+    host: u32,
+}
+
+impl V2Client {
+    fn connect(addr: std::net::SocketAddr, host: u32) -> Self {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: host,
+        }
+        .write_to(&mut stream)
+        .unwrap();
+        V2Client { stream, host }
+    }
+
+    fn send(&mut self, msg: &Message) {
+        msg.write_to(&mut self.stream).unwrap();
+    }
+
+    fn recv(&mut self) -> Message {
+        Message::read_from(&mut self.stream).unwrap().unwrap()
+    }
+
+    /// Poll `PredictRequest` until an estimate is present (the shard
+    /// worker publishes asynchronously). Pushed alerts that arrive in
+    /// between are skipped.
+    fn wait_estimate(&mut self) -> (f64, f64, u64) {
+        for _ in 0..500 {
+            self.send(&Message::PredictRequest { host_id: self.host });
+            loop {
+                match self.recv() {
+                    Message::RttfEstimate {
+                        t,
+                        rttf: Some(r),
+                        model_generation,
+                        ..
+                    } => return (t, r, model_generation),
+                    Message::RttfEstimate { rttf: None, .. } => break,
+                    Message::Alert { .. } => {}
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("no estimate for host {}", self.host);
+    }
+}
+
+#[test]
+fn per_host_estimates_are_isolated() {
+    let server = start_server(3);
+    let addr = server.addr();
+
+    // Five hosts across three shards, interleaved, each at its own swap
+    // level → each must see exactly its own estimate.
+    let hosts: Vec<(u32, f64)> = vec![(0, 50.0), (1, 100.0), (2, 150.0), (5, 200.0), (9, 250.0)];
+    let mut clients: Vec<V2Client> = hosts
+        .iter()
+        .map(|&(h, _)| V2Client::connect(addr, h))
+        .collect();
+    for i in 0..30 {
+        let t = i as f64 * 5.0;
+        for (c, &(_, swap)) in clients.iter_mut().zip(&hosts) {
+            c.send(&Message::Datapoint(dp(t, swap)));
+        }
+    }
+    for (c, &(h, swap)) in clients.iter_mut().zip(&hosts) {
+        let (_, rttf, generation) = c.wait_estimate();
+        assert_eq!(rttf, 1000.0 - 2.0 * swap, "host {h}");
+        assert_eq!(generation, 1);
+    }
+
+    // A Fail resets host 1's life; its estimate disappears while host 2's
+    // survives untouched.
+    clients[1].send(&Message::Fail { t: 150.0 });
+    for _ in 0..500 {
+        clients[1].send(&Message::PredictRequest { host_id: 1 });
+        if matches!(clients[1].recv(), Message::RttfEstimate { rttf: None, .. }) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    clients[1].send(&Message::PredictRequest { host_id: 1 });
+    assert!(matches!(
+        clients[1].recv(),
+        Message::RttfEstimate { rttf: None, .. }
+    ));
+    let (_, rttf, _) = clients[2].wait_estimate();
+    assert_eq!(rttf, 700.0, "host 2 unaffected by host 1's failure");
+
+    for c in &mut clients {
+        c.send(&Message::Bye);
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.dropped, 0);
+    assert!(snap.datapoints >= 150);
+    assert!(snap.estimates >= 5);
+}
+
+#[test]
+fn hot_reload_mid_stream_keeps_connection_and_window_state() {
+    let server = start_server(2);
+    let registry = server.registry();
+    let mut client = V2Client::connect(server.addr(), 7);
+
+    // Life under generation 1: estimate = 1000 − 2×100 = 800.
+    let mut t = 0.0;
+    for _ in 0..8 {
+        client.send(&Message::Datapoint(dp(t, 100.0)));
+        t += 5.0;
+    }
+    let (_, rttf, generation) = client.wait_estimate();
+    assert_eq!(rttf, 800.0);
+    assert_eq!(generation, 1);
+
+    // Hot reload on the SAME connection: new model 500 − 1×swap.
+    assert_eq!(registry.install(linear(500.0, -1.0)).unwrap(), 2);
+
+    // Keep streaming without reconnecting; the next closed window scores
+    // on the new model: 500 − 100 = 400.
+    for _ in 0..30 {
+        client.send(&Message::Datapoint(dp(t, 100.0)));
+        t += 5.0;
+        let (_, rttf, generation) = client.wait_estimate();
+        if generation == 2 {
+            assert_eq!(rttf, 400.0);
+            client.send(&Message::Bye);
+            let snap = server.shutdown();
+            assert_eq!(snap.model_generation, 2);
+            assert_eq!(snap.dropped, 0);
+            // One connection, never reset.
+            assert_eq!(snap.total_accepted, 1);
+            return;
+        }
+        assert_eq!(rttf, 800.0, "pre-reload estimates from generation 1");
+    }
+    panic!("never observed a generation-2 estimate");
+}
+
+#[test]
+fn v1_fmc_client_still_ingests() {
+    let server = start_server(2);
+
+    // The stock v1-style FMC (it sends PROTOCOL_VERSION=2 Hello now, so
+    // hand-roll a literal v1 handshake instead).
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    Message::Hello {
+        version: 1,
+        host_id: 3,
+    }
+    .write_to(&mut stream)
+    .unwrap();
+    for i in 0..40 {
+        Message::Datapoint(dp(i as f64 * 5.0, 300.0))
+            .write_to(&mut stream)
+            .unwrap();
+    }
+    Message::Bye.write_to(&mut stream).unwrap();
+
+    // The server predicts for v1 hosts too; a v2 observer can read the
+    // estimate of host 3 over its own connection.
+    let mut observer = V2Client::connect(server.addr(), 1000);
+    observer.host = 3; // ask about the v1 host
+    let (_, rttf, _) = observer.wait_estimate();
+    assert_eq!(rttf, 1000.0 - 2.0 * 300.0);
+
+    let snap = server.shutdown();
+    assert!(snap.datapoints >= 40);
+    assert_eq!(snap.dropped, 0);
+}
+
+#[test]
+fn real_fmc_streams_into_serve() {
+    // The actual FeatureMonitorClient (wire v2 Hello) against the serve
+    // endpoint — datapoints flow and estimates appear.
+    let server = start_server(1);
+    let mut client = FeatureMonitorClient::connect(
+        server.addr(),
+        FmcConfig {
+            host_id: 11,
+            ..FmcConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..20 {
+        client.send_datapoint(&dp(i as f64 * 5.0, 400.0)).unwrap();
+    }
+    assert_eq!(client.sent(), 20);
+    client.close().unwrap();
+
+    let mut observer = V2Client::connect(server.addr(), 11);
+    let (_, rttf, _) = observer.wait_estimate();
+    assert_eq!(rttf, 1000.0 - 2.0 * 400.0);
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_alerts_over_the_wire() {
+    let server = start_server(2);
+    let mut client = V2Client::connect(server.addr(), 4);
+
+    // swap 480 → rttf 40 ≤ 180 threshold; two consecutive windows fire a
+    // pushed alert.
+    let mut t = 0.0;
+    let mut saw_alert = None;
+    'outer: for _ in 0..20 {
+        for _ in 0..7 {
+            client.send(&Message::Datapoint(dp(t, 480.0)));
+            t += 5.0;
+        }
+        // Drain everything pushed up to the estimate reply; any alert in
+        // between is the one we're waiting for.
+        client.send(&Message::PredictRequest { host_id: 4 });
+        loop {
+            match client.recv() {
+                Message::Alert {
+                    host_id,
+                    rttf,
+                    threshold,
+                    ..
+                } => saw_alert = Some((host_id, rttf, threshold)),
+                Message::RttfEstimate { .. } => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        if saw_alert.is_some() {
+            break 'outer;
+        }
+    }
+    let (host_id, rttf, threshold) = saw_alert.expect("alert pushed");
+    assert_eq!(host_id, 4);
+    assert_eq!(rttf, 40.0);
+    assert_eq!(threshold, 180.0);
+
+    // Stats over the wire reflect the traffic.
+    client.send(&Message::StatsRequest);
+    loop {
+        match client.recv() {
+            Message::Stats {
+                connections,
+                datapoints,
+                estimates,
+                alerts,
+                dropped,
+                model_generation,
+                shard_depths,
+            } => {
+                assert_eq!(connections, 1);
+                assert!(datapoints >= 14);
+                assert!(estimates >= 2);
+                assert!(alerts >= 1);
+                assert_eq!(dropped, 0);
+                assert_eq!(model_generation, 1);
+                assert_eq!(shard_depths.len(), 2);
+                break;
+            }
+            Message::Alert { .. } | Message::RttfEstimate { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    client.send(&Message::Bye);
+    let snap = server.shutdown();
+    assert!(snap.alerts >= 1);
+}
+
+#[test]
+fn oversized_frame_closes_connection_but_not_server() {
+    let server = start_server(1);
+    // A corrupt length prefix: connection dies, server survives.
+    let mut bad = TcpStream::connect(server.addr()).unwrap();
+    Message::Hello {
+        version: 2,
+        host_id: 8,
+    }
+    .write_to(&mut bad)
+    .unwrap();
+    bad.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    bad.write_all(&[9u8; 16]).unwrap();
+    drop(bad);
+
+    // The server still serves new clients afterwards.
+    let mut client = V2Client::connect(server.addr(), 9);
+    for i in 0..10 {
+        client.send(&Message::Datapoint(dp(i as f64 * 5.0, 100.0)));
+    }
+    let (_, rttf, _) = client.wait_estimate();
+    assert_eq!(rttf, 800.0);
+    server.shutdown();
+}

@@ -34,6 +34,7 @@ fn main() {
             FmcConfig {
                 host_id: run as u32,
                 pause: None,
+                ..FmcConfig::default()
             },
         )
         .expect("connect FMC");

@@ -12,6 +12,7 @@
 //! - [`f2pm_monitor`] — datapoints, data history, FMC/FMS monitoring
 //! - [`f2pm_features`] — aggregation, slopes, RTTF labeling, lasso selection
 //! - [`f2pm_ml`] — the six regressors and validation metrics
+//! - [`f2pm_serve`] — sharded online RTTF prediction service
 //! - [`f2pm`] — the framework workflow tying everything together
 
 pub use f2pm;
@@ -19,4 +20,5 @@ pub use f2pm_features;
 pub use f2pm_linalg;
 pub use f2pm_ml;
 pub use f2pm_monitor;
+pub use f2pm_serve;
 pub use f2pm_sim;

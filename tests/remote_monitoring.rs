@@ -20,6 +20,7 @@ fn fmc_to_fms_to_models() {
             FmcConfig {
                 host_id: run as u32,
                 pause: None,
+                ..FmcConfig::default()
             },
         )
         .expect("connect");
@@ -65,6 +66,7 @@ fn concurrent_fmcs_stream_in_parallel() {
                     FmcConfig {
                         host_id: k as u32,
                         pause: None,
+                        ..FmcConfig::default()
                     },
                 )
                 .expect("connect");
