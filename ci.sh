@@ -26,6 +26,26 @@ cargo test -q --offline --workspace
 
 echo "==> perf_report smoke (reduced sizes)"
 cargo run --release --offline -p f2pm-bench --bin perf_report -- --smoke
+# The fast-training rework's tracked section must be present with sane
+# (positive, finite) timings in the smoke snapshot and the committed
+# baseline.
+python3 - <<'EOF'
+import json, math, sys
+
+REQUIRED = [
+    "lssvm_blocked_s", "lssvm_scalar_cholesky_s", "lssvm_cg_s",
+    "lasso_path_active_set_s", "lasso_path_reference_s",
+    "m5p_presort_s", "m5p_resort_s", "workflow_wall_s",
+]
+for path in ("target/BENCH_compute_smoke.json", "BENCH_compute.json"):
+    training = json.load(open(path)).get("training")
+    assert training is not None, f"{path}: no 'training' section"
+    for key in REQUIRED:
+        v = training.get(key)
+        ok = isinstance(v, (int, float)) and math.isfinite(v) and v > 0
+        assert ok, f"{path}: training[{key!r}] = {v!r} is not a positive finite number"
+print("training section OK")
+EOF
 
 echo "==> serve loadgen smoke (reduced fleet)"
 cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke

@@ -1,0 +1,71 @@
+//! Criterion bench for the lasso λ path: active-set coordinate descent
+//! with sequential strong-rule screening vs the dense cyclic reference,
+//! both warm-started along an ascending λ grid scaled to the problem's
+//! λ_max (so every grid point has a non-trivial support to find).
+//!
+//! Run with `cargo bench -p f2pm-bench --bench lasso_path`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2pm_features::{LassoProblem, LassoSolverConfig};
+use f2pm_linalg::Matrix;
+
+fn sample(n: usize, p: usize) -> Matrix {
+    let mut x = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            x[(i, j)] = ((i * p + j) as f64 * 0.37 + 3.1).sin() * 2.0 + (i as f64 * 0.013).cos();
+        }
+    }
+    x
+}
+
+fn run_path(prob: &LassoProblem, grid: &[f64], cfg: &LassoSolverConfig, active_set: bool) -> usize {
+    let mut warm: Option<Vec<f64>> = None;
+    let mut prev: Option<f64> = None;
+    let mut nnz = 0usize;
+    for &lam in grid {
+        let sol = match (active_set, prev) {
+            (true, Some(lp)) => prob.solve_path_step(lam, lp, warm.as_deref(), cfg),
+            (true, None) => prob.solve(lam, warm.as_deref(), cfg),
+            (false, _) => prob.solve_reference(lam, warm.as_deref(), cfg),
+        };
+        nnz += sol.selected().len();
+        warm = Some(sol.beta.clone());
+        prev = Some(lam);
+    }
+    nnz
+}
+
+fn bench_lasso_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lasso_path");
+    for &(n, p) in &[(500usize, 44usize), (2000, 44)] {
+        let x = sample(n, p);
+        // Sparse ground truth: only a handful of columns carry signal, so
+        // the path has a real support for the strong rules to screen for.
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                3.0 * x[(i, 7 % p)] - 2.0 * x[(i, p / 3)]
+                    + 1.5 * x[(i, p - 5)]
+                    + (i as f64 * 0.11).cos() * 0.5
+            })
+            .collect();
+        let prob = LassoProblem::new(&x, &y);
+        let cfg = LassoSolverConfig::default();
+        let lam_max = prob.lambda_max();
+        let grid: Vec<f64> = (0..10).map(|k| lam_max * 0.6f64.powi(10 - k)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("active_set", format!("{n}x{p}")),
+            &prob,
+            |b, prob| b.iter(|| run_path(prob, &grid, &cfg, true)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{n}x{p}")),
+            &prob,
+            |b, prob| b.iter(|| run_path(prob, &grid, &cfg, false)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lasso_path);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for the LS-SVM training solve: the blocked
+//! right-looking Cholesky against the seed-era baselines (scalar
+//! Cholesky, conjugate-gradient pair) on the same SPD system
+//! `A = K + I/γ` the workflow builds.
+//!
+//! Run with `cargo bench -p f2pm-bench --bench lssvm_train`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2pm_linalg::{conjugate_gradient, CgOptions, Cholesky, Matrix};
+use f2pm_ml::Kernel;
+
+fn sample(n: usize, p: usize) -> Matrix {
+    let mut x = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            x[(i, j)] = ((i * p + j) as f64 * 0.37).sin() * 2.0 + (i as f64 * 0.013).cos();
+        }
+    }
+    x
+}
+
+fn bench_lssvm_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lssvm_train");
+    group.sample_size(10);
+    for n in [512usize, 1024, 2000] {
+        let x = sample(n, 30);
+        let mut a = Kernel::Rbf { gamma: 0.03 }.matrix(&x);
+        for i in 0..n {
+            a[(i, i)] += 0.1; // + I/γ at the suite's γ = 10
+        }
+        let ones = vec![1.0; n];
+        let y: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.11).cos() * 40.0 + 100.0)
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("blocked_cholesky", n), &a, |b, a| {
+            b.iter(|| {
+                let ch = Cholesky::factor(a).expect("spd");
+                (
+                    ch.solve(&ones).expect("solve"),
+                    ch.solve(&y).expect("solve"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_cholesky", n), &a, |b, a| {
+            b.iter(|| {
+                let ch = Cholesky::factor_scalar(a).expect("spd");
+                (
+                    ch.solve(&ones).expect("solve"),
+                    ch.solve(&y).expect("solve"),
+                )
+            })
+        });
+        let opts = CgOptions {
+            max_iter: Some(20 * n),
+            tol: 1e-8,
+        };
+        group.bench_with_input(BenchmarkId::new("cg_pair", n), &a, |b, a| {
+            b.iter(|| {
+                (
+                    conjugate_gradient(a, &ones, opts).expect("cg").x,
+                    conjugate_gradient(a, &y, opts).expect("cg").x,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lssvm_solve);
+criterion_main!(benches);

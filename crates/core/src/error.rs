@@ -1,0 +1,50 @@
+//! Workflow-level errors.
+//!
+//! The orchestration layer used to `assert!` on unusable inputs, which
+//! aborts the whole process — unacceptable once the workflow runs inside
+//! the serve layer's retraining loop or a long-lived CLI session. These
+//! variants let callers surface the condition and keep going.
+
+/// Errors surfaced by the F2PM workflow orchestration layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum F2pmError {
+    /// Too few labeled aggregated datapoints survived aggregation and
+    /// outlier filtering to split into train/validation sets.
+    NotEnoughData {
+        /// Labeled aggregated datapoints available.
+        points: usize,
+        /// Minimum the workflow requires (exclusive).
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for F2pmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            F2pmError::NotEnoughData { points, needed } => write!(
+                f,
+                "not enough labeled aggregated datapoints ({points}, need more than {needed}); \
+                 run more campaigns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for F2pmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = F2pmError::NotEnoughData {
+            points: 3,
+            needed: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("not enough labeled"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains("run more campaigns"));
+    }
+}

@@ -35,7 +35,7 @@
 //!
 //! let mut cfg = F2pmConfig::default();
 //! cfg.campaign.runs = 8;
-//! let outcome = run_workflow(&cfg, 42);
+//! let outcome = run_workflow(&cfg, 42).expect("enough data");
 //! println!("{}", outcome.summary());
 //! let best = outcome.best_by_smae().expect("at least one model");
 //! println!("best model: {}", best.name);
@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod correlate;
+pub mod error;
 pub mod incremental;
 pub mod predictor;
 pub mod rejuvenation;
@@ -51,6 +52,7 @@ pub mod workflow;
 
 pub use config::F2pmConfig;
 pub use correlate::{correlate_response_time, RtCorrelation, RtEstimator};
+pub use error::F2pmError;
 pub use incremental::{IncrementalConfig, IncrementalOutcome, IncrementalTrainer};
 pub use predictor::OnlinePredictor;
 pub use rejuvenation::{ProactiveRejuvenator, RejuvenationOutcome, RejuvenationPolicy};

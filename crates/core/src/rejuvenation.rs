@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn proactive_beats_reactive_availability() {
         let cfg = F2pmConfig::quick();
-        let report = run_workflow(&cfg, 11);
+        let report = run_workflow(&cfg, 11).expect("enough data");
         let all = report.all_parameters();
         let best = all
             .by_name("rep_tree")
@@ -229,7 +229,7 @@ mod tests {
         // Reuse the fitted model via the report (move it out through a
         // re-fit: train a fresh identical model on the same data is overkill
         // here — instead wrap the boxed model directly).
-        let report2 = run_workflow(&cfg, 11);
+        let report2 = run_workflow(&cfg, 11).expect("enough data");
         let mut variants = report2.variants;
         let variant = variants.remove(0);
         let idx = variant
@@ -272,7 +272,7 @@ mod tests {
             ..SimConfig::default()
         };
         let cfg = F2pmConfig::quick();
-        let report = run_workflow(&cfg, 21);
+        let report = run_workflow(&cfg, 21).expect("enough data");
         let mut variants = report.variants;
         let variant = variants.remove(0);
         let columns = variant.columns.clone();

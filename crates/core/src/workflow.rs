@@ -1,15 +1,21 @@
 //! The end-to-end F2PM workflow (the paper's Fig. 1).
 
 use crate::config::F2pmConfig;
+use crate::error::F2pmError;
 use crate::report::{F2pmReport, VariantReport};
 use f2pm_features::{aggregate_run, lasso_path, robust_outlier_filter, Dataset, RunTaggedDataset};
-use f2pm_ml::evaluate_all;
+use f2pm_ml::{evaluate_grid, GridVariant};
 use f2pm_monitor::DataHistory;
 use f2pm_sim::Campaign;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum labeled aggregated datapoints (exclusive) the workflow needs to
+/// split into train/validation sets.
+const MIN_DATAPOINTS: usize = 10;
 
 /// Run the complete workflow against the simulated testbed: monitoring
 /// campaign → aggregation → selection → model generation/validation.
-pub fn run_workflow(cfg: &F2pmConfig, seed: u64) -> F2pmReport {
+pub fn run_workflow(cfg: &F2pmConfig, seed: u64) -> Result<F2pmReport, F2pmError> {
     let campaign = Campaign::new(cfg.campaign.clone(), seed);
     let runs = campaign.run_all();
     let history = DataHistory::from_campaign(&runs);
@@ -18,15 +24,23 @@ pub fn run_workflow(cfg: &F2pmConfig, seed: u64) -> F2pmReport {
 
 /// Run the workflow phases downstream of monitoring on an existing data
 /// history (e.g. one received by the FMS from real FMC clients).
-pub fn run_workflow_on_history(cfg: &F2pmConfig, history: &DataHistory) -> F2pmReport {
+///
+/// Returns [`F2pmError::NotEnoughData`] when the history aggregates to too
+/// few labeled datapoints — serve/CLI layers surface this instead of
+/// aborting.
+pub fn run_workflow_on_history(
+    cfg: &F2pmConfig,
+    history: &DataHistory,
+) -> Result<F2pmReport, F2pmError> {
     // Phase 2: aggregation + added metrics + RTTF labels, per run so the
-    // optional run-aware split knows the provenance of every window.
-    let per_run: Vec<_> = history
+    // optional run-aware split knows the provenance of every window. Runs
+    // aggregate independently → order-preserving parallel map.
+    let failed: Vec<_> = history
         .runs()
-        .iter()
+        .into_iter()
         .filter(|r| r.fail_time.is_some())
-        .map(|r| aggregate_run(r, &cfg.aggregation))
         .collect();
+    let per_run = parallel_map(&failed, |r| aggregate_run(r, &cfg.aggregation));
     let tagged = RunTaggedDataset::from_run_points_with(&per_run, &cfg.aggregation);
     let mut dataset = tagged.dataset.clone();
     let mut run_of_row = tagged.run_of_row.clone();
@@ -38,11 +52,12 @@ pub fn run_workflow_on_history(cfg: &F2pmConfig, history: &DataHistory) -> F2pmR
         run_of_row = kept.iter().map(|&i| run_of_row[i]).collect();
     }
     let points = dataset.len();
-    assert!(
-        dataset.len() > 10,
-        "not enough labeled aggregated datapoints ({}); run more campaigns",
-        dataset.len()
-    );
+    if points <= MIN_DATAPOINTS {
+        return Err(F2pmError::NotEnoughData {
+            points,
+            needed: MIN_DATAPOINTS,
+        });
+    }
 
     let (train, valid) = if cfg.split_by_runs {
         split_by_runs(&dataset, &run_of_row, tagged.runs, cfg.train_fraction)
@@ -57,17 +72,19 @@ pub fn run_workflow_on_history(cfg: &F2pmConfig, history: &DataHistory) -> F2pmR
         Some(lasso_path(&train, &cfg.lambda_grid, &cfg.lasso_solver))
     };
 
-    // Phase 4: model generation + validation, on each training-set variant.
+    // Phase 4: model generation + validation. All training-set variants are
+    // assembled first, then the whole (variant × method) grid fans out over
+    // one bounded-worker scope — variant- and method-level parallelism in a
+    // single pass instead of one sequential evaluate_all per variant.
     let suite = f2pm_ml::paper_method_suite(&cfg.lasso_predictor_lambdas);
-    let mut variants = Vec::new();
 
-    let all_reports = evaluate_all(&suite, &train, &valid, cfg.smae);
-    variants.push(VariantReport {
-        variant: "all parameters".to_string(),
-        columns: dataset.names.clone(),
-        reports: all_reports,
-    });
-
+    struct Pending {
+        label: String,
+        columns: Vec<String>,
+        train: Dataset,
+        valid: Dataset,
+    }
+    let mut pending = Vec::new();
     if let Some(sel) = &selection {
         if let Some(point) = sel.strongest_selection(cfg.min_selected_features) {
             let idx: Vec<usize> = point
@@ -75,27 +92,99 @@ pub fn run_workflow_on_history(cfg: &F2pmConfig, history: &DataHistory) -> F2pmR
                 .iter()
                 .map(|n| dataset.column_index(n).expect("column exists"))
                 .collect();
-            let train_sel = train.select_columns(&idx);
-            let valid_sel = valid.select_columns(&idx);
-            let reports = evaluate_all(&suite, &train_sel, &valid_sel, cfg.smae);
-            variants.push(VariantReport {
-                variant: format!(
+            pending.push(Pending {
+                label: format!(
                     "parameters selected by lasso (λ = {:.0e}, {} columns)",
                     point.lambda,
                     idx.len()
                 ),
                 columns: point.selected_names.clone(),
-                reports,
+                train: train.select_columns(&idx),
+                valid: valid.select_columns(&idx),
             });
         }
     }
+    pending.insert(
+        0,
+        Pending {
+            label: "all parameters".to_string(),
+            columns: dataset.names.clone(),
+            train,
+            valid,
+        },
+    );
 
-    F2pmReport {
+    let cells: Vec<GridVariant<'_>> = pending
+        .iter()
+        .map(|p| GridVariant {
+            train: &p.train,
+            valid: &p.valid,
+        })
+        .collect();
+    let grid = evaluate_grid(&suite, &cells, cfg.smae);
+    let variants = pending
+        .into_iter()
+        .zip(grid)
+        .map(|(p, reports)| VariantReport {
+            variant: p.label,
+            columns: p.columns,
+            reports,
+        })
+        .collect();
+
+    Ok(F2pmReport {
         aggregated_points: points,
         runs: history.fail_count(),
         selection,
         variants,
+    })
+}
+
+/// Order-preserving parallel map over independent items with a bounded
+/// worker band (used for per-run aggregation — each run aggregates on its
+/// own).
+fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len())
+        .max(1);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
     }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(&items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, u) in h.join().expect("aggregation worker panicked") {
+                out[i] = Some(u);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(|o| o.expect("filled")).collect()
 }
 
 /// Deterministic run-aware split: the last ⌈(1 − frac)·runs⌉ runs (by run
@@ -131,7 +220,7 @@ mod tests {
     #[test]
     fn quick_workflow_end_to_end() {
         let cfg = F2pmConfig::quick();
-        let report = run_workflow(&cfg, 7);
+        let report = run_workflow(&cfg, 7).unwrap();
 
         assert_eq!(report.runs, 4);
         assert!(report.aggregated_points > 50);
@@ -163,23 +252,30 @@ mod tests {
     fn selection_disabled_when_grid_empty() {
         let mut cfg = F2pmConfig::quick();
         cfg.lambda_grid.clear();
-        let report = run_workflow(&cfg, 9);
+        let report = run_workflow(&cfg, 9).unwrap();
         assert!(report.selection.is_none());
         assert_eq!(report.variants.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "not enough labeled")]
-    fn empty_history_panics_with_guidance() {
+    fn empty_history_returns_not_enough_data_error() {
         let cfg = F2pmConfig::quick();
-        run_workflow_on_history(&cfg, &DataHistory::new());
+        let err = match run_workflow_on_history(&cfg, &DataHistory::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("empty history must not produce a report"),
+        };
+        assert!(matches!(
+            err,
+            crate::error::F2pmError::NotEnoughData { points: 0, .. }
+        ));
+        assert!(err.to_string().contains("not enough labeled"));
     }
 
     #[test]
     fn extended_stddev_layout_flows_through_the_workflow() {
         let mut cfg = F2pmConfig::quick();
         cfg.aggregation.include_stddev = true;
-        let report = run_workflow(&cfg, 23);
+        let report = run_workflow(&cfg, 23).unwrap();
         let all = report.all_parameters();
         assert_eq!(all.columns.len(), 44, "extended layout expected");
         assert!(all.columns.contains(&"swap_used_std".to_string()));
@@ -191,7 +287,7 @@ mod tests {
     fn run_aware_split_also_works_end_to_end() {
         let mut cfg = F2pmConfig::quick();
         cfg.split_by_runs = true;
-        let report = run_workflow(&cfg, 13);
+        let report = run_workflow(&cfg, 13).unwrap();
         let best = report.best_by_smae().expect("models");
         // Cross-run generalization is harder than the row split, but the
         // model must still clearly beat the mean predictor.
@@ -204,10 +300,10 @@ mod tests {
         // thresholds trim the tail; only an enormous one keeps everything
         // (that is why the config docs say "use large values").
         let cfg_plain = F2pmConfig::quick();
-        let report_plain = run_workflow(&cfg_plain, 17);
+        let report_plain = run_workflow(&cfg_plain, 17).unwrap();
         let mut cfg_filtered = F2pmConfig::quick();
         cfg_filtered.outlier_threshold = Some(1e9);
-        let report_filtered = run_workflow(&cfg_filtered, 17);
+        let report_filtered = run_workflow(&cfg_filtered, 17).unwrap();
         assert_eq!(
             report_filtered.aggregated_points,
             report_plain.aggregated_points

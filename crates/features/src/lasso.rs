@@ -7,9 +7,21 @@
 //! ```
 //!
 //! by cyclic coordinate descent with soft thresholding. The solver
-//! precomputes `XᵀX` and `Xᵀy` once, making each full sweep `O(p²)`
+//! precomputes `XᵀX` and `Xᵀy` once, so a full sweep is `O(p²)`
 //! regardless of the sample count — the right trade for this pipeline
 //! (n up to tens of thousands of aggregated points, p = 30).
+//!
+//! On top of the dense sweeps sits an *active-set* strategy: iterate only
+//! the coordinates in the current candidate set until they converge, then
+//! run one full sweep over all `p` coordinates that simultaneously checks
+//! the KKT conditions and absorbs any violators into the set. When a path
+//! step supplies the previous λ, the initial candidate set is screened by
+//! the sequential strong rule (Tibshirani et al., 2012): discard `j` when
+//! `|∇_j|` at the warm start sits below `λ − |λ − λ_prev|`. The strong
+//! rule is a heuristic, not a guarantee, which is exactly why every solve
+//! finishes with full KKT sweeps — the returned solution is identical to
+//! the dense solver's up to the shared tolerance (see
+//! [`LassoProblem::solve_reference`] and the equivalence tests).
 //!
 //! The same core serves two roles, exactly as in the paper (§III-C vs
 //! §III-D): *regularization* (which β entries are non-zero → feature
@@ -153,7 +165,40 @@ impl LassoProblem {
     }
 
     /// Solve at one λ, optionally warm-starting from a previous solution.
+    ///
+    /// Uses the active-set strategy: converge on the warm start's support,
+    /// then alternate full KKT-check sweeps (which absorb violators) with
+    /// active-set convergence until a full sweep passes the tolerance.
     pub fn solve(
+        &self,
+        lambda: f64,
+        warm: Option<&[f64]>,
+        cfg: &LassoSolverConfig,
+    ) -> LassoSolution {
+        self.solve_screened(lambda, None, warm, cfg)
+    }
+
+    /// Solve one step of a λ path, screening the initial candidate set with
+    /// the sequential strong rule anchored at `lambda_prev` (the adjacent
+    /// grid point whose solution seeds `warm`).
+    ///
+    /// The screening is only an initial guess — full KKT sweeps still
+    /// verify every coordinate before the solver reports convergence, so
+    /// the result matches [`LassoProblem::solve`] exactly.
+    pub fn solve_path_step(
+        &self,
+        lambda: f64,
+        lambda_prev: f64,
+        warm: Option<&[f64]>,
+        cfg: &LassoSolverConfig,
+    ) -> LassoSolution {
+        self.solve_screened(lambda, Some(lambda_prev), warm, cfg)
+    }
+
+    /// The original dense cyclic solver: every sweep visits all `p`
+    /// coordinates. Kept as the pinned reference for the active-set path —
+    /// equivalence tests compare the two on identical inputs.
+    pub fn solve_reference(
         &self,
         lambda: f64,
         warm: Option<&[f64]>,
@@ -161,20 +206,7 @@ impl LassoProblem {
     ) -> LassoSolution {
         assert!(lambda >= 0.0, "negative lambda");
         let p = self.width();
-        let n = self.n as f64;
-        let mut beta = match warm {
-            Some(w) => {
-                assert_eq!(w.len(), p, "warm start width mismatch");
-                w.to_vec()
-            }
-            None => vec![0.0; p],
-        };
-
-        // Objective: (1/n)||y − Xβ||² + λ||β||₁.
-        // Coordinate update: β_j ← S(z_j, λ/2·n? ) — derive precisely:
-        //   ∂/∂β_j (1/n)||r||² = (2/n)(G β − Xᵀy)_j
-        // With residual decoupled on j: z_j = (2/n)(xtyⱼ − Σ_{k≠j} G_jk β_k),
-        // a_j = (2/n) G_jj, and β_j = S(z_j, λ) / a_j.
+        let mut beta = self.init_beta(warm);
         let mut sweeps = 0;
         let mut converged = false;
         while sweeps < cfg.max_sweeps {
@@ -182,22 +214,10 @@ impl LassoProblem {
             let mut max_delta = 0.0_f64;
             let mut max_beta = 0.0_f64;
             for j in 0..p {
-                let gjj = self.gram[(j, j)];
-                if gjj <= 0.0 {
-                    beta[j] = 0.0; // constant column: never selected
-                    continue;
-                }
-                // gb = (G β)_j including the j term.
-                let gb = f2pm_linalg::dot(self.gram.row(j), &beta);
-                let z = (2.0 / n) * (self.xty[j] - gb + gjj * beta[j]);
-                let a = (2.0 / n) * gjj;
-                let new = soft_threshold(z, lambda) / a;
-                let delta = (new - beta[j]).abs();
+                let (delta, ab) = self.cd_update(&mut beta, lambda, j);
                 if delta > max_delta {
                     max_delta = delta;
                 }
-                beta[j] = new;
-                let ab = new.abs();
                 if ab > max_beta {
                     max_beta = ab;
                 }
@@ -207,7 +227,128 @@ impl LassoProblem {
                 break;
             }
         }
+        self.finish(lambda, beta, sweeps, converged)
+    }
 
+    fn solve_screened(
+        &self,
+        lambda: f64,
+        lambda_prev: Option<f64>,
+        warm: Option<&[f64]>,
+        cfg: &LassoSolverConfig,
+    ) -> LassoSolution {
+        assert!(lambda >= 0.0, "negative lambda");
+        let p = self.width();
+        let n = self.n as f64;
+        let mut beta = self.init_beta(warm);
+
+        // Initial candidate set: the warm start's support, plus (on a path
+        // step) every coordinate surviving the sequential strong rule.
+        // The rule discards j when the unit-slope bound on the gradient,
+        // |∇_j(λ)| ≤ |∇_j(λ_prev)| + |λ − λ_prev|, already proves the KKT
+        // slack |∇_j(λ)| < λ. Written direction-agnostically the keep
+        // threshold is λ − |λ − λ_prev| (the familiar 2λ − λ_prev when the
+        // path descends).
+        let mut active: Vec<usize> = match lambda_prev {
+            Some(lp) => {
+                let thresh = lambda - (lambda - lp).abs();
+                (0..p)
+                    .filter(|&j| {
+                        beta[j] != 0.0 || {
+                            let gb = f2pm_linalg::dot(self.gram.row(j), &beta);
+                            let grad = (2.0 / n) * (self.xty[j] - gb);
+                            grad.abs() >= thresh
+                        }
+                    })
+                    .collect()
+            }
+            None => (0..p).filter(|&j| beta[j] != 0.0).collect(),
+        };
+
+        let mut sweeps = 0;
+        let mut converged = false;
+        while sweeps < cfg.max_sweeps {
+            // Converge on the candidate set (cheap: O(|active|·p) a sweep).
+            if !active.is_empty() && active.len() < p {
+                while sweeps < cfg.max_sweeps {
+                    sweeps += 1;
+                    let mut max_delta = 0.0_f64;
+                    let mut max_beta = 0.0_f64;
+                    for &j in &active {
+                        let (delta, ab) = self.cd_update(&mut beta, lambda, j);
+                        if delta > max_delta {
+                            max_delta = delta;
+                        }
+                        if ab > max_beta {
+                            max_beta = ab;
+                        }
+                    }
+                    if max_delta <= cfg.tol * max_beta.max(1e-12) {
+                        break;
+                    }
+                }
+                if sweeps >= cfg.max_sweeps {
+                    break;
+                }
+            }
+            // Full sweep over all p: verifies KKT at the screened-out
+            // coordinates and pulls any violator into the support.
+            sweeps += 1;
+            let mut max_delta = 0.0_f64;
+            let mut max_beta = 0.0_f64;
+            for j in 0..p {
+                let (delta, ab) = self.cd_update(&mut beta, lambda, j);
+                if delta > max_delta {
+                    max_delta = delta;
+                }
+                if ab > max_beta {
+                    max_beta = ab;
+                }
+            }
+            if max_delta <= cfg.tol * max_beta.max(1e-12) {
+                converged = true;
+                break;
+            }
+            active = (0..p).filter(|&j| beta[j] != 0.0).collect();
+        }
+        self.finish(lambda, beta, sweeps, converged)
+    }
+
+    /// One coordinate-descent update; returns `(|Δβ_j|, |β_j|)` after.
+    ///
+    /// Objective: (1/n)||y − Xβ||² + λ||β||₁. Deriving the update:
+    ///   ∂/∂β_j (1/n)||r||² = (2/n)(G β − Xᵀy)_j
+    /// With the j term decoupled: z_j = (2/n)(xtyⱼ − Σ_{k≠j} G_jk β_k),
+    /// a_j = (2/n) G_jj, and β_j = S(z_j, λ) / a_j.
+    #[inline]
+    fn cd_update(&self, beta: &mut [f64], lambda: f64, j: usize) -> (f64, f64) {
+        let gjj = self.gram[(j, j)];
+        if gjj <= 0.0 {
+            beta[j] = 0.0; // constant column: never selected
+            return (0.0, 0.0);
+        }
+        let n = self.n as f64;
+        // gb = (G β)_j including the j term.
+        let gb = f2pm_linalg::dot(self.gram.row(j), beta);
+        let z = (2.0 / n) * (self.xty[j] - gb + gjj * beta[j]);
+        let a = (2.0 / n) * gjj;
+        let new = soft_threshold(z, lambda) / a;
+        let delta = (new - beta[j]).abs();
+        beta[j] = new;
+        (delta, new.abs())
+    }
+
+    fn init_beta(&self, warm: Option<&[f64]>) -> Vec<f64> {
+        match warm {
+            Some(w) => {
+                assert_eq!(w.len(), self.width(), "warm start width mismatch");
+                w.to_vec()
+            }
+            None => vec![0.0; self.width()],
+        }
+    }
+
+    fn finish(&self, lambda: f64, beta: Vec<f64>, sweeps: usize, converged: bool) -> LassoSolution {
         let intercept = self.y_mean - f2pm_linalg::dot(&beta, &self.x_mean);
         LassoSolution {
             lambda,
@@ -336,6 +477,60 @@ mod tests {
         );
     }
 
+    fn assert_same_solution(a: &LassoSolution, b: &LassoSolution, tol: f64, what: &str) {
+        assert_eq!(a.selected(), b.selected(), "{what}: supports differ");
+        for (j, (x, y)) in a.beta.iter().zip(&b.beta).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{what}: beta[{j}] {x} vs {y}"
+            );
+        }
+        assert!(
+            (a.intercept - b.intercept).abs() <= tol * (1.0 + a.intercept.abs()),
+            "{what}: intercept {} vs {}",
+            a.intercept,
+            b.intercept
+        );
+    }
+
+    #[test]
+    fn active_set_matches_reference_solver() {
+        let (x, y) = toy_problem(250);
+        let prob = LassoProblem::new(&x, &y);
+        let cfg = LassoSolverConfig::default();
+        let lmax = prob.lambda_max();
+        for &frac in &[0.0, 1e-4, 1e-2, 0.1, 0.5, 0.9, 1.05] {
+            let lambda = lmax * frac;
+            let fast = prob.solve(lambda, None, &cfg);
+            let dense = prob.solve_reference(lambda, None, &cfg);
+            assert!(fast.converged && dense.converged, "λ={lambda}");
+            assert_same_solution(&fast, &dense, 1e-6, &format!("λ={lambda}"));
+        }
+    }
+
+    #[test]
+    fn strong_rule_path_step_matches_plain_solve() {
+        let (x, y) = toy_problem(300);
+        let prob = LassoProblem::new(&x, &y);
+        let cfg = LassoSolverConfig::default();
+        let lmax = prob.lambda_max();
+        let grid: Vec<f64> = (0..8)
+            .map(|k| lmax * 1.05 * (k as f64 / 7.0).powi(2))
+            .collect();
+        let mut warm: Option<Vec<f64>> = None;
+        let mut prev: Option<f64> = None;
+        for &lambda in &grid {
+            let fast = match prev {
+                Some(lp) => prob.solve_path_step(lambda, lp, warm.as_deref(), &cfg),
+                None => prob.solve(lambda, warm.as_deref(), &cfg),
+            };
+            let dense = prob.solve_reference(lambda, warm.as_deref(), &cfg);
+            assert_same_solution(&fast, &dense, 1e-6, &format!("path λ={lambda}"));
+            warm = Some(fast.beta.clone());
+            prev = Some(lambda);
+        }
+    }
+
     #[test]
     #[should_panic(expected = "x/y row mismatch")]
     fn dimension_mismatch_panics() {
@@ -373,6 +568,23 @@ mod tests {
                     .sum();
                 prop_assert!(rss + 1e-6 >= last_rss, "rss {rss} < {last_rss}");
                 last_rss = rss;
+            }
+        }
+
+        #[test]
+        fn active_set_agrees_with_reference_on_random_problems(
+            seed in 0u64..40,
+            frac in 0.0f64..1.1
+        ) {
+            let (x, y) = toy_problem(80 + seed as usize % 60);
+            let prob = LassoProblem::new(&x, &y);
+            let cfg = LassoSolverConfig::default();
+            let lambda = prob.lambda_max() * frac;
+            let fast = prob.solve(lambda, None, &cfg);
+            let dense = prob.solve_reference(lambda, None, &cfg);
+            prop_assert_eq!(fast.selected(), dense.selected());
+            for (a, b) in fast.beta.iter().zip(&dense.beta) {
+                prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs())));
             }
         }
     }

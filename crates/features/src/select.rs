@@ -103,8 +103,9 @@ pub fn paper_lambda_grid() -> Vec<f64> {
 /// Run the lasso regularization path over a λ grid.
 ///
 /// λ values are solved in ascending order with warm starts (the active set
-/// only shrinks, so the warm start is excellent), then reported in the
-/// caller's original order.
+/// only shrinks, so the warm start is excellent) and sequential strong-rule
+/// screening between adjacent grid points, then reported in the caller's
+/// original order.
 pub fn lasso_path(dataset: &Dataset, lambdas: &[f64], cfg: &LassoSolverConfig) -> SelectionReport {
     assert!(!lambdas.is_empty(), "empty lambda grid");
     let problem = LassoProblem::new(&dataset.x, &dataset.y);
@@ -115,9 +116,16 @@ pub fn lasso_path(dataset: &Dataset, lambdas: &[f64], cfg: &LassoSolverConfig) -
 
     let mut solutions: Vec<Option<LassoSolution>> = vec![None; lambdas.len()];
     let mut warm: Option<Vec<f64>> = None;
+    let mut prev_lambda: Option<f64> = None;
     for &i in &order {
-        let sol = problem.solve(lambdas[i], warm.as_deref(), cfg);
+        // Adjacent grid points share a strong-rule screen: the previous λ's
+        // gradient bounds which coordinates can possibly activate here.
+        let sol = match prev_lambda {
+            Some(lp) => problem.solve_path_step(lambdas[i], lp, warm.as_deref(), cfg),
+            None => problem.solve(lambdas[i], warm.as_deref(), cfg),
+        };
         warm = Some(sol.beta.clone());
+        prev_lambda = Some(lambdas[i]);
         solutions[i] = Some(sol);
     }
 

@@ -41,7 +41,7 @@ mod stats;
 mod vector;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, CHOL_BLOCK, CHOL_BLOCKED_MIN};
 pub use error::LinalgError;
 pub use gemm::{
     matmul_blocked, mirror_upper, on_triangle_bands, row_norms_sq, syrk_rows, syrk_rows_upper,

@@ -52,7 +52,10 @@ pub use persist::SavedModel;
 pub use regressor::{Model, Regressor};
 pub use reptree::{RepTree, RepTreeParams};
 pub use svr::{SvrParams, SvrRegressor};
-pub use validate::{cross_validate, evaluate_all, evaluate_one, CrossValidation, ModelReport};
+pub use validate::{
+    cross_validate, evaluate_all, evaluate_grid, evaluate_one, CrossValidation, GridVariant,
+    ModelReport,
+};
 
 /// The paper's full §III-D method set with default hyper-parameters, ready
 /// for [`evaluate_all`]. Lasso-as-a-predictor appears once per λ in the

@@ -23,7 +23,13 @@ use f2pm_linalg::{conjugate_gradient, CgOptions, Cholesky, Matrix, Standardizer}
 
 /// Above this sample count the solver switches from Cholesky (`O(n³)`) to
 /// conjugate gradients (`O(k·n²)`).
-const CG_THRESHOLD: usize = 1500;
+///
+/// Raised from 1500 once `f2pm-linalg` gained the blocked right-looking
+/// factorization: a direct solve at n = 2000 now beats the CG pair (two
+/// solves, `20n` iteration budget each) by well over 2× and is exact, so
+/// CG is reserved for kernels whose O(n²) storage-adjacent cost truly
+/// dominates (n > 4000 ≈ 128 MB Gram).
+const CG_THRESHOLD: usize = 4000;
 
 /// The LS-SVM learning method.
 #[derive(Debug, Clone)]
@@ -42,6 +48,19 @@ impl LsSvmRegressor {
 
     /// Fit, returning the concrete model.
     pub fn fit_lssvm(&self, x: &Matrix, y: &[f64]) -> Result<LsSvmModel, MlError> {
+        self.fit_with_solver(x, y, None)
+    }
+
+    /// Fit with the linear-system path forced (`Some(true)` → CG,
+    /// `Some(false)` → Cholesky) instead of the size-based dispatch — the
+    /// equivalence tests pin the two solvers against each other at sizes
+    /// where the default would pick only one.
+    fn fit_with_solver(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        force_cg: Option<bool>,
+    ) -> Result<LsSvmModel, MlError> {
         check_training_data(x, y)?;
         let standardizer = Standardizer::fit(x);
         let z = standardizer.transform(x);
@@ -53,7 +72,8 @@ impl LsSvmRegressor {
         }
 
         let ones = vec![1.0; n];
-        let (s, zvec) = if n <= CG_THRESHOLD {
+        let use_cg = force_cg.unwrap_or(n > CG_THRESHOLD);
+        let (s, zvec) = if !use_cg {
             let ch = Cholesky::factor(&a)?;
             (ch.solve(&ones)?, ch.solve(y)?)
         } else {
@@ -252,6 +272,40 @@ mod tests {
             .unwrap();
         let sum: f64 = m.alpha().iter().sum();
         assert!(sum.abs() < 1e-6, "Σα = {sum}");
+    }
+
+    #[test]
+    fn blocked_cholesky_matches_cg_above_the_old_threshold() {
+        // n = 1600 sits above the seed's CG threshold (1500): the seed
+        // solved this size iteratively, while the blocked right-looking
+        // factorization now solves it directly (1600 ≥ CHOL_BLOCKED_MIN,
+        // so this exercises the blocked panel/trailing-update path, not
+        // the scalar sweep). The two solvers must produce the same model
+        // to the CG residual tolerance.
+        let n = 1600;
+        assert!(
+            n > 1500 && n <= CG_THRESHOLD,
+            "test must straddle the old and new dispatch thresholds"
+        );
+        let (x, y) = sine_data(n);
+        let reg = LsSvmRegressor::new(Kernel::Rbf { gamma: 2.0 }, 1.0);
+        let direct = reg.fit_with_solver(&x, &y, Some(false)).unwrap();
+        let cg = reg.fit_with_solver(&x, &y, Some(true)).unwrap();
+
+        assert!(
+            (direct.bias() - cg.bias()).abs() <= 1e-5,
+            "bias {} vs {}",
+            direct.bias(),
+            cg.bias()
+        );
+        let pd = direct.predict_batch(&x).unwrap();
+        let pc = cg.predict_batch(&x).unwrap();
+        for (i, (a, b)) in pd.iter().zip(&pc).enumerate() {
+            // Targets span ~[50, 150]; 1e-5 absolute is far inside any
+            // model-quality difference while leaving room for the CG
+            // stopping tolerance.
+            assert!((a - b).abs() <= 1e-5, "row {i}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct M5Params {
     pub max_depth: usize,
     /// Whether to run the pruning stage.
     pub prune: bool,
+    /// Sort each feature once at the root and filter the orderings down
+    /// the tree (order-preserving), instead of re-sorting at every node.
+    /// Produces bit-identical trees; exists so equivalence tests can pin
+    /// the fast path to the re-sorting reference.
+    pub presort: bool,
 }
 
 impl Default for M5Params {
@@ -50,6 +55,7 @@ impl Default for M5Params {
             smoothing_k: 0.0,
             max_depth: 20,
             prune: true,
+            presort: true,
         }
     }
 }
@@ -164,7 +170,8 @@ impl M5Prime {
             global_sd,
             nodes: Vec::new(),
         };
-        let root = builder.grow(idx, 0)?;
+        let pre = self.params.presort.then(|| Presorted::root(x, &idx));
+        let root = builder.grow(idx, pre, 0)?;
         let mut nodes = builder.nodes;
         if self.params.prune {
             prune(&mut nodes, root, x, y);
@@ -197,7 +204,12 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn grow(&mut self, idx: Vec<usize>, depth: usize) -> Result<usize, MlError> {
+    fn grow(
+        &mut self,
+        idx: Vec<usize>,
+        pre: Option<Presorted>,
+        depth: usize,
+    ) -> Result<usize, MlError> {
         let n = idx.len();
         let subset_sd = sd(self.y, &idx);
         let stop = n < self.params.min_instances.max(2)
@@ -210,7 +222,12 @@ impl<'a> Builder<'a> {
             return Ok(self.nodes.len() - 1);
         }
 
-        match best_split(self.x, self.y, &idx, self.params.min_instances / 2) {
+        let min_side = self.params.min_instances / 2;
+        let found = match &pre {
+            Some(p) => best_split_presorted(self.x, self.y, &idx, p, min_side),
+            None => best_split(self.x, self.y, &idx, min_side),
+        };
+        match found {
             None => {
                 self.nodes.push(Node::Leaf { model, n });
                 Ok(self.nodes.len() - 1)
@@ -220,8 +237,15 @@ impl<'a> Builder<'a> {
                     .iter()
                     .partition(|&&i| self.x[(i, feature)] <= threshold);
                 debug_assert!(!li.is_empty() && !ri.is_empty());
-                let left = self.grow(li, depth + 1)?;
-                let right = self.grow(ri, depth + 1)?;
+                let (lp, rp) = match pre {
+                    Some(p) => {
+                        let (lp, rp) = p.split_by_membership(self.x.rows(), &li);
+                        (Some(lp), Some(rp))
+                    }
+                    None => (None, None),
+                };
+                let left = self.grow(li, lp, depth + 1)?;
+                let right = self.grow(ri, rp, depth + 1)?;
                 self.nodes.push(Node::Split {
                     feature,
                     threshold,
@@ -264,53 +288,154 @@ fn sd(y: &[f64], idx: &[usize]) -> f64 {
     var.sqrt()
 }
 
+/// Per-feature index orderings: sorted once at the root (`O(p · n log n)`)
+/// and *filtered* down the tree, so split finding at every descendant node
+/// is a linear scan instead of a fresh sort.
+///
+/// Equivalence discipline: the root sort is stable (ties keep the node
+/// subset's relative order) and [`Presorted::split_by_membership`] filters
+/// without reordering, so each node sees its candidates in exactly the
+/// order the per-node re-sorting reference would produce — same tie
+/// breaking, same prefix-sum float accumulation, bit-identical trees.
+pub(crate) struct Presorted {
+    /// One entry per feature: the subset's indices sorted by that feature.
+    by_feature: Vec<Vec<usize>>,
+}
+
+impl Presorted {
+    /// Sort the subset once per feature (stable, mirrors the reference
+    /// comparator including its NaN-is-equal fallback).
+    pub(crate) fn root(x: &Matrix, idx: &[usize]) -> Self {
+        let by_feature = (0..x.cols())
+            .map(|feature| {
+                let mut ord = idx.to_vec();
+                ord.sort_by(|&a, &b| {
+                    x[(a, feature)]
+                        .partial_cmp(&x[(b, feature)])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                ord
+            })
+            .collect();
+        Presorted { by_feature }
+    }
+
+    /// Partition every ordering into (left, right) children given the left
+    /// child's row set, preserving relative order on both sides.
+    pub(crate) fn split_by_membership(
+        &self,
+        total_rows: usize,
+        left_rows: &[usize],
+    ) -> (Presorted, Presorted) {
+        let mut is_left = vec![false; total_rows];
+        for &i in left_rows {
+            is_left[i] = true;
+        }
+        let mut l = Vec::with_capacity(self.by_feature.len());
+        let mut r = Vec::with_capacity(self.by_feature.len());
+        for ord in &self.by_feature {
+            let (li, ri): (Vec<usize>, Vec<usize>) = ord.iter().partition(|&&i| is_left[i]);
+            l.push(li);
+            r.push(ri);
+        }
+        (Presorted { by_feature: l }, Presorted { by_feature: r })
+    }
+}
+
 /// Find the SDR-maximizing `(feature, threshold)` split, or `None` when no
 /// split leaves both sides with at least `min_side` instances.
+///
+/// Reference path: re-sorts the subset per feature at every node. The
+/// production path is [`best_split_presorted`]; this stays as the pinned
+/// oracle for the equivalence tests.
 fn best_split(x: &Matrix, y: &[f64], idx: &[usize], min_side: usize) -> Option<(usize, f64)> {
     let min_side = min_side.max(1);
-    let n = idx.len();
     let sd_all = sd(y, idx);
     if sd_all == 0.0 {
         return None;
     }
 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sdr)
-    let mut order: Vec<usize> = idx.to_vec();
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
 
     for feature in 0..x.cols() {
+        // Re-seed from the node's own order before each stable sort so the
+        // tie order is always "node order", independent of which features
+        // were scanned before — the invariant the presorted path relies on.
+        order.clear();
+        order.extend_from_slice(idx);
         order.sort_by(|&a, &b| {
             x[(a, feature)]
                 .partial_cmp(&x[(b, feature)])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        // Prefix sums over the sorted order for O(1) variance at each cut.
-        let mut sum = 0.0;
-        let mut sum2 = 0.0;
-        let total: f64 = order.iter().map(|&i| y[i]).sum();
-        let total2: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
-        for cut in 0..n - 1 {
-            let yi = y[order[cut]];
-            sum += yi;
-            sum2 += yi * yi;
-            let nl = cut + 1;
-            let nr = n - nl;
-            if nl < min_side || nr < min_side {
-                continue;
-            }
-            let xv = x[(order[cut], feature)];
-            let xn = x[(order[cut + 1], feature)];
-            if xv == xn {
-                continue; // cannot split between equal values
-            }
-            let sd_l = sd_from_sums(sum, sum2, nl);
-            let sd_r = sd_from_sums(total - sum, total2 - sum2, nr);
-            let sdr = sd_all - (nl as f64 / n as f64) * sd_l - (nr as f64 / n as f64) * sd_r;
-            if best.is_none_or(|(_, _, b)| sdr > b) {
-                best = Some((feature, 0.5 * (xv + xn), sdr));
-            }
-        }
+        scan_feature_cuts(x, y, &order, feature, min_side, sd_all, &mut best);
     }
     best.map(|(f, t, _)| (f, t))
+}
+
+/// Split search over presorted orderings — no per-node sort, one linear
+/// scan per feature with the same incremental prefix-sum statistics.
+pub(crate) fn best_split_presorted(
+    x: &Matrix,
+    y: &[f64],
+    idx: &[usize],
+    pre: &Presorted,
+    min_side: usize,
+) -> Option<(usize, f64)> {
+    let min_side = min_side.max(1);
+    // `sd_all` accumulated over `idx` (not a sorted order) to match the
+    // reference bit-for-bit; it only offsets every SDR equally, but the
+    // zero-variance early-out must agree too.
+    let sd_all = sd(y, idx);
+    if sd_all == 0.0 {
+        return None;
+    }
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (feature, order) in pre.by_feature.iter().enumerate() {
+        debug_assert_eq!(order.len(), idx.len());
+        scan_feature_cuts(x, y, order, feature, min_side, sd_all, &mut best);
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+/// Scan one feature's sorted candidate cuts with incremental variance
+/// statistics (prefix sums → O(1) sd at each cut), updating `best`.
+fn scan_feature_cuts(
+    x: &Matrix,
+    y: &[f64],
+    order: &[usize],
+    feature: usize,
+    min_side: usize,
+    sd_all: f64,
+    best: &mut Option<(usize, f64, f64)>,
+) {
+    let n = order.len();
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    let total: f64 = order.iter().map(|&i| y[i]).sum();
+    let total2: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
+    for cut in 0..n - 1 {
+        let yi = y[order[cut]];
+        sum += yi;
+        sum2 += yi * yi;
+        let nl = cut + 1;
+        let nr = n - nl;
+        if nl < min_side || nr < min_side {
+            continue;
+        }
+        let xv = x[(order[cut], feature)];
+        let xn = x[(order[cut + 1], feature)];
+        if xv == xn {
+            continue; // cannot split between equal values
+        }
+        let sd_l = sd_from_sums(sum, sum2, nl);
+        let sd_r = sd_from_sums(total - sum, total2 - sum2, nr);
+        let sdr = sd_all - (nl as f64 / n as f64) * sd_l - (nr as f64 / n as f64) * sd_r;
+        if best.is_none_or(|(_, _, b)| sdr > b) {
+            *best = Some((feature, 0.5 * (xv + xn), sdr));
+        }
+    }
 }
 
 /// Crate-internal wrapper so REP-Tree can share the SDR split search (both
@@ -553,6 +678,70 @@ mod tests {
         let (feature, threshold) = best_split(&x, &y, &idx, 2).expect("split exists");
         assert_eq!(feature, 0);
         assert!((threshold - 5.0).abs() < 0.2, "threshold {threshold}");
+    }
+
+    #[test]
+    fn presort_produces_bit_identical_trees() {
+        // The presorted path must reproduce the re-sorting reference
+        // exactly: same structure, same thresholds, same predictions (==,
+        // not within-tolerance — the accumulation order is identical).
+        let (x, y) = piecewise(350);
+        for smoothing_k in [0.0, 15.0] {
+            for prune in [true, false] {
+                let base = M5Params {
+                    smoothing_k,
+                    prune,
+                    min_instances: 20,
+                    ..M5Params::default()
+                };
+                let fast = M5Prime::new(M5Params {
+                    presort: true,
+                    ..base
+                })
+                .fit_m5(&x, &y)
+                .unwrap();
+                let slow = M5Prime::new(M5Params {
+                    presort: false,
+                    ..base
+                })
+                .fit_m5(&x, &y)
+                .unwrap();
+                assert_eq!(fast.leaf_count(), slow.leaf_count());
+                assert_eq!(fast.depth(), slow.depth());
+                for i in 0..x.rows() {
+                    assert_eq!(
+                        fast.predict_row(x.row(i)),
+                        slow.predict_row(x.row(i)),
+                        "row {i} (k={smoothing_k}, prune={prune})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presorted_split_matches_resort_split_with_ties() {
+        // Duplicated feature values exercise the tie-order discipline.
+        let n = 120;
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = ((i / 4) % 10) as f64; // heavy ties
+            let b = (i % 7) as f64;
+            let c = (i as f64 * 0.13).sin();
+            x.row_mut(i).copy_from_slice(&[a, b, c]);
+            y.push(a * 3.0 + b - c * 2.0);
+        }
+        // A scrambled subset, as an inner node would see it.
+        let idx: Vec<usize> = (0..n).filter(|i| i % 3 != 1).map(|i| (i * 7) % n).collect();
+        let pre = Presorted::root(&x, &idx);
+        for min_side in [1, 2, 8] {
+            assert_eq!(
+                best_split_presorted(&x, &y, &idx, &pre, min_side),
+                best_split(&x, &y, &idx, min_side),
+                "min_side {min_side}"
+            );
+        }
     }
 
     #[test]

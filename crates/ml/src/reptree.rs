@@ -30,6 +30,10 @@ pub struct RepTreeParams {
     pub prune: bool,
     /// Shuffle seed for the grow/prune split.
     pub seed: u64,
+    /// Presort each feature once at the root of the grow set and filter
+    /// the orderings down the tree (see `M5Params::presort`); bit-identical
+    /// to the per-node re-sort, kept switchable for equivalence tests.
+    pub presort: bool,
 }
 
 impl Default for RepTreeParams {
@@ -40,6 +44,7 @@ impl Default for RepTreeParams {
             prune_fraction: 1.0 / 3.0,
             prune: true,
             seed: 0x5eed,
+            presort: true,
         }
     }
 }
@@ -143,7 +148,11 @@ impl RepTree {
         let (prune_idx, grow_idx) = idx.split_at(prune_n);
 
         let mut nodes = Vec::new();
-        let root = grow(x, y, grow_idx.to_vec(), 0, &self.params, &mut nodes);
+        let pre = self
+            .params
+            .presort
+            .then(|| crate::m5p::Presorted::root(x, grow_idx));
+        let root = grow(x, y, grow_idx.to_vec(), pre, 0, &self.params, &mut nodes);
 
         let mut model = RepTreeModel {
             nodes,
@@ -180,6 +189,7 @@ fn grow(
     x: &Matrix,
     y: &[f64],
     idx: Vec<usize>,
+    pre: Option<crate::m5p::Presorted>,
     depth: usize,
     params: &RepTreeParams,
     nodes: &mut Vec<Node>,
@@ -189,7 +199,12 @@ fn grow(
         nodes.push(Node::Leaf { value: mean });
         return nodes.len() - 1;
     }
-    match crate::m5p::best_split_public(x, y, &idx, params.min_instances / 2) {
+    let min_side = params.min_instances / 2;
+    let found = match &pre {
+        Some(p) => crate::m5p::best_split_presorted(x, y, &idx, p, min_side),
+        None => crate::m5p::best_split_public(x, y, &idx, min_side),
+    };
+    match found {
         None => {
             nodes.push(Node::Leaf { value: mean });
             nodes.len() - 1
@@ -197,8 +212,15 @@ fn grow(
         Some((feature, threshold)) => {
             let (li, ri): (Vec<usize>, Vec<usize>) =
                 idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
-            let left = grow(x, y, li, depth + 1, params, nodes);
-            let right = grow(x, y, ri, depth + 1, params, nodes);
+            let (lp, rp) = match pre {
+                Some(p) => {
+                    let (lp, rp) = p.split_by_membership(x.rows(), &li);
+                    (Some(lp), Some(rp))
+                }
+                None => (None, None),
+            };
+            let left = grow(x, y, li, lp, depth + 1, params, nodes);
+            let right = grow(x, y, ri, rp, depth + 1, params, nodes);
             nodes.push(Node::Split {
                 feature,
                 threshold,
@@ -358,6 +380,35 @@ mod tests {
         let b = RepTree::new(RepTreeParams::default()).fit(&x, &y).unwrap();
         for i in 0..x.rows() {
             assert_eq!(a.predict_row(x.row(i)), b.predict_row(x.row(i)));
+        }
+    }
+
+    #[test]
+    fn presort_produces_bit_identical_trees() {
+        let (x, y) = steps(400);
+        for prune in [true, false] {
+            let fast = RepTree::new(RepTreeParams {
+                presort: true,
+                prune,
+                ..RepTreeParams::default()
+            })
+            .fit_tree(&x, &y)
+            .unwrap();
+            let slow = RepTree::new(RepTreeParams {
+                presort: false,
+                prune,
+                ..RepTreeParams::default()
+            })
+            .fit_tree(&x, &y)
+            .unwrap();
+            assert_eq!(fast.leaf_count(), slow.leaf_count(), "prune={prune}");
+            for i in 0..x.rows() {
+                assert_eq!(
+                    fast.predict_row(x.row(i)),
+                    slow.predict_row(x.row(i)),
+                    "row {i} (prune={prune})"
+                );
+            }
         }
     }
 

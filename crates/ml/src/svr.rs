@@ -37,10 +37,11 @@ pub struct SvrParams {
     pub max_sweeps: usize,
     /// Convergence tolerance on the largest β change in a sweep.
     pub tol: f64,
-    /// LIBSVM-style shrinking: drop coordinates pinned at ±C from the
-    /// sweep and re-check them on periodic full passes (and always before
-    /// declaring convergence). Disable for the plain reference sweep —
-    /// the equivalence tests compare both settings.
+    /// LIBSVM-style shrinking: drop coordinates pinned at ±C *or* resting
+    /// at zero inside the ε tube from the sweep, re-checking them on
+    /// periodic full passes (cadence tied to how much the set shrank, and
+    /// always before declaring convergence). Disable for the plain
+    /// reference sweep — the equivalence tests compare both settings.
     pub shrinking: bool,
 }
 
@@ -145,18 +146,39 @@ impl SvrRegressor {
         let mut s = 0.0_f64;
 
         // Shrinking state: sweep only over `active`; a coordinate that
-        // sits pinned at ±C for two consecutive visits is dropped until
-        // the next full pass. Full passes run every FULL_PASS_EVERY
-        // sweeps and always before convergence is declared, so a shrunk
-        // coordinate whose gradient flips back gets reactivated.
-        const FULL_PASS_EVERY: usize = 8;
+        // sits *unmoved* at a pin — the box bound ±C, or zero strictly
+        // inside the ε tube (the overwhelming majority once the tube is
+        // wide) — for two consecutive visits is dropped until the next
+        // full pass. Full passes re-check every coordinate and always run
+        // before convergence is declared, so a shrunk coordinate whose
+        // gradient drifts back gets reactivated.
+        //
+        // Gradient maintenance stays full-length on purpose: the
+        // contiguous row update vectorizes, while an active-set-restricted
+        // gather/scatter measured *slower* at these n despite doing
+        // O(|active|) work — and full-length updates keep every shrunk
+        // coordinate's gradient exact, so reactivation needs no
+        // reconstruction and the shrunk trajectory stays on the reference
+        // sweep's float path. Shrinking therefore buys exactly the skipped
+        // per-coordinate evaluations, which is what the eval-bound late
+        // phase of a long solve is made of.
+        //
+        // The full-pass cadence scales with how much the set shrank: a
+        // full pass costs n/|active| shrunk sweeps, so a fixed short
+        // cadence (the old FULL_PASS_EVERY = 8) made full passes dominate
+        // exactly when shrinking was winning — the reason the
+        // svr_train_800x12 bench showed shrinking as a no-op.
+        const FULL_PASS_MIN: usize = 8;
+        const FULL_PASS_MAX: usize = 64;
         let mut active: Vec<usize> = (0..n).collect();
+        let mut next_active: Vec<usize> = Vec::with_capacity(n);
         let mut pinned = vec![0u8; n];
         let mut since_full = 0usize;
+        let mut full_every = FULL_PASS_MIN;
 
         let mut converged = false;
-        for _sweep in 0..p.max_sweeps {
-            let full = !p.shrinking || active.len() == n || since_full >= FULL_PASS_EVERY;
+        for _ in 0..p.max_sweeps {
+            let full = !p.shrinking || active.len() == n || since_full >= full_every;
             if full {
                 since_full = 0;
                 if active.len() != n {
@@ -168,18 +190,18 @@ impl SvrRegressor {
                 since_full += 1;
             }
             let mut max_delta = 0.0_f64;
-            let mut w = 0usize;
+            next_active.clear();
             for r in 0..active.len() {
                 let i = active[r];
                 let qii = k[(i, i)] + 1.0;
                 if qii <= 0.0 {
-                    active[w] = i;
-                    w += 1;
+                    next_active.push(i);
                     continue;
                 }
                 let gi = g_core[i] + s;
                 let unreg = beta[i] - gi / qii;
-                let new = soft(unreg, p.epsilon / qii).clamp(-p.c, p.c);
+                let tgt = soft(unreg, p.epsilon / qii);
+                let new = tgt.clamp(-p.c, p.c);
                 let delta = new - beta[i];
                 if delta != 0.0 {
                     beta[i] = new;
@@ -192,7 +214,18 @@ impl SvrRegressor {
                     s += delta;
                     max_delta = max_delta.max(delta.abs());
                 }
-                let keep = if p.shrinking && delta == 0.0 && (beta[i] == p.c || beta[i] == -p.c) {
+                // A skipped coordinate is a true no-op only while its
+                // update stays pinned, and the running bias Σβ drags every
+                // gradient as the others move — a coordinate *exactly* at a
+                // pin can unpin a few sweeps later. So only shrink
+                // coordinates pinned with a 10% safety margin: zeros whose
+                // gradient is safely interior to the ε tube, and bound
+                // coordinates whose unclamped target overshoots the box by
+                // a clear gap.
+                let at_pin = (beta[i] == p.c && tgt >= 1.1 * p.c)
+                    || (beta[i] == -p.c && tgt <= -1.1 * p.c)
+                    || (beta[i] == 0.0 && gi.abs() < 0.9 * p.epsilon);
+                let keep = if p.shrinking && delta == 0.0 && at_pin {
                     pinned[i] = pinned[i].saturating_add(1);
                     pinned[i] < 2
                 } else {
@@ -200,11 +233,18 @@ impl SvrRegressor {
                     true
                 };
                 if keep {
-                    active[w] = i;
-                    w += 1;
+                    next_active.push(i);
                 }
             }
-            active.truncate(w);
+            std::mem::swap(&mut active, &mut next_active);
+            // Re-derive the cadence from the shrink ratio: full passes are
+            // spaced so the shrunk sweeps between them cost roughly one
+            // full pass's work.
+            full_every = if active.is_empty() {
+                FULL_PASS_MIN
+            } else {
+                (n / active.len()).clamp(FULL_PASS_MIN, FULL_PASS_MAX)
+            };
             if max_delta <= p.tol {
                 if full {
                     converged = true;
@@ -212,7 +252,7 @@ impl SvrRegressor {
                 }
                 // The shrunk set converged: force a full verification
                 // pass before accepting.
-                since_full = FULL_PASS_EVERY;
+                since_full = full_every;
             }
         }
         if !converged {

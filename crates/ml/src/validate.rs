@@ -3,13 +3,20 @@
 //! Fits each method on a training set, times the fit, evaluates on a
 //! validation set, times the evaluation, and produces the full §III-D
 //! metric set per model — the data behind the paper's Tables II-IV and
-//! Fig. 5. Independent fits fan out over crossbeam scoped threads (one per
-//! method), following the workspace's HPC guides.
+//! Fig. 5.
+//!
+//! Independent fits fan out over one crossbeam scope with a *bounded* band
+//! of workers (at most [`f2pm_linalg::worker_count`], never more than there
+//! are tasks) pulling `(training-set variant × method)` cells from a shared
+//! queue — the whole model-generation grid saturates the machine without
+//! oversubscribing it, instead of spawning one thread per method per
+//! variant. See [`evaluate_grid`].
 
 use crate::metrics::{Metrics, SMaeThreshold};
 use crate::regressor::{Model, Regressor};
 use crate::MlError;
 use f2pm_features::Dataset;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Everything F2PM reports about one generated model.
@@ -65,28 +72,101 @@ pub fn evaluate_one(
     })
 }
 
-/// Fit and validate a whole method suite in parallel (one scoped thread per
-/// method). Results come back in the suite's order; individual failures are
-/// reported in place.
+/// One training-set variant of a model-generation grid: a label plus the
+/// train/validation pair every method in the suite is fit against.
+pub struct GridVariant<'a> {
+    /// Training set for this variant.
+    pub train: &'a Dataset,
+    /// Validation set for this variant.
+    pub valid: &'a Dataset,
+}
+
+/// Fit and validate the whole `(variant × method)` grid in parallel.
+///
+/// All cells of the grid are flattened into one task queue and drained by a
+/// bounded band of scoped workers, so a grid of two variants × seven
+/// methods runs as 14 independent tasks over `min(worker_count, 14)`
+/// threads — method-level *and* variant-level parallelism under a single
+/// crossbeam scope.
+///
+/// Returns one `Vec` per variant, each in suite order with individual
+/// failures reported in place.
+pub fn evaluate_grid(
+    suite: &[Box<dyn Regressor>],
+    variants: &[GridVariant<'_>],
+    smae: SMaeThreshold,
+) -> Vec<Vec<Result<ModelReport, MlError>>> {
+    let tasks: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|v| (0..suite.len()).map(move |m| (v, m)))
+        .collect();
+    if tasks.is_empty() {
+        return variants.iter().map(|_| Vec::new()).collect();
+    }
+    // Model fits are heavyweight (whole solves), so unlike the linalg
+    // kernels there is no minimum-size gate — one worker per core, capped
+    // by the task count.
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(tasks.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+
+    let mut flat: Vec<Option<Result<ModelReport, MlError>>> =
+        (0..tasks.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let tasks = &tasks;
+                scope.spawn(move |_| {
+                    let mut done = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks.len() {
+                            break;
+                        }
+                        let (v, m) = tasks[t];
+                        let cell = &variants[v];
+                        done.push((
+                            t,
+                            evaluate_one(suite[m].as_ref(), cell.train, cell.valid, smae),
+                        ));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (t, r) in h.join().expect("evaluation worker panicked") {
+                flat[t] = Some(r);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut flat = flat.into_iter();
+    (0..variants.len())
+        .map(|_| {
+            (0..suite.len())
+                .map(|_| flat.next().flatten().expect("grid cell filled"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Fit and validate a whole method suite in parallel over the bounded
+/// worker band (a one-variant [`evaluate_grid`]). Results come back in the
+/// suite's order; individual failures are reported in place.
 pub fn evaluate_all(
     suite: &[Box<dyn Regressor>],
     train: &Dataset,
     valid: &Dataset,
     smae: SMaeThreshold,
 ) -> Vec<Result<ModelReport, MlError>> {
-    let mut out: Vec<Option<Result<ModelReport, MlError>>> =
-        (0..suite.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for reg in suite.iter() {
-            handles.push(scope.spawn(move |_| evaluate_one(reg.as_ref(), train, valid, smae)));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("evaluation thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    evaluate_grid(suite, &[GridVariant { train, valid }], smae)
+        .pop()
+        .expect("one variant")
 }
 
 /// Aggregate metrics over the folds of a cross-validation.
@@ -230,6 +310,69 @@ mod tests {
             .map(|r| r.as_ref().unwrap().name.clone())
             .collect();
         assert_eq!(names, vec!["linear_regression", "rep_tree", "m5p"]);
+    }
+
+    #[test]
+    fn evaluate_grid_covers_variants_and_methods() {
+        let ds = dataset(300);
+        let (train, valid) = ds.split_holdout(0.7, 2);
+        let narrow_train = train.select_named(&["t", "swap"]);
+        let narrow_valid = valid.select_named(&["t", "swap"]);
+        let suite: Vec<Box<dyn Regressor>> = vec![
+            Box::new(LinearRegression::new()),
+            Box::new(RepTree::new(RepTreeParams::default())),
+        ];
+        let grid = evaluate_grid(
+            &suite,
+            &[
+                GridVariant {
+                    train: &train,
+                    valid: &valid,
+                },
+                GridVariant {
+                    train: &narrow_train,
+                    valid: &narrow_valid,
+                },
+            ],
+            SMaeThreshold::paper_default(),
+        );
+        assert_eq!(grid.len(), 2);
+        for variant in &grid {
+            assert_eq!(variant.len(), 2);
+            let names: Vec<&str> = variant
+                .iter()
+                .map(|r| r.as_ref().unwrap().name.as_str())
+                .collect();
+            assert_eq!(names, vec!["linear_regression", "rep_tree"]);
+        }
+        // The grid result must equal a per-variant evaluate_all run.
+        let solo = evaluate_all(&suite, &train, &valid, SMaeThreshold::paper_default());
+        for (g, s) in grid[0].iter().zip(&solo) {
+            let (g, s) = (g.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(g.metrics.smae, s.metrics.smae);
+            assert_eq!(g.predictions, s.predictions);
+        }
+        // Widths differ per variant — each cell trained on its own columns.
+        assert_eq!(grid[0][0].as_ref().unwrap().model.width(), 3);
+        assert_eq!(grid[1][0].as_ref().unwrap().model.width(), 2);
+    }
+
+    #[test]
+    fn evaluate_grid_empty_inputs() {
+        let ds = dataset(40);
+        let (train, valid) = ds.split_holdout(0.7, 2);
+        let suite: Vec<Box<dyn Regressor>> = vec![];
+        let grid = evaluate_grid(
+            &suite,
+            &[GridVariant {
+                train: &train,
+                valid: &valid,
+            }],
+            SMaeThreshold::paper_default(),
+        );
+        assert_eq!(grid.len(), 1);
+        assert!(grid[0].is_empty());
+        assert!(evaluate_grid(&suite, &[], SMaeThreshold::paper_default()).is_empty());
     }
 
     #[test]

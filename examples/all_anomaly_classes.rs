@@ -66,7 +66,7 @@ fn main() {
         "\ntraining on {} four-class runs-to-failure...",
         cfg.campaign.runs
     );
-    let report = run_workflow(&cfg, 99);
+    let report = run_workflow(&cfg, 99).expect("enough data");
     let best = report.best_by_smae().expect("models trained");
     println!(
         "best model: {} (S-MAE {:.1} s, RAE {:.3})",

@@ -24,7 +24,7 @@ fn main() {
         "training on {} monitored runs-to-failure...",
         cfg.campaign.runs
     );
-    let report = run_workflow(&cfg, 11);
+    let report = run_workflow(&cfg, 11).expect("enough data");
 
     // 2. Pick the paper's winner (REP-Tree) and wrap it as an online
     //    estimator fed by raw datapoints.

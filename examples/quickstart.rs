@@ -17,7 +17,7 @@ fn main() {
         "collecting {} monitored runs-to-failure...",
         cfg.campaign.runs
     );
-    let report = run_workflow(&cfg, 42);
+    let report = run_workflow(&cfg, 42).expect("enough data");
 
     // The report carries, per training-set variant, every §III-D metric
     // for every method — the same comparison the paper's Tables II-IV show.

@@ -65,7 +65,7 @@ fn main() {
     );
 
     // 3. Train on what arrived over the wire.
-    let report = run_workflow_on_history(&cfg, &history);
+    let report = run_workflow_on_history(&cfg, &history).expect("enough data");
     let best = report.best_by_smae().expect("models trained");
     println!(
         "best model from remote-collected data: {} (S-MAE {:.1} s)",

@@ -9,7 +9,7 @@ use f2pm_repro::f2pm::{run_workflow, F2pmConfig};
 fn medium_report() -> f2pm_repro::f2pm::F2pmReport {
     let mut cfg = F2pmConfig::default();
     cfg.campaign.runs = 6;
-    run_workflow(&cfg, 42)
+    run_workflow(&cfg, 42).expect("enough data")
 }
 
 #[test]
@@ -138,8 +138,8 @@ fn selection_variant_trains_faster() {
 fn workflow_is_deterministic() {
     let mut cfg = F2pmConfig::quick();
     cfg.campaign.runs = 2;
-    let a = run_workflow(&cfg, 77);
-    let b = run_workflow(&cfg, 77);
+    let a = run_workflow(&cfg, 77).expect("enough data");
+    let b = run_workflow(&cfg, 77).expect("enough data");
     assert_eq!(a.aggregated_points, b.aggregated_points);
     let ra = a.all_parameters().by_name("rep_tree").unwrap().metrics;
     let rb = b.all_parameters().by_name("rep_tree").unwrap().metrics;

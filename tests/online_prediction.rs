@@ -9,7 +9,7 @@ use f2pm_repro::f2pm_monitor::{Collector, SimCollector, SimCollectorConfig};
 use f2pm_repro::f2pm_sim::Simulation;
 
 fn trained_predictor(cfg: &F2pmConfig, seed: u64) -> OnlinePredictor {
-    let report = run_workflow(cfg, seed);
+    let report = run_workflow(cfg, seed).expect("enough data");
     let mut variants = report.variants;
     let variant = variants.remove(0);
     let columns = variant.columns.clone();

@@ -46,7 +46,7 @@ fn fmc_to_fms_to_models() {
     assert_eq!(history.fail_count(), cfg.campaign.runs);
 
     // The received history is good enough to train on.
-    let report = run_workflow_on_history(&cfg, &history);
+    let report = run_workflow_on_history(&cfg, &history).expect("enough data");
     let best = report.best_by_smae().expect("models trained");
     assert!(best.metrics.rae < 1.0, "RAE {}", best.metrics.rae);
 }
