@@ -10,7 +10,7 @@ cd "$(dirname "$0")"
 
 F2PM_PACKAGES=(
     f2pm-repro f2pm f2pm-linalg f2pm-ml f2pm-features
-    f2pm-monitor f2pm-sim f2pm-serve f2pm-cli f2pm-bench
+    f2pm-monitor f2pm-sim f2pm-serve f2pm-cli f2pm-bench f2pm-obs
 )
 
 echo "==> cargo fmt --check"
@@ -49,8 +49,21 @@ EOF
 
 echo "==> serve loadgen smoke (reduced fleet)"
 cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke
-python3 -m json.tool target/BENCH_serve_smoke.json > /dev/null
-# The tracked full-scale baseline must stay well-formed too.
-python3 -m json.tool BENCH_serve.json > /dev/null
+# The smoke run must have scraped the metrics exposition and found it in
+# exact agreement with the harness's own counters.
+python3 - <<'EOF'
+import json
+
+for path in ("target/BENCH_serve_smoke.json", "BENCH_serve.json"):
+    r = json.load(open(path))
+    assert r["checks_passed"] is True, f"{path}: harness checks failed"
+    assert r["metrics_scrape_ok"] is True, f"{path}: metrics scrape mismatch"
+    assert r["scraped_datapoints"] == r["datapoints"], (
+        f"{path}: scraped {r['scraped_datapoints']} != sent {r['datapoints']}"
+    )
+    assert r["dropped_frames"] == 0, f"{path}: {r['dropped_frames']} frames dropped"
+    assert r["scraped_model_generation"] == r["hot_reload_generation"], path
+print("serve smoke + metrics scrape OK")
+EOF
 
 echo "CI OK"

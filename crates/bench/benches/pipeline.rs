@@ -13,8 +13,7 @@ use f2pm_monitor::{DataHistory, Datapoint, Message};
 use f2pm_sim::Campaign;
 
 fn history(runs: usize) -> DataHistory {
-    let mut cfg = F2pmConfig::default();
-    cfg.campaign.runs = runs;
+    let cfg = F2pmConfig::builder().runs(runs).build().expect("valid");
     let campaign_runs = Campaign::new(cfg.campaign.clone(), 7).run_all();
     DataHistory::from_campaign(&campaign_runs)
 }

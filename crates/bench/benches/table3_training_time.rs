@@ -13,8 +13,7 @@ use f2pm_sim::Campaign;
 /// Build the two training-set variants once (smaller campaign than the
 /// experiments bin, so the bench suite stays minutes, not hours).
 fn training_sets() -> (Dataset, Dataset) {
-    let mut cfg = F2pmConfig::default();
-    cfg.campaign.runs = 4;
+    let cfg = F2pmConfig::builder().runs(4).build().expect("valid");
     let runs = Campaign::new(cfg.campaign.clone(), 42).run_all();
     let history = DataHistory::from_campaign(&runs);
     let points = aggregate_history(&history, &cfg.aggregation);

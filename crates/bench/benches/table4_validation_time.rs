@@ -17,8 +17,7 @@ struct Variant {
 }
 
 fn fitted_variants() -> Vec<Variant> {
-    let mut cfg = F2pmConfig::default();
-    cfg.campaign.runs = 4;
+    let cfg = F2pmConfig::builder().runs(4).build().expect("valid");
     let runs = Campaign::new(cfg.campaign.clone(), 42).run_all();
     let history = DataHistory::from_campaign(&runs);
     let points = aggregate_history(&history, &cfg.aggregation);
@@ -71,7 +70,7 @@ fn bench_validation(c: &mut Criterion) {
                 &v.valid,
                 |b, ds| {
                     b.iter(|| {
-                        let pred = model.predict(&ds.x).expect("predict");
+                        let pred = model.predict_batch(&ds.x).expect("predict");
                         Metrics::compute(&pred, &ds.y, SMaeThreshold::paper_default())
                     })
                 },

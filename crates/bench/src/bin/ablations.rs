@@ -21,9 +21,7 @@ fn campaign_history(cfg: &CampaignConfig, seed: u64) -> DataHistory {
 }
 
 fn base_config() -> F2pmConfig {
-    let mut cfg = F2pmConfig::default();
-    cfg.campaign.runs = 6;
-    cfg
+    F2pmConfig::builder().runs(6).build().expect("valid config")
 }
 
 /// How the aggregation window width trades accuracy against dataset size

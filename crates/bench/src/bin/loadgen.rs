@@ -14,6 +14,10 @@
 //! - zero dropped frames (blocking backpressure end to end),
 //! - a live per-host RTTF estimate for every client,
 //! - the hot reload is visible without any reconnect,
+//! - the v3 metrics exposition, scraped mid-run and after the fleet
+//!   drains, agrees with the harness's own counters EXACTLY (the scraped
+//!   datapoint counter must equal the number of datapoints sent, the
+//!   scraped generation must match the installed one, zero drops),
 //!
 //! and writes throughput + latency percentiles to `BENCH_serve.json`
 //! (`--smoke`: 1/6-scale, scratch output under `target/`, for CI).
@@ -247,6 +251,52 @@ fn run_client(
     report
 }
 
+/// A v3 scrape connection: handshake once, then `MetricsRequest` →
+/// `MetricsText` on demand.
+struct Scraper {
+    stream: TcpStream,
+}
+
+impl Scraper {
+    fn connect(addr: SocketAddr) -> Scraper {
+        let mut stream = TcpStream::connect(addr).expect("scraper connect");
+        stream.set_nodelay(true).ok();
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: u32::MAX, // outside the client host range
+        }
+        .write_to(&mut stream)
+        .expect("scraper hello");
+        Scraper { stream }
+    }
+
+    fn scrape(&mut self) -> String {
+        Message::MetricsRequest
+            .write_to(&mut self.stream)
+            .expect("scrape request");
+        loop {
+            match Message::read_from(&mut self.stream)
+                .expect("scrape reply")
+                .expect("open")
+            {
+                Message::MetricsText { text } => return text,
+                Message::Alert { .. } | Message::RttfEstimate { .. } => {}
+                other => panic!("unexpected scrape reply {other:?}"),
+            }
+        }
+    }
+}
+
+/// First exposition sample starting with `prefix` (include the trailing
+/// space for unlabeled samples).
+fn metric_sample(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -301,7 +351,10 @@ fn main() {
             }
             let g = registry.install(model(500.0)).expect("hot reload");
             reload_generation.store(g, Ordering::SeqCst);
-            g
+            // Mid-run scrape, while the fleet is still streaming: the
+            // exposition must already carry the fresh generation.
+            let mid_text = Scraper::connect(addr).scrape();
+            (g, mid_text)
         })
     };
 
@@ -320,8 +373,37 @@ fn main() {
             .map(|h| h.join().expect("client"))
             .collect()
     });
-    let reload_gen = reloader.join().expect("reloader");
+    let (reload_gen, mid_text) = reloader.join().expect("reloader");
     let wall_s = started.elapsed().as_secs_f64();
+
+    // Final scrape, before shutdown: every client thread has joined, but
+    // reader threads may still be draining buffered frames, so poll until
+    // the scraped datapoint counter catches up with what was sent. It
+    // must land EXACTLY on sent_total — one frame lost or double-counted
+    // is a bug.
+    let sent = sent_total.load(Ordering::SeqCst);
+    let settled = |text: &str| {
+        metric_sample(text, "f2pm_serve_datapoints_total ") == Some(sent as f64)
+            && metric_sample(text, "f2pm_serve_estimates_total ")
+                .zip(metric_sample(text, "f2pm_serve_estimate_latency_us_count "))
+                .is_some_and(|(total, hist)| total == hist)
+    };
+    let mut scraper = Scraper::connect(addr);
+    let mut final_text = scraper.scrape();
+    for _ in 0..1000 {
+        if settled(&final_text) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        final_text = scraper.scrape();
+    }
+    let scraped_datapoints =
+        metric_sample(&final_text, "f2pm_serve_datapoints_total ").unwrap_or(-1.0) as i64;
+    let scraped_dropped =
+        metric_sample(&final_text, "f2pm_serve_dropped_frames_total ").unwrap_or(-1.0) as i64;
+    let scraped_generation =
+        metric_sample(&final_text, "f2pm_serve_model_generation ").unwrap_or(0.0) as u64;
+    drop(scraper);
     let snap = server.shutdown();
 
     let datapoints: u64 = reports.iter().map(|r| r.sent).sum();
@@ -369,11 +451,37 @@ fn main() {
     if saw_reload == 0 {
         failures.push("no client observed the hot-reloaded model".to_string());
     }
-    if snap.total_accepted != args.clients as u64 {
+    // The two scrape connections (mid-run + final) are accepted too.
+    if snap.total_accepted != args.clients as u64 + 2 {
         failures.push(format!(
-            "{} connections accepted for {} clients — a connection was reset",
+            "{} connections accepted for {} clients + 2 scrapers — a connection was reset",
             snap.total_accepted, args.clients
         ));
+    }
+    if scraped_datapoints != sent as i64 {
+        failures.push(format!(
+            "scraped f2pm_serve_datapoints_total {scraped_datapoints} != {sent} sent by loadgen"
+        ));
+    }
+    if scraped_dropped != 0 {
+        failures.push(format!(
+            "scraped f2pm_serve_dropped_frames_total {scraped_dropped} (must be 0)"
+        ));
+    }
+    if scraped_generation != reload_gen {
+        failures.push(format!(
+            "scraped f2pm_serve_model_generation {scraped_generation} != installed {reload_gen}"
+        ));
+    }
+    if metric_sample(&mid_text, "f2pm_serve_model_generation ") != Some(reload_gen as f64) {
+        failures.push("mid-run scrape missed the hot-reloaded generation".to_string());
+    }
+    if !settled(&final_text) {
+        failures.push(
+            "exposition never settled: scraped estimate counter and latency histogram \
+             count still disagree"
+                .to_string(),
+        );
     }
 
     let mut json = String::from("{\n");
@@ -404,6 +512,16 @@ fn main() {
     let _ = writeln!(json, "  \"clients_with_live_estimate\": {with_estimate},");
     let _ = writeln!(json, "  \"hot_reload_generation\": {reload_gen},");
     let _ = writeln!(json, "  \"clients_saw_reload\": {saw_reload},");
+    let _ = writeln!(json, "  \"scraped_datapoints\": {scraped_datapoints},");
+    let _ = writeln!(
+        json,
+        "  \"scraped_model_generation\": {scraped_generation},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"metrics_scrape_ok\": {},",
+        scraped_datapoints == sent as i64 && scraped_dropped == 0
+    );
     let _ = writeln!(json, "  \"checks_passed\": {}", failures.is_empty());
     json.push_str("}\n");
 

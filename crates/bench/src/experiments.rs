@@ -56,12 +56,12 @@ impl ExperimentContext {
     /// Run the monitoring campaign (the expensive shared step).
     pub fn new(opts: ExperimentOptions) -> Self {
         let mut cfg = if opts.quick {
-            F2pmConfig::quick()
+            F2pmConfig::quick_builder()
         } else {
-            let mut c = F2pmConfig::default();
-            c.campaign.runs = 12;
-            c
-        };
+            F2pmConfig::builder().runs(12)
+        }
+        .build()
+        .expect("valid config");
         // The experiments always evaluate the full λ grid like Table II.
         cfg.lasso_predictor_lambdas = cfg.lambda_grid.clone();
         eprintln!(

@@ -6,6 +6,7 @@ use f2pm_ml::{
     evaluate_all, evaluate_one, persist, LinearRegression, LsSvmRegressor, M5Params, M5Prime,
     Regressor, RepTree, RepTreeParams, SavedModel, SvrParams, SvrRegressor,
 };
+use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
 use f2pm_monitor::{load_csv, save_csv, Collector, DataHistory, Datapoint, ProcCollector};
 use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig};
 use f2pm_sim::Campaign;
@@ -21,14 +22,20 @@ USAGE:
   f2pm evaluate --history history.csv [--window SECS] [--train-frac F]
   f2pm train    --history history.csv --method NAME --out model.txt [--window SECS]
   f2pm predict  --model model.txt --history history.csv [--window SECS]
-  f2pm serve    --model model.txt [--addr HOST:PORT] [--shards N] [--queue CAP]
-                [--threshold SECS] [--hits K] [--window SECS] [--seconds N] [--watch]
+  f2pm serve    (--model model.txt | --history history.csv [--method NAME])
+                [--addr HOST:PORT] [--shards N] [--queue CAP] [--threshold SECS]
+                [--hits K] [--window SECS] [--seconds N] [--watch]
+  f2pm stats    [--addr HOST:PORT] [--watch] [--interval SECS] [--count N]
 
 METHODS (train): linear, rep_tree, m5p, svm, ls_svm
 
 `serve` starts the sharded online RTTF prediction service (wire protocol
-v1 + v2); `--watch` hot-reloads the model whenever the file changes, and
-`--seconds` bounds the run (default: forever).";
+v1–v3); `--watch` hot-reloads the model whenever the file changes, and
+`--seconds` bounds the run (default: forever). With `--history` it trains
+the model in-process at boot instead of loading a file, so the metrics
+exposition carries the training-stage timings. `stats` scrapes a running
+serve instance's Prometheus-style text exposition once, `--count N`
+times, or forever with `--watch`.";
 
 /// Parse `--key value` pairs and bare `--flag`s.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -94,12 +101,14 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
     let seed: u64 = get_parsed(&flags, "seed")?.unwrap_or(42);
     let quick = flags.contains_key("quick");
 
-    let mut cfg = if quick {
-        F2pmConfig::quick()
+    let cfg = if quick {
+        F2pmConfig::quick_builder()
     } else {
-        F2pmConfig::default()
-    };
-    cfg.campaign.runs = runs;
+        F2pmConfig::builder()
+    }
+    .runs(runs)
+    .build()
+    .map_err(|e| e.to_string())?;
 
     eprintln!("running {runs} monitored runs-to-failure (seed {seed})...");
     let campaign = Campaign::new(cfg.campaign.clone(), seed);
@@ -143,6 +152,40 @@ pub fn monitor(args: &[String]) -> Result<(), String> {
     save_csv(&history, &out).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {} datapoints to {out}", history.datapoint_count());
     Ok(())
+}
+
+/// Fit `method` as a persistable [`SavedModel`], stamping the training
+/// time into the global metrics registry as a `train:<method>` span (the
+/// same family the Table-3 pipeline records, so a serve instance that
+/// boot-trained exposes its training timings on scrape).
+fn fit_saved_model(method: &str, x: &f2pm_linalg::Matrix, y: &[f64]) -> Result<SavedModel, String> {
+    let _span = f2pm_obs::span!(&format!("train:{method}"));
+    Ok(match method {
+        "linear" => {
+            SavedModel::Linear(f2pm_ml::linreg::LinearModel::fit(x, y).map_err(|e| e.to_string())?)
+        }
+        "rep_tree" => SavedModel::RepTree(
+            RepTree::new(RepTreeParams::default())
+                .fit_tree(x, y)
+                .map_err(|e| e.to_string())?,
+        ),
+        "m5p" => SavedModel::M5(
+            M5Prime::new(M5Params::default())
+                .fit_m5(x, y)
+                .map_err(|e| e.to_string())?,
+        ),
+        "svm" => SavedModel::Svr(
+            SvrRegressor::new(SvrParams::default())
+                .fit_svr(x, y)
+                .map_err(|e| e.to_string())?,
+        ),
+        "ls_svm" => SavedModel::LsSvm(
+            LsSvmRegressor::new(f2pm_ml::Kernel::Rbf { gamma: 0.03 }, 10.0)
+                .fit_lssvm(x, y)
+                .map_err(|e| e.to_string())?,
+        ),
+        other => return Err(format!("unknown method {other:?}")),
+    })
 }
 
 fn method_by_name(name: &str) -> Result<Box<dyn Regressor>, String> {
@@ -212,32 +255,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
     }
 
     // Fit concretely so the model can be persisted.
-    let saved = match method.as_str() {
-        "linear" => SavedModel::Linear(
-            f2pm_ml::linreg::LinearModel::fit(&ds.x, &ds.y).map_err(|e| e.to_string())?,
-        ),
-        "rep_tree" => SavedModel::RepTree(
-            RepTree::new(RepTreeParams::default())
-                .fit_tree(&ds.x, &ds.y)
-                .map_err(|e| e.to_string())?,
-        ),
-        "m5p" => SavedModel::M5(
-            M5Prime::new(M5Params::default())
-                .fit_m5(&ds.x, &ds.y)
-                .map_err(|e| e.to_string())?,
-        ),
-        "svm" => SavedModel::Svr(
-            SvrRegressor::new(SvrParams::default())
-                .fit_svr(&ds.x, &ds.y)
-                .map_err(|e| e.to_string())?,
-        ),
-        "ls_svm" => SavedModel::LsSvm(
-            LsSvmRegressor::new(f2pm_ml::Kernel::Rbf { gamma: 0.03 }, 10.0)
-                .fit_lssvm(&ds.x, &ds.y)
-                .map_err(|e| e.to_string())?,
-        ),
-        other => return Err(format!("unknown method {other:?}")),
-    };
+    let saved = fit_saved_model(&method, &ds.x, &ds.y)?;
 
     // Training-set metrics as a sanity report.
     let probe = method_by_name(&method)?;
@@ -317,7 +335,7 @@ pub fn predict(args: &[String]) -> Result<(), String> {
 /// `f2pm serve`: the sharded online RTTF prediction service.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let model_path = require(&flags, "model")?;
+    let model_path = flags.get("model").cloned();
     let addr = flags
         .get("addr")
         .cloned()
@@ -343,15 +361,50 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     cfg.policy = policy;
     let seconds: Option<u64> = get_parsed(&flags, "seconds")?;
     let watch = flags.contains_key("watch");
+    if watch && model_path.is_none() {
+        return Err("--watch needs --model (a file to watch for reloads)".to_string());
+    }
 
-    let registry = ModelRegistry::from_file(&model_path, agg)
-        .map_err(|e| format!("loading {model_path}: {e}"))?;
-    let kind = registry.current().kind;
+    let (registry, source) = match (&model_path, flags.get("history")) {
+        (Some(path), _) => {
+            let registry =
+                ModelRegistry::from_file(path, agg).map_err(|e| format!("loading {path}: {e}"))?;
+            let kind = registry.current().kind;
+            (registry, format!("{kind} model from {path}"))
+        }
+        (None, Some(hist)) => {
+            // Boot-train in-process: the aggregate/train spans land in the
+            // global metrics registry, so scrapes of this server expose
+            // the training-stage timings.
+            let method = flags
+                .get("method")
+                .cloned()
+                .unwrap_or_else(|| "rep_tree".to_string());
+            let history = load_csv(hist).map_err(|e| format!("reading {hist}: {e}"))?;
+            let span = f2pm_obs::span!("aggregate");
+            let points = aggregate_history(&history, &agg);
+            let ds = Dataset::from_points(&points);
+            span.stop();
+            if ds.is_empty() {
+                return Err("history contains no labeled (failing) runs".to_string());
+            }
+            let saved = fit_saved_model(&method, &ds.x, &ds.y)?;
+            eprintln!(
+                "boot-trained {method} on {} aggregated datapoints from {hist}",
+                ds.len()
+            );
+            let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+            let registry = ModelRegistry::new(saved, columns, agg)
+                .map_err(|e| format!("installing boot-trained model: {e}"))?;
+            (registry, format!("boot-trained {method} model from {hist}"))
+        }
+        (None, None) => return Err("serve needs --model or --history".to_string()),
+    };
     let server = PredictionServer::start(&*addr, cfg, registry)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     let registry = server.registry();
     println!(
-        "serving {kind} model from {model_path} on {} ({} shards, alert ≤ {:.0} s × {})",
+        "serving {source} on {} ({} shards, alert ≤ {:.0} s × {})",
         server.addr(),
         cfg.shards,
         policy.rttf_threshold_s,
@@ -359,18 +412,18 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     );
 
     let mtime = |p: &str| std::fs::metadata(p).and_then(|m| m.modified()).ok();
-    let mut last_mtime = mtime(&model_path);
+    let mut last_mtime = model_path.as_deref().and_then(mtime);
     let started = std::time::Instant::now();
     let mut stats_printed = 0u64;
     loop {
         std::thread::sleep(std::time::Duration::from_millis(500));
-        if watch {
-            let now_mtime = mtime(&model_path);
+        if let (true, Some(path)) = (watch, model_path.as_deref()) {
+            let now_mtime = mtime(path);
             if now_mtime.is_some() && now_mtime != last_mtime {
                 last_mtime = now_mtime;
-                match registry.reload_from_file(&model_path) {
-                    Ok(g) => eprintln!("hot-reloaded {model_path} → model generation {g}"),
-                    Err(e) => eprintln!("reload of {model_path} failed (keeping current): {e}"),
+                match registry.reload_from_file(path) {
+                    Ok(g) => eprintln!("hot-reloaded {path} → model generation {g}"),
+                    Err(e) => eprintln!("reload of {path} failed (keeping current): {e}"),
                 }
             }
         }
@@ -401,6 +454,58 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "served {} datapoints, {} estimates, {} alerts ({} connections total, {} dropped)",
         snap.datapoints, snap.estimates, snap.alerts, snap.total_accepted, snap.dropped
     );
+    Ok(())
+}
+
+/// Send one `MetricsRequest` on an already-handshaken stream and return
+/// the exposition text, skipping any pushed frames in between.
+fn scrape_once(stream: &mut std::net::TcpStream) -> Result<String, String> {
+    Message::MetricsRequest
+        .write_to(stream)
+        .map_err(|e| format!("sending scrape request: {e}"))?;
+    loop {
+        match Message::read_from(stream).map_err(|e| format!("reading scrape reply: {e}"))? {
+            Some(Message::MetricsText { text }) => return Ok(text),
+            Some(Message::Alert { .. }) | Some(Message::RttfEstimate { .. }) => {}
+            Some(other) => return Err(format!("unexpected scrape reply {other:?}")),
+            None => return Err("server closed the connection".to_string()),
+        }
+    }
+}
+
+/// `f2pm stats`: scrape a running serve instance's metrics exposition.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let watch = flags.contains_key("watch");
+    let interval: f64 = get_parsed(&flags, "interval")?.unwrap_or(2.0);
+    if interval <= 0.0 {
+        return Err("--interval must be positive".to_string());
+    }
+    let count: Option<u64> = get_parsed(&flags, "count")?;
+    let scrapes = count.unwrap_or(if watch { u64::MAX } else { 1 });
+
+    let mut stream = std::net::TcpStream::connect(&*addr)
+        .map_err(|e| format!("connecting {addr}: {e} (is `f2pm serve` running?)"))?;
+    stream.set_nodelay(true).ok();
+    // host_id 0 is fine: a stats client never streams datapoints.
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: 0,
+    }
+    .write_to(&mut stream)
+    .map_err(|e| format!("handshake with {addr}: {e}"))?;
+
+    for i in 0..scrapes {
+        if i > 0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+            println!();
+        }
+        print!("{}", scrape_once(&mut stream)?);
+    }
     Ok(())
 }
 
@@ -587,6 +692,86 @@ mod tests {
         // Bad flags are rejected up front.
         assert!(serve(&s(&["--addr", "127.0.0.1:0"])).is_err()); // no --model
         assert!(serve(&s(&["--model", model.to_str().unwrap(), "--shards", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_scrapes_a_live_server() {
+        let dir = std::env::temp_dir().join(format!("f2pm_cli_stats_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.txt");
+        let width =
+            f2pm_features::aggregate::aggregated_column_names_with(&AggregationConfig::default())
+                .len();
+        persist::save(
+            &SavedModel::Linear(f2pm_ml::linreg::LinearModel {
+                intercept: 900.0,
+                coefficients: vec![0.0; width],
+            }),
+            &model,
+        )
+        .unwrap();
+        let registry = ModelRegistry::from_file(&model, AggregationConfig::default()).unwrap();
+        let server =
+            PredictionServer::start("127.0.0.1:0", ServeConfig::default(), registry).unwrap();
+        let addr = server.addr().to_string();
+
+        // The printing command end-to-end...
+        stats(&s(&["--addr", &addr, "--count", "2", "--interval", "0.05"])).unwrap();
+        // ...and the scrape helper, so the content is assertable.
+        let mut stream = std::net::TcpStream::connect(&*addr).unwrap();
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: 0,
+        }
+        .write_to(&mut stream)
+        .unwrap();
+        let text = scrape_once(&mut stream).unwrap();
+        assert!(text.contains("f2pm_serve_model_generation 1\n"), "{text}");
+        assert!(text.contains("# TYPE f2pm_serve_estimate_latency_us histogram"));
+
+        assert!(stats(&s(&["--addr", &addr, "--interval", "0"])).is_err());
+        server.shutdown();
+        assert!(
+            stats(&s(&["--addr", &addr, "--count", "1"])).is_err(),
+            "scraping a stopped server must fail"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_boot_trains_from_history() {
+        let dir = std::env::temp_dir().join(format!("f2pm_cli_boot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let hist = dir.join("history.csv");
+        campaign(&s(&[
+            "--runs",
+            "1",
+            "--quick",
+            "--out",
+            hist.to_str().unwrap(),
+        ]))
+        .unwrap();
+        serve(&s(&[
+            "--history",
+            hist.to_str().unwrap(),
+            "--method",
+            "linear",
+            "--addr",
+            "127.0.0.1:0",
+            "--seconds",
+            "1",
+        ]))
+        .unwrap();
+        // Boot-training stamped its spans into the global registry.
+        let text = f2pm_obs::global().render_text();
+        assert!(
+            text.contains("f2pm_stage_duration_us_count{stage=\"train:linear\"}"),
+            "{text}"
+        );
+        // --watch without a file to watch is rejected up front.
+        let err = serve(&s(&["--history", hist.to_str().unwrap(), "--watch"])).unwrap_err();
+        assert!(err.contains("--watch needs --model"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

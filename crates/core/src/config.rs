@@ -1,10 +1,28 @@
 //! Framework configuration.
 
+use crate::error::F2pmError;
 use f2pm_features::{AggregationConfig, LassoSolverConfig};
 use f2pm_ml::SMaeThreshold;
 use f2pm_sim::CampaignConfig;
 
+/// Method names accepted by [`F2pmConfigBuilder::methods`]. `"lasso"`
+/// selects every `lasso_lambda_*` row of the suite.
+pub const KNOWN_METHODS: [&str; 6] = [
+    "linear_regression",
+    "m5p",
+    "rep_tree",
+    "svm",
+    "ls_svm",
+    "lasso",
+];
+
 /// Complete configuration of an F2PM workflow run.
+///
+/// Construct via [`F2pmConfig::builder`] (validated) or the
+/// [`F2pmConfig::quick`] / [`Default`] presets. The fields stay public for
+/// inspection and for tests that intentionally build edge-case setups, but
+/// new code should go through the builder — it is the only path that
+/// validates and the only one that stays source-compatible as fields grow.
 #[derive(Debug, Clone)]
 pub struct F2pmConfig {
     /// The monitoring campaign (simulated testbed + sampling clock).
@@ -40,6 +58,9 @@ pub struct F2pmConfig {
     /// are autocorrelated, so the run-aware split is the honest
     /// generalization estimate; the row split mirrors a WEKA-style holdout.
     pub split_by_runs: bool,
+    /// Restrict the method suite to these names (see [`KNOWN_METHODS`]).
+    /// `None` runs the paper's full Table-II suite.
+    pub methods: Option<Vec<String>>,
 }
 
 impl Default for F2pmConfig {
@@ -57,6 +78,7 @@ impl Default for F2pmConfig {
             min_selected_features: 3,
             outlier_threshold: None,
             split_by_runs: false,
+            methods: None,
         }
     }
 }
@@ -80,6 +102,182 @@ impl F2pmConfig {
         cfg.lasso_predictor_lambdas = vec![1.0, 1e9];
         cfg
     }
+
+    /// Validated builder starting from the paper-default configuration.
+    pub fn builder() -> F2pmConfigBuilder {
+        F2pmConfigBuilder {
+            cfg: F2pmConfig::default(),
+        }
+    }
+
+    /// Validated builder starting from the [`F2pmConfig::quick`] preset.
+    pub fn quick_builder() -> F2pmConfigBuilder {
+        F2pmConfigBuilder {
+            cfg: F2pmConfig::quick(),
+        }
+    }
+
+    /// Validate an already-assembled configuration (the builder's
+    /// [`F2pmConfigBuilder::build`] calls this; exposed for configs built
+    /// field-by-field in legacy code).
+    pub fn validate(&self) -> Result<(), F2pmError> {
+        fn bad(what: impl Into<String>) -> Result<(), F2pmError> {
+            Err(F2pmError::InvalidConfig { what: what.into() })
+        }
+        if !(self.train_fraction > 0.0 && self.train_fraction < 1.0) {
+            return bad(format!(
+                "train_fraction must be in (0, 1), got {}",
+                self.train_fraction
+            ));
+        }
+        if !(self.aggregation.window_s.is_finite() && self.aggregation.window_s > 0.0) {
+            return bad(format!(
+                "aggregation window must be positive, got {} s",
+                self.aggregation.window_s
+            ));
+        }
+        if self.campaign.runs == 0 {
+            return bad("campaign.runs must be at least 1");
+        }
+        if self.min_selected_features == 0 {
+            return bad("min_selected_features must be at least 1");
+        }
+        for &l in self.lambda_grid.iter().chain(&self.lasso_predictor_lambdas) {
+            if !(l.is_finite() && l > 0.0) {
+                return bad(format!(
+                    "lasso λ values must be positive and finite, got {l}"
+                ));
+            }
+        }
+        if let Some(t) = self.outlier_threshold {
+            if !(t.is_finite() && t > 0.0) {
+                return bad(format!("outlier_threshold must be positive, got {t}"));
+            }
+        }
+        if let Some(methods) = &self.methods {
+            if methods.is_empty() {
+                return bad("methods list is empty — omit it to run the full suite");
+            }
+            for m in methods {
+                if !KNOWN_METHODS.contains(&m.as_str()) {
+                    return bad(format!(
+                        "unknown method {m:?}; known: {}",
+                        KNOWN_METHODS.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the method filter (if any) keep a suite entry with this name?
+    /// `"lasso"` matches every `lasso_lambda_*` row.
+    pub fn method_enabled(&self, name: &str) -> bool {
+        match &self.methods {
+            None => true,
+            Some(ms) => ms
+                .iter()
+                .any(|m| m == name || (m == "lasso" && name.starts_with("lasso_lambda_"))),
+        }
+    }
+}
+
+/// Validated builder for [`F2pmConfig`] — the supported construction path
+/// (`F2pmConfig::builder().window_secs(20.0).methods(["m5p"]).build()?`).
+#[derive(Debug, Clone)]
+pub struct F2pmConfigBuilder {
+    cfg: F2pmConfig,
+}
+
+impl F2pmConfigBuilder {
+    /// Aggregation window width in seconds (Fig. 2).
+    pub fn window_secs(mut self, secs: f64) -> Self {
+        self.cfg.aggregation.window_s = secs;
+        self
+    }
+
+    /// Include per-window standard deviations in the aggregated layout.
+    pub fn include_stddev(mut self, on: bool) -> Self {
+        self.cfg.aggregation.include_stddev = on;
+        self
+    }
+
+    /// Number of monitoring campaign runs.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.cfg.campaign.runs = runs;
+        self
+    }
+
+    /// λ grid driving the Lasso regularization path; empty disables
+    /// feature selection.
+    pub fn lambda_grid(mut self, grid: impl Into<Vec<f64>>) -> Self {
+        self.cfg.lambda_grid = grid.into();
+        self
+    }
+
+    /// λ values evaluated as "Lasso as a Predictor" rows.
+    pub fn lasso_predictor_lambdas(mut self, lambdas: impl Into<Vec<f64>>) -> Self {
+        self.cfg.lasso_predictor_lambdas = lambdas.into();
+        self
+    }
+
+    /// S-MAE tolerance.
+    pub fn smae(mut self, smae: SMaeThreshold) -> Self {
+        self.cfg.smae = smae;
+        self
+    }
+
+    /// Fraction of aggregated datapoints used for training.
+    pub fn train_fraction(mut self, frac: f64) -> Self {
+        self.cfg.train_fraction = frac;
+        self
+    }
+
+    /// Holdout shuffle seed.
+    pub fn split_seed(mut self, seed: u64) -> Self {
+        self.cfg.split_seed = seed;
+        self
+    }
+
+    /// Minimum features a lasso selection must retain.
+    pub fn min_selected_features(mut self, n: usize) -> Self {
+        self.cfg.min_selected_features = n;
+        self
+    }
+
+    /// Robust z-score outlier threshold (`None` keeps everything).
+    pub fn outlier_threshold(mut self, t: Option<f64>) -> Self {
+        self.cfg.outlier_threshold = t;
+        self
+    }
+
+    /// Split train/validation by run instead of by row.
+    pub fn split_by_runs(mut self, on: bool) -> Self {
+        self.cfg.split_by_runs = on;
+        self
+    }
+
+    /// Restrict the suite to these methods (see [`KNOWN_METHODS`]).
+    pub fn methods<I, S>(mut self, methods: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.cfg.methods = Some(methods.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Replace the whole campaign configuration.
+    pub fn campaign(mut self, campaign: CampaignConfig) -> Self {
+        self.cfg.campaign = campaign;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<F2pmConfig, F2pmError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +292,7 @@ mod tests {
         assert_eq!(cfg.lasso_predictor_lambdas.len(), 10);
         assert!(matches!(cfg.smae, SMaeThreshold::Relative(f) if (f - 0.1).abs() < 1e-12));
         assert!(cfg.train_fraction > 0.5 && cfg.train_fraction < 1.0);
+        cfg.validate().expect("defaults validate");
     }
 
     #[test]
@@ -101,5 +300,75 @@ mod tests {
         let q = F2pmConfig::quick();
         assert!(q.campaign.runs < F2pmConfig::default().campaign.runs);
         assert_eq!(q.lasso_predictor_lambdas.len(), 2);
+        q.validate().expect("quick preset validates");
+    }
+
+    #[test]
+    fn builder_sets_fields_and_validates() {
+        let cfg = F2pmConfig::builder()
+            .window_secs(30.0)
+            .runs(6)
+            .train_fraction(0.8)
+            .split_seed(42)
+            .methods(["m5p", "lasso"])
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.aggregation.window_s, 30.0);
+        assert_eq!(cfg.campaign.runs, 6);
+        assert_eq!(cfg.train_fraction, 0.8);
+        assert!(cfg.method_enabled("m5p"));
+        assert!(cfg.method_enabled("lasso_lambda_1e0"));
+        assert!(!cfg.method_enabled("svm"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        for (result, needle) in [
+            (
+                F2pmConfig::builder().train_fraction(1.5).build(),
+                "train_fraction",
+            ),
+            (F2pmConfig::builder().window_secs(0.0).build(), "window"),
+            (F2pmConfig::builder().runs(0).build(), "runs"),
+            (
+                F2pmConfig::builder().min_selected_features(0).build(),
+                "min_selected_features",
+            ),
+            (
+                F2pmConfig::builder().lambda_grid([1.0, -2.0]).build(),
+                "λ values",
+            ),
+            (
+                F2pmConfig::builder().outlier_threshold(Some(-1.0)).build(),
+                "outlier_threshold",
+            ),
+            (
+                F2pmConfig::builder().methods(["quantum_forest"]).build(),
+                "unknown method",
+            ),
+            (
+                F2pmConfig::builder().methods(Vec::<String>::new()).build(),
+                "empty",
+            ),
+        ] {
+            let err = result.expect_err(needle);
+            assert_eq!(err.kind(), "invalid_config");
+            assert!(err.to_string().contains(needle), "{err} ∌ {needle}");
+        }
+    }
+
+    #[test]
+    fn quick_builder_starts_from_the_preset() {
+        let cfg = F2pmConfig::quick_builder().runs(2).build().unwrap();
+        assert_eq!(cfg.campaign.runs, 2);
+        assert_eq!(cfg.lasso_predictor_lambdas.len(), 2, "quick preset kept");
+    }
+
+    #[test]
+    fn unfiltered_config_enables_everything() {
+        let cfg = F2pmConfig::default();
+        for m in ["linear_regression", "svm", "lasso_lambda_1e9", "anything"] {
+            assert!(cfg.method_enabled(m));
+        }
     }
 }

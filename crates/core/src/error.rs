@@ -1,12 +1,19 @@
-//! Workflow-level errors.
+//! The unified workflow error.
 //!
 //! The orchestration layer used to `assert!` on unusable inputs, which
 //! aborts the whole process — unacceptable once the workflow runs inside
-//! the serve layer's retraining loop or a long-lived CLI session. These
-//! variants let callers surface the condition and keep going.
+//! the serve layer's retraining loop or a long-lived CLI session. Three
+//! fast-moving PRs then left three error types (`LinalgError`, `MlError`,
+//! raw `io::Error`) leaking through public `Result`s. [`F2pmError`] absorbs
+//! all of them via `From` impls, so every cross-crate boundary surfaces one
+//! type with a stable machine-readable [`F2pmError::kind`].
 
-/// Errors surfaced by the F2PM workflow orchestration layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+use f2pm_linalg::LinalgError;
+use f2pm_ml::MlError;
+
+/// Errors surfaced by the F2PM workflow orchestration layer and the
+/// crates it coordinates.
+#[derive(Debug, Clone, PartialEq)]
 pub enum F2pmError {
     /// Too few labeled aggregated datapoints survived aggregation and
     /// outlier filtering to split into train/validation sets.
@@ -16,6 +23,67 @@ pub enum F2pmError {
         /// Minimum the workflow requires (exclusive).
         needed: usize,
     },
+    /// A model-layer failure (empty training set, width mismatch, ...).
+    Ml(MlError),
+    /// A numeric kernel failure (singular system, non-convergence, ...).
+    /// `MlError::Linalg` flattens to this variant so the kind is stable
+    /// regardless of which layer noticed first.
+    Linalg(LinalgError),
+    /// An I/O failure from the serve/monitor transport or model files.
+    /// Stores the kind plus rendered message (`std::io::Error` is neither
+    /// `Clone` nor `PartialEq`).
+    Io {
+        /// The original [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// Rendered message of the original error.
+        message: String,
+    },
+    /// A configuration rejected by validation (builder or method filter).
+    InvalidConfig {
+        /// What was wrong, human-readable.
+        what: String,
+    },
+}
+
+impl F2pmError {
+    /// Stable machine-readable error category — the contract CLI exit
+    /// paths, logs, and serve-side retraining loops match on (variant
+    /// details may grow; these strings do not change).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            F2pmError::NotEnoughData { .. } => "not_enough_data",
+            F2pmError::Ml(_) => "ml",
+            F2pmError::Linalg(_) => "linalg",
+            F2pmError::Io { .. } => "io",
+            F2pmError::InvalidConfig { .. } => "invalid_config",
+        }
+    }
+}
+
+impl From<MlError> for F2pmError {
+    fn from(e: MlError) -> Self {
+        match e {
+            // Flatten so a Cholesky failure has kind "linalg" whether it
+            // bubbled straight from the kernel or through the ml layer.
+            MlError::Linalg(inner) => F2pmError::Linalg(inner),
+            other => F2pmError::Ml(other),
+        }
+    }
+}
+
+impl From<LinalgError> for F2pmError {
+    fn from(e: LinalgError) -> Self {
+        F2pmError::Linalg(e)
+    }
+}
+
+impl From<std::io::Error> for F2pmError {
+    fn from(e: std::io::Error) -> Self {
+        F2pmError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for F2pmError {
@@ -26,11 +94,23 @@ impl std::fmt::Display for F2pmError {
                 "not enough labeled aggregated datapoints ({points}, need more than {needed}); \
                  run more campaigns"
             ),
+            F2pmError::Ml(e) => write!(f, "model layer: {e}"),
+            F2pmError::Linalg(e) => write!(f, "numeric kernel: {e}"),
+            F2pmError::Io { kind, message } => write!(f, "io ({kind:?}): {message}"),
+            F2pmError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
         }
     }
 }
 
-impl std::error::Error for F2pmError {}
+impl std::error::Error for F2pmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            F2pmError::Ml(e) => Some(e),
+            F2pmError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -46,5 +126,73 @@ mod tests {
         assert!(msg.contains("not enough labeled"));
         assert!(msg.contains('3'));
         assert!(msg.contains("run more campaigns"));
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let cases: Vec<(F2pmError, &str)> = vec![
+            (
+                F2pmError::NotEnoughData {
+                    points: 0,
+                    needed: 10,
+                },
+                "not_enough_data",
+            ),
+            (F2pmError::Ml(MlError::EmptyTrainingSet), "ml"),
+            (
+                F2pmError::Linalg(LinalgError::NotPositiveDefinite { pivot: 0 }),
+                "linalg",
+            ),
+            (
+                F2pmError::Io {
+                    kind: std::io::ErrorKind::NotFound,
+                    message: "gone".into(),
+                },
+                "io",
+            ),
+            (
+                F2pmError::InvalidConfig {
+                    what: "train_fraction".into(),
+                },
+                "invalid_config",
+            ),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind, "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ml_linalg_errors_flatten_to_linalg_kind() {
+        let nested: F2pmError =
+            MlError::Linalg(LinalgError::NotPositiveDefinite { pivot: 0 }).into();
+        assert_eq!(nested.kind(), "linalg");
+        let direct: F2pmError = LinalgError::NotPositiveDefinite { pivot: 0 }.into();
+        assert_eq!(nested, direct);
+        let plain: F2pmError = MlError::EmptyTrainingSet.into();
+        assert_eq!(plain.kind(), "ml");
+    }
+
+    #[test]
+    fn io_errors_keep_their_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope");
+        let e: F2pmError = io.into();
+        assert_eq!(e.kind(), "io");
+        match &e {
+            F2pmError::Io { kind, message } => {
+                assert_eq!(*kind, std::io::ErrorKind::ConnectionRefused);
+                assert!(message.contains("nope"));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        assert!(e.to_string().contains("ConnectionRefused"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_inner_error() {
+        use std::error::Error;
+        let e: F2pmError = MlError::EmptyTrainingSet.into();
+        assert!(e.source().is_some());
     }
 }

@@ -19,22 +19,34 @@ impl VariantReport {
         self.reports.iter().filter_map(|r| r.as_ref().ok())
     }
 
-    /// The method with the lowest S-MAE.
+    /// The method with the lowest S-MAE (NaN metrics sort last instead of
+    /// panicking — a degenerate model must not take down the report).
     pub fn best_by_smae(&self) -> Option<&ModelReport> {
         self.ok_reports()
-            .min_by(|a, b| a.metrics.smae.partial_cmp(&b.metrics.smae).unwrap())
+            .min_by(|a, b| a.metrics.smae.total_cmp(&b.metrics.smae))
     }
 
     /// The method with the shortest training time.
     pub fn fastest_training(&self) -> Option<&ModelReport> {
         self.ok_reports()
-            .min_by(|a, b| a.train_time_s.partial_cmp(&b.train_time_s).unwrap())
+            .min_by(|a, b| a.train_time_s.total_cmp(&b.train_time_s))
     }
 
     /// Find a report by method name.
     pub fn by_name(&self, name: &str) -> Option<&ModelReport> {
         self.ok_reports().find(|r| r.name == name)
     }
+}
+
+/// Wall time spent in one pipeline stage, stamped by the `f2pm-obs` span
+/// API as the workflow runs (aggregate → lasso path → model grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (matches the `stage` label of the
+    /// `f2pm_stage_duration_us` histogram).
+    pub stage: String,
+    /// Elapsed wall time in seconds.
+    pub seconds: f64,
 }
 
 /// The full outcome of an F2PM workflow run.
@@ -48,6 +60,8 @@ pub struct F2pmReport {
     /// Reports per training-set variant; `[0]` is always "all parameters",
     /// `[1]` (when present) "selected by lasso".
     pub variants: Vec<VariantReport>,
+    /// Per-stage wall times of this run, in pipeline order.
+    pub stage_timings: Vec<StageTiming>,
 }
 
 impl F2pmReport {
@@ -67,7 +81,7 @@ impl F2pmReport {
         self.variants
             .iter()
             .filter_map(|v| v.best_by_smae())
-            .min_by(|a, b| a.metrics.smae.partial_cmp(&b.metrics.smae).unwrap())
+            .min_by(|a, b| a.metrics.smae.total_cmp(&b.metrics.smae))
     }
 
     /// Render the full report as a Markdown document (tables per variant,
@@ -85,6 +99,12 @@ impl F2pmReport {
                 "- recommended model: **{}** (S-MAE {:.1} s, RAE {:.3})\n",
                 best.name, best.metrics.smae, best.metrics.rae
             ));
+        }
+        if !self.stage_timings.is_empty() {
+            s.push_str("\n## Stage timings\n\n| stage | wall time (s) |\n|---|---|\n");
+            for t in &self.stage_timings {
+                s.push_str(&format!("| {} | {:.4} |\n", t.stage, t.seconds));
+            }
         }
         if let Some(sel) = &self.selection {
             s.push_str("\n## Lasso regularization path (Fig. 4)\n\n");
@@ -129,6 +149,13 @@ impl F2pmReport {
             "F2PM workflow: {} runs, {} aggregated datapoints\n",
             self.runs, self.aggregated_points
         ));
+        if !self.stage_timings.is_empty() {
+            s.push_str("stages: ");
+            for t in &self.stage_timings {
+                s.push_str(&format!("{} {:.3}s  ", t.stage, t.seconds));
+            }
+            s.push('\n');
+        }
         if let Some(sel) = &self.selection {
             s.push_str("lasso path (λ → #selected): ");
             for (l, c) in sel.fig4_series() {
@@ -188,11 +215,16 @@ mod tests {
             runs: 4,
             selection: None,
             variants: vec![tiny_variant("all parameters"), tiny_variant("selected")],
+            stage_timings: vec![StageTiming {
+                stage: "aggregate".into(),
+                seconds: 0.125,
+            }],
         };
         let s = rep.summary();
         assert!(s.contains("123 aggregated"));
         assert!(s.contains("all parameters"));
         assert!(s.contains("selected"));
+        assert!(s.contains("aggregate 0.125s"));
         assert!(rep.best_by_smae().is_some());
         assert!(rep.selected_parameters().is_some());
     }
@@ -204,9 +236,21 @@ mod tests {
             runs: 3,
             selection: None,
             variants: vec![tiny_variant("all parameters")],
+            stage_timings: vec![
+                StageTiming {
+                    stage: "aggregate".into(),
+                    seconds: 0.2,
+                },
+                StageTiming {
+                    stage: "model_grid".into(),
+                    seconds: 1.5,
+                },
+            ],
         };
         let md = rep.to_markdown();
         assert!(md.starts_with("# F2PM workflow report"));
+        assert!(md.contains("## Stage timings"));
+        assert!(md.contains("| model_grid | 1.5000 |"));
         assert!(md.contains("recommended model: **linear_regression**"));
         assert!(md.contains("| method | S-MAE (s) |"));
         assert!(md.contains("| linear_regression |"));

@@ -2,7 +2,7 @@
 
 use crate::config::F2pmConfig;
 use crate::error::F2pmError;
-use crate::report::{F2pmReport, VariantReport};
+use crate::report::{F2pmReport, StageTiming, VariantReport};
 use f2pm_features::{aggregate_run, lasso_path, robust_outlier_filter, Dataset, RunTaggedDataset};
 use f2pm_ml::{evaluate_grid, GridVariant};
 use f2pm_monitor::DataHistory;
@@ -32,9 +32,16 @@ pub fn run_workflow_on_history(
     cfg: &F2pmConfig,
     history: &DataHistory,
 ) -> Result<F2pmReport, F2pmError> {
+    // Every stage is timed through the f2pm-obs span API: the duration
+    // lands in the process-global `f2pm_stage_duration_us{stage=...}`
+    // histogram (scrapeable via `f2pm stats`) *and* in the report's
+    // `stage_timings`.
+    let mut stage_timings = Vec::new();
+
     // Phase 2: aggregation + added metrics + RTTF labels, per run so the
     // optional run-aware split knows the provenance of every window. Runs
     // aggregate independently → order-preserving parallel map.
+    let span = f2pm_obs::span!("aggregate");
     let failed: Vec<_> = history
         .runs()
         .into_iter()
@@ -51,6 +58,10 @@ pub fn run_workflow_on_history(
         dataset = dataset.select_rows(&kept);
         run_of_row = kept.iter().map(|&i| run_of_row[i]).collect();
     }
+    stage_timings.push(StageTiming {
+        stage: "aggregate".into(),
+        seconds: span.stop(),
+    });
     let points = dataset.len();
     if points <= MIN_DATAPOINTS {
         return Err(F2pmError::NotEnoughData {
@@ -69,14 +80,31 @@ pub fn run_workflow_on_history(
     let selection = if cfg.lambda_grid.is_empty() {
         None
     } else {
-        Some(lasso_path(&train, &cfg.lambda_grid, &cfg.lasso_solver))
+        let span = f2pm_obs::span!("lasso_path");
+        let sel = lasso_path(&train, &cfg.lambda_grid, &cfg.lasso_solver);
+        stage_timings.push(StageTiming {
+            stage: "lasso_path".into(),
+            seconds: span.stop(),
+        });
+        Some(sel)
     };
 
     // Phase 4: model generation + validation. All training-set variants are
     // assembled first, then the whole (variant × method) grid fans out over
     // one bounded-worker scope — variant- and method-level parallelism in a
     // single pass instead of one sequential evaluate_all per variant.
-    let suite = f2pm_ml::paper_method_suite(&cfg.lasso_predictor_lambdas);
+    // The suite honors the config's optional method filter (validated by
+    // the builder against `KNOWN_METHODS`).
+    let span = f2pm_obs::span!("model_grid");
+    let suite: Vec<_> = f2pm_ml::paper_method_suite(&cfg.lasso_predictor_lambdas)
+        .into_iter()
+        .filter(|r| cfg.method_enabled(&r.name()))
+        .collect();
+    if suite.is_empty() {
+        return Err(F2pmError::InvalidConfig {
+            what: "method filter removed every suite entry".into(),
+        });
+    }
 
     struct Pending {
         label: String,
@@ -87,11 +115,20 @@ pub fn run_workflow_on_history(
     let mut pending = Vec::new();
     if let Some(sel) = &selection {
         if let Some(point) = sel.strongest_selection(cfg.min_selected_features) {
-            let idx: Vec<usize> = point
+            let idx = point
                 .selected_names
                 .iter()
-                .map(|n| dataset.column_index(n).expect("column exists"))
-                .collect();
+                .map(|n| {
+                    dataset.column_index(n).ok_or_else(|| {
+                        // A selection naming a column the dataset lost is an
+                        // internal inconsistency; surface it instead of
+                        // panicking inside the serve retraining loop.
+                        F2pmError::InvalidConfig {
+                            what: format!("lasso selected unknown column {n:?}"),
+                        }
+                    })
+                })
+                .collect::<Result<Vec<usize>, F2pmError>>()?;
             pending.push(Pending {
                 label: format!(
                     "parameters selected by lasso (λ = {:.0e}, {} columns)",
@@ -131,12 +168,17 @@ pub fn run_workflow_on_history(
             reports,
         })
         .collect();
+    stage_timings.push(StageTiming {
+        stage: "model_grid".into(),
+        seconds: span.stop(),
+    });
 
     Ok(F2pmReport {
         aggregated_points: points,
         runs: history.fail_count(),
         selection,
         variants,
+        stage_timings,
     })
 }
 
@@ -246,6 +288,60 @@ mod tests {
             "best model RAE {} too close to the mean predictor",
             best.metrics.rae
         );
+    }
+
+    #[test]
+    fn stage_timings_are_stamped_in_pipeline_order() {
+        let cfg = F2pmConfig::quick();
+        let report = run_workflow(&cfg, 7).unwrap();
+        let stages: Vec<&str> = report
+            .stage_timings
+            .iter()
+            .map(|t| t.stage.as_str())
+            .collect();
+        assert_eq!(stages, ["aggregate", "lasso_path", "model_grid"]);
+        for t in &report.stage_timings {
+            assert!(
+                t.seconds.is_finite() && t.seconds >= 0.0,
+                "{}: {}",
+                t.stage,
+                t.seconds
+            );
+        }
+        // The same durations landed in the process-global span histogram.
+        let snap = f2pm_obs::global()
+            .histogram_snapshot_with(f2pm_obs::STAGE_DURATION_METRIC, "stage", "model_grid")
+            .expect("span recorded");
+        assert!(snap.count >= 1);
+    }
+
+    #[test]
+    fn method_filter_restricts_the_suite() {
+        let cfg = F2pmConfig::quick_builder()
+            .methods(["m5p", "linear_regression"])
+            .build()
+            .unwrap();
+        let report = run_workflow(&cfg, 7).unwrap();
+        let all = report.all_parameters();
+        assert_eq!(all.reports.len(), 2);
+        assert!(all.by_name("m5p").is_some());
+        assert!(all.by_name("linear_regression").is_some());
+        assert!(all.by_name("svm").is_none());
+    }
+
+    #[test]
+    fn lasso_filter_keeps_every_lambda_row() {
+        let cfg = F2pmConfig::quick_builder()
+            .methods(["lasso"])
+            .build()
+            .unwrap();
+        let report = run_workflow(&cfg, 7).unwrap();
+        let all = report.all_parameters();
+        // quick() evaluates two predictor λ values.
+        assert_eq!(all.reports.len(), 2);
+        for r in all.ok_reports() {
+            assert!(r.name.starts_with("lasso_lambda_"), "{}", r.name);
+        }
     }
 
     #[test]

@@ -160,7 +160,7 @@ mod tests {
         let x = Matrix::zeros(5, 1);
         let y = [1.0, 2.0, 3.0, 4.0, 5.0];
         let m = MeanPredictor::new().fit(&x, &y).unwrap();
-        let pred = m.predict(&x).unwrap();
+        let pred = m.predict_batch(&x).unwrap();
         let metrics = Metrics::compute(&pred, &y, SMaeThreshold::Absolute(0.0));
         assert!((metrics.rae - 1.0).abs() < 1e-12);
     }

@@ -151,7 +151,7 @@ mod tests {
     }
 
     fn mae(m: &dyn Model, x: &Matrix, y: &[f64]) -> f64 {
-        m.predict(x)
+        m.predict_batch(x)
             .unwrap()
             .iter()
             .zip(y)

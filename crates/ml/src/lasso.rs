@@ -109,7 +109,7 @@ mod tests {
     fn small_lambda_fits_well() {
         let (x, y) = toy();
         let m = LassoRegressor::new(1e-6).fit(&x, &y).unwrap();
-        let pred = m.predict(&x).unwrap();
+        let pred = m.predict_batch(&x).unwrap();
         let mae: f64 =
             pred.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
         assert!(mae < 1e-3, "mae {mae}");

@@ -97,7 +97,7 @@ mod tests {
         let y = [1.0, 3.0, 5.0];
         let m = reg.fit(&x, &y).unwrap();
         assert_eq!(m.width(), 1);
-        let pred = m.predict(&x).unwrap();
+        let pred = m.predict_batch(&x).unwrap();
         for (p, t) in pred.iter().zip(&y) {
             assert!((p - t).abs() < 1e-9);
         }

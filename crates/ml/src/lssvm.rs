@@ -190,7 +190,7 @@ mod tests {
             .fit(&x, &y)
             .unwrap();
         let mae = m
-            .predict(&x)
+            .predict_batch(&x)
             .unwrap()
             .iter()
             .zip(&y)
@@ -247,7 +247,7 @@ mod tests {
             .fit(&x, &y)
             .unwrap();
         let mae = |m: &dyn Model| {
-            m.predict(&x)
+            m.predict_batch(&x)
                 .unwrap()
                 .iter()
                 .zip(&y)

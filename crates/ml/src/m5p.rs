@@ -558,7 +558,7 @@ mod tests {
         .unwrap();
         let plane = crate::LinearRegression::new().fit(&x, &y).unwrap();
         let mae = |m: &dyn Model| {
-            m.predict(&x)
+            m.predict_batch(&x)
                 .unwrap()
                 .iter()
                 .zip(&y)
@@ -627,7 +627,7 @@ mod tests {
             .fit(&x, &y)
             .unwrap();
             let mae = m
-                .predict(&x)
+                .predict_batch(&x)
                 .unwrap()
                 .iter()
                 .zip(&y)
@@ -649,7 +649,7 @@ mod tests {
         .unwrap();
         // Whole dataset below min_instances → a single (linear) leaf;
         // prediction is the global plane, poor on piecewise data but finite.
-        let p = m.predict(&x).unwrap();
+        let p = m.predict_batch(&x).unwrap();
         assert!(p.iter().all(|v| v.is_finite()));
     }
 

@@ -34,12 +34,6 @@ pub trait Model: Send + Sync {
         check_batch_width(self.width(), x)?;
         Ok((0..x.rows()).map(|i| self.predict_row(x.row(i))).collect())
     }
-
-    /// Predict every row of a matrix (alias of [`Model::predict_batch`],
-    /// kept for the established call sites).
-    fn predict(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        self.predict_batch(x)
-    }
 }
 
 /// Shared width validation for `predict_batch` implementations.
@@ -120,8 +114,8 @@ mod tests {
     fn predict_matrix_maps_rows() {
         let m = ConstModel(2.0, 2);
         let x = Matrix::zeros(4, 2);
-        assert_eq!(m.predict(&x).unwrap(), vec![2.0; 4]);
-        assert!(m.predict(&Matrix::zeros(4, 3)).is_err());
+        assert_eq!(m.predict_batch(&x).unwrap(), vec![2.0; 4]);
+        assert!(m.predict_batch(&Matrix::zeros(4, 3)).is_err());
     }
 
     #[test]

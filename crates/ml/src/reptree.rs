@@ -305,7 +305,7 @@ mod tests {
         let (x, y) = steps(400);
         let m = RepTree::new(RepTreeParams::default()).fit(&x, &y).unwrap();
         let mae = m
-            .predict(&x)
+            .predict_batch(&x)
             .unwrap()
             .iter()
             .zip(&y)
@@ -321,7 +321,7 @@ mod tests {
         let m = RepTree::new(RepTreeParams::default()).fit(&x, &y).unwrap();
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         let tree_mae = m
-            .predict(&x)
+            .predict_batch(&x)
             .unwrap()
             .iter()
             .zip(&y)

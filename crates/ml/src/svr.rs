@@ -341,7 +341,7 @@ mod tests {
         .fit(&x, &y)
         .unwrap();
         let mae = m
-            .predict(&x)
+            .predict_batch(&x)
             .unwrap()
             .iter()
             .zip(&y)
@@ -363,7 +363,7 @@ mod tests {
         .fit(&x, &y)
         .unwrap();
         let mae = m
-            .predict(&x)
+            .predict_batch(&x)
             .unwrap()
             .iter()
             .zip(&y)

@@ -17,7 +17,6 @@ use crate::regressor::{Model, Regressor};
 use crate::MlError;
 use f2pm_features::Dataset;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Everything F2PM reports about one generated model.
 pub struct ModelReport {
@@ -47,23 +46,29 @@ impl std::fmt::Debug for ModelReport {
 }
 
 /// Fit and validate a single method.
+///
+/// Both phases are stamped into the process-global `f2pm-obs` span
+/// histograms (`stage="train:<method>"` / `stage="validate:<method>"`), so
+/// a metrics scrape shows the per-method Table-3 timings alongside the
+/// report's own `train_time_s`/`validation_time_s`.
 pub fn evaluate_one(
     regressor: &dyn Regressor,
     train: &Dataset,
     valid: &Dataset,
     smae: SMaeThreshold,
 ) -> Result<ModelReport, MlError> {
-    let t0 = Instant::now();
+    let name = regressor.name();
+    let span = f2pm_obs::span!(&format!("train:{name}"));
     let model = regressor.fit(&train.x, &train.y)?;
-    let train_time_s = t0.elapsed().as_secs_f64();
+    let train_time_s = span.stop();
 
-    let t1 = Instant::now();
+    let span = f2pm_obs::span!(&format!("validate:{name}"));
     let predictions = model.predict_batch(&valid.x)?;
     let metrics = Metrics::compute(&predictions, &valid.y, smae);
-    let validation_time_s = t1.elapsed().as_secs_f64();
+    let validation_time_s = span.stop();
 
     Ok(ModelReport {
-        name: regressor.name(),
+        name,
         metrics,
         train_time_s,
         validation_time_s,

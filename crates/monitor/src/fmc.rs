@@ -50,6 +50,11 @@ pub struct FeatureMonitorClient {
     sent: u64,
     dropped: u64,
     reconnects: u64,
+    /// Process-global mirrors of the per-client counters, so one metrics
+    /// scrape sees the whole monitoring fleet's transport health.
+    obs_sent: f2pm_obs::Counter,
+    obs_dropped: f2pm_obs::Counter,
+    obs_reconnects: f2pm_obs::Counter,
 }
 
 impl FeatureMonitorClient {
@@ -58,6 +63,7 @@ impl FeatureMonitorClient {
         let stream = TcpStream::connect(addr)?;
         let addr = stream.peer_addr()?;
         let stream = handshake(stream, &cfg)?;
+        let obs = f2pm_obs::global();
         Ok(FeatureMonitorClient {
             stream,
             addr,
@@ -65,6 +71,9 @@ impl FeatureMonitorClient {
             sent: 0,
             dropped: 0,
             reconnects: 0,
+            obs_sent: obs.counter("f2pm_fmc_datapoints_sent_total"),
+            obs_dropped: obs.counter("f2pm_fmc_dropped_frames_total"),
+            obs_reconnects: obs.counter("f2pm_fmc_reconnects_total"),
         })
     }
 
@@ -109,6 +118,7 @@ impl FeatureMonitorClient {
             if msg.write_to(&mut stream).is_ok() {
                 self.stream = stream;
                 self.reconnects += 1;
+                self.obs_reconnects.inc();
                 return Ok(true);
             }
         }
@@ -122,8 +132,10 @@ impl FeatureMonitorClient {
     pub fn send_datapoint(&mut self, d: &Datapoint) -> io::Result<()> {
         if self.send_resilient(&Message::Datapoint(*d))? {
             self.sent += 1;
+            self.obs_sent.inc();
         } else {
             self.dropped += 1;
+            self.obs_dropped.inc();
         }
         Ok(())
     }

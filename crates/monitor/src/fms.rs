@@ -33,6 +33,11 @@ struct Shared {
     /// Connections accepted since start (never decremented).
     total_accepted: AtomicU64,
     datapoints: AtomicU64,
+    /// Process-global mirrors (see `f2pm-obs`) so scrapes observe the FMS
+    /// alongside every other subsystem.
+    obs_accepted: f2pm_obs::Counter,
+    obs_datapoints: f2pm_obs::Counter,
+    obs_live: f2pm_obs::Gauge,
 }
 
 /// Handle to a running server; dropping it does *not* stop the server —
@@ -59,6 +64,9 @@ impl FeatureMonitorServer {
             connections: AtomicU64::new(0),
             total_accepted: AtomicU64::new(0),
             datapoints: AtomicU64::new(0),
+            obs_accepted: f2pm_obs::global().counter("f2pm_fms_connections_total"),
+            obs_datapoints: f2pm_obs::global().counter("f2pm_fms_datapoints_total"),
+            obs_live: f2pm_obs::global().gauge("f2pm_fms_connections"),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -83,11 +91,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 let conn_shared = Arc::clone(&shared);
                 shared.connections.fetch_add(1, Ordering::SeqCst);
                 shared.total_accepted.fetch_add(1, Ordering::SeqCst);
+                shared.obs_accepted.inc();
+                shared.obs_live.add(1.0);
                 std::thread::Builder::new()
                     .name("fms-conn".into())
                     .spawn(move || {
                         let _ = serve_connection(stream, &conn_shared);
                         conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        conn_shared.obs_live.add(-1.0);
                     })
                     .expect("spawn fms connection thread");
             }
@@ -129,6 +140,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                         .push_datapoint(d);
                 }
                 shared.datapoints.fetch_add(1, Ordering::Relaxed);
+                shared.obs_datapoints.inc();
             }
             Message::Fail { t } => {
                 shared.history.lock().push_fail(t);
@@ -137,15 +149,17 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                 }
             }
             Message::Bye => break,
-            // v2 serving traffic: the passive FMS only collects — it has
-            // no estimates to answer with, so requests are ignored and
-            // server-role frames from a confused peer are dropped
-            // (`f2pm-serve` is the server that speaks these).
+            // v2/v3 serving traffic: the passive FMS only collects — it has
+            // no estimates or metrics exposition to answer with, so requests
+            // are ignored and server-role frames from a confused peer are
+            // dropped (`f2pm-serve` is the server that speaks these).
             Message::PredictRequest { .. }
             | Message::StatsRequest
             | Message::RttfEstimate { .. }
             | Message::Alert { .. }
-            | Message::Stats { .. } => {}
+            | Message::Stats { .. }
+            | Message::MetricsRequest
+            | Message::MetricsText { .. } => {}
         }
     }
     Ok(())

@@ -14,17 +14,23 @@
 //!   [`Message::RttfEstimate`] (client-pulled estimates),
 //!   [`Message::Alert`] (server-pushed rejuvenation alerts), and
 //!   `StatsRequest` / [`Message::Stats`] (server metrics snapshot).
+//! - **v3** adds the observability scrape: `MetricsRequest` /
+//!   [`Message::MetricsText`] — the full Prometheus-style text exposition of
+//!   the server's metrics registry (see `f2pm-obs`), UTF-8, capped at
+//!   [`MAX_METRICS_TEXT`] so it always fits one frame.
 //!
 //! Servers accept any handshake version in
-//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]; a v1 client never
-//! emits a v2 tag, so the v1 subset keeps working unchanged.
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]; a v1/v2 client never
+//! emits a newer tag — and servers only answer scrape requests on
+//! connections that shook hands with v3 — so older clients keep working
+//! unchanged.
 
 use crate::datapoint::Datapoint;
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version servers still accept.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -33,6 +39,12 @@ pub const MIN_PROTOCOL_VERSION: u16 = 1;
 /// must never translate into a huge allocation: `read_from` rejects any
 /// frame claiming more than this *before* allocating the payload buffer.
 pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Longest metrics exposition a [`Message::MetricsText`] frame can carry
+/// (tag + length prefix headroom under [`MAX_FRAME`]).
+/// [`Message::metrics_text`] truncates longer expositions at a line
+/// boundary instead of failing the scrape.
+pub const MAX_METRICS_TEXT: usize = MAX_FRAME - 16;
 
 /// Messages exchanged between FMC (client) and FMS / serve (server).
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +118,35 @@ pub enum Message {
         /// Queue depth per shard at snapshot time.
         shard_depths: Vec<u32>,
     },
+    /// v3, client → server: ask for the full metrics text exposition.
+    MetricsRequest,
+    /// v3, server → client: Prometheus-style text exposition (reply to
+    /// [`Message::MetricsRequest`]). UTF-8, at most [`MAX_METRICS_TEXT`]
+    /// bytes — build with [`Message::metrics_text`] to get safe truncation.
+    MetricsText {
+        /// The exposition body.
+        text: String,
+    },
 }
 
 impl Message {
+    /// Build a [`Message::MetricsText`], truncating oversized expositions at
+    /// the last full line that fits [`MAX_METRICS_TEXT`] (a scrape should
+    /// degrade to a partial exposition, not an encode failure).
+    pub fn metrics_text(mut text: String) -> Message {
+        if text.len() > MAX_METRICS_TEXT {
+            // Last newline inside the cap — a byte search, so the cut is a
+            // char boundary even if the cap lands mid-multibyte-char.
+            let cut = text.as_bytes()[..MAX_METRICS_TEXT]
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            text.truncate(cut);
+        }
+        Message::MetricsText { text }
+    }
+
     fn tag(&self) -> u8 {
         match self {
             Message::Hello { .. } => 1,
@@ -120,6 +158,8 @@ impl Message {
             Message::Alert { .. } => 7,
             Message::StatsRequest => 8,
             Message::Stats { .. } => 9,
+            Message::MetricsRequest => 10,
+            Message::MetricsText { .. } => 11,
         }
     }
 
@@ -129,6 +169,7 @@ impl Message {
             Message::Hello { .. } | Message::Datapoint(_) | Message::Fail { .. } | Message::Bye => {
                 1
             }
+            Message::MetricsRequest | Message::MetricsText { .. } => 3,
             _ => 2,
         }
     }
@@ -194,6 +235,12 @@ impl Message {
                 for d in shard_depths {
                     payload.put_u32(*d);
                 }
+            }
+            Message::MetricsRequest => {}
+            Message::MetricsText { text } => {
+                debug_assert!(text.len() <= MAX_METRICS_TEXT, "use Message::metrics_text");
+                payload.put_u32(text.len() as u32);
+                payload.extend_from_slice(text.as_bytes());
             }
         }
         let mut frame = BytesMut::with_capacity(4 + payload.len());
@@ -302,6 +349,23 @@ impl Message {
                     shard_depths,
                 })
             }
+            10 => Ok(Message::MetricsRequest),
+            11 => {
+                if payload.remaining() < 4 {
+                    return Err(bad("short metrics text"));
+                }
+                let n = payload.get_u32() as usize;
+                if n > MAX_METRICS_TEXT {
+                    return Err(bad(&format!("metrics text length {n} exceeds cap")));
+                }
+                if payload.remaining() < n {
+                    return Err(bad("short metrics text body"));
+                }
+                let text = std::str::from_utf8(&payload[..n])
+                    .map_err(|_| bad("metrics text not utf-8"))?
+                    .to_string();
+                Ok(Message::MetricsText { text })
+            }
             other => Err(bad(&format!("unknown tag {other}"))),
         }
     }
@@ -408,6 +472,10 @@ mod tests {
                 model_generation: 2,
                 shard_depths: vec![0, 7, 2, 0],
             },
+            Message::MetricsRequest,
+            Message::MetricsText {
+                text: "# TYPE f2pm_requests_total counter\nf2pm_requests_total 7\n".to_string(),
+            },
         ]
     }
 
@@ -422,17 +490,63 @@ mod tests {
     }
 
     #[test]
-    fn v2_tags_carry_v2_min_version() {
+    fn tags_carry_the_version_they_were_introduced_in() {
         for m in all_variants() {
             let expect = match m {
                 Message::Hello { .. }
                 | Message::Datapoint(_)
                 | Message::Fail { .. }
                 | Message::Bye => 1,
+                Message::MetricsRequest | Message::MetricsText { .. } => 3,
                 _ => 2,
             };
             assert_eq!(m.min_version(), expect, "{m:?}");
         }
+    }
+
+    #[test]
+    fn metrics_text_roundtrips_unicode() {
+        let m = Message::metrics_text("f2pm_µs_sum 12\nf2pm_µs_count 3\n".to_string());
+        let frame = m.encode();
+        assert_eq!(Message::decode(&frame[4..]).unwrap(), m);
+    }
+
+    #[test]
+    fn oversized_metrics_text_truncates_at_a_line_boundary() {
+        let line = "f2pm_some_metric_with_a_longish_name_total 123456789\n";
+        let big = line.repeat(2 * MAX_METRICS_TEXT / line.len());
+        assert!(big.len() > MAX_METRICS_TEXT);
+        match Message::metrics_text(big) {
+            Message::MetricsText { text } => {
+                assert!(text.len() <= MAX_METRICS_TEXT);
+                assert!(!text.is_empty());
+                assert!(text.ends_with('\n'), "cut on a full line");
+                // And the truncated frame still round-trips.
+                let m = Message::MetricsText { text };
+                let frame = m.encode();
+                assert!(frame.len() - 4 <= MAX_FRAME);
+                assert_eq!(Message::decode(&frame[4..]).unwrap(), m);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_text_rejects_bad_payloads() {
+        // Claimed string length beyond the cap.
+        let mut payload = vec![11u8];
+        payload.extend_from_slice(&(MAX_FRAME as u32).to_be_bytes());
+        assert!(Message::decode(&payload).is_err());
+        // Claimed length beyond the actual body.
+        let mut payload = vec![11u8];
+        payload.extend_from_slice(&10u32.to_be_bytes());
+        payload.extend_from_slice(b"short");
+        assert!(Message::decode(&payload).is_err());
+        // Invalid UTF-8 body.
+        let mut payload = vec![11u8];
+        payload.extend_from_slice(&2u32.to_be_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Message::decode(&payload).is_err());
     }
 
     #[test]
@@ -594,20 +708,32 @@ mod tests {
             })
         }
 
-        /// One strategy covering every message variant, v1 and v2. (The
+        /// Arbitrary exposition-ish text: printable ASCII plus newlines (the
+        /// offline proptest stub has no String strategy, so build one from
+        /// bytes).
+        fn arb_text() -> impl Strategy<Value = String> {
+            proptest::collection::vec(0u8..96, 0..200).prop_map(|bytes| {
+                bytes
+                    .into_iter()
+                    .map(|b| if b == 95 { '\n' } else { (b + 32) as char })
+                    .collect()
+            })
+        }
+
+        /// One strategy covering every message variant, v1 through v3. (The
         /// offline proptest stub supports 2- and 3-tuples, so the inputs
         /// nest.)
         fn arb_message() -> impl Strategy<Value = Message> {
             (
-                (0u8..10, (0u64..u64::MAX, 0u32..u32::MAX, 0u16..u16::MAX)),
-                (arb_f64(), arb_f64(), arb_f64()),
+                (0u8..12, (0u64..u64::MAX, 0u32..u32::MAX, 0u16..u16::MAX)),
+                ((arb_f64(), arb_f64(), arb_f64()), arb_text()),
                 (
                     arb_datapoint(),
                     proptest::collection::vec(0u32..100_000, 0..9),
                 ),
             )
                 .prop_map(
-                    |((pick, (n, host_id, version)), (a, b, c), (dp, depths))| match pick {
+                    |((pick, (n, host_id, version)), ((a, b, c), text), (dp, depths))| match pick {
                         0 => Message::Hello { version, host_id },
                         1 => Message::Datapoint(dp),
                         2 => Message::Fail { t: a },
@@ -632,7 +758,7 @@ mod tests {
                             threshold: c,
                         },
                         8 => Message::StatsRequest,
-                        _ => Message::Stats {
+                        9 => Message::Stats {
                             connections: n % 100_000,
                             datapoints: n,
                             estimates: n / 3,
@@ -641,6 +767,8 @@ mod tests {
                             model_generation: n % 1000,
                             shard_depths: depths,
                         },
+                        10 => Message::MetricsRequest,
+                        _ => Message::MetricsText { text },
                     },
                 )
         }

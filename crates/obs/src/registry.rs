@@ -1,0 +1,474 @@
+//! Lock-free metric primitives and the registry that names them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::span::SpanGuard;
+
+/// Number of power-of-two buckets in a [`Histogram`]: bucket 0 counts
+/// sub-microsecond samples, bucket `i` counts samples in
+/// `[2^(i-1), 2^i)` µs, and the last bucket absorbs everything ≥ ~2 s.
+pub const HISTOGRAM_BUCKETS: usize = 22;
+
+/// Monotonically increasing event counter. Clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value (queue depth, model generation, last duration).
+/// Stored as `f64` bits in an atomic; clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Convenience for integral gauges (generations, depths).
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// Add a (possibly negative) delta atomically.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+/// Power-of-two latency/duration histogram in microseconds — the
+/// generalization of the bucket scheme `f2pm-serve` used privately. Records
+/// are three relaxed atomic adds; no locks, no allocation.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            cells: Arc::new(HistogramCells {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum_us: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a sample of `us` microseconds.
+    #[inline]
+    pub fn bucket_index(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((u64::BITS - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound (µs) of bucket `i`; the last bucket is open.
+    #[inline]
+    pub fn bucket_bound_us(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Record a sample of `us` microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.cells.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed [`Duration`].
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (buckets read individually with
+    /// relaxed loads — fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .cells
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.cells.count.load(Ordering::Relaxed),
+            sum_us: self.cells.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (length [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile in microseconds (upper bound of the bucket the
+    /// rank falls in). `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Histogram::bucket_bound_us(i));
+            }
+        }
+        Some(Histogram::bucket_bound_us(self.buckets.len() - 1))
+    }
+}
+
+/// Registry key: metric family name plus at most one `key="value"` label.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub name: String,
+    pub label: Option<(String, String)>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. Registration and rendering take a mutex;
+/// the returned handles update lock-free, so steady-state instrumentation
+/// never contends on the registry itself.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str, label: Option<(&str, &str)>) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+        }
+    }
+
+    fn register(&self, key: MetricKey, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = map.entry(key.clone()).or_insert_with(make);
+        entry.clone()
+    }
+
+    fn registered(
+        &self,
+        name: &str,
+        label: Option<(&str, &str)>,
+        make: fn() -> Metric,
+        want: &'static str,
+    ) -> Metric {
+        let metric = self.register(Self::key(name, label), make);
+        assert!(
+            metric.type_name() == want,
+            "metric `{name}` already registered as a {}, requested as a {want}",
+            metric.type_name(),
+        );
+        metric
+    }
+
+    /// Get or create an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with_opt(name, None)
+    }
+
+    /// Get or create a counter with one `key="value"` label.
+    pub fn counter_with(&self, name: &str, label_key: &str, label_value: &str) -> Counter {
+        self.counter_with_opt(name, Some((label_key, label_value)))
+    }
+
+    fn counter_with_opt(&self, name: &str, label: Option<(&str, &str)>) -> Counter {
+        match self.registered(
+            name,
+            label,
+            || Metric::Counter(Counter::default()),
+            "counter",
+        ) {
+            Metric::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or create an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with_opt(name, None)
+    }
+
+    /// Get or create a gauge with one `key="value"` label.
+    pub fn gauge_with(&self, name: &str, label_key: &str, label_value: &str) -> Gauge {
+        self.gauge_with_opt(name, Some((label_key, label_value)))
+    }
+
+    fn gauge_with_opt(&self, name: &str, label: Option<(&str, &str)>) -> Gauge {
+        match self.registered(name, label, || Metric::Gauge(Gauge::default()), "gauge") {
+            Metric::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or create an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_opt(name, None)
+    }
+
+    /// Get or create a histogram with one `key="value"` label.
+    pub fn histogram_with(&self, name: &str, label_key: &str, label_value: &str) -> Histogram {
+        self.histogram_with_opt(name, Some((label_key, label_value)))
+    }
+
+    fn histogram_with_opt(&self, name: &str, label: Option<(&str, &str)>) -> Histogram {
+        match self.registered(
+            name,
+            label,
+            || Metric::Histogram(Histogram::default()),
+            "histogram",
+        ) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Start timing a pipeline stage; the elapsed time lands in
+    /// `f2pm_stage_duration_us{stage="<stage>"}` when the guard stops.
+    pub fn span(&self, stage: &str) -> SpanGuard {
+        SpanGuard::new(self.histogram_with(crate::STAGE_DURATION_METRIC, crate::STAGE_LABEL, stage))
+    }
+
+    fn lookup(&self, name: &str, label: Option<(&str, &str)>) -> Option<Metric> {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        map.get(&Self::key(name, label)).cloned()
+    }
+
+    /// Value of an unlabeled counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.lookup(name, None)? {
+            Metric::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Value of an unlabeled gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.lookup(name, None)? {
+            Metric::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of an unlabeled histogram, if registered.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.lookup(name, None)? {
+            Metric::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of a labeled histogram, if registered.
+    pub fn histogram_snapshot_with(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> Option<HistogramSnapshot> {
+        match self.lookup(name, Some((label_key, label_value)))? {
+            Metric::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Render the registry as a Prometheus-style text exposition.
+    pub fn render_text(&self) -> String {
+        let entries: Vec<(MetricKey, Metric)> = {
+            let map = self.metrics.lock().expect("metrics registry poisoned");
+            map.iter().map(|(k, m)| (k.clone(), m.clone())).collect()
+        };
+        crate::text::render(&entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_a_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c");
+        let b = reg.counter("c");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter_value("c"), Some(5));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("ops", "shard", "0").add(3);
+        reg.counter_with("ops", "shard", "1").add(7);
+        assert_eq!(reg.counter_with("ops", "shard", "0").get(), 3);
+        assert_eq!(reg.counter_with("ops", "shard", "1").get(), 7);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(10.0);
+        g.add(-3.0);
+        assert_eq!(reg.gauge_value("depth"), Some(7.0));
+        g.set_u64(42);
+        assert_eq!(g.get(), 42.0);
+    }
+
+    #[test]
+    fn histogram_bucketing_matches_power_of_two_scheme() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for _ in 0..99 {
+            h.record_us(100); // bucket 7, bound 128
+        }
+        h.record_us(1 << 20); // one slow outlier
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.quantile_us(0.5), Some(128));
+        assert_eq!(snap.quantile_us(0.99), Some(128));
+        assert_eq!(snap.quantile_us(1.0), Some(1 << 21));
+        assert!(HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+        .quantile_us(0.5)
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("shared");
+                let h = reg.histogram("shared_lat");
+                for i in 0..10_000u64 {
+                    c.inc();
+                    h.record_us(i % 4096);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter_value("shared"), Some(40_000));
+        assert_eq!(reg.histogram_snapshot("shared_lat").unwrap().count, 40_000);
+    }
+}

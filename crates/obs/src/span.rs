@@ -1,0 +1,86 @@
+//! Drop-guard span timing.
+
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// Times a region of code and records the elapsed wall time into a stage
+/// histogram. Created by [`crate::MetricsRegistry::span`] or the
+/// [`crate::span!`] macro; records on drop, or immediately via
+/// [`SpanGuard::stop`] which also returns the elapsed seconds (handy for
+/// stamping durations into reports).
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Histogram,
+    started: Instant,
+    stopped: bool,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(hist: Histogram) -> Self {
+        SpanGuard {
+            hist,
+            started: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    fn record(&mut self) -> f64 {
+        self.stopped = true;
+        let elapsed = self.started.elapsed();
+        self.hist.record_duration(elapsed);
+        elapsed.as_secs_f64()
+    }
+
+    /// Stop the span now, record it, and return the elapsed seconds.
+    pub fn stop(mut self) -> f64 {
+        self.record()
+    }
+
+    /// Elapsed seconds so far without stopping the span.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.record();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn stop_records_once() {
+        let reg = MetricsRegistry::new();
+        let secs = reg.span("stage_a").stop();
+        assert!(secs >= 0.0);
+        let snap = reg
+            .histogram_snapshot_with(crate::STAGE_DURATION_METRIC, crate::STAGE_LABEL, "stage_a")
+            .unwrap();
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn drop_records_implicitly() {
+        let reg = MetricsRegistry::new();
+        {
+            let _guard = reg.span("stage_b");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = reg
+            .histogram_snapshot_with(crate::STAGE_DURATION_METRIC, crate::STAGE_LABEL, "stage_b")
+            .unwrap();
+        assert_eq!(snap.count, 1);
+        assert!(
+            snap.sum_us >= 1_000,
+            "slept ≥1ms, recorded {}µs",
+            snap.sum_us
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Prometheus-style text exposition rendering.
+
+use crate::registry::{Metric, MetricKey};
+
+/// Render sorted `(key, metric)` pairs into the text exposition format:
+/// one `# TYPE` line per family, then one sample line per series (histograms
+/// expand into cumulative `_bucket{le="..."}` series plus `_sum`/`_count`).
+pub(crate) fn render(entries: &[(MetricKey, Metric)]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for (key, metric) in entries {
+        if last_family != Some(key.name.as_str()) {
+            out.push_str("# TYPE ");
+            out.push_str(&key.name);
+            out.push(' ');
+            out.push_str(match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            });
+            out.push('\n');
+            last_family = Some(key.name.as_str());
+        }
+        match metric {
+            Metric::Counter(c) => {
+                sample(
+                    &mut out,
+                    &key.name,
+                    label_of(key, None),
+                    &c.get().to_string(),
+                );
+            }
+            Metric::Gauge(g) => {
+                sample(&mut out, &key.name, label_of(key, None), &fmt_f64(g.get()));
+            }
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                let mut cumulative = 0u64;
+                for (i, &n) in snap.buckets.iter().enumerate() {
+                    cumulative += n;
+                    let le = if i + 1 == snap.buckets.len() {
+                        "+Inf".to_string()
+                    } else {
+                        crate::registry::Histogram::bucket_bound_us(i).to_string()
+                    };
+                    sample(
+                        &mut out,
+                        &format!("{}_bucket", key.name),
+                        label_of(key, Some(&le)),
+                        &cumulative.to_string(),
+                    );
+                }
+                sample(
+                    &mut out,
+                    &format!("{}_sum", key.name),
+                    label_of(key, None),
+                    &snap.sum_us.to_string(),
+                );
+                sample(
+                    &mut out,
+                    &format!("{}_count", key.name),
+                    label_of(key, None),
+                    &snap.count.to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Build the `{k="v",le="b"}` label block, or an empty string.
+fn label_of(key: &MetricKey, le: Option<&str>) -> String {
+    let mut parts = Vec::new();
+    if let Some((k, v)) = &key.label {
+        parts.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    if let Some(bound) = le {
+        parts.push(format!("le=\"{bound}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn sample(out: &mut String, name: &str, labels: String, value: &str) {
+    out.push_str(name);
+    out.push_str(&labels);
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("f2pm_requests_total").add(12);
+        reg.counter_with("f2pm_shard_events_total", "shard", "0")
+            .add(5);
+        reg.counter_with("f2pm_shard_events_total", "shard", "1")
+            .add(6);
+        reg.gauge("f2pm_model_generation").set_u64(3);
+        reg.gauge("f2pm_frac").set(0.25);
+        let h = reg.histogram_with("f2pm_latency_us", "stage", "grid");
+        h.record_us(3);
+        h.record_us(100);
+
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE f2pm_requests_total counter\n"));
+        assert!(text.contains("f2pm_requests_total 12\n"));
+        assert!(text.contains("f2pm_shard_events_total{shard=\"0\"} 5\n"));
+        assert!(text.contains("f2pm_shard_events_total{shard=\"1\"} 6\n"));
+        assert!(text.contains("f2pm_model_generation 3\n"));
+        assert!(text.contains("f2pm_frac 0.25\n"));
+        assert!(text.contains("# TYPE f2pm_latency_us histogram\n"));
+        // 3µs lands in bucket 2 (le=4); cumulative counts from there on.
+        assert!(text.contains("f2pm_latency_us_bucket{stage=\"grid\",le=\"4\"} 1\n"));
+        assert!(text.contains("f2pm_latency_us_bucket{stage=\"grid\",le=\"128\"} 2\n"));
+        assert!(text.contains("f2pm_latency_us_bucket{stage=\"grid\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("f2pm_latency_us_sum{stage=\"grid\"} 103\n"));
+        assert!(text.contains("f2pm_latency_us_count{stage=\"grid\"} 2\n"));
+        // TYPE header appears exactly once per family.
+        assert_eq!(text.matches("# TYPE f2pm_shard_events_total").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("weird", "stage", "a\"b\\c").inc();
+        let text = reg.render_text();
+        assert!(text.contains("weird{stage=\"a\\\"b\\\\c\"} 1\n"));
+    }
+}

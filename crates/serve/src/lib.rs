@@ -6,7 +6,8 @@
 //! datapoints in, and the server keeps a live Remaining-Time-To-Failure
 //! estimate per host, pushes rejuvenation alerts when an estimate stays
 //! under the safety threshold, and exposes a metrics snapshot over the
-//! same wire protocol (v2).
+//! same wire protocol (v2) plus a full Prometheus-style text exposition
+//! (v3 `MetricsRequest` → `MetricsText`, scraped by `f2pm stats`).
 //!
 //! Architecture (see `DESIGN.md` §8):
 //!
@@ -18,8 +19,11 @@
 //! - **[`registry`]** — hot-reloadable model storage: an atomic `Arc`
 //!   swap re-points every host's next prediction at the new model without
 //!   dropping connections or window state.
-//! - **[`metrics`]** — lock-free counters + a power-of-two
-//!   prediction-latency histogram.
+//! - **[`metrics`]** — serving counters, gauges, and the power-of-two
+//!   prediction-latency histogram, all registered on a per-server
+//!   `f2pm_obs::MetricsRegistry`; `expose_text` renders it with the
+//!   process-global registry (training-stage spans, FMC/FMS transport
+//!   counters) appended.
 
 #![warn(missing_docs)]
 

@@ -1,107 +1,173 @@
-//! Serving metrics: lock-free counters + a prediction-latency histogram.
+//! Serving metrics on the shared `f2pm-obs` registry.
 //!
 //! One [`ServeMetrics`] is shared by the acceptor, every reader thread and
-//! every shard worker; all updates are relaxed atomics so the hot ingest
-//! path never takes a lock for accounting. [`ServeMetrics::snapshot`]
-//! materializes a consistent-enough [`MetricsSnapshot`] for the `Stats`
-//! wire reply and for the load-generation reports.
+//! every shard worker. The counters/gauges/histogram are handles into an
+//! [`f2pm_obs::MetricsRegistry`] owned by the server instance (per-instance,
+//! so tests can run several servers without cross-talk); all updates are
+//! relaxed atomics, so the hot ingest path never takes a lock for
+//! accounting. [`ServeMetrics::snapshot`] materializes a consistent-enough
+//! [`MetricsSnapshot`] for the v2 `Stats` wire reply, and
+//! [`ServeMetrics::expose_text`] renders the v3 Prometheus-style exposition
+//! (instance registry + the process-global registry, which carries the span
+//! timings of any in-process training plus FMC/FMS transport counters).
 
 use f2pm_monitor::wire::Message;
-use std::sync::atomic::{AtomicU64, Ordering};
+use f2pm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::time::Duration;
 
-/// Power-of-two µs latency buckets: bucket `i` holds latencies in
-/// `[2^(i-1), 2^i)` µs (bucket 0 = sub-µs), the last bucket is open-ended.
-pub const LATENCY_BUCKETS: usize = 22;
+/// Power-of-two µs latency buckets (re-exported bucket count of the shared
+/// [`f2pm_obs::Histogram`]; bucket `i` holds latencies in `[2^(i-1), 2^i)`
+/// µs, bucket 0 = sub-µs, the last bucket is open-ended).
+pub const LATENCY_BUCKETS: usize = f2pm_obs::HISTOGRAM_BUCKETS;
 
-/// Shared, lock-free serving counters.
-#[derive(Default)]
+/// Shared serving counters, backed by a per-instance metrics registry.
 pub struct ServeMetrics {
-    connections: AtomicU64,
-    total_accepted: AtomicU64,
-    datapoints: AtomicU64,
-    estimates: AtomicU64,
-    alerts: AtomicU64,
-    dropped: AtomicU64,
-    predict_requests: AtomicU64,
-    stats_requests: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS],
+    registry: MetricsRegistry,
+    connections: Gauge,
+    total_accepted: Counter,
+    datapoints: Counter,
+    estimates: Counter,
+    alerts: Counter,
+    dropped: Counter,
+    predict_requests: Counter,
+    stats_requests: Counter,
+    metrics_requests: Counter,
+    latency: Histogram,
+    model_generation: Gauge,
+    latency_p50: Gauge,
+    latency_p99: Gauge,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        ServeMetrics {
+            connections: registry.gauge("f2pm_serve_connections"),
+            total_accepted: registry.counter("f2pm_serve_connections_total"),
+            datapoints: registry.counter("f2pm_serve_datapoints_total"),
+            estimates: registry.counter("f2pm_serve_estimates_total"),
+            alerts: registry.counter("f2pm_serve_alerts_total"),
+            dropped: registry.counter("f2pm_serve_dropped_frames_total"),
+            predict_requests: registry.counter("f2pm_serve_predict_requests_total"),
+            stats_requests: registry.counter("f2pm_serve_stats_requests_total"),
+            metrics_requests: registry.counter("f2pm_serve_metrics_requests_total"),
+            latency: registry.histogram("f2pm_serve_estimate_latency_us"),
+            model_generation: registry.gauge("f2pm_serve_model_generation"),
+            latency_p50: registry.gauge("f2pm_serve_estimate_latency_p50_us"),
+            latency_p99: registry.gauge("f2pm_serve_estimate_latency_p99_us"),
+            registry,
+        }
+    }
 }
 
 impl ServeMetrics {
-    /// Fresh all-zero metrics.
+    /// Fresh all-zero metrics on a private registry.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A connection was accepted.
     pub fn connection_opened(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
-        self.total_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections.add(1.0);
+        self.total_accepted.inc();
     }
 
     /// A connection ended (any reason).
     pub fn connection_closed(&self) {
-        self.connections.fetch_sub(1, Ordering::Relaxed);
+        self.connections.add(-1.0);
     }
 
     /// One datapoint ingested off the wire.
     pub fn datapoint(&self) {
-        self.datapoints.fetch_add(1, Ordering::Relaxed);
+        self.datapoints.inc();
     }
 
     /// One RTTF estimate produced, taking `took` of shard-worker time
     /// (aggregation + model evaluation).
     pub fn estimate(&self, took: Duration) {
-        self.estimates.fetch_add(1, Ordering::Relaxed);
-        let us = took.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (u64::BITS - us.leading_zeros()).min(LATENCY_BUCKETS as u32 - 1);
-        self.latency[bucket as usize].fetch_add(1, Ordering::Relaxed);
+        self.estimates.inc();
+        self.latency.record_duration(took);
     }
 
     /// One rejuvenation alert fired.
     pub fn alert(&self) {
-        self.alerts.fetch_add(1, Ordering::Relaxed);
+        self.alerts.inc();
     }
 
     /// One frame dropped (never happens under blocking backpressure; the
     /// counter exists so the invariant is observable).
     pub fn drop_frame(&self) {
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.inc();
     }
 
     /// One `PredictRequest` served.
     pub fn predict_request(&self) {
-        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+        self.predict_requests.inc();
     }
 
     /// One `StatsRequest` served.
     pub fn stats_request(&self) {
-        self.stats_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats_requests.inc();
+    }
+
+    /// One `MetricsRequest` (v3 scrape) served.
+    pub fn metrics_request(&self) {
+        self.metrics_requests.inc();
+    }
+
+    /// Per-shard processed-event counter handle
+    /// (`f2pm_serve_shard_events_total{shard="<i>"}`). Workers grab their
+    /// handle once at spawn, then increment lock-free.
+    pub fn shard_events(&self, shard: usize) -> Counter {
+        self.registry
+            .counter_with("f2pm_serve_shard_events_total", "shard", &shard.to_string())
+    }
+
+    /// The instance registry backing these metrics.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Materialize a snapshot. Queue depths and model generation live
     /// outside the metrics (shard pool / registry), so the caller passes
     /// them in.
     pub fn snapshot(&self, shard_depths: Vec<u32>, model_generation: u64) -> MetricsSnapshot {
-        let latency: Vec<u64> = self
-            .latency
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let latency = self.latency.snapshot();
         MetricsSnapshot {
-            connections: self.connections.load(Ordering::Relaxed),
-            total_accepted: self.total_accepted.load(Ordering::Relaxed),
-            datapoints: self.datapoints.load(Ordering::Relaxed),
-            estimates: self.estimates.load(Ordering::Relaxed),
-            alerts: self.alerts.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            predict_requests: self.predict_requests.load(Ordering::Relaxed),
-            stats_requests: self.stats_requests.load(Ordering::Relaxed),
-            latency_buckets: latency,
+            connections: self.connections.get().max(0.0) as u64,
+            total_accepted: self.total_accepted.get(),
+            datapoints: self.datapoints.get(),
+            estimates: self.estimates.get(),
+            alerts: self.alerts.get(),
+            dropped: self.dropped.get(),
+            predict_requests: self.predict_requests.get(),
+            stats_requests: self.stats_requests.get(),
+            metrics_requests: self.metrics_requests.get(),
+            latency_buckets: latency.buckets,
             shard_depths,
             model_generation,
         }
+    }
+
+    /// Render the v3 text exposition: refresh the scrape-time gauges
+    /// (shard queue depths, model generation, p50/p99 latency), render the
+    /// instance registry, then append the process-global registry so the
+    /// scrape also carries pipeline span timings and FMC/FMS transport
+    /// counters.
+    pub fn expose_text(&self, shard_depths: &[u32], model_generation: u64) -> String {
+        self.model_generation.set_u64(model_generation);
+        for (i, &d) in shard_depths.iter().enumerate() {
+            self.registry
+                .gauge_with("f2pm_serve_shard_queue_depth", "shard", &i.to_string())
+                .set_u64(d as u64);
+        }
+        let snap = self.latency.snapshot();
+        self.latency_p50.set_u64(snap.quantile_us(0.5).unwrap_or(0));
+        self.latency_p99
+            .set_u64(snap.quantile_us(0.99).unwrap_or(0));
+        let mut text = self.registry.render_text();
+        text.push_str(&f2pm_obs::global().render_text());
+        text
     }
 }
 
@@ -124,6 +190,8 @@ pub struct MetricsSnapshot {
     pub predict_requests: u64,
     /// `StatsRequest`s served since start.
     pub stats_requests: u64,
+    /// `MetricsRequest` scrapes served since start (v3).
+    pub metrics_requests: u64,
     /// Prediction-latency histogram; bucket `i` counts estimates that took
     /// `[2^(i-1), 2^i)` µs of shard-worker time.
     pub latency_buckets: Vec<u64>,
@@ -141,15 +209,12 @@ impl MetricsSnapshot {
         if total == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &count) in self.latency_buckets.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return Some(if i == 0 { 1 } else { 1u64 << i });
-            }
-        }
-        Some(1u64 << (self.latency_buckets.len() - 1))
+        let snap = f2pm_obs::HistogramSnapshot {
+            buckets: self.latency_buckets.clone(),
+            count: total,
+            sum_us: 0,
+        };
+        snap.quantile_us(q.clamp(0.0, 1.0))
     }
 
     /// Render as the wire `Stats` reply.
@@ -246,5 +311,42 @@ mod tests {
             }
             other => panic!("wrong message {other:?}"),
         }
+    }
+
+    #[test]
+    fn exposition_carries_counters_quantiles_and_generation() {
+        let m = ServeMetrics::new();
+        m.connection_opened();
+        for _ in 0..10 {
+            m.datapoint();
+            m.estimate(Duration::from_micros(100));
+        }
+        m.metrics_request();
+        m.shard_events(0).add(7);
+        let text = m.expose_text(&[2, 0], 5);
+        assert!(text.contains("f2pm_serve_datapoints_total 10\n"));
+        assert!(text.contains("f2pm_serve_metrics_requests_total 1\n"));
+        assert!(text.contains("f2pm_serve_model_generation 5\n"));
+        assert!(text.contains("f2pm_serve_shard_queue_depth{shard=\"0\"} 2\n"));
+        assert!(text.contains("f2pm_serve_shard_queue_depth{shard=\"1\"} 0\n"));
+        assert!(text.contains("f2pm_serve_shard_events_total{shard=\"0\"} 7\n"));
+        assert!(text.contains("f2pm_serve_estimate_latency_p50_us 128\n"));
+        assert!(text.contains("f2pm_serve_estimate_latency_p99_us 128\n"));
+        assert!(text.contains("f2pm_serve_estimate_latency_us_count 10\n"));
+        // Distinct instances do not share registries.
+        let other = ServeMetrics::new();
+        assert!(other
+            .expose_text(&[], 1)
+            .contains("f2pm_serve_datapoints_total 0\n"));
+    }
+
+    #[test]
+    fn exposition_appends_the_global_registry() {
+        let m = ServeMetrics::new();
+        // Record a span into the process-global registry, as the training
+        // pipeline does.
+        f2pm_obs::span!("serve_metrics_test_stage").stop();
+        let text = m.expose_text(&[], 1);
+        assert!(text.contains("f2pm_stage_duration_us_bucket{stage=\"serve_metrics_test_stage\""));
     }
 }

@@ -11,6 +11,12 @@
 //!   rejuvenation threshold (see [`AlertPolicy`]);
 //! - `StatsRequest` → `Stats` snapshots of the serving metrics.
 //!
+//! v3 connections additionally get `MetricsRequest` → `MetricsText`:
+//! the full Prometheus-style text exposition of the serve registry
+//! (per-shard counters and queue depths, latency histogram, model
+//! generation) with the process-global registry — training-stage span
+//! timings, FMC/FMS transport counters — appended.
+//!
 //! Model hot-reloads go through the shared [`ModelRegistry`]: calling
 //! [`ModelRegistry::install`] (or `reload_from_file`) swaps the model for
 //! every host's next prediction without dropping a single connection.
@@ -294,7 +300,7 @@ fn serve_connection(
         None
     };
 
-    let result = connection_loop(&mut stream, host, writer.as_ref(), inner, metrics);
+    let result = connection_loop(&mut stream, host, version, writer.as_ref(), inner, metrics);
     if writer.is_some() {
         inner.pool.send(host, ShardEvent::Unsubscribe { host }).ok();
     }
@@ -304,6 +310,7 @@ fn serve_connection(
 fn connection_loop(
     stream: &mut TcpStream,
     host: u32,
+    version: u16,
     writer: Option<&ClientWriter>,
     inner: &Arc<Inner>,
     metrics: &Arc<ServeMetrics>,
@@ -347,9 +354,22 @@ fn connection_loop(
                     w.send(&snapshot.to_message())?;
                 }
             }
+            // Metrics scraping is a v3 feature; a request arriving on an
+            // older-versioned connection is a protocol violation we ignore
+            // (the handshake already fixed what the client may speak).
+            Message::MetricsRequest if version >= 3 => {
+                metrics.metrics_request();
+                let text =
+                    metrics.expose_text(&inner.pool.queue_depths(), inner.registry.generation());
+                if let Some(w) = writer {
+                    w.send(&Message::metrics_text(text))?;
+                }
+            }
             // Server-bound only; a client echoing server messages is
             // ignored, like unknown traffic in the passive FMS.
-            Message::Hello { .. }
+            Message::MetricsRequest
+            | Message::MetricsText { .. }
+            | Message::Hello { .. }
             | Message::RttfEstimate { .. }
             | Message::Alert { .. }
             | Message::Stats { .. } => {}

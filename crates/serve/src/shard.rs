@@ -206,11 +206,12 @@ impl ShardPool {
             senders.push(tx);
             let registry = Arc::clone(&registry);
             let board = Arc::clone(&board);
+            let events = metrics.shard_events(shard);
             let metrics = Arc::clone(&metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("f2pm-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, registry, policy, board, metrics))
+                    .spawn(move || worker_loop(rx, registry, policy, board, metrics, events))
                     .expect("spawn shard worker"),
             );
         }
@@ -260,9 +261,11 @@ fn worker_loop(
     policy: AlertPolicy,
     board: Arc<EstimateBoard>,
     metrics: Arc<ServeMetrics>,
+    events: f2pm_obs::Counter,
 ) {
     let mut hosts: HashMap<u32, HostState> = HashMap::new();
     while let Ok(event) = rx.recv() {
+        events.inc();
         match event {
             ShardEvent::Datapoint { host, d } => {
                 let state = hosts

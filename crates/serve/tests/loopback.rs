@@ -85,6 +85,19 @@ impl V2Client {
         Message::read_from(&mut self.stream).unwrap().unwrap()
     }
 
+    /// Scrape the v3 text exposition. Pushed alerts and stale estimate
+    /// replies that arrive in between are skipped.
+    fn scrape(&mut self) -> String {
+        self.send(&Message::MetricsRequest);
+        loop {
+            match self.recv() {
+                Message::MetricsText { text } => return text,
+                Message::Alert { .. } | Message::RttfEstimate { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+
     /// Poll `PredictRequest` until an estimate is present (the shard
     /// worker publishes asynchronously). Pushed alerts that arrive in
     /// between are skipped.
@@ -325,6 +338,102 @@ fn stats_and_alerts_over_the_wire() {
     client.send(&Message::Bye);
     let snap = server.shutdown();
     assert!(snap.alerts >= 1);
+}
+
+/// The value of the first exposition sample whose name+labels start with
+/// `prefix` (e.g. `"f2pm_serve_datapoints_total "` — note the trailing
+/// space to match an unlabeled sample exactly).
+fn sample(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn metrics_scrape_mid_load_and_after_hot_reload() {
+    let server = start_server(2);
+    let registry = server.registry();
+    let mut client = V2Client::connect(server.addr(), 21);
+
+    // Mid-load scrape: stream datapoints, then scrape on the same
+    // connection. The blocking shard send means every datapoint was
+    // counted by the reader before the scrape request was even read.
+    let mut t = 0.0;
+    for _ in 0..40 {
+        client.send(&Message::Datapoint(dp(t, 100.0)));
+        t += 5.0;
+    }
+    client.wait_estimate();
+    let text = client.scrape();
+    assert_eq!(
+        sample(&text, "f2pm_serve_datapoints_total "),
+        Some(40.0),
+        "{text}"
+    );
+    assert_eq!(sample(&text, "f2pm_serve_model_generation "), Some(1.0));
+    assert_eq!(sample(&text, "f2pm_serve_dropped_frames_total "), Some(0.0));
+    assert_eq!(sample(&text, "f2pm_serve_connections "), Some(1.0));
+    // Histogram families render in full: cumulative buckets, +Inf, count.
+    assert!(text.contains("# TYPE f2pm_serve_estimate_latency_us histogram"));
+    assert!(text.contains(r#"f2pm_serve_estimate_latency_us_bucket{le="+Inf"}"#));
+    let estimates = sample(&text, "f2pm_serve_estimates_total ").unwrap();
+    assert_eq!(
+        sample(&text, "f2pm_serve_estimate_latency_us_count "),
+        Some(estimates)
+    );
+    // Both shards expose queue-depth gauges and event counters.
+    assert!(text.contains(r#"f2pm_serve_shard_queue_depth{shard="0"}"#));
+    assert!(text.contains(r#"f2pm_serve_shard_queue_depth{shard="1"}"#));
+    let ev0 = sample(&text, r#"f2pm_serve_shard_events_total{shard="0"}"#).unwrap_or(0.0);
+    let ev1 = sample(&text, r#"f2pm_serve_shard_events_total{shard="1"}"#).unwrap_or(0.0);
+    assert!(ev0 + ev1 >= 40.0, "shard events {ev0} + {ev1}");
+
+    // Hot reload, then scrape again on the same connection: the
+    // generation gauge must advance without a reconnect.
+    assert_eq!(registry.install(linear(500.0, -1.0)).unwrap(), 2);
+    let text = client.scrape();
+    assert_eq!(
+        sample(&text, "f2pm_serve_model_generation "),
+        Some(2.0),
+        "{text}"
+    );
+    assert_eq!(
+        sample(&text, "f2pm_serve_metrics_requests_total "),
+        Some(2.0)
+    );
+
+    client.send(&Message::Bye);
+    let snap = server.shutdown();
+    assert_eq!(snap.metrics_requests, 2);
+    assert_eq!(snap.dropped, 0);
+}
+
+#[test]
+fn v2_client_cannot_scrape_metrics() {
+    let server = start_server(1);
+    // Hand-rolled v2 handshake: the connection may not speak v3 frames,
+    // so a MetricsRequest is ignored rather than answered.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    Message::Hello {
+        version: 2,
+        host_id: 30,
+    }
+    .write_to(&mut stream)
+    .unwrap();
+    Message::MetricsRequest.write_to(&mut stream).unwrap();
+    // The request is dropped; a StatsRequest after it is still answered,
+    // proving the connection survived and nothing was queued before it.
+    Message::StatsRequest.write_to(&mut stream).unwrap();
+    match Message::read_from(&mut stream).unwrap().unwrap() {
+        Message::Stats { .. } => {}
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    Message::Bye.write_to(&mut stream).unwrap();
+    let snap = server.shutdown();
+    assert_eq!(snap.metrics_requests, 0, "v2 scrape must not be served");
 }
 
 #[test]

@@ -52,16 +52,20 @@ fn main() {
     }
 
     // 2. F2PM end-to-end on the four-class workload.
-    let mut cfg = F2pmConfig::quick();
-    cfg.campaign.sim = SimConfig {
+    let mut campaign = F2pmConfig::quick().campaign;
+    campaign.sim = SimConfig {
         anomaly: AnomalyConfig {
             // all_classes rates on top of the quick leak rates.
             lock_prob_per_home: (0.01, 0.06),
             frag_delta_per_home: (0.0001, 0.0008),
-            ..cfg.campaign.sim.anomaly
+            ..campaign.sim.anomaly
         },
-        ..cfg.campaign.sim.clone()
+        ..campaign.sim.clone()
     };
+    let cfg = F2pmConfig::quick_builder()
+        .campaign(campaign)
+        .build()
+        .expect("valid config");
     println!(
         "\ntraining on {} four-class runs-to-failure...",
         cfg.campaign.runs

@@ -10,8 +10,10 @@ use f2pm_repro::f2pm::{run_workflow, F2pmConfig};
 fn main() {
     // A small campaign so the example finishes in seconds: 4 runs of the
     // leaking TPC-W guest, sampled every ~1.5 s until each crash.
-    let mut cfg = F2pmConfig::quick();
-    cfg.campaign.runs = 4;
+    let cfg = F2pmConfig::quick_builder()
+        .runs(4)
+        .build()
+        .expect("valid config");
 
     println!(
         "collecting {} monitored runs-to-failure...",

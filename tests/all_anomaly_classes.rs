@@ -82,8 +82,12 @@ fn fragmentation_shows_up_in_iowait_before_swapping() {
 
 #[test]
 fn workflow_learns_on_four_class_data() {
-    let mut cfg = F2pmConfig::quick();
-    cfg.campaign.sim = four_class_sim();
+    let mut campaign = F2pmConfig::quick().campaign;
+    campaign.sim = four_class_sim();
+    let cfg = F2pmConfig::quick_builder()
+        .campaign(campaign)
+        .build()
+        .expect("valid config");
     let report = run_workflow(&cfg, 51).expect("enough data");
     assert!(report.runs >= 4);
     let best = report.best_by_smae().expect("models trained");

@@ -7,8 +7,7 @@ use f2pm_repro::f2pm::{run_workflow, F2pmConfig};
 /// One shared medium-size workflow run (campaigns are deterministic, so
 /// every assertion block can re-derive what it needs).
 fn medium_report() -> f2pm_repro::f2pm::F2pmReport {
-    let mut cfg = F2pmConfig::default();
-    cfg.campaign.runs = 6;
+    let cfg = F2pmConfig::builder().runs(6).build().expect("valid config");
     run_workflow(&cfg, 42).expect("enough data")
 }
 
