@@ -1,0 +1,87 @@
+//! Wire-codec microbenchmarks for the serve data plane: the per-frame
+//! allocating `encode()` vs `encode_into()` with a reusable scratch
+//! buffer (the zero-allocation path every FMC send and server reply now
+//! takes), and the buffered streaming `FrameDecoder` over a coalesced
+//! byte stream (many frames per `read`).
+//!
+//! Run with `cargo bench -p f2pm-bench --bench wire_codec`. The tracked
+//! numbers land in `BENCH_serve.json` via `loadgen`'s inline measurement
+//! of the same three paths.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use f2pm_monitor::wire::{FrameDecoder, Message};
+use f2pm_monitor::Datapoint;
+
+/// A loadgen-shaped burst: mostly datapoints with a predict request every
+/// tenth frame (deterministic, no RNG in benches).
+fn burst() -> Vec<Message> {
+    (0..64)
+        .map(|i| {
+            if i % 10 == 9 {
+                Message::PredictRequest { host_id: i as u32 }
+            } else {
+                let mut d = Datapoint {
+                    t_gen: i as f64 * 5.0,
+                    values: [1.0; 14],
+                };
+                d.values[3] = (i as f64 * 0.37).sin() * 100.0;
+                Message::Datapoint(d)
+            }
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs = burst();
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+
+    // Seed-style wire path: a fresh heap buffer per frame.
+    group.bench_function("encode_alloc_per_frame", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for m in &msgs {
+                total += m.encode().len();
+            }
+            total
+        })
+    });
+
+    // The serve data plane's path: one reusable scratch, frames coalesced.
+    group.bench_function("encode_into_reused_scratch", |b| {
+        let mut scratch = BytesMut::with_capacity(16 * 1024);
+        b.iter(|| {
+            scratch.clear();
+            for m in &msgs {
+                m.encode_into(&mut scratch);
+            }
+            scratch.len()
+        })
+    });
+
+    // Streaming decode of the whole coalesced burst (the decoder pulls
+    // 16 KiB chunks, so this burst costs a single simulated syscall).
+    let mut coalesced = BytesMut::with_capacity(16 * 1024);
+    for m in &msgs {
+        m.encode_into(&mut coalesced);
+    }
+    let stream = coalesced.to_vec();
+    group.bench_function("decode_buffered_stream", |b| {
+        b.iter(|| {
+            let mut decoder = FrameDecoder::new();
+            let mut src: &[u8] = &stream;
+            let mut frames = 0usize;
+            while let Ok(Some(_)) = decoder.read_frame(&mut src) {
+                frames += 1;
+            }
+            assert_eq!(frames, msgs.len());
+            frames
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(codec, bench_codec);
+criterion_main!(codec);

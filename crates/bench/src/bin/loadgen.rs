@@ -26,7 +26,7 @@ use f2pm_features::AggregationConfig;
 use f2pm_ml::linreg::LinearModel;
 use f2pm_ml::persist::SavedModel;
 use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
-use f2pm_monitor::{Collector, SimCollector, SimCollectorConfig};
+use f2pm_monitor::{Collector, Datapoint, SimCollector, SimCollectorConfig};
 use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig};
 use f2pm_sim::{AnomalyConfig, SimConfig, Simulation};
 use std::fmt::Write as _;
@@ -42,6 +42,7 @@ struct Args {
     shards: usize,
     out: String,
     smoke: bool,
+    sweep: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +51,7 @@ fn parse_args() -> Args {
     let mut shards = None;
     let mut out = None;
     let mut smoke = false;
+    let mut sweep = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -65,10 +67,11 @@ fn parse_args() -> Args {
             "--shards" => shards = Some(val("--shards")),
             "--out" => out = it.next().cloned(),
             "--smoke" => smoke = true,
+            "--sweep" => sweep = true,
             other => {
                 eprintln!(
                     "unknown flag {other:?} \
-                     (supported: --clients N --points N --shards N --out PATH --smoke)"
+                     (supported: --clients N --points N --shards N --out PATH --smoke --sweep)"
                 );
                 std::process::exit(2);
             }
@@ -89,6 +92,7 @@ fn parse_args() -> Args {
             }
         }),
         smoke,
+        sweep,
     }
 }
 
@@ -132,14 +136,61 @@ struct ClientReport {
     max_generation: u64,
 }
 
-#[allow(clippy::too_many_arguments)]
+/// One precomputed wire event of a client's replay script.
+enum ClientOp {
+    Dp(Datapoint),
+    Fail(f64),
+}
+
+/// Precompute a client's whole event stream — `points` datapoints with
+/// the guest deaths interleaved where the simulation dies, plus `spare`
+/// datapoints for the post-run reload-wait tail. Generating these BEFORE
+/// the clock starts keeps simulation compute out of the timed phase, so
+/// measured RTTs reflect the serve data plane, not the harness fighting
+/// it for CPU.
+fn client_script(host: u32, points: usize, spare: usize) -> (Vec<ClientOp>, Vec<Datapoint>) {
+    let mut collector =
+        SimCollector::new(sim(host as u64), SimCollectorConfig::default(), host as u64);
+    let mut life = 0u64;
+    let reincarnate = |life: &mut u64| {
+        *life += 1;
+        let seed = host as u64 + *life * 10_007;
+        SimCollector::new(sim(seed), SimCollectorConfig::default(), seed)
+    };
+    let mut ops = Vec::with_capacity(points + 8);
+    let mut sent = 0usize;
+    while sent < points {
+        match collector.collect() {
+            Some(d) => {
+                ops.push(ClientOp::Dp(d));
+                sent += 1;
+            }
+            None => {
+                // The guest died: report the failure, start a new life.
+                let t = collector.simulation().failed_at().unwrap_or(0.0);
+                ops.push(ClientOp::Fail(t));
+                collector = reincarnate(&mut life);
+            }
+        }
+    }
+    let mut spares = Vec::with_capacity(spare);
+    while spares.len() < spare {
+        match collector.collect() {
+            Some(d) => spares.push(d),
+            None => collector = reincarnate(&mut life),
+        }
+    }
+    (ops, spares)
+}
+
 fn run_client(
     addr: SocketAddr,
     host: u32,
-    points: usize,
+    script: (Vec<ClientOp>, Vec<Datapoint>),
     sent_total: &AtomicU64,
     reload_generation: &AtomicU64,
 ) -> ClientReport {
+    let (ops, spares) = script;
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).ok();
     Message::Hello {
@@ -149,9 +200,6 @@ fn run_client(
     .write_to(&mut stream)
     .expect("hello");
 
-    let mut collector =
-        SimCollector::new(sim(host as u64), SimCollectorConfig::default(), host as u64);
-    let mut life = 0u64;
     let mut report = ClientReport {
         sent: 0,
         fails: 0,
@@ -159,25 +207,20 @@ fn run_client(
         saw_estimate: false,
         max_generation: 0,
     };
-    for i in 0..points {
-        let d = loop {
-            match collector.collect() {
-                Some(d) => break d,
-                None => {
-                    // The guest died: report the failure, start a new life.
-                    let t = collector.simulation().failed_at().unwrap_or(0.0);
-                    Message::Fail { t }.write_to(&mut stream).expect("fail");
-                    report.fails += 1;
-                    life += 1;
-                    let seed = host as u64 + life * 10_007;
-                    collector = SimCollector::new(sim(seed), SimCollectorConfig::default(), seed);
-                }
+    for op in ops {
+        let d = match op {
+            ClientOp::Fail(t) => {
+                Message::Fail { t }.write_to(&mut stream).expect("fail");
+                report.fails += 1;
+                continue;
             }
+            ClientOp::Dp(d) => d,
         };
         Message::Datapoint(d)
             .write_to(&mut stream)
             .expect("datapoint");
         report.sent += 1;
+        let i = report.sent - 1;
         sent_total.fetch_add(1, Ordering::Relaxed);
 
         if i % 10 == 9 {
@@ -214,11 +257,12 @@ fn run_client(
     // estimate carries the new generation (a fresh window must close
     // post-reload, so feed a few more datapoints if needed).
     let target = reload_generation.load(Ordering::SeqCst);
+    let mut spares = spares.into_iter();
     'wait: for _ in 0..200 {
         if target == 0 || report.max_generation >= target {
             break;
         }
-        if let Some(d) = collector.collect() {
+        if let Some(d) = spares.next() {
             Message::Datapoint(d)
                 .write_to(&mut stream)
                 .expect("datapoint");
@@ -305,8 +349,59 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
-fn main() {
-    let args = parse_args();
+/// Per-stage tail latencies scraped from the server's own exposition
+/// gauges after the fleet drains: decode → queue wait → predict → reply.
+#[derive(Clone, Copy, Default)]
+struct StageLatency {
+    p50: u64,
+    p99: u64,
+}
+
+fn stage(text: &str, name: &str) -> StageLatency {
+    StageLatency {
+        p50: metric_sample(text, &format!("{name}_p50_us ")).unwrap_or(0.0) as u64,
+        p99: metric_sample(text, &format!("{name}_p99_us ")).unwrap_or(0.0) as u64,
+    }
+}
+
+/// Everything one server run produces: throughput, tail latencies, the
+/// per-stage breakdown, and the hard-check failures (if any).
+struct RunResult {
+    shards: usize,
+    wall_s: f64,
+    datapoints: u64,
+    fails: u64,
+    samples: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    lat_max: u64,
+    estimates: u64,
+    alerts: u64,
+    dropped: u64,
+    accepted: u64,
+    with_estimate: usize,
+    reload_gen: u64,
+    saw_reload: usize,
+    scraped_datapoints: i64,
+    scraped_generation: u64,
+    metrics_scrape_ok: bool,
+    decode: StageLatency,
+    queue_wait: StageLatency,
+    predict: StageLatency,
+    reply: StageLatency,
+    failures: Vec<String>,
+}
+
+impl RunResult {
+    fn ingest_rate(&self) -> f64 {
+        self.datapoints as f64 / self.wall_s
+    }
+}
+
+/// Drive one full client fleet against a fresh server with `shards`
+/// shard workers; every hard check from the harness applies per run.
+fn run_once(args: &Args, shards: usize) -> RunResult {
     let registry = ModelRegistry::new(
         model(1000.0),
         f2pm_features::aggregate::aggregated_column_names_with(&agg()),
@@ -316,8 +411,12 @@ fn main() {
     let server = PredictionServer::start(
         "127.0.0.1:0",
         ServeConfig {
-            shards: args.shards,
-            queue_cap: 1024,
+            shards,
+            // Short queues bound how long a full shard can block a reader
+            // (and with it, how stale the socket's unread predict
+            // requests get): cap / drain-rate is the tail budget.
+            queue_cap: 256,
+            batch_cap: 64,
             policy: AlertPolicy::default(),
         },
         registry,
@@ -330,9 +429,15 @@ fn main() {
         args.clients,
         args.points,
         addr,
-        args.shards,
+        shards,
         if args.smoke { ", smoke" } else { "" }
     );
+
+    // Precompute every client's replay script before the clock starts:
+    // the timed phase is then pure wire I/O against the server.
+    let scripts: Vec<_> = (0..args.clients)
+        .map(|c| client_script(c as u32, args.points, 200))
+        .collect();
 
     let sent_total = Arc::new(AtomicU64::new(0));
     let reload_generation = Arc::new(AtomicU64::new(0));
@@ -359,13 +464,13 @@ fn main() {
     };
 
     let reports: Vec<ClientReport> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..args.clients)
-            .map(|c| {
+        let handles: Vec<_> = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(c, script)| {
                 let sent_total = &sent_total;
                 let reload_generation = &reload_generation;
-                s.spawn(move || {
-                    run_client(addr, c as u32, args.points, sent_total, reload_generation)
-                })
+                s.spawn(move || run_client(addr, c as u32, script, sent_total, reload_generation))
             })
             .collect();
         handles
@@ -484,45 +589,208 @@ fn main() {
         );
     }
 
+    RunResult {
+        shards,
+        wall_s,
+        datapoints,
+        fails,
+        samples: latencies.len(),
+        p50,
+        p95,
+        p99,
+        lat_max,
+        estimates: snap.estimates,
+        alerts: snap.alerts,
+        dropped: snap.dropped,
+        accepted: snap.total_accepted,
+        with_estimate,
+        reload_gen,
+        saw_reload,
+        scraped_datapoints,
+        scraped_generation,
+        metrics_scrape_ok: scraped_datapoints == sent as i64 && scraped_dropped == 0,
+        decode: stage(&final_text, "f2pm_serve_decode"),
+        queue_wait: stage(&final_text, "f2pm_serve_queue_wait"),
+        predict: stage(&final_text, "f2pm_serve_estimate_latency"),
+        reply: stage(&final_text, "f2pm_serve_reply"),
+        failures,
+    }
+}
+
+/// Inline wire-codec throughput over a loadgen-shaped 64-frame burst:
+/// per-frame `encode()` vs `encode_into()` with a reused scratch, plus
+/// buffered streaming decode. Mirrors the `wire_codec` criterion bench
+/// so the numbers land next to the serve results they explain.
+fn measure_wire_codec() -> (f64, f64, f64) {
+    use f2pm_monitor::wire::FrameDecoder;
+    use f2pm_monitor::Datapoint;
+
+    let msgs: Vec<Message> = (0..64)
+        .map(|i| {
+            if i % 10 == 9 {
+                Message::PredictRequest { host_id: i as u32 }
+            } else {
+                let mut d = Datapoint {
+                    t_gen: i as f64 * 5.0,
+                    values: [1.0; 14],
+                };
+                d.values[3] = (i as f64 * 0.37).sin() * 100.0;
+                Message::Datapoint(d)
+            }
+        })
+        .collect();
+    const ROUNDS: usize = 2000;
+    let frames = (ROUNDS * msgs.len()) as f64;
+
+    let started = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..ROUNDS {
+        for m in &msgs {
+            sink = sink.wrapping_add(m.encode().len());
+        }
+    }
+    let encode_alloc = frames / started.elapsed().as_secs_f64();
+
+    let mut scratch = bytes::BytesMut::with_capacity(16 * 1024);
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        scratch.clear();
+        for m in &msgs {
+            m.encode_into(&mut scratch);
+        }
+        sink = sink.wrapping_add(scratch.len());
+    }
+    let encode_into = frames / started.elapsed().as_secs_f64();
+
+    let mut coalesced = bytes::BytesMut::with_capacity(16 * 1024);
+    for m in &msgs {
+        m.encode_into(&mut coalesced);
+    }
+    let stream = coalesced.to_vec();
+    let started = Instant::now();
+    for _ in 0..ROUNDS {
+        let mut decoder = FrameDecoder::new();
+        let mut src: &[u8] = &stream;
+        let mut n = 0usize;
+        while let Ok(Some(_)) = decoder.read_frame(&mut src) {
+            n += 1;
+        }
+        assert_eq!(n, msgs.len());
+        sink = sink.wrapping_add(n);
+    }
+    let decode = frames / started.elapsed().as_secs_f64();
+    assert!(sink != 0);
+    (encode_alloc, encode_into, decode)
+}
+
+/// p99 predict RTT of the seed (pre-batching, per-frame-alloc) data
+/// plane at the same full load, from the committed PR 2 BENCH_serve.json.
+const BASELINE_P99_US: u64 = 191_229;
+
+fn main() {
+    let args = parse_args();
+    let shard_counts: Vec<usize> = if args.sweep {
+        if args.smoke {
+            vec![1, 2]
+        } else {
+            vec![1, 2, 4]
+        }
+    } else {
+        vec![args.shards]
+    };
+    let runs: Vec<RunResult> = shard_counts.iter().map(|&s| run_once(&args, s)).collect();
+    let (enc_alloc_fps, enc_into_fps, dec_fps) = measure_wire_codec();
+    // Top-level fields report the primary run — the largest shard count.
+    let r = runs.last().expect("at least one run");
+
+    let checks_passed = runs.iter().all(|run| run.failures.is_empty());
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"f2pm-bench loadgen\",");
     let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
     let _ = writeln!(json, "  \"clients\": {},", args.clients);
     let _ = writeln!(json, "  \"points_per_client\": {},", args.points);
-    let _ = writeln!(json, "  \"shards\": {},", args.shards);
-    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
-    let _ = writeln!(json, "  \"datapoints\": {datapoints},");
-    let _ = writeln!(
-        json,
-        "  \"ingest_rate_per_s\": {:.1},",
-        datapoints as f64 / wall_s
-    );
+    let _ = writeln!(json, "  \"shards\": {},", r.shards);
+    let _ = writeln!(json, "  \"wall_s\": {:.3},", r.wall_s);
+    let _ = writeln!(json, "  \"datapoints\": {},", r.datapoints);
+    let _ = writeln!(json, "  \"ingest_rate_per_s\": {:.1},", r.ingest_rate());
     let _ = writeln!(json, "  \"predict_rtt_us\": {{");
-    let _ = writeln!(json, "    \"samples\": {},", latencies.len());
-    let _ = writeln!(json, "    \"p50\": {p50},");
-    let _ = writeln!(json, "    \"p95\": {p95},");
-    let _ = writeln!(json, "    \"p99\": {p99},");
-    let _ = writeln!(json, "    \"max\": {lat_max}");
+    let _ = writeln!(json, "    \"samples\": {},", r.samples);
+    let _ = writeln!(json, "    \"p50\": {},", r.p50);
+    let _ = writeln!(json, "    \"p95\": {},", r.p95);
+    let _ = writeln!(json, "    \"p99\": {},", r.p99);
+    let _ = writeln!(json, "    \"max\": {}", r.lat_max);
     let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"estimates\": {},", snap.estimates);
-    let _ = writeln!(json, "  \"alerts\": {},", snap.alerts);
-    let _ = writeln!(json, "  \"sim_failures_reported\": {fails},");
-    let _ = writeln!(json, "  \"dropped_frames\": {},", snap.dropped);
-    let _ = writeln!(json, "  \"connections_accepted\": {},", snap.total_accepted);
-    let _ = writeln!(json, "  \"clients_with_live_estimate\": {with_estimate},");
-    let _ = writeln!(json, "  \"hot_reload_generation\": {reload_gen},");
-    let _ = writeln!(json, "  \"clients_saw_reload\": {saw_reload},");
-    let _ = writeln!(json, "  \"scraped_datapoints\": {scraped_datapoints},");
+    let _ = writeln!(json, "  \"baseline_p99_us\": {BASELINE_P99_US},");
     let _ = writeln!(
         json,
-        "  \"scraped_model_generation\": {scraped_generation},"
+        "  \"p99_speedup_vs_baseline\": {:.2},",
+        BASELINE_P99_US as f64 / r.p99.max(1) as f64
     );
+    let _ = writeln!(json, "  \"stage_latency_us\": {{");
+    for (i, (name, s)) in [
+        ("decode", r.decode),
+        ("queue_wait", r.queue_wait),
+        ("predict", r.predict),
+        ("reply", r.reply),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"p50\": {}, \"p99\": {} }}{}",
+            s.p50,
+            s.p99,
+            if i < 3 { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"shards\": {}, \"wall_s\": {:.3}, \"ingest_rate_per_s\": {:.1}, \
+             \"predict_rtt_p50_us\": {}, \"predict_rtt_p99_us\": {}, \
+             \"dropped_frames\": {}, \"checks_passed\": {} }}{}",
+            run.shards,
+            run.wall_s,
+            run.ingest_rate(),
+            run.p50,
+            run.p99,
+            run.dropped,
+            run.failures.is_empty(),
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"wire_codec\": {{");
     let _ = writeln!(
         json,
-        "  \"metrics_scrape_ok\": {},",
-        scraped_datapoints == sent as i64 && scraped_dropped == 0
+        "    \"encode_alloc_frames_per_s\": {enc_alloc_fps:.0},"
     );
-    let _ = writeln!(json, "  \"checks_passed\": {}", failures.is_empty());
+    let _ = writeln!(json, "    \"encode_into_frames_per_s\": {enc_into_fps:.0},");
+    let _ = writeln!(json, "    \"decode_frames_per_s\": {dec_fps:.0}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"estimates\": {},", r.estimates);
+    let _ = writeln!(json, "  \"alerts\": {},", r.alerts);
+    let _ = writeln!(json, "  \"sim_failures_reported\": {},", r.fails);
+    let _ = writeln!(json, "  \"dropped_frames\": {},", r.dropped);
+    let _ = writeln!(json, "  \"connections_accepted\": {},", r.accepted);
+    let _ = writeln!(
+        json,
+        "  \"clients_with_live_estimate\": {},",
+        r.with_estimate
+    );
+    let _ = writeln!(json, "  \"hot_reload_generation\": {},", r.reload_gen);
+    let _ = writeln!(json, "  \"clients_saw_reload\": {},", r.saw_reload);
+    let _ = writeln!(json, "  \"scraped_datapoints\": {},", r.scraped_datapoints);
+    let _ = writeln!(
+        json,
+        "  \"scraped_model_generation\": {},",
+        r.scraped_generation
+    );
+    let _ = writeln!(json, "  \"metrics_scrape_ok\": {},", r.metrics_scrape_ok);
+    let _ = writeln!(json, "  \"checks_passed\": {checks_passed}");
     json.push_str("}\n");
 
     if let Some(dir) = std::path::Path::new(&args.out).parent() {
@@ -535,9 +803,11 @@ fn main() {
         .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
     eprintln!("wrote {}", args.out);
 
-    if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("CHECK FAILED: {f}");
+    if !checks_passed {
+        for run in &runs {
+            for f in &run.failures {
+                eprintln!("CHECK FAILED ({} shards): {f}", run.shards);
+            }
         }
         std::process::exit(1);
     }

@@ -32,6 +32,21 @@ impl BytesMut {
     pub fn to_vec(&self) -> Vec<u8> {
         self.buf.clone()
     }
+
+    /// Drop the contents, keeping the allocation (scratch-buffer reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Shorten the buffer to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
 }
 
 impl Deref for BytesMut {

@@ -54,7 +54,7 @@ pub use config::F2pmConfig;
 pub use correlate::{correlate_response_time, RtCorrelation, RtEstimator};
 pub use error::F2pmError;
 pub use incremental::{IncrementalConfig, IncrementalOutcome, IncrementalTrainer};
-pub use predictor::OnlinePredictor;
+pub use predictor::{predict_many, OnlinePredictor};
 pub use rejuvenation::{ProactiveRejuvenator, RejuvenationOutcome, RejuvenationPolicy};
 pub use report::{F2pmReport, VariantReport};
 pub use workflow::{run_workflow, run_workflow_on_history};

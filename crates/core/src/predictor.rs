@@ -6,7 +6,9 @@
 //! emits an RTTF estimate — exactly the deployment mode the paper's
 //! proactive-rejuvenation use case needs.
 
+use crate::F2pmError;
 use f2pm_features::{aggregate_run, AggregationConfig};
+use f2pm_linalg::Matrix;
 use f2pm_ml::Model;
 use f2pm_monitor::{Datapoint, RunData};
 
@@ -22,6 +24,8 @@ pub struct OnlinePredictor {
     buffer: Vec<Datapoint>,
     /// Latest estimate.
     last_estimate: Option<f64>,
+    /// Reusable single-row scratch for the immediate [`OnlinePredictor::push`] path.
+    row_scratch: Vec<f64>,
 }
 
 impl OnlinePredictor {
@@ -55,17 +59,54 @@ impl OnlinePredictor {
             agg,
             buffer: Vec::new(),
             last_estimate: None,
+            row_scratch: Vec::new(),
         }
+    }
+
+    /// Model input width (number of aggregated columns consumed).
+    pub fn width(&self) -> usize {
+        self.column_idx.len()
     }
 
     /// Feed one datapoint. Returns a fresh RTTF estimate when a window
     /// closed with this point, `None` otherwise.
+    ///
+    /// This is the immediate path: the closing window is scored on the
+    /// spot with `predict_row`. Batch consumers (the serve shard workers)
+    /// use [`OnlinePredictor::push_deferred`] + [`predict_many`] instead,
+    /// which produce bit-identical estimates (asserted by the
+    /// `batch_equivalence` test suite) while amortizing one model call
+    /// over every window that closed in a drain.
     pub fn push(&mut self, d: Datapoint) -> Option<f64> {
+        let mut row = std::mem::take(&mut self.row_scratch);
+        row.clear();
+        let closed = self.push_deferred(d, &mut row);
+        let out = if closed {
+            // One window = one row, so this is the single-row path; the
+            // kernel models standardize into stack scratch here (no
+            // per-estimate allocation).
+            let estimate = self.model.predict_row(&row).max(0.0);
+            self.last_estimate = Some(estimate);
+            Some(estimate)
+        } else {
+            None
+        };
+        self.row_scratch = row;
+        out
+    }
+
+    /// Deferred-scoring variant of [`OnlinePredictor::push`]: folds the
+    /// datapoint into the current window and, when the window closes,
+    /// appends the model-input row (`width()` values) to `rows` and
+    /// returns `true` — *without* evaluating the model. The caller scores
+    /// every deferred row of a batch in one [`predict_many`] call and
+    /// hands the estimate back via [`OnlinePredictor::record_estimate`].
+    pub fn push_deferred(&mut self, d: Datapoint, rows: &mut Vec<f64>) -> bool {
         self.buffer.push(d);
         let window_anchor = self.buffer[0].t_gen;
         let elapsed = d.t_gen - window_anchor;
         if elapsed < self.agg.window_s {
-            return None;
+            return false;
         }
         // Window closed: aggregate everything but the just-arrived point
         // (which starts the next window).
@@ -73,7 +114,7 @@ impl OnlinePredictor {
         let next_start = self.buffer[self.buffer.len() - 1];
         if closing.len() < self.agg.min_points {
             self.buffer = vec![next_start];
-            return None;
+            return false;
         }
         let run = RunData {
             datapoints: closing,
@@ -81,15 +122,18 @@ impl OnlinePredictor {
         };
         let points = aggregate_run(&run, &self.agg);
         self.buffer = vec![next_start];
-        let point = points.into_iter().next_back()?;
+        let Some(point) = points.into_iter().next_back() else {
+            return false;
+        };
         let inputs = point.inputs();
-        let row: Vec<f64> = self.column_idx.iter().map(|&j| inputs[j]).collect();
-        // One window = one row, so this is the single-row path; the kernel
-        // models standardize into stack scratch here (no per-estimate
-        // allocation), and batched replay goes through `predict_batch`.
-        let estimate = self.model.predict_row(&row).max(0.0);
+        rows.extend(self.column_idx.iter().map(|&j| inputs[j]));
+        true
+    }
+
+    /// Record an estimate produced externally for this predictor's most
+    /// recently deferred row (see [`OnlinePredictor::push_deferred`]).
+    pub fn record_estimate(&mut self, estimate: f64) {
         self.last_estimate = Some(estimate);
-        Some(estimate)
     }
 
     /// The most recent estimate, if any window has closed yet.
@@ -102,6 +146,42 @@ impl OnlinePredictor {
         self.buffer.clear();
         self.last_estimate = None;
     }
+}
+
+/// Score a flat row-major batch of deferred window rows (from
+/// [`OnlinePredictor::push_deferred`]) in **one** `Model::predict_batch`
+/// call, clamping estimates at 0 exactly like [`OnlinePredictor::push`].
+///
+/// Estimates are appended to `out` in row order. The flat `rows` buffer is
+/// moved through the matrix and handed back cleared, so a steady-state
+/// caller allocates nothing per batch. Returns the number of rows scored.
+///
+/// Bit-for-bit equivalence with the per-row path is load-bearing: the
+/// kernel models' `predict_batch` overrides are proven `==` to
+/// `predict_row` (PR 1), and `batch_equivalence` asserts the same for this
+/// entry point, so a serve shard may batch freely without changing a
+/// single published estimate.
+pub fn predict_many(
+    model: &dyn Model,
+    width: usize,
+    rows: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> Result<usize, F2pmError> {
+    debug_assert_eq!(rows.len() % width.max(1), 0, "ragged deferred rows");
+    let flat = std::mem::take(rows);
+    let n = flat.len().checked_div(width).unwrap_or(0);
+    if n == 0 {
+        *rows = flat;
+        rows.clear();
+        return Ok(0);
+    }
+    let x = Matrix::from_vec(n, width, flat);
+    let result = model.predict_batch(&x);
+    *rows = x.into_vec();
+    rows.clear();
+    let predictions = result?;
+    out.extend(predictions.into_iter().map(|p| p.max(0.0)));
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -260,6 +340,78 @@ mod tests {
         }
         pred.reset();
         assert!(pred.last_estimate().is_none());
+    }
+
+    /// The deferred path (`push_deferred` + `predict_many`) must publish
+    /// bit-identical estimates, in the same order, as the immediate
+    /// `push` path — this is what lets serve shards batch model calls
+    /// without changing a single answer on the wire.
+    #[test]
+    fn deferred_batch_path_is_bit_identical_to_push() {
+        let (model_a, names) = trained_model();
+        let (model_b, _) = trained_model();
+        let agg = AggregationConfig {
+            window_s: 30.0,
+            min_points: 2,
+            ..AggregationConfig::default()
+        };
+        let mut immediate = OnlinePredictor::new(model_a, &names, agg);
+        let mut deferred = OnlinePredictor::new(model_b, &names, agg);
+
+        let feed: Vec<Datapoint> = (0..300)
+            .map(|i| {
+                let mut d = Datapoint {
+                    t_gen: i as f64 * 3.0,
+                    values: [1.0; 14],
+                };
+                d.set(FeatureId::SwapUsed, (i as f64 * 1.7).sin().abs() * 400.0);
+                d
+            })
+            .collect();
+
+        let mut want = Vec::new();
+        for d in &feed {
+            if let Some(e) = immediate.push(*d) {
+                want.push(e);
+            }
+        }
+
+        // Deferred side: accumulate rows across an arbitrary batch split
+        // and score each batch with one predict_many call.
+        let (m2, _) = trained_model();
+        let mut got = Vec::new();
+        let mut rows = Vec::new();
+        let mut out = Vec::new();
+        for (i, d) in feed.iter().enumerate() {
+            deferred.push_deferred(*d, &mut rows);
+            if i % 17 == 16 || i == feed.len() - 1 {
+                out.clear();
+                let n = predict_many(m2.as_ref(), deferred.width(), &mut rows, &mut out).unwrap();
+                assert_eq!(n, out.len());
+                assert!(rows.is_empty(), "flat buffer handed back cleared");
+                for &e in &out {
+                    deferred.record_estimate(e);
+                    got.push(e);
+                }
+            }
+        }
+
+        assert!(want.len() >= 8, "only {} estimates", want.len());
+        assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits(), "estimate drifted: {w} vs {g}");
+        }
+        assert_eq!(immediate.last_estimate(), deferred.last_estimate());
+    }
+
+    #[test]
+    fn predict_many_empty_batch_is_a_noop() {
+        let (model, _) = trained_model();
+        let mut rows = Vec::new();
+        let mut out = vec![42.0];
+        let n = predict_many(model.as_ref(), 2, &mut rows, &mut out).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(out, vec![42.0]);
     }
 
     #[test]

@@ -122,6 +122,13 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Recover the row-major backing vector (the inverse of
+    /// [`Matrix::from_vec`]), so callers that wrap a reusable flat buffer
+    /// in a matrix for one batched call can take the allocation back.
+    pub fn into_vec(mut self) -> Vec<f64> {
+        std::mem::take(&mut self.data)
+    }
+
     /// Build from a slice of row slices. All rows must have equal length.
     ///
     /// # Panics

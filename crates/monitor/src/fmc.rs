@@ -9,6 +9,7 @@
 use crate::collector::Collector;
 use crate::datapoint::Datapoint;
 use crate::wire::{Message, PROTOCOL_VERSION};
+use bytes::BytesMut;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -50,6 +51,8 @@ pub struct FeatureMonitorClient {
     sent: u64,
     dropped: u64,
     reconnects: u64,
+    /// Reusable frame-encode scratch: steady-state sends allocate nothing.
+    scratch: BytesMut,
     /// Process-global mirrors of the per-client counters, so one metrics
     /// scrape sees the whole monitoring fleet's transport health.
     obs_sent: f2pm_obs::Counter,
@@ -71,6 +74,7 @@ impl FeatureMonitorClient {
             sent: 0,
             dropped: 0,
             reconnects: 0,
+            scratch: BytesMut::new(),
             obs_sent: obs.counter("f2pm_fmc_datapoints_sent_total"),
             obs_dropped: obs.counter("f2pm_fmc_dropped_frames_total"),
             obs_reconnects: obs.counter("f2pm_fmc_reconnects_total"),
@@ -98,7 +102,7 @@ impl FeatureMonitorClient {
     /// Returns `Ok(false)` when the message had to be dropped after every
     /// attempt failed — the stream itself stays usable for later sends.
     fn send_resilient(&mut self, msg: &Message) -> io::Result<bool> {
-        let first_err = match msg.write_to(&mut self.stream) {
+        let first_err = match msg.write_to_buffered(&mut self.stream, &mut self.scratch) {
             Ok(()) => return Ok(true),
             Err(e) => e,
         };

@@ -175,34 +175,48 @@ impl Message {
     }
 
     /// Encode into a fresh frame (length prefix included).
+    ///
+    /// Allocates a buffer per call; hot paths keep a reusable scratch
+    /// buffer and use [`Message::encode_into`] instead.
     pub fn encode(&self) -> BytesMut {
-        let mut payload = BytesMut::with_capacity(8 + 15 * 8);
-        payload.put_u8(self.tag());
+        let mut frame = BytesMut::with_capacity(4 + 8 + 15 * 8);
+        self.encode_into(&mut frame);
+        frame
+    }
+
+    /// Append this message as one frame (length prefix included) to `buf`,
+    /// without allocating when `buf` has capacity. Existing contents are
+    /// kept, so several frames can be coalesced into one buffer and written
+    /// with a single `write_all`. Byte-identical to [`Message::encode`].
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.put_u32(0); // length placeholder, backfilled below
+        buf.put_u8(self.tag());
         match self {
             Message::Hello { version, host_id } => {
-                payload.put_u16(*version);
-                payload.put_u32(*host_id);
+                buf.put_u16(*version);
+                buf.put_u32(*host_id);
             }
             Message::Datapoint(d) => {
-                payload.put_f64(d.t_gen);
+                buf.put_f64(d.t_gen);
                 for v in d.values {
-                    payload.put_f64(v);
+                    buf.put_f64(v);
                 }
             }
-            Message::Fail { t } => payload.put_f64(*t),
+            Message::Fail { t } => buf.put_f64(*t),
             Message::Bye => {}
-            Message::PredictRequest { host_id } => payload.put_u32(*host_id),
+            Message::PredictRequest { host_id } => buf.put_u32(*host_id),
             Message::RttfEstimate {
                 host_id,
                 t,
                 rttf,
                 model_generation,
             } => {
-                payload.put_u32(*host_id);
-                payload.put_f64(*t);
-                payload.put_u8(rttf.is_some() as u8);
-                payload.put_f64(rttf.unwrap_or(0.0));
-                payload.put_u64(*model_generation);
+                buf.put_u32(*host_id);
+                buf.put_f64(*t);
+                buf.put_u8(rttf.is_some() as u8);
+                buf.put_f64(rttf.unwrap_or(0.0));
+                buf.put_u64(*model_generation);
             }
             Message::Alert {
                 host_id,
@@ -210,10 +224,10 @@ impl Message {
                 rttf,
                 threshold,
             } => {
-                payload.put_u32(*host_id);
-                payload.put_f64(*t);
-                payload.put_f64(*rttf);
-                payload.put_f64(*threshold);
+                buf.put_u32(*host_id);
+                buf.put_f64(*t);
+                buf.put_f64(*rttf);
+                buf.put_f64(*threshold);
             }
             Message::StatsRequest => {}
             Message::Stats {
@@ -225,28 +239,26 @@ impl Message {
                 model_generation,
                 shard_depths,
             } => {
-                payload.put_u64(*connections);
-                payload.put_u64(*datapoints);
-                payload.put_u64(*estimates);
-                payload.put_u64(*alerts);
-                payload.put_u64(*dropped);
-                payload.put_u64(*model_generation);
-                payload.put_u16(shard_depths.len() as u16);
+                buf.put_u64(*connections);
+                buf.put_u64(*datapoints);
+                buf.put_u64(*estimates);
+                buf.put_u64(*alerts);
+                buf.put_u64(*dropped);
+                buf.put_u64(*model_generation);
+                buf.put_u16(shard_depths.len() as u16);
                 for d in shard_depths {
-                    payload.put_u32(*d);
+                    buf.put_u32(*d);
                 }
             }
             Message::MetricsRequest => {}
             Message::MetricsText { text } => {
                 debug_assert!(text.len() <= MAX_METRICS_TEXT, "use Message::metrics_text");
-                payload.put_u32(text.len() as u32);
-                payload.extend_from_slice(text.as_bytes());
+                buf.put_u32(text.len() as u32);
+                buf.extend_from_slice(text.as_bytes());
             }
         }
-        let mut frame = BytesMut::with_capacity(4 + payload.len());
-        frame.put_u32(payload.len() as u32);
-        frame.extend_from_slice(&payload);
-        frame
+        let payload_len = (buf.len() - start - 4) as u32;
+        buf[start..start + 4].copy_from_slice(&payload_len.to_be_bytes());
     }
 
     /// Decode one message from a full payload (tag + body, no length
@@ -376,6 +388,14 @@ impl Message {
         w.write_all(&frame)
     }
 
+    /// Write this message as one frame through a reusable scratch buffer:
+    /// zero allocations once `scratch` has warmed up, one `write_all`.
+    pub fn write_to_buffered<W: Write>(&self, w: &mut W, scratch: &mut BytesMut) -> io::Result<()> {
+        scratch.clear();
+        self.encode_into(scratch);
+        w.write_all(scratch)
+    }
+
     /// Read one framed message from a stream. `Ok(None)` on clean EOF at a
     /// frame boundary.
     ///
@@ -395,6 +415,116 @@ impl Message {
         let mut payload = vec![0u8; len];
         r.read_exact(&mut payload)?;
         Message::decode(&payload).map(Some)
+    }
+}
+
+/// How much [`FrameDecoder::fill_from`] asks the kernel for per `read`.
+/// Large enough that a burst of datapoint frames (125 bytes each) arrives
+/// dozens-at-a-time per syscall; small enough to stay cache-friendly.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Buffered streaming frame decoder: reads *ahead* of frame boundaries and
+/// yields every complete frame already in its buffer without another
+/// syscall.
+///
+/// [`Message::read_from`] costs at least two `read` syscalls per frame
+/// (length prefix, then payload) plus a payload allocation. The decoder
+/// instead maintains one reusable buffer: [`FrameDecoder::fill_from`]
+/// appends whatever the kernel has (up to [`READ_CHUNK`] per call) and
+/// [`FrameDecoder::try_frame`] slices complete frames out of it — many
+/// frames per syscall under load, zero steady-state allocations, and
+/// partial frames reassemble transparently across reads (proven by the
+/// `split-boundary` proptests).
+///
+/// The caller owns the read loop, so stop flags and read timeouts stay
+/// caller-controlled (see `f2pm-serve`); [`FrameDecoder::read_frame`] is
+/// the plain blocking convenience for clients.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Unconsumed bytes live in `buf[start..end]`.
+    start: usize,
+    end: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer (storage grows on first use).
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Unconsumed buffered bytes (a partial frame when non-zero after a
+    /// clean [`FrameDecoder::try_frame`] miss).
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Decode the next complete frame already buffered. `Ok(None)` means
+    /// more bytes are needed ([`FrameDecoder::fill_from`]); corrupt length
+    /// prefixes and payloads surface as `InvalidData`, exactly like
+    /// [`Message::read_from`].
+    pub fn try_frame(&mut self) -> io::Result<Option<Message>> {
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let avail = &self.buf[self.start..self.end];
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(bad(&format!("bad frame length {len} (max {MAX_FRAME})")));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let msg = Message::decode(&avail[4..4 + len])?;
+        self.start += 4 + len;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        Ok(Some(msg))
+    }
+
+    /// Append whatever the reader has ready, with **one** `read` call.
+    /// Returns the byte count (0 = EOF). Read errors — including
+    /// `WouldBlock`/`TimedOut` from a socket read timeout — pass through
+    /// untouched, with the buffer left intact, so the caller can poll a
+    /// stop flag and retry.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        // Compact: partial frames move to the front so the buffer never
+        // grows past one max frame + one read chunk.
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Blocking convenience: the next frame, filling as needed. `Ok(None)`
+    /// on clean EOF at a frame boundary; EOF mid-frame is an error.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Message>> {
+        loop {
+            if let Some(msg) = self.try_frame()? {
+                return Ok(Some(msg));
+            }
+            match self.fill_from(r) {
+                Ok(0) => {
+                    return if self.buffered() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(bad("eof mid-frame"))
+                    }
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -487,6 +617,129 @@ mod tests {
             let got = Message::decode(payload).unwrap();
             assert_eq!(got, m);
         }
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_to_encode_for_all_12_variants() {
+        let variants = all_variants();
+        assert_eq!(variants.len(), 12, "cover every frame variant");
+        let mut scratch = BytesMut::new();
+        for m in &variants {
+            scratch.clear();
+            m.encode_into(&mut scratch);
+            assert_eq!(&scratch[..], &m.encode()[..], "{m:?}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_frames_for_coalescing() {
+        let a = Message::Fail { t: 1.5 };
+        let b = Message::Bye;
+        let mut buf = BytesMut::new();
+        a.encode_into(&mut buf);
+        let split = buf.len();
+        b.encode_into(&mut buf);
+        assert_eq!(&buf[..split], &a.encode()[..], "first frame untouched");
+        assert_eq!(&buf[split..], &b.encode()[..], "second frame appended");
+    }
+
+    #[test]
+    fn write_to_buffered_emits_one_whole_frame_and_reuses_scratch() {
+        let mut scratch = BytesMut::new();
+        let mut out: Vec<u8> = Vec::new();
+        let m = Message::PredictRequest { host_id: 3 };
+        m.write_to_buffered(&mut out, &mut scratch).unwrap();
+        Message::Bye
+            .write_to_buffered(&mut out, &mut scratch)
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(out);
+        assert_eq!(Message::read_from(&mut cursor).unwrap().unwrap(), m);
+        assert_eq!(
+            Message::read_from(&mut cursor).unwrap().unwrap(),
+            Message::Bye
+        );
+    }
+
+    /// A reader that hands out at most `chunks[i]` bytes per `read` call
+    /// (cycling), slicing the stream at arbitrary non-frame boundaries.
+    struct ChunkedReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunks: Vec<usize>,
+        turn: usize,
+    }
+
+    impl Read for ChunkedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let chunk = self.chunks[self.turn % self.chunks.len()].max(1);
+            self.turn += 1;
+            let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_split_byte_by_byte() {
+        let msgs = all_variants();
+        let mut data = Vec::new();
+        for m in &msgs {
+            m.write_to(&mut data).unwrap();
+        }
+        let mut r = ChunkedReader {
+            data,
+            pos: 0,
+            chunks: vec![1],
+            turn: 0,
+        };
+        let mut dec = FrameDecoder::new();
+        for expect in &msgs {
+            assert_eq!(dec.read_frame(&mut r).unwrap().as_ref(), Some(expect));
+        }
+        assert!(dec.read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_yields_multiple_buffered_frames_without_refill() {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            Message::Fail { t: i as f64 }.write_to(&mut data).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(data);
+        let mut dec = FrameDecoder::new();
+        assert!(dec.try_frame().unwrap().is_none(), "empty buffer");
+        // One fill grabs everything (far below READ_CHUNK); every frame
+        // must then come out of try_frame with no further reads.
+        assert!(dec.fill_from(&mut cursor).unwrap() > 0);
+        for i in 0..20 {
+            match dec.try_frame().unwrap() {
+                Some(Message::Fail { t }) => assert_eq!(t, i as f64),
+                other => panic!("frame {i}: {other:?}"),
+            }
+        }
+        assert!(dec.try_frame().unwrap().is_none());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_corrupt_length_and_eof_mid_frame() {
+        // Oversized claimed length.
+        let mut bad_len = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        bad_len.push(4);
+        let mut cursor = std::io::Cursor::new(bad_len);
+        let mut dec = FrameDecoder::new();
+        assert!(dec.read_frame(&mut cursor).is_err());
+        // EOF with a partial frame buffered.
+        let frame = Message::Fail { t: 5.0 }.encode();
+        let mut cursor = std::io::Cursor::new(frame[..frame.len() - 2].to_vec());
+        let mut dec = FrameDecoder::new();
+        let err = dec.read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("eof mid-frame"), "{err}");
     }
 
     #[test]
@@ -813,6 +1066,51 @@ mod tests {
                 let mut cursor = std::io::Cursor::new(frame[..frame.len() - cut].to_vec());
                 // A truncated stream must yield an error, never a message.
                 prop_assert!(Message::read_from(&mut cursor).is_err());
+            }
+
+            #[test]
+            fn encode_into_matches_encode_for_any_message(
+                msgs in proptest::collection::vec(arb_message(), 1..8)
+            ) {
+                // Coalesced into one buffer, the frames are the exact
+                // concatenation of the per-message `encode()` outputs.
+                let mut buf = BytesMut::new();
+                let mut expect: Vec<u8> = Vec::new();
+                for m in &msgs {
+                    m.encode_into(&mut buf);
+                    expect.extend_from_slice(&m.encode());
+                }
+                prop_assert_eq!(&buf[..], &expect[..]);
+            }
+
+            #[test]
+            fn decoder_roundtrips_any_stream_at_any_split_boundaries(
+                msgs in proptest::collection::vec(arb_message(), 1..10),
+                chunks in proptest::collection::vec(1usize..96, 1..8)
+            ) {
+                // Encode the whole sequence with the scratch-buffer path,
+                // then re-read it through reads sliced at arbitrary byte
+                // boundaries: every frame must reassemble exactly.
+                let mut buf = BytesMut::new();
+                for m in &msgs {
+                    m.encode_into(&mut buf);
+                }
+                let mut r = ChunkedReader {
+                    data: buf.to_vec(),
+                    pos: 0,
+                    chunks,
+                    turn: 0,
+                };
+                let mut dec = FrameDecoder::new();
+                for expect in &msgs {
+                    let got = dec.read_frame(&mut r)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    prop_assert_eq!(got.as_ref(), Some(expect));
+                }
+                let eof = dec.read_frame(&mut r)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert!(eof.is_none(), "clean EOF after the last frame");
+                prop_assert_eq!(dec.buffered(), 0);
             }
         }
     }

@@ -33,6 +33,8 @@ pub struct ServeMetrics {
     stats_requests: Counter,
     metrics_requests: Counter,
     latency: Histogram,
+    decode: Histogram,
+    reply: Histogram,
     model_generation: Gauge,
     latency_p50: Gauge,
     latency_p99: Gauge,
@@ -52,6 +54,8 @@ impl Default for ServeMetrics {
             stats_requests: registry.counter("f2pm_serve_stats_requests_total"),
             metrics_requests: registry.counter("f2pm_serve_metrics_requests_total"),
             latency: registry.histogram("f2pm_serve_estimate_latency_us"),
+            decode: registry.histogram("f2pm_serve_decode_us"),
+            reply: registry.histogram("f2pm_serve_reply_us"),
             model_generation: registry.gauge("f2pm_serve_model_generation"),
             latency_p50: registry.gauge("f2pm_serve_estimate_latency_p50_us"),
             latency_p99: registry.gauge("f2pm_serve_estimate_latency_p99_us"),
@@ -115,12 +119,61 @@ impl ServeMetrics {
         self.metrics_requests.inc();
     }
 
+    /// One wire frame decoded off a connection's read buffer, taking
+    /// `took` of reader-thread time (the "decode" stage of the latency
+    /// breakdown).
+    pub fn record_decode(&self, took: Duration) {
+        self.decode.record_duration(took);
+    }
+
+    /// One coalesced reply flush written (`n` frames in one `write_all`),
+    /// taking `took` (the "reply" stage of the latency breakdown).
+    pub fn record_reply(&self, took: Duration) {
+        self.reply.record_duration(took);
+    }
+
     /// Per-shard processed-event counter handle
     /// (`f2pm_serve_shard_events_total{shard="<i>"}`). Workers grab their
     /// handle once at spawn, then increment lock-free.
     pub fn shard_events(&self, shard: usize) -> Counter {
         self.registry
             .counter_with("f2pm_serve_shard_events_total", "shard", &shard.to_string())
+    }
+
+    /// Per-shard enqueue→drain wait histogram handle
+    /// (`f2pm_serve_shard_queue_wait_us{shard="<i>"}`, the "queue" stage
+    /// of the latency breakdown). Workers grab their handle once at
+    /// spawn, then record lock-free.
+    pub fn shard_queue_wait(&self, shard: usize) -> Histogram {
+        self.registry.histogram_with(
+            "f2pm_serve_shard_queue_wait_us",
+            "shard",
+            &shard.to_string(),
+        )
+    }
+
+    /// Queue-wait buckets aggregated over `n_shards` labeled histograms
+    /// (element-wise sum; empty when no shard has recorded yet).
+    fn queue_wait_buckets(&self, n_shards: usize) -> Vec<u64> {
+        let mut out = vec![0u64; LATENCY_BUCKETS];
+        let mut any = false;
+        for shard in 0..n_shards {
+            if let Some(snap) = self.registry.histogram_snapshot_with(
+                "f2pm_serve_shard_queue_wait_us",
+                "shard",
+                &shard.to_string(),
+            ) {
+                any = true;
+                for (acc, b) in out.iter_mut().zip(snap.buckets) {
+                    *acc += b;
+                }
+            }
+        }
+        if any {
+            out
+        } else {
+            Vec::new()
+        }
     }
 
     /// The instance registry backing these metrics.
@@ -133,6 +186,7 @@ impl ServeMetrics {
     /// them in.
     pub fn snapshot(&self, shard_depths: Vec<u32>, model_generation: u64) -> MetricsSnapshot {
         let latency = self.latency.snapshot();
+        let queue_wait_buckets = self.queue_wait_buckets(shard_depths.len());
         MetricsSnapshot {
             connections: self.connections.get().max(0.0) as u64,
             total_accepted: self.total_accepted.get(),
@@ -144,6 +198,9 @@ impl ServeMetrics {
             stats_requests: self.stats_requests.get(),
             metrics_requests: self.metrics_requests.get(),
             latency_buckets: latency.buckets,
+            decode_buckets: self.decode.snapshot().buckets,
+            reply_buckets: self.reply.snapshot().buckets,
+            queue_wait_buckets,
             shard_depths,
             model_generation,
         }
@@ -165,6 +222,26 @@ impl ServeMetrics {
         self.latency_p50.set_u64(snap.quantile_us(0.5).unwrap_or(0));
         self.latency_p99
             .set_u64(snap.quantile_us(0.99).unwrap_or(0));
+        // Per-stage quantile gauges so a wire scrape carries the full
+        // decode → queue wait → predict → reply breakdown without the
+        // scraper having to parse histogram buckets.
+        let qw_buckets = self.queue_wait_buckets(shard_depths.len());
+        let queue_wait = f2pm_obs::HistogramSnapshot {
+            count: qw_buckets.iter().sum(),
+            buckets: qw_buckets,
+            sum_us: 0,
+        };
+        for (name, snap) in [
+            ("f2pm_serve_decode", self.decode.snapshot()),
+            ("f2pm_serve_queue_wait", queue_wait),
+            ("f2pm_serve_reply", self.reply.snapshot()),
+        ] {
+            for (q, suffix) in [(0.5, "p50"), (0.99, "p99")] {
+                self.registry
+                    .gauge(&format!("{name}_{suffix}_us"))
+                    .set_u64(snap.quantile_us(q).unwrap_or(0));
+            }
+        }
         let mut text = self.registry.render_text();
         text.push_str(&f2pm_obs::global().render_text());
         text
@@ -195,6 +272,13 @@ pub struct MetricsSnapshot {
     /// Prediction-latency histogram; bucket `i` counts estimates that took
     /// `[2^(i-1), 2^i)` µs of shard-worker time.
     pub latency_buckets: Vec<u64>,
+    /// Frame-decode latency histogram (reader-thread "decode" stage).
+    pub decode_buckets: Vec<u64>,
+    /// Coalesced reply-write latency histogram ("reply" stage).
+    pub reply_buckets: Vec<u64>,
+    /// Enqueue→drain wait histogram, aggregated over every shard
+    /// ("queue" stage). Empty when no shard recorded yet.
+    pub queue_wait_buckets: Vec<u64>,
     /// Queue depth per shard at snapshot time.
     pub shard_depths: Vec<u32>,
     /// Current model generation.
@@ -205,12 +289,31 @@ impl MetricsSnapshot {
     /// Upper-bound latency (µs) of quantile `q` in `[0, 1]`, from the
     /// power-of-two histogram. `None` when no estimate has been recorded.
     pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
-        let total: u64 = self.latency_buckets.iter().sum();
+        Self::bucket_quantile_us(&self.latency_buckets, q)
+    }
+
+    /// Quantile over the aggregated queue-wait histogram (µs).
+    pub fn queue_wait_quantile_us(&self, q: f64) -> Option<u64> {
+        Self::bucket_quantile_us(&self.queue_wait_buckets, q)
+    }
+
+    /// Quantile over the frame-decode histogram (µs).
+    pub fn decode_quantile_us(&self, q: f64) -> Option<u64> {
+        Self::bucket_quantile_us(&self.decode_buckets, q)
+    }
+
+    /// Quantile over the reply-write histogram (µs).
+    pub fn reply_quantile_us(&self, q: f64) -> Option<u64> {
+        Self::bucket_quantile_us(&self.reply_buckets, q)
+    }
+
+    fn bucket_quantile_us(buckets: &[u64], q: f64) -> Option<u64> {
+        let total: u64 = buckets.iter().sum();
         if total == 0 {
             return None;
         }
         let snap = f2pm_obs::HistogramSnapshot {
-            buckets: self.latency_buckets.clone(),
+            buckets: buckets.to_vec(),
             count: total,
             sum_us: 0,
         };

@@ -24,13 +24,14 @@
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
 use crate::shard::{AlertPolicy, ClientWriter, EstimateBoard, ShardEvent, ShardPool};
-use f2pm_monitor::wire::{Message, MAX_FRAME, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use f2pm_monitor::wire::{FrameDecoder, Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use parking_lot::Mutex;
-use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +40,10 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Bounded per-shard queue capacity (events).
     pub queue_cap: usize,
+    /// Max events a shard worker drains per wakeup (`1` = per-event
+    /// processing; the batched path is bit-identical, just fewer model
+    /// calls and wakeups).
+    pub batch_cap: usize,
     /// When to push rejuvenation alerts.
     pub policy: AlertPolicy,
 }
@@ -48,6 +53,7 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 4,
             queue_cap: 1024,
+            batch_cap: 64,
             policy: AlertPolicy::default(),
         }
     }
@@ -59,6 +65,11 @@ struct Inner {
     registry: Arc<ModelRegistry>,
     board: Arc<EstimateBoard>,
     pool: ShardPool,
+    /// Read-half clones of every live connection, so shutdown can
+    /// `Shutdown::Both` them and wake reads blocked inside the (long)
+    /// read timeout instead of polling on a short one.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
 }
 
 /// The online prediction server (see the module docs).
@@ -78,6 +89,7 @@ impl PredictionServer {
         let pool = ShardPool::start(
             cfg.shards,
             cfg.queue_cap,
+            cfg.batch_cap,
             Arc::clone(&registry),
             cfg.policy,
             Arc::clone(&metrics),
@@ -88,6 +100,8 @@ impl PredictionServer {
             registry,
             board,
             pool,
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
         });
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -144,6 +158,12 @@ impl ServeHandle {
     pub fn shutdown(mut self) -> MetricsSnapshot {
         let inner = self.inner.take().expect("server running");
         inner.stop.store(true, Ordering::SeqCst);
+        // Wake every reader blocked in its (long) read timeout: a
+        // shutdown connection returns immediately, and the reader sees
+        // the stop flag without ever having polled for it.
+        for conn in inner.conns.lock().values() {
+            conn.shutdown(Shutdown::Both).ok();
+        }
         // Unblock the acceptor with a throwaway connection.
         TcpStream::connect(self.addr).ok();
         if let Some(a) = self.accept.take() {
@@ -177,12 +197,17 @@ fn accept_loop(
                     return;
                 }
                 metrics.connection_opened();
+                let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    inner.conns.lock().insert(conn_id, clone);
+                }
                 let inner = Arc::clone(&inner);
                 let metrics = Arc::clone(&metrics);
                 let handle = std::thread::Builder::new()
                     .name("f2pm-serve-conn".to_string())
                     .spawn(move || {
                         serve_connection(stream, &inner, &metrics).ok();
+                        inner.conns.lock().remove(&conn_id);
                         metrics.connection_closed();
                     })
                     .expect("spawn reader");
@@ -200,57 +225,32 @@ fn accept_loop(
     }
 }
 
-/// Read frames, honoring the stop flag: the stream has a short read
-/// timeout, and a timeout at a *frame boundary* loops back to check stop.
-/// Returns `Ok(None)` on clean EOF or stop.
-fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Message>> {
-    let mut len_buf = [0u8; 4];
-    match read_full(stream, &mut len_buf, stop, true)? {
-        ReadOutcome::Done => {}
-        ReadOutcome::Closed => return Ok(None),
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len == 0 || len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad frame length {len} (max {MAX_FRAME})"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    match read_full(stream, &mut payload, stop, false)? {
-        ReadOutcome::Done => {}
-        ReadOutcome::Closed => return Ok(None),
-    }
-    Message::decode(&payload).map(Some)
+/// Outcome of one buffered read into a connection's [`FrameDecoder`].
+enum Fill {
+    /// Bytes arrived; the decoder may now hold one or more whole frames.
+    Data,
+    /// Peer closed (or shutdown woke the socket).
+    Eof,
+    /// The server is stopping.
+    Stopped,
 }
 
-enum ReadOutcome {
-    Done,
-    Closed,
-}
-
-/// `read_exact` with stop-awareness. `at_boundary` means EOF before the
-/// first byte is a clean close (between frames) rather than a truncation.
-fn read_full(
+/// Pull the next chunk off the socket into the decoder, honoring the stop
+/// flag. The stream's read timeout is long (1 s) because it is a backstop,
+/// not a poll: shutdown wakes blocked reads by `Shutdown::Both`-ing the
+/// tracked connection, so stop is only *checked* here, never waited for.
+fn fill_decoder(
     stream: &mut TcpStream,
-    buf: &mut [u8],
+    decoder: &mut FrameDecoder,
     stop: &AtomicBool,
-    at_boundary: bool,
-) -> io::Result<ReadOutcome> {
-    let mut filled = 0;
-    while filled < buf.len() {
+) -> io::Result<Fill> {
+    loop {
         if stop.load(Ordering::SeqCst) {
-            return Ok(ReadOutcome::Closed);
+            return Ok(Fill::Stopped);
         }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 && at_boundary => return Ok(ReadOutcome::Closed),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "eof mid-frame",
-                ))
-            }
-            Ok(n) => filled += n,
+        match decoder.fill_from(stream) {
+            Ok(0) => return Ok(Fill::Eof),
+            Ok(_) => return Ok(Fill::Data),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -261,7 +261,33 @@ fn read_full(
             Err(e) => return Err(e),
         }
     }
-    Ok(ReadOutcome::Done)
+}
+
+/// Blocking next-frame (handshake path). `Ok(None)` on clean EOF or stop.
+fn next_frame(
+    stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
+    stop: &AtomicBool,
+) -> io::Result<Option<Message>> {
+    loop {
+        if let Some(msg) = decoder.try_frame()? {
+            return Ok(Some(msg));
+        }
+        match fill_decoder(stream, decoder, stop)? {
+            Fill::Data => {}
+            Fill::Stopped => return Ok(None),
+            Fill::Eof => {
+                return if decoder.buffered() == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                }
+            }
+        }
+    }
 }
 
 fn serve_connection(
@@ -270,12 +296,11 @@ fn serve_connection(
     metrics: &Arc<ServeMetrics>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
+    stream.set_read_timeout(Some(Duration::from_secs(1))).ok();
+    let mut decoder = FrameDecoder::new();
 
     // Handshake first: anything else is a protocol violation.
-    let (host, version) = match read_frame(&mut stream, &inner.stop)? {
+    let (host, version) = match next_frame(&mut stream, &mut decoder, &inner.stop)? {
         Some(Message::Hello { version, host_id })
             if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
         {
@@ -300,7 +325,15 @@ fn serve_connection(
         None
     };
 
-    let result = connection_loop(&mut stream, host, version, writer.as_ref(), inner, metrics);
+    let result = connection_loop(
+        &mut stream,
+        &mut decoder,
+        host,
+        version,
+        writer.as_ref(),
+        inner,
+        metrics,
+    );
     if writer.is_some() {
         inner.pool.send(host, ShardEvent::Unsubscribe { host }).ok();
     }
@@ -309,71 +342,147 @@ fn serve_connection(
 
 fn connection_loop(
     stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
     host: u32,
     version: u16,
     writer: Option<&ClientWriter>,
     inner: &Arc<Inner>,
     metrics: &Arc<ServeMetrics>,
 ) -> io::Result<()> {
-    while let Some(msg) = read_frame(stream, &inner.stop)? {
-        match msg {
-            Message::Datapoint(d) => {
-                metrics.datapoint();
-                // Blocking send = backpressure through TCP, never a drop.
-                inner.pool.send(host, ShardEvent::Datapoint { host, d })?;
+    let mut pending: Vec<Message> = Vec::new();
+    let mut burst: Vec<Message> = Vec::new();
+    'conn: loop {
+        // Decode every whole frame the last read buffered — one syscall
+        // can yield dozens of frames.
+        let mut saw_bye = false;
+        loop {
+            let started = Instant::now();
+            let Some(msg) = decoder.try_frame()? else {
+                break;
+            };
+            metrics.record_decode(started.elapsed());
+            if matches!(msg, Message::Bye) {
+                saw_bye = true;
+                break;
             }
-            Message::Fail { t } => {
-                inner.pool.send(host, ShardEvent::Fail { host, t })?;
-            }
-            Message::Bye => break,
-            Message::PredictRequest { host_id } => {
-                metrics.predict_request();
-                let reply = match inner.board.get(host_id) {
-                    Some(est) => Message::RttfEstimate {
-                        host_id,
-                        t: est.t,
-                        rttf: Some(est.rttf),
-                        model_generation: est.generation,
-                    },
-                    None => Message::RttfEstimate {
-                        host_id,
-                        t: 0.0,
-                        rttf: None,
-                        model_generation: inner.registry.generation(),
-                    },
-                };
-                if let Some(w) = writer {
-                    w.send(&reply)?;
+            burst.push(msg);
+        }
+        // Pass 1 — reads first: predict/stats/metrics requests are
+        // answered from the board and flushed in one coalesced write
+        // BEFORE any ingest work. Board reads carry no ordering guarantee
+        // relative to in-flight datapoints (shard workers publish
+        // asynchronously), so a reply must never wait out a full shard
+        // queue.
+        for msg in &burst {
+            handle_read(msg, version, inner, metrics, &mut pending);
+        }
+        flush_replies(writer, &mut pending, metrics)?;
+        // Pass 2 — apply shard-bound events in arrival order (blocking
+        // send = backpressure through TCP, never a drop).
+        for msg in burst.drain(..) {
+            match msg {
+                Message::Datapoint(d) => {
+                    metrics.datapoint();
+                    inner.pool.send(
+                        host,
+                        ShardEvent::Datapoint {
+                            host,
+                            d,
+                            enqueued: Instant::now(),
+                        },
+                    )?;
                 }
-            }
-            Message::StatsRequest => {
-                metrics.stats_request();
-                let snapshot =
-                    metrics.snapshot(inner.pool.queue_depths(), inner.registry.generation());
-                if let Some(w) = writer {
-                    w.send(&snapshot.to_message())?;
+                Message::Fail { t } => {
+                    inner.pool.send(host, ShardEvent::Fail { host, t })?;
                 }
+                _ => {}
             }
-            // Metrics scraping is a v3 feature; a request arriving on an
-            // older-versioned connection is a protocol violation we ignore
-            // (the handshake already fixed what the client may speak).
-            Message::MetricsRequest if version >= 3 => {
-                metrics.metrics_request();
-                let text =
-                    metrics.expose_text(&inner.pool.queue_depths(), inner.registry.generation());
-                if let Some(w) = writer {
-                    w.send(&Message::metrics_text(text))?;
+        }
+        if saw_bye {
+            break 'conn;
+        }
+        match fill_decoder(stream, decoder, &inner.stop)? {
+            Fill::Data => {}
+            Fill::Stopped => break,
+            Fill::Eof => {
+                if decoder.buffered() == 0 {
+                    break;
                 }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ));
             }
-            // Server-bound only; a client echoing server messages is
-            // ignored, like unknown traffic in the passive FMS.
-            Message::MetricsRequest
-            | Message::MetricsText { .. }
-            | Message::Hello { .. }
-            | Message::RttfEstimate { .. }
-            | Message::Alert { .. }
-            | Message::Stats { .. } => {}
         }
     }
+    // Replies queued in the same burst as a Bye still go out.
+    flush_replies(writer, &mut pending, metrics)
+}
+
+/// Write everything the current burst generated in one coalesced
+/// `write_all` under one writer-lock acquisition.
+fn flush_replies(
+    writer: Option<&ClientWriter>,
+    pending: &mut Vec<Message>,
+    metrics: &ServeMetrics,
+) -> io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    if let Some(w) = writer {
+        let started = Instant::now();
+        w.send_all(pending)?;
+        metrics.record_reply(started.elapsed());
+    }
+    pending.clear();
     Ok(())
+}
+
+/// Answer one read-type request (lock-free board lookup, stats snapshot,
+/// metrics exposition); replies queue on `pending` for one coalesced
+/// write. Shard-bound events and everything else are left to pass 2.
+fn handle_read(
+    msg: &Message,
+    version: u16,
+    inner: &Arc<Inner>,
+    metrics: &Arc<ServeMetrics>,
+    pending: &mut Vec<Message>,
+) {
+    match *msg {
+        Message::PredictRequest { host_id } => {
+            metrics.predict_request();
+            let reply = match inner.board.get(host_id) {
+                Some(est) => Message::RttfEstimate {
+                    host_id,
+                    t: est.t,
+                    rttf: Some(est.rttf),
+                    model_generation: est.generation,
+                },
+                None => Message::RttfEstimate {
+                    host_id,
+                    t: 0.0,
+                    rttf: None,
+                    model_generation: inner.registry.generation(),
+                },
+            };
+            pending.push(reply);
+        }
+        Message::StatsRequest => {
+            metrics.stats_request();
+            let snapshot = metrics.snapshot(inner.pool.queue_depths(), inner.registry.generation());
+            pending.push(snapshot.to_message());
+        }
+        // Metrics scraping is a v3 feature; a request arriving on an
+        // older-versioned connection is a protocol violation we ignore
+        // (the handshake already fixed what the client may speak).
+        Message::MetricsRequest if version >= 3 => {
+            metrics.metrics_request();
+            let text = metrics.expose_text(&inner.pool.queue_depths(), inner.registry.generation());
+            pending.push(Message::metrics_text(text));
+        }
+        // Shard-bound events (pass 2) and server-bound-only traffic a
+        // client has no business echoing (ignored, like unknown traffic
+        // in the passive FMS).
+        _ => {}
+    }
 }

@@ -18,14 +18,16 @@
 //! dropping frames.
 
 use crate::metrics::ServeMetrics;
-use crate::registry::ModelRegistry;
-use f2pm::{OnlinePredictor, RejuvenationPolicy};
+use crate::registry::{ModelEntry, ModelRegistry};
+use bytes::BytesMut;
+use f2pm::{predict_many, OnlinePredictor, RejuvenationPolicy};
 use f2pm_monitor::wire::Message;
 use f2pm_monitor::Datapoint;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -56,25 +58,49 @@ impl From<RejuvenationPolicy> for AlertPolicy {
 
 /// A cloneable, frame-atomic writer to one client connection. The mutex
 /// guarantees a pushed alert from a shard worker and a reply from the
-/// reader thread never interleave bytes inside a frame.
+/// reader thread never interleave bytes inside a frame. The encode scratch
+/// lives under the same lock, so steady-state sends allocate nothing and a
+/// multi-frame [`ClientWriter::send_all`] coalesces into one `write_all`
+/// (one syscall) instead of a syscall per frame.
 #[derive(Clone)]
 pub struct ClientWriter {
-    stream: Arc<Mutex<TcpStream>>,
+    inner: Arc<Mutex<WriterInner>>,
+}
+
+struct WriterInner {
+    stream: TcpStream,
+    scratch: BytesMut,
 }
 
 impl ClientWriter {
     /// Wrap a connection's write half.
     pub fn new(stream: TcpStream) -> Self {
         ClientWriter {
-            stream: Arc::new(Mutex::new(stream)),
+            inner: Arc::new(Mutex::new(WriterInner {
+                stream,
+                scratch: BytesMut::new(),
+            })),
         }
     }
 
     /// Write one whole frame under the lock.
     pub fn send(&self, msg: &Message) -> io::Result<()> {
-        let frame = msg.encode();
-        let mut stream = self.stream.lock();
-        stream.write_all(&frame)
+        self.send_all(std::slice::from_ref(msg))
+    }
+
+    /// Encode every frame into the reusable scratch and write them with
+    /// one `write_all` under one lock acquisition.
+    pub fn send_all(&self, msgs: &[Message]) -> io::Result<()> {
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        inner.scratch.clear();
+        for msg in msgs {
+            msg.encode_into(&mut inner.scratch);
+        }
+        inner.stream.write_all(&inner.scratch)
     }
 }
 
@@ -89,40 +115,120 @@ pub struct PublishedEstimate {
     pub generation: u64,
 }
 
+/// Seqlock slot holding one host's latest estimate.
+///
+/// `seq` is 0 while the slot is empty, odd while its (single) writer is
+/// mid-update, and a new even value after each publish. Readers snapshot
+/// the three payload words and retry when `seq` changed underneath them —
+/// so a `PredictRequest` reply never sees `t` from one window paired with
+/// `rttf` from another, yet takes no lock at all on the hot read path.
+///
+/// Single-writer is structural, not policed: a host is pinned to one shard
+/// worker, and only that worker publishes or clears it.
+struct Slot {
+    seq: AtomicU64,
+    t_bits: AtomicU64,
+    rttf_bits: AtomicU64,
+    generation: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            t_bits: AtomicU64::new(0),
+            rttf_bits: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Single-writer publish: mark odd, store payload, mark even.
+    fn store(&self, est: PublishedEstimate) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s | 1, Ordering::Release);
+        self.t_bits.store(est.t.to_bits(), Ordering::Release);
+        self.rttf_bits.store(est.rttf.to_bits(), Ordering::Release);
+        self.generation.store(est.generation, Ordering::Release);
+        self.seq.store((s | 1) + 1, Ordering::Release);
+    }
+
+    fn load(&self) -> Option<PublishedEstimate> {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None; // never published
+            }
+            if s1 & 1 == 1 {
+                std::hint::spin_loop(); // writer mid-update (4 stores)
+                continue;
+            }
+            let est = PublishedEstimate {
+                t: f64::from_bits(self.t_bits.load(Ordering::Acquire)),
+                rttf: f64::from_bits(self.rttf_bits.load(Ordering::Acquire)),
+                generation: self.generation.load(Ordering::Acquire),
+            };
+            if self.seq.load(Ordering::Acquire) == s1 {
+                return Some(est);
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Last-estimate board: shard workers publish, reader threads answer
-/// `PredictRequest`s from it without touching worker state. Striped by
-/// host so readers of different hosts rarely contend.
+/// `PredictRequest`s from it without touching worker state.
+///
+/// Read-mostly by design: a host's slot is found through a striped
+/// `RwLock` map (shared read access — concurrent readers and the
+/// publishing worker never exclude each other once the slot exists) and
+/// its payload is read through a [`Slot`] seqlock, so the steady-state
+/// `get` takes zero exclusive locks. Writes to the map itself happen only
+/// on a host's *first* estimate (slot insert) and on `Fail` (slot
+/// removal) — both rare.
 pub struct EstimateBoard {
-    stripes: Vec<Mutex<HashMap<u32, PublishedEstimate>>>,
+    stripes: Vec<RwLock<HashMap<u32, Arc<Slot>>>>,
 }
 
 impl EstimateBoard {
     fn new(stripes: usize) -> Self {
         EstimateBoard {
             stripes: (0..stripes.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
         }
     }
 
-    fn stripe(&self, host: u32) -> &Mutex<HashMap<u32, PublishedEstimate>> {
+    fn stripe(&self, host: u32) -> &RwLock<HashMap<u32, Arc<Slot>>> {
         &self.stripes[host as usize % self.stripes.len()]
     }
 
-    /// Publish `host`'s newest estimate.
+    /// Publish `host`'s newest estimate (called only by the host's shard
+    /// worker — the seqlock's single-writer invariant).
     pub fn publish(&self, host: u32, est: PublishedEstimate) {
-        self.stripe(host).lock().insert(host, est);
+        let stripe = self.stripe(host);
+        let existing = stripe.read().get(&host).cloned(); // read guard dropped here
+        let slot = existing.unwrap_or_else(|| {
+            Arc::clone(
+                stripe
+                    .write()
+                    .entry(host)
+                    .or_insert_with(|| Arc::new(Slot::empty())),
+            )
+        });
+        slot.store(est);
     }
 
-    /// The newest estimate of `host`, if any window has closed.
+    /// The newest estimate of `host`, if any window has closed. Lock-free
+    /// past the shared-read map lookup.
     pub fn get(&self, host: u32) -> Option<PublishedEstimate> {
-        self.stripe(host).lock().get(&host).copied()
+        let slot = Arc::clone(self.stripe(host).read().get(&host)?);
+        slot.load()
     }
 
     /// Forget `host` (its life ended; stale estimates must not leak into
     /// the next life).
     pub fn clear(&self, host: u32) {
-        self.stripe(host).lock().remove(&host);
+        self.stripe(host).write().remove(&host);
     }
 }
 
@@ -134,6 +240,10 @@ pub enum ShardEvent {
         host: u32,
         /// The sample.
         d: Datapoint,
+        /// When the reader thread enqueued it (feeds the per-shard
+        /// queue-wait histogram, the "queue" stage of the latency
+        /// breakdown).
+        enqueued: Instant,
     },
     /// `host` met the failure condition at time `t`; its predictor state
     /// and published estimate reset for the next life.
@@ -189,15 +299,20 @@ pub struct ShardPool {
 
 impl ShardPool {
     /// Spawn `n_shards` workers, each behind a bounded queue of
-    /// `queue_cap` events.
+    /// `queue_cap` events, draining up to `batch_cap` events per wakeup
+    /// (batched drains amortize one model call over every window that
+    /// closed in the batch; `batch_cap = 1` degenerates to the per-event
+    /// path and is proven bit-identical by the equivalence tests).
     pub fn start(
         n_shards: usize,
         queue_cap: usize,
+        batch_cap: usize,
         registry: Arc<ModelRegistry>,
         policy: AlertPolicy,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
         let n_shards = n_shards.max(1);
+        let batch_cap = batch_cap.max(1);
         let board = Arc::new(EstimateBoard::new(n_shards * 4));
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
@@ -207,11 +322,16 @@ impl ShardPool {
             let registry = Arc::clone(&registry);
             let board = Arc::clone(&board);
             let events = metrics.shard_events(shard);
+            let queue_wait = metrics.shard_queue_wait(shard);
             let metrics = Arc::clone(&metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("f2pm-shard-{shard}"))
-                    .spawn(move || worker_loop(rx, registry, policy, board, metrics, events))
+                    .spawn(move || {
+                        worker_loop(
+                            rx, batch_cap, registry, policy, board, metrics, events, queue_wait,
+                        )
+                    })
                     .expect("spawn shard worker"),
             );
         }
@@ -236,6 +356,22 @@ impl ShardPool {
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard worker gone"))
     }
 
+    /// Non-blocking [`ShardPool::send`]: `Ok(Some(event))` hands the event
+    /// back when `host`'s queue is at capacity, so the caller can flush
+    /// queued replies *before* parking on the blocking send — replies must
+    /// never wait behind ingest backpressure.
+    pub fn try_send(&self, host: u32, event: ShardEvent) -> io::Result<Option<ShardEvent>> {
+        let shard = host as usize % self.senders.len();
+        match self.senders[shard].try_send(event) {
+            Ok(()) => Ok(None),
+            Err(crossbeam::channel::TrySendError::Full(ev)) => Ok(Some(ev)),
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "shard worker gone",
+            )),
+        }
+    }
+
     /// Current queue depth per shard.
     pub fn queue_depths(&self) -> Vec<u32> {
         self.senders.iter().map(|s| s.len() as u32).collect()
@@ -255,59 +391,161 @@ impl ShardPool {
     }
 }
 
+/// Reusable per-worker batch state: the events drained this wakeup, the
+/// deferred `(host, window_t)` pairs whose rows await scoring, the flat
+/// row buffer those rows live in, and the estimate output buffer. All four
+/// are allocated once and recycled — the steady-state drain loop performs
+/// no per-event allocation.
+struct BatchState {
+    deferred: Vec<(u32, f64)>,
+    rows: Vec<f64>,
+    estimates: Vec<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: crossbeam::channel::Receiver<ShardEvent>,
+    batch_cap: usize,
     registry: Arc<ModelRegistry>,
     policy: AlertPolicy,
     board: Arc<EstimateBoard>,
     metrics: Arc<ServeMetrics>,
     events: f2pm_obs::Counter,
+    queue_wait: f2pm_obs::Histogram,
 ) {
     let mut hosts: HashMap<u32, HostState> = HashMap::new();
-    while let Ok(event) = rx.recv() {
-        events.inc();
-        match event {
-            ShardEvent::Datapoint { host, d } => {
-                let state = hosts
-                    .entry(host)
-                    .or_insert_with(|| HostState::new(&registry));
-                let t = d.t_gen;
-                let started = Instant::now();
-                if let Some(rttf) = state.predictor.push(d) {
-                    metrics.estimate(started.elapsed());
-                    board.publish(
-                        host,
-                        PublishedEstimate {
-                            t,
-                            rttf,
-                            generation: registry.generation(),
-                        },
+    let width = registry.columns().len();
+    let mut batch: Vec<ShardEvent> = Vec::with_capacity(batch_cap);
+    let mut state = BatchState {
+        deferred: Vec::with_capacity(batch_cap),
+        rows: Vec::new(),
+        estimates: Vec::new(),
+    };
+    // Block for the first event of a batch, then opportunistically drain
+    // whatever else is already queued (up to `batch_cap`) without blocking
+    // again — under load a wakeup processes a whole burst, at low rate it
+    // degenerates to the per-event path with zero added latency.
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_cap {
+            match rx.try_recv() {
+                Ok(event) => batch.push(event),
+                Err(_) => break,
+            }
+        }
+        for event in batch.drain(..) {
+            events.inc();
+            match event {
+                ShardEvent::Datapoint { host, d, enqueued } => {
+                    queue_wait.record_duration(enqueued.elapsed());
+                    let host_state = hosts
+                        .entry(host)
+                        .or_insert_with(|| HostState::new(&registry));
+                    if host_state.predictor.push_deferred(d, &mut state.rows) {
+                        state.deferred.push((host, d.t_gen));
+                    }
+                }
+                // Every other event has side effects that must observe the
+                // estimates of all earlier datapoints (a deferred publish
+                // sneaking past a `Fail` would resurrect a dead host's
+                // estimate on the board), so score the pending rows first.
+                // This keeps the batched path's observable event order
+                // identical to the per-event path's.
+                ShardEvent::Fail { host, t: _ } => {
+                    flush_deferred(
+                        &mut state, width, &mut hosts, &registry, policy, &board, &metrics,
                     );
-                    evaluate_alert(host, t, rttf, state, policy, &metrics);
+                    if let Some(host_state) = hosts.get_mut(&host) {
+                        host_state.predictor.reset();
+                        host_state.hits = 0;
+                    }
+                    board.clear(host);
                 }
-            }
-            ShardEvent::Fail { host, t: _ } => {
-                // A new life starts: window state and debounce reset, and
-                // the stale estimate leaves the board.
-                if let Some(state) = hosts.get_mut(&host) {
-                    state.predictor.reset();
-                    state.hits = 0;
+                ShardEvent::Subscribe { host, writer } => {
+                    flush_deferred(
+                        &mut state, width, &mut hosts, &registry, policy, &board, &metrics,
+                    );
+                    hosts
+                        .entry(host)
+                        .or_insert_with(|| HostState::new(&registry))
+                        .writer = Some(writer);
                 }
-                board.clear(host);
-            }
-            ShardEvent::Subscribe { host, writer } => {
-                hosts
-                    .entry(host)
-                    .or_insert_with(|| HostState::new(&registry))
-                    .writer = Some(writer);
-            }
-            ShardEvent::Unsubscribe { host } => {
-                if let Some(state) = hosts.get_mut(&host) {
-                    state.writer = None;
+                ShardEvent::Unsubscribe { host } => {
+                    flush_deferred(
+                        &mut state, width, &mut hosts, &registry, policy, &board, &metrics,
+                    );
+                    if let Some(host_state) = hosts.get_mut(&host) {
+                        host_state.writer = None;
+                    }
                 }
             }
         }
+        flush_deferred(
+            &mut state, width, &mut hosts, &registry, policy, &board, &metrics,
+        );
     }
+}
+
+/// Score every deferred window row of the batch with **one**
+/// `predict_batch` call, then publish board entries, record estimates and
+/// evaluate alerts in the original per-host arrival order.
+///
+/// The model entry is captured once, so every estimate of a flush carries
+/// one consistent generation (an install landing mid-flush takes effect at
+/// the next flush — same semantics a per-event loop has at event
+/// granularity).
+fn flush_deferred(
+    state: &mut BatchState,
+    width: usize,
+    hosts: &mut HashMap<u32, HostState>,
+    registry: &Arc<ModelRegistry>,
+    policy: AlertPolicy,
+    board: &EstimateBoard,
+    metrics: &ServeMetrics,
+) {
+    if state.deferred.is_empty() {
+        return;
+    }
+    let entry: Arc<ModelEntry> = registry.current();
+    let started = Instant::now();
+    state.estimates.clear();
+    let n = match predict_many(
+        entry.model.as_ref(),
+        width,
+        &mut state.rows,
+        &mut state.estimates,
+    ) {
+        Ok(n) => n,
+        Err(_) => {
+            // Unreachable with a width-checked registry model; drop the
+            // batch rather than poison the worker.
+            debug_assert!(false, "predict_many failed on registry model");
+            state.deferred.clear();
+            state.rows.clear();
+            return;
+        }
+    };
+    // Amortized per-estimate model time: the whole-batch call divided
+    // evenly. Keeps the estimate-latency histogram comparable with the
+    // per-event path while charging each estimate its true marginal cost.
+    let per_estimate = started.elapsed() / n.max(1) as u32;
+    for (&(host, t), &rttf) in state.deferred.iter().zip(state.estimates.iter()) {
+        metrics.estimate(per_estimate);
+        let Some(host_state) = hosts.get_mut(&host) else {
+            continue;
+        };
+        host_state.predictor.record_estimate(rttf);
+        board.publish(
+            host,
+            PublishedEstimate {
+                t,
+                rttf,
+                generation: entry.generation,
+            },
+        );
+        evaluate_alert(host, t, rttf, host_state, policy, metrics);
+    }
+    state.deferred.clear();
 }
 
 fn evaluate_alert(
@@ -388,12 +626,21 @@ mod tests {
         panic!("condition not reached in time");
     }
 
+    fn datapoint_event(host: u32, d: Datapoint) -> ShardEvent {
+        ShardEvent::Datapoint {
+            host,
+            d,
+            enqueued: Instant::now(),
+        }
+    }
+
     #[test]
     fn hosts_keep_isolated_estimates_across_shards() {
         let metrics = Arc::new(ServeMetrics::new());
         let pool = ShardPool::start(
             2,
             64,
+            32,
             test_registry(),
             AlertPolicy::default(),
             Arc::clone(&metrics),
@@ -404,14 +651,7 @@ mod tests {
         for i in 0..30 {
             let t = i as f64 * 5.0;
             for (host, swap) in [(1u32, 100.0), (2, 200.0), (7, 300.0)] {
-                pool.send(
-                    host,
-                    ShardEvent::Datapoint {
-                        host,
-                        d: dp(t, swap),
-                    },
-                )
-                .unwrap();
+                pool.send(host, datapoint_event(host, dp(t, swap))).unwrap();
             }
         }
         wait_for(|| [1u32, 2, 7].iter().all(|&h| board.get(h).is_some()));
@@ -432,20 +672,15 @@ mod tests {
         let pool = ShardPool::start(
             1,
             64,
+            32,
             test_registry(),
             AlertPolicy::default(),
             Arc::clone(&metrics),
         );
         let board = pool.board();
         for i in 0..10 {
-            pool.send(
-                4,
-                ShardEvent::Datapoint {
-                    host: 4,
-                    d: dp(i as f64 * 5.0, 100.0),
-                },
-            )
-            .unwrap();
+            pool.send(4, datapoint_event(4, dp(i as f64 * 5.0, 100.0)))
+                .unwrap();
         }
         wait_for(|| board.get(4).is_some());
         pool.send(4, ShardEvent::Fail { host: 4, t: 50.0 }).unwrap();
@@ -460,18 +695,12 @@ mod tests {
             rttf_threshold_s: 180.0,
             consecutive_hits: 2,
         };
-        let pool = ShardPool::start(1, 64, test_registry(), policy, Arc::clone(&metrics));
+        let pool = ShardPool::start(1, 64, 32, test_registry(), policy, Arc::clone(&metrics));
         // swap 450 → rttf 100 ≤ 180: every closed window is a hit. Close
         // enough windows for ≥ 2 consecutive hits.
         for i in 0..30 {
-            pool.send(
-                5,
-                ShardEvent::Datapoint {
-                    host: 5,
-                    d: dp(i as f64 * 5.0, 450.0),
-                },
-            )
-            .unwrap();
+            pool.send(5, datapoint_event(5, dp(i as f64 * 5.0, 450.0)))
+                .unwrap();
         }
         wait_for(|| metrics.snapshot(vec![], 1).alerts >= 1);
         pool.shutdown();
@@ -489,24 +718,221 @@ mod tests {
         let pool = ShardPool::start(
             1,
             2,
+            4,
             test_registry(),
             AlertPolicy::default(),
             Arc::clone(&metrics),
         );
         let n = 500u64;
         for i in 0..n {
-            pool.send(
-                0,
-                ShardEvent::Datapoint {
-                    host: 0,
-                    d: dp(i as f64, 100.0),
-                },
-            )
-            .unwrap();
+            pool.send(0, datapoint_event(0, dp(i as f64, 100.0)))
+                .unwrap();
         }
         pool.shutdown(); // joins after the queue fully drains
         let snap = metrics.snapshot(vec![], 1);
         assert!(snap.estimates > 0);
         assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn queue_wait_histogram_records_per_shard() {
+        let metrics = Arc::new(ServeMetrics::new());
+        let pool = ShardPool::start(
+            2,
+            64,
+            32,
+            test_registry(),
+            AlertPolicy::default(),
+            Arc::clone(&metrics),
+        );
+        for i in 0..20 {
+            for host in [0u32, 1] {
+                pool.send(host, datapoint_event(host, dp(i as f64 * 5.0, 100.0)))
+                    .unwrap();
+            }
+        }
+        pool.shutdown();
+        for shard in ["0", "1"] {
+            let snap = metrics
+                .registry()
+                .histogram_snapshot_with("f2pm_serve_shard_queue_wait_us", "shard", shard)
+                .expect("queue-wait histogram registered");
+            assert!(snap.count >= 20, "shard {shard}: {}", snap.count);
+        }
+    }
+
+    /// What a host's feed looks like for the equivalence harness below.
+    enum Feed {
+        Dp(u32, Datapoint),
+        Fail(u32, f64),
+    }
+
+    /// Run `feed` through a pool with the given `batch_cap` and collect
+    /// the complete per-host estimate stream. The observation channel is
+    /// the alert push path: with `threshold = ∞, hits = 1`, *every*
+    /// published estimate fires an `Alert` over a real loopback socket, so
+    /// the full sequence (not just the board's last value) is visible.
+    fn run_pool_collect_alerts(batch_cap: usize, feed: &[Feed]) -> HashMap<u32, Vec<(u64, u64)>> {
+        use f2pm_monitor::wire::FrameDecoder;
+        use std::net::TcpListener;
+
+        let metrics = Arc::new(ServeMetrics::new());
+        let policy = AlertPolicy {
+            rttf_threshold_s: f64::INFINITY,
+            consecutive_hits: 1,
+        };
+        let pool = ShardPool::start(2, 64, batch_cap, test_registry(), policy, metrics);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let w_stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut r_stream, _) = listener.accept().unwrap();
+        let writer = ClientWriter::new(w_stream);
+        let reader = std::thread::spawn(move || {
+            let mut decoder = FrameDecoder::new();
+            let mut out: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+            while let Ok(Some(msg)) = decoder.read_frame(&mut r_stream) {
+                if let Message::Alert {
+                    host_id, t, rttf, ..
+                } = msg
+                {
+                    out.entry(host_id)
+                        .or_default()
+                        .push((t.to_bits(), rttf.to_bits()));
+                }
+            }
+            out
+        });
+        for host in [1u32, 2, 3] {
+            pool.send(
+                host,
+                ShardEvent::Subscribe {
+                    host,
+                    writer: writer.clone(),
+                },
+            )
+            .unwrap();
+        }
+        for item in feed {
+            match *item {
+                Feed::Dp(host, d) => pool.send(host, datapoint_event(host, d)).unwrap(),
+                Feed::Fail(host, t) => pool.send(host, ShardEvent::Fail { host, t }).unwrap(),
+            }
+        }
+        pool.shutdown();
+        drop(writer); // last writer clone gone → reader sees EOF
+        reader.join().unwrap()
+    }
+
+    /// The ISSUE's headline equivalence guarantee: batched shard
+    /// processing publishes **bit-identical** estimates, in the same
+    /// per-host order, as the per-event path (`batch_cap = 1`). The feed
+    /// interleaves three hosts across two shards and injects a mid-stream
+    /// `Fail` so the flush-before-side-effect ordering is exercised too.
+    #[test]
+    fn batched_drain_is_bit_identical_to_per_event_path() {
+        let mut feed = Vec::new();
+        for i in 0..240 {
+            let t = i as f64 * 5.0;
+            for (host, base) in [(1u32, 80.0), (2, 160.0), (3, 240.0)] {
+                feed.push(Feed::Dp(host, dp(t, base + (i as f64 * 0.7).sin() * 50.0)));
+            }
+            if i == 120 {
+                feed.push(Feed::Fail(2, t));
+            }
+        }
+        let per_event = run_pool_collect_alerts(1, &feed);
+        let batched = run_pool_collect_alerts(256, &feed);
+        for host in [1u32, 2, 3] {
+            let a = per_event.get(&host).expect("per-event estimates");
+            let b = batched.get(&host).expect("batched estimates");
+            assert!(a.len() >= 8, "host {host}: only {} estimates", a.len());
+            assert_eq!(a, b, "host {host} estimate stream diverged");
+        }
+    }
+
+    #[test]
+    fn estimate_board_reads_never_tear_under_concurrent_publish() {
+        use std::sync::atomic::AtomicBool;
+
+        let board = Arc::new(EstimateBoard::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let board = Arc::clone(&board);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    board.publish(
+                        9,
+                        PublishedEstimate {
+                            t: k as f64,
+                            rttf: 2.0 * k as f64,
+                            generation: k,
+                        },
+                    );
+                    k += 1;
+                }
+                k
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let board = Arc::clone(&board);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(est) = board.get(9) {
+                            // A torn read would pair t from one publish
+                            // with rttf/generation from another.
+                            assert_eq!(est.rttf, 2.0 * est.t, "torn estimate {est:?}");
+                            assert_eq!(est.generation as f64, est.t, "torn estimate {est:?}");
+                            seen += 1;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let published = publisher.join().unwrap();
+        let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(published > 1_000, "publisher starved: {published}");
+        assert!(reads > 1_000, "readers starved: {reads}");
+    }
+
+    #[test]
+    fn send_all_coalesces_whole_frames() {
+        use f2pm_monitor::wire::FrameDecoder;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let w_stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut r_stream, _) = listener.accept().unwrap();
+        let writer = ClientWriter::new(w_stream);
+        let msgs = [
+            Message::RttfEstimate {
+                host_id: 1,
+                t: 10.0,
+                rttf: Some(400.0),
+                model_generation: 2,
+            },
+            Message::Alert {
+                host_id: 1,
+                t: 10.0,
+                rttf: 400.0,
+                threshold: 600.0,
+            },
+            Message::Bye,
+        ];
+        writer.send_all(&msgs).unwrap();
+        writer.send_all(&[]).unwrap(); // empty batch is a no-op
+        drop(writer);
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        while let Ok(Some(msg)) = decoder.read_frame(&mut r_stream) {
+            got.push(msg);
+        }
+        assert_eq!(got.as_slice(), msgs.as_slice());
     }
 }

@@ -31,6 +31,10 @@ fn linear(intercept: f64, swap_coef: f64) -> SavedModel {
 }
 
 fn start_server(shards: usize) -> ServeHandle {
+    start_server_batched(shards, 64)
+}
+
+fn start_server_batched(shards: usize, batch_cap: usize) -> ServeHandle {
     let registry = ModelRegistry::new(
         linear(1000.0, -2.0),
         vec!["swap_used".to_string(), "swap_used_slope".to_string()],
@@ -42,6 +46,7 @@ fn start_server(shards: usize) -> ServeHandle {
         ServeConfig {
             shards,
             queue_cap: 256,
+            batch_cap,
             policy: AlertPolicy::default(),
         },
         registry,
@@ -434,6 +439,64 @@ fn v2_client_cannot_scrape_metrics() {
     Message::Bye.write_to(&mut stream).unwrap();
     let snap = server.shutdown();
     assert_eq!(snap.metrics_requests, 0, "v2 scrape must not be served");
+}
+
+/// End-to-end equivalence gate for the batched data plane: a server
+/// draining 256-event batches must push the **bit-identical** alert
+/// stream (every estimate, in order — `threshold = ∞, hits = 1` turns
+/// each estimate into an alert) as a server processing per-event
+/// (`batch_cap = 1`), across a mid-stream `Fail` life reset.
+#[test]
+fn batched_server_publishes_identical_estimate_stream() {
+    fn run(batch_cap: usize) -> Vec<(u64, u64)> {
+        let registry = ModelRegistry::new(
+            linear(1000.0, -2.0),
+            vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+            agg(),
+        )
+        .unwrap();
+        let server = PredictionServer::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                shards: 2,
+                queue_cap: 256,
+                batch_cap,
+                policy: AlertPolicy {
+                    rttf_threshold_s: f64::INFINITY,
+                    consecutive_hits: 1,
+                },
+            },
+            registry,
+        )
+        .unwrap();
+        let mut client = V2Client::connect(server.addr(), 6);
+        for i in 0..240 {
+            let t = i as f64 * 5.0;
+            client.send(&Message::Datapoint(dp(t, 100.0 + (i % 40) as f64 * 7.0)));
+            if i == 120 {
+                client.send(&Message::Fail { t });
+            }
+        }
+        client.send(&Message::Bye);
+        // Bye is processed after every datapoint (same in-order
+        // connection), so all alerts precede the EOF.
+        let mut out = Vec::new();
+        loop {
+            match Message::read_from(&mut client.stream) {
+                Ok(Some(Message::Alert { t, rttf, .. })) => out.push((t.to_bits(), rttf.to_bits())),
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.dropped, 0);
+        out
+    }
+
+    let per_event = run(1);
+    let batched = run(256);
+    assert!(per_event.len() >= 10, "only {} alerts", per_event.len());
+    assert_eq!(per_event, batched, "estimate stream diverged");
 }
 
 #[test]
