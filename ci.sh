@@ -47,8 +47,9 @@ for path in ("target/BENCH_compute_smoke.json", "BENCH_compute.json"):
 print("training section OK")
 EOF
 
-echo "==> serve loadgen smoke (reduced fleet, --sweep: 1 and 2 shards)"
-cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke --sweep
+echo "==> serve loadgen smoke (reduced fleet, --sweep: 1 and 2 shards, 2k-conn reactor gate)"
+cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke --sweep \
+    --connections 2000 --idle-fraction 0.9
 # The smoke run must have scraped the metrics exposition and found it in
 # exact agreement with the harness's own counters, and the batched data
 # plane must hold its tail-latency budget at the (tiny) smoke load.
@@ -98,7 +99,42 @@ assert full_p99 * 3 <= full["baseline_p99_us"], (
 for key in ("decode", "queue_wait", "predict", "reply"):
     assert key in full["stage_latency_us"], f"missing stage breakdown: {key}"
 assert full["wire_codec"]["encode_into_frames_per_s"] > 0
-print("serve smoke sweep + tail budget + committed bench OK")
+
+# High-connection gate for the epoll reactor edge. The smoke run parks a
+# 2k mostly-idle fleet (a re-exec'd child process holds the client fds)
+# on the same server that serves a hot sweep: zero drops, zero slow-
+# consumer evictions, every fleet + sweep datapoint scraped back exactly
+# (the loadgen harness already cross-checked the totals before setting
+# checks_passed), a clean close of the whole fleet, and the hot path
+# holding its p99 budget with the fleet parked.
+conn = smoke.get("connections")
+assert conn is not None, "smoke run must include the --connections phase"
+assert conn["checks_passed"] is True, "connection-phase checks failed"
+assert conn["connected"] == conn["target"] >= 2000, (
+    f"fleet only reached {conn['connected']}/{conn['target']} connections"
+)
+assert conn["peak_live"] >= conn["target"], "server never saw the full fleet live"
+assert conn["dropped_frames"] == 0, "fleet phase dropped frames"
+assert conn["evicted_slow"] == 0, "idle fleet conns must never be evicted"
+assert conn["hot_predict_p99_us"] <= conn["hot_p99_budget_us"], (
+    f"hot p99 {conn['hot_predict_p99_us']}us over budget with the fleet parked"
+)
+
+# The committed full benchmark carries the 10k-connection run: same
+# invariants at scale, plus the resident-memory claim — a reactor
+# connection must cost >=10x less than a thread-per-connection one.
+fconn = full.get("connections")
+assert fconn is not None, "committed BENCH_serve.json must include 'connections'"
+assert fconn["checks_passed"] is True, "committed connection-phase checks failed"
+assert fconn["connected"] == fconn["target"] >= 10000, (
+    f"committed fleet was {fconn['connected']} conns, need >=10000"
+)
+assert fconn["dropped_frames"] == 0 and fconn["evicted_slow"] == 0
+assert fconn["hot_predict_p99_us"] <= fconn["hot_p99_budget_us"]
+assert fconn["resident_ratio"] >= 10.0, (
+    f"reactor per-conn residency only {fconn['resident_ratio']}x below threaded"
+)
+print("serve smoke sweep + tail budget + committed bench + 2k-conn gate OK")
 EOF
 
 echo "CI OK"

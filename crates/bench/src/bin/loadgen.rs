@@ -21,6 +21,19 @@
 //!
 //! and writes throughput + latency percentiles to `BENCH_serve.json`
 //! (`--smoke`: 1/6-scale, scratch output under `target/`, for CI).
+//!
+//! With `--connections N` a second phase exercises the epoll reactor edge
+//! at scale: a re-exec'd child process (`--fleet-child`, so the fd budget
+//! splits across two processes under the 20k NOFILE hard limit) opens `N`
+//! mostly-idle v2 connections (`--idle-fraction` of them never send after
+//! the handshake), a hot sweep runs through the same server while the
+//! fleet is parked, and the parent records its own VmRSS before/after to
+//! price a resident connection. A threaded-edge baseline run
+//! (`reactors: 0`, one reader thread per conn) prices the same connection
+//! the old way; the ratio lands in `BENCH_serve.json` under
+//! `"connections"`. Hard checks: every fleet datapoint scraped exactly,
+//! zero drops, zero slow-consumer evictions, flat parent memory across
+//! the sweep, and hot-path p99 under the 120 ms budget.
 
 use f2pm_features::AggregationConfig;
 use f2pm_ml::linreg::LinearModel;
@@ -43,6 +56,8 @@ struct Args {
     out: String,
     smoke: bool,
     sweep: bool,
+    connections: usize,
+    idle_fraction: f64,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +67,8 @@ fn parse_args() -> Args {
     let mut out = None;
     let mut smoke = false;
     let mut sweep = false;
+    let mut connections = None;
+    let mut idle_fraction = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -68,10 +85,20 @@ fn parse_args() -> Args {
             "--out" => out = it.next().cloned(),
             "--smoke" => smoke = true,
             "--sweep" => sweep = true,
+            "--connections" => connections = Some(val("--connections")),
+            "--idle-fraction" => {
+                idle_fraction = Some(
+                    it.next()
+                        .unwrap_or_else(|| panic!("--idle-fraction needs a value"))
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| panic!("bad value for --idle-fraction")),
+                )
+            }
             other => {
                 eprintln!(
                     "unknown flag {other:?} \
-                     (supported: --clients N --points N --shards N --out PATH --smoke --sweep)"
+                     (supported: --clients N --points N --shards N --out PATH --smoke --sweep \
+                     --connections N --idle-fraction F)"
                 );
                 std::process::exit(2);
             }
@@ -93,6 +120,8 @@ fn parse_args() -> Args {
         }),
         smoke,
         sweep,
+        connections: connections.unwrap_or(0),
+        idle_fraction: idle_fraction.unwrap_or(0.9).clamp(0.0, 1.0),
     }
 }
 
@@ -418,6 +447,7 @@ fn run_once(args: &Args, shards: usize) -> RunResult {
             queue_cap: 256,
             batch_cap: 64,
             policy: AlertPolicy::default(),
+            ..ServeConfig::default()
         },
         registry,
     )
@@ -617,6 +647,514 @@ fn run_once(args: &Args, shards: usize) -> RunResult {
     }
 }
 
+/// Fleet host ids start far above the hot sweep's `0..clients` range (and
+/// below the scraper's `u32::MAX`), so per-host predictor state never
+/// collides across the two traffic classes.
+const FLEET_HOST_BASE: u32 = 1_000_000;
+
+/// Datapoints each non-idle fleet connection trickles during the hot
+/// sweep — enough to prove the reactor interleaves fleet traffic with the
+/// hot path, small enough to keep the phase dominated by idle conns.
+const FLEET_TRICKLE: usize = 20;
+
+/// Hot-path p99 budget (µs) with the full idle fleet parked on the same
+/// reactor: the ISSUE gate for the 10k-connection run at 4 shards.
+const CONN_PHASE_P99_BUDGET_US: u64 = 120_000;
+
+/// Parent RSS growth allowed across the hot sweep while the fleet is
+/// connected (KiB). "Flat memory": buffers must be bounded, so thousands
+/// of parked conns plus a hot sweep must not grow the heap beyond the
+/// sweep's own working set.
+const FLAT_RSS_BUDGET_KIB: u64 = 32 * 1024;
+
+/// Current VmRSS of this process in KiB, from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn rss_kib() -> u64 {
+    proc_status_kib("VmRSS:")
+}
+
+/// Peak VmHWM of this process in KiB (high-water mark since start).
+#[cfg(target_os = "linux")]
+fn vm_hwm_kib() -> u64 {
+    proc_status_kib("VmHWM:")
+}
+
+#[cfg(target_os = "linux")]
+fn proc_status_kib(field: &str) -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The re-exec'd fleet process: opens `n` v2 connections against `addr`
+/// and coordinates with the parent over stdin/stdout so the two
+/// processes split the 20k NOFILE budget (client fds here, server fds in
+/// the parent — the parent's RSS delta then prices only the server side).
+///
+/// Protocol (one line each way per step):
+///   child:  `CONNECTED <n>`   — fleet is up, parent samples RSS
+///   parent: `RUN`             — trickle phase (the non-idle fraction
+///                                sends `FLEET_TRICKLE` datapoints each)
+///   child:  `SENT <total>`    — parent cross-checks the scrape exactly
+///   parent: `BYE`             — clean close (Bye on every conn)
+///   child:  `CLOSED`
+#[cfg(target_os = "linux")]
+fn fleet_child_main(addr: SocketAddr, n: usize, idle_fraction: f64) -> ! {
+    use std::io::BufRead as _;
+
+    f2pm_serve::poller::raise_nofile_limit(n as u64 + 512);
+    let connectors = 4usize;
+    let mut streams: Vec<TcpStream> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connectors)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut mine = Vec::with_capacity(n / connectors + 1);
+                    for i in (c..n).step_by(connectors) {
+                        let mut stream = connect_with_retry(addr);
+                        stream.set_nodelay(true).ok();
+                        Message::Hello {
+                            version: PROTOCOL_VERSION,
+                            host_id: FLEET_HOST_BASE + i as u32,
+                        }
+                        .write_to(&mut stream)
+                        .expect("fleet hello");
+                        mine.push(stream);
+                        // Pace the connect storm so the listener backlog
+                        // never overflows into SYN-retransmit stalls.
+                        if mine.len() % 32 == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fleet connector"))
+            .collect()
+    });
+    println!("CONNECTED {}", streams.len());
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let wait_for =
+        |lines: &mut dyn Iterator<Item = std::io::Result<String>>, word: &str| match lines.next() {
+            Some(Ok(l)) if l.trim() == word => {}
+            other => panic!("fleet child expected {word:?}, got {other:?}"),
+        };
+    wait_for(&mut lines, "RUN");
+
+    let active = ((1.0 - idle_fraction).clamp(0.0, 1.0) * n as f64).round() as usize;
+    let sent_total = AtomicU64::new(0);
+    {
+        let (active_streams, _idle) = streams.split_at_mut(active.min(n));
+        let chunk = active_streams.len().div_ceil(connectors).max(1);
+        std::thread::scope(|s| {
+            for part in active_streams.chunks_mut(chunk) {
+                let sent_total = &sent_total;
+                s.spawn(move || {
+                    for round in 0..FLEET_TRICKLE {
+                        for stream in part.iter_mut() {
+                            let d = Datapoint {
+                                // 20 s apart: the 30 s aggregation windows
+                                // keep closing, so the trickle also drives
+                                // estimate publication for its hosts.
+                                t_gen: round as f64 * 20.0,
+                                values: [0.0; 14],
+                            };
+                            if Message::Datapoint(d).write_to(stream).is_ok() {
+                                sent_total.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                });
+            }
+        });
+    }
+    println!("SENT {}", sent_total.load(Ordering::SeqCst));
+    wait_for(&mut lines, "BYE");
+    for stream in &mut streams {
+        Message::Bye.write_to(stream).ok();
+    }
+    drop(streams);
+    println!("CLOSED");
+    std::process::exit(0);
+}
+
+#[cfg(target_os = "linux")]
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    for _ in 0..500 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    panic!("fleet child could not connect to {addr}");
+}
+
+/// Everything the connection-scale phase produces.
+#[cfg(target_os = "linux")]
+struct ConnResult {
+    target: usize,
+    connected: u64,
+    idle_fraction: f64,
+    peak_live: u64,
+    child_sent: u64,
+    hot_clients: usize,
+    hot_samples: usize,
+    hot_p50: u64,
+    hot_p99: u64,
+    rss_base_kib: u64,
+    rss_fleet_kib: u64,
+    rss_after_sweep_kib: u64,
+    vm_hwm_kib: u64,
+    per_conn_kib_reactor: f64,
+    per_conn_kib_threaded: f64,
+    threaded_conns: usize,
+    resident_ratio: f64,
+    evicted_slow: u64,
+    dropped: u64,
+    failures: Vec<String>,
+}
+
+/// Read one `TAG <number>` line from the fleet child (0 when the tag has
+/// no number, e.g. `CLOSED`); a mismatch or EOF records a failure.
+#[cfg(target_os = "linux")]
+fn child_line(
+    out: &mut impl std::io::BufRead,
+    tag: &str,
+    failures: &mut Vec<String>,
+) -> Option<u64> {
+    let mut line = String::new();
+    match out.read_line(&mut line) {
+        Ok(n) if n > 0 => {
+            let line = line.trim();
+            match line.strip_prefix(tag) {
+                Some(rest) => Some(rest.trim().parse().unwrap_or(0)),
+                None => {
+                    failures.push(format!("fleet child said {line:?}, expected {tag}"));
+                    None
+                }
+            }
+        }
+        _ => {
+            failures.push(format!("fleet child exited before {tag}"));
+            None
+        }
+    }
+}
+
+/// Spawn a `--fleet-child` process holding `n` connections against
+/// `addr`; returns the child plus its piped stdin/stdout.
+#[cfg(target_os = "linux")]
+fn spawn_fleet(
+    addr: SocketAddr,
+    n: usize,
+    idle_fraction: f64,
+) -> (
+    std::process::Child,
+    std::process::ChildStdin,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    let mut child =
+        std::process::Command::new(std::env::current_exe().expect("current_exe for fleet child"))
+            .args([
+                "--fleet-child",
+                &addr.to_string(),
+                &n.to_string(),
+                &idle_fraction.to_string(),
+            ])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .expect("spawn fleet child");
+    let stdin = child.stdin.take().expect("fleet stdin");
+    let stdout = std::io::BufReader::new(child.stdout.take().expect("fleet stdout"));
+    (child, stdin, stdout)
+}
+
+/// Poll the scrape until `pred` holds (or the budget runs out); returns
+/// the last exposition text.
+#[cfg(target_os = "linux")]
+fn scrape_until(scraper: &mut Scraper, tries: usize, pred: impl Fn(&str) -> bool) -> String {
+    let mut text = scraper.scrape();
+    for _ in 0..tries {
+        if pred(&text) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        text = scraper.scrape();
+    }
+    text
+}
+
+/// The connection-scale phase: price a resident connection on the
+/// reactor edge under `args.connections` mostly-idle clients, prove the
+/// hot path keeps its latency budget with the fleet parked on the same
+/// epoll loops, and compare against a thread-per-connection baseline.
+///
+/// Runs the threaded baseline FIRST: its per-connection cost (reader
+/// thread stack + eagerly sized decoder buffer) is measured against a
+/// heap that has not yet absorbed the big fleet phase, which keeps the
+/// baseline honest — allocator reuse after a larger phase would
+/// under-count it.
+#[cfg(target_os = "linux")]
+fn run_connections(args: &Args) -> ConnResult {
+    use std::io::Write as _;
+
+    let n = args.connections;
+    let shards = 4usize;
+    let hot_clients = if args.smoke { 20 } else { 40 };
+    let hot_points = if args.smoke { 60 } else { 120 };
+    let mut failures = Vec::new();
+
+    // --- Threaded baseline: reactors: 0, one reader thread per conn. ---
+    let threaded_conns = n.min(if args.smoke { 400 } else { 1000 });
+    let per_conn_kib_threaded = {
+        let registry = ModelRegistry::new(
+            model(1000.0),
+            f2pm_features::aggregate::aggregated_column_names_with(&agg()),
+            agg(),
+        )
+        .expect("registry");
+        let server = PredictionServer::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                shards,
+                queue_cap: 256,
+                batch_cap: 64,
+                policy: AlertPolicy::default(),
+                reactors: 0,
+                ..ServeConfig::default()
+            },
+            registry,
+        )
+        .expect("start threaded server");
+        let addr = server.addr();
+        eprintln!(
+            "loadgen: connections baseline — {threaded_conns} idle conns on the threaded edge"
+        );
+        let rss0 = rss_kib();
+        let (mut child, mut stdin, mut stdout) = spawn_fleet(addr, threaded_conns, 1.0);
+        let connected = child_line(&mut stdout, "CONNECTED", &mut failures).unwrap_or(0);
+        let mut scraper = Scraper::connect(addr);
+        scrape_until(&mut scraper, 4000, |t| {
+            metric_sample(t, "f2pm_serve_connections ").unwrap_or(0.0) as u64 > connected
+        });
+        let rss1 = rss_kib();
+        writeln!(stdin, "RUN").ok();
+        child_line(&mut stdout, "SENT", &mut failures);
+        writeln!(stdin, "BYE").ok();
+        child_line(&mut stdout, "CLOSED", &mut failures);
+        child.wait().ok();
+        drop(scraper);
+        server.shutdown();
+        if connected != threaded_conns as u64 {
+            failures.push(format!(
+                "threaded baseline connected {connected}/{threaded_conns}"
+            ));
+        }
+        rss1.saturating_sub(rss0) as f64 / threaded_conns.max(1) as f64
+    };
+
+    // --- Reactor phase: the full fleet + hot sweep on the epoll edge. ---
+    let registry = ModelRegistry::new(
+        model(1000.0),
+        f2pm_features::aggregate::aggregated_column_names_with(&agg()),
+        agg(),
+    )
+    .expect("registry");
+    let server = PredictionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards,
+            queue_cap: 256,
+            batch_cap: 64,
+            policy: AlertPolicy::default(),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("start reactor server");
+    let addr = server.addr();
+    eprintln!(
+        "loadgen: connections phase — {n} fleet conns ({:.0}% idle) + {hot_clients} hot \
+         clients x {hot_points} points, {shards} shards",
+        args.idle_fraction * 100.0
+    );
+
+    // Hot-sweep scripts precomputed BEFORE the RSS baseline, so script
+    // memory is excluded from the per-connection math.
+    let scripts: Vec<_> = (0..hot_clients)
+        .map(|c| client_script(c as u32, hot_points, 0))
+        .collect();
+    let rss_base = rss_kib();
+
+    let (mut child, mut stdin, mut stdout) = spawn_fleet(addr, n, args.idle_fraction);
+    let connected = child_line(&mut stdout, "CONNECTED", &mut failures).unwrap_or(0);
+    if connected != n as u64 {
+        failures.push(format!("fleet connected {connected}/{n}"));
+    }
+    let mut scraper = Scraper::connect(addr);
+    let live_text = scrape_until(&mut scraper, 4000, |t| {
+        metric_sample(t, "f2pm_serve_connections ").unwrap_or(0.0) as u64 > connected
+    });
+    let mut peak_live = metric_sample(&live_text, "f2pm_serve_connections ").unwrap_or(0.0) as u64;
+    if peak_live < connected {
+        failures.push(format!(
+            "server only saw {peak_live} live connections for a {connected}-conn fleet"
+        ));
+    }
+    let rss_fleet = rss_kib();
+
+    // Hot sweep while the fleet trickles: same wire clients as the main
+    // run, no hot reload (generation target 0 skips the reload tail).
+    writeln!(stdin, "RUN").ok();
+    let sent_total = Arc::new(AtomicU64::new(0));
+    let no_reload = Arc::new(AtomicU64::new(0));
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(c, script)| {
+                let sent_total = &sent_total;
+                let no_reload = &no_reload;
+                s.spawn(move || run_client(addr, c as u32, script, sent_total, no_reload))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hot client"))
+            .collect()
+    });
+    let child_sent = child_line(&mut stdout, "SENT", &mut failures).unwrap_or(0);
+
+    // Exact cross-check: every datapoint either fleet or sweep sent must
+    // be counted by the server — across two processes and two traffic
+    // classes, nothing lost, nothing double-counted.
+    let expected = sent_total.load(Ordering::SeqCst) + child_sent;
+    let settled_text = scrape_until(&mut scraper, 2000, |t| {
+        metric_sample(t, "f2pm_serve_datapoints_total ") == Some(expected as f64)
+    });
+    let scraped_datapoints =
+        metric_sample(&settled_text, "f2pm_serve_datapoints_total ").unwrap_or(-1.0) as i64;
+    if scraped_datapoints != expected as i64 {
+        failures.push(format!(
+            "scraped f2pm_serve_datapoints_total {scraped_datapoints} != {expected} \
+             (fleet {child_sent} + sweep {})",
+            sent_total.load(Ordering::SeqCst)
+        ));
+    }
+    let rss_after_sweep = rss_kib();
+    if rss_after_sweep > rss_fleet + FLAT_RSS_BUDGET_KIB {
+        failures.push(format!(
+            "parent RSS grew {} KiB across the hot sweep (flat-memory budget {} KiB)",
+            rss_after_sweep - rss_fleet,
+            FLAT_RSS_BUDGET_KIB
+        ));
+    }
+
+    // Clean close: the whole fleet says Bye; the gauge must drain back to
+    // just this scraper.
+    writeln!(stdin, "BYE").ok();
+    child_line(&mut stdout, "CLOSED", &mut failures);
+    child.wait().ok();
+    let drained_text = scrape_until(&mut scraper, 4000, |t| {
+        metric_sample(t, "f2pm_serve_connections ").unwrap_or(f64::MAX) as u64 <= 1
+    });
+    let live_after = metric_sample(&drained_text, "f2pm_serve_connections ").unwrap_or(-1.0) as i64;
+    if live_after > 1 {
+        failures.push(format!(
+            "{live_after} connections still live after the fleet closed"
+        ));
+    }
+    peak_live = peak_live.max(connected);
+    let evicted_slow =
+        metric_sample(&drained_text, "f2pm_serve_conns_evicted_slow ").unwrap_or(-1.0) as i64;
+    let dropped =
+        metric_sample(&drained_text, "f2pm_serve_dropped_frames_total ").unwrap_or(-1.0) as i64;
+    if evicted_slow != 0 {
+        failures.push(format!(
+            "{evicted_slow} connections evicted as slow consumers (fleet reads nothing it \
+             is sent nothing — must be 0)"
+        ));
+    }
+    if dropped != 0 {
+        failures.push(format!("{dropped} frames dropped (must be 0)"));
+    }
+    drop(scraper);
+    let hwm = vm_hwm_kib();
+    server.shutdown();
+
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let (hot_p50, hot_p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    if hot_p99 > CONN_PHASE_P99_BUDGET_US {
+        failures.push(format!(
+            "hot-path p99 {hot_p99}us over the {CONN_PHASE_P99_BUDGET_US}us budget with \
+             {n} fleet conns parked"
+        ));
+    }
+    let with_estimate = reports.iter().filter(|r| r.saw_estimate).count();
+    if with_estimate != hot_clients {
+        failures.push(format!(
+            "only {with_estimate}/{hot_clients} hot clients got a live estimate under fleet load"
+        ));
+    }
+
+    // Resident cost per connection, both edges. The reactor delta can
+    // round to ~0 pages on small fleets; floor it so the ratio stays
+    // finite and conservative deltas still tell the story.
+    let per_conn_kib_reactor =
+        (rss_fleet.saturating_sub(rss_base) as f64 / n.max(1) as f64).max(0.05);
+    let resident_ratio = per_conn_kib_threaded / per_conn_kib_reactor;
+    if !args.smoke && resident_ratio < 10.0 {
+        failures.push(format!(
+            "reactor per-conn residency only {resident_ratio:.1}x below the threaded \
+             baseline (need >= 10x): {per_conn_kib_reactor:.2} KiB vs \
+             {per_conn_kib_threaded:.2} KiB"
+        ));
+    }
+
+    eprintln!(
+        "connections: {connected} up (peak {peak_live}), fleet sent {child_sent}, hot p50 \
+         {hot_p50}us p99 {hot_p99}us | per-conn {per_conn_kib_reactor:.2} KiB reactor vs \
+         {per_conn_kib_threaded:.2} KiB threaded ({resident_ratio:.0}x)"
+    );
+
+    ConnResult {
+        target: n,
+        connected,
+        idle_fraction: args.idle_fraction,
+        peak_live,
+        child_sent,
+        hot_clients,
+        hot_samples: latencies.len(),
+        hot_p50,
+        hot_p99,
+        rss_base_kib: rss_base,
+        rss_fleet_kib: rss_fleet,
+        rss_after_sweep_kib: rss_after_sweep,
+        vm_hwm_kib: hwm,
+        per_conn_kib_reactor,
+        per_conn_kib_threaded,
+        threaded_conns,
+        resident_ratio,
+        evicted_slow: evicted_slow.max(0) as u64,
+        dropped: dropped.max(0) as u64,
+        failures,
+    }
+}
+
 /// Inline wire-codec throughput over a loadgen-shaped 64-frame burst:
 /// per-frame `encode()` vs `encode_into()` with a reused scratch, plus
 /// buffered streaming decode. Mirrors the `wire_codec` criterion bench
@@ -688,6 +1226,22 @@ fn measure_wire_codec() -> (f64, f64, f64) {
 const BASELINE_P99_US: u64 = 191_229;
 
 fn main() {
+    // Hidden re-exec mode: `--fleet-child ADDR N IDLE_FRACTION` turns
+    // this process into the connection-fleet holder (see
+    // [`fleet_child_main`]). Handled before normal flag parsing.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--fleet-child") {
+        #[cfg(target_os = "linux")]
+        {
+            let addr: SocketAddr = argv[2].parse().expect("fleet child addr");
+            let n: usize = argv[3].parse().expect("fleet child count");
+            let f: f64 = argv[4].parse().expect("fleet child idle fraction");
+            fleet_child_main(addr, n, f);
+        }
+        #[cfg(not(target_os = "linux"))]
+        std::process::exit(2);
+    }
+
     let args = parse_args();
     let shard_counts: Vec<usize> = if args.sweep {
         if args.smoke {
@@ -699,11 +1253,27 @@ fn main() {
         vec![args.shards]
     };
     let runs: Vec<RunResult> = shard_counts.iter().map(|&s| run_once(&args, s)).collect();
+
+    // The connection-scale phase runs after the sweeps: `run_once`'s
+    // accepted-connection accounting assumes exactly clients + 2 scrapers,
+    // so the idle fleet gets its own servers.
+    #[cfg(target_os = "linux")]
+    let conn = (args.connections > 0).then(|| run_connections(&args));
+    #[cfg(not(target_os = "linux"))]
+    if args.connections > 0 {
+        eprintln!("--connections requires the Linux reactor edge; skipping the phase");
+    }
+
     let (enc_alloc_fps, enc_into_fps, dec_fps) = measure_wire_codec();
     // Top-level fields report the primary run — the largest shard count.
     let r = runs.last().expect("at least one run");
 
-    let checks_passed = runs.iter().all(|run| run.failures.is_empty());
+    #[allow(unused_mut)]
+    let mut checks_passed = runs.iter().all(|run| run.failures.is_empty());
+    #[cfg(target_os = "linux")]
+    if let Some(c) = &conn {
+        checks_passed &= c.failures.is_empty();
+    }
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"f2pm-bench loadgen\",");
     let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
@@ -763,6 +1333,51 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    #[cfg(target_os = "linux")]
+    if let Some(c) = &conn {
+        let _ = writeln!(json, "  \"connections\": {{");
+        let _ = writeln!(json, "    \"target\": {},", c.target);
+        let _ = writeln!(json, "    \"connected\": {},", c.connected);
+        let _ = writeln!(json, "    \"idle_fraction\": {},", c.idle_fraction);
+        let _ = writeln!(json, "    \"peak_live\": {},", c.peak_live);
+        let _ = writeln!(json, "    \"fleet_datapoints\": {},", c.child_sent);
+        let _ = writeln!(json, "    \"hot_clients\": {},", c.hot_clients);
+        let _ = writeln!(json, "    \"hot_predict_samples\": {},", c.hot_samples);
+        let _ = writeln!(json, "    \"hot_predict_p50_us\": {},", c.hot_p50);
+        let _ = writeln!(json, "    \"hot_predict_p99_us\": {},", c.hot_p99);
+        let _ = writeln!(
+            json,
+            "    \"hot_p99_budget_us\": {CONN_PHASE_P99_BUDGET_US},"
+        );
+        let _ = writeln!(json, "    \"rss_base_kib\": {},", c.rss_base_kib);
+        let _ = writeln!(json, "    \"rss_fleet_kib\": {},", c.rss_fleet_kib);
+        let _ = writeln!(
+            json,
+            "    \"rss_after_sweep_kib\": {},",
+            c.rss_after_sweep_kib
+        );
+        let _ = writeln!(json, "    \"vm_hwm_kib\": {},", c.vm_hwm_kib);
+        let _ = writeln!(
+            json,
+            "    \"per_conn_kib_reactor\": {:.3},",
+            c.per_conn_kib_reactor
+        );
+        let _ = writeln!(
+            json,
+            "    \"per_conn_kib_threaded\": {:.3},",
+            c.per_conn_kib_threaded
+        );
+        let _ = writeln!(
+            json,
+            "    \"threaded_baseline_conns\": {},",
+            c.threaded_conns
+        );
+        let _ = writeln!(json, "    \"resident_ratio\": {:.1},", c.resident_ratio);
+        let _ = writeln!(json, "    \"evicted_slow\": {},", c.evicted_slow);
+        let _ = writeln!(json, "    \"dropped_frames\": {},", c.dropped);
+        let _ = writeln!(json, "    \"checks_passed\": {}", c.failures.is_empty());
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(json, "  \"wire_codec\": {{");
     let _ = writeln!(
         json,
@@ -807,6 +1422,12 @@ fn main() {
         for run in &runs {
             for f in &run.failures {
                 eprintln!("CHECK FAILED ({} shards): {f}", run.shards);
+            }
+        }
+        #[cfg(target_os = "linux")]
+        if let Some(c) = &conn {
+            for f in &c.failures {
+                eprintln!("CHECK FAILED (connections): {f}");
             }
         }
         std::process::exit(1);

@@ -23,8 +23,9 @@ USAGE:
   f2pm train    --history history.csv --method NAME --out model.txt [--window SECS]
   f2pm predict  --model model.txt --history history.csv [--window SECS]
   f2pm serve    (--model model.txt | --history history.csv [--method NAME])
-                [--addr HOST:PORT] [--shards N] [--queue CAP] [--threshold SECS]
-                [--hits K] [--window SECS] [--seconds N] [--watch]
+                [--addr HOST:PORT] [--shards N] [--reactors N] [--queue CAP]
+                [--threshold SECS] [--hits K] [--window SECS] [--seconds N]
+                [--watch]
   f2pm stats    [--addr HOST:PORT] [--watch] [--interval SECS] [--count N]
 
 METHODS (train): linear, rep_tree, m5p, svm, ls_svm
@@ -33,9 +34,11 @@ METHODS (train): linear, rep_tree, m5p, svm, ls_svm
 v1–v3); `--watch` hot-reloads the model whenever the file changes, and
 `--seconds` bounds the run (default: forever). With `--history` it trains
 the model in-process at boot instead of loading a file, so the metrics
-exposition carries the training-stage timings. `stats` scrapes a running
-serve instance's Prometheus-style text exposition once, `--count N`
-times, or forever with `--watch`.";
+exposition carries the training-stage timings. `--reactors N` sizes the
+epoll event-loop pool that owns client connections (Linux; default: one
+per CPU; 0 falls back to one reader thread per connection). `stats`
+scrapes a running serve instance's Prometheus-style text exposition
+once, `--count N` times, or forever with `--watch`.";
 
 /// Parse `--key value` pairs and bare `--flag`s.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -351,6 +354,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     if let Some(c) = get_parsed::<usize>(&flags, "queue")? {
         cfg.queue_cap = c.max(1);
     }
+    if let Some(r) = get_parsed::<usize>(&flags, "reactors")? {
+        cfg.reactors = r;
+    }
     let mut policy = AlertPolicy::default();
     if let Some(t) = get_parsed::<f64>(&flags, "threshold")? {
         policy.rttf_threshold_s = t;
@@ -403,8 +409,13 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let server = PredictionServer::start(&*addr, cfg, registry)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     let registry = server.registry();
+    let edge = if cfg!(target_os = "linux") && cfg.reactors > 0 {
+        format!("{} reactors", cfg.reactors)
+    } else {
+        "threaded edge".to_string()
+    };
     println!(
-        "serving {source} on {} ({} shards, alert ≤ {:.0} s × {})",
+        "serving {source} on {} ({} shards, {edge}, alert ≤ {:.0} s × {})",
         server.addr(),
         cfg.shards,
         policy.rttf_threshold_s,
@@ -682,6 +693,8 @@ mod tests {
             "127.0.0.1:0",
             "--shards",
             "2",
+            "--reactors",
+            "1",
             "--seconds",
             "2",
             "--watch",
@@ -729,6 +742,12 @@ mod tests {
         let text = scrape_once(&mut stream).unwrap();
         assert!(text.contains("f2pm_serve_model_generation 1\n"), "{text}");
         assert!(text.contains("# TYPE f2pm_serve_estimate_latency_us histogram"));
+        // Connection-lifecycle counters from the reactor edge surface in
+        // the same scrape `f2pm stats` prints.
+        assert!(text.contains("f2pm_serve_conns_accepted "), "{text}");
+        assert!(text.contains("f2pm_serve_conns_closed "), "{text}");
+        assert!(text.contains("f2pm_serve_conns_evicted_slow 0\n"), "{text}");
+        assert!(text.contains("# TYPE f2pm_serve_reactor_turn_us histogram"));
 
         assert!(stats(&s(&["--addr", &addr, "--interval", "0"])).is_err());
         server.shutdown();

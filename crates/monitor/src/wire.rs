@@ -261,6 +261,30 @@ impl Message {
         buf[start..start + 4].copy_from_slice(&payload_len.to_be_bytes());
     }
 
+    /// Decode one whole frame from the front of `buf` (length prefix
+    /// included), returning the message and the bytes consumed.
+    /// `Ok(None)` means `buf` holds only a partial frame so far.
+    ///
+    /// This is the zero-copy entry the reactor edge decodes through: a
+    /// reactor reads into one *shared* scratch buffer and slices complete
+    /// frames straight out of it, so an idle connection owns no read
+    /// buffer at all — only partial frames ever get copied into the
+    /// connection's [`FrameDecoder`].
+    pub fn try_frame_from(buf: &[u8]) -> io::Result<Option<(Message, usize)>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(bad(&format!("bad frame length {len} (max {MAX_FRAME})")));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let msg = Message::decode(&buf[4..4 + len])?;
+        Ok(Some((msg, 4 + len)))
+    }
+
     /// Decode one message from a full payload (tag + body, no length
     /// prefix).
     pub fn decode(mut payload: &[u8]) -> io::Result<Message> {
@@ -418,10 +442,11 @@ impl Message {
     }
 }
 
-/// How much [`FrameDecoder::fill_from`] asks the kernel for per `read`.
-/// Large enough that a burst of datapoint frames (125 bytes each) arrives
+/// How much [`FrameDecoder::fill_from`] asks the kernel for per `read`
+/// (also the serve reactor's shared per-thread read-scratch size). Large
+/// enough that a burst of datapoint frames (125 bytes each) arrives
 /// dozens-at-a-time per syscall; small enough to stay cache-friendly.
-const READ_CHUNK: usize = 16 * 1024;
+pub const READ_CHUNK: usize = 16 * 1024;
 
 /// Buffered streaming frame decoder: reads *ahead* of frame boundaries and
 /// yields every complete frame already in its buffer without another
@@ -464,24 +489,37 @@ impl FrameDecoder {
     /// prefixes and payloads surface as `InvalidData`, exactly like
     /// [`Message::read_from`].
     pub fn try_frame(&mut self) -> io::Result<Option<Message>> {
-        if self.buffered() < 4 {
-            return Ok(None);
+        match Message::try_frame_from(&self.buf[self.start..self.end])? {
+            Some((msg, consumed)) => {
+                self.start += consumed;
+                if self.start == self.end {
+                    self.start = 0;
+                    self.end = 0;
+                }
+                Ok(Some(msg))
+            }
+            None => Ok(None),
         }
-        let avail = &self.buf[self.start..self.end];
-        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
-        if len == 0 || len > MAX_FRAME {
-            return Err(bad(&format!("bad frame length {len} (max {MAX_FRAME})")));
+    }
+
+    /// Append raw bytes read into a caller-owned buffer. The reactor edge
+    /// uses this to keep per-connection memory proportional to *partial*
+    /// frames only: the 16 KiB read scratch is shared per reactor, and
+    /// only a frame tail that spans two reads lands here.
+    pub fn push_bytes(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
         }
-        if avail.len() < 4 + len {
-            return Ok(None);
-        }
-        let msg = Message::decode(&avail[4..4 + len])?;
-        self.start += 4 + len;
-        if self.start == self.end {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
             self.start = 0;
-            self.end = 0;
         }
-        Ok(Some(msg))
+        if self.buf.len() < self.end + data.len() {
+            self.buf.resize(self.end + data.len(), 0);
+        }
+        self.buf[self.end..self.end + data.len()].copy_from_slice(data);
+        self.end += data.len();
     }
 
     /// Append whatever the reader has ready, with **one** `read` call.
@@ -723,6 +761,52 @@ mod tests {
             }
         }
         assert!(dec.try_frame().unwrap().is_none());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn try_frame_from_slices_frames_and_reports_consumption() {
+        let msgs = all_variants();
+        let mut data = Vec::new();
+        for m in &msgs {
+            m.write_to(&mut data).unwrap();
+        }
+        let mut off = 0usize;
+        for expect in &msgs {
+            let (got, used) = Message::try_frame_from(&data[off..]).unwrap().unwrap();
+            assert_eq!(&got, expect);
+            off += used;
+        }
+        assert_eq!(off, data.len());
+        // A partial tail is Ok(None), never an error.
+        let frame = Message::Fail { t: 2.0 }.encode();
+        for cut in 0..frame.len() {
+            assert!(Message::try_frame_from(&frame[..cut]).unwrap().is_none());
+        }
+        // A corrupt length prefix still errors.
+        let mut bad_len = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        bad_len.push(4);
+        assert!(Message::try_frame_from(&bad_len).is_err());
+    }
+
+    #[test]
+    fn push_bytes_reassembles_partial_frames_across_chunks() {
+        let msgs = all_variants();
+        let mut data = Vec::new();
+        for m in &msgs {
+            m.write_to(&mut data).unwrap();
+        }
+        // Feed the stream through push_bytes in ragged chunks, draining
+        // whole frames between pushes — the reactor edge's exact shape.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in data.chunks(7) {
+            dec.push_bytes(chunk);
+            while let Some(msg) = dec.try_frame().unwrap() {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got, msgs);
         assert_eq!(dec.buffered(), 0);
     }
 

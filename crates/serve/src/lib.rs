@@ -11,8 +11,12 @@
 //!
 //! Architecture (see `DESIGN.md` §8):
 //!
-//! - **[`server`]** — accept loop + one reader thread per connection; v1
-//!   clients keep working untouched.
+//! - **[`server`]** — the connection edge. On Linux the default is an
+//!   epoll [`reactor`] pool (N event-loop threads, each owning a slab of
+//!   nonblocking connections — 10k+ concurrent FMC clients per instance);
+//!   `reactors: 0` (or non-Linux) falls back to the original accept loop
+//!   with one reader thread per connection. v1 clients keep working
+//!   untouched on both edges.
 //! - **[`shard`]** — hosts are pinned to shard workers over bounded
 //!   crossbeam channels (blocking send = backpressure, zero drops); each
 //!   worker owns its hosts' `OnlinePredictor` state lock-free.
@@ -28,13 +32,17 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod poller;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod shard;
 
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelEntry, ModelRegistry};
-pub use server::{PredictionServer, ServeConfig, ServeHandle};
+pub use server::{default_reactors, PredictionServer, ServeConfig, ServeHandle};
 pub use shard::{
     AlertPolicy, ClientWriter, EstimateBoard, PublishedEstimate, ShardEvent, ShardPool,
 };

@@ -25,6 +25,9 @@ pub struct ServeMetrics {
     registry: MetricsRegistry,
     connections: Gauge,
     total_accepted: Counter,
+    conns_accepted: Counter,
+    conns_closed: Counter,
+    evicted_slow: Counter,
     datapoints: Counter,
     estimates: Counter,
     alerts: Counter,
@@ -35,6 +38,7 @@ pub struct ServeMetrics {
     latency: Histogram,
     decode: Histogram,
     reply: Histogram,
+    reactor_turn: Histogram,
     model_generation: Gauge,
     latency_p50: Gauge,
     latency_p99: Gauge,
@@ -46,6 +50,9 @@ impl Default for ServeMetrics {
         ServeMetrics {
             connections: registry.gauge("f2pm_serve_connections"),
             total_accepted: registry.counter("f2pm_serve_connections_total"),
+            conns_accepted: registry.counter("f2pm_serve_conns_accepted"),
+            conns_closed: registry.counter("f2pm_serve_conns_closed"),
+            evicted_slow: registry.counter("f2pm_serve_conns_evicted_slow"),
             datapoints: registry.counter("f2pm_serve_datapoints_total"),
             estimates: registry.counter("f2pm_serve_estimates_total"),
             alerts: registry.counter("f2pm_serve_alerts_total"),
@@ -56,6 +63,7 @@ impl Default for ServeMetrics {
             latency: registry.histogram("f2pm_serve_estimate_latency_us"),
             decode: registry.histogram("f2pm_serve_decode_us"),
             reply: registry.histogram("f2pm_serve_reply_us"),
+            reactor_turn: registry.histogram("f2pm_serve_reactor_turn_us"),
             model_generation: registry.gauge("f2pm_serve_model_generation"),
             latency_p50: registry.gauge("f2pm_serve_estimate_latency_p50_us"),
             latency_p99: registry.gauge("f2pm_serve_estimate_latency_p99_us"),
@@ -74,11 +82,25 @@ impl ServeMetrics {
     pub fn connection_opened(&self) {
         self.connections.add(1.0);
         self.total_accepted.inc();
+        self.conns_accepted.inc();
     }
 
     /// A connection ended (any reason).
     pub fn connection_closed(&self) {
         self.connections.add(-1.0);
+        self.conns_closed.inc();
+    }
+
+    /// A slow consumer exceeded its bounded outbound buffer and was
+    /// disconnected by the reactor instead of growing memory unbounded.
+    pub fn connection_evicted_slow(&self) {
+        self.evicted_slow.inc();
+    }
+
+    /// One reactor event-loop turn completed (wakeup → all ready
+    /// connections serviced), taking `took` of reactor-thread time.
+    pub fn record_reactor_turn(&self, took: Duration) {
+        self.reactor_turn.record_duration(took);
     }
 
     /// One datapoint ingested off the wire.
@@ -190,6 +212,8 @@ impl ServeMetrics {
         MetricsSnapshot {
             connections: self.connections.get().max(0.0) as u64,
             total_accepted: self.total_accepted.get(),
+            conns_closed: self.conns_closed.get(),
+            evicted_slow: self.evicted_slow.get(),
             datapoints: self.datapoints.get(),
             estimates: self.estimates.get(),
             alerts: self.alerts.get(),
@@ -255,6 +279,10 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Connections accepted since start.
     pub total_accepted: u64,
+    /// Connections closed since start (any reason, evictions included).
+    pub conns_closed: u64,
+    /// Slow consumers evicted for exceeding the bounded outbound buffer.
+    pub evicted_slow: u64,
     /// Datapoints ingested since start.
     pub datapoints: u64,
     /// RTTF estimates produced since start.

@@ -1,0 +1,425 @@
+//! Minimal epoll/eventfd readiness layer (Linux).
+//!
+//! The workspace builds fully offline against local stubs — no `libc`,
+//! `mio`, or `tokio` — so the handful of raw syscalls the reactor edge
+//! needs are declared here directly against the C library `std` already
+//! links. The unsafe surface is confined to this module; everything above
+//! it speaks the safe [`Poller`] / [`Interest`] / [`Waker`] API.
+//!
+//! Scope is deliberately tiny: level-triggered `epoll_create1` /
+//! `epoll_ctl` / `epoll_wait`, an `eventfd` waker for cross-thread
+//! wakeups (shutdown, outbound notifications), and a best-effort
+//! `RLIMIT_NOFILE` raise so a serve instance can actually hold 10k+
+//! sockets. Nonblocking socket setup stays on `std`
+//! (`TcpStream::set_nonblocking`).
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+mod sys {
+    //! Raw syscall declarations and ABI constants (Linux).
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    /// Kernel epoll event record. x86-64 packs it (the kernel ABI has no
+    /// padding between `events` and `data` there); other architectures
+    /// use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+}
+
+/// What readiness a registered fd should report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but silent (a parked connection that must not be
+    /// read from until its shard queue drains, with nothing to write).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        // RDHUP rides along with read interest so a half-closed peer
+        // wakes the reactor instead of idling forever.
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (data, EOF, or peer half-close).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup — the fd is dead regardless of interest.
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+// The epoll fd is just an integer capability; epoll_ctl/epoll_wait are
+// thread-safe in the kernel.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.bits(),
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with `token` (returned verbatim in events).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change a registered fd's interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregister `fd` (a closed fd deregisters itself; this is for
+    /// removing a live one).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+    }
+
+    /// Block until something is ready (or `timeout` passes), appending
+    /// events to `out`. `None` = wait forever. Returns the event count
+    /// (0 = timeout). EINTR retries internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        out.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout polls at 1ms, not busy-spins.
+            Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+        };
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = loop {
+            let rc = unsafe {
+                sys::epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &buf[..n] {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// An eventfd-backed cross-thread waker. Cloneable and cheap: any thread
+/// calls [`Waker::wake`]; the reactor registers [`Waker::fd`] in its
+/// poller and [`Waker::drain`]s on wakeup.
+#[derive(Clone)]
+pub struct Waker {
+    fd: std::sync::Arc<EventFd>,
+}
+
+struct EventFd(RawFd);
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+impl Waker {
+    /// A fresh nonblocking eventfd.
+    pub fn new() -> io::Result<Waker> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker {
+            fd: std::sync::Arc::new(EventFd(fd)),
+        })
+    }
+
+    /// The fd to register for read interest.
+    pub fn fd(&self) -> RawFd {
+        self.fd.0
+    }
+
+    /// Wake the poller (idempotent until drained).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // A full eventfd counter (EAGAIN) still wakes the reader; any
+        // other failure means the reactor is gone, which is fine too.
+        unsafe {
+            sys::write(
+                self.fd.0,
+                &one as *const u64 as *const std::os::raw::c_void,
+                8,
+            )
+        };
+    }
+
+    /// Reset the wakeup counter (called by the reactor after waking).
+    pub fn drain(&self) {
+        let mut count: u64 = 0;
+        unsafe {
+            sys::read(
+                self.fd.0,
+                &mut count as *mut u64 as *mut std::os::raw::c_void,
+                8,
+            )
+        };
+    }
+}
+
+/// Best-effort `RLIMIT_NOFILE` raise toward `want` fds (capped at the
+/// hard limit). Returns the resulting soft limit. A 10k-connection edge
+/// dies on EMFILE under the common 1024 default without this.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let mut lim = sys::Rlimit { cur: 0, max: 0 };
+    if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    let target = want.max(lim.cur).min(lim.max);
+    if target > lim.cur {
+        let new = sys::Rlimit {
+            cur: target,
+            max: lim.max,
+        };
+        if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &new) } == 0 {
+            return target;
+        }
+    }
+    lim.cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poller_reports_read_readiness_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending yet: a short wait times out.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        tx.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data re-reports until consumed.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 16];
+        let mut rx_ref = &rx;
+        assert_eq!(rx_ref.read(&mut buf).unwrap(), 4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained fd goes quiet");
+    }
+
+    #[test]
+    fn interest_modify_arms_and_disarms_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_rx, _) = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // Registered silent: no events even though the socket is writable.
+        poller.add(tx.as_raw_fd(), 1, Interest::NONE).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        // Armed for write: an idle socket is immediately writable.
+        poller.modify(tx.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        poller.delete(tx.as_raw_fd()).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fd is silent");
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.fd(), u64::MAX, Interest::READ).unwrap();
+
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, u64::MAX);
+        waker.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker goes quiet");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn hangup_surfaces_as_error_or_readable_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(rx.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(tx);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable || events[0].error);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let now = raise_nofile_limit(0);
+        assert!(now > 0, "rlimit query failed");
+        // Asking for what we already have (or less) never shrinks it.
+        assert_eq!(raise_nofile_limit(now), now);
+    }
+}

@@ -1,9 +1,18 @@
 //! The online prediction server.
 //!
-//! Accepts FMC connections (wire v1 *and* v2), decodes frames on one
-//! reader thread per connection, and routes datapoints to the shard
-//! workers over bounded queues (see [`crate::shard`]). v2 connections
-//! additionally get:
+//! Accepts FMC connections (wire v1 *and* v2) and routes datapoints to
+//! the shard workers over bounded queues (see [`crate::shard`]). Two
+//! interchangeable edges decode the frames:
+//!
+//! - the **reactor edge** (Linux, default): `ServeConfig::reactors`
+//!   epoll event-loop threads, each owning a slab of nonblocking
+//!   connections — the 10k+-client path (see [`crate::reactor`]);
+//! - the **threaded edge** (`reactors: 0`, and every non-Linux build):
+//!   the original accept loop + one blocking reader thread per
+//!   connection.
+//!
+//! Both edges speak identical wire semantics (pinned by the equivalence
+//! tests). v2 connections additionally get:
 //!
 //! - `PredictRequest` → `RttfEstimate` replies, answered directly from the
 //!   last-estimate board (readers never block on a shard worker);
@@ -46,6 +55,14 @@ pub struct ServeConfig {
     pub batch_cap: usize,
     /// When to push rejuvenation alerts.
     pub policy: AlertPolicy,
+    /// Epoll reactor threads serving the connection edge. `0` selects
+    /// the thread-per-connection edge (also the only edge off Linux).
+    /// Defaults to the machine's available parallelism.
+    pub reactors: usize,
+    /// Bound (bytes) on one connection's pending outbound buffer on the
+    /// reactor edge; a slow consumer exceeding it is disconnected
+    /// (`f2pm_serve_conns_evicted_slow`) instead of growing memory.
+    pub outbound_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,19 +72,34 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             batch_cap: 64,
             policy: AlertPolicy::default(),
+            reactors: default_reactors(),
+            outbound_cap: 256 * 1024,
         }
     }
 }
 
-/// Shared server state.
-struct Inner {
-    stop: AtomicBool,
-    registry: Arc<ModelRegistry>,
-    board: Arc<EstimateBoard>,
-    pool: ShardPool,
-    /// Read-half clones of every live connection, so shutdown can
-    /// `Shutdown::Both` them and wake reads blocked inside the (long)
-    /// read timeout instead of polling on a short one.
+/// Default reactor count: one per available core on Linux; `0`
+/// (threaded edge) elsewhere, where no poller backend exists.
+pub fn default_reactors() -> usize {
+    if cfg!(target_os = "linux") {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        0
+    }
+}
+
+/// Shared server state (both edges; the reactor drives it too).
+pub(crate) struct Inner {
+    pub(crate) stop: AtomicBool,
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) board: Arc<EstimateBoard>,
+    pub(crate) pool: ShardPool,
+    /// Read-half clones of every live *threaded-edge* connection, so
+    /// shutdown can `Shutdown::Both` them and wake reads blocked inside
+    /// the (long) read timeout instead of polling on a short one.
+    /// Reactor connections live in their reactor's slab instead.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
 }
@@ -103,25 +135,73 @@ impl PredictionServer {
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
         });
-        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let inner = Arc::clone(&inner);
-            let readers = Arc::clone(&readers);
-            let metrics = Arc::clone(&metrics);
-            std::thread::Builder::new()
-                .name("f2pm-serve-accept".to_string())
-                .spawn(move || accept_loop(listener, inner, metrics, readers))
-                .expect("spawn acceptor")
-        };
+        let edge = start_edge(listener, &cfg, &inner, &metrics)?;
         Ok(ServeHandle {
             addr,
             inner: Some(inner),
             metrics,
-            accept: Some(accept),
-            readers,
+            edge: Some(edge),
         })
     }
+}
+
+/// The running connection edge: reactor pool or acceptor + readers.
+enum Edge {
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorPool),
+    Threaded {
+        accept: std::thread::JoinHandle<()>,
+        readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    },
+}
+
+#[cfg(target_os = "linux")]
+fn start_edge(
+    listener: TcpListener,
+    cfg: &ServeConfig,
+    inner: &Arc<Inner>,
+    metrics: &Arc<ServeMetrics>,
+) -> io::Result<Edge> {
+    if cfg.reactors == 0 {
+        return start_threaded_edge(listener, inner, metrics);
+    }
+    listener.set_nonblocking(true)?;
+    let pool = crate::reactor::ReactorPool::start(
+        listener,
+        cfg.reactors,
+        cfg.outbound_cap.max(1),
+        Arc::clone(inner),
+        Arc::clone(metrics),
+    )?;
+    Ok(Edge::Reactor(pool))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn start_edge(
+    listener: TcpListener,
+    _cfg: &ServeConfig,
+    inner: &Arc<Inner>,
+    metrics: &Arc<ServeMetrics>,
+) -> io::Result<Edge> {
+    start_threaded_edge(listener, inner, metrics)
+}
+
+fn start_threaded_edge(
+    listener: TcpListener,
+    inner: &Arc<Inner>,
+    metrics: &Arc<ServeMetrics>,
+) -> io::Result<Edge> {
+    let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let inner = Arc::clone(inner);
+        let readers = Arc::clone(&readers);
+        let metrics = Arc::clone(metrics);
+        std::thread::Builder::new()
+            .name("f2pm-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, inner, metrics, readers))
+            .expect("spawn acceptor")
+    };
+    Ok(Edge::Threaded { accept, readers })
 }
 
 /// Running-server handle; dropping it without
@@ -130,8 +210,7 @@ pub struct ServeHandle {
     addr: SocketAddr,
     inner: Option<Arc<Inner>>,
     metrics: Arc<ServeMetrics>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    edge: Option<Edge>,
 }
 
 impl ServeHandle {
@@ -158,27 +237,35 @@ impl ServeHandle {
     pub fn shutdown(mut self) -> MetricsSnapshot {
         let inner = self.inner.take().expect("server running");
         inner.stop.store(true, Ordering::SeqCst);
-        // Wake every reader blocked in its (long) read timeout: a
-        // shutdown connection returns immediately, and the reader sees
-        // the stop flag without ever having polled for it.
-        for conn in inner.conns.lock().values() {
-            conn.shutdown(Shutdown::Both).ok();
-        }
-        // Unblock the acceptor with a throwaway connection.
-        TcpStream::connect(self.addr).ok();
-        if let Some(a) = self.accept.take() {
-            a.join().ok();
-        }
-        let readers: Vec<_> = std::mem::take(&mut *self.readers.lock());
-        for r in readers {
-            r.join().ok();
+        match self.edge.take().expect("edge running") {
+            #[cfg(target_os = "linux")]
+            Edge::Reactor(pool) => {
+                // Eventfd wake per reactor: each observes the stop flag,
+                // closes its slab, and exits. No throwaway connection.
+                pool.shutdown();
+            }
+            Edge::Threaded { accept, readers } => {
+                // Wake every reader blocked in its (long) read timeout: a
+                // shutdown connection returns immediately, and the reader
+                // sees the stop flag without ever having polled for it.
+                for conn in inner.conns.lock().values() {
+                    conn.shutdown(Shutdown::Both).ok();
+                }
+                // Unblock the acceptor with a throwaway connection.
+                TcpStream::connect(self.addr).ok();
+                accept.join().ok();
+                let readers: Vec<_> = std::mem::take(&mut *readers.lock());
+                for r in readers {
+                    r.join().ok();
+                }
+            }
         }
         let depths = inner.pool.queue_depths();
         let generation = inner.registry.generation();
         let snapshot = self.metrics.snapshot(depths, generation);
         match Arc::try_unwrap(inner) {
             Ok(inner) => inner.pool.shutdown(),
-            Err(_) => unreachable!("all reader threads joined"),
+            Err(_) => unreachable!("all edge threads joined"),
         }
         snapshot
     }
@@ -211,7 +298,12 @@ fn accept_loop(
                         metrics.connection_closed();
                     })
                     .expect("spawn reader");
-                readers.lock().push(handle);
+                // Reap finished readers before tracking the new one:
+                // without this a long-lived server leaks one JoinHandle
+                // per churned connection.
+                let mut readers = readers.lock();
+                readers.retain(|h| !h.is_finished());
+                readers.push(handle);
             }
             Err(_) => {
                 // Transient accept errors (EMFILE, ECONNABORTED, EINTR)
@@ -441,7 +533,9 @@ fn flush_replies(
 /// Answer one read-type request (lock-free board lookup, stats snapshot,
 /// metrics exposition); replies queue on `pending` for one coalesced
 /// write. Shard-bound events and everything else are left to pass 2.
-fn handle_read(
+/// Shared verbatim by the reactor edge, so both edges answer
+/// byte-identically.
+pub(crate) fn handle_read(
     msg: &Message,
     version: u16,
     inner: &Arc<Inner>,
@@ -484,5 +578,113 @@ fn handle_read(
         // client has no business echoing (ignored, like unknown traffic
         // in the passive FMS).
         _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use f2pm_features::AggregationConfig;
+    use f2pm_ml::linreg::LinearModel;
+    use f2pm_ml::persist::SavedModel;
+
+    fn test_registry() -> Arc<crate::ModelRegistry> {
+        registry::ModelRegistry::new(
+            SavedModel::Linear(LinearModel {
+                intercept: 1000.0,
+                coefficients: vec![-2.0, 0.0],
+            }),
+            vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+            AggregationConfig {
+                window_s: 30.0,
+                min_points: 2,
+                ..AggregationConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Regression: the threaded edge used to push one `JoinHandle` per
+    /// accepted connection and never prune it, so a long-lived server
+    /// leaked a handle per churned connection. The acceptor now reaps
+    /// finished readers on every accept; the tracked set must stay
+    /// bounded by the *live* connection count, not total churn.
+    #[test]
+    fn threaded_edge_reader_handles_do_not_grow_under_churn() {
+        let server = PredictionServer::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                reactors: 0,
+                ..ServeConfig::default()
+            },
+            test_registry(),
+        )
+        .unwrap();
+        let addr = server.addr();
+        let readers = match server.edge.as_ref().expect("edge running") {
+            Edge::Threaded { readers, .. } => Arc::clone(readers),
+            #[cfg(target_os = "linux")]
+            Edge::Reactor(_) => unreachable!("reactors: 0 selects the threaded edge"),
+        };
+
+        const CHURN: usize = 40;
+        for _ in 0..CHURN {
+            let mut s = TcpStream::connect(addr).unwrap();
+            Message::Hello {
+                version: 1,
+                host_id: 1,
+            }
+            .write_to(&mut s)
+            .unwrap();
+            Message::Bye.write_to(&mut s).unwrap();
+            // Wait until this connection's reader actually exited (it
+            // removes itself from the conns map on the way out) so every
+            // later accept sees a reapable finished handle.
+            for _ in 0..2500 {
+                if inner_live_conns(&server) == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        // One extra accept reaps everything the churn left behind.
+        let _nudge = TcpStream::connect(addr).unwrap();
+        let mut tracked = usize::MAX;
+        for _ in 0..2500 {
+            tracked = readers.lock().len();
+            if tracked <= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            tracked <= 2,
+            "{tracked} reader handles tracked after {CHURN} churned connections"
+        );
+        server.shutdown();
+    }
+
+    fn inner_live_conns(server: &ServeHandle) -> usize {
+        server
+            .inner
+            .as_ref()
+            .expect("server running")
+            .conns
+            .lock()
+            .len()
+    }
+
+    /// The default config picks the reactor edge on Linux and a sane
+    /// outbound bound everywhere.
+    #[test]
+    fn default_config_edges() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.outbound_cap > 0);
+        if cfg!(target_os = "linux") {
+            assert!(cfg.reactors >= 1);
+        } else {
+            assert_eq!(cfg.reactors, 0);
+        }
     }
 }

@@ -56,15 +56,31 @@ impl From<RejuvenationPolicy> for AlertPolicy {
     }
 }
 
-/// A cloneable, frame-atomic writer to one client connection. The mutex
-/// guarantees a pushed alert from a shard worker and a reply from the
-/// reader thread never interleave bytes inside a frame. The encode scratch
-/// lives under the same lock, so steady-state sends allocate nothing and a
-/// multi-frame [`ClientWriter::send_all`] coalesces into one `write_all`
-/// (one syscall) instead of a syscall per frame.
+/// A cloneable, frame-atomic writer to one client connection.
+///
+/// Two sinks hide behind the same API so shard workers never know which
+/// edge owns the socket:
+///
+/// - **Threaded edge**: a blocking `TcpStream` under a mutex. The lock
+///   guarantees a pushed alert from a shard worker and a reply from the
+///   reader thread never interleave bytes inside a frame; the encode
+///   scratch lives under the same lock, so steady-state sends allocate
+///   nothing and a multi-frame [`ClientWriter::send_all`] coalesces into
+///   one `write_all` (one syscall) instead of a syscall per frame.
+/// - **Reactor edge** (Linux): frames are appended to the connection's
+///   bounded outbound buffer and the owning reactor is woken via eventfd
+///   to flush them nonblockingly. A send that would exceed the bound
+///   marks the connection dead (slow-consumer eviction) and errors, so
+///   the worker unsubscribes exactly as it does on a broken pipe.
 #[derive(Clone)]
 pub struct ClientWriter {
-    inner: Arc<Mutex<WriterInner>>,
+    imp: Arc<WriterImpl>,
+}
+
+enum WriterImpl {
+    Stream(Mutex<WriterInner>),
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorSink),
 }
 
 struct WriterInner {
@@ -73,34 +89,48 @@ struct WriterInner {
 }
 
 impl ClientWriter {
-    /// Wrap a connection's write half.
+    /// Wrap a connection's write half (blocking, threaded edge).
     pub fn new(stream: TcpStream) -> Self {
         ClientWriter {
-            inner: Arc::new(Mutex::new(WriterInner {
+            imp: Arc::new(WriterImpl::Stream(Mutex::new(WriterInner {
                 stream,
                 scratch: BytesMut::new(),
-            })),
+            }))),
         }
     }
 
-    /// Write one whole frame under the lock.
+    /// Wrap a reactor connection's outbound buffer (nonblocking edge).
+    #[cfg(target_os = "linux")]
+    pub(crate) fn from_reactor(sink: crate::reactor::ReactorSink) -> Self {
+        ClientWriter {
+            imp: Arc::new(WriterImpl::Reactor(sink)),
+        }
+    }
+
+    /// Write one whole frame.
     pub fn send(&self, msg: &Message) -> io::Result<()> {
         self.send_all(std::slice::from_ref(msg))
     }
 
-    /// Encode every frame into the reusable scratch and write them with
-    /// one `write_all` under one lock acquisition.
+    /// Write every frame contiguously (no interleaving with other
+    /// senders), with one lock acquisition and one syscall/wakeup.
     pub fn send_all(&self, msgs: &[Message]) -> io::Result<()> {
         if msgs.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        inner.scratch.clear();
-        for msg in msgs {
-            msg.encode_into(&mut inner.scratch);
+        match &*self.imp {
+            WriterImpl::Stream(inner) => {
+                let mut inner = inner.lock();
+                let inner = &mut *inner;
+                inner.scratch.clear();
+                for msg in msgs {
+                    msg.encode_into(&mut inner.scratch);
+                }
+                inner.stream.write_all(&inner.scratch)
+            }
+            #[cfg(target_os = "linux")]
+            WriterImpl::Reactor(sink) => sink.send_all(msgs),
         }
-        inner.stream.write_all(&inner.scratch)
     }
 }
 

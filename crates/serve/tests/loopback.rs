@@ -48,6 +48,7 @@ fn start_server_batched(shards: usize, batch_cap: usize) -> ServeHandle {
             queue_cap: 256,
             batch_cap,
             policy: AlertPolicy::default(),
+            ..ServeConfig::default()
         },
         registry,
     )
@@ -465,6 +466,7 @@ fn batched_server_publishes_identical_estimate_stream() {
                     rttf_threshold_s: f64::INFINITY,
                     consecutive_hits: 1,
                 },
+                ..ServeConfig::default()
             },
             registry,
         )
@@ -522,4 +524,157 @@ fn oversized_frame_closes_connection_but_not_server() {
     let (_, rttf, _) = client.wait_estimate();
     assert_eq!(rttf, 800.0);
     server.shutdown();
+}
+
+/// A pathologically slow sender: every wire byte arrives in its own TCP
+/// segment (and, on the reactor edge, usually its own epoll wakeup), so
+/// frames are reassembled from partial tails across many turns. The
+/// replies must be exactly what a well-paced client gets.
+#[test]
+fn byte_at_a_time_client_is_reassembled_across_wakeups() {
+    let server = start_server(1);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    fn feed(stream: &mut TcpStream, m: &Message) {
+        for &b in m.encode().as_ref() {
+            stream.write_all(&[b]).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    feed(
+        &mut stream,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: 3,
+        },
+    );
+    for i in 0..8 {
+        feed(&mut stream, &Message::Datapoint(dp(i as f64 * 5.0, 100.0)));
+    }
+    // Predict (also dribbled byte-wise) until the async publish lands.
+    let mut rttf = None;
+    'wait: for _ in 0..500 {
+        feed(&mut stream, &Message::PredictRequest { host_id: 3 });
+        loop {
+            match Message::read_from(&mut stream).unwrap().unwrap() {
+                Message::RttfEstimate { rttf: Some(r), .. } => {
+                    rttf = Some(r);
+                    break 'wait;
+                }
+                Message::RttfEstimate { rttf: None, .. } => break,
+                Message::Alert { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(rttf, Some(800.0));
+    feed(&mut stream, &Message::Bye);
+    let snap = server.shutdown();
+    assert_eq!(snap.datapoints, 8);
+    assert_eq!(snap.dropped, 0);
+}
+
+/// A v3 client that floods scrape requests and never reads must be
+/// disconnected when its replies exceed the bounded outbound buffer —
+/// the reactor trades the connection, never unbounded memory.
+#[cfg(target_os = "linux")]
+#[test]
+fn stalled_reader_is_evicted_at_the_outbound_bound() {
+    let registry = ModelRegistry::new(
+        linear(1000.0, -2.0),
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        agg(),
+    )
+    .unwrap();
+    let server = PredictionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards: 1,
+            queue_cap: 256,
+            batch_cap: 64,
+            policy: AlertPolicy::default(),
+            outbound_cap: 2048,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let mut client = V2Client::connect(server.addr(), 11);
+    // Each exposition reply is several KiB; a burst of unread scrapes
+    // blows through the 2 KiB outbound bound immediately.
+    for _ in 0..64 {
+        if Message::MetricsRequest
+            .write_to(&mut client.stream)
+            .is_err()
+        {
+            break; // already disconnected mid-burst: exactly the point
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.metrics().evicted_slow == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled reader was never evicted"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The client side observes the disconnect (EOF or reset).
+    client
+        .stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    loop {
+        use std::io::Read;
+        match client.stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let snap = server.shutdown();
+    assert!(snap.evicted_slow >= 1, "eviction counter must record it");
+    assert_eq!(snap.dropped, 0);
+}
+
+/// Shutdown with a thousand parked idle connections: the eventfd wakeup
+/// must tear the whole fleet down promptly — no per-connection timeouts,
+/// no leaked sockets, gauge back to zero.
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_with_a_thousand_idle_connections_is_prompt() {
+    let server = start_server(2);
+    let addr = server.addr();
+    let conns: Vec<TcpStream> = (0..1000u32)
+        .map(|i| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                host_id: 100 + i,
+            }
+            .write_to(&mut s)
+            .unwrap();
+            s
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.metrics().connections < 1000 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never saw the full idle fleet ({} live)",
+            server.metrics().connections
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let started = std::time::Instant::now();
+    let snap = server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?} with idle conns parked",
+        started.elapsed()
+    );
+    assert_eq!(snap.total_accepted, 1000);
+    assert_eq!(snap.connections, 0, "every idle conn torn down");
+    assert_eq!(snap.dropped, 0);
+    drop(conns);
 }

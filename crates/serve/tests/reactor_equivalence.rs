@@ -1,0 +1,231 @@
+//! Edge-equivalence gate: the epoll reactor edge must be externally
+//! indistinguishable from the threaded (reader-per-connection) edge.
+//!
+//! Both edges share `handle_read` and the shard/board data plane; what
+//! differs is everything around it — nonblocking reads, partial-frame
+//! tails, outbound staging, backpressure parking, the draining close.
+//! The tests here drive the SAME frame script at a `reactors: 1` server
+//! and a `reactors: 0` server and require the byte stream pushed back to
+//! the client to be identical. `threshold = ∞, hits = 1` turns every
+//! estimate into a pushed alert, so the full estimate history of a host
+//! is observable as an ordered, deterministic reply stream (the model is
+//! hand-built: `rttf = 1000 − 2 × swap_used`).
+//!
+//! Linux-only: the reactor edge does not exist elsewhere.
+#![cfg(target_os = "linux")]
+
+use f2pm_features::AggregationConfig;
+use f2pm_ml::linreg::LinearModel;
+use f2pm_ml::persist::SavedModel;
+use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
+use f2pm_monitor::{Datapoint, FeatureId};
+use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig, ServeHandle};
+use std::io::Read;
+use std::net::TcpStream;
+
+fn agg() -> AggregationConfig {
+    AggregationConfig {
+        window_s: 30.0,
+        min_points: 2,
+        ..AggregationConfig::default()
+    }
+}
+
+fn start_edge(reactors: usize, shards: usize) -> ServeHandle {
+    let registry = ModelRegistry::new(
+        SavedModel::Linear(LinearModel {
+            intercept: 1000.0,
+            coefficients: vec![-2.0, 0.0],
+        }),
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        agg(),
+    )
+    .unwrap();
+    PredictionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards,
+            queue_cap: 64,
+            batch_cap: 16,
+            policy: AlertPolicy {
+                rttf_threshold_s: f64::INFINITY,
+                consecutive_hits: 1,
+            },
+            reactors,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap()
+}
+
+/// One scripted client event. `t` values are assigned by position so any
+/// generated script is a valid monotone guest timeline.
+#[derive(Clone, Debug)]
+enum Op {
+    Dp { swap: f64 },
+    Fail,
+}
+
+/// Replay `ops` as host `host` against an edge with `reactors` reactor
+/// threads, then return the raw bytes the server pushed back (the alert
+/// stream, then EOF after the draining close). Nothing else is ever
+/// pushed: the client sends no predict/stats requests.
+fn replay(reactors: usize, shards: usize, host: u32, ops: &[Op]) -> Vec<u8> {
+    let server = start_edge(reactors, shards);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: host,
+    }
+    .write_to(&mut stream)
+    .unwrap();
+    for (i, op) in ops.iter().enumerate() {
+        let t = i as f64 * 5.0;
+        let msg = match op {
+            Op::Dp { swap } => {
+                let mut d = Datapoint {
+                    t_gen: t,
+                    values: [1.0; 14],
+                };
+                d.set(FeatureId::SwapUsed, *swap);
+                Message::Datapoint(d)
+            }
+            Op::Fail => Message::Fail { t },
+        };
+        msg.write_to(&mut stream).unwrap();
+    }
+    // Bye sits behind every datapoint in the same ordered connection, so
+    // the draining close releases the socket only after the shard worker
+    // has pushed every alert the script earns.
+    Message::Bye.write_to(&mut stream).unwrap();
+    let mut pushed = Vec::new();
+    stream.read_to_end(&mut pushed).unwrap();
+    let snap = server.shutdown();
+    assert_eq!(snap.dropped, 0);
+    pushed
+}
+
+/// Decode a pushed byte stream into its alert payloads (for the failure
+/// message — the equality assertion itself is on the raw bytes).
+fn alerts_of(bytes: &[u8]) -> Vec<(f64, f64)> {
+    let mut src = bytes;
+    let mut out = Vec::new();
+    while let Ok(Some(m)) = Message::read_from(&mut src) {
+        if let Message::Alert { t, rttf, .. } = m {
+            out.push((t, rttf));
+        }
+    }
+    out
+}
+
+/// A long deterministic script — swap ramps with a mid-life `Fail` reset
+/// — must produce bit-identical pushed bytes on both edges.
+#[test]
+fn deterministic_script_pushes_identical_bytes_on_both_edges() {
+    let mut ops = Vec::new();
+    for i in 0..240 {
+        ops.push(Op::Dp {
+            swap: 100.0 + (i % 40) as f64 * 7.0,
+        });
+        if i == 120 {
+            ops.push(Op::Fail);
+        }
+    }
+    let threaded = replay(0, 2, 6, &ops);
+    let reactor = replay(1, 2, 6, &ops);
+    assert!(
+        alerts_of(&threaded).len() >= 10,
+        "script produced only {} alerts",
+        alerts_of(&threaded).len()
+    );
+    assert_eq!(
+        reactor,
+        threaded,
+        "edges diverged: reactor {:?} vs threaded {:?}",
+        alerts_of(&reactor),
+        alerts_of(&threaded)
+    );
+}
+
+/// After the stream quiesces, a predict round-trip must answer the same
+/// estimate on both edges (the board is fed identically).
+#[test]
+fn predict_after_quiesce_is_identical_on_both_edges() {
+    fn run(reactors: usize) -> Vec<u8> {
+        let server = start_edge(reactors, 2);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: 12,
+        }
+        .write_to(&mut stream)
+        .unwrap();
+        for i in 0..8 {
+            let mut d = Datapoint {
+                t_gen: i as f64 * 5.0,
+                values: [1.0; 14],
+            };
+            d.set(FeatureId::SwapUsed, 150.0);
+            Message::Datapoint(d).write_to(&mut stream).unwrap();
+        }
+        // Quiesce: poll predict until the estimate lands (the worker
+        // publishes asynchronously on both edges), then keep the frame.
+        let reply = loop {
+            Message::PredictRequest { host_id: 12 }
+                .write_to(&mut stream)
+                .unwrap();
+            match Message::read_from(&mut stream).unwrap().unwrap() {
+                m @ Message::RttfEstimate { rttf: Some(_), .. } => break m.encode().to_vec(),
+                Message::RttfEstimate { rttf: None, .. } => {
+                    std::thread::sleep(std::time::Duration::from_millis(2))
+                }
+                Message::Alert { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        };
+        Message::Bye.write_to(&mut stream).unwrap();
+        server.shutdown();
+        reply
+    }
+    assert_eq!(run(1), run(0), "predict replies diverged across edges");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Scripts mixing datapoints (varied swap levels, so alert payloads
+    /// vary) with occasional life-ending `Fail`s.
+    fn arb_script() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec((0u8..8, 0.0f64..400.0), 1..60).prop_map(|raw| {
+            raw.into_iter()
+                .map(
+                    |(pick, swap)| {
+                        if pick == 0 {
+                            Op::Fail
+                        } else {
+                            Op::Dp { swap }
+                        }
+                    },
+                )
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any frame script pushes byte-identical replies on both edges.
+        #[test]
+        fn any_script_pushes_identical_bytes(ops in arb_script(), host in 0u32..64) {
+            let threaded = replay(0, 2, host, &ops);
+            let reactor = replay(1, 2, host, &ops);
+            prop_assert_eq!(&reactor, &threaded,
+                "edges diverged for {:?}: reactor {:?} vs threaded {:?}",
+                ops, alerts_of(&reactor), alerts_of(&threaded));
+        }
+    }
+}
