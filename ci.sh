@@ -11,6 +11,7 @@ cd "$(dirname "$0")"
 F2PM_PACKAGES=(
     f2pm-repro f2pm f2pm-linalg f2pm-ml f2pm-features
     f2pm-monitor f2pm-sim f2pm-serve f2pm-cli f2pm-bench f2pm-obs
+    f2pm-registry
 )
 
 echo "==> cargo fmt --check"
@@ -135,6 +136,34 @@ assert fconn["resident_ratio"] >= 10.0, (
     f"reactor per-conn residency only {fconn['resident_ratio']}x below threaded"
 )
 print("serve smoke sweep + tail budget + committed bench + 2k-conn gate OK")
+EOF
+
+echo "==> cold-start smoke (artifact boot vs boot-retrain)"
+# Train + publish a binary artifact, boot a server from --models-dir alone
+# (no --history, no retrain), and time to the first estimate delivered
+# over the wire. The artifact path must answer its first predict and beat
+# the retrain boot by >=5x — both in the live smoke run and in the
+# committed full-size benchmark.
+cargo run --release --offline -p f2pm-bench --bin coldstart -- --smoke
+python3 - <<'EOF'
+import json
+
+MIN_SPEEDUP = 5.0
+
+for path in ("target/BENCH_coldstart_smoke.json", "BENCH_serve.json"):
+    cs = json.load(open(path)).get("cold_start")
+    assert cs is not None, f"{path}: no 'cold_start' section"
+    assert cs["first_predict_ok"] is True, (
+        f"{path}: artifact-booted server never answered its first predict"
+    )
+    for key in ("boot_retrain_ms", "cold_start_ms"):
+        assert cs[key] > 0, f"{path}: cold_start[{key!r}] = {cs[key]!r}"
+    speedup = cs["boot_retrain_ms"] / cs["cold_start_ms"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"{path}: artifact cold start only {speedup:.1f}x faster than "
+        f"boot-retrain (need >={MIN_SPEEDUP}x)"
+    )
+print("cold-start gate OK")
 EOF
 
 echo "CI OK"

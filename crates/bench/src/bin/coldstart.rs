@@ -1,0 +1,259 @@
+//! Cold-start benchmark: boot-to-first-estimate for `f2pm serve`.
+//!
+//! Compares the two ways a serve instance can get a model at boot:
+//!
+//! - **boot-retrain** (`--history`): read the history CSV, aggregate,
+//!   fit the method in-process, start the server — the only option
+//!   before the artifact registry existed;
+//! - **cold-start** (`--models-dir`): load the manifest-active binary
+//!   artifact (checksum-verified) and start the server.
+//!
+//! Both timers run from "process decides to boot" to "a live client got
+//! its first RTTF estimate over the wire", so the artifact path is
+//! charged for its load, verification, server start, and the first
+//! end-to-end prediction. The publish itself is *not* timed — the
+//! trainer pays that, once, ahead of every boot.
+//!
+//! `--smoke` writes `target/BENCH_coldstart_smoke.json` (CI gate);
+//! the full run refreshes the `"cold_start"` section of the committed
+//! `BENCH_serve.json`.
+
+use f2pm::F2pmConfig;
+use f2pm_features::{aggregate_history, AggregationConfig, Dataset};
+use f2pm_ml::{Kernel, LsSvmRegressor, SavedModel};
+use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
+use f2pm_monitor::{load_csv, save_csv, DataHistory, Datapoint, FeatureId};
+use f2pm_registry::{ArtifactMeta, ModelStore};
+use f2pm_serve::{ModelRegistry, PredictionServer, ServeConfig};
+use f2pm_sim::Campaign;
+use std::fmt::Write as _;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    runs: usize,
+    iterations: usize,
+}
+
+fn parse_args() -> Args {
+    // The history must be big enough that the ls_svm fit dominates the
+    // shared boot cost (server start + first estimate, ~2 ms): a real
+    // campaign history is hours of samples, so a few-ms fit would be an
+    // unrealistically easy baseline.
+    let mut args = Args {
+        smoke: false,
+        runs: 24,
+        iterations: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.runs = 16;
+                args.iterations = 3;
+            }
+            "--runs" => args.runs = it.next().and_then(|v| v.parse().ok()).expect("--runs N"),
+            "--iterations" => {
+                args.iterations = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iterations N")
+            }
+            other => {
+                eprintln!("unknown arg {other:?} (supported: --smoke --runs N --iterations N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Boot a server around `registry` and block until a client receives its
+/// first estimate (windows close on datapoint time, not wall clock, so
+/// this is bounded by the data plane, not the aggregation window).
+fn first_estimate(registry: std::sync::Arc<ModelRegistry>) {
+    let server = PredictionServer::start("127.0.0.1:0", ServeConfig::default(), registry)
+        .expect("bind loopback");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).ok();
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: 1,
+    }
+    .write_to(&mut stream)
+    .expect("hello");
+    for i in 0..8 {
+        let mut d = Datapoint {
+            t_gen: i as f64 * 5.0,
+            values: [1.0; 14],
+        };
+        d.set(FeatureId::SwapUsed, 100.0 + i as f64);
+        Message::Datapoint(d).write_to(&mut stream).expect("dp");
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'wait: loop {
+        assert!(Instant::now() < deadline, "no estimate within 30 s");
+        Message::PredictRequest { host_id: 1 }
+            .write_to(&mut stream)
+            .expect("predict");
+        loop {
+            match Message::read_from(&mut stream).expect("read").expect("eof") {
+                Message::RttfEstimate { rttf: Some(_), .. } => break 'wait,
+                Message::RttfEstimate { rttf: None, .. } => break,
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Message::Bye.write_to(&mut stream).ok();
+    server.shutdown();
+}
+
+fn fit_ls_svm(history_csv: &Path, agg: &AggregationConfig) -> (SavedModel, usize) {
+    let history = load_csv(history_csv).expect("read history");
+    let points = aggregate_history(&history, agg);
+    let ds = Dataset::from_points_with(&points, agg);
+    assert!(!ds.is_empty(), "history produced no labeled datapoints");
+    let model = LsSvmRegressor::new(Kernel::Rbf { gamma: 0.03 }, 10.0)
+        .fit_lssvm(&ds.x, &ds.y)
+        .expect("ls_svm fit");
+    (SavedModel::LsSvm(model), ds.len())
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Replace/insert the top-level `"cold_start"` object in a flat JSON
+/// report written by the loadgen harness (hand-rolled writer, no
+/// serde_json offline — operate on the text).
+fn merge_cold_start(path: &str, section: &str) -> std::io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    let cleaned = match text.find("\"cold_start\"") {
+        None => text,
+        Some(key_at) => {
+            // Strip from the comma (or brace) before the key through the
+            // object's matching close brace.
+            let open = text[key_at..].find('{').expect("cold_start object") + key_at;
+            let mut depth = 0usize;
+            let mut end = open;
+            for (i, c) in text[open..].char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = open + i + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let before = text[..key_at].trim_end().trim_end_matches(',');
+            format!("{}{}", before, &text[end..])
+        }
+    };
+    let trimmed = cleaned.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("report must be a JSON object")
+        .trim_end()
+        .trim_end_matches(',');
+    std::fs::write(path, format!("{body},\n  \"cold_start\": {section}\n}}\n"))
+}
+
+fn main() {
+    let args = parse_args();
+    let agg = AggregationConfig::default();
+    let scratch = std::env::temp_dir().join(format!("f2pm_coldstart_{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let history_csv: PathBuf = scratch.join("history.csv");
+    let store_dir = scratch.join("models");
+
+    // Collect a training history once (not part of either boot path).
+    let cfg = F2pmConfig::quick_builder()
+        .runs(args.runs)
+        .build()
+        .expect("config");
+    let campaign = Campaign::new(cfg.campaign.clone(), 42);
+    let history = DataHistory::from_campaign(&campaign.run_all());
+    save_csv(&history, &history_csv).expect("write history");
+
+    // Publish once, ahead of time, exactly as `f2pm train --save-artifact`
+    // would. Publish cost belongs to the trainer, not to boot.
+    let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+    let (saved, n_points) = fit_ls_svm(&history_csv, &agg);
+    let store = ModelStore::open(&store_dir).expect("open store");
+    store
+        .publish(
+            &ArtifactMeta::new("ls_svm", agg, columns.clone(), 0.0),
+            &saved,
+        )
+        .expect("publish");
+
+    eprintln!(
+        "coldstart: {} aggregated datapoints, ls_svm, {} iterations per path",
+        n_points, args.iterations
+    );
+
+    // Path A — boot-retrain (`serve --history`): CSV read + aggregate +
+    // fit + server start + first estimate.
+    let mut retrain_ms = Vec::new();
+    for _ in 0..args.iterations {
+        let started = Instant::now();
+        let (saved, _) = fit_ls_svm(&history_csv, &agg);
+        let registry = ModelRegistry::new(saved, columns.clone(), agg).expect("registry");
+        first_estimate(registry);
+        retrain_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Path B — artifact cold start (`serve --models-dir`): manifest +
+    // checksum-verified artifact load + server start + first estimate.
+    let mut cold_ms = Vec::new();
+    for _ in 0..args.iterations {
+        let started = Instant::now();
+        let store = ModelStore::open(&store_dir).expect("open store");
+        let registry = ModelRegistry::from_store(&store).expect("cold start");
+        first_estimate(registry);
+        cold_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let retrain = median_ms(&mut retrain_ms);
+    let cold = median_ms(&mut cold_ms);
+    let speedup = retrain / cold;
+    eprintln!("boot-retrain {retrain:.1} ms | artifact cold start {cold:.1} ms | {speedup:.1}x");
+
+    let mut section = String::from("{\n");
+    let _ = writeln!(section, "    \"method\": \"ls_svm\",");
+    let _ = writeln!(section, "    \"aggregated_points\": {n_points},");
+    let _ = writeln!(section, "    \"iterations\": {},", args.iterations);
+    let _ = writeln!(section, "    \"boot_retrain_ms\": {retrain:.3},");
+    let _ = writeln!(section, "    \"cold_start_ms\": {cold:.3},");
+    let _ = writeln!(section, "    \"speedup\": {speedup:.2},");
+    let _ = writeln!(section, "    \"first_predict_ok\": true");
+    section.push_str("  }");
+
+    if args.smoke {
+        std::fs::create_dir_all("target").ok();
+        let out = "target/BENCH_coldstart_smoke.json";
+        std::fs::write(
+            out,
+            format!(
+                "{{\n  \"generated_by\": \"f2pm-bench coldstart\",\n  \"smoke\": true,\n  \
+                 \"cold_start\": {section}\n}}\n"
+            ),
+        )
+        .expect("write smoke report");
+        eprintln!("wrote {out}");
+    } else {
+        merge_cold_start("BENCH_serve.json", &section).expect("merge into BENCH_serve.json");
+        eprintln!("refreshed the BENCH_serve.json cold_start section");
+    }
+}

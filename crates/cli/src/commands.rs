@@ -8,7 +8,8 @@ use f2pm_ml::{
 };
 use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
 use f2pm_monitor::{load_csv, save_csv, Collector, DataHistory, Datapoint, ProcCollector};
-use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig};
+use f2pm_registry::{ArtifactMeta, ModelStore};
+use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig, StoreWatcher};
 use f2pm_sim::Campaign;
 use std::collections::HashMap;
 
@@ -20,12 +21,16 @@ USAGE:
   f2pm campaign --runs N [--seed S] [--quick] --out history.csv
   f2pm monitor  --seconds N [--interval SECS] --out history.csv
   f2pm evaluate --history history.csv [--window SECS] [--train-frac F]
-  f2pm train    --history history.csv --method NAME --out model.txt [--window SECS]
+  f2pm train    --history history.csv --method NAME [--out model.txt]
+                [--save-artifact DIR] [--window SECS]
   f2pm predict  --model model.txt --history history.csv [--window SECS]
-  f2pm serve    (--model model.txt | --history history.csv [--method NAME])
+  f2pm serve    (--model model.txt | --history history.csv [--method NAME]
+                 | --models-dir DIR)
                 [--addr HOST:PORT] [--shards N] [--reactors N] [--queue CAP]
                 [--threshold SECS] [--hits K] [--window SECS] [--seconds N]
                 [--watch]
+  f2pm models   DIR (list | verify | rollback [--to GEN]
+                     | import --model model.txt [--window SECS])
   f2pm stats    [--addr HOST:PORT] [--watch] [--interval SECS] [--count N]
 
 METHODS (train): linear, rep_tree, m5p, svm, ls_svm
@@ -34,7 +39,12 @@ METHODS (train): linear, rep_tree, m5p, svm, ls_svm
 v1–v3); `--watch` hot-reloads the model whenever the file changes, and
 `--seconds` bounds the run (default: forever). With `--history` it trains
 the model in-process at boot instead of loading a file, so the metrics
-exposition carries the training-stage timings. `--reactors N` sizes the
+exposition carries the training-stage timings. With `--models-dir` it
+cold-starts from the store's manifest-active binary artifact (no training
+pass, no `--history`) and hot-reloads whenever the manifest advances —
+publish with `f2pm train --save-artifact DIR`, operate the store with
+`f2pm models DIR {list,verify,rollback}`, and convert legacy text models
+with `f2pm models DIR import --model model.txt`. `--reactors N` sizes the
 epoll event-loop pool that owns client connections (Linux; default: one
 per CPU; 0 falls back to one reader thread per connection). `stats`
 scrapes a running serve instance's Prometheus-style text exposition
@@ -242,11 +252,17 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `f2pm train`: fit one method, persist the model.
+/// `f2pm train`: fit one method, persist the model (text file via
+/// `--out`, and/or publish a binary artifact generation via
+/// `--save-artifact DIR`).
 pub fn train(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let path = require(&flags, "history")?;
-    let out = require(&flags, "out")?;
+    let out = flags.get("out").cloned();
+    let artifact_dir = flags.get("save-artifact").cloned();
+    if out.is_none() && artifact_dir.is_none() {
+        return Err("missing --out and/or --save-artifact (nowhere to put the model)".to_string());
+    }
     let method = require(&flags, "method")?;
     let agg = aggregation_from(&flags)?;
 
@@ -277,8 +293,19 @@ pub fn train(args: &[String]) -> Result<(), String> {
         rep.metrics.mae
     );
 
-    persist::save(&saved, &out).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {out}");
+    if let Some(out) = &out {
+        persist::save(&saved, out).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(dir) = &artifact_dir {
+        let store = ModelStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+        let meta = ArtifactMeta::new(&method, agg, columns, rep.metrics.smae);
+        let generation = store
+            .publish(&meta, &saved)
+            .map_err(|e| format!("publishing to {dir}: {e}"))?;
+        println!("published generation {generation} to {dir}");
+    }
     Ok(())
 }
 
@@ -339,6 +366,26 @@ pub fn predict(args: &[String]) -> Result<(), String> {
 pub fn serve(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = flags.get("model").cloned();
+    let models_dir = flags.get("models-dir").cloned();
+    if models_dir.is_some() {
+        if model_path.is_some() || flags.contains_key("history") {
+            return Err(
+                "--models-dir replaces --model/--history (the artifact is the model)".to_string(),
+            );
+        }
+        if flags.contains_key("window") {
+            return Err(
+                "--window conflicts with --models-dir: the artifact records its own \
+                 aggregation config"
+                    .to_string(),
+            );
+        }
+        if flags.contains_key("watch") {
+            return Err(
+                "--watch is implicit with --models-dir (the manifest is always polled)".to_string(),
+            );
+        }
+    }
     let addr = flags
         .get("addr")
         .cloned()
@@ -371,40 +418,61 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         return Err("--watch needs --model (a file to watch for reloads)".to_string());
     }
 
-    let (registry, source) = match (&model_path, flags.get("history")) {
-        (Some(path), _) => {
-            let registry =
-                ModelRegistry::from_file(path, agg).map_err(|e| format!("loading {path}: {e}"))?;
-            let kind = registry.current().kind;
-            (registry, format!("{kind} model from {path}"))
-        }
-        (None, Some(hist)) => {
-            // Boot-train in-process: the aggregate/train spans land in the
-            // global metrics registry, so scrapes of this server expose
-            // the training-stage timings.
-            let method = flags
-                .get("method")
-                .cloned()
-                .unwrap_or_else(|| "rep_tree".to_string());
-            let history = load_csv(hist).map_err(|e| format!("reading {hist}: {e}"))?;
-            let span = f2pm_obs::span!("aggregate");
-            let points = aggregate_history(&history, &agg);
-            let ds = Dataset::from_points(&points);
-            span.stop();
-            if ds.is_empty() {
-                return Err("history contains no labeled (failing) runs".to_string());
+    // With --models-dir, watch the store's manifest for new generations.
+    let mut store_watcher: Option<StoreWatcher> = None;
+
+    let (registry, source) = if let Some(dir) = &models_dir {
+        let store = ModelStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        let registry = ModelRegistry::from_store(&store)
+            .map_err(|e| format!("cold-starting from {dir}: {e}"))?;
+        let generation = store
+            .active_generation()
+            .map_err(|e| format!("reading {dir} manifest: {e}"))?;
+        let kind = registry.current().kind;
+        let source = format!(
+            "{kind} artifact generation {} from {dir}",
+            generation.unwrap_or(0)
+        );
+        store_watcher = Some(StoreWatcher::new(store, registry.clone(), generation));
+        (registry, source)
+    } else {
+        match (&model_path, flags.get("history")) {
+            (Some(path), _) => {
+                let registry = ModelRegistry::from_file(path, agg)
+                    .map_err(|e| format!("loading {path}: {e}"))?;
+                let kind = registry.current().kind;
+                (registry, format!("{kind} model from {path}"))
             }
-            let saved = fit_saved_model(&method, &ds.x, &ds.y)?;
-            eprintln!(
-                "boot-trained {method} on {} aggregated datapoints from {hist}",
-                ds.len()
-            );
-            let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
-            let registry = ModelRegistry::new(saved, columns, agg)
-                .map_err(|e| format!("installing boot-trained model: {e}"))?;
-            (registry, format!("boot-trained {method} model from {hist}"))
+            (None, Some(hist)) => {
+                // Boot-train in-process: the aggregate/train spans land in the
+                // global metrics registry, so scrapes of this server expose
+                // the training-stage timings.
+                let method = flags
+                    .get("method")
+                    .cloned()
+                    .unwrap_or_else(|| "rep_tree".to_string());
+                let history = load_csv(hist).map_err(|e| format!("reading {hist}: {e}"))?;
+                let span = f2pm_obs::span!("aggregate");
+                let points = aggregate_history(&history, &agg);
+                let ds = Dataset::from_points(&points);
+                span.stop();
+                if ds.is_empty() {
+                    return Err("history contains no labeled (failing) runs".to_string());
+                }
+                let saved = fit_saved_model(&method, &ds.x, &ds.y)?;
+                eprintln!(
+                    "boot-trained {method} on {} aggregated datapoints from {hist}",
+                    ds.len()
+                );
+                let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+                let registry = ModelRegistry::new(saved, columns, agg)
+                    .map_err(|e| format!("installing boot-trained model: {e}"))?;
+                (registry, format!("boot-trained {method} model from {hist}"))
+            }
+            (None, None) => {
+                return Err("serve needs --model, --history or --models-dir".to_string())
+            }
         }
-        (None, None) => return Err("serve needs --model or --history".to_string()),
     };
     let server = PredictionServer::start(&*addr, cfg, registry)
         .map_err(|e| format!("binding {addr}: {e}"))?;
@@ -431,11 +499,29 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         if let (true, Some(path)) = (watch, model_path.as_deref()) {
             let now_mtime = mtime(path);
             if now_mtime.is_some() && now_mtime != last_mtime {
-                last_mtime = now_mtime;
+                // Advance the watermark only after a successful install,
+                // and to the mtime observed *before* the read: a reload
+                // that races a non-atomic writer (partial file → parse
+                // error, or a write landing mid-read) is retried on the
+                // next tick instead of being silently skipped forever.
                 match registry.reload_from_file(path) {
-                    Ok(g) => eprintln!("hot-reloaded {path} → model generation {g}"),
-                    Err(e) => eprintln!("reload of {path} failed (keeping current): {e}"),
+                    Ok(g) => {
+                        last_mtime = now_mtime;
+                        eprintln!("hot-reloaded {path} → model generation {g}");
+                    }
+                    Err(e) => {
+                        eprintln!("reload of {path} failed (keeping current, will retry): {e}")
+                    }
                 }
+            }
+        }
+        if let Some(watcher) = &mut store_watcher {
+            match watcher.poll() {
+                Ok(Some((store_gen, install_gen))) => eprintln!(
+                    "installed store generation {store_gen} → model generation {install_gen}"
+                ),
+                Ok(None) => {}
+                Err(e) => eprintln!("store reload failed (keeping current, will retry): {e}"),
             }
         }
         let elapsed = started.elapsed().as_secs_f64();
@@ -466,6 +552,101 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         snap.datapoints, snap.estimates, snap.alerts, snap.total_accepted, snap.dropped
     );
     Ok(())
+}
+
+/// `f2pm models DIR {list,verify,rollback,import}`: operate a model
+/// artifact store.
+pub fn models(args: &[String]) -> Result<(), String> {
+    const MODELS_USAGE: &str = "usage: f2pm models DIR (list | verify | rollback [--to GEN] | \
+         import --model model.txt [--window SECS])";
+    let (dir, rest) = args.split_first().ok_or(MODELS_USAGE)?;
+    if dir.starts_with("--") {
+        return Err(MODELS_USAGE.to_string());
+    }
+    let (action, rest) = rest.split_first().ok_or(MODELS_USAGE)?;
+    let flags = parse_flags(rest)?;
+    let store = ModelStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+
+    match action.as_str() {
+        "list" => {
+            let infos = store.list().map_err(|e| e.to_string())?;
+            if infos.is_empty() {
+                println!("no generations in {dir}");
+                return Ok(());
+            }
+            println!(
+                "{:>10} {:>6} {:>9} {:>10} {:>14} {:>12}  status",
+                "generation", "active", "kind", "method", "train S-MAE(s)", "size(B)"
+            );
+            for info in infos {
+                let active = if info.active { "*" } else { "" };
+                match info.detail {
+                    Ok((kind, meta)) => println!(
+                        "{:>10} {:>6} {:>9} {:>10} {:>14.1} {:>12}  ok",
+                        info.generation, active, kind, meta.method, meta.train_smae, info.file_size
+                    ),
+                    Err(e) => println!(
+                        "{:>10} {:>6} {:>9} {:>10} {:>14} {:>12}  {e}",
+                        info.generation, active, "?", "?", "?", info.file_size
+                    ),
+                }
+            }
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            for g in &report.ok {
+                let marker = if report.active == Some(*g) {
+                    " (active)"
+                } else {
+                    ""
+                };
+                println!("generation {g}: ok{marker}");
+            }
+            for (g, e) in &report.failed {
+                println!("generation {g}: FAILED — {e}");
+            }
+            match report.active {
+                Some(a) => println!("manifest: active generation {a}"),
+                None => println!("manifest: none (nothing published)"),
+            }
+            if report.failed.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} artifact(s) failed verification",
+                    report.failed.len()
+                ))
+            }
+        }
+        "rollback" => {
+            let to: Option<u64> = get_parsed(&flags, "to")?;
+            let generation = store.rollback(to).map_err(|e| e.to_string())?;
+            println!("rolled back: active generation is now {generation}");
+            Ok(())
+        }
+        "import" => {
+            // Legacy shim: lift a v1 text-format model into a store
+            // generation so old `--model model.txt` deployments can move
+            // to the checksum-verified artifact path.
+            let model_path = require(&flags, "model")?;
+            let agg = aggregation_from(&flags)?;
+            let saved =
+                persist::load(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+            let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+            // Training S-MAE is unknown for an imported model.
+            let meta = ArtifactMeta::new(saved.kind(), agg, columns, f64::NAN);
+            let generation = store
+                .publish(&meta, &saved)
+                .map_err(|e| format!("publishing to {dir}: {e}"))?;
+            println!(
+                "imported {model_path} ({}) as generation {generation} in {dir}",
+                saved.kind()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown models action {other:?}\n{MODELS_USAGE}")),
+    }
 }
 
 /// Send one `MetricsRequest` on an already-handshaken stream and return
@@ -791,6 +972,163 @@ mod tests {
         // --watch without a file to watch is rejected up front.
         let err = serve(&s(&["--history", hist.to_str().unwrap(), "--watch"])).unwrap_err();
         assert!(err.contains("--watch needs --model"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Exposition sample value: first non-comment line starting with
+    /// `prefix` (include a trailing space to match unlabeled samples).
+    fn sample(text: &str, prefix: &str) -> Option<f64> {
+        text.lines()
+            .filter(|l| !l.starts_with('#'))
+            .find(|l| l.starts_with(prefix))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+    }
+
+    #[test]
+    fn models_store_publish_serve_rollback_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("f2pm_cli_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let hist = dir.join("history.csv");
+        let store_dir = dir.join("models");
+        let store_s = store_dir.to_str().unwrap().to_string();
+        campaign(&s(&[
+            "--runs",
+            "2",
+            "--quick",
+            "--out",
+            hist.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Publish generation 1 straight from train — no --out needed.
+        train(&s(&[
+            "--history",
+            hist.to_str().unwrap(),
+            "--method",
+            "linear",
+            "--save-artifact",
+            &store_s,
+        ]))
+        .unwrap();
+        models(&s(&[&store_s, "list"])).unwrap();
+        models(&s(&[&store_s, "verify"])).unwrap();
+
+        // Bad flag combinations are rejected up front.
+        assert!(train(&s(&[
+            "--history",
+            hist.to_str().unwrap(),
+            "--method",
+            "linear"
+        ]))
+        .is_err());
+        assert!(serve(&s(&["--models-dir", &store_s, "--model", "m.txt"])).is_err());
+        assert!(serve(&s(&["--models-dir", &store_s, "--window", "30"])).is_err());
+        assert!(serve(&s(&["--models-dir", &store_s, "--watch"])).is_err());
+        let empty = dir.join("empty_store");
+        let err = serve(&s(&["--models-dir", empty.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no published generation"), "{err}");
+        assert!(models(&s(&[&store_s, "frobnicate"])).is_err());
+        assert!(models(&s(&["--model", "backwards"])).is_err());
+
+        // Cold-start a real server from the store (no --history, no
+        // training pass) on a pre-picked free port.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let (store_c, addr_c) = (store_s.clone(), addr.clone());
+        let server = std::thread::spawn(move || {
+            serve(&s(&[
+                "--models-dir",
+                &store_c,
+                "--addr",
+                &addr_c,
+                "--seconds",
+                "6",
+            ]))
+            .unwrap();
+        });
+        let scrape = || -> Option<String> {
+            let mut stream = std::net::TcpStream::connect(&*addr).ok()?;
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                host_id: 0,
+            }
+            .write_to(&mut stream)
+            .ok()?;
+            scrape_once(&mut stream).ok()
+        };
+        let wait_for = |pred: &dyn Fn(&str) -> bool| -> String {
+            for _ in 0..400 {
+                if let Some(text) = scrape() {
+                    if pred(&text) {
+                        return text;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            panic!("server never reached the expected scrape state");
+        };
+
+        let text = wait_for(&|t| sample(t, "f2pm_serve_model_generation ") == Some(1.0));
+        assert_eq!(
+            sample(&text, "f2pm_registry_active_generation "),
+            Some(1.0),
+            "{text}"
+        );
+        // The cold-start artifact load was timed into the exposition.
+        assert!(
+            sample(&text, "f2pm_registry_artifact_load_us_count ").unwrap_or(0.0) >= 1.0,
+            "{text}"
+        );
+
+        // Publish generation 2 while the server runs; the manifest poll
+        // installs it without a restart.
+        train(&s(&[
+            "--history",
+            hist.to_str().unwrap(),
+            "--method",
+            "rep_tree",
+            "--save-artifact",
+            &store_s,
+        ]))
+        .unwrap();
+        let text = wait_for(&|t| sample(t, "f2pm_serve_model_generation ") == Some(2.0));
+        assert_eq!(sample(&text, "f2pm_registry_active_generation "), Some(2.0));
+
+        // Roll back: store generation reverts to 1, install generation
+        // keeps climbing to 3.
+        models(&s(&[&store_s, "rollback"])).unwrap();
+        let text = wait_for(&|t| sample(t, "f2pm_serve_model_generation ") == Some(3.0));
+        assert_eq!(sample(&text, "f2pm_registry_active_generation "), Some(1.0));
+        assert_eq!(sample(&text, "f2pm_serve_dropped_frames_total "), Some(0.0));
+        server.join().unwrap();
+
+        // The legacy-format shim: a v1 text model becomes a generation.
+        let legacy = dir.join("legacy.txt");
+        train(&s(&[
+            "--history",
+            hist.to_str().unwrap(),
+            "--method",
+            "linear",
+            "--out",
+            legacy.to_str().unwrap(),
+        ]))
+        .unwrap();
+        models(&s(&[
+            &store_s,
+            "import",
+            "--model",
+            legacy.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let store = ModelStore::open(&store_dir).unwrap();
+        assert_eq!(store.active_generation().unwrap(), Some(3));
+        assert_eq!(store.generations().unwrap(), vec![1, 2, 3]);
+        assert!(models(&s(&[&store_s, "rollback", "--to", "99"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

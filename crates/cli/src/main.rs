@@ -7,6 +7,8 @@
 //! f2pm train    --history history.csv --method rep_tree --out model.txt
 //! f2pm predict  --model model.txt --history history.csv
 //! f2pm serve    --model model.txt --addr 0.0.0.0:7878 --shards 4 --watch
+//! f2pm serve    --models-dir models/ --addr 0.0.0.0:7878
+//! f2pm models   models/ list
 //! f2pm stats    --addr 127.0.0.1:7878 --watch
 //! ```
 //!
@@ -16,8 +18,11 @@
 //! model; `predict` replays a history's last run through a saved model and
 //! prints the per-window RTTF estimates; `serve` runs the sharded online
 //! prediction service (live per-host RTTF estimates, pushed rejuvenation
-//! alerts, model hot-reload); `stats` scrapes a running serve instance's
-//! Prometheus-style metrics exposition over the wire protocol (v3).
+//! alerts, model hot-reload); `models` operates an on-disk store of
+//! versioned binary model artifacts (list, verify checksums, roll back
+//! the active generation, import legacy text models); `stats` scrapes a
+//! running serve instance's Prometheus-style metrics exposition over the
+//! wire protocol (v3).
 
 mod commands;
 
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
         "train" => commands::train(rest),
         "predict" => commands::predict(rest),
         "serve" => commands::serve(rest),
+        "models" => commands::models(rest),
         "stats" => commands::stats(rest),
         "--help" | "-h" | "help" => {
             println!("{}", commands::USAGE);

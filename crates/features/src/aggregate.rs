@@ -3,7 +3,7 @@
 use f2pm_monitor::{DataHistory, Datapoint, RunData, FEATURES};
 
 /// Aggregation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggregationConfig {
     /// Time-window width (s). The paper leaves this user-defined; the
     /// experiments use 10 s windows over ~1.5 s raw samples.

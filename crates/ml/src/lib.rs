@@ -34,6 +34,7 @@ pub mod lssvm;
 pub mod m5p;
 pub mod metrics;
 pub mod persist;
+pub mod persist_bin;
 pub mod regressor;
 pub mod reptree;
 pub mod svr;

@@ -108,6 +108,7 @@ impl LsSvmRegressor {
 }
 
 /// A fitted LS-SVM model.
+#[derive(Debug, Clone)]
 pub struct LsSvmModel {
     pub(crate) kernel: Kernel,
     pub(crate) standardizer: Standardizer,

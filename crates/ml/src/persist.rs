@@ -47,6 +47,7 @@ pub const FORMAT_VERSION: u32 = 1;
 /// use f2pm_ml::Model as _;
 /// assert!((loaded.as_model().predict_row(&[3.0]) - 11.0).abs() < 1e-9);
 /// ```
+#[derive(Debug, Clone)]
 pub enum SavedModel {
     /// OLS plane.
     Linear(LinearModel),

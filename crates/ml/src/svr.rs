@@ -75,6 +75,7 @@ impl SvrRegressor {
 }
 
 /// A fitted SVR model (support vectors + coefficients).
+#[derive(Debug, Clone)]
 pub struct SvrModel {
     pub(crate) kernel: Kernel,
     pub(crate) standardizer: Standardizer,

@@ -1,0 +1,366 @@
+//! The versioned binary artifact container (DESIGN.md §12.1).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "F2PM"
+//! 4       4     u32 format version (currently 1)
+//! 8       1     u8 model-kind tag (f2pm_ml::persist_bin::TAG_*)
+//! 9       3     reserved, zero
+//! 12      4     u32 metadata length M
+//! 16      M     metadata block (UTF-8, line-oriented)
+//! 16+M    4     u32 CRC32 over bytes [0, 16+M)
+//! +4      8     u64 payload length P
+//! +8      P     model payload (f2pm_ml::persist_bin encoding)
+//! +P      4     u32 CRC32 over the payload bytes
+//! ```
+//!
+//! Both checksums are verified before anything is deserialized, so a
+//! torn write or bit rot is reported as a typed
+//! [`RegistryError::ChecksumMismatch`] instead of reaching the payload
+//! decoder (which is itself hardened against arbitrary bytes).
+
+use crate::{crc32, RegistryError, Result};
+use f2pm_features::AggregationConfig;
+use f2pm_ml::persist_bin;
+use f2pm_ml::SavedModel;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// File magic: the first four bytes of every artifact.
+pub const MAGIC: [u8; 4] = *b"F2PM";
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header size before the metadata block (magic + version + kind +
+/// reserved + metadata length).
+pub const HEADER_LEN: usize = 16;
+
+/// Training provenance stored alongside the model payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactMeta {
+    /// Training method name (`"linear"`, `"rep_tree"`, ...).
+    pub method: String,
+    /// Unix seconds when the artifact was created.
+    pub created_at_unix: u64,
+    /// Training-set S-MAE (seconds) at train time; `NaN` when unknown
+    /// (e.g. a model imported from the legacy text format).
+    pub train_smae: f64,
+    /// Aggregation config the model was trained against — a serve
+    /// instance must aggregate incoming datapoints identically.
+    pub agg: AggregationConfig,
+    /// Feature columns, in model input order.
+    pub columns: Vec<String>,
+}
+
+impl ArtifactMeta {
+    /// Metadata for a model trained now over `columns` under `agg`.
+    pub fn new(
+        method: &str,
+        agg: AggregationConfig,
+        columns: Vec<String>,
+        train_smae: f64,
+    ) -> Self {
+        let created_at_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        ArtifactMeta {
+            method: method.to_string(),
+            created_at_unix,
+            train_smae,
+            agg,
+            columns,
+        }
+    }
+}
+
+/// Serialize `meta` + `model` into a complete artifact byte image.
+pub fn encode(meta: &ArtifactMeta, model: &SavedModel) -> Vec<u8> {
+    let meta_block = encode_meta(meta);
+    let mut payload = Vec::new();
+    persist_bin::encode_payload(model, &mut payload);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + meta_block.len() + payload.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(persist_bin::kind_tag(model));
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&(meta_block.len() as u32).to_le_bytes());
+    out.extend_from_slice(&meta_block);
+    let head_crc = crc32(&out);
+    out.extend_from_slice(&head_crc.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Decode a complete artifact: verify both checksums, then parse
+/// metadata and payload. The returned model's width always equals
+/// `meta.columns.len()`.
+pub fn decode(bytes: &[u8]) -> Result<(ArtifactMeta, SavedModel)> {
+    let (tag, meta, payload) = split(bytes)?;
+    let model = persist_bin::decode_payload(tag, payload)
+        .map_err(|e| RegistryError::Malformed(e.to_string()))?;
+    if model.as_model().width() != meta.columns.len() {
+        return Err(RegistryError::Malformed(format!(
+            "model width {} != {} metadata columns",
+            model.as_model().width(),
+            meta.columns.len()
+        )));
+    }
+    Ok((meta, model))
+}
+
+/// Decode only the header + metadata (both checksum-verified — the
+/// payload CRC is checked too, so this is a full integrity pass without
+/// the payload deserialization cost). Returns the kind tag and metadata.
+pub fn decode_meta(bytes: &[u8]) -> Result<(u8, ArtifactMeta)> {
+    let (tag, meta, _) = split(bytes)?;
+    Ok((tag, meta))
+}
+
+/// Verify checksums and structure, returning `(tag, meta, payload)`.
+fn split(bytes: &[u8]) -> Result<(u8, ArtifactMeta, &[u8])> {
+    if bytes.len() < HEADER_LEN {
+        if bytes.len() >= 4 && bytes[..4] != MAGIC {
+            return Err(RegistryError::BadMagic);
+        }
+        return Err(RegistryError::Truncated { what: "header" });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(RegistryError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(RegistryError::UnsupportedVersion { found: version });
+    }
+    let tag = bytes[8];
+    let meta_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let head_end = HEADER_LEN
+        .checked_add(meta_len)
+        .ok_or(RegistryError::Truncated { what: "metadata" })?;
+    if bytes.len() < head_end + 4 {
+        return Err(RegistryError::Truncated { what: "metadata" });
+    }
+    let stored_head_crc = u32::from_le_bytes(bytes[head_end..head_end + 4].try_into().unwrap());
+    if crc32(&bytes[..head_end]) != stored_head_crc {
+        return Err(RegistryError::ChecksumMismatch {
+            section: "header/metadata",
+        });
+    }
+    let meta = decode_meta_block(&bytes[HEADER_LEN..head_end])?;
+
+    let pl_off = head_end + 4;
+    if bytes.len() < pl_off + 8 {
+        return Err(RegistryError::Truncated {
+            what: "payload length",
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[pl_off..pl_off + 8].try_into().unwrap());
+    let payload_len = usize::try_from(payload_len)
+        .ok()
+        .filter(|&p| p <= bytes.len().saturating_sub(pl_off + 8 + 4))
+        .ok_or(RegistryError::Truncated { what: "payload" })?;
+    let payload = &bytes[pl_off + 8..pl_off + 8 + payload_len];
+    let crc_off = pl_off + 8 + payload_len;
+    let stored_payload_crc = u32::from_le_bytes(bytes[crc_off..crc_off + 4].try_into().unwrap());
+    if crc32(payload) != stored_payload_crc {
+        return Err(RegistryError::ChecksumMismatch { section: "payload" });
+    }
+    if bytes.len() != crc_off + 4 {
+        return Err(RegistryError::Malformed(format!(
+            "{} trailing bytes after payload checksum",
+            bytes.len() - crc_off - 4
+        )));
+    }
+    Ok((tag, meta, payload))
+}
+
+/// Write an artifact image to `path` (no durability guarantees — the
+/// store layers tmp-file + fsync + rename on top of this).
+pub fn save(path: impl AsRef<Path>, meta: &ArtifactMeta, model: &SavedModel) -> Result<()> {
+    std::fs::write(path, encode(meta, model))?;
+    Ok(())
+}
+
+/// Read and fully decode an artifact file, timing the load into the
+/// process-global `f2pm_registry_artifact_load_us` histogram.
+pub fn load(path: impl AsRef<Path>) -> Result<(ArtifactMeta, SavedModel)> {
+    let started = std::time::Instant::now();
+    let bytes = std::fs::read(path)?;
+    let decoded = decode(&bytes)?;
+    f2pm_obs::global()
+        .histogram(crate::ARTIFACT_LOAD_METRIC)
+        .record_duration(started.elapsed());
+    Ok(decoded)
+}
+
+fn encode_meta(meta: &ArtifactMeta) -> Vec<u8> {
+    let mut s = String::new();
+    writeln!(s, "method {}", meta.method).unwrap();
+    writeln!(s, "created_at {}", meta.created_at_unix).unwrap();
+    writeln!(s, "train_smae {}", meta.train_smae).unwrap();
+    writeln!(s, "window_s {}", meta.agg.window_s).unwrap();
+    writeln!(s, "min_points {}", meta.agg.min_points).unwrap();
+    writeln!(s, "include_stddev {}", u8::from(meta.agg.include_stddev)).unwrap();
+    writeln!(s, "columns {}", meta.columns.len()).unwrap();
+    for c in &meta.columns {
+        writeln!(s, "{c}").unwrap();
+    }
+    s.into_bytes()
+}
+
+fn decode_meta_block(bytes: &[u8]) -> Result<ArtifactMeta> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| RegistryError::Malformed("metadata is not UTF-8".to_string()))?;
+    let mut lines = text.lines();
+    let mut field = |label: &str| -> Result<String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| RegistryError::Malformed(format!("metadata missing {label}")))?;
+        line.strip_prefix(label)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(|v| v.to_string())
+            .ok_or_else(|| {
+                RegistryError::Malformed(format!("metadata expected {label:?}, got {line:?}"))
+            })
+    };
+    let method = field("method")?;
+    let created_at_unix = parse(&field("created_at")?, "created_at")?;
+    let train_smae: f64 = parse(&field("train_smae")?, "train_smae")?;
+    let window_s: f64 = parse(&field("window_s")?, "window_s")?;
+    let min_points: usize = parse(&field("min_points")?, "min_points")?;
+    let include_stddev = match field("include_stddev")?.as_str() {
+        "0" => false,
+        "1" => true,
+        other => {
+            return Err(RegistryError::Malformed(format!(
+                "bad include_stddev {other:?}"
+            )))
+        }
+    };
+    let n_columns: usize = parse(&field("columns")?, "columns")?;
+    if n_columns > bytes.len() {
+        // Each column name occupies at least its newline: a count larger
+        // than the block itself is corrupt.
+        return Err(RegistryError::Malformed(
+            "column count too large".to_string(),
+        ));
+    }
+    let columns: Vec<String> = lines.by_ref().take(n_columns).map(str::to_string).collect();
+    if columns.len() != n_columns {
+        return Err(RegistryError::Malformed(format!(
+            "metadata names {} of {n_columns} columns",
+            columns.len()
+        )));
+    }
+    if lines.next().is_some() {
+        return Err(RegistryError::Malformed(
+            "trailing metadata lines".to_string(),
+        ));
+    }
+    if !(window_s.is_finite() && window_s > 0.0) {
+        return Err(RegistryError::Malformed(format!("bad window_s {window_s}")));
+    }
+    Ok(ArtifactMeta {
+        method,
+        created_at_unix,
+        train_smae,
+        agg: AggregationConfig {
+            window_s,
+            min_points,
+            include_stddev,
+        },
+        columns,
+    })
+}
+
+fn parse<T: std::str::FromStr>(v: &str, label: &str) -> Result<T> {
+    v.parse()
+        .map_err(|_| RegistryError::Malformed(format!("bad {label} value {v:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_ml::linreg::LinearModel;
+
+    fn meta2() -> ArtifactMeta {
+        ArtifactMeta {
+            method: "linear".to_string(),
+            created_at_unix: 1_754_500_000,
+            train_smae: 123.5,
+            agg: AggregationConfig {
+                window_s: 30.0,
+                min_points: 2,
+                include_stddev: false,
+            },
+            columns: vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        }
+    }
+
+    fn linear2() -> SavedModel {
+        SavedModel::Linear(LinearModel {
+            intercept: 1000.0,
+            coefficients: vec![-2.0, 0.5],
+        })
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let bytes = encode(&meta2(), &linear2());
+        assert_eq!(&bytes[..4], b"F2PM");
+        let (meta, model) = decode(&bytes).unwrap();
+        assert_eq!(meta, meta2());
+        assert_eq!(model.kind(), "linear");
+        assert_eq!(model.as_model().predict_row(&[100.0, 0.0]), 800.0);
+        let (tag, meta_only) = decode_meta(&bytes).unwrap();
+        assert_eq!(tag, f2pm_ml::persist_bin::TAG_LINEAR);
+        assert_eq!(meta_only, meta2());
+    }
+
+    #[test]
+    fn nan_smae_and_weird_method_names_roundtrip() {
+        let mut m = meta2();
+        m.train_smae = f64::NAN;
+        m.method = "imported-v1".to_string();
+        let bytes = encode(&m, &linear2());
+        let (meta, _) = decode(&bytes).unwrap();
+        assert!(meta.train_smae.is_nan());
+        assert_eq!(meta.method, "imported-v1");
+    }
+
+    #[test]
+    fn wrong_magic_and_future_version_rejected() {
+        let mut bytes = encode(&meta2(), &linear2());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(RegistryError::BadMagic)));
+
+        let mut bytes = encode(&meta2(), &linear2());
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        match decode(&bytes) {
+            Err(RegistryError::UnsupportedVersion { found: 2 }) => {}
+            Err(e) => panic!("expected UnsupportedVersion, got {e}"),
+            Ok(_) => panic!("expected UnsupportedVersion, got Ok"),
+        }
+        // Short files with the wrong magic are BadMagic, not Truncated.
+        assert!(matches!(
+            decode(b"NOPE"),
+            Err(RegistryError::BadMagic) | Err(RegistryError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn width_column_mismatch_rejected() {
+        let mut m = meta2();
+        m.columns.push("extra".to_string());
+        let bytes = encode(&m, &linear2());
+        match decode(&bytes) {
+            Err(RegistryError::Malformed(msg)) => assert!(msg.contains("width"), "{msg}"),
+            Err(e) => panic!("expected Malformed, got {e}"),
+            Ok(_) => panic!("expected Malformed, got Ok"),
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! The on-disk model store: numbered generation artifacts + `MANIFEST`
+//! (DESIGN.md §12.2).
+//!
+//! ```text
+//! models/
+//!   MANIFEST              # names the active generation (atomic rename)
+//!   gen-00000001.f2pm
+//!   gen-00000002.f2pm
+//! ```
+//!
+//! **Atomicity protocol.** Publish is a strict step sequence — artifact
+//! tmp write → fsync → rename → dir fsync → manifest tmp write → fsync →
+//! rename → dir fsync — so a crash at *any* point leaves the manifest
+//! naming a complete, checksum-valid artifact: either the old generation
+//! (crash before the manifest rename) or the new one (after). Readers
+//! only ever follow the manifest, so stray complete artifacts and stale
+//! `*.tmp` files are invisible; publish sweeps leftovers. The
+//! [`PublishStep`] hook lets tests sever the sequence after every step
+//! and prove the invariant at each prefix.
+//!
+//! Rollback verifies the target artifact fully loads (checksums and
+//! payload) *before* re-pointing the manifest. Retention GC keeps the
+//! newest `retain` generations plus whatever the manifest names.
+
+use crate::artifact::{self, ArtifactMeta};
+use crate::{RegistryError, Result};
+use f2pm_ml::SavedModel;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the store directory.
+pub const MANIFEST: &str = "MANIFEST";
+/// Manifest format version written in its first line.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Default retention: newest generations kept by GC.
+pub const DEFAULT_RETAIN: usize = 8;
+
+/// A directory of versioned model artifacts with an active-generation
+/// manifest. Cheap to construct; every operation re-reads the disk state,
+/// so multiple processes (a trainer publishing, a server polling) can
+/// share one store.
+pub struct ModelStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+/// One generation as seen by [`ModelStore::list`].
+pub struct GenerationInfo {
+    /// Generation number (from the file name).
+    pub generation: u64,
+    /// Whether the manifest names this generation active.
+    pub active: bool,
+    /// Artifact file size in bytes.
+    pub file_size: u64,
+    /// Kind + metadata, or the typed error that reading them produced.
+    pub detail: Result<(&'static str, ArtifactMeta)>,
+}
+
+/// Outcome of [`ModelStore::verify`].
+pub struct VerifyReport {
+    /// Generations whose artifacts fully decode (checksums + payload).
+    pub ok: Vec<u64>,
+    /// Generations whose artifacts failed, with the typed error.
+    pub failed: Vec<(u64, RegistryError)>,
+    /// The active generation, if a manifest exists and is valid.
+    pub active: Option<u64>,
+}
+
+/// Publish-sequence stages, exposed so crash tests can sever the
+/// protocol after each step and prove no prefix leaves a torn store.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishStep {
+    /// Artifact bytes written to the tmp file (not yet renamed).
+    ArtifactTmpWritten,
+    /// Artifact renamed to its final `gen-*.f2pm` name.
+    ArtifactRenamed,
+    /// New manifest written to `MANIFEST.tmp` (not yet renamed).
+    ManifestTmpWritten,
+}
+
+impl ModelStore {
+    /// Open (creating if needed) a store at `dir` with default retention.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::with_retention(dir, DEFAULT_RETAIN)
+    }
+
+    /// Open a store keeping at least the newest `retain` generations
+    /// (clamped to ≥ 2 so rollback always has a target).
+    pub fn with_retention(dir: impl AsRef<Path>, retain: usize) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(ModelStore {
+            dir,
+            retain: retain.max(2),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Publish a new generation: write + fsync + rename the artifact,
+    /// then atomically swing the manifest to it. Returns the new
+    /// generation number.
+    pub fn publish(&self, meta: &ArtifactMeta, model: &SavedModel) -> Result<u64> {
+        self.publish_inner(meta, model, None)
+    }
+
+    /// Crash-injection variant for tests: performs the publish sequence
+    /// but returns [`RegistryError::Interrupted`] right after `abort`,
+    /// leaving the disk exactly as a `kill -9` at that instant would.
+    #[doc(hidden)]
+    pub fn publish_aborting_after(
+        &self,
+        meta: &ArtifactMeta,
+        model: &SavedModel,
+        abort: PublishStep,
+    ) -> Result<u64> {
+        self.publish_inner(meta, model, Some(abort))
+    }
+
+    fn publish_inner(
+        &self,
+        meta: &ArtifactMeta,
+        model: &SavedModel,
+        abort: Option<PublishStep>,
+    ) -> Result<u64> {
+        // Sweep stale tmp files from crashed publishes; they are outside
+        // the manifest, so deleting them is always safe.
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                fs::remove_file(&path).ok();
+            }
+        }
+
+        let generation = self.next_generation()?;
+        let name = artifact_name(generation);
+        let final_path = self.dir.join(&name);
+        let tmp_path = self.dir.join(format!("{name}.tmp"));
+
+        let bytes = artifact::encode(meta, model);
+        write_sync(&tmp_path, &bytes)?;
+        if abort == Some(PublishStep::ArtifactTmpWritten) {
+            return Err(RegistryError::Interrupted("artifact tmp write"));
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+        if abort == Some(PublishStep::ArtifactRenamed) {
+            return Err(RegistryError::Interrupted("artifact rename"));
+        }
+
+        self.write_manifest(generation, abort)?;
+        self.gc(generation)?;
+        Ok(generation)
+    }
+
+    /// Re-point the manifest at a retained prior generation. With
+    /// `to = None`, picks the newest retained generation below the
+    /// active one. The target artifact is fully verified (checksums and
+    /// payload decode) before the manifest moves. Returns the new active
+    /// generation.
+    pub fn rollback(&self, to: Option<u64>) -> Result<u64> {
+        let active = self.active_generation()?.ok_or(RegistryError::NoManifest)?;
+        let generations = self.generations()?;
+        let target = match to {
+            Some(g) => {
+                if !generations.contains(&g) {
+                    return Err(RegistryError::UnknownGeneration(g));
+                }
+                g
+            }
+            None => *generations
+                .iter()
+                .rfind(|&&g| g < active)
+                .ok_or(RegistryError::NoPriorGeneration)?,
+        };
+        // Never name a generation the store cannot actually serve.
+        self.load(target)?;
+        if target != active {
+            self.write_manifest(target, None)?;
+        }
+        Ok(target)
+    }
+
+    /// The generation the manifest names, or `None` when nothing has
+    /// been published yet.
+    pub fn active_generation(&self) -> Result<Option<u64>> {
+        match fs::read_to_string(self.dir.join(MANIFEST)) {
+            Ok(text) => Ok(Some(parse_manifest(&text)?.0)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Load the active generation: `(generation, meta, model)`, or
+    /// `None` when nothing has been published yet.
+    pub fn load_active(&self) -> Result<Option<(u64, ArtifactMeta, SavedModel)>> {
+        let Some(generation) = self.active_generation()? else {
+            return Ok(None);
+        };
+        let (meta, model) = self.load(generation)?;
+        Ok(Some((generation, meta, model)))
+    }
+
+    /// Load one generation's artifact (checksum-verified).
+    pub fn load(&self, generation: u64) -> Result<(ArtifactMeta, SavedModel)> {
+        let path = self.dir.join(artifact_name(generation));
+        if !path.exists() {
+            return Err(RegistryError::UnknownGeneration(generation));
+        }
+        artifact::load(path)
+    }
+
+    /// Every retained generation, oldest first, with per-artifact status.
+    pub fn list(&self) -> Result<Vec<GenerationInfo>> {
+        let active = self.active_generation().ok().flatten();
+        let mut out = Vec::new();
+        for generation in self.generations()? {
+            let path = self.dir.join(artifact_name(generation));
+            let file_size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let detail = fs::read(&path)
+                .map_err(RegistryError::from)
+                .and_then(|bytes| artifact::decode_meta(&bytes))
+                .map(|(tag, meta)| {
+                    (
+                        f2pm_ml::persist_bin::kind_name(tag).unwrap_or("unknown"),
+                        meta,
+                    )
+                });
+            out.push(GenerationInfo {
+                generation,
+                active: active == Some(generation),
+                file_size,
+                detail,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Fully verify every retained artifact (checksums **and** payload
+    /// decode) plus the manifest. `Ok` only reports; inspect the report
+    /// to decide whether the store is healthy.
+    pub fn verify(&self) -> Result<VerifyReport> {
+        let active = self.active_generation()?;
+        let mut ok = Vec::new();
+        let mut failed = Vec::new();
+        for generation in self.generations()? {
+            match self.load(generation) {
+                Ok(_) => ok.push(generation),
+                Err(e) => failed.push((generation, e)),
+            }
+        }
+        if let Some(a) = active {
+            if !ok.contains(&a) && !failed.iter().any(|(g, _)| *g == a) {
+                failed.push((a, RegistryError::UnknownGeneration(a)));
+            }
+        }
+        Ok(VerifyReport { ok, failed, active })
+    }
+
+    /// Retained generation numbers, ascending.
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some(g) = parse_artifact_name(&name.to_string_lossy()) {
+                out.push(g);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn next_generation(&self) -> Result<u64> {
+        let on_disk = self.generations()?.last().copied().unwrap_or(0);
+        let named = self.active_generation().ok().flatten().unwrap_or(0);
+        Ok(on_disk.max(named) + 1)
+    }
+
+    /// Write the manifest naming `generation` via tmp + fsync + rename.
+    fn write_manifest(&self, generation: u64, abort: Option<PublishStep>) -> Result<()> {
+        let tmp = self.dir.join(format!("{MANIFEST}.tmp"));
+        let text = format!(
+            "f2pm-manifest {MANIFEST_VERSION}\nactive {generation}\nartifact {}\n",
+            artifact_name(generation)
+        );
+        write_sync(&tmp, text.as_bytes())?;
+        if abort == Some(PublishStep::ManifestTmpWritten) {
+            return Err(RegistryError::Interrupted("manifest tmp write"));
+        }
+        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Keep the newest `retain` generations plus the active one.
+    fn gc(&self, active: u64) -> Result<()> {
+        let generations = self.generations()?;
+        if generations.len() <= self.retain {
+            return Ok(());
+        }
+        let cut = generations.len() - self.retain;
+        for &g in &generations[..cut] {
+            if g == active {
+                continue;
+            }
+            fs::remove_file(self.dir.join(artifact_name(g))).ok();
+        }
+        Ok(())
+    }
+}
+
+/// `gen-00000042.f2pm`-style artifact file name for a generation.
+pub fn artifact_name(generation: u64) -> String {
+    format!("gen-{generation:08}.f2pm")
+}
+
+fn parse_artifact_name(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?
+        .strip_suffix(".f2pm")?
+        .parse()
+        .ok()
+}
+
+/// Parse a manifest: `(active generation, artifact file name)`.
+fn parse_manifest(text: &str) -> Result<(u64, String)> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| RegistryError::Malformed("empty manifest".to_string()))?;
+    let version: u32 = header
+        .strip_prefix("f2pm-manifest ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| RegistryError::Malformed(format!("bad manifest header {header:?}")))?;
+    if version != MANIFEST_VERSION {
+        return Err(RegistryError::UnsupportedVersion { found: version });
+    }
+    let active: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("active "))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| RegistryError::Malformed("bad manifest active line".to_string()))?;
+    let artifact = lines
+        .next()
+        .and_then(|l| l.strip_prefix("artifact "))
+        .ok_or_else(|| RegistryError::Malformed("bad manifest artifact line".to_string()))?;
+    if artifact != artifact_name(active) {
+        return Err(RegistryError::Malformed(format!(
+            "manifest names generation {active} but artifact {artifact:?}"
+        )));
+    }
+    Ok((active, artifact.to_string()))
+}
+
+fn write_sync(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Fsync the directory so renames inside it are durable. Best-effort on
+/// platforms where directories cannot be opened for sync.
+fn sync_dir(dir: &Path) -> Result<()> {
+    if let Ok(d) = File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_features::AggregationConfig;
+    use f2pm_ml::linreg::LinearModel;
+
+    fn meta(method: &str) -> ArtifactMeta {
+        ArtifactMeta {
+            method: method.to_string(),
+            created_at_unix: 1_754_500_000,
+            train_smae: 10.0,
+            agg: AggregationConfig::default(),
+            columns: vec!["a".to_string(), "b".to_string()],
+        }
+    }
+
+    fn linear(intercept: f64) -> SavedModel {
+        SavedModel::Linear(LinearModel {
+            intercept,
+            coefficients: vec![0.0, 0.0],
+        })
+    }
+
+    fn tmp_store(tag: &str, retain: usize) -> (PathBuf, ModelStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "f2pm_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        let store = ModelStore::with_retention(&dir, retain).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn publish_load_active_roundtrip() {
+        let (dir, store) = tmp_store("pub", 8);
+        assert!(store.load_active().unwrap().is_none());
+        assert_eq!(store.active_generation().unwrap(), None);
+
+        let g1 = store.publish(&meta("linear"), &linear(100.0)).unwrap();
+        assert_eq!(g1, 1);
+        let (g, m, model) = store.load_active().unwrap().unwrap();
+        assert_eq!((g, m.method.as_str()), (1, "linear"));
+        assert_eq!(model.as_model().predict_row(&[0.0, 0.0]), 100.0);
+
+        let g2 = store.publish(&meta("linear"), &linear(200.0)).unwrap();
+        assert_eq!(g2, 2);
+        let (g, _, model) = store.load_active().unwrap().unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(model.as_model().predict_row(&[0.0, 0.0]), 200.0);
+        // Both artifacts retained on disk.
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollback_default_and_explicit() {
+        let (dir, store) = tmp_store("rb", 8);
+        for i in 1..=3 {
+            store.publish(&meta("linear"), &linear(i as f64)).unwrap();
+        }
+        assert_eq!(store.rollback(None).unwrap(), 2);
+        assert_eq!(store.active_generation().unwrap(), Some(2));
+        assert_eq!(store.rollback(Some(1)).unwrap(), 1);
+        let (_, _, model) = store.load_active().unwrap().unwrap();
+        assert_eq!(model.as_model().predict_row(&[0.0, 0.0]), 1.0);
+        // Rolling back from the oldest retained generation fails typed.
+        assert!(matches!(
+            store.rollback(None),
+            Err(RegistryError::NoPriorGeneration)
+        ));
+        assert!(matches!(
+            store.rollback(Some(99)),
+            Err(RegistryError::UnknownGeneration(99))
+        ));
+        // Publishing after a rollback continues the numbering.
+        assert_eq!(store.publish(&meta("linear"), &linear(4.0)).unwrap(), 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollback_refuses_corrupt_target() {
+        let (dir, store) = tmp_store("rbc", 8);
+        store.publish(&meta("linear"), &linear(1.0)).unwrap();
+        store.publish(&meta("linear"), &linear(2.0)).unwrap();
+        // Corrupt generation 1 on disk.
+        let p = dir.join(artifact_name(1));
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 10;
+        bytes[last] ^= 0xff;
+        fs::write(&p, bytes).unwrap();
+        assert!(matches!(
+            store.rollback(Some(1)),
+            Err(RegistryError::ChecksumMismatch { .. })
+        ));
+        // Manifest still names generation 2, which still loads.
+        assert_eq!(store.active_generation().unwrap(), Some(2));
+        store.load_active().unwrap().unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_gc_keeps_newest_and_active() {
+        let (dir, store) = tmp_store("gc", 3);
+        for i in 1..=6 {
+            store.publish(&meta("linear"), &linear(i as f64)).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![4, 5, 6]);
+        assert_eq!(store.active_generation().unwrap(), Some(6));
+        // A rollback target stays loadable while retained; publishing past
+        // it moves the manifest forward and lets it age out normally.
+        store.rollback(Some(4)).unwrap();
+        store.load_active().unwrap().unwrap();
+        for i in 7..=9 {
+            store.publish(&meta("linear"), &linear(i as f64)).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![7, 8, 9]);
+        assert_eq!(store.active_generation().unwrap(), Some(9));
+        store.verify().unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_tampering() {
+        let (dir, store) = tmp_store("man", 8);
+        store.publish(&meta("linear"), &linear(1.0)).unwrap();
+        fs::write(
+            dir.join(MANIFEST),
+            "f2pm-manifest 1\nactive 1\nartifact gen-00000002.f2pm\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            store.active_generation(),
+            Err(RegistryError::Malformed(_))
+        ));
+        fs::write(dir.join(MANIFEST), "f2pm-manifest 9\nactive 1\n").unwrap();
+        assert!(matches!(
+            store.active_generation(),
+            Err(RegistryError::UnsupportedVersion { found: 9 })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_publish_never_tears_the_store() {
+        use PublishStep::*;
+        for abort in [ArtifactTmpWritten, ArtifactRenamed, ManifestTmpWritten] {
+            let (dir, store) = tmp_store(&format!("crash_{abort:?}"), 8);
+            store.publish(&meta("linear"), &linear(1.0)).unwrap();
+
+            // A publish killed mid-sequence...
+            let err = store
+                .publish_aborting_after(&meta("linear"), &linear(2.0), abort)
+                .unwrap_err();
+            assert!(matches!(err, RegistryError::Interrupted(_)));
+
+            // ...leaves the manifest naming a complete, loadable artifact:
+            // still generation 1 with the old model.
+            let (g, _, model) = store.load_active().unwrap().unwrap();
+            assert_eq!(g, 1, "crash after {abort:?} must not advance the manifest");
+            assert_eq!(model.as_model().predict_row(&[0.0, 0.0]), 1.0);
+
+            // And the next publish heals: tmp junk swept, numbering moves on.
+            let g = store.publish(&meta("linear"), &linear(3.0)).unwrap();
+            let (active, _, model) = store.load_active().unwrap().unwrap();
+            assert_eq!(active, g);
+            assert_eq!(model.as_model().predict_row(&[0.0, 0.0]), 3.0);
+            assert!(
+                !dir.read_dir().unwrap().any(|e| e
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")),
+                "stale tmp files must be swept"
+            );
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn list_and_verify_report_per_generation_status() {
+        let (dir, store) = tmp_store("list", 8);
+        store.publish(&meta("rep_tree_meta"), &linear(1.0)).unwrap();
+        store.publish(&meta("linear"), &linear(2.0)).unwrap();
+        // Corrupt generation 1's payload.
+        let p = dir.join(artifact_name(1));
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 6;
+        bytes[last] ^= 1;
+        fs::write(&p, bytes).unwrap();
+
+        let infos = store.list().unwrap();
+        assert_eq!(infos.len(), 2);
+        assert!(!infos[0].active && infos[1].active);
+        assert!(infos[1].detail.is_ok());
+        let report = store.verify().unwrap();
+        assert_eq!(report.ok, vec![2]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, 1);
+        assert_eq!(report.active, Some(2));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

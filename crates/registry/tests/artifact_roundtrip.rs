@@ -1,0 +1,153 @@
+//! Property tests: every [`SavedModel`] variant survives the binary
+//! artifact container bit-exactly.
+//!
+//! Each case fits a *real* model (the same fit paths `f2pm train` uses)
+//! on randomized training data, encodes it with randomized metadata, and
+//! asserts that the decoded model's `predict_batch` output is equal down
+//! to the last mantissa bit — floats travel as IEEE bit patterns, so
+//! save → load must be the identity, not merely "close".
+
+use f2pm_features::AggregationConfig;
+use f2pm_linalg::Matrix;
+use f2pm_ml::kernel::Kernel;
+use f2pm_ml::{
+    LsSvmRegressor, M5Params, M5Prime, RepTree, RepTreeParams, SavedModel, SvrParams, SvrRegressor,
+};
+use f2pm_registry::artifact::{decode, encode};
+use f2pm_registry::ArtifactMeta;
+use proptest::prelude::*;
+
+/// Deterministic training data derived from a seed (SplitMix64 core), so
+/// every proptest case fits a genuinely different model.
+fn training_data(seed: u64, n: usize, width: usize) -> (Matrix, Vec<f64>) {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let mut x = Matrix::zeros(n, width);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut target = 3.0;
+        for j in 0..width {
+            let v = next() * 20.0 - 10.0;
+            x.row_mut(i)[j] = v;
+            // Piecewise so the tree methods actually split.
+            target += if v <= 0.0 { 2.0 * v } else { 5.0 - v } * (j + 1) as f64;
+        }
+        y.push(target + next());
+    }
+    (x, y)
+}
+
+fn meta_for(width: usize, window_s: f64, smae: f64, method: &str) -> ArtifactMeta {
+    let agg = AggregationConfig {
+        window_s,
+        ..AggregationConfig::default()
+    };
+    let columns = (0..width).map(|j| format!("col_{j}")).collect();
+    let mut meta = ArtifactMeta::new(method, agg, columns, smae);
+    meta.created_at_unix = seed_from(window_s);
+    meta
+}
+
+fn seed_from(v: f64) -> u64 {
+    v.to_bits() >> 11
+}
+
+/// Encode → decode → compare: metadata field-by-field, predictions
+/// bit-for-bit over the training matrix.
+fn assert_roundtrip(
+    meta: &ArtifactMeta,
+    model: &SavedModel,
+    x: &Matrix,
+) -> Result<(), TestCaseError> {
+    let bytes = encode(meta, model);
+    let (meta2, model2) = match decode(&bytes) {
+        Ok(pair) => pair,
+        Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e}"))),
+    };
+    prop_assert_eq!(&meta2.method, &meta.method);
+    prop_assert_eq!(meta2.created_at_unix, meta.created_at_unix);
+    prop_assert_eq!(meta2.train_smae.to_bits(), meta.train_smae.to_bits());
+    prop_assert_eq!(meta2.agg, meta.agg);
+    prop_assert_eq!(&meta2.columns, &meta.columns);
+    prop_assert_eq!(model2.kind(), model.kind());
+
+    let a = model
+        .as_model()
+        .predict_batch(x)
+        .expect("original predicts");
+    let b = model2
+        .as_model()
+        .predict_batch(x)
+        .expect("decoded predicts");
+    let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+    let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+    prop_assert_eq!(a_bits, b_bits, "{} roundtrip not bit-exact", model.kind());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn linear_artifact_roundtrip(seed in 0u64..1_000_000, n in 30usize..80, w in 2usize..4) {
+        let (x, y) = training_data(seed, n, w);
+        let model = SavedModel::Linear(f2pm_ml::linreg::LinearModel::fit(&x, &y).unwrap());
+        let meta = meta_for(w, 10.0 + seed as f64 * 1e-3, seed as f64, "linear");
+        assert_roundtrip(&meta, &model, &x)?;
+    }
+
+    #[test]
+    fn rep_tree_artifact_roundtrip(seed in 0u64..1_000_000, n in 80usize..160, w in 2usize..4) {
+        let (x, y) = training_data(seed, n, w);
+        let model = SavedModel::RepTree(
+            RepTree::new(RepTreeParams::default()).fit_tree(&x, &y).unwrap(),
+        );
+        let meta = meta_for(w, 30.0, -1.5, "rep_tree");
+        assert_roundtrip(&meta, &model, &x)?;
+    }
+
+    #[test]
+    fn m5p_artifact_roundtrip(seed in 0u64..1_000_000, n in 80usize..160, w in 2usize..4) {
+        let (x, y) = training_data(seed, n, w);
+        let model = SavedModel::M5(
+            M5Prime::new(M5Params { smoothing_k: 15.0, min_instances: 20, ..M5Params::default() })
+                .fit_m5(&x, &y)
+                .unwrap(),
+        );
+        let meta = meta_for(w, 2.5, 0.0, "m5p");
+        assert_roundtrip(&meta, &model, &x)?;
+    }
+}
+
+proptest! {
+    // The kernel fits are the slow ones; fewer cases keep the suite brisk.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn svr_artifact_roundtrip(seed in 0u64..1_000_000, n in 40usize..70, rbf in 0u8..2) {
+        let (x, y) = training_data(seed, n, 2);
+        let kernel = if rbf == 1 { Kernel::Rbf { gamma: 0.7 } } else { Kernel::Linear };
+        let model = SavedModel::Svr(
+            SvrRegressor::new(SvrParams { kernel, ..SvrParams::default() })
+                .fit_svr(&x, &y)
+                .unwrap(),
+        );
+        let meta = meta_for(2, 10.0, 123.456, "svm");
+        assert_roundtrip(&meta, &model, &x)?;
+    }
+
+    #[test]
+    fn ls_svm_artifact_roundtrip(seed in 0u64..1_000_000, n in 40usize..70, rbf in 0u8..2) {
+        let (x, y) = training_data(seed, n, 2);
+        let kernel = if rbf == 1 { Kernel::Rbf { gamma: 0.03 } } else { Kernel::Linear };
+        let model = SavedModel::LsSvm(LsSvmRegressor::new(kernel, 10.0).fit_lssvm(&x, &y).unwrap());
+        let meta = meta_for(2, 10.0, f64::INFINITY, "ls_svm");
+        assert_roundtrip(&meta, &model, &x)?;
+    }
+}

@@ -1,0 +1,137 @@
+//! Adversarial artifact tests: every corruption must surface as a typed
+//! [`RegistryError`] — never a panic, never a silently-wrong model.
+//!
+//! The exhaustive sweeps are cheap because the fixture artifact is small
+//! (a 2-feature REP-Tree): ~1 KiB × (3 masks × every byte + every
+//! truncation length) decodes in well under a second.
+
+use f2pm_features::AggregationConfig;
+use f2pm_linalg::Matrix;
+use f2pm_ml::{RepTree, RepTreeParams, SavedModel};
+use f2pm_registry::artifact::{decode, encode};
+use f2pm_registry::{ArtifactMeta, RegistryError, FORMAT_VERSION, MAGIC};
+
+/// A small but structurally interesting artifact: a real fitted tree
+/// (splits + leaves), multi-column metadata, NaN-free floats.
+fn fixture() -> Vec<u8> {
+    let n = 120;
+    let mut x = Matrix::zeros(n, 2);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = i as f64 / n as f64 * 10.0;
+        let b = ((i * 7) % 13) as f64;
+        x.row_mut(i).copy_from_slice(&[a, b]);
+        y.push(if a <= 5.0 { 2.0 * a + b } else { 30.0 - a });
+    }
+    let model = SavedModel::RepTree(
+        RepTree::new(RepTreeParams::default())
+            .fit_tree(&x, &y)
+            .unwrap(),
+    );
+    let meta = ArtifactMeta::new(
+        "rep_tree",
+        AggregationConfig::default(),
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        42.5,
+    );
+    let bytes = encode(&meta, &model);
+    decode(&bytes).expect("fixture must be valid");
+    bytes
+}
+
+#[test]
+fn bit_flips_anywhere_are_rejected_typed() {
+    let clean = fixture();
+    // Single-bit low, single-bit high, and whole-byte inversion at every
+    // offset — covering header, metadata block, payload, and both CRCs.
+    // CRC32 detects all single-bit and single-byte errors, and the
+    // magic/version/length checks catch structural damage before any
+    // model bytes are interpreted; either way decode() must return a
+    // typed error (the panic would fail the test harness itself).
+    for mask in [0x01u8, 0x80, 0xff] {
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= mask;
+            match decode(&bytes) {
+                Err(
+                    RegistryError::BadMagic
+                    | RegistryError::UnsupportedVersion { .. }
+                    | RegistryError::Truncated { .. }
+                    | RegistryError::ChecksumMismatch { .. }
+                    | RegistryError::Malformed(_),
+                ) => {}
+                Err(other) => {
+                    panic!("byte {i} mask {mask:#x}: unexpected error class: {other}")
+                }
+                Ok(_) => panic!("byte {i} mask {mask:#x}: corruption decoded successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected() {
+    let clean = fixture();
+    for len in 0..clean.len() {
+        match decode(&clean[..len]) {
+            Err(RegistryError::BadMagic | RegistryError::Truncated { .. }) => {}
+            Err(RegistryError::ChecksumMismatch { section }) => panic!(
+                "truncation to {len} reported as {section} checksum mismatch — \
+                 length checks must come first"
+            ),
+            Err(other) => panic!("truncation to {len}: unexpected error class: {other}"),
+            Ok(_) => panic!("truncation to {len} decoded successfully"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_before_anything_else() {
+    let mut bytes = fixture();
+    for (a, b) in MAGIC.iter().zip(b"PNG\0") {
+        assert_ne!(a, b); // sanity: the replacement really differs everywhere
+    }
+    bytes[..4].copy_from_slice(b"PNG\0");
+    assert!(matches!(decode(&bytes), Err(RegistryError::BadMagic)));
+    // A completely foreign file (the old text format, say) is BadMagic
+    // too — that is what `f2pm serve --models-dir` reports when pointed
+    // at a directory of v1 text models instead of artifacts.
+    assert!(matches!(
+        decode(b"f2pm-model 1\nkind linear\n"),
+        Err(RegistryError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_format_version_is_rejected_with_upgrade_message() {
+    let mut bytes = fixture();
+    let future = FORMAT_VERSION + 1;
+    bytes[4..8].copy_from_slice(&future.to_le_bytes());
+    match decode(&bytes) {
+        Err(e @ RegistryError::UnsupportedVersion { found }) => {
+            assert_eq!(found, future);
+            let msg = e.to_string();
+            assert!(
+                msg.contains("newer") && msg.contains("upgrade"),
+                "version error must tell the operator what to do: {msg}"
+            );
+        }
+        Err(e) => panic!("expected UnsupportedVersion, got {e}"),
+        Ok(_) => panic!("future version decoded successfully"),
+    }
+}
+
+#[test]
+fn payload_tail_corruption_is_checksum_mismatch() {
+    // The metadata parses clean, so damage deep in the payload must be
+    // caught by the payload CRC *before* model deserialization runs.
+    let clean = fixture();
+    let mut bytes = clean.clone();
+    let i = bytes.len() - 12; // inside the payload, before its CRC
+    bytes[i] ^= 0x40;
+    match decode(&bytes) {
+        Err(RegistryError::ChecksumMismatch { section }) => assert_eq!(section, "payload"),
+        Err(e) => panic!("expected payload checksum mismatch, got {e}"),
+        Ok(_) => panic!("corrupt payload decoded successfully"),
+    }
+}

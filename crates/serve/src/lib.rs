@@ -41,7 +41,7 @@ pub mod server;
 pub mod shard;
 
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use registry::{ModelEntry, ModelRegistry};
+pub use registry::{ModelEntry, ModelRegistry, StoreWatcher};
 pub use server::{default_reactors, PredictionServer, ServeConfig, ServeHandle};
 pub use shard::{
     AlertPolicy, ClientWriter, EstimateBoard, PublishedEstimate, ShardEvent, ShardPool,

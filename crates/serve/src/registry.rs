@@ -20,6 +20,7 @@
 use f2pm_features::AggregationConfig;
 use f2pm_ml::persist::{self, SavedModel};
 use f2pm_ml::Model;
+use f2pm_registry::ModelStore;
 use parking_lot::RwLock;
 use std::io;
 use std::path::Path;
@@ -81,6 +82,20 @@ impl ModelRegistry {
         let saved = persist::load(path)?;
         let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
         Self::new(saved, columns, agg)
+    }
+
+    /// Cold-start from a model store: load the manifest-active artifact
+    /// (checksum-verified) and serve it with the input contract the
+    /// artifact's own metadata records — no training pass, no `--history`.
+    /// Fails if nothing has been published yet.
+    pub fn from_store(store: &ModelStore) -> io::Result<Arc<Self>> {
+        let (generation, meta, saved) = store
+            .load_active()
+            .map_err(io::Error::from)?
+            .ok_or_else(|| invalid("model store has no published generation".to_string()))?;
+        let registry = Self::new(saved, meta.columns, meta.agg)?;
+        set_store_generation_gauge(generation);
+        Ok(registry)
     }
 
     /// Install a new model atomically; every shared-model handle sees it
@@ -157,6 +172,71 @@ impl Model for RegistryModel {
         let entry = self.registry.current();
         entry.model.predict_batch(x)
     }
+}
+
+/// Polls a [`ModelStore`]'s manifest and installs newly published (or
+/// rolled-back) generations into a live [`ModelRegistry`].
+///
+/// The cheap path — reading the few-line manifest — runs every
+/// [`StoreWatcher::poll`]; the artifact itself is only loaded (and
+/// checksum-verified) when the active generation actually changes.
+/// A generation that fails to load leaves the registry untouched and is
+/// retried on the next poll, so a corrupted or half-visible artifact can
+/// never displace a serving model.
+pub struct StoreWatcher {
+    store: ModelStore,
+    registry: Arc<ModelRegistry>,
+    last: Option<u64>,
+}
+
+impl StoreWatcher {
+    /// Watch `store` for generation changes relative to
+    /// `installed_generation` (the store generation the registry booted
+    /// from, or `None` to treat the first observed manifest as new).
+    pub fn new(
+        store: ModelStore,
+        registry: Arc<ModelRegistry>,
+        installed_generation: Option<u64>,
+    ) -> Self {
+        StoreWatcher {
+            store,
+            registry,
+            last: installed_generation,
+        }
+    }
+
+    /// One poll tick. Returns `Ok(Some((store_gen, install_gen)))` when a
+    /// new generation was installed, `Ok(None)` when the manifest is
+    /// unchanged (or absent), and `Err` when the active artifact exists
+    /// but cannot be loaded — the previous model keeps serving.
+    pub fn poll(&mut self) -> io::Result<Option<(u64, u64)>> {
+        let active = match self.store.active_generation() {
+            Ok(Some(g)) => g,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if self.last == Some(active) {
+            return Ok(None);
+        }
+        let (_, saved) = self.store.load(active).map_err(io::Error::from)?;
+        let install_gen = self.registry.install(saved)?;
+        self.last = Some(active);
+        set_store_generation_gauge(active);
+        Ok(Some((active, install_gen)))
+    }
+
+    /// The store generation currently installed (if any).
+    pub fn installed_generation(&self) -> Option<u64> {
+        self.last
+    }
+}
+
+/// Record the store generation a serve process last installed on the
+/// process-global metrics registry, so scrapes carry it.
+fn set_store_generation_gauge(generation: u64) {
+    f2pm_obs::global()
+        .gauge(f2pm_registry::ACTIVE_GENERATION_METRIC)
+        .set_u64(generation);
 }
 
 fn check_width(saved: &SavedModel, columns: usize) -> io::Result<()> {
@@ -256,6 +336,63 @@ mod tests {
         persist::save(&linear(9.0, vec![0.0; width]), &path).unwrap();
         assert_eq!(reg.reload_from_file(&path).unwrap(), 2);
         assert_eq!(handle.predict_row(&vec![1.0; width]), 9.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_cold_start_and_watcher_follow_manifest() {
+        use f2pm_registry::ArtifactMeta;
+        let dir = std::env::temp_dir().join(format!("f2pm_store_watch_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ModelStore::open(&dir).unwrap();
+        let meta = ArtifactMeta {
+            method: "linear".to_string(),
+            created_at_unix: 0,
+            train_smae: 1.0,
+            agg: AggregationConfig::default(),
+            columns: test_columns(),
+        };
+
+        // Empty store: cold start refuses with a clear error.
+        assert!(ModelRegistry::from_store(&store).is_err());
+
+        store.publish(&meta, &linear(10.0, vec![0.0, 0.0])).unwrap();
+        let reg = ModelRegistry::from_store(&store).unwrap();
+        assert_eq!(reg.columns(), test_columns().as_slice());
+        let handle = reg.shared_model();
+        assert_eq!(handle.predict_row(&[0.0, 0.0]), 10.0);
+
+        let mut watcher =
+            StoreWatcher::new(ModelStore::open(&dir).unwrap(), Arc::clone(&reg), Some(1));
+        // Unchanged manifest: no reload, no generation bump.
+        assert!(watcher.poll().unwrap().is_none());
+        assert_eq!(reg.generation(), 1);
+
+        // Publish → watcher installs the new generation.
+        store.publish(&meta, &linear(20.0, vec![0.0, 0.0])).unwrap();
+        assert_eq!(watcher.poll().unwrap(), Some((2, 2)));
+        assert_eq!(handle.predict_row(&[0.0, 0.0]), 20.0);
+
+        // Rollback → manifest reverts, install generation still advances.
+        store.rollback(None).unwrap();
+        assert_eq!(watcher.poll().unwrap(), Some((1, 3)));
+        assert_eq!(handle.predict_row(&[0.0, 0.0]), 10.0);
+        assert_eq!(watcher.installed_generation(), Some(1));
+
+        // A corrupted active artifact errors but never displaces the
+        // serving model; the next good publish heals the watcher.
+        store.publish(&meta, &linear(30.0, vec![0.0, 0.0])).unwrap();
+        let path = dir.join(f2pm_registry::store::artifact_name(3));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 20;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(watcher.poll().is_err());
+        assert_eq!(handle.predict_row(&[0.0, 0.0]), 10.0);
+        store.publish(&meta, &linear(40.0, vec![0.0, 0.0])).unwrap();
+        assert_eq!(watcher.poll().unwrap(), Some((4, 4)));
+        assert_eq!(handle.predict_row(&[0.0, 0.0]), 40.0);
 
         std::fs::remove_dir_all(&dir).ok();
     }

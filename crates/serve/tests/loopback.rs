@@ -416,6 +416,100 @@ fn metrics_scrape_mid_load_and_after_hot_reload() {
     assert_eq!(snap.dropped, 0);
 }
 
+/// The artifact-store serving cycle end to end over real TCP: cold-start
+/// from a published generation, publish a new generation mid-load on an
+/// unreset connection, watch the scrape report the advance with zero
+/// drops, then roll the store back and watch the model revert — the
+/// *store* generation goes backwards while the *install* generation keeps
+/// climbing.
+#[test]
+fn store_publish_and_rollback_swap_models_on_live_connections() {
+    use f2pm_registry::{ArtifactMeta, ModelStore};
+    use f2pm_serve::StoreWatcher;
+
+    let dir = std::env::temp_dir().join(format!("f2pm_loopback_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = ModelStore::open(&dir).unwrap();
+    let meta = ArtifactMeta::new(
+        "linear",
+        agg(),
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        50.0,
+    );
+    store.publish(&meta, &linear(1000.0, -2.0)).unwrap();
+
+    // Cold start: the registry's whole input contract (columns, window)
+    // comes from the artifact, not from flags or a training pass.
+    let registry = ModelRegistry::from_store(&store).unwrap();
+    assert_eq!(registry.agg().window_s, 30.0);
+    let server = PredictionServer::start("127.0.0.1:0", ServeConfig::default(), registry).unwrap();
+    let mut watcher =
+        StoreWatcher::new(ModelStore::open(&dir).unwrap(), server.registry(), Some(1));
+    let mut client = V2Client::connect(server.addr(), 17);
+
+    let mut t = 0.0;
+    for _ in 0..8 {
+        client.send(&Message::Datapoint(dp(t, 100.0)));
+        t += 5.0;
+    }
+    let (_, rttf, generation) = client.wait_estimate();
+    assert_eq!((rttf, generation), (800.0, 1));
+
+    // Publish generation 2 while the connection keeps streaming.
+    store.publish(&meta, &linear(500.0, -1.0)).unwrap();
+    assert_eq!(watcher.poll().unwrap(), Some((2, 2)));
+    let mut saw_gen2 = false;
+    for _ in 0..30 {
+        client.send(&Message::Datapoint(dp(t, 100.0)));
+        t += 5.0;
+        let (_, rttf, generation) = client.wait_estimate();
+        if generation == 2 {
+            assert_eq!(rttf, 400.0);
+            saw_gen2 = true;
+            break;
+        }
+        assert_eq!(rttf, 800.0, "pre-reload estimates from generation 1");
+    }
+    assert!(saw_gen2, "never observed a generation-2 estimate");
+    let text = client.scrape();
+    assert_eq!(sample(&text, "f2pm_serve_model_generation "), Some(2.0));
+    assert_eq!(
+        sample(&text, "f2pm_registry_active_generation "),
+        Some(2.0),
+        "{text}"
+    );
+
+    // Roll back: the store generation reverts to 1, the install
+    // generation advances to 3, and the same connection sees the old
+    // model again — never reset, nothing dropped.
+    store.rollback(None).unwrap();
+    assert_eq!(watcher.poll().unwrap(), Some((1, 3)));
+    let mut saw_rollback = false;
+    for _ in 0..30 {
+        client.send(&Message::Datapoint(dp(t, 100.0)));
+        t += 5.0;
+        let (_, rttf, generation) = client.wait_estimate();
+        if generation == 3 {
+            assert_eq!(rttf, 800.0);
+            saw_rollback = true;
+            break;
+        }
+    }
+    assert!(saw_rollback, "never observed the rolled-back model");
+    let text = client.scrape();
+    assert_eq!(sample(&text, "f2pm_serve_model_generation "), Some(3.0));
+    assert_eq!(sample(&text, "f2pm_registry_active_generation "), Some(1.0));
+    // Artifact loads were timed on the same exposition.
+    let loads = sample(&text, "f2pm_registry_artifact_load_us_count ").unwrap_or(0.0);
+    assert!(loads >= 3.0, "cold start + 2 reloads timed, saw {loads}");
+
+    client.send(&Message::Bye);
+    let snap = server.shutdown();
+    assert_eq!(snap.dropped, 0);
+    assert_eq!(snap.total_accepted, 1, "one connection, never reset");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn v2_client_cannot_scrape_metrics() {
     let server = start_server(1);
