@@ -47,6 +47,74 @@ for path in ("target/BENCH_compute_smoke.json", "BENCH_compute.json"):
         assert ok, f"{path}: training[{key!r}] = {v!r} is not a positive finite number"
 print("training section OK")
 EOF
+# Columnar re-scoring engine + batch-predict regression gates. The
+# committed full-run bench must keep the tentpole claim — >=10x over the
+# row-oriented re-score loop on a >=2M-row history — while the smoke run
+# (tiny history, noisy CI box) gates loosely but still proves the whole
+# export -> scan -> aggregate path and the zone-map pruning work.
+python3 - <<'EOF'
+import json
+
+# predict_batch must never regress below the per-row loop (the serial
+# threshold keeps small batches off the thread pool); 5% timer headroom.
+# The section is named for its row count (predict_400 in smoke,
+# predict_2000 in the committed full run).
+for path in ("target/BENCH_compute_smoke.json", "BENCH_compute.json"):
+    j = json.load(open(path))
+    key = [k for k in j if k.startswith("predict_")]
+    assert len(key) == 1, f"{path}: predict sections: {key}"
+    p = j[key[0]]
+    for m in ("svr", "ls_svm"):
+        per_row, batch = p[f"{m}_per_row_s"], p[f"{m}_batch_s"]
+        # +250us absolute: smoke passes are sub-millisecond, where timer
+        # jitter alone exceeds the 5% ratio headroom.
+        assert batch <= per_row * 1.05 + 250e-6, (
+            f"{path}: {m} batch {batch:.6f}s slower than 1.05x per-row {per_row:.6f}s"
+        )
+
+for path, min_rows, min_speedup in (
+    ("target/BENCH_compute_smoke.json", 100_000, 3.0),
+    ("BENCH_compute.json", 2_000_000, 10.0),
+):
+    c = json.load(open(path)).get("columnar")
+    assert c is not None, f"{path}: no 'columnar' section"
+    assert c["rows"] >= min_rows, f"{path}: only {c['rows']} rows in the history"
+    assert c["row_rows_per_s"] > 0 and c["columnar_rows_per_s"] > 0, path
+    assert c["speedup"] >= min_speedup, (
+        f"{path}: columnar speedup {c['speedup']:.2f}x under the {min_speedup}x floor"
+    )
+    assert c["metrics_match"] is True, (
+        f"{path}: columnar aggregates diverged from the row-oriented pass"
+    )
+    assert c["chunks_pruned"] > 0, f"{path}: zone maps pruned no chunks"
+print("columnar + predict gates OK")
+EOF
+
+echo "==> f2pm query end-to-end (campaign -> train -> export-columnar -> query)"
+CIDIR=target/ci-columnar
+rm -rf "$CIDIR"; mkdir -p "$CIDIR"
+cargo run --release --offline -q -p f2pm-cli --bin f2pm -- campaign \
+    --runs 3 --seed 7 --quick --out "$CIDIR/history.csv"
+cargo run --release --offline -q -p f2pm-cli --bin f2pm -- train \
+    --history "$CIDIR/history.csv" --method linear --out "$CIDIR/model.txt"
+cargo run --release --offline -q -p f2pm-cli --bin f2pm -- export-columnar \
+    --history "$CIDIR/history.csv" --out "$CIDIR/history.f2pc" \
+    2>&1 | tee "$CIDIR/export.log"
+grep -q "^wrote .* rows" "$CIDIR/export.log"
+cargo run --release --offline -q -p f2pm-cli --bin f2pm -- query \
+    --store "$CIDIR/history.f2pc" --model "$CIDIR/model.txt" --cohort run \
+    >"$CIDIR/query.log" 2>&1
+grep -q "rows matched" "$CIDIR/query.log"
+grep -q "throughput:" "$CIDIR/query.log"
+grep -q "total" "$CIDIR/query.log"
+# A run-filtered query goes through the zone-map pruning path and must
+# report the scan/prune accounting line.
+cargo run --release --offline -q -p f2pm-cli --bin f2pm -- query \
+    --store "$CIDIR/history.f2pc" --model "$CIDIR/model.txt" --run 2 \
+    >"$CIDIR/query_run2.log" 2>&1
+grep -q "pruned by zone maps" "$CIDIR/query_run2.log"
+rm -rf "$CIDIR"
+echo "query CLI e2e OK"
 
 echo "==> serve loadgen smoke (reduced fleet, --sweep: 1 and 2 shards, 2k-conn reactor gate)"
 cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke --sweep \

@@ -32,6 +32,10 @@ USAGE:
   f2pm models   DIR (list | verify | rollback [--to GEN]
                      | import --model model.txt [--window SECS])
   f2pm stats    [--addr HOST:PORT] [--watch] [--interval SECS] [--count N]
+  f2pm export-columnar --history history.csv --out store.f2pc
+                [--window SECS] [--host ID] [--chunk-rows N]
+  f2pm query    --store store.f2pc --model model.txt [--run ID] [--host ID]
+                [--t-min SECS] [--t-max SECS] [--cohort run|host]
 
 METHODS (train): linear, rep_tree, m5p, svm, ls_svm
 
@@ -48,7 +52,11 @@ with `f2pm models DIR import --model model.txt`. `--reactors N` sizes the
 epoll event-loop pool that owns client connections (Linux; default: one
 per CPU; 0 falls back to one reader thread per connection). `stats`
 scrapes a running serve instance's Prometheus-style text exposition
-once, `--count N` times, or forever with `--watch`.";
+once, `--count N` times, or forever with `--watch`. `export-columnar`
+converts a history CSV into the checksummed columnar store format and
+`query` re-scores it against a saved model — zone maps prune chunks the
+filter cannot match, and errors stream into per-run (or per-host) MAE /
+S-MAE cohorts without ever materializing the history as rows.";
 
 /// Parse `--key value` pairs and bare `--flag`s.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -359,6 +367,99 @@ pub fn predict(args: &[String]) -> Result<(), String> {
             None => println!("{:>10.1} {:>16.1} {:>16}", p.t_repr, est, "-"),
         }
     }
+    Ok(())
+}
+
+/// `f2pm export-columnar`: convert a row-oriented history CSV into the
+/// checksummed columnar container (`F2PC`) that `f2pm query` scans.
+pub fn export_columnar(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let history_path = require(&flags, "history")?;
+    let out = require(&flags, "out")?;
+    let agg = aggregation_from(&flags)?;
+    let host_id: u64 = get_parsed(&flags, "host")?.unwrap_or(0);
+    let chunk_rows: usize =
+        get_parsed(&flags, "chunk-rows")?.unwrap_or(f2pm_features::DEFAULT_CHUNK_ROWS);
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be positive".to_string());
+    }
+
+    let history = load_csv(&history_path).map_err(|e| format!("reading {history_path}: {e}"))?;
+    let store = f2pm_features::ColumnStore::from_history(&history, &agg, host_id, chunk_rows)?;
+    if store.n_rows() == 0 {
+        return Err(format!(
+            "{history_path} produced no labeled aggregated rows (no failing runs?)"
+        ));
+    }
+    f2pm_registry::save_columns(&out, &store).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} rows x {} columns ({} chunks of {}) to {out}",
+        store.n_rows(),
+        store.n_columns(),
+        store.n_chunks(),
+        store.chunk_rows()
+    );
+    Ok(())
+}
+
+/// `f2pm query`: filtered, cohort-grouped offline re-scoring of a
+/// columnar history against a saved model.
+pub fn query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let store_path = require(&flags, "store")?;
+    let model_path = require(&flags, "model")?;
+    let filter = f2pm::QueryFilter {
+        run_id: get_parsed(&flags, "run")?,
+        host_id: get_parsed(&flags, "host")?,
+        t_min: get_parsed(&flags, "t-min")?,
+        t_max: get_parsed(&flags, "t-max")?,
+    };
+    let cohort = match flags.get("cohort").map(String::as_str).unwrap_or("run") {
+        "run" => f2pm::Cohort::Run,
+        "host" => f2pm::Cohort::Host,
+        other => return Err(format!("bad --cohort {other:?} (expected run or host)")),
+    };
+
+    let store = f2pm_registry::load_columns(&store_path)
+        .map_err(|e| format!("reading {store_path}: {e}"))?;
+    let saved = persist::load(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let report = f2pm::run_query(
+        &store,
+        saved.as_model(),
+        &filter,
+        cohort,
+        f2pm_ml::SMaeThreshold::paper_default(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "scanned {} chunks ({} pruned by zone maps): {} of {} rows matched",
+        report.chunks_scanned, report.chunks_pruned, report.rows_matched, report.rows_total
+    );
+    let key = cohort.key_column();
+    println!(
+        "{key:>8} {:>8} {:>14} {:>10} {:>10} {:>10}",
+        "n", "mean RTTF(s)", "MAE(s)", "S-MAE(s)", "max AE(s)"
+    );
+    for (k, s) in &report.cohorts {
+        println!(
+            "{k:>8} {:>8} {:>14.1} {:>10.1} {:>10.1} {:>10.1}",
+            s.n, s.mean_rttf, s.mae, s.smae, s.max_ae
+        );
+    }
+    if report.rows_matched > 0 {
+        let t = &report.total;
+        println!(
+            "{:>8} {:>8} {:>14.1} {:>10.1} {:>10.1} {:>10.1}",
+            "total", t.n, t.mean_rttf, t.mae, t.smae, t.max_ae
+        );
+    } else {
+        println!("no rows matched the filter");
+    }
+    println!(
+        "throughput: {:.0} rows/s ({:.4} s wall)",
+        report.rows_per_s, report.wall_s
+    );
     Ok(())
 }
 

@@ -10,6 +10,8 @@
 //! f2pm serve    --models-dir models/ --addr 0.0.0.0:7878
 //! f2pm models   models/ list
 //! f2pm stats    --addr 127.0.0.1:7878 --watch
+//! f2pm export-columnar --history history.csv --out store.f2pc
+//! f2pm query    --store store.f2pc --model model.txt --cohort run
 //! ```
 //!
 //! `campaign` collects data from the simulated testbed; `monitor` samples
@@ -22,7 +24,9 @@
 //! versioned binary model artifacts (list, verify checksums, roll back
 //! the active generation, import legacy text models); `stats` scrapes a
 //! running serve instance's Prometheus-style metrics exposition over the
-//! wire protocol (v3).
+//! wire protocol (v3); `export-columnar` converts a history CSV into the
+//! checksummed columnar store and `query` re-scores that store against a
+//! saved model with zone-map pruning and per-cohort error breakdowns.
 
 mod commands;
 
@@ -43,6 +47,8 @@ fn main() -> ExitCode {
         "serve" => commands::serve(rest),
         "models" => commands::models(rest),
         "stats" => commands::stats(rest),
+        "export-columnar" => commands::export_columnar(rest),
+        "query" => commands::query(rest),
         "--help" | "-h" | "help" => {
             println!("{}", commands::USAGE);
             return ExitCode::SUCCESS;

@@ -46,6 +46,7 @@ pub mod correlate;
 pub mod error;
 pub mod incremental;
 pub mod predictor;
+pub mod query;
 pub mod rejuvenation;
 pub mod report;
 pub mod workflow;
@@ -55,6 +56,7 @@ pub use correlate::{correlate_response_time, RtCorrelation, RtEstimator};
 pub use error::F2pmError;
 pub use incremental::{IncrementalConfig, IncrementalOutcome, IncrementalTrainer};
 pub use predictor::{predict_many, OnlinePredictor};
+pub use query::{run_query, Cohort, CohortStats, QueryFilter, QueryReport};
 pub use rejuvenation::{ProactiveRejuvenator, RejuvenationOutcome, RejuvenationPolicy};
 pub use report::{F2pmReport, VariantReport};
 pub use workflow::{run_workflow, run_workflow_on_history};

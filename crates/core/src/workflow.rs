@@ -191,11 +191,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(items.len())
-        .max(1);
+    let workers = f2pm_linalg::pool_threads().min(items.len()).max(1);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }

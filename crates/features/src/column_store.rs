@@ -1,0 +1,736 @@
+//! Columnar (struct-of-arrays) history store for offline re-scoring.
+//!
+//! The training and serving paths are row-oriented: a `DataHistory` of raw
+//! [`f2pm_monitor::Datapoint`]s is aggregated into `Vec<AggregatedPoint>`
+//! and every consumer materializes per-row `Vec<f64>` inputs. That layout
+//! is right for online prediction (one window at a time) but wrong for the
+//! offline-analytics workload — re-scoring millions of rows of fleet
+//! history in one pass — where the per-row allocation and row-major
+//! strides dominate the actual arithmetic.
+//!
+//! [`ColumnStore`] is the struct-of-arrays counterpart: each column is one
+//! contiguous array (features as `f32`, identifiers/time/labels as `f64`),
+//! logically split into fixed-size chunks. Every chunk carries a per-column
+//! min/max **zone map** so a query can skip whole chunks whose value range
+//! cannot match its predicate (run/host/time-range pruning) without
+//! touching the column data. Prediction consumes chunks through
+//! [`FeatureChunk`] views — `f2pm_ml`'s `predict_columns` either scores the
+//! columns directly (linear models) or gathers them into the existing
+//! allocation-free `predict_batch` path, never materializing per-row
+//! `Vec`s.
+//!
+//! The on-disk container for a store lives in `f2pm-registry`
+//! (`column_file`), reusing the registry's checksummed header discipline.
+
+use crate::aggregate::{aggregated_column_names_with, AggregationConfig};
+use crate::aggregate_run;
+use f2pm_linalg::Matrix;
+use f2pm_monitor::DataHistory;
+
+/// Default logical chunk size (rows). 4096 rows keep a full 30-column
+/// f32 chunk (~480 KiB) plus scratch inside L2 on typical parts, while
+/// amortizing per-chunk dispatch to nothing.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// Name of the run-identifier column ([`ColumnStore::from_history`] layout).
+pub const COL_RUN_ID: &str = "run_id";
+/// Name of the host-identifier column.
+pub const COL_HOST_ID: &str = "host_id";
+/// Name of the representative-time column (`t_repr` of the window).
+pub const COL_T: &str = "t";
+/// Name of the ground-truth RTTF label column.
+pub const COL_RTTF: &str = "rttf";
+
+/// Physical element type of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 32-bit float — feature columns, halving memory traffic. Pushed
+    /// values are rounded to the nearest `f32`; every read converts back
+    /// to `f64`, so all consumers see the same rounded value.
+    F32,
+    /// 64-bit float — identifiers, timestamps and labels, stored exact.
+    F64,
+}
+
+/// One column's values, contiguous across all chunks.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 32-bit storage.
+    F32(Vec<f32>),
+    /// 64-bit storage.
+    F64(Vec<f64>),
+}
+
+impl ColumnData {
+    fn with_type(ty: ColumnType) -> ColumnData {
+        match ty {
+            ColumnType::F32 => ColumnData::F32(Vec::new()),
+            ColumnType::F64 => ColumnData::F64(Vec::new()),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::F32(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical element type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::F32(_) => ColumnType::F32,
+            ColumnData::F64(_) => ColumnType::F64,
+        }
+    }
+
+    /// Read one value as `f64` (lossless for both storage types).
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            ColumnData::F32(v) => f64::from(v[i]),
+            ColumnData::F64(v) => v[i],
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        match self {
+            ColumnData::F32(vec) => vec.push(v as f32),
+            ColumnData::F64(vec) => vec.push(v),
+        }
+    }
+}
+
+/// A named column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name (unique within a store).
+    pub name: String,
+    /// The values.
+    pub data: ColumnData,
+}
+
+/// Per-chunk value range of one column. `min > max` encodes an empty
+/// range (never produced for non-empty chunks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneMap {
+    /// Minimum value in the chunk.
+    pub min: f64,
+    /// Maximum value in the chunk.
+    pub max: f64,
+}
+
+impl ZoneMap {
+    /// Whether the chunk's range intersects `[lo, hi]`.
+    pub fn overlaps(&self, lo: f64, hi: f64) -> bool {
+        self.max >= lo && self.min <= hi
+    }
+
+    /// Whether the chunk's range can contain `v`.
+    pub fn contains(&self, v: f64) -> bool {
+        self.overlaps(v, v)
+    }
+}
+
+/// A borrowed view of one column's values within one chunk.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSlice<'a> {
+    /// 32-bit values.
+    F32(&'a [f32]),
+    /// 64-bit values.
+    F64(&'a [f64]),
+}
+
+impl ColumnSlice<'_> {
+    /// Number of values in the slice.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnSlice::F32(s) => s.len(),
+            ColumnSlice::F64(s) => s.len(),
+        }
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read one value as `f64`.
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            ColumnSlice::F32(s) => f64::from(s[i]),
+            ColumnSlice::F64(s) => s[i],
+        }
+    }
+
+    /// Scatter the slice into `out` at a fixed stride:
+    /// `out[i * stride] = self[i]`. Used to gather a column chunk into a
+    /// row-major scratch block.
+    pub fn gather_into(&self, out: &mut [f64], stride: usize) {
+        match self {
+            ColumnSlice::F32(s) => {
+                for (i, &v) in s.iter().enumerate() {
+                    out[i * stride] = f64::from(v);
+                }
+            }
+            ColumnSlice::F64(s) => {
+                for (i, &v) in s.iter().enumerate() {
+                    out[i * stride] = v;
+                }
+            }
+        }
+    }
+}
+
+/// A set of same-length column slices forming the feature block of one
+/// chunk — the unit `f2pm_ml`'s `predict_columns` consumes.
+#[derive(Debug, Clone)]
+pub struct FeatureChunk<'a> {
+    len: usize,
+    cols: Vec<ColumnSlice<'a>>,
+}
+
+impl<'a> FeatureChunk<'a> {
+    /// Assemble a chunk from column slices.
+    ///
+    /// # Panics
+    /// Panics if any slice's length differs from `len`.
+    pub fn new(len: usize, cols: Vec<ColumnSlice<'a>>) -> FeatureChunk<'a> {
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), len, "column {j} length != chunk length");
+        }
+        FeatureChunk { len, cols }
+    }
+
+    /// Rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Borrow feature column `j`.
+    pub fn col(&self, j: usize) -> ColumnSlice<'a> {
+        self.cols[j]
+    }
+
+    /// Gather the chunk into a row-major `len × width` block, resizing
+    /// `out` to exactly that size. `f32` columns widen to `f64` here, so
+    /// a materialized row holds exactly the values every columnar reader
+    /// sees.
+    pub fn materialize_into(&self, out: &mut Vec<f64>) {
+        let w = self.width();
+        out.clear();
+        out.resize(self.len * w, 0.0);
+        for (j, c) in self.cols.iter().enumerate() {
+            c.gather_into(&mut out[j..], w);
+        }
+    }
+
+    /// Gather the chunk into a fresh row-major [`Matrix`].
+    pub fn materialize(&self) -> Matrix {
+        let mut buf = Vec::new();
+        self.materialize_into(&mut buf);
+        Matrix::from_vec(self.len, self.width(), buf)
+    }
+}
+
+/// A borrowed view of one chunk of a [`ColumnStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkRef<'a> {
+    store: &'a ColumnStore,
+    index: usize,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> ChunkRef<'a> {
+    /// Chunk index within the store.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Absolute row index of the chunk's first row.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Rows in this chunk (equal to the store's chunk size except for the
+    /// trailing chunk).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Borrow column `col`'s values within this chunk.
+    pub fn col(&self, col: usize) -> ColumnSlice<'a> {
+        match &self.store.columns[col].data {
+            ColumnData::F32(v) => ColumnSlice::F32(&v[self.start..self.end]),
+            ColumnData::F64(v) => ColumnSlice::F64(&v[self.start..self.end]),
+        }
+    }
+
+    /// Zone map of column `col` over this chunk.
+    pub fn zone(&self, col: usize) -> ZoneMap {
+        self.store.zones[self.index][col]
+    }
+
+    /// Borrow the given columns as a [`FeatureChunk`] (zero-copy).
+    pub fn features(&self, cols: &[usize]) -> FeatureChunk<'a> {
+        FeatureChunk::new(self.len(), cols.iter().map(|&j| self.col(j)).collect())
+    }
+}
+
+/// An immutable columnar table: named typed columns, fixed-size chunks,
+/// and per-chunk zone maps. Build one with [`ColumnStoreBuilder`] or
+/// [`ColumnStore::from_history`].
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    chunk_rows: usize,
+    n_rows: usize,
+    columns: Vec<Column>,
+    /// `zones[chunk][col]`.
+    zones: Vec<Vec<ZoneMap>>,
+}
+
+impl ColumnStore {
+    /// Assemble a store from finished columns, validating shape and
+    /// computing zone maps (one sequential pass). This is the loader-side
+    /// constructor — zone maps are derived data and are not persisted.
+    pub fn from_columns(chunk_rows: usize, columns: Vec<Column>) -> Result<ColumnStore, String> {
+        if chunk_rows == 0 {
+            return Err("chunk_rows must be positive".to_string());
+        }
+        if columns.is_empty() {
+            return Err("a store needs at least one column".to_string());
+        }
+        let n_rows = columns[0].data.len();
+        for c in &columns {
+            if c.data.len() != n_rows {
+                return Err(format!(
+                    "column {:?} has {} rows, expected {n_rows}",
+                    c.name,
+                    c.data.len()
+                ));
+            }
+        }
+        for (j, c) in columns.iter().enumerate() {
+            if columns[..j].iter().any(|p| p.name == c.name) {
+                return Err(format!("duplicate column name {:?}", c.name));
+            }
+        }
+        let mut store = ColumnStore {
+            chunk_rows,
+            n_rows,
+            columns,
+            zones: Vec::new(),
+        };
+        store.rebuild_zones();
+        Ok(store)
+    }
+
+    fn rebuild_zones(&mut self) {
+        let n_chunks = self.n_rows.div_ceil(self.chunk_rows);
+        let mut zones = Vec::with_capacity(n_chunks);
+        for c in 0..n_chunks {
+            let start = c * self.chunk_rows;
+            let end = (start + self.chunk_rows).min(self.n_rows);
+            let mut row = Vec::with_capacity(self.columns.len());
+            for col in &self.columns {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                match &col.data {
+                    ColumnData::F32(v) => {
+                        for &x in &v[start..end] {
+                            let x = f64::from(x);
+                            lo = lo.min(x);
+                            hi = hi.max(x);
+                        }
+                    }
+                    ColumnData::F64(v) => {
+                        for &x in &v[start..end] {
+                            lo = lo.min(x);
+                            hi = hi.max(x);
+                        }
+                    }
+                }
+                row.push(ZoneMap { min: lo, max: hi });
+            }
+            zones.push(row);
+        }
+        self.zones = zones;
+    }
+
+    /// Total rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Logical chunk size (rows).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of chunks (the trailing chunk may be short).
+    pub fn n_chunks(&self) -> usize {
+        self.n_rows.div_ceil(self.chunk_rows)
+    }
+
+    /// All columns, in layout order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Borrow column `j`.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Indices of the feature columns: every column except the
+    /// [`COL_RUN_ID`]/[`COL_HOST_ID`]/[`COL_T`]/[`COL_RTTF`] metadata
+    /// quartet, in layout order — the model input layout.
+    pub fn feature_column_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                !matches!(c.name.as_str(), COL_RUN_ID | COL_HOST_ID | COL_T | COL_RTTF)
+            })
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Borrow chunk `c`.
+    ///
+    /// # Panics
+    /// Panics if `c >= n_chunks()`.
+    pub fn chunk(&self, c: usize) -> ChunkRef<'_> {
+        assert!(c < self.n_chunks(), "chunk {c} out of range");
+        let start = c * self.chunk_rows;
+        ChunkRef {
+            store: self,
+            index: c,
+            start,
+            end: (start + self.chunk_rows).min(self.n_rows),
+        }
+    }
+
+    /// Iterate over all chunks in order.
+    pub fn chunks(&self) -> impl Iterator<Item = ChunkRef<'_>> {
+        (0..self.n_chunks()).map(|c| self.chunk(c))
+    }
+
+    /// Gather the given columns of the whole store into a row-major
+    /// [`Matrix`] — the row-oriented equivalent the equivalence tests and
+    /// baselines score against.
+    pub fn materialize(&self, cols: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows, cols.len());
+        for (out_j, &j) in cols.iter().enumerate() {
+            let col = &self.columns[j].data;
+            for i in 0..self.n_rows {
+                m[(i, out_j)] = col.get(i);
+            }
+        }
+        m
+    }
+
+    /// Convert a row-oriented run-log history into a columnar store.
+    ///
+    /// Every labeled (failing) run is aggregated with `agg` and its
+    /// windows become rows; censored runs produce nothing (they have no
+    /// RTTF label), matching [`crate::aggregate_history`]. The layout is
+    /// `run_id, host_id, t, rttf` (all `f64`) followed by the aggregated
+    /// feature columns of [`aggregated_column_names_with`] (all `f32`).
+    /// `run_id` is the run's index in `history.runs()`; `host_id` tags
+    /// every row with the supplied fleet identifier.
+    pub fn from_history(
+        history: &DataHistory,
+        agg: &AggregationConfig,
+        host_id: u64,
+        chunk_rows: usize,
+    ) -> Result<ColumnStore, String> {
+        let feature_names = aggregated_column_names_with(agg);
+        let mut specs: Vec<(&str, ColumnType)> = vec![
+            (COL_RUN_ID, ColumnType::F64),
+            (COL_HOST_ID, ColumnType::F64),
+            (COL_T, ColumnType::F64),
+            (COL_RTTF, ColumnType::F64),
+        ];
+        specs.extend(feature_names.iter().map(|n| (n.as_str(), ColumnType::F32)));
+        let mut b = ColumnStoreBuilder::with_chunk_rows(&specs, chunk_rows);
+
+        let mut row = Vec::with_capacity(specs.len());
+        for (run_id, run) in history.runs().iter().enumerate() {
+            if run.fail_time.is_none() {
+                continue;
+            }
+            for p in aggregate_run(run, agg) {
+                let Some(rttf) = p.rttf else { continue };
+                row.clear();
+                row.extend_from_slice(&[run_id as f64, host_id as f64, p.t_repr, rttf]);
+                row.extend_from_slice(&p.inputs_with(agg));
+                b.push_row(&row);
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Row-at-a-time builder for a [`ColumnStore`].
+#[derive(Debug)]
+pub struct ColumnStoreBuilder {
+    chunk_rows: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnStoreBuilder {
+    /// Start a store with the default chunk size.
+    pub fn new(specs: &[(&str, ColumnType)]) -> ColumnStoreBuilder {
+        ColumnStoreBuilder::with_chunk_rows(specs, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Start a store with an explicit chunk size.
+    ///
+    /// # Panics
+    /// Panics if `chunk_rows` is zero or `specs` is empty.
+    pub fn with_chunk_rows(specs: &[(&str, ColumnType)], chunk_rows: usize) -> ColumnStoreBuilder {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        assert!(!specs.is_empty(), "a store needs at least one column");
+        ColumnStoreBuilder {
+            chunk_rows,
+            columns: specs
+                .iter()
+                .map(|&(name, ty)| Column {
+                    name: name.to_string(),
+                    data: ColumnData::with_type(ty),
+                })
+                .collect(),
+        }
+    }
+
+    /// Append one row (values in column order; `f32` columns round).
+    ///
+    /// # Panics
+    /// Panics on width mismatch or non-finite values — both are
+    /// programming errors upstream (aggregated features are always
+    /// finite), and a NaN in a column would poison its zone map.
+    pub fn push_row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        for (c, &v) in self.columns.iter_mut().zip(values) {
+            assert!(v.is_finite(), "non-finite value in column {:?}", c.name);
+            c.data.push(v);
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.columns[0].data.len()
+    }
+
+    /// Finish: compute zone maps and freeze the store.
+    pub fn finish(self) -> Result<ColumnStore, String> {
+        ColumnStore::from_columns(self.chunk_rows, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_monitor::Datapoint;
+
+    fn tiny_store(rows: usize, chunk_rows: usize) -> ColumnStore {
+        let mut b = ColumnStoreBuilder::with_chunk_rows(
+            &[
+                (COL_RUN_ID, ColumnType::F64),
+                (COL_T, ColumnType::F64),
+                ("a", ColumnType::F32),
+                ("b", ColumnType::F64),
+            ],
+            chunk_rows,
+        );
+        for i in 0..rows {
+            let run = (i / 10) as f64;
+            b.push_row(&[run, i as f64, (i as f64 * 0.3).sin(), i as f64 * 2.0]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_shapes_and_chunking() {
+        let s = tiny_store(25, 8);
+        assert_eq!(s.n_rows(), 25);
+        assert_eq!(s.n_chunks(), 4);
+        assert_eq!(s.chunk(0).len(), 8);
+        assert_eq!(s.chunk(3).len(), 1);
+        assert_eq!(s.chunk(3).start(), 24);
+        let total: usize = s.chunks().map(|c| c.len()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(s.column_index("b"), Some(3));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn f32_columns_round_and_reads_agree() {
+        let s = tiny_store(10, 4);
+        let j = s.column_index("a").unwrap();
+        for (c, chunk) in s.chunks().enumerate() {
+            let slice = chunk.col(j);
+            for i in 0..chunk.len() {
+                let global = c * 4 + i;
+                let expected = f64::from((global as f64 * 0.3).sin() as f32);
+                assert_eq!(slice.get(i), expected);
+                assert_eq!(s.column(j).data.get(global), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn zone_maps_bound_chunk_values() {
+        let s = tiny_store(30, 7);
+        for chunk in s.chunks() {
+            for j in 0..s.n_columns() {
+                let z = chunk.zone(j);
+                let col = chunk.col(j);
+                for i in 0..chunk.len() {
+                    let v = col.get(i);
+                    assert!(z.min <= v && v <= z.max, "zone must bound values");
+                }
+                assert!(z.contains(col.get(0)));
+            }
+        }
+        // run_id zones partition cleanly: chunk 0 covers rows 0..7 → runs 0.
+        let rz = s.chunk(0).zone(0);
+        assert_eq!((rz.min, rz.max), (0.0, 0.0));
+        assert!(!rz.contains(2.0));
+        assert!(rz.overlaps(-1.0, 0.5));
+        assert!(!rz.overlaps(0.5, 3.0));
+    }
+
+    #[test]
+    fn feature_chunk_materializes_row_major() {
+        let s = tiny_store(9, 4);
+        let cols = vec![s.column_index("a").unwrap(), s.column_index("b").unwrap()];
+        let chunk = s.chunk(1);
+        let fc = chunk.features(&cols);
+        assert_eq!((fc.len(), fc.width()), (4, 2));
+        let m = fc.materialize();
+        for i in 0..4 {
+            assert_eq!(m[(i, 0)], fc.col(0).get(i));
+            assert_eq!(m[(i, 1)], fc.col(1).get(i));
+        }
+        // Whole-store materialization agrees with per-chunk views.
+        let full = s.materialize(&cols);
+        for i in 0..4 {
+            assert_eq!(full.row(4 + i), m.row(i));
+        }
+    }
+
+    #[test]
+    fn feature_column_indices_skip_metadata() {
+        let s = tiny_store(5, 4);
+        assert_eq!(s.feature_column_indices(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_validates_width() {
+        let mut b = ColumnStoreBuilder::new(&[("x", ColumnType::F64)]);
+        b.push_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn push_row_rejects_nan() {
+        let mut b = ColumnStoreBuilder::new(&[("x", ColumnType::F64)]);
+        b.push_row(&[f64::NAN]);
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let c = |name: &str, vals: Vec<f64>| Column {
+            name: name.to_string(),
+            data: ColumnData::F64(vals),
+        };
+        assert!(ColumnStore::from_columns(0, vec![c("x", vec![1.0])]).is_err());
+        assert!(ColumnStore::from_columns(4, vec![]).is_err());
+        assert!(
+            ColumnStore::from_columns(4, vec![c("x", vec![1.0]), c("y", vec![1.0, 2.0])]).is_err()
+        );
+        assert!(ColumnStore::from_columns(4, vec![c("x", vec![1.0]), c("x", vec![2.0])]).is_err());
+        assert!(ColumnStore::from_columns(4, vec![c("x", vec![1.0])]).is_ok());
+    }
+
+    #[test]
+    fn from_history_matches_aggregate_history() {
+        let mut h = DataHistory::new();
+        // Two failing runs and one censored trailing run.
+        for run in 0..2 {
+            for i in 0..40 {
+                h.push_datapoint(Datapoint {
+                    t_gen: i as f64 * 1.5,
+                    values: [run as f64 + i as f64 * 0.1; 14],
+                });
+            }
+            h.push_fail(70.0);
+        }
+        for i in 0..10 {
+            h.push_datapoint(Datapoint {
+                t_gen: i as f64,
+                values: [0.0; 14],
+            });
+        }
+        let agg = AggregationConfig::default();
+        let store = ColumnStore::from_history(&h, &agg, 9, 16).unwrap();
+        let points = crate::aggregate_history(&h, &agg);
+        assert_eq!(store.n_rows(), points.len());
+        assert_eq!(store.n_columns(), 4 + 30);
+
+        let feat = store.feature_column_indices();
+        assert_eq!(feat.len(), 30);
+        let m = store.materialize(&feat);
+        let t_col = store.column(store.column_index(COL_T).unwrap());
+        let rttf_col = store.column(store.column_index(COL_RTTF).unwrap());
+        let host_col = store.column(store.column_index(COL_HOST_ID).unwrap());
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(t_col.data.get(i), p.t_repr);
+            assert_eq!(rttf_col.data.get(i), p.rttf.unwrap());
+            assert_eq!(host_col.data.get(i), 9.0);
+            for (j, v) in p.inputs_with(&agg).iter().enumerate() {
+                // Features are f32-rounded in the store.
+                assert_eq!(m[(i, j)], f64::from(*v as f32));
+            }
+        }
+        // run_id column is non-decreasing and skips no labeled run.
+        let run_col = store.column(store.column_index(COL_RUN_ID).unwrap());
+        let ids: Vec<f64> = (0..store.n_rows()).map(|i| run_col.data.get(i)).collect();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ids.first(), Some(&0.0));
+        assert_eq!(ids.last(), Some(&1.0));
+    }
+}

@@ -18,12 +18,17 @@
 //!    Table I).
 
 pub mod aggregate;
+pub mod column_store;
 pub mod dataset;
 pub mod lasso;
 pub mod select;
 pub mod select_data;
 
 pub use aggregate::{aggregate_history, aggregate_run, AggregatedPoint, AggregationConfig};
+pub use column_store::{
+    ChunkRef, Column, ColumnData, ColumnSlice, ColumnStore, ColumnStoreBuilder, ColumnType,
+    FeatureChunk, ZoneMap, COL_HOST_ID, COL_RTTF, COL_RUN_ID, COL_T, DEFAULT_CHUNK_ROWS,
+};
 pub use dataset::{Dataset, KFold};
 pub use lasso::{LassoProblem, LassoSolution, LassoSolverConfig};
 pub use select::{lasso_path, paper_lambda_grid, LassoPathPoint, SelectionReport};

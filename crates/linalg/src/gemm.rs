@@ -40,16 +40,13 @@ pub const PARALLEL_MIN_ELEMS: usize = 64 * 1024;
 
 /// Worker count for a kernel producing `elems` output elements across
 /// `rows` distributable rows: 1 below [`PARALLEL_MIN_ELEMS`], otherwise
-/// the machine's available parallelism capped by the row count.
+/// the effective pool width ([`crate::pool_threads`]) capped by the row
+/// count.
 pub fn worker_count(rows: usize, elems: usize) -> usize {
     if elems < PARALLEL_MIN_ELEMS || rows < 2 {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(rows)
-        .max(1)
+    crate::pool_threads().min(rows).max(1)
 }
 
 /// Cache-blocked matrix product `A B`, parallel over output row bands.

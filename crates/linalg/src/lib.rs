@@ -38,6 +38,7 @@ mod gemm;
 mod matrix;
 mod qr;
 mod stats;
+mod threads;
 mod vector;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
@@ -50,6 +51,7 @@ pub use gemm::{
 pub use matrix::Matrix;
 pub use qr::{lstsq, residual_norm, QrFactorization};
 pub use stats::{mean, variance, ColumnStats, Standardizer};
+pub use threads::pool_threads;
 pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};
 
 /// Result alias used throughout the crate.

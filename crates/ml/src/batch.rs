@@ -19,10 +19,20 @@
 use crate::kernel::Kernel;
 use f2pm_linalg::{Matrix, Standardizer};
 
-/// Row count above which [`kernel_predict_batch`] fans out over threads.
-/// Below it, one kernel-model row costs `support.rows()` kernel
-/// evaluations (typically well under 50 µs total) — not worth a spawn.
+/// Row count above which [`kernel_predict_batch`] *considers* fanning
+/// out over threads. Below it, one kernel-model row costs
+/// `support.rows()` kernel evaluations (typically well under 50 µs
+/// total) — not worth a spawn.
 pub(crate) const PREDICT_PARALLEL_THRESHOLD: usize = 128;
+
+/// Serial threshold on total work: rows × support vectors must clear
+/// this many kernel evaluations before the batch path spawns workers.
+/// The `predict_2000` bench showed batch scoring *slower* than the
+/// per-row loop at moderate sizes — spawn/join plus band bookkeeping
+/// cost more than they bought — so fan-out now requires the work to
+/// dwarf the ~10 µs/thread spawn overhead (≥ 2²¹ evaluations ≈ several
+/// milliseconds of scoring).
+pub(crate) const PREDICT_PARALLEL_MIN_EVALS: usize = 1 << 21;
 
 /// Stack scratch width for single-row prediction. The paper's aggregated
 /// layouts are 30 columns (44 with stddev features); anything wider falls
@@ -73,23 +83,37 @@ pub(crate) fn kernel_predict_batch(
         return out;
     }
     let score_band = |first: usize, band: &mut [f64]| {
-        // Per-thread scratch, reused across the band's rows.
-        let mut z = vec![0.0; x.cols()];
+        // Per-thread scratch, reused across the band's rows. Stack-backed
+        // at the paper's widths so the serial path costs exactly what the
+        // per-row loop does (a heap Vec here measured ~7% slower at 2000
+        // rows — the whole predict_2000 regression).
+        let mut stack = [0.0_f64; ROW_SCRATCH_WIDTH];
+        let mut heap = vec![
+            0.0;
+            if x.cols() > ROW_SCRATCH_WIDTH {
+                x.cols()
+            } else {
+                0
+            }
+        ];
+        let z: &mut [f64] = if x.cols() <= ROW_SCRATCH_WIDTH {
+            &mut stack[..x.cols()]
+        } else {
+            &mut heap
+        };
         for (local, slot) in band.iter_mut().enumerate() {
             z.copy_from_slice(x.row(first + local));
-            standardizer.transform_row(&mut z);
+            standardizer.transform_row(z);
             let mut acc = bias;
             for (i, c) in coeffs.iter().enumerate() {
-                acc += c * kernel.eval(&z, support.row(i));
+                acc += c * kernel.eval(z, support.row(i));
             }
             *slot = acc;
         }
     };
-    let workers = if n >= PREDICT_PARALLEL_THRESHOLD {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n)
+    let evals = n.saturating_mul(support.rows());
+    let workers = if n >= PREDICT_PARALLEL_THRESHOLD && evals >= PREDICT_PARALLEL_MIN_EVALS {
+        f2pm_linalg::pool_threads().min(n)
     } else {
         1
     };

@@ -24,7 +24,11 @@ impl SMaeThreshold {
         SMaeThreshold::Relative(0.10)
     }
 
-    fn tolerance(&self, actual: f64) -> f64 {
+    /// The error tolerance for one observation: errors below it count as
+    /// zero toward the soft MAE. Public so streaming aggregators (the
+    /// columnar query engine) share the exact computation
+    /// [`Metrics::compute`] uses.
+    pub fn tolerance(&self, actual: f64) -> f64 {
         match self {
             SMaeThreshold::Absolute(t) => *t,
             SMaeThreshold::Relative(f) => f * actual.abs(),

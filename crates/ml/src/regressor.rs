@@ -1,6 +1,7 @@
 //! The object-safe `Regressor` / `Model` interface.
 
 use crate::MlError;
+use f2pm_features::FeatureChunk;
 use f2pm_linalg::Matrix;
 
 /// A fitted prediction model: maps a feature row to a predicted RTTF.
@@ -34,6 +35,56 @@ pub trait Model: Send + Sync {
         check_batch_width(self.width(), x)?;
         Ok((0..x.rows()).map(|i| self.predict_row(x.row(i))).collect())
     }
+
+    /// Predict one columnar chunk (struct-of-arrays) into `out`.
+    ///
+    /// `chunk.width()` must equal [`Model::width`] and `out.len()` must
+    /// equal `chunk.len()`. The default gathers the chunk into a reused
+    /// row-major block (`scratch` is emptied and refilled so one buffer
+    /// amortizes across every chunk of a scan) and routes it through
+    /// [`Model::predict_batch`] — bit-identical to materializing the rows
+    /// by construction. The linear model overrides this with a
+    /// column-at-a-time kernel that skips the gather entirely; the
+    /// `columnar_equivalence` suite pins every override to `==` against
+    /// the materialized-row path.
+    fn predict_columns(
+        &self,
+        chunk: &FeatureChunk<'_>,
+        scratch: &mut Vec<f64>,
+        out: &mut [f64],
+    ) -> Result<(), MlError> {
+        check_chunk(self.width(), chunk, out)?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        chunk.materialize_into(scratch);
+        let x = Matrix::from_vec(chunk.len(), chunk.width(), std::mem::take(scratch));
+        let result = self.predict_batch(&x);
+        *scratch = x.into_vec();
+        out.copy_from_slice(&result?);
+        Ok(())
+    }
+}
+
+/// Shared shape validation for `predict_columns` implementations.
+pub(crate) fn check_chunk(
+    width: usize,
+    chunk: &FeatureChunk<'_>,
+    out: &[f64],
+) -> Result<(), MlError> {
+    if chunk.width() != width {
+        return Err(MlError::WidthMismatch {
+            expected: width,
+            got: chunk.width(),
+        });
+    }
+    if out.len() != chunk.len() {
+        return Err(MlError::WidthMismatch {
+            expected: chunk.len(),
+            got: out.len(),
+        });
+    }
+    Ok(())
 }
 
 /// Shared width validation for `predict_batch` implementations.
@@ -116,6 +167,28 @@ mod tests {
         let x = Matrix::zeros(4, 2);
         assert_eq!(m.predict_batch(&x).unwrap(), vec![2.0; 4]);
         assert!(m.predict_batch(&Matrix::zeros(4, 3)).is_err());
+    }
+
+    #[test]
+    fn predict_columns_default_gathers_through_batch() {
+        use f2pm_features::ColumnSlice;
+
+        let m = ConstModel(7.5, 2);
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f64, 5.0, 6.0];
+        let chunk = FeatureChunk::new(3, vec![ColumnSlice::F32(&a), ColumnSlice::F64(&b)]);
+        let mut scratch = Vec::new();
+        let mut out = [0.0; 3];
+        m.predict_columns(&chunk, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, [7.5; 3]);
+        // The scratch buffer came back sized for reuse.
+        assert_eq!(scratch.len(), 6);
+
+        // Shape violations are typed errors.
+        let narrow = FeatureChunk::new(3, vec![ColumnSlice::F32(&a)]);
+        assert!(m.predict_columns(&narrow, &mut scratch, &mut out).is_err());
+        let mut short = [0.0; 2];
+        assert!(m.predict_columns(&chunk, &mut scratch, &mut short).is_err());
     }
 
     #[test]

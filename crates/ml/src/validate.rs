@@ -110,11 +110,7 @@ pub fn evaluate_grid(
     // Model fits are heavyweight (whole solves), so unlike the linalg
     // kernels there is no minimum-size gate — one worker per core, capped
     // by the task count.
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(tasks.len())
-        .max(1);
+    let workers = f2pm_linalg::pool_threads().min(tasks.len()).max(1);
     let next = AtomicUsize::new(0);
 
     let mut flat: Vec<Option<Result<ModelReport, MlError>>> =

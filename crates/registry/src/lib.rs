@@ -17,6 +17,10 @@
 //!   header+metadata and payload so corruption is detected *before* any
 //!   deserialization. Floats travel as IEEE bit patterns — save → load →
 //!   `predict_batch` is bit-exact.
+//! - **[`column_file`]** — the same container discipline (magic `F2PC`,
+//!   version, checksummed metadata + payload) applied to the columnar
+//!   datapoint history of DESIGN.md §13, so `f2pm export-columnar` /
+//!   `f2pm query` get torn-write detection for free.
 //! - **[`store`]** — a registry directory of numbered generation
 //!   artifacts plus a `MANIFEST` naming the active generation. Publish
 //!   writes artifact → fsync → atomic rename, then swings the manifest
@@ -32,9 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod column_file;
 pub mod store;
 
 pub use artifact::{ArtifactMeta, FORMAT_VERSION, MAGIC};
+pub use column_file::{
+    decode_columns, encode_columns, load_columns, save_columns, COLUMNS_FORMAT_VERSION,
+    COLUMNS_MAGIC,
+};
 pub use store::{GenerationInfo, ModelStore, VerifyReport};
 
 use std::fmt;

@@ -1,0 +1,135 @@
+//! Adversarial columnar-container tests: every corruption of an `F2PC`
+//! file must surface as a typed [`RegistryError`] — never a panic, never
+//! a silently-wrong history.
+//!
+//! Mirrors `corruption.rs` for the model artifact format: exhaustive
+//! bit-flip and truncation sweeps over a small but structurally complete
+//! fixture (multiple chunks, both column types, alignment padding).
+
+use f2pm_features::{ColumnStoreBuilder, ColumnType, COL_HOST_ID, COL_RTTF, COL_RUN_ID, COL_T};
+use f2pm_registry::column_file::{
+    decode_columns, encode_columns, COLUMNS_FORMAT_VERSION, COLUMNS_MAGIC,
+};
+use f2pm_registry::RegistryError;
+
+/// A small store exercising every structural feature: f64 metadata
+/// columns, f32 feature columns (so alignment padding appears between
+/// columns), a partial final chunk, negative and large values.
+fn fixture() -> Vec<u8> {
+    let mut b = ColumnStoreBuilder::with_chunk_rows(
+        &[
+            (COL_RUN_ID, ColumnType::F64),
+            (COL_HOST_ID, ColumnType::F64),
+            (COL_T, ColumnType::F64),
+            (COL_RTTF, ColumnType::F64),
+            ("mem_used", ColumnType::F32),
+            ("swap_used_slope", ColumnType::F32),
+        ],
+        8,
+    );
+    for i in 0..21 {
+        b.push_row(&[
+            (i / 8) as f64,
+            7.0,
+            i as f64 * 5.0,
+            4000.0 - i as f64 * 5.0,
+            (i as f64 * 0.61).sin() * 1e6,
+            -3.25 + i as f64,
+        ]);
+    }
+    let bytes = encode_columns(&b.finish().unwrap());
+    decode_columns(&bytes).expect("fixture must be valid");
+    bytes
+}
+
+#[test]
+fn bit_flips_anywhere_are_rejected_typed() {
+    let clean = fixture();
+    for mask in [0x01u8, 0x80, 0xff] {
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= mask;
+            match decode_columns(&bytes) {
+                Err(
+                    RegistryError::BadMagic
+                    | RegistryError::UnsupportedVersion { .. }
+                    | RegistryError::Truncated { .. }
+                    | RegistryError::ChecksumMismatch { .. }
+                    | RegistryError::Malformed(_),
+                ) => {}
+                Err(other) => {
+                    panic!("byte {i} mask {mask:#x}: unexpected error class: {other}")
+                }
+                Ok(_) => panic!("byte {i} mask {mask:#x}: corruption decoded successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected() {
+    let clean = fixture();
+    for len in 0..clean.len() {
+        match decode_columns(&clean[..len]) {
+            Err(RegistryError::BadMagic | RegistryError::Truncated { .. }) => {}
+            Err(RegistryError::ChecksumMismatch { section }) => panic!(
+                "truncation to {len} reported as {section} checksum mismatch — \
+                 length checks must come first"
+            ),
+            Err(other) => panic!("truncation to {len}: unexpected error class: {other}"),
+            Ok(_) => panic!("truncation to {len} decoded successfully"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_before_anything_else() {
+    let mut bytes = fixture();
+    for (a, b) in COLUMNS_MAGIC.iter().zip(b"PNG\0") {
+        assert_ne!(a, b);
+    }
+    bytes[..4].copy_from_slice(b"PNG\0");
+    assert!(matches!(
+        decode_columns(&bytes),
+        Err(RegistryError::BadMagic)
+    ));
+    // A model artifact handed to the columnar loader is BadMagic too —
+    // the two containers share the discipline but not the magic, so a
+    // swapped `--store`/`--model` flag fails loudly, not weirdly.
+    assert!(matches!(
+        decode_columns(b"F2PM rest of a model artifact"),
+        Err(RegistryError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_format_version_is_rejected_with_upgrade_message() {
+    let mut bytes = fixture();
+    let future = COLUMNS_FORMAT_VERSION + 1;
+    bytes[4..8].copy_from_slice(&future.to_le_bytes());
+    match decode_columns(&bytes) {
+        Err(e @ RegistryError::UnsupportedVersion { found }) => {
+            assert_eq!(found, future);
+            let msg = e.to_string();
+            assert!(
+                msg.contains("newer") && msg.contains("upgrade"),
+                "version error must tell the operator what to do: {msg}"
+            );
+        }
+        Err(e) => panic!("expected UnsupportedVersion, got {e}"),
+        Ok(_) => panic!("future version decoded successfully"),
+    }
+}
+
+#[test]
+fn payload_tail_corruption_is_checksum_mismatch() {
+    let clean = fixture();
+    let mut bytes = clean.clone();
+    let i = bytes.len() - 12; // inside the payload, before its CRC
+    bytes[i] ^= 0x40;
+    match decode_columns(&bytes) {
+        Err(RegistryError::ChecksumMismatch { section }) => assert_eq!(section, "payload"),
+        Err(e) => panic!("expected payload checksum mismatch, got {e}"),
+        Ok(_) => panic!("corrupt payload decoded successfully"),
+    }
+}

@@ -1,0 +1,133 @@
+//! Columnar scoring equivalence: `Model::predict_columns` over a
+//! [`ColumnStore`]'s chunks must be bit-identical to `predict_batch` over
+//! the same rows materialized row-major — for every persistable model
+//! type, every chunk-size edge (1, odd, partial final chunk), and both
+//! column precisions. The columnar kernels replicate the row path's
+//! per-coordinate accumulation order, so equality is exact, not a
+//! tolerance.
+
+use f2pm_repro::f2pm_features::{
+    ColumnStoreBuilder, ColumnType, COL_HOST_ID, COL_RTTF, COL_RUN_ID, COL_T,
+};
+use f2pm_repro::f2pm_linalg::Matrix;
+use f2pm_repro::f2pm_ml::{
+    Kernel, LsSvmRegressor, M5Params, M5Prime, Model, RepTree, RepTreeParams, SavedModel,
+    SvrParams, SvrRegressor,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const WIDTH: usize = 12;
+
+/// Deterministic training design; the models are fixtures, the *scoring*
+/// inputs are the proptest-generated part.
+fn design(n: usize) -> (Matrix, Vec<f64>) {
+    let mut x = Matrix::zeros(n, WIDTH);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..WIDTH {
+            let v = ((i * WIDTH + j) as f64 * 0.29).sin() * 2.5;
+            x[(i, j)] = v;
+            acc += v * (j as f64 + 1.0) * 0.4;
+        }
+        y.push(acc + (i as f64 * 0.17).cos() * 8.0 + 60.0);
+    }
+    (x, y)
+}
+
+/// One fitted model per [`SavedModel`] variant, fitted once per process.
+fn models() -> &'static [SavedModel] {
+    static MODELS: OnceLock<Vec<SavedModel>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let (x, y) = design(90);
+        vec![
+            SavedModel::Linear(
+                f2pm_repro::f2pm_ml::linreg::LinearModel::fit(&x, &y).expect("linear"),
+            ),
+            SavedModel::RepTree(
+                RepTree::new(RepTreeParams::default())
+                    .fit_tree(&x, &y)
+                    .expect("rep_tree"),
+            ),
+            SavedModel::M5(
+                M5Prime::new(M5Params::default())
+                    .fit_m5(&x, &y)
+                    .expect("m5p"),
+            ),
+            SavedModel::Svr(
+                SvrRegressor::new(SvrParams {
+                    kernel: Kernel::Rbf { gamma: 0.2 },
+                    ..SvrParams::default()
+                })
+                .fit_svr(&x, &y)
+                .expect("svr"),
+            ),
+            SavedModel::LsSvm(
+                LsSvmRegressor::new(Kernel::Rbf { gamma: 0.2 }, 10.0)
+                    .fit_lssvm(&x, &y)
+                    .expect("ls_svm"),
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn predict_columns_is_bit_identical_to_batch(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1000.0f64..1000.0, WIDTH),
+            1usize..80,
+        ),
+        chunk_rows in (0usize..4).prop_map(|i| [1usize, 3, 7, 64][i]),
+        as_f32 in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        // Row-major input -> columnar store (metadata columns + features),
+        // covering chunk sizes that force single-row, odd, and partial
+        // final chunks, in both the store's native f32 feature precision
+        // and full f64.
+        let ty = if as_f32 { ColumnType::F32 } else { ColumnType::F64 };
+        let names: Vec<String> = (0..WIDTH).map(|j| format!("f{j}")).collect();
+        let mut spec: Vec<(&str, ColumnType)> = vec![
+            (COL_RUN_ID, ColumnType::F64),
+            (COL_HOST_ID, ColumnType::F64),
+            (COL_T, ColumnType::F64),
+            (COL_RTTF, ColumnType::F64),
+        ];
+        spec.extend(names.iter().map(|n| (n.as_str(), ty)));
+        let mut b = ColumnStoreBuilder::with_chunk_rows(&spec, chunk_rows);
+        for (i, row) in rows.iter().enumerate() {
+            let mut full = vec![0.0, 0.0, i as f64 * 10.0, 1000.0 - i as f64];
+            full.extend_from_slice(row);
+            b.push_row(&full);
+        }
+        let store = b.finish().expect("store");
+        let feats = store.feature_column_indices();
+        prop_assert_eq!(feats.len(), WIDTH);
+
+        for saved in models() {
+            let model: &dyn Model = saved.as_model();
+            let mut scratch = Vec::new();
+            for c in 0..store.n_chunks() {
+                let chunk = store.chunk(c).features(&feats);
+                let mut out = vec![0.0; chunk.len()];
+                model
+                    .predict_columns(&chunk, &mut scratch, &mut out)
+                    .expect("predict_columns");
+                // Materializing the chunk yields exactly the values the
+                // columnar kernel saw (f32 columns round on insert, not
+                // on read), so the row path scores identical inputs.
+                let mat = chunk.materialize();
+                let batch = model.predict_batch(&mat).expect("predict_batch");
+                for i in 0..chunk.len() {
+                    prop_assert!(
+                        out[i] == batch[i] || (out[i].is_nan() && batch[i].is_nan()),
+                        "{}: chunk {} row {}: columnar {} != batch {}",
+                        saved.kind(), c, i, out[i], batch[i],
+                    );
+                }
+            }
+        }
+    }
+}
