@@ -116,9 +116,9 @@ grep -q "pruned by zone maps" "$CIDIR/query_run2.log"
 rm -rf "$CIDIR"
 echo "query CLI e2e OK"
 
-echo "==> serve loadgen smoke (reduced fleet, --sweep: 1 and 2 shards, 2k-conn reactor gate)"
+echo "==> serve loadgen smoke (reduced fleet, --sweep: 1 and 2 shards, 2k-conn reactor gate, 3x1k fleet plane)"
 cargo run --release --offline -p f2pm-bench --bin loadgen -- --smoke --sweep \
-    --connections 2000 --idle-fraction 0.9
+    --connections 2000 --idle-fraction 0.9 --fleet-hosts 1000 --fleet-instances 3
 # The smoke run must have scraped the metrics exposition and found it in
 # exact agreement with the harness's own counters, and the batched data
 # plane must hold its tail-latency budget at the (tiny) smoke load.
@@ -203,7 +203,38 @@ assert fconn["hot_predict_p99_us"] <= fconn["hot_p99_budget_us"]
 assert fconn["resident_ratio"] >= 10.0, (
     f"reactor per-conn residency only {fconn['resident_ratio']}x below threaded"
 )
-print("serve smoke sweep + tail budget + committed bench + 2k-conn gate OK")
+
+# Fleet-plane gate (wire v4): 3 serve instances, >=1k consistent-hash-
+# routed heterogeneous hosts, and the aggregation layer's conservation
+# law held EXACTLY — the fleet-merged exposition counter equals the sum
+# of the per-instance scrapes equals what the harness sent — plus a
+# non-empty cluster top-K that matched the union of the per-instance
+# estimate boards entry for entry (the harness verified it before
+# setting top_k_verified).
+for path in ("target/BENCH_serve_smoke.json", "BENCH_serve.json"):
+    fl = json.load(open(path)).get("fleet")
+    assert fl is not None, f"{path}: no 'fleet' section"
+    assert fl["checks_passed"] is True, f"{path}: fleet-phase checks failed"
+    assert fl["instances"] >= 3, f"{path}: fleet ran only {fl['instances']} instances"
+    assert fl["hosts"] >= 1000, f"{path}: fleet ran only {fl['hosts']} hosts"
+    assert fl["datapoints"] == fl["fleet_scrape_datapoints"] == fl["instance_scrape_datapoints_sum"], (
+        f"{path}: fleet counters diverged: sent {fl['datapoints']}, merged "
+        f"{fl['fleet_scrape_datapoints']}, instance sum {fl['instance_scrape_datapoints_sum']}"
+    )
+    assert fl["hosts_tracked"] == fl["hosts_with_estimate"] == fl["hosts"], (
+        f"{path}: {fl['hosts_tracked']}/{fl['hosts']} hosts tracked"
+    )
+    assert fl["dropped_frames"] == 0, f"{path}: fleet phase dropped frames"
+    assert fl["top_k"] > 0 and fl["top_k_verified"] is True, (
+        f"{path}: cluster top-K did not match the per-instance estimate boards"
+    )
+    assert len(fl["per_instance"]) == fl["instances"], path
+    for row in fl["per_instance"]:
+        assert row["hosts"] > 0, f"{path}: instance {row['instance_id']} got no hosts"
+    assert sum(r["datapoints"] for r in fl["per_instance"]) == fl["datapoints"], (
+        f"{path}: per-instance datapoints do not sum to the fleet total"
+    )
+print("serve smoke sweep + tail budget + committed bench + 2k-conn gate + fleet plane OK")
 EOF
 
 echo "==> cold-start smoke (artifact boot vs boot-retrain)"

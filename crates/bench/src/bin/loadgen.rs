@@ -34,14 +34,26 @@
 //! `"connections"`. Hard checks: every fleet datapoint scraped exactly,
 //! zero drops, zero slow-consumer evictions, flat parent memory across
 //! the sweep, and hot-path p99 under the 120 ms budget.
+//!
+//! A final *fleet* phase (`--fleet-hosts N`, default ≥1k hosts across 3
+//! instances) exercises the wire-v4 cluster plane: N in-process serve
+//! instances with distinct `instance_id`s, heterogeneous simulated hosts
+//! ([`HostProfile`]) routed across them by the consistent-hash
+//! [`HashRing`], and the [`Fleet`] aggregator's cross-checks — the merged
+//! exposition counter equals the sum of the per-instance scrapes and the
+//! harness's own sent count *exactly*, and the wire-level cluster top-K
+//! ranking matches the union of the in-process estimate boards entry for
+//! entry. Results land under `"fleet"` in `BENCH_serve.json`.
 
 use f2pm_features::AggregationConfig;
 use f2pm_ml::linreg::LinearModel;
 use f2pm_ml::persist::SavedModel;
 use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
 use f2pm_monitor::{Collector, Datapoint, SimCollector, SimCollectorConfig};
-use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig};
-use f2pm_sim::{AnomalyConfig, SimConfig, Simulation};
+use f2pm_serve::{
+    AlertPolicy, Fleet, HashRing, InstanceClient, ModelRegistry, PredictionServer, ServeConfig,
+};
+use f2pm_sim::{AnomalyConfig, HostProfile, SimConfig, Simulation};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
@@ -58,6 +70,8 @@ struct Args {
     sweep: bool,
     connections: usize,
     idle_fraction: f64,
+    fleet_hosts: usize,
+    fleet_instances: usize,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +83,8 @@ fn parse_args() -> Args {
     let mut sweep = false;
     let mut connections = None;
     let mut idle_fraction = None;
+    let mut fleet_hosts = None;
+    let mut fleet_instances = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -86,6 +102,8 @@ fn parse_args() -> Args {
             "--smoke" => smoke = true,
             "--sweep" => sweep = true,
             "--connections" => connections = Some(val("--connections")),
+            "--fleet-hosts" => fleet_hosts = Some(val("--fleet-hosts")),
+            "--fleet-instances" => fleet_instances = Some(val("--fleet-instances")),
             "--idle-fraction" => {
                 idle_fraction = Some(
                     it.next()
@@ -98,7 +116,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "unknown flag {other:?} \
                      (supported: --clients N --points N --shards N --out PATH --smoke --sweep \
-                     --connections N --idle-fraction F)"
+                     --connections N --idle-fraction F --fleet-hosts N --fleet-instances N)"
                 );
                 std::process::exit(2);
             }
@@ -122,6 +140,8 @@ fn parse_args() -> Args {
         sweep,
         connections: connections.unwrap_or(0),
         idle_fraction: idle_fraction.unwrap_or(0.9).clamp(0.0, 1.0),
+        fleet_hosts: fleet_hosts.unwrap_or(if smoke { 1000 } else { 2400 }),
+        fleet_instances: fleet_instances.unwrap_or(3).max(1),
     }
 }
 
@@ -1155,6 +1175,379 @@ fn run_connections(args: &Args) -> ConnResult {
     }
 }
 
+/// Datapoints each simulated fleet host streams before the estimate wait
+/// and the cluster cross-checks.
+const FLEET_POINTS_PER_HOST: usize = 8;
+
+/// One instance's share of the fleet phase, from its settled snapshot.
+struct FleetInstanceRow {
+    instance_id: u32,
+    hosts: u32,
+    datapoints: u64,
+    estimates: u64,
+}
+
+/// Everything the multi-instance fleet phase produces.
+struct FleetResult {
+    instances: usize,
+    hosts: usize,
+    points_per_host: usize,
+    wall_s: f64,
+    datapoints: u64,
+    fleet_scrape_datapoints: i64,
+    instance_scrape_datapoints_sum: i64,
+    hosts_with_estimate: u64,
+    hosts_tracked: u64,
+    top_k: usize,
+    top_k_verified: bool,
+    dropped: u64,
+    per_instance: Vec<FleetInstanceRow>,
+    failures: Vec<String>,
+}
+
+/// Stream one heterogeneous host's datapoints to its ring-routed owner,
+/// then poll `PredictRequest` until the host's estimate is live on the
+/// owner's board. Guest deaths reincarnate the collector *silently* (no
+/// `Fail` frame): `Fail` clears the host's board slot from the shard
+/// worker while the predict poll reads the board out-of-band, so a
+/// cleared-after-observed race would make the exact `hosts_tracked`
+/// cross-check flaky. `run_once` already exercises the `Fail` path.
+fn run_fleet_host(
+    host: u32,
+    addr: &str,
+    sent_total: &AtomicU64,
+    with_estimate: &AtomicU64,
+) -> Result<(), String> {
+    let profile = HostProfile::for_host(host);
+    let mut life = 0u64;
+    let collector_for = |life: u64| {
+        let seed = profile.seed(life);
+        SimCollector::new(
+            Simulation::new(
+                SimConfig {
+                    anomaly: profile.anomaly_config(),
+                    ..SimConfig::default()
+                },
+                seed,
+            ),
+            SimCollectorConfig::default(),
+            seed,
+        )
+    };
+    let mut collector = collector_for(life);
+    let next_point = |collector: &mut SimCollector, life: &mut u64| loop {
+        match collector.collect() {
+            Some(d) => return d,
+            None => {
+                *life += 1;
+                *collector = collector_for(*life);
+            }
+        }
+    };
+
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("fleet host {host}: connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: host,
+    }
+    .write_to(&mut stream)
+    .map_err(|e| format!("fleet host {host}: hello: {e}"))?;
+
+    for _ in 0..FLEET_POINTS_PER_HOST {
+        let d = next_point(&mut collector, &mut life);
+        Message::Datapoint(d)
+            .write_to(&mut stream)
+            .map_err(|e| format!("fleet host {host}: datapoint: {e}"))?;
+        sent_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // The first window needs `min_points` datapoints inside `window_s` of
+    // guest time before an estimate exists; feed more points until the
+    // board answers. Once observed, the slot can never be cleared (no
+    // `Fail` frames above), so the final board read stays exact.
+    let mut got = false;
+    for _ in 0..200 {
+        Message::PredictRequest { host_id: host }
+            .write_to(&mut stream)
+            .map_err(|e| format!("fleet host {host}: predict request: {e}"))?;
+        let rttf = loop {
+            match Message::read_from(&mut stream)
+                .map_err(|e| format!("fleet host {host}: read: {e}"))?
+                .ok_or_else(|| format!("fleet host {host}: server closed the connection"))?
+            {
+                Message::RttfEstimate { rttf, .. } => break rttf,
+                Message::Alert { .. } => {}
+                other => return Err(format!("fleet host {host}: unexpected reply {other:?}")),
+            }
+        };
+        if rttf.is_some() {
+            got = true;
+            break;
+        }
+        let d = next_point(&mut collector, &mut life);
+        Message::Datapoint(d)
+            .write_to(&mut stream)
+            .map_err(|e| format!("fleet host {host}: datapoint: {e}"))?;
+        sent_total.fetch_add(1, Ordering::Relaxed);
+    }
+    if got {
+        with_estimate.fetch_add(1, Ordering::Relaxed);
+    }
+    Message::Bye.write_to(&mut stream).ok();
+    if got {
+        Ok(())
+    } else {
+        Err(format!(
+            "fleet host {host}: no live estimate after 200 polls"
+        ))
+    }
+}
+
+/// The multi-instance fleet phase: N in-process serve instances with
+/// distinct identities, >=1k heterogeneous simulated hosts routed across
+/// them by the consistent-hash ring, then the cluster-level cross-checks
+/// — the fleet-merged exposition counter must equal the *sum* of the
+/// per-instance scrapes and the harness's own sent count exactly, and the
+/// wire-level `f2pm fleet top-k` ranking must match the union of the
+/// in-process estimate boards (ground truth) entry for entry.
+fn run_fleet(args: &Args) -> FleetResult {
+    let hosts = args.fleet_hosts;
+    let instance_ids: Vec<u32> = (1..=args.fleet_instances as u32).collect();
+    let mut failures: Vec<String> = Vec::new();
+
+    // A model that *ranks*: RTTF falls as memory, swap, and thread
+    // pressure rise, so heterogeneous host profiles spread over distinct
+    // positions instead of all predicting the intercept.
+    let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg());
+    let mut coefficients = vec![0.0; columns.len()];
+    for (name, w) in [("mem_used", -0.5), ("swap_used", -2.0), ("n_threads", -1.0)] {
+        let at = columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no aggregated column {name}"));
+        coefficients[at] = w;
+    }
+    let servers: Vec<_> = instance_ids
+        .iter()
+        .map(|&id| {
+            let registry = ModelRegistry::new(
+                SavedModel::Linear(LinearModel {
+                    intercept: 20_000.0,
+                    coefficients: coefficients.clone(),
+                }),
+                columns.clone(),
+                agg(),
+            )
+            .expect("fleet registry");
+            PredictionServer::start(
+                "127.0.0.1:0",
+                ServeConfig {
+                    shards: 2,
+                    queue_cap: 256,
+                    batch_cap: 64,
+                    policy: AlertPolicy::default(),
+                    instance_id: id,
+                    ..ServeConfig::default()
+                },
+                registry,
+            )
+            .expect("start fleet instance")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+    let ring = HashRing::new(&instance_ids);
+    eprintln!(
+        "loadgen: fleet phase — {hosts} hosts x {FLEET_POINTS_PER_HOST} points across {} \
+         instances (consistent-hash routed)",
+        instance_ids.len()
+    );
+
+    let started = Instant::now();
+    let sent_total = AtomicU64::new(0);
+    let with_estimate = AtomicU64::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16);
+    let host_errors: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (addrs, ring) = (&addrs, &ring);
+                let (instance_ids, sent_total, with_estimate) =
+                    (&instance_ids, &sent_total, &with_estimate);
+                s.spawn(move || {
+                    let mut errors = Vec::new();
+                    let mut host = w as u32;
+                    while (host as usize) < hosts {
+                        let owner = ring.route(host).expect("non-empty ring");
+                        let at = instance_ids
+                            .iter()
+                            .position(|&i| i == owner)
+                            .expect("owner joined the ring");
+                        if let Err(e) = run_fleet_host(host, &addrs[at], sent_total, with_estimate)
+                        {
+                            errors.push(e);
+                        }
+                        host += workers as u32;
+                    }
+                    errors
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fleet worker"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    failures.extend(host_errors.into_iter().take(8));
+    let expected = sent_total.load(Ordering::SeqCst);
+
+    // Everything below goes over the wire exactly as `f2pm fleet` would
+    // see it. Settle first: the last datapoints may still sit in shard
+    // queues.
+    let mut fleet = Fleet::connect(&addrs).expect("fleet connect");
+    let deadline = Instant::now() + std::time::Duration::from_millis(4000);
+    let mut stats = fleet.stats().expect("fleet stats");
+    while stats.datapoints != expected && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        stats = fleet.stats().expect("fleet stats");
+    }
+    if stats.datapoints != expected {
+        failures.push(format!(
+            "fleet rollup counted {} datapoints, harness sent {expected}",
+            stats.datapoints
+        ));
+    }
+    if stats.dropped != 0 {
+        failures.push(format!("{} frames dropped across the fleet", stats.dropped));
+    }
+    if stats.hosts_tracked != hosts as u64 {
+        failures.push(format!(
+            "{} hosts tracked across the fleet, expected {hosts}",
+            stats.hosts_tracked
+        ));
+    }
+    let with_estimate = with_estimate.load(Ordering::SeqCst);
+    if with_estimate != hosts as u64 {
+        failures.push(format!(
+            "only {with_estimate}/{hosts} hosts observed a live estimate"
+        ));
+    }
+    let per_instance: Vec<FleetInstanceRow> = stats
+        .instances
+        .iter()
+        .map(|snap| FleetInstanceRow {
+            instance_id: snap.instance_id,
+            hosts: snap.hosts_tracked,
+            datapoints: snap.datapoints,
+            estimates: snap.estimates,
+        })
+        .collect();
+    for row in &per_instance {
+        if row.hosts == 0 {
+            failures.push(format!(
+                "the ring routed no hosts to instance {}",
+                row.instance_id
+            ));
+        }
+    }
+
+    // Exact conservation across the aggregation layer: the merged fleet
+    // exposition's datapoint counter == the sum of the per-instance
+    // scrapes == what the harness sent. Nothing lost, nothing
+    // double-counted.
+    let mut instance_sum = 0.0;
+    for addr in &addrs {
+        let mut client = InstanceClient::connect(addr).expect("instance scrape connect");
+        let text = client.scrape().expect("instance scrape");
+        instance_sum += metric_sample(&text, "f2pm_serve_datapoints_total ").unwrap_or(f64::NAN);
+    }
+    let merged = fleet.merged_scrape().expect("merged scrape");
+    let merged_datapoints = metric_sample(&merged, "f2pm_serve_datapoints_total ").unwrap_or(-1.0);
+    if merged_datapoints != instance_sum || merged_datapoints != expected as f64 {
+        failures.push(format!(
+            "merged exposition counted {merged_datapoints} datapoints, per-instance scrapes \
+             sum to {instance_sum}, harness sent {expected}"
+        ));
+    }
+    for id in &instance_ids {
+        if !merged.contains(&format!("instance=\"{id}\"")) {
+            failures.push(format!(
+                "instance {id} not attributable in the merged exposition"
+            ));
+        }
+    }
+
+    // The wire-level cluster top-K against ground truth: the union of the
+    // per-instance seqlock boards, sorted the same way.
+    let k = 10.min(hosts);
+    let top = fleet.top_k(k).expect("fleet top-k");
+    let mut expected_rank: Vec<(f64, u32, u32)> = Vec::new();
+    for server in &servers {
+        let id = server.instance_id();
+        for (host, est) in server.board().top_k(usize::MAX) {
+            expected_rank.push((est.rttf, host, id));
+        }
+    }
+    expected_rank.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite rttf")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    expected_rank.truncate(k);
+    let top_k_verified = top.len() == expected_rank.len()
+        && !top.is_empty()
+        && top
+            .iter()
+            .zip(&expected_rank)
+            .all(|(got, want)| (got.rttf, got.host_id, got.instance_id) == *want)
+        && top.windows(2).all(|p| p[0].rttf <= p[1].rttf);
+    if !top_k_verified {
+        failures.push(format!(
+            "fleet top-{k} diverged from the union of the per-instance estimate boards: \
+             got {:?}, want {expected_rank:?}",
+            top.iter()
+                .map(|e| (e.rttf, e.host_id, e.instance_id))
+                .collect::<Vec<_>>()
+        ));
+    }
+
+    drop(fleet);
+    for server in servers {
+        let snap = server.shutdown();
+        if snap.dropped != 0 {
+            failures.push(format!("an instance dropped {} frames", snap.dropped));
+        }
+    }
+
+    eprintln!(
+        "fleet: {hosts} hosts over {} instances, {expected} datapoints in {wall_s:.2}s, \
+         merged scrape {merged_datapoints}, top-{k} verified: {top_k_verified}",
+        instance_ids.len()
+    );
+
+    FleetResult {
+        instances: instance_ids.len(),
+        hosts,
+        points_per_host: FLEET_POINTS_PER_HOST,
+        wall_s,
+        datapoints: expected,
+        fleet_scrape_datapoints: merged_datapoints as i64,
+        instance_scrape_datapoints_sum: instance_sum as i64,
+        hosts_with_estimate: with_estimate,
+        hosts_tracked: stats.hosts_tracked,
+        top_k: k,
+        top_k_verified,
+        dropped: stats.dropped,
+        per_instance,
+        failures,
+    }
+}
+
 /// Inline wire-codec throughput over a loadgen-shaped 64-frame burst:
 /// per-frame `encode()` vs `encode_into()` with a reused scratch, plus
 /// buffered streaming decode. Mirrors the `wire_codec` criterion bench
@@ -1264,15 +1657,22 @@ fn main() {
         eprintln!("--connections requires the Linux reactor edge; skipping the phase");
     }
 
+    // The fleet phase gets its own servers too: cluster-level routing and
+    // aggregation cross-checks on top of fresh, exactly-accountable
+    // counters.
+    let fleet = (args.fleet_hosts > 0).then(|| run_fleet(&args));
+
     let (enc_alloc_fps, enc_into_fps, dec_fps) = measure_wire_codec();
     // Top-level fields report the primary run — the largest shard count.
     let r = runs.last().expect("at least one run");
 
-    #[allow(unused_mut)]
     let mut checks_passed = runs.iter().all(|run| run.failures.is_empty());
     #[cfg(target_os = "linux")]
     if let Some(c) = &conn {
         checks_passed &= c.failures.is_empty();
+    }
+    if let Some(f) = &fleet {
+        checks_passed &= f.failures.is_empty();
     }
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"f2pm-bench loadgen\",");
@@ -1378,6 +1778,53 @@ fn main() {
         let _ = writeln!(json, "    \"checks_passed\": {}", c.failures.is_empty());
         let _ = writeln!(json, "  }},");
     }
+    if let Some(f) = &fleet {
+        let _ = writeln!(json, "  \"fleet\": {{");
+        let _ = writeln!(json, "    \"instances\": {},", f.instances);
+        let _ = writeln!(json, "    \"hosts\": {},", f.hosts);
+        let _ = writeln!(json, "    \"points_per_host\": {},", f.points_per_host);
+        let _ = writeln!(json, "    \"wall_s\": {:.3},", f.wall_s);
+        let _ = writeln!(json, "    \"datapoints\": {},", f.datapoints);
+        let _ = writeln!(
+            json,
+            "    \"fleet_scrape_datapoints\": {},",
+            f.fleet_scrape_datapoints
+        );
+        let _ = writeln!(
+            json,
+            "    \"instance_scrape_datapoints_sum\": {},",
+            f.instance_scrape_datapoints_sum
+        );
+        let _ = writeln!(
+            json,
+            "    \"hosts_with_estimate\": {},",
+            f.hosts_with_estimate
+        );
+        let _ = writeln!(json, "    \"hosts_tracked\": {},", f.hosts_tracked);
+        let _ = writeln!(json, "    \"top_k\": {},", f.top_k);
+        let _ = writeln!(json, "    \"top_k_verified\": {},", f.top_k_verified);
+        let _ = writeln!(json, "    \"dropped_frames\": {},", f.dropped);
+        let _ = writeln!(json, "    \"per_instance\": [");
+        for (i, row) in f.per_instance.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{ \"instance_id\": {}, \"hosts\": {}, \"datapoints\": {}, \
+                 \"estimates\": {} }}{}",
+                row.instance_id,
+                row.hosts,
+                row.datapoints,
+                row.estimates,
+                if i + 1 < f.per_instance.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(json, "    ],");
+        let _ = writeln!(json, "    \"checks_passed\": {}", f.failures.is_empty());
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(json, "  \"wire_codec\": {{");
     let _ = writeln!(
         json,
@@ -1428,6 +1875,11 @@ fn main() {
         if let Some(c) = &conn {
             for f in &c.failures {
                 eprintln!("CHECK FAILED (connections): {f}");
+            }
+        }
+        if let Some(fr) = &fleet {
+            for f in &fr.failures {
+                eprintln!("CHECK FAILED (fleet): {f}");
             }
         }
         std::process::exit(1);

@@ -9,7 +9,7 @@ use f2pm_ml::{
 use f2pm_monitor::wire::{Message, PROTOCOL_VERSION};
 use f2pm_monitor::{load_csv, save_csv, Collector, DataHistory, Datapoint, ProcCollector};
 use f2pm_registry::{ArtifactMeta, ModelStore};
-use f2pm_serve::{AlertPolicy, ModelRegistry, PredictionServer, ServeConfig, StoreWatcher};
+use f2pm_serve::{ModelRegistry, PredictionServer, ServeConfig, StoreWatcher};
 use f2pm_sim::Campaign;
 use std::collections::HashMap;
 
@@ -26,12 +26,14 @@ USAGE:
   f2pm predict  --model model.txt --history history.csv [--window SECS]
   f2pm serve    (--model model.txt | --history history.csv [--method NAME]
                  | --models-dir DIR)
-                [--addr HOST:PORT] [--shards N] [--reactors N] [--queue CAP]
-                [--threshold SECS] [--hits K] [--window SECS] [--seconds N]
-                [--watch]
+                [--addr HOST:PORT] [--instance-id N] [--shards N]
+                [--reactors N] [--queue CAP] [--threshold SECS] [--hits K]
+                [--window SECS] [--seconds N] [--watch]
   f2pm models   DIR (list | verify | rollback [--to GEN]
                      | import --model model.txt [--window SECS])
   f2pm stats    [--addr HOST:PORT] [--watch] [--interval SECS] [--count N]
+  f2pm fleet    (top-k | stats | scrape) --addrs HOST:PORT[,HOST:PORT...]
+                [--k N]
   f2pm export-columnar --history history.csv --out store.f2pc
                 [--window SECS] [--host ID] [--chunk-rows N]
   f2pm query    --store store.f2pc --model model.txt [--run ID] [--host ID]
@@ -50,9 +52,17 @@ publish with `f2pm train --save-artifact DIR`, operate the store with
 `f2pm models DIR {list,verify,rollback}`, and convert legacy text models
 with `f2pm models DIR import --model model.txt`. `--reactors N` sizes the
 epoll event-loop pool that owns client connections (Linux; default: one
-per CPU; 0 falls back to one reader thread per connection). `stats`
-scrapes a running serve instance's Prometheus-style text exposition
-once, `--count N` times, or forever with `--watch`. `export-columnar`
+per CPU; 0 falls back to one reader thread per connection), and
+`--instance-id N` stamps the instance's stable fleet identity into the
+v4 wire frames and the `f2pm_serve_instance_info` exposition gauge.
+`stats` scrapes a running serve instance's Prometheus-style text
+exposition once, `--count N` times, or forever with `--watch`
+(reconnecting through restarts). `fleet` fans a query out to every
+instance of a fleet: `top-k` prints the cluster-wide hosts-nearest-
+failure ranking merged from the per-instance estimate boards, `stats`
+prints per-instance rows plus cluster totals, and `scrape` prints one
+merged exposition in which counters sum exactly across instances and
+gauges stay attributable behind an `instance` label. `export-columnar`
 converts a history CSV into the checksummed columnar store format and
 `query` re-scores it against a saved model — zone maps prune chunks the
 filter cannot match, and errors stream into per-run (or per-host) MAE /
@@ -463,120 +473,150 @@ pub fn query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Map the `f2pm serve` flag surface onto the typed, validated
+/// [`f2pm::ServeOptions`] builder. The three-way model choice becomes a
+/// [`f2pm::ModelSource`], and every invalid combination surfaces as the
+/// builder's one `invalid_config` error kind instead of ad-hoc checks.
+fn serve_options_from(flags: &HashMap<String, String>) -> Result<f2pm::ServeOptions, String> {
+    use f2pm::ModelSource;
+    let source = match (
+        flags.get("models-dir"),
+        flags.get("model"),
+        flags.get("history"),
+    ) {
+        (Some(dir), None, None) => ModelSource::Artifact(dir.into()),
+        (None, Some(path), None) => ModelSource::File(path.into()),
+        (None, None, Some(hist)) => ModelSource::BootTrain {
+            history: hist.into(),
+            method: flags
+                .get("method")
+                .cloned()
+                .unwrap_or_else(|| "rep_tree".to_string()),
+        },
+        (None, None, None) => {
+            return Err("serve needs --model, --history or --models-dir".to_string())
+        }
+        _ => {
+            return Err(
+                "--models-dir, --model and --history are mutually exclusive (one model source)"
+                    .to_string(),
+            )
+        }
+    };
+    if flags.contains_key("method") && !matches!(source, ModelSource::BootTrain { .. }) {
+        return Err("--method only applies to --history boot-training".to_string());
+    }
+    let mut b = f2pm::ServeOptions::builder(source).watch(flags.contains_key("watch"));
+    if let Some(a) = flags.get("addr") {
+        b = b.addr(a.clone());
+    }
+    if let Some(n) = get_parsed::<usize>(flags, "shards")? {
+        b = b.shards(n);
+    }
+    if let Some(r) = get_parsed::<usize>(flags, "reactors")? {
+        b = b.reactors(r);
+    }
+    if let Some(c) = get_parsed::<usize>(flags, "queue")? {
+        b = b.queue_cap(c);
+    }
+    if let Some(t) = get_parsed::<f64>(flags, "threshold")? {
+        b = b.alert_threshold_s(t);
+    }
+    if let Some(h) = get_parsed::<usize>(flags, "hits")? {
+        b = b.alert_hits(h);
+    }
+    if let Some(w) = get_parsed::<f64>(flags, "window")? {
+        b = b.window_s(w);
+    }
+    if let Some(s) = get_parsed::<u64>(flags, "seconds")? {
+        b = b.seconds(s);
+    }
+    if let Some(id) = get_parsed::<u32>(flags, "instance-id")? {
+        b = b.instance_id(id);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Resolve a validated [`f2pm::ModelSource`] into a live model registry,
+/// returning it with a human-readable description and (for artifact
+/// stores) the manifest watcher.
+fn resolve_model_source(
+    opts: &f2pm::ServeOptions,
+) -> Result<(std::sync::Arc<ModelRegistry>, String, Option<StoreWatcher>), String> {
+    use f2pm::ModelSource;
+    let mut agg = AggregationConfig::default();
+    if let Some(w) = opts.window_s {
+        agg.window_s = w;
+    }
+    match &opts.source {
+        ModelSource::Artifact(dir) => {
+            let dir = dir.display().to_string();
+            let store = ModelStore::open(&dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+            let registry = ModelRegistry::from_store(&store)
+                .map_err(|e| format!("cold-starting from {dir}: {e}"))?;
+            let generation = store
+                .active_generation()
+                .map_err(|e| format!("reading {dir} manifest: {e}"))?;
+            let kind = registry.current().kind;
+            let source = format!(
+                "{kind} artifact generation {} from {dir}",
+                generation.unwrap_or(0)
+            );
+            let watcher = StoreWatcher::new(store, registry.clone(), generation);
+            Ok((registry, source, Some(watcher)))
+        }
+        ModelSource::File(path) => {
+            let path = path.display().to_string();
+            let registry =
+                ModelRegistry::from_file(&path, agg).map_err(|e| format!("loading {path}: {e}"))?;
+            let kind = registry.current().kind;
+            Ok((registry, format!("{kind} model from {path}"), None))
+        }
+        ModelSource::BootTrain { history, method } => {
+            // Boot-train in-process: the aggregate/train spans land in the
+            // global metrics registry, so scrapes of this server expose
+            // the training-stage timings.
+            let hist = history.display().to_string();
+            let history = load_csv(&hist).map_err(|e| format!("reading {hist}: {e}"))?;
+            let span = f2pm_obs::span!("aggregate");
+            let points = aggregate_history(&history, &agg);
+            let ds = Dataset::from_points(&points);
+            span.stop();
+            if ds.is_empty() {
+                return Err("history contains no labeled (failing) runs".to_string());
+            }
+            let saved = fit_saved_model(method, &ds.x, &ds.y)?;
+            eprintln!(
+                "boot-trained {method} on {} aggregated datapoints from {hist}",
+                ds.len()
+            );
+            let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+            let registry = ModelRegistry::new(saved, columns, agg)
+                .map_err(|e| format!("installing boot-trained model: {e}"))?;
+            Ok((
+                registry,
+                format!("boot-trained {method} model from {hist}"),
+                None,
+            ))
+        }
+    }
+}
+
 /// `f2pm serve`: the sharded online RTTF prediction service.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let model_path = flags.get("model").cloned();
-    let models_dir = flags.get("models-dir").cloned();
-    if models_dir.is_some() {
-        if model_path.is_some() || flags.contains_key("history") {
-            return Err(
-                "--models-dir replaces --model/--history (the artifact is the model)".to_string(),
-            );
-        }
-        if flags.contains_key("window") {
-            return Err(
-                "--window conflicts with --models-dir: the artifact records its own \
-                 aggregation config"
-                    .to_string(),
-            );
-        }
-        if flags.contains_key("watch") {
-            return Err(
-                "--watch is implicit with --models-dir (the manifest is always polled)".to_string(),
-            );
-        }
-    }
-    let addr = flags
-        .get("addr")
-        .cloned()
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let agg = aggregation_from(&flags)?;
-    let mut cfg = ServeConfig::default();
-    if let Some(n) = get_parsed::<usize>(&flags, "shards")? {
-        if n == 0 {
-            return Err("--shards must be positive".to_string());
-        }
-        cfg.shards = n;
-    }
-    if let Some(c) = get_parsed::<usize>(&flags, "queue")? {
-        cfg.queue_cap = c.max(1);
-    }
-    if let Some(r) = get_parsed::<usize>(&flags, "reactors")? {
-        cfg.reactors = r;
-    }
-    let mut policy = AlertPolicy::default();
-    if let Some(t) = get_parsed::<f64>(&flags, "threshold")? {
-        policy.rttf_threshold_s = t;
-    }
-    if let Some(h) = get_parsed::<usize>(&flags, "hits")? {
-        policy.consecutive_hits = h.max(1);
-    }
-    cfg.policy = policy;
-    let seconds: Option<u64> = get_parsed(&flags, "seconds")?;
-    let watch = flags.contains_key("watch");
-    if watch && model_path.is_none() {
-        return Err("--watch needs --model (a file to watch for reloads)".to_string());
-    }
-
-    // With --models-dir, watch the store's manifest for new generations.
-    let mut store_watcher: Option<StoreWatcher> = None;
-
-    let (registry, source) = if let Some(dir) = &models_dir {
-        let store = ModelStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
-        let registry = ModelRegistry::from_store(&store)
-            .map_err(|e| format!("cold-starting from {dir}: {e}"))?;
-        let generation = store
-            .active_generation()
-            .map_err(|e| format!("reading {dir} manifest: {e}"))?;
-        let kind = registry.current().kind;
-        let source = format!(
-            "{kind} artifact generation {} from {dir}",
-            generation.unwrap_or(0)
-        );
-        store_watcher = Some(StoreWatcher::new(store, registry.clone(), generation));
-        (registry, source)
-    } else {
-        match (&model_path, flags.get("history")) {
-            (Some(path), _) => {
-                let registry = ModelRegistry::from_file(path, agg)
-                    .map_err(|e| format!("loading {path}: {e}"))?;
-                let kind = registry.current().kind;
-                (registry, format!("{kind} model from {path}"))
-            }
-            (None, Some(hist)) => {
-                // Boot-train in-process: the aggregate/train spans land in the
-                // global metrics registry, so scrapes of this server expose
-                // the training-stage timings.
-                let method = flags
-                    .get("method")
-                    .cloned()
-                    .unwrap_or_else(|| "rep_tree".to_string());
-                let history = load_csv(hist).map_err(|e| format!("reading {hist}: {e}"))?;
-                let span = f2pm_obs::span!("aggregate");
-                let points = aggregate_history(&history, &agg);
-                let ds = Dataset::from_points(&points);
-                span.stop();
-                if ds.is_empty() {
-                    return Err("history contains no labeled (failing) runs".to_string());
-                }
-                let saved = fit_saved_model(&method, &ds.x, &ds.y)?;
-                eprintln!(
-                    "boot-trained {method} on {} aggregated datapoints from {hist}",
-                    ds.len()
-                );
-                let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
-                let registry = ModelRegistry::new(saved, columns, agg)
-                    .map_err(|e| format!("installing boot-trained model: {e}"))?;
-                (registry, format!("boot-trained {method} model from {hist}"))
-            }
-            (None, None) => {
-                return Err("serve needs --model, --history or --models-dir".to_string())
-            }
-        }
+    let opts = serve_options_from(&flags)?;
+    let cfg = ServeConfig::from_options(&opts);
+    let (registry, source, mut store_watcher) = resolve_model_source(&opts)?;
+    let model_path = match &opts.source {
+        f2pm::ModelSource::File(path) => Some(path.display().to_string()),
+        _ => None,
     };
-    let server = PredictionServer::start(&*addr, cfg, registry)
-        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let watch = opts.watch;
+    let seconds = opts.seconds;
+
+    let server = PredictionServer::start(&*opts.addr, cfg, registry)
+        .map_err(|e| format!("binding {}: {e}", opts.addr))?;
     let registry = server.registry();
     let edge = if cfg!(target_os = "linux") && cfg.reactors > 0 {
         format!("{} reactors", cfg.reactors)
@@ -584,11 +624,12 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "threaded edge".to_string()
     };
     println!(
-        "serving {source} on {} ({} shards, {edge}, alert ≤ {:.0} s × {})",
+        "serving {source} on {} (instance {}, {} shards, {edge}, alert ≤ {:.0} s × {})",
         server.addr(),
+        cfg.instance_id,
         cfg.shards,
-        policy.rttf_threshold_s,
-        policy.consecutive_hits
+        cfg.policy.rttf_threshold_s,
+        cfg.policy.consecutive_hits
     );
 
     let mtime = |p: &str| std::fs::metadata(p).and_then(|m| m.modified()).ok();
@@ -766,7 +807,25 @@ fn scrape_once(stream: &mut std::net::TcpStream) -> Result<String, String> {
     }
 }
 
+/// Connect to a serve instance and shake hands. Resolution happens on
+/// every call, so a `--watch` reconnect picks up DNS changes too.
+fn connect_serve(addr: &str) -> Result<std::net::TcpStream, String> {
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("connecting {addr}: {e} (is `f2pm serve` running?)"))?;
+    stream.set_nodelay(true).ok();
+    // host_id 0 is fine: a stats client never streams datapoints.
+    Message::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: 0,
+    }
+    .write_to(&mut stream)
+    .map_err(|e| format!("handshake with {addr}: {e}"))?;
+    Ok(stream)
+}
+
 /// `f2pm stats`: scrape a running serve instance's metrics exposition.
+/// With `--watch`, a lost connection re-resolves and reconnects instead
+/// of exiting — serve restarts (deploys, rollbacks) don't kill the watch.
 pub fn stats(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let addr = flags
@@ -779,27 +838,134 @@ pub fn stats(args: &[String]) -> Result<(), String> {
         return Err("--interval must be positive".to_string());
     }
     let count: Option<u64> = get_parsed(&flags, "count")?;
-    let scrapes = count.unwrap_or(if watch { u64::MAX } else { 1 });
+    let mut remaining = count.unwrap_or(if watch { u64::MAX } else { 1 });
 
-    let mut stream = std::net::TcpStream::connect(&*addr)
-        .map_err(|e| format!("connecting {addr}: {e} (is `f2pm serve` running?)"))?;
-    stream.set_nodelay(true).ok();
-    // host_id 0 is fine: a stats client never streams datapoints.
-    Message::Hello {
-        version: PROTOCOL_VERSION,
-        host_id: 0,
-    }
-    .write_to(&mut stream)
-    .map_err(|e| format!("handshake with {addr}: {e}"))?;
-
-    for i in 0..scrapes {
-        if i > 0 {
-            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
-            println!();
+    // The first connect still fails fast: a wrong --addr should not spin.
+    let mut stream = connect_serve(&addr)?;
+    let mut need_sep = false;
+    while remaining > 0 {
+        match scrape_once(&mut stream) {
+            Ok(text) => {
+                if need_sep {
+                    println!();
+                }
+                print!("{text}");
+                need_sep = true;
+                remaining -= 1;
+                if remaining > 0 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+                }
+            }
+            Err(e) if watch => {
+                eprintln!("scrape failed ({e}); reconnecting to {addr}...");
+                stream = loop {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+                    match connect_serve(&addr) {
+                        Ok(s) => break s,
+                        Err(e) => eprintln!("reconnect failed ({e}), retrying..."),
+                    }
+                };
+            }
+            Err(e) => return Err(e),
         }
-        print!("{}", scrape_once(&mut stream)?);
     }
     Ok(())
+}
+
+/// `f2pm fleet`: fan a query out to every serve instance of a fleet and
+/// aggregate the answers — the cluster-wide at-risk ranking (`top-k`),
+/// the per-instance + total stats rollup (`stats`), or one merged metrics
+/// exposition (`scrape`).
+pub fn fleet(args: &[String]) -> Result<(), String> {
+    const FLEET_USAGE: &str =
+        "usage: f2pm fleet (top-k | stats | scrape) --addrs HOST:PORT[,HOST:PORT...] [--k N]";
+    let (action, rest) = args.split_first().ok_or(FLEET_USAGE)?;
+    if !matches!(action.as_str(), "top-k" | "stats" | "scrape") {
+        return Err(format!("unknown fleet action {action:?}\n{FLEET_USAGE}"));
+    }
+    let flags = parse_flags(rest)?;
+    let k: usize = get_parsed(&flags, "k")?.unwrap_or(10);
+    if k == 0 {
+        return Err("--k must be positive".to_string());
+    }
+    let addrs: Vec<String> = require(&flags, "addrs")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    let mut fleet = f2pm_serve::Fleet::connect(&addrs)
+        .map_err(|e| format!("connecting fleet {addrs:?}: {e}"))?;
+    match action.as_str() {
+        "top-k" => {
+            let top = fleet.top_k(k).map_err(|e| e.to_string())?;
+            if top.is_empty() {
+                println!("no estimates published anywhere in the fleet yet");
+                return Ok(());
+            }
+            println!(
+                "{:>4} {:>10} {:>9} {:>12} {:>12} {:>5}",
+                "rank", "host", "instance", "rttf(s)", "t(s)", "gen"
+            );
+            for (rank, e) in top.iter().enumerate() {
+                println!(
+                    "{:>4} {:>10} {:>9} {:>12.1} {:>12.1} {:>5}",
+                    rank + 1,
+                    e.host_id,
+                    e.instance_id,
+                    e.rttf,
+                    e.t,
+                    e.model_generation
+                );
+            }
+            Ok(())
+        }
+        "stats" => {
+            let stats = fleet.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{:>9} {:>21} {:>7} {:>10} {:>10} {:>7} {:>8} {:>7} {:>5}",
+                "instance",
+                "addr",
+                "conns",
+                "datapoints",
+                "estimates",
+                "alerts",
+                "dropped",
+                "hosts",
+                "gen"
+            );
+            for s in &stats.instances {
+                println!(
+                    "{:>9} {:>21} {:>7} {:>10} {:>10} {:>7} {:>8} {:>7} {:>5}",
+                    s.instance_id,
+                    s.addr,
+                    s.connections,
+                    s.datapoints,
+                    s.estimates,
+                    s.alerts,
+                    s.dropped,
+                    s.hosts_tracked,
+                    s.model_generation
+                );
+            }
+            println!(
+                "{:>9} {:>21} {:>7} {:>10} {:>10} {:>7} {:>8} {:>7}",
+                "TOTAL",
+                format!("{} instances", stats.instances.len()),
+                stats.connections,
+                stats.datapoints,
+                stats.estimates,
+                stats.alerts,
+                stats.dropped,
+                stats.hosts_tracked
+            );
+            Ok(())
+        }
+        "scrape" => {
+            print!("{}", fleet.merged_scrape().map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        other => Err(format!("unknown fleet action {other:?}\n{FLEET_USAGE}")),
+    }
 }
 
 /// Shared helper so tests can synthesize a tiny valid history file.
@@ -1070,9 +1236,10 @@ mod tests {
             text.contains("f2pm_stage_duration_us_count{stage=\"train:linear\"}"),
             "{text}"
         );
-        // --watch without a file to watch is rejected up front.
+        // --watch without a file to watch is rejected up front by the
+        // typed options builder.
         let err = serve(&s(&["--history", hist.to_str().unwrap(), "--watch"])).unwrap_err();
-        assert!(err.contains("--watch needs --model"), "{err}");
+        assert!(err.contains("watch needs a model file"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1242,5 +1409,86 @@ mod tests {
         let err = evaluate(&s(&["--history", hist.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("collect more runs"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_flags_map_onto_the_options_builder() {
+        let flags = parse_flags(&s(&[
+            "--model",
+            "m.txt",
+            "--addr",
+            "0.0.0.0:9001",
+            "--shards",
+            "8",
+            "--instance-id",
+            "7",
+            "--threshold",
+            "90",
+            "--hits",
+            "3",
+            "--watch",
+        ]))
+        .unwrap();
+        let opts = serve_options_from(&flags).unwrap();
+        assert_eq!(opts.source, f2pm::ModelSource::File("m.txt".into()));
+        assert_eq!(opts.addr, "0.0.0.0:9001");
+        assert_eq!(opts.shards, 8);
+        assert_eq!(opts.instance_id, 7);
+        assert_eq!(opts.alert_threshold_s, 90.0);
+        assert_eq!(opts.alert_hits, 3);
+        assert!(opts.watch);
+
+        // Invalid combinations all surface through the builder's one
+        // typed error kind.
+        let bad = parse_flags(&s(&["--models-dir", "store", "--window", "30"])).unwrap();
+        assert!(serve_options_from(&bad).unwrap_err().contains("artifact"));
+        let none = parse_flags(&s(&["--shards", "4"])).unwrap();
+        assert!(serve_options_from(&none).is_err());
+        let both = parse_flags(&s(&["--model", "m.txt", "--history", "h.csv"])).unwrap();
+        assert!(serve_options_from(&both)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        let stray = parse_flags(&s(&["--model", "m.txt", "--method", "linear"])).unwrap();
+        assert!(serve_options_from(&stray).unwrap_err().contains("--method"));
+    }
+
+    #[test]
+    fn fleet_rejects_bad_usage_before_dialing() {
+        assert!(fleet(&s(&[])).is_err());
+        let err = fleet(&s(&["frobnicate", "--addrs", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("unknown fleet action"), "{err}");
+        assert!(fleet(&s(&["top-k"])).is_err(), "missing --addrs");
+        assert!(fleet(&s(&["top-k", "--addrs", "127.0.0.1:1", "--k", "0"])).is_err());
+    }
+
+    #[test]
+    fn fleet_commands_run_against_live_instances() {
+        let agg = AggregationConfig::default();
+        let columns = f2pm_features::aggregate::aggregated_column_names_with(&agg);
+        let model = SavedModel::Linear(f2pm_ml::linreg::LinearModel {
+            intercept: 100.0,
+            coefficients: vec![0.0; columns.len()],
+        });
+        let servers: Vec<_> = (1u32..=2)
+            .map(|id| {
+                let registry = ModelRegistry::new(model.clone(), columns.clone(), agg).unwrap();
+                PredictionServer::start(
+                    "127.0.0.1:0",
+                    ServeConfig {
+                        instance_id: id,
+                        ..ServeConfig::default()
+                    },
+                    registry,
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs = format!("{},{}", servers[0].addr(), servers[1].addr());
+        fleet(&s(&["stats", "--addrs", &addrs])).unwrap();
+        fleet(&s(&["scrape", "--addrs", &addrs])).unwrap();
+        fleet(&s(&["top-k", "--addrs", &addrs, "--k", "5"])).unwrap();
+        for server in servers {
+            server.shutdown();
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! f2pm serve    --models-dir models/ --addr 0.0.0.0:7878
 //! f2pm models   models/ list
 //! f2pm stats    --addr 127.0.0.1:7878 --watch
+//! f2pm fleet    top-k --addrs 127.0.0.1:7878,127.0.0.1:7879 --k 10
 //! f2pm export-columnar --history history.csv --out store.f2pc
 //! f2pm query    --store store.f2pc --model model.txt --cohort run
 //! ```
@@ -24,8 +25,12 @@
 //! versioned binary model artifacts (list, verify checksums, roll back
 //! the active generation, import legacy text models); `stats` scrapes a
 //! running serve instance's Prometheus-style metrics exposition over the
-//! wire protocol (v3); `export-columnar` converts a history CSV into the
-//! checksummed columnar store and `query` re-scores that store against a
+//! wire protocol (v3), reconnecting through restarts with `--watch`;
+//! `fleet` fans out to every instance of a serve fleet (wire v4) and
+//! aggregates — a cluster-wide top-K at-risk ranking, per-instance stats
+//! rollups, or one merged exposition; `export-columnar` converts a
+//! history CSV into the checksummed columnar store and `query`
+//! re-scores that store against a
 //! saved model with zone-map pruning and per-cohort error breakdowns.
 
 mod commands;
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve(rest),
         "models" => commands::models(rest),
         "stats" => commands::stats(rest),
+        "fleet" => commands::fleet(rest),
         "export-columnar" => commands::export_columnar(rest),
         "query" => commands::query(rest),
         "--help" | "-h" | "help" => {

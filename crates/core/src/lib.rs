@@ -49,6 +49,7 @@ pub mod predictor;
 pub mod query;
 pub mod rejuvenation;
 pub mod report;
+pub mod serve_options;
 pub mod workflow;
 
 pub use config::F2pmConfig;
@@ -59,4 +60,5 @@ pub use predictor::{predict_many, OnlinePredictor};
 pub use query::{run_query, Cohort, CohortStats, QueryFilter, QueryReport};
 pub use rejuvenation::{ProactiveRejuvenator, RejuvenationOutcome, RejuvenationPolicy};
 pub use report::{F2pmReport, VariantReport};
+pub use serve_options::{ModelSource, ServeOptions, ServeOptionsBuilder};
 pub use workflow::{run_workflow, run_workflow_on_history};

@@ -159,7 +159,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             | Message::Alert { .. }
             | Message::Stats { .. }
             | Message::MetricsRequest
-            | Message::MetricsText { .. } => {}
+            | Message::MetricsText { .. }
+            | Message::TopKRequest { .. }
+            | Message::TopKReply { .. }
+            | Message::FleetSnapshot { .. } => {}
         }
     }
     Ok(())

@@ -18,19 +18,26 @@
 //!   [`Message::MetricsText`] — the full Prometheus-style text exposition of
 //!   the server's metrics registry (see `f2pm-obs`), UTF-8, capped at
 //!   [`MAX_METRICS_TEXT`] so it always fits one frame.
+//! - **v4** adds the fleet plane: [`Message::TopKRequest`] /
+//!   [`Message::TopKReply`] (the K hosts nearest failure, answered from the
+//!   server's seqlock estimate board without scanning connections) and
+//!   [`Message::FleetSnapshot`] — an instance-attributable replacement for
+//!   the anonymous [`Message::Stats`] shape, returned to `StatsRequest` on
+//!   v4 connections. The old `Stats` frame is deprecated behind the version
+//!   gate: v2/v3 clients still get it, v4 clients get `FleetSnapshot`.
 //!
 //! Servers accept any handshake version in
 //! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]; a v1/v2 client never
 //! emits a newer tag — and servers only answer scrape requests on
-//! connections that shook hands with v3 — so older clients keep working
-//! unchanged.
+//! connections that shook hands with v3, and ranking queries on v4 — so
+//! older clients keep working unchanged.
 
 use crate::datapoint::Datapoint;
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest protocol version servers still accept.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
@@ -45,6 +52,25 @@ pub const MAX_FRAME: usize = 64 * 1024;
 /// [`Message::metrics_text`] truncates longer expositions at a line
 /// boundary instead of failing the scrape.
 pub const MAX_METRICS_TEXT: usize = MAX_FRAME - 16;
+
+/// Largest `k` a [`Message::TopKRequest`] may ask for (and the most entries
+/// a [`Message::TopKReply`] may carry) — keeps the reply under
+/// [`MAX_FRAME`] with headroom.
+pub const MAX_TOPK: usize = 1024;
+
+/// One at-risk-host entry in a [`Message::TopKReply`], ordered by ascending
+/// predicted remaining time to failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEntry {
+    /// Host the estimate belongs to.
+    pub host_id: u32,
+    /// Guest time (s) of the window that produced the estimate.
+    pub t: f64,
+    /// Predicted remaining time to failure (s).
+    pub rttf: f64,
+    /// Generation of the model that produced the estimate.
+    pub model_generation: u64,
+}
 
 /// Messages exchanged between FMC (client) and FMS / serve (server).
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +153,44 @@ pub enum Message {
         /// The exposition body.
         text: String,
     },
+    /// v4, client → server: ask for the `k` hosts nearest failure (lowest
+    /// predicted RTTF) on this instance. Answered from the seqlock estimate
+    /// board — no connection scan. `k` is clamped to [`MAX_TOPK`].
+    TopKRequest {
+        /// How many entries the client wants at most.
+        k: u16,
+    },
+    /// v4, server → client: instance-local at-risk ranking (reply to
+    /// [`Message::TopKRequest`]), sorted by ascending RTTF.
+    TopKReply {
+        /// Identity of the answering instance.
+        instance_id: u32,
+        /// Entries sorted nearest-failure first; at most [`MAX_TOPK`].
+        entries: Vec<TopKEntry>,
+    },
+    /// v4, server → client: instance-attributable metrics snapshot (reply
+    /// to [`Message::StatsRequest`] on v4 connections, deprecating the
+    /// anonymous [`Message::Stats`] shape).
+    FleetSnapshot {
+        /// Identity of the answering instance.
+        instance_id: u32,
+        /// Live client connections.
+        connections: u64,
+        /// Datapoints ingested since start.
+        datapoints: u64,
+        /// RTTF estimates produced since start.
+        estimates: u64,
+        /// Rejuvenation alerts fired since start.
+        alerts: u64,
+        /// Frames dropped (always 0 under blocking backpressure).
+        dropped: u64,
+        /// Current model generation.
+        model_generation: u64,
+        /// Hosts with a published estimate on the board.
+        hosts_tracked: u32,
+        /// Queue depth per shard at snapshot time.
+        shard_depths: Vec<u32>,
+    },
 }
 
 impl Message {
@@ -160,6 +224,9 @@ impl Message {
             Message::Stats { .. } => 9,
             Message::MetricsRequest => 10,
             Message::MetricsText { .. } => 11,
+            Message::TopKRequest { .. } => 12,
+            Message::TopKReply { .. } => 13,
+            Message::FleetSnapshot { .. } => 14,
         }
     }
 
@@ -170,6 +237,9 @@ impl Message {
                 1
             }
             Message::MetricsRequest | Message::MetricsText { .. } => 3,
+            Message::TopKRequest { .. }
+            | Message::TopKReply { .. }
+            | Message::FleetSnapshot { .. } => 4,
             _ => 2,
         }
     }
@@ -255,6 +325,45 @@ impl Message {
                 debug_assert!(text.len() <= MAX_METRICS_TEXT, "use Message::metrics_text");
                 buf.put_u32(text.len() as u32);
                 buf.extend_from_slice(text.as_bytes());
+            }
+            Message::TopKRequest { k } => buf.put_u16(*k),
+            Message::TopKReply {
+                instance_id,
+                entries,
+            } => {
+                debug_assert!(entries.len() <= MAX_TOPK, "TopKReply over MAX_TOPK");
+                buf.put_u32(*instance_id);
+                buf.put_u16(entries.len() as u16);
+                for e in entries {
+                    buf.put_u32(e.host_id);
+                    buf.put_f64(e.t);
+                    buf.put_f64(e.rttf);
+                    buf.put_u64(e.model_generation);
+                }
+            }
+            Message::FleetSnapshot {
+                instance_id,
+                connections,
+                datapoints,
+                estimates,
+                alerts,
+                dropped,
+                model_generation,
+                hosts_tracked,
+                shard_depths,
+            } => {
+                buf.put_u32(*instance_id);
+                buf.put_u64(*connections);
+                buf.put_u64(*datapoints);
+                buf.put_u64(*estimates);
+                buf.put_u64(*alerts);
+                buf.put_u64(*dropped);
+                buf.put_u64(*model_generation);
+                buf.put_u32(*hosts_tracked);
+                buf.put_u16(shard_depths.len() as u16);
+                for d in shard_depths {
+                    buf.put_u32(*d);
+                }
             }
         }
         let payload_len = (buf.len() - start - 4) as u32;
@@ -401,6 +510,68 @@ impl Message {
                     .map_err(|_| bad("metrics text not utf-8"))?
                     .to_string();
                 Ok(Message::MetricsText { text })
+            }
+            12 => {
+                if payload.remaining() < 2 {
+                    return Err(bad("short top-k request"));
+                }
+                Ok(Message::TopKRequest {
+                    k: payload.get_u16(),
+                })
+            }
+            13 => {
+                if payload.remaining() < 4 + 2 {
+                    return Err(bad("short top-k reply"));
+                }
+                let instance_id = payload.get_u32();
+                let n = payload.get_u16() as usize;
+                if n > MAX_TOPK {
+                    return Err(bad(&format!("top-k reply count {n} exceeds cap")));
+                }
+                if payload.remaining() < n * (4 + 8 + 8 + 8) {
+                    return Err(bad("short top-k reply entries"));
+                }
+                let entries = (0..n)
+                    .map(|_| TopKEntry {
+                        host_id: payload.get_u32(),
+                        t: payload.get_f64(),
+                        rttf: payload.get_f64(),
+                        model_generation: payload.get_u64(),
+                    })
+                    .collect();
+                Ok(Message::TopKReply {
+                    instance_id,
+                    entries,
+                })
+            }
+            14 => {
+                if payload.remaining() < 4 + 6 * 8 + 4 + 2 {
+                    return Err(bad("short fleet snapshot"));
+                }
+                let instance_id = payload.get_u32();
+                let connections = payload.get_u64();
+                let datapoints = payload.get_u64();
+                let estimates = payload.get_u64();
+                let alerts = payload.get_u64();
+                let dropped = payload.get_u64();
+                let model_generation = payload.get_u64();
+                let hosts_tracked = payload.get_u32();
+                let n = payload.get_u16() as usize;
+                if payload.remaining() < n * 4 {
+                    return Err(bad("short fleet snapshot shard depths"));
+                }
+                let shard_depths = (0..n).map(|_| payload.get_u32()).collect();
+                Ok(Message::FleetSnapshot {
+                    instance_id,
+                    connections,
+                    datapoints,
+                    estimates,
+                    alerts,
+                    dropped,
+                    model_generation,
+                    hosts_tracked,
+                    shard_depths,
+                })
             }
             other => Err(bad(&format!("unknown tag {other}"))),
         }
@@ -644,6 +815,39 @@ mod tests {
             Message::MetricsText {
                 text: "# TYPE f2pm_requests_total counter\nf2pm_requests_total 7\n".to_string(),
             },
+            Message::TopKRequest { k: 10 },
+            Message::TopKReply {
+                instance_id: 2,
+                entries: vec![
+                    TopKEntry {
+                        host_id: 41,
+                        t: 310.0,
+                        rttf: 55.5,
+                        model_generation: 4,
+                    },
+                    TopKEntry {
+                        host_id: 7,
+                        t: 290.0,
+                        rttf: 120.25,
+                        model_generation: 4,
+                    },
+                ],
+            },
+            Message::TopKReply {
+                instance_id: 0,
+                entries: vec![],
+            },
+            Message::FleetSnapshot {
+                instance_id: 3,
+                connections: 12,
+                datapoints: 34_000,
+                estimates: 2800,
+                alerts: 3,
+                dropped: 0,
+                model_generation: 2,
+                hosts_tracked: 11,
+                shard_depths: vec![0, 7, 2, 0],
+            },
         ]
     }
 
@@ -658,9 +862,9 @@ mod tests {
     }
 
     #[test]
-    fn encode_into_is_byte_identical_to_encode_for_all_12_variants() {
+    fn encode_into_is_byte_identical_to_encode_for_all_16_variants() {
         let variants = all_variants();
-        assert_eq!(variants.len(), 12, "cover every frame variant");
+        assert_eq!(variants.len(), 16, "cover every frame variant");
         let mut scratch = BytesMut::new();
         for m in &variants {
             scratch.clear();
@@ -835,6 +1039,9 @@ mod tests {
                 | Message::Fail { .. }
                 | Message::Bye => 1,
                 Message::MetricsRequest | Message::MetricsText { .. } => 3,
+                Message::TopKRequest { .. }
+                | Message::TopKReply { .. }
+                | Message::FleetSnapshot { .. } => 4,
                 _ => 2,
             };
             assert_eq!(m.min_version(), expect, "{m:?}");
@@ -967,6 +1174,69 @@ mod tests {
     }
 
     #[test]
+    fn v4_frames_reject_bad_payloads() {
+        assert!(Message::decode(&[12, 0]).is_err()); // short top-k request
+        assert!(Message::decode(&[13, 0, 0, 0, 0, 0]).is_err()); // short top-k reply
+        assert!(Message::decode(&[14, 0, 0]).is_err()); // short fleet snapshot
+                                                        // TopKReply whose entry count exceeds the remaining payload.
+        let mut reply = Message::TopKReply {
+            instance_id: 1,
+            entries: vec![TopKEntry {
+                host_id: 3,
+                t: 1.0,
+                rttf: 2.0,
+                model_generation: 1,
+            }],
+        }
+        .encode()
+        .to_vec();
+        let n = reply.len();
+        reply.truncate(n - 8); // cut into the entry
+        assert!(Message::decode(&reply[4..]).is_err());
+        // Claimed entry count beyond MAX_TOPK.
+        let mut payload = vec![13u8];
+        payload.extend_from_slice(&1u32.to_be_bytes());
+        payload.extend_from_slice(&((MAX_TOPK + 1) as u16).to_be_bytes());
+        assert!(Message::decode(&payload).is_err());
+        // FleetSnapshot whose depth count exceeds the remaining payload.
+        let mut snap = Message::FleetSnapshot {
+            instance_id: 1,
+            connections: 1,
+            datapoints: 1,
+            estimates: 1,
+            alerts: 0,
+            dropped: 0,
+            model_generation: 1,
+            hosts_tracked: 1,
+            shard_depths: vec![1, 2],
+        }
+        .encode()
+        .to_vec();
+        let n = snap.len();
+        snap.truncate(n - 4); // cut one depth entry
+        assert!(Message::decode(&snap[4..]).is_err());
+    }
+
+    #[test]
+    fn max_topk_reply_fits_one_frame() {
+        let entries = (0..MAX_TOPK as u32)
+            .map(|i| TopKEntry {
+                host_id: i,
+                t: i as f64,
+                rttf: (MAX_TOPK as u32 - i) as f64,
+                model_generation: 9,
+            })
+            .collect();
+        let m = Message::TopKReply {
+            instance_id: 7,
+            entries,
+        };
+        let frame = m.encode();
+        assert!(frame.len() - 4 <= MAX_FRAME, "full reply fits the cap");
+        assert_eq!(Message::decode(&frame[4..]).unwrap(), m);
+    }
+
+    #[test]
     fn eof_mid_frame_is_an_error() {
         let frame = Message::Fail { t: 5.0 }.encode();
         let cut = &frame[..frame.len() - 2];
@@ -1057,12 +1327,12 @@ mod tests {
             })
         }
 
-        /// One strategy covering every message variant, v1 through v3. (The
+        /// One strategy covering every message variant, v1 through v4. (The
         /// offline proptest stub supports 2- and 3-tuples, so the inputs
         /// nest.)
         fn arb_message() -> impl Strategy<Value = Message> {
             (
-                (0u8..12, (0u64..u64::MAX, 0u32..u32::MAX, 0u16..u16::MAX)),
+                (0u8..15, (0u64..u64::MAX, 0u32..u32::MAX, 0u16..u16::MAX)),
                 ((arb_f64(), arb_f64(), arb_f64()), arb_text()),
                 (
                     arb_datapoint(),
@@ -1105,7 +1375,34 @@ mod tests {
                             shard_depths: depths,
                         },
                         10 => Message::MetricsRequest,
-                        _ => Message::MetricsText { text },
+                        11 => Message::MetricsText { text },
+                        12 => Message::TopKRequest {
+                            k: version % MAX_TOPK as u16,
+                        },
+                        13 => Message::TopKReply {
+                            instance_id: host_id,
+                            entries: depths
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &d)| TopKEntry {
+                                    host_id: d,
+                                    t: a + i as f64,
+                                    rttf: b + i as f64,
+                                    model_generation: n % 1000,
+                                })
+                                .collect(),
+                        },
+                        _ => Message::FleetSnapshot {
+                            instance_id: host_id,
+                            connections: n % 100_000,
+                            datapoints: n,
+                            estimates: n / 3,
+                            alerts: n % 17,
+                            dropped: n % 5,
+                            model_generation: n % 1000,
+                            hosts_tracked: host_id % 10_000,
+                            shard_depths: depths,
+                        },
                     },
                 )
         }

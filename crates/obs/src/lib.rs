@@ -16,16 +16,21 @@
 //! * Text exposition — [`MetricsRegistry::render_text`] produces a
 //!   Prometheus-style exposition (`# TYPE` lines, cumulative `_bucket{le=..}`
 //!   histogram series) that `f2pm-serve` ships over the wire in a
-//!   `MetricsText` frame and `f2pm stats` prints.
+//!   `MetricsText` frame and `f2pm stats` prints. For fleets,
+//!   [`merge_expositions`] folds per-instance expositions into one cluster
+//!   exposition (counters/histograms sum exactly; gauges stay attributable
+//!   behind an added `instance` label).
 //!
 //! Library crates record into [`global()`] so one scrape sees the whole
 //! process; components that need isolation (e.g. several in-process serve
 //! instances in tests) own a private registry and render both.
 
+mod merge;
 mod registry;
 mod span;
 mod text;
 
+pub use merge::merge_expositions;
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
 };

@@ -1,0 +1,316 @@
+//! Merging per-instance text expositions into one cluster exposition.
+//!
+//! A fleet scrape fans a `MetricsRequest` out to every serve instance and
+//! gets back one [`MetricsRegistry::render_text`]-style exposition each.
+//! [`merge_expositions`] folds them into a single cluster-wide exposition
+//! with per-type semantics:
+//!
+//! * **counters** and **histograms** are additive — identical series
+//!   (same name + label block) sum across instances, so a fleet counter is
+//!   *exactly* the sum of the per-instance counters (the invariant the
+//!   loadgen cross-checks), and histogram `_bucket`/`_sum`/`_count` series
+//!   sum element-wise into a valid cluster histogram;
+//! * **gauges** are point-in-time and not meaningfully additive (a model
+//!   generation, a p99) — each gauge series keeps its per-instance value
+//!   and gains an `instance="<id>"` label, so the merged exposition stays
+//!   attributable instead of averaging the truth away.
+//!
+//! Families appear in first-seen order (first instance wins), series
+//! within a family likewise — so merging one instance's exposition with
+//! nothing else is an identity transform modulo the gauge labels.
+
+use std::collections::HashMap;
+
+/// Metric family types we merge. Unknown families (no `# TYPE` line seen
+/// before their first sample) are treated like gauges: kept per-instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FamilyType {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// One output line under construction.
+enum Line {
+    /// `# TYPE name type`, emitted once per family.
+    Type(String),
+    /// Additive series: summed value, rendered at the end.
+    Summed { name_labels: String, value: f64 },
+    /// Attributable series: passed through with the instance label added.
+    PerInstance(String),
+}
+
+/// Merge per-instance expositions (pairs of instance id and exposition
+/// text) into one cluster exposition. See the module docs for the
+/// per-type semantics.
+pub fn merge_expositions(per_instance: &[(u32, &str)]) -> String {
+    let mut types: HashMap<String, FamilyType> = HashMap::new();
+    let mut lines: Vec<Line> = Vec::new();
+    // name+labels of additive series → index into `lines`.
+    let mut summed_at: HashMap<String, usize> = HashMap::new();
+    let mut type_emitted: HashMap<String, usize> = HashMap::new();
+
+    for (instance, text) in per_instance {
+        for raw in text.lines() {
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(ty)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                let ty = match ty {
+                    "counter" => FamilyType::Counter,
+                    "histogram" => FamilyType::Histogram,
+                    _ => FamilyType::Gauge,
+                };
+                types.entry(name.to_string()).or_insert(ty);
+                if !type_emitted.contains_key(name) {
+                    type_emitted.insert(name.to_string(), lines.len());
+                    lines.push(Line::Type(line.to_string()));
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // other comments don't merge
+            }
+            let Some((name_labels, value)) = split_sample(line) else {
+                continue;
+            };
+            let name = series_name(name_labels);
+            match family_type(&types, name) {
+                FamilyType::Counter | FamilyType::Histogram => match summed_at.get(name_labels) {
+                    Some(&at) => {
+                        if let Line::Summed { value: acc, .. } = &mut lines[at] {
+                            *acc += value;
+                        }
+                    }
+                    None => {
+                        summed_at.insert(name_labels.to_string(), lines.len());
+                        lines.push(Line::Summed {
+                            name_labels: name_labels.to_string(),
+                            value,
+                        });
+                    }
+                },
+                FamilyType::Gauge => {
+                    lines.push(Line::PerInstance(with_instance_label(
+                        name_labels,
+                        *instance,
+                        line,
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for line in &lines {
+        match line {
+            Line::Type(t) => {
+                out.push_str(t);
+                out.push('\n');
+            }
+            Line::Summed { name_labels, value } => {
+                out.push_str(name_labels);
+                out.push(' ');
+                out.push_str(&fmt_value(*value));
+                out.push('\n');
+            }
+            Line::PerInstance(l) => {
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Split `name{labels} value` into the series key and the parsed value.
+fn split_sample(line: &str) -> Option<(&str, f64)> {
+    let split = line.rfind(' ')?;
+    let (key, value) = line.split_at(split);
+    let value: f64 = value.trim().parse().ok()?;
+    Some((key, value))
+}
+
+/// The family a series key belongs to: the bare metric name, with the
+/// histogram `_bucket`/`_sum`/`_count` suffixes folded back onto their
+/// base family.
+fn family_type(types: &HashMap<String, FamilyType>, name: &str) -> FamilyType {
+    if let Some(&t) = types.get(name) {
+        return t;
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base) == Some(&FamilyType::Histogram) {
+                return FamilyType::Histogram;
+            }
+        }
+    }
+    FamilyType::Gauge
+}
+
+/// Metric name of a series key (`name{labels}` or bare `name`).
+fn series_name(name_labels: &str) -> &str {
+    match name_labels.find('{') {
+        Some(i) => &name_labels[..i],
+        None => name_labels,
+    }
+}
+
+/// Re-emit a gauge sample with `instance="<id>"` appended to its label
+/// block (or a fresh block when it has none). Series that already carry
+/// an `instance` label — e.g. `f2pm_serve_instance_info` — pass through
+/// unchanged so the key never appears twice in one block.
+fn with_instance_label(name_labels: &str, instance: u32, line: &str) -> String {
+    let value = &line[name_labels.len()..]; // " <value>"
+    match name_labels.strip_suffix('}') {
+        Some(open) => {
+            let labels = &open[open.find('{').map_or(0, |i| i + 1)..];
+            if labels
+                .split(',')
+                .any(|l| l.trim_start().starts_with("instance="))
+            {
+                return line.to_string();
+            }
+            format!("{open},instance=\"{instance}\"}}{value}")
+        }
+        None => format!("{name_labels}{{instance=\"{instance}\"}}{value}"),
+    }
+}
+
+/// Match the registry's rendering: integers without a decimal point.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str = "\
+# TYPE f2pm_serve_datapoints_total counter
+f2pm_serve_datapoints_total 100
+# TYPE f2pm_serve_shard_events_total counter
+f2pm_serve_shard_events_total{shard=\"0\"} 60
+f2pm_serve_shard_events_total{shard=\"1\"} 40
+# TYPE f2pm_serve_model_generation gauge
+f2pm_serve_model_generation 3
+# TYPE f2pm_serve_estimate_latency_us histogram
+f2pm_serve_estimate_latency_us_bucket{le=\"4\"} 5
+f2pm_serve_estimate_latency_us_bucket{le=\"+Inf\"} 10
+f2pm_serve_estimate_latency_us_sum 123
+f2pm_serve_estimate_latency_us_count 10
+";
+
+    const B: &str = "\
+# TYPE f2pm_serve_datapoints_total counter
+f2pm_serve_datapoints_total 50
+# TYPE f2pm_serve_shard_events_total counter
+f2pm_serve_shard_events_total{shard=\"0\"} 25
+# TYPE f2pm_serve_model_generation gauge
+f2pm_serve_model_generation 4
+# TYPE f2pm_serve_estimate_latency_us histogram
+f2pm_serve_estimate_latency_us_bucket{le=\"4\"} 1
+f2pm_serve_estimate_latency_us_bucket{le=\"+Inf\"} 2
+f2pm_serve_estimate_latency_us_sum 77
+f2pm_serve_estimate_latency_us_count 2
+";
+
+    #[test]
+    fn counters_sum_exactly_across_instances() {
+        let merged = merge_expositions(&[(0, A), (1, B)]);
+        assert!(merged.contains("f2pm_serve_datapoints_total 150\n"));
+        assert!(merged.contains("f2pm_serve_shard_events_total{shard=\"0\"} 85\n"));
+        // A series only one instance has still appears, un-doubled.
+        assert!(merged.contains("f2pm_serve_shard_events_total{shard=\"1\"} 40\n"));
+    }
+
+    #[test]
+    fn histograms_sum_element_wise() {
+        let merged = merge_expositions(&[(0, A), (1, B)]);
+        assert!(merged.contains("f2pm_serve_estimate_latency_us_bucket{le=\"4\"} 6\n"));
+        assert!(merged.contains("f2pm_serve_estimate_latency_us_bucket{le=\"+Inf\"} 12\n"));
+        assert!(merged.contains("f2pm_serve_estimate_latency_us_sum 200\n"));
+        assert!(merged.contains("f2pm_serve_estimate_latency_us_count 12\n"));
+    }
+
+    #[test]
+    fn gauges_stay_per_instance_and_attributable() {
+        let merged = merge_expositions(&[(0, A), (7, B)]);
+        assert!(merged.contains("f2pm_serve_model_generation{instance=\"0\"} 3\n"));
+        assert!(merged.contains("f2pm_serve_model_generation{instance=\"7\"} 4\n"));
+        assert!(
+            !merged.contains("f2pm_serve_model_generation 7\n"),
+            "not summed"
+        );
+    }
+
+    #[test]
+    fn labeled_gauges_gain_the_instance_label_inside_the_block() {
+        let text = "# TYPE f2pm_serve_shard_queue_depth gauge\n\
+                    f2pm_serve_shard_queue_depth{shard=\"0\"} 2\n";
+        let merged = merge_expositions(&[(3, text)]);
+        assert!(merged.contains("f2pm_serve_shard_queue_depth{shard=\"0\",instance=\"3\"} 2\n"));
+    }
+
+    #[test]
+    fn series_already_carrying_an_instance_label_are_not_double_labeled() {
+        let text = "# TYPE f2pm_serve_instance_info gauge\n\
+                    f2pm_serve_instance_info{instance=\"3\"} 1\n";
+        let merged = merge_expositions(&[(3, text)]);
+        assert!(merged.contains("f2pm_serve_instance_info{instance=\"3\"} 1\n"));
+        assert!(!merged.contains("instance=\"3\",instance="));
+    }
+
+    #[test]
+    fn type_lines_appear_once_and_order_is_first_seen() {
+        let merged = merge_expositions(&[(0, A), (1, B)]);
+        assert_eq!(
+            merged
+                .matches("# TYPE f2pm_serve_datapoints_total counter")
+                .count(),
+            1
+        );
+        let dp = merged.find("f2pm_serve_datapoints_total 150").unwrap();
+        let gen = merged.find("f2pm_serve_model_generation{").unwrap();
+        assert!(dp < gen, "family order follows the first exposition");
+    }
+
+    #[test]
+    fn single_instance_merge_is_identity_for_additive_series() {
+        let merged = merge_expositions(&[(0, A)]);
+        assert!(merged.contains("f2pm_serve_datapoints_total 100\n"));
+        assert!(merged.contains("f2pm_serve_estimate_latency_us_count 10\n"));
+    }
+
+    #[test]
+    fn unknown_families_are_kept_per_instance() {
+        let text = "mystery_metric 5\n";
+        let merged = merge_expositions(&[(2, text)]);
+        assert!(merged.contains("mystery_metric{instance=\"2\"} 5\n"));
+    }
+
+    #[test]
+    fn merges_real_registry_output() {
+        let ra = crate::MetricsRegistry::new();
+        ra.counter("f2pm_requests_total").add(12);
+        ra.gauge("f2pm_up").set_u64(1);
+        let rb = crate::MetricsRegistry::new();
+        rb.counter("f2pm_requests_total").add(30);
+        rb.gauge("f2pm_up").set_u64(1);
+        let ta = ra.render_text();
+        let tb = rb.render_text();
+        let merged = merge_expositions(&[(1, &ta), (2, &tb)]);
+        assert!(merged.contains("f2pm_requests_total 42\n"));
+        assert!(merged.contains("f2pm_up{instance=\"1\"} 1\n"));
+        assert!(merged.contains("f2pm_up{instance=\"2\"} 1\n"));
+    }
+}

@@ -23,6 +23,11 @@
 //! - **[`registry`]** — hot-reloadable model storage: an atomic `Arc`
 //!   swap re-points every host's next prediction at the new model without
 //!   dropping connections or window state.
+//! - **[`fleet`]** — the fleet plane (wire v4): a consistent-hash
+//!   [`HashRing`] routes hosts across N serve instances, and the
+//!   [`Fleet`] aggregator fans `TopKRequest`/`StatsRequest`/metrics
+//!   scrapes out to every instance, merging them into a cluster-wide
+//!   at-risk ranking, a [`FleetStats`] rollup, and one summed exposition.
 //! - **[`metrics`]** — serving counters, gauges, and the power-of-two
 //!   prediction-latency histogram, all registered on a per-server
 //!   `f2pm_obs::MetricsRegistry`; `expose_text` renders it with the
@@ -31,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod metrics;
 #[cfg(target_os = "linux")]
 pub mod poller;
@@ -40,6 +46,10 @@ pub mod registry;
 pub mod server;
 pub mod shard;
 
+pub use fleet::{
+    Fleet, FleetStats, FleetTopKEntry, HashRing, InstanceClient, InstanceSnapshot,
+    VNODES_PER_INSTANCE,
+};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelEntry, ModelRegistry, StoreWatcher};
 pub use server::{default_reactors, PredictionServer, ServeConfig, ServeHandle};

@@ -203,6 +203,20 @@ impl ServeMetrics {
         &self.registry
     }
 
+    /// Stamp the instance identity into the exposition as
+    /// `f2pm_serve_instance_info{instance="<id>"} 1`, the Prometheus info
+    /// idiom — merged fleet scrapes stay attributable to the instance that
+    /// produced each sample. Called once at server start.
+    pub fn set_instance_info(&self, instance_id: u32) {
+        self.registry
+            .gauge_with(
+                "f2pm_serve_instance_info",
+                "instance",
+                &instance_id.to_string(),
+            )
+            .set_u64(1);
+    }
+
     /// Materialize a snapshot. Queue depths and model generation live
     /// outside the metrics (shard pool / registry), so the caller passes
     /// them in.
@@ -348,7 +362,9 @@ impl MetricsSnapshot {
         snap.quantile_us(q.clamp(0.0, 1.0))
     }
 
-    /// Render as the wire `Stats` reply.
+    /// Render as the wire `Stats` reply (the anonymous v2 shape, kept for
+    /// pre-v4 clients; v4 connections get
+    /// [`MetricsSnapshot::to_fleet_snapshot`]).
     pub fn to_message(&self) -> Message {
         Message::Stats {
             connections: self.connections,
@@ -357,6 +373,24 @@ impl MetricsSnapshot {
             alerts: self.alerts,
             dropped: self.dropped,
             model_generation: self.model_generation,
+            shard_depths: self.shard_depths.clone(),
+        }
+    }
+
+    /// Render as the wire `FleetSnapshot` reply: the v4 instance-
+    /// attributable replacement for the anonymous `Stats` shape.
+    /// `hosts_tracked` comes from the estimate board, which lives outside
+    /// the metrics.
+    pub fn to_fleet_snapshot(&self, instance_id: u32, hosts_tracked: u32) -> Message {
+        Message::FleetSnapshot {
+            instance_id,
+            connections: self.connections,
+            datapoints: self.datapoints,
+            estimates: self.estimates,
+            alerts: self.alerts,
+            dropped: self.dropped,
+            model_generation: self.model_generation,
+            hosts_tracked,
             shard_depths: self.shard_depths.clone(),
         }
     }

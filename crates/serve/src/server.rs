@@ -26,6 +26,12 @@
 //! generation) with the process-global registry — training-stage span
 //! timings, FMC/FMS transport counters — appended.
 //!
+//! v4 connections speak the fleet plane (see [`crate::fleet`]):
+//! `StatsRequest` → `FleetSnapshot` (the instance-attributable
+//! replacement for the anonymous `Stats` shape, which stays gated to
+//! pre-v4 clients) and `TopKRequest` → `TopKReply`, the instance's K
+//! hosts nearest failure answered from the seqlock estimate board.
+//!
 //! Model hot-reloads go through the shared [`ModelRegistry`]: calling
 //! [`ModelRegistry::install`] (or `reload_from_file`) swaps the model for
 //! every host's next prediction without dropping a single connection.
@@ -63,6 +69,11 @@ pub struct ServeConfig {
     /// reactor edge; a slow consumer exceeding it is disconnected
     /// (`f2pm_serve_conns_evicted_slow`) instead of growing memory.
     pub outbound_cap: usize,
+    /// Stable identity of this instance within a fleet. Surfaced in the
+    /// v4 `FleetSnapshot`/`TopKReply` frames and in the exposition as
+    /// `f2pm_serve_instance_info{instance="<id>"} 1`, so merged fleet
+    /// scrapes stay attributable. `0` for a standalone instance.
+    pub instance_id: u32,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +85,27 @@ impl Default for ServeConfig {
             policy: AlertPolicy::default(),
             reactors: default_reactors(),
             outbound_cap: 256 * 1024,
+            instance_id: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Map the validated fleet-facing [`f2pm::ServeOptions`] onto the
+    /// server tuning knobs. Model-source resolution (artifact store, model
+    /// file, boot-training) stays with the caller — the options only carry
+    /// what the server itself needs.
+    pub fn from_options(o: &f2pm::ServeOptions) -> ServeConfig {
+        ServeConfig {
+            shards: o.shards,
+            queue_cap: o.queue_cap,
+            policy: AlertPolicy {
+                rttf_threshold_s: o.alert_threshold_s,
+                consecutive_hits: o.alert_hits,
+            },
+            reactors: o.reactors.unwrap_or_else(default_reactors),
+            instance_id: o.instance_id,
+            ..ServeConfig::default()
         }
     }
 }
@@ -96,6 +128,7 @@ pub(crate) struct Inner {
     pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) board: Arc<EstimateBoard>,
     pub(crate) pool: ShardPool,
+    pub(crate) instance_id: u32,
     /// Read-half clones of every live *threaded-edge* connection, so
     /// shutdown can `Shutdown::Both` them and wake reads blocked inside
     /// the (long) read timeout instead of polling on a short one.
@@ -127,11 +160,13 @@ impl PredictionServer {
             Arc::clone(&metrics),
         );
         let board = pool.board();
+        metrics.set_instance_info(cfg.instance_id);
         let inner = Arc::new(Inner {
             stop: AtomicBool::new(false),
             registry,
             board,
             pool,
+            instance_id: cfg.instance_id,
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
         });
@@ -222,6 +257,18 @@ impl ServeHandle {
     /// The hot-reloadable model registry this server predicts with.
     pub fn registry(&self) -> Arc<ModelRegistry> {
         Arc::clone(&self.inner.as_ref().expect("server running").registry)
+    }
+
+    /// The live estimate board (what a v4 `TopKRequest` is answered from).
+    /// In-process fleet harnesses read it to cross-check wire-level
+    /// rankings against ground truth.
+    pub fn board(&self) -> Arc<EstimateBoard> {
+        Arc::clone(&self.inner.as_ref().expect("server running").board)
+    }
+
+    /// This instance's stable fleet identity.
+    pub fn instance_id(&self) -> u32 {
+        self.inner.as_ref().expect("server running").instance_id
     }
 
     /// A point-in-time metrics snapshot (queue depths and model generation
@@ -564,7 +611,15 @@ pub(crate) fn handle_read(
         Message::StatsRequest => {
             metrics.stats_request();
             let snapshot = metrics.snapshot(inner.pool.queue_depths(), inner.registry.generation());
-            pending.push(snapshot.to_message());
+            // The anonymous v2 `Stats` shape is deprecated behind the
+            // version gate: v4 clients get the instance-attributable
+            // `FleetSnapshot`, older clients keep the shape they know.
+            if version >= 4 {
+                pending
+                    .push(snapshot.to_fleet_snapshot(inner.instance_id, inner.board.len() as u32));
+            } else {
+                pending.push(snapshot.to_message());
+            }
         }
         // Metrics scraping is a v3 feature; a request arriving on an
         // older-versioned connection is a protocol violation we ignore
@@ -573,6 +628,27 @@ pub(crate) fn handle_read(
             metrics.metrics_request();
             let text = metrics.expose_text(&inner.pool.queue_depths(), inner.registry.generation());
             pending.push(Message::metrics_text(text));
+        }
+        // Fleet ranking is a v4 feature: the K hosts nearest failure,
+        // answered straight off the seqlock estimate board — no connection
+        // scan, no worker stall.
+        Message::TopKRequest { k } if version >= 4 => {
+            metrics.stats_request();
+            let entries = inner
+                .board
+                .top_k((k as usize).min(f2pm_monitor::wire::MAX_TOPK))
+                .into_iter()
+                .map(|(host_id, est)| f2pm_monitor::wire::TopKEntry {
+                    host_id,
+                    t: est.t,
+                    rttf: est.rttf,
+                    model_generation: est.generation,
+                })
+                .collect();
+            pending.push(Message::TopKReply {
+                instance_id: inner.instance_id,
+                entries,
+            });
         }
         // Shard-bound events (pass 2) and server-bound-only traffic a
         // client has no business echoing (ignored, like unknown traffic

@@ -260,6 +260,48 @@ impl EstimateBoard {
     pub fn clear(&self, host: u32) {
         self.stripe(host).write().remove(&host);
     }
+
+    /// Hosts currently holding a slot (published at least once, not yet
+    /// cleared by a `Fail`).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no host has a published estimate.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.read().is_empty())
+    }
+
+    /// The `k` hosts nearest failure (lowest published RTTF, ties broken by
+    /// host id for a deterministic order), each with its latest estimate.
+    ///
+    /// This is how a v4 `TopKRequest` is answered: one shared-read pass
+    /// over the stripes and a seqlock load per slot — live connections are
+    /// never scanned and no worker is stalled. The ranking is a consistent
+    /// snapshot per-host (the seqlock guarantees un-torn estimates), not
+    /// across hosts — exactly the semantics a fleet ranking needs.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, PublishedEstimate)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut all: Vec<(u32, PublishedEstimate)> = Vec::new();
+        for stripe in &self.stripes {
+            let map = stripe.read();
+            for (&host, slot) in map.iter() {
+                if let Some(est) = slot.load() {
+                    all.push((host, est));
+                }
+            }
+        }
+        all.sort_by(|(ha, a), (hb, b)| {
+            a.rttf
+                .partial_cmp(&b.rttf)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| ha.cmp(hb))
+        });
+        all.truncate(k);
+        all
+    }
 }
 
 /// One event routed to a shard worker.

@@ -315,25 +315,30 @@ fn stats_and_alerts_over_the_wire() {
     assert_eq!(rttf, 40.0);
     assert_eq!(threshold, 180.0);
 
-    // Stats over the wire reflect the traffic.
+    // Stats over the wire reflect the traffic. A v4 client gets the
+    // fleet-aware snapshot shape (instance identity + tracked hosts).
     client.send(&Message::StatsRequest);
     loop {
         match client.recv() {
-            Message::Stats {
+            Message::FleetSnapshot {
+                instance_id,
                 connections,
                 datapoints,
                 estimates,
                 alerts,
                 dropped,
                 model_generation,
+                hosts_tracked,
                 shard_depths,
             } => {
+                assert_eq!(instance_id, 0, "default instance identity");
                 assert_eq!(connections, 1);
                 assert!(datapoints >= 14);
                 assert!(estimates >= 2);
                 assert!(alerts >= 1);
                 assert_eq!(dropped, 0);
                 assert_eq!(model_generation, 1);
+                assert_eq!(hosts_tracked, 1);
                 assert_eq!(shard_depths.len(), 2);
                 break;
             }
@@ -771,4 +776,228 @@ fn shutdown_with_a_thousand_idle_connections_is_prompt() {
     assert_eq!(snap.connections, 0, "every idle conn torn down");
     assert_eq!(snap.dropped, 0);
     drop(conns);
+}
+
+/// A v3 client against a v4 server: the deprecated anonymous `Stats`
+/// shape still answers `StatsRequest`, and the v4-only `TopKRequest` is
+/// ignored without killing the connection — exactly the version-gate
+/// contract that lets old fleets scrape new instances.
+#[test]
+fn v3_client_against_v4_server_gets_legacy_stats() {
+    let server = start_server(2);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    Message::Hello {
+        version: 3,
+        host_id: 77,
+    }
+    .write_to(&mut stream)
+    .unwrap();
+
+    // v4-only request first: must be dropped, not answered, not fatal.
+    Message::TopKRequest { k: 5 }.write_to(&mut stream).unwrap();
+    Message::StatsRequest.write_to(&mut stream).unwrap();
+    match Message::read_from(&mut stream).unwrap().unwrap() {
+        Message::Stats {
+            connections,
+            dropped,
+            ..
+        } => {
+            assert_eq!(connections, 1);
+            assert_eq!(dropped, 0);
+        }
+        other => panic!("expected legacy Stats for a v3 client, got {other:?}"),
+    }
+    // The v3 scrape path still works on the same connection.
+    Message::MetricsRequest.write_to(&mut stream).unwrap();
+    match Message::read_from(&mut stream).unwrap().unwrap() {
+        Message::MetricsText { text } => {
+            assert!(text.contains("f2pm_serve_instance_info"), "{text}")
+        }
+        other => panic!("expected MetricsText, got {other:?}"),
+    }
+    Message::Bye.write_to(&mut stream).unwrap();
+    server.shutdown();
+}
+
+/// `TopKRequest` over the wire: the reply comes off the seqlock estimate
+/// board — ascending RTTF, truncated at k, stamped with the instance id.
+#[test]
+fn topk_over_the_wire_ranks_hosts_nearest_failure_first() {
+    let registry = ModelRegistry::new(
+        linear(1000.0, -2.0),
+        vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+        agg(),
+    )
+    .unwrap();
+    let server = PredictionServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            shards: 2,
+            instance_id: 42,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+
+    // rttf = 1000 − 2 × swap: host 3 (swap 450 → rttf 100) is nearest
+    // failure, then host 1 (300 → 400), then host 2 (100 → 800).
+    let hosts: Vec<(u32, f64)> = vec![(1, 300.0), (2, 100.0), (3, 450.0)];
+    for &(host, swap) in &hosts {
+        let mut client = V2Client::connect(server.addr(), host);
+        let mut t = 0.0;
+        for _ in 0..8 {
+            client.send(&Message::Datapoint(dp(t, swap)));
+            t += 5.0;
+        }
+        client.wait_estimate();
+        client.send(&Message::Bye);
+    }
+
+    let mut client = V2Client::connect(server.addr(), 99);
+    client.send(&Message::TopKRequest { k: 2 });
+    loop {
+        match client.recv() {
+            Message::TopKReply {
+                instance_id,
+                entries,
+            } => {
+                assert_eq!(instance_id, 42);
+                assert_eq!(entries.len(), 2, "k truncates the board");
+                assert_eq!(entries[0].host_id, 3);
+                assert_eq!(entries[0].rttf, 100.0);
+                assert_eq!(entries[1].host_id, 1);
+                assert_eq!(entries[1].rttf, 400.0);
+                assert!(entries[0].model_generation >= 1);
+                break;
+            }
+            Message::Alert { .. } | Message::RttfEstimate { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// The whole fleet plane in-process: three serve instances, hosts routed
+/// by the consistent-hash ring, and the `Fleet` aggregator's rollup,
+/// merged top-K, and merged exposition all cross-checked against the
+/// per-instance ground truth (seqlock boards, per-instance scrapes).
+#[test]
+fn fleet_aggregator_over_three_instances() {
+    use f2pm_serve::{Fleet, HashRing};
+
+    let instance_ids = [1u32, 2, 3];
+    let servers: Vec<ServeHandle> = instance_ids
+        .iter()
+        .map(|&id| {
+            let registry = ModelRegistry::new(
+                linear(1000.0, -2.0),
+                vec!["swap_used".to_string(), "swap_used_slope".to_string()],
+                agg(),
+            )
+            .unwrap();
+            PredictionServer::start(
+                "127.0.0.1:0",
+                ServeConfig {
+                    shards: 2,
+                    instance_id: id,
+                    ..ServeConfig::default()
+                },
+                registry,
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+
+    // Route 24 hosts across the fleet by the ring; distinct swap levels
+    // make every host's RTTF unique and exactly predictable.
+    let ring = HashRing::new(&instance_ids);
+    let hosts: Vec<(u32, f64)> = (0..24u32).map(|h| (h, 20.0 + h as f64 * 15.0)).collect();
+    let mut per_instance_hosts = 0usize;
+    for &(host, swap) in &hosts {
+        let owner = ring.route(host).unwrap();
+        let at = instance_ids.iter().position(|&i| i == owner).unwrap();
+        per_instance_hosts += 1;
+        let mut client = V2Client::connect(servers[at].addr(), host);
+        let mut t = 0.0;
+        for _ in 0..8 {
+            client.send(&Message::Datapoint(dp(t, swap)));
+            t += 5.0;
+        }
+        client.wait_estimate();
+        client.send(&Message::Bye);
+    }
+    assert_eq!(per_instance_hosts, hosts.len());
+
+    let mut fleet = Fleet::connect(&addrs).unwrap();
+    assert_eq!(fleet.len(), 3);
+
+    // Rollup: totals are exactly the sums of the per-instance snapshots,
+    // and every host is tracked by exactly one instance.
+    let stats = fleet.stats().unwrap();
+    assert_eq!(stats.instances.len(), 3);
+    assert_eq!(stats.hosts_tracked, hosts.len() as u64);
+    assert_eq!(stats.datapoints, 8 * hosts.len() as u64);
+    assert_eq!(stats.dropped, 0);
+    let mut ids: Vec<u32> = stats.instances.iter().map(|s| s.instance_id).collect();
+    ids.sort();
+    assert_eq!(ids, instance_ids);
+    for snap in &stats.instances {
+        assert!(
+            snap.hosts_tracked > 0,
+            "ring left instance {} empty",
+            snap.instance_id
+        );
+    }
+
+    // Merged top-K: globally ascending RTTF, and identical to sorting the
+    // union of the per-instance seqlock boards — the ground truth.
+    let top = fleet.top_k(10).unwrap();
+    assert_eq!(top.len(), 10);
+    let mut expected: Vec<(u32, f64)> = Vec::new();
+    for server in &servers {
+        for (host, est) in server.board().top_k(usize::MAX) {
+            expected.push((host, est.rttf));
+        }
+    }
+    expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    expected.truncate(10);
+    for (got, want) in top.iter().zip(&expected) {
+        assert_eq!((got.host_id, got.rttf), *want);
+    }
+    for pair in top.windows(2) {
+        assert!(pair[0].rttf <= pair[1].rttf, "ranking out of order");
+    }
+    // The host nearest failure fleet-wide is the one with the most swap.
+    assert_eq!(top[0].host_id, 23);
+    assert_eq!(top[0].rttf, 1000.0 - 2.0 * (20.0 + 23.0 * 15.0));
+
+    // Merged exposition: the fleet counter equals the *sum* of the
+    // per-instance counters, exactly.
+    let mut expected_datapoints = 0.0;
+    for server in &servers {
+        let mut c = V2Client::connect(server.addr(), 90_000);
+        expected_datapoints += sample(&c.scrape(), "f2pm_serve_datapoints_total ").unwrap();
+        c.send(&Message::Bye);
+    }
+    let merged = fleet.merged_scrape().unwrap();
+    assert_eq!(
+        sample(&merged, "f2pm_serve_datapoints_total "),
+        Some(expected_datapoints)
+    );
+    assert_eq!(expected_datapoints, 8.0 * hosts.len() as f64);
+    // Instance identity survives the merge as attributable gauges.
+    for id in instance_ids {
+        assert!(
+            merged.contains(&format!("instance=\"{id}\"")),
+            "instance {id} missing from merged exposition:\n{merged}"
+        );
+    }
+
+    for server in servers {
+        let snap = server.shutdown();
+        assert_eq!(snap.dropped, 0);
+    }
 }

@@ -52,15 +52,19 @@ mod engine;
 mod failure;
 mod harness;
 pub mod os;
+mod profile;
 mod rng;
 mod server;
 pub mod tpcw;
 mod vm;
 
-pub use anomaly::{AnomalyConfig, AnomalyEvent, AuxInjector, LeakInjector, ThreadInjector};
+pub use anomaly::{
+    AnomalyConfig, AnomalyEvent, AuxInjector, InjectionMode, LeakInjector, ThreadInjector,
+};
 pub use engine::{RunOutcome, SimConfig, Simulation};
 pub use failure::{FailureCondition, FailurePredicate};
 pub use harness::{Campaign, CampaignConfig, Run, RunSample};
+pub use profile::{HostClass, HostProfile};
 pub use rng::SimRng;
 pub use server::{AppServer, ServerConfig};
 pub use vm::{SystemSnapshot, VirtualMachine, VmConfig};

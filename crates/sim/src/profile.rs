@@ -1,0 +1,260 @@
+//! Heterogeneous per-host anomaly profiles for fleet simulations.
+//!
+//! The single-server experiments draw anomaly parameters per *run*; a
+//! fleet needs them to differ per *host* too, or every simulated guest
+//! degrades at the same rate and a cluster-wide "nearest failure" ranking
+//! is meaningless. [`HostProfile::for_host`] derives a deterministic
+//! profile from nothing but the host id: a degradation [`HostClass`] and
+//! an intensity in `[0, 1]`, mapped to scaled [`AnomalyConfig`] ranges.
+//! The same host id always produces the same profile, on any machine —
+//! so a multi-process load generator and an in-process verifier agree on
+//! every host's behavior without sharing state.
+
+use crate::anomaly::{AnomalyConfig, InjectionMode};
+
+/// How a host's guest degrades. Classes skew which §I anomaly classes
+/// dominate, so a fleet mixes slow leakers, thread churners, and
+/// everything-at-once hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostClass {
+    /// Conservative rates: the guest survives a long time. The bulk of a
+    /// realistic fleet.
+    Stable,
+    /// Leak-dominated degradation: big, frequent allocations.
+    LeakHeavy,
+    /// Thread-churn-dominated degradation: unterminated threads pile up
+    /// much faster than memory leaks.
+    ThreadChurn,
+    /// All four anomaly classes at once (leaks, threads, unreleased
+    /// locks, file fragmentation).
+    Mixed,
+}
+
+impl HostClass {
+    /// All classes, in the order [`HostProfile::for_host`] cycles through.
+    pub const ALL: [HostClass; 4] = [
+        HostClass::Stable,
+        HostClass::LeakHeavy,
+        HostClass::ThreadChurn,
+        HostClass::Mixed,
+    ];
+}
+
+/// A host's deterministic anomaly profile (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostProfile {
+    /// The host this profile belongs to.
+    pub host_id: u32,
+    /// Degradation class.
+    pub class: HostClass,
+    /// Degradation intensity in `[0, 1]`: 0 is the gentlest member of the
+    /// class, 1 the harshest.
+    pub intensity: f64,
+}
+
+/// splitmix64: cheap, stateless, well-mixed — the derivation must be
+/// reproducible from the host id alone.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Linear interpolation over a range by `f ∈ [0, 1]`.
+fn lerp(lo: f64, hi: f64, f: f64) -> f64 {
+    lo + (hi - lo) * f
+}
+
+impl HostProfile {
+    /// The profile of `host_id`: class weighted 2:1:1:1 toward
+    /// [`HostClass::Stable`] (fleets are mostly healthy), intensity from
+    /// an independent hash of the id.
+    pub fn for_host(host_id: u32) -> HostProfile {
+        let h = mix(0xf2f2_0000_0000_0000 ^ host_id as u64);
+        let class = match h % 5 {
+            0 | 1 => HostClass::Stable,
+            2 => HostClass::LeakHeavy,
+            3 => HostClass::ThreadChurn,
+            _ => HostClass::Mixed,
+        };
+        let intensity = (mix(h) >> 11) as f64 / (1u64 << 53) as f64;
+        HostProfile {
+            host_id,
+            class,
+            intensity,
+        }
+    }
+
+    /// The anomaly configuration this profile induces. Ranges are scaled
+    /// by class and intensity but stay non-degenerate (`lo < hi`), so the
+    /// per-run draws inside the injectors still vary across lives.
+    pub fn anomaly_config(&self) -> AnomalyConfig {
+        let i = self.intensity;
+        let base = AnomalyConfig {
+            mode: InjectionMode::LoadCoupled,
+            ..AnomalyConfig::default()
+        };
+        match self.class {
+            HostClass::Stable => AnomalyConfig {
+                leak_size_mib: (0.2, lerp(0.6, 1.2, i)),
+                leak_prob_per_home: (0.02, lerp(0.05, 0.15, i)),
+                thread_prob_per_home: (0.005, lerp(0.01, 0.04, i)),
+                lock_prob_per_home: (0.0, 0.0),
+                frag_delta_per_home: (0.0, 0.0),
+                ..base
+            },
+            HostClass::LeakHeavy => AnomalyConfig {
+                leak_size_mib: (lerp(2.0, 5.0, i), lerp(5.0, 10.0, i)),
+                leak_prob_per_home: (lerp(0.4, 0.6, i), lerp(0.7, 0.95, i)),
+                thread_prob_per_home: (0.01, 0.05),
+                lock_prob_per_home: (0.0, 0.0),
+                frag_delta_per_home: (0.0, 0.0),
+                ..base
+            },
+            HostClass::ThreadChurn => AnomalyConfig {
+                leak_size_mib: (0.3, 1.0),
+                leak_prob_per_home: (0.05, 0.15),
+                thread_prob_per_home: (lerp(0.2, 0.4, i), lerp(0.5, 0.8, i)),
+                lock_prob_per_home: (0.0, 0.0),
+                frag_delta_per_home: (0.0, 0.0),
+                ..base
+            },
+            HostClass::Mixed => AnomalyConfig {
+                leak_size_mib: (lerp(1.0, 2.0, i), lerp(3.0, 6.0, i)),
+                leak_prob_per_home: (lerp(0.2, 0.4, i), lerp(0.5, 0.8, i)),
+                thread_prob_per_home: (lerp(0.05, 0.15, i), lerp(0.2, 0.4, i)),
+                lock_prob_per_home: (0.01, lerp(0.03, 0.08, i)),
+                frag_delta_per_home: (0.0001, lerp(0.0004, 0.001, i)),
+                ..base
+            },
+        }
+    }
+
+    /// A reproducible simulation seed for this host's `life`-th guest
+    /// incarnation (lives restart after each simulated failure).
+    pub fn seed(&self, life: u64) -> u64 {
+        mix((self.host_id as u64) << 20 ^ life.wrapping_mul(10_007))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic() {
+        for host in 0..500u32 {
+            assert_eq!(HostProfile::for_host(host), HostProfile::for_host(host));
+        }
+    }
+
+    #[test]
+    fn intensity_is_in_unit_interval() {
+        for host in 0..2000u32 {
+            let p = HostProfile::for_host(host);
+            assert!((0.0..1.0).contains(&p.intensity), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn every_class_appears_and_stable_dominates() {
+        let mut counts = [0usize; 4];
+        for host in 0..2000u32 {
+            let at = HostClass::ALL
+                .iter()
+                .position(|&c| c == HostProfile::for_host(host).class)
+                .unwrap();
+            counts[at] += 1;
+        }
+        for (class, &n) in HostClass::ALL.iter().zip(&counts) {
+            assert!(n > 100, "class {class:?} under-represented: {n}/2000");
+        }
+        assert!(
+            counts[0] > counts[1] && counts[0] > counts[2] && counts[0] > counts[3],
+            "Stable must dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn configs_keep_ranges_non_degenerate() {
+        for host in 0..2000u32 {
+            let cfg = HostProfile::for_host(host).anomaly_config();
+            for (lo, hi) in [
+                cfg.leak_size_mib,
+                cfg.leak_prob_per_home,
+                cfg.thread_prob_per_home,
+                cfg.leak_mean_interval_s,
+                cfg.thread_mean_interval_s,
+            ] {
+                assert!(lo < hi, "host {host}: degenerate range {lo}..{hi}");
+                assert!(lo >= 0.0);
+            }
+            let (llo, lhi) = cfg.lock_prob_per_home;
+            assert!(llo <= lhi);
+        }
+    }
+
+    #[test]
+    fn classes_induce_heterogeneous_leak_pressure() {
+        // The class skews must actually separate: a LeakHeavy host's
+        // minimum per-Home leak probability exceeds a Stable host's
+        // maximum, for any intensities.
+        let heavy = HostProfile {
+            host_id: 0,
+            class: HostClass::LeakHeavy,
+            intensity: 0.0,
+        };
+        let stable = HostProfile {
+            host_id: 1,
+            class: HostClass::Stable,
+            intensity: 1.0,
+        };
+        assert!(
+            heavy.anomaly_config().leak_prob_per_home.0
+                > stable.anomaly_config().leak_prob_per_home.1
+        );
+    }
+
+    #[test]
+    fn only_mixed_enables_the_aux_classes() {
+        for host in 0..500u32 {
+            let p = HostProfile::for_host(host);
+            let cfg = p.anomaly_config();
+            if p.class == HostClass::Mixed {
+                assert!(cfg.lock_prob_per_home.1 > 0.0);
+                assert!(cfg.frag_delta_per_home.1 > 0.0);
+            } else {
+                assert_eq!(cfg.lock_prob_per_home, (0.0, 0.0));
+                assert_eq!(cfg.frag_delta_per_home, (0.0, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_pressure_within_a_class() {
+        let gentle = HostProfile {
+            host_id: 0,
+            class: HostClass::LeakHeavy,
+            intensity: 0.0,
+        }
+        .anomaly_config();
+        let harsh = HostProfile {
+            host_id: 0,
+            class: HostClass::LeakHeavy,
+            intensity: 1.0,
+        }
+        .anomaly_config();
+        assert!(harsh.leak_size_mib.1 > gentle.leak_size_mib.1);
+        assert!(harsh.leak_prob_per_home.1 > gentle.leak_prob_per_home.1);
+    }
+
+    #[test]
+    fn seeds_differ_across_hosts_and_lives() {
+        let a = HostProfile::for_host(1);
+        let b = HostProfile::for_host(2);
+        assert_ne!(a.seed(0), b.seed(0));
+        assert_ne!(a.seed(0), a.seed(1));
+        assert_eq!(a.seed(3), HostProfile::for_host(1).seed(3));
+    }
+}
