@@ -89,6 +89,52 @@ for path, min_rows, min_speedup in (
     assert c["chunks_pruned"] > 0, f"{path}: zone maps pruned no chunks"
 print("columnar + predict gates OK")
 EOF
+# Warm-start retraining gate (DESIGN.md §15). The steady-state 1-run
+# window shift over the paper-scale 2000-row window must stay >=5x
+# faster than a cold rebuild, and the warm model must agree with the
+# cold oracle to 1e-6 on the newest run's rows. The retrain section
+# always runs at full scale (the claim is about n=2000), so smoke and
+# the committed baseline gate at the same floor.
+python3 - <<'EOF'
+import json
+
+MIN_SPEEDUP = 5.0
+MAX_PRED_DELTA = 1e-6
+
+for path in ("target/BENCH_compute_smoke.json", "BENCH_compute.json"):
+    r = json.load(open(path)).get("retrain")
+    assert r is not None, f"{path}: no 'retrain' section"
+    assert r["window_rows"] >= 2000, f"{path}: window only {r['window_rows']} rows"
+    assert r["shift_rows"] > 0, f"{path}: shift retired no rows"
+    assert r["warm_s"] > 0 and r["cold_s"] > 0, path
+    assert r["speedup"] >= MIN_SPEEDUP, (
+        f"{path}: warm retrain only {r['speedup']:.2f}x over cold "
+        f"(need >={MIN_SPEEDUP}x)"
+    )
+    assert r["max_pred_delta"] <= MAX_PRED_DELTA, (
+        f"{path}: warm/cold models diverged by {r['max_pred_delta']:e}"
+    )
+
+# SVR shrinking regression floor: every benchmarked size sits below
+# SVR_SHRINK_MIN_N, where shrinking must be a no-op — the gate proves
+# the activation threshold keeps it off the small-problem path (any
+# real slowdown would show up here), with headroom for timer noise on
+# the sub-10ms smoke fits.
+for path, floor in (
+    ("target/BENCH_compute_smoke.json", 0.90),
+    ("BENCH_compute.json", 0.95),
+):
+    j = json.load(open(path))
+    sections = [k for k in j if k.startswith("svr_train_")]
+    assert sections, f"{path}: no svr_train sections"
+    for key in sections:
+        s = j[key]["speedup"]
+        assert s >= floor, (
+            f"{path}: {key} shrinking speedup {s:.2f} under the {floor} "
+            f"no-op floor"
+        )
+print("retrain + svr shrinking gates OK")
+EOF
 
 echo "==> f2pm query end-to-end (campaign -> train -> export-columnar -> query)"
 CIDIR=target/ci-columnar

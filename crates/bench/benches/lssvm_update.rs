@@ -1,0 +1,142 @@
+//! Criterion bench for the rank-k Cholesky maintenance kernels behind
+//! the warm-start retraining engine (DESIGN.md §15): one sliding-window
+//! shift on the LS-SVM block `A = K + I/γ` — retire the k oldest rows,
+//! border the k newest in — against the cold refactorization of the
+//! shifted matrix, plus the individual `update_rank_k`/`downdate_rank_k`
+//! Gram-side kernels.
+//!
+//! Run with `cargo bench -p f2pm-bench --bench lssvm_update`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2pm_linalg::{Cholesky, Matrix};
+use f2pm_ml::Kernel;
+
+fn sample(n: usize, p: usize, phase: f64) -> Matrix {
+    let mut x = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            x[(i, j)] = ((i * p + j) as f64 * 0.37 + phase).sin() * 2.0 + (i as f64 * 0.013).cos();
+        }
+    }
+    x
+}
+
+fn submatrix(a: &Matrix, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix {
+    let mut m = Matrix::zeros(nr, nc);
+    for i in 0..nr {
+        m.row_mut(i).copy_from_slice(&a.row(r0 + i)[c0..c0 + nc]);
+    }
+    m
+}
+
+/// `A = K + I/γ` over `x` (the LS-SVM block at the suite's γ = 10).
+fn lssvm_block(x: &Matrix) -> Matrix {
+    let mut a = Kernel::Rbf { gamma: 0.03 }.matrix(x);
+    for i in 0..a.rows() {
+        a[(i, i)] += 0.1;
+    }
+    a
+}
+
+fn bench_window_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lssvm_update");
+    group.sample_size(10);
+    let k = 8usize; // one run's worth of rows at the gated workload shape
+    for n in [1024usize, 2000] {
+        // n + k rows: the first k retire, the last k enter.
+        let x = sample(n + k, 30, 0.0);
+        let a_full = lssvm_block(&x);
+        // The stale factor covers rows [0, n); the shifted window is
+        // rows [k, n + k).
+        let stale = Cholesky::factor(&submatrix(&a_full, 0, 0, n, n)).expect("spd");
+        let shifted = submatrix(&a_full, k, k, n, n);
+        let border_b = submatrix(&a_full, k, n, n - k, k);
+        let border_c = submatrix(&a_full, n, n, k, k);
+
+        group.bench_with_input(BenchmarkId::new("warm_shift", n), &stale, |b, stale| {
+            b.iter(|| {
+                let mut f = stale.clone();
+                f.shift_window(k, &border_b, &border_c).expect("shift");
+                f
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("warm_shift_twostep", n),
+            &stale,
+            |b, stale| {
+                b.iter(|| {
+                    let mut f = stale.clone();
+                    f.retire_leading(k).expect("retire");
+                    f.extend(&border_b, &border_c).expect("extend");
+                    f
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("retire_only", n), &stale, |b, stale| {
+            b.iter(|| {
+                let mut f = stale.clone();
+                f.retire_leading(k).expect("retire");
+                f
+            })
+        });
+        let mut retired = stale.clone();
+        retired.retire_leading(k).expect("retire");
+        group.bench_with_input(
+            BenchmarkId::new("extend_only", n),
+            &retired,
+            |b, retired| {
+                b.iter(|| {
+                    let mut f = retired.clone();
+                    f.extend(&border_b, &border_c).expect("extend");
+                    f
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cold_factor", n), &shifted, |b, a| {
+            b.iter(|| Cholesky::factor(a).expect("spd"))
+        });
+        // The dual-refresh solve the engine runs after every shift:
+        // two interleaved right-hand sides (1 | y).
+        let mut rhs = Matrix::zeros(n, 2);
+        for i in 0..n {
+            rhs[(i, 0)] = 1.0;
+            rhs[(i, 1)] = (i as f64 * 0.11).sin();
+        }
+        group.bench_with_input(BenchmarkId::new("solve_2rhs", n), &stale, |b, f| {
+            b.iter(|| f.solve_multi(&rhs).expect("solve"))
+        });
+
+        // The p-side Gram kernels the ridge factor uses (p + 1 = 31
+        // augmented columns, rank-k batches).
+        let z = sample(n, 31, 1.3);
+        let mut gram = Matrix::zeros(31, 31);
+        for i in 0..31 {
+            for j in 0..31 {
+                let mut s = 0.0;
+                for r in 0..n {
+                    s += z[(r, i)] * z[(r, j)];
+                }
+                gram[(i, j)] = s;
+            }
+            gram[(i, i)] += 1e-6;
+        }
+        let gram_factor = Cholesky::factor(&gram).expect("spd");
+        let w = sample(k, 31, 2.7);
+        group.bench_with_input(
+            BenchmarkId::new("gram_up_downdate", n),
+            &gram_factor,
+            |b, f| {
+                b.iter(|| {
+                    let mut f = f.clone();
+                    f.update_rank_k(&w).expect("update");
+                    f.downdate_rank_k(&w).expect("downdate");
+                    f
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_shift);
+criterion_main!(benches);

@@ -161,9 +161,10 @@ fn columnar_section(json: &mut String, reps: usize, smoke: bool) {
             let points = aggregate_run(run, &agg);
             let mut preds = Vec::with_capacity(points.len());
             let mut actuals = Vec::with_capacity(points.len());
+            let mut row = [0.0; 30];
             for p in &points {
                 let Some(rttf) = p.rttf else { continue };
-                let row = p.inputs_with(&agg);
+                p.write_into(&agg, &mut row);
                 preds.push(model.predict_row(&row));
                 actuals.push(rttf);
             }
@@ -263,6 +264,123 @@ fn columnar_section(json: &mut String, reps: usize, smoke: bool) {
     let _ = writeln!(json, "  }},");
 }
 
+/// DESIGN.md §15 warm-start retraining benchmark: one sliding-window
+/// shift (oldest run retired, newest appended) retrained warm — rank-k
+/// Cholesky up/downdates on the maintained factors — versus the cold
+/// from-scratch rebuild of the same window through the offline fit path.
+/// Always run at full scale, `--smoke` included: the speedup is the gated
+/// headline and it grows with the window, so a 1/5-scale window would
+/// gate a different (much weaker) claim.
+fn retrain_section(json: &mut String, reps: usize) {
+    use f2pm::{FactorPath, RetrainConfig, RetrainEngine};
+    use f2pm_features::{aggregate_run, AggregationConfig};
+    use f2pm_monitor::{Datapoint, RunData};
+
+    let agg = AggregationConfig::default(); // 10 s windows, >= 2 points
+    let window_runs = 250usize;
+    let windows_per_run = 8usize; // 250 runs x 8 rows = the paper-scale 2000
+
+    // Two raw datapoints per window at a 5 s interval; per-column phase
+    // decorrelation so the standardized design is well-conditioned.
+    let make_run = |seed: usize| -> RunData {
+        let span = windows_per_run as f64 * agg.window_s;
+        let datapoints = (0..windows_per_run * 2)
+            .map(|k| {
+                let t = k as f64 * 5.0 + 1.0;
+                let mut values = [0.0f64; 14];
+                for (j, v) in values.iter_mut().enumerate() {
+                    *v = 1.0
+                        + 0.01 * t * (1.0 + j as f64 * 0.1)
+                        + (seed as f64 * 0.37 + j as f64).sin();
+                }
+                Datapoint { t_gen: t, values }
+            })
+            .collect();
+        RunData {
+            datapoints,
+            fail_time: Some(span + 5.0),
+        }
+    };
+
+    eprintln!(
+        "retrain: {window_runs}-run window ({} rows), 1-run shift...",
+        window_runs * windows_per_run
+    );
+    let cfg = RetrainConfig {
+        aggregation: agg,
+        ..RetrainConfig::new(window_runs)
+    };
+    let mut base = RetrainEngine::new(cfg);
+    for seed in 0..window_runs {
+        base.push_run(&make_run(seed));
+    }
+    // First retrain: freezes the standardizer and cold-builds every
+    // maintained factor. Timed once — it is a once-per-engine cost.
+    let t = Instant::now();
+    base.retrain().expect("initial retrain");
+    let initial_cold_s = t.elapsed().as_secs_f64();
+
+    // The newest run enters, the oldest leaves: the steady-state shift
+    // every continuous-retraining tick pays.
+    base.push_run(&make_run(window_runs));
+    let shift_rows = windows_per_run;
+    let window_rows = base.window_rows();
+
+    // Interleaved min-of-reps, warm side on a clone so every rep replays
+    // the identical pending shift (clones are untimed).
+    let retrain_reps = reps.max(9);
+    let mut warm_s = f64::INFINITY;
+    let mut cold_s = f64::INFINITY;
+    let mut outcomes = None;
+    for _ in 0..retrain_reps {
+        let mut engine = base.clone();
+        let t = Instant::now();
+        let warm = engine.retrain().expect("warm retrain");
+        warm_s = warm_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let cold = base.retrain_cold().expect("cold retrain");
+        cold_s = cold_s.min(t.elapsed().as_secs_f64());
+        assert_eq!(warm.lssvm_path, FactorPath::Warm, "shift must stay warm");
+        assert_eq!(warm.ridge_path, FactorPath::Warm, "shift must stay warm");
+        assert_eq!(warm.retired_rows, shift_rows);
+        assert_eq!(warm.appended_rows, shift_rows);
+        outcomes = Some((warm, cold));
+    }
+    let (warm, cold) = outcomes.expect("at least one rep");
+
+    // The equivalence contract, checked on the numbers being committed:
+    // warm and cold models must agree to 1e-6 on the newest run's rows.
+    let probe = aggregate_run(&make_run(window_runs), &agg);
+    let max_pred_delta = probe
+        .iter()
+        .filter(|p| p.rttf.is_some())
+        .map(|p| {
+            let row = p.inputs_with(&agg);
+            (warm.model.predict_row(&row) - cold.model.predict_row(&row)).abs()
+        })
+        .fold(0.0, f64::max);
+    assert!(
+        max_pred_delta < 1e-6,
+        "warm/cold prediction divergence {max_pred_delta:e}"
+    );
+
+    let speedup = cold_s / warm_s;
+    eprintln!(
+        "  initial cold {initial_cold_s:.4}s; shift: cold {cold_s:.4}s, \
+         warm {warm_s:.4}s ({speedup:.2}x), max pred delta {max_pred_delta:.2e}"
+    );
+    let _ = writeln!(json, "  \"retrain\": {{");
+    let _ = writeln!(json, "    \"window_runs\": {window_runs},");
+    let _ = writeln!(json, "    \"window_rows\": {window_rows},");
+    let _ = writeln!(json, "    \"shift_rows\": {shift_rows},");
+    let _ = writeln!(json, "    \"initial_cold_s\": {initial_cold_s:.6},");
+    let _ = writeln!(json, "    \"cold_s\": {cold_s:.6},");
+    let _ = writeln!(json, "    \"warm_s\": {warm_s:.6},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "    \"max_pred_delta\": {max_pred_delta:e}");
+    let _ = writeln!(json, "  }},");
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut smoke = false;
@@ -349,8 +467,23 @@ fn main() {
             .fit_svr(&sx, &sy)
             .expect("svr fit")
         };
-        let plain = best_of(reps, || fit(false));
-        let shrunk = best_of(reps, || fit(true));
+        // Both benchmarked sizes sit below SVR_SHRINK_MIN_N, so the
+        // shrinking config resolves to the plain sweep and the ratio is
+        // gated in CI as a pure activation-threshold regression check —
+        // interleave the sides and floor the reps so timer noise cannot
+        // fake a slowdown.
+        let svr_reps = reps.max(5);
+        std::hint::black_box(fit(false));
+        std::hint::black_box(fit(true));
+        let (mut plain, mut shrunk) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..svr_reps {
+            let t = Instant::now();
+            std::hint::black_box(fit(false));
+            plain = plain.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            std::hint::black_box(fit(true));
+            shrunk = shrunk.min(t.elapsed().as_secs_f64());
+        }
         eprintln!(
             "  plain {plain:.4}s, shrinking {shrunk:.4}s ({:.2}x)",
             plain / shrunk
@@ -429,6 +562,8 @@ fn main() {
     let _ = writeln!(json, "  }},");
 
     columnar_section(&mut json, reps, smoke);
+
+    retrain_section(&mut json, reps);
 
     // --- Training pipeline: the fast-training rework tracked keys. ---
     let _ = writeln!(json, "  \"training\": {{");

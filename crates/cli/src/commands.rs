@@ -28,7 +28,7 @@ USAGE:
                  | --models-dir DIR)
                 [--addr HOST:PORT] [--instance-id N] [--shards N]
                 [--reactors N] [--queue CAP] [--threshold SECS] [--hits K]
-                [--window SECS] [--seconds N] [--watch]
+                [--window SECS] [--seconds N] [--watch] [--retrain RUNS]
   f2pm models   DIR (list | verify | rollback [--to GEN]
                      | import --model model.txt [--window SECS])
   f2pm stats    [--addr HOST:PORT] [--watch] [--interval SECS] [--count N]
@@ -38,6 +38,7 @@ USAGE:
                 [--window SECS] [--host ID] [--chunk-rows N]
   f2pm query    --store store.f2pc --model model.txt [--run ID] [--host ID]
                 [--t-min SECS] [--t-max SECS] [--cohort run|host]
+  f2pm retrain-bench [--runs N] [--rows-per-run N] [--reps N]
 
 METHODS (train): linear, rep_tree, m5p, svm, ls_svm
 
@@ -50,7 +51,12 @@ cold-starts from the store's manifest-active binary artifact (no training
 pass, no `--history`) and hot-reloads whenever the manifest advances —
 publish with `f2pm train --save-artifact DIR`, operate the store with
 `f2pm models DIR {list,verify,rollback}`, and convert legacy text models
-with `f2pm models DIR import --model model.txt`. `--reactors N` sizes the
+with `f2pm models DIR import --model model.txt`. `--retrain RUNS` (with
+`--models-dir` only) closes the loop: a background worker reassembles the
+failing runs streamed by live clients, warm-retrains an LS-SVM over the
+last RUNS of them (rank-k factor updates — no O(n³) rebuild per run), and
+publishes each refreshed model into the store, where the manifest poll
+hot-reloads it with zero disruption. `--reactors N` sizes the
 epoll event-loop pool that owns client connections (Linux; default: one
 per CPU; 0 falls back to one reader thread per connection), and
 `--instance-id N` stamps the instance's stable fleet identity into the
@@ -66,7 +72,10 @@ gauges stay attributable behind an `instance` label. `export-columnar`
 converts a history CSV into the checksummed columnar store format and
 `query` re-scores it against a saved model — zone maps prune chunks the
 filter cannot match, and errors stream into per-run (or per-host) MAE /
-S-MAE cohorts without ever materializing the history as rows.";
+S-MAE cohorts without ever materializing the history as rows.
+`retrain-bench` measures the warm-start retraining engine's steady-state
+1-run window shift against a cold rebuild on this machine (the loop
+behind `serve --retrain`) and verifies warm/cold model equivalence.";
 
 /// Parse `--key value` pairs and bare `--flag`s.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -356,7 +365,8 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     );
     // One batched scoring pass over every window (the kernel models score
     // this allocation-free and in parallel) instead of a per-window call.
-    let width = points[0].inputs().len();
+    let agg = AggregationConfig::default();
+    let width = points[0].input_width(&agg);
     if width != model.width() {
         return Err(format!(
             "model expects {} inputs but the aggregation produced {} — \
@@ -367,7 +377,7 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     }
     let mut x = f2pm_linalg::Matrix::zeros(points.len(), width);
     for (i, p) in points.iter().enumerate() {
-        x.row_mut(i).copy_from_slice(&p.inputs());
+        p.write_into(&agg, x.row_mut(i));
     }
     let estimates = model.predict_batch(&x).map_err(|e| e.to_string())?;
     for (p, est) in points.iter().zip(&estimates) {
@@ -534,6 +544,9 @@ fn serve_options_from(flags: &HashMap<String, String>) -> Result<f2pm::ServeOpti
     if let Some(id) = get_parsed::<u32>(flags, "instance-id")? {
         b = b.instance_id(id);
     }
+    if let Some(runs) = get_parsed::<usize>(flags, "retrain")? {
+        b = b.retrain_window_runs(runs);
+    }
     b.build().map_err(|e| e.to_string())
 }
 
@@ -615,7 +628,32 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let watch = opts.watch;
     let seconds = opts.seconds;
 
-    let server = PredictionServer::start(&*opts.addr, cfg, registry)
+    // Continuous retraining (artifact stores only, enforced by the
+    // options builder): a background worker fed by a lossy tap off the
+    // shard workers publishes refreshed LS-SVMs into the same store the
+    // manifest poll below hot-reloads from.
+    let mut retrain_worker = None;
+    let mut tap = None;
+    if let Some(window_runs) = opts.retrain_window_runs {
+        let f2pm::ModelSource::Artifact(dir) = &opts.source else {
+            unreachable!("validated by ServeOptionsBuilder");
+        };
+        let engine = f2pm::RetrainConfig {
+            // The artifact's own aggregation, so the published columns
+            // match what this server (and its peers) aggregate with.
+            aggregation: registry.agg(),
+            ..f2pm::RetrainConfig::new(window_runs)
+        };
+        let store = ModelStore::open(dir)
+            .map_err(|e| format!("opening store {} for retraining: {e}", dir.display()))?;
+        let (t, w) =
+            f2pm_serve::RetrainWorker::start(f2pm_serve::RetrainerConfig::new(engine), store);
+        tap = Some(t);
+        retrain_worker = Some(w);
+        eprintln!("continuous retraining over the last {window_runs} failing runs");
+    }
+
+    let server = PredictionServer::start_with_tap(&*opts.addr, cfg, registry, tap)
         .map_err(|e| format!("binding {}: {e}", opts.addr))?;
     let registry = server.registry();
     let edge = if cfg!(target_os = "linux") && cfg.reactors > 0 {
@@ -689,6 +727,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         }
     }
     let snap = server.shutdown();
+    if let Some(worker) = retrain_worker {
+        // The shard workers (and with them every tap clone) are gone, so
+        // the retrain worker drains and exits.
+        worker.join();
+    }
     println!(
         "served {} datapoints, {} estimates, {} alerts ({} connections total, {} dropped)",
         snap.datapoints, snap.estimates, snap.alerts, snap.total_accepted, snap.dropped
@@ -966,6 +1009,110 @@ pub fn fleet(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown fleet action {other:?}\n{FLEET_USAGE}")),
     }
+}
+
+/// `f2pm retrain-bench`: measure the warm-start retraining engine's
+/// steady-state window shift against the cold-rebuild oracle
+/// (DESIGN.md §15) on this machine, and verify model equivalence.
+pub fn retrain_bench(args: &[String]) -> Result<(), String> {
+    use f2pm::{FactorPath, RetrainConfig, RetrainEngine};
+    use f2pm_features::aggregate_run;
+    use f2pm_ml::Model;
+    use f2pm_monitor::RunData;
+    use std::time::Instant;
+
+    let flags = parse_flags(args)?;
+    let window_runs: usize = get_parsed(&flags, "runs")?.unwrap_or(250);
+    let rows_per_run: usize = get_parsed(&flags, "rows-per-run")?.unwrap_or(8);
+    let reps: usize = get_parsed(&flags, "reps")?.unwrap_or(5);
+    if window_runs < 2 || rows_per_run == 0 || reps == 0 {
+        return Err("--runs must be >= 2, --rows-per-run and --reps >= 1".to_string());
+    }
+
+    let agg = AggregationConfig::default();
+    // Same synthetic run family the tracked benchmark uses: two raw
+    // datapoints per aggregation window, per-run phase decorrelation.
+    let make_run = |seed: usize| -> RunData {
+        let span = rows_per_run as f64 * agg.window_s;
+        let datapoints = (0..rows_per_run * 2)
+            .map(|k| {
+                let t = k as f64 * (agg.window_s / 2.0) + 1.0;
+                let mut values = [0.0f64; 14];
+                for (j, v) in values.iter_mut().enumerate() {
+                    *v = 1.0
+                        + 0.01 * t * (1.0 + j as f64 * 0.1)
+                        + (seed as f64 * 0.37 + j as f64).sin();
+                }
+                Datapoint { t_gen: t, values }
+            })
+            .collect();
+        RunData {
+            datapoints,
+            fail_time: Some(span + agg.window_s / 2.0),
+        }
+    };
+
+    let cfg = RetrainConfig {
+        aggregation: agg,
+        ..RetrainConfig::new(window_runs)
+    };
+    let mut base = RetrainEngine::new(cfg);
+    for seed in 0..window_runs {
+        base.push_run(&make_run(seed));
+    }
+    eprintln!(
+        "retrain-bench: {window_runs}-run window ({} rows), 1-run shift, {reps} reps...",
+        base.window_rows() + rows_per_run
+    );
+    let t = Instant::now();
+    base.retrain().map_err(|e| e.to_string())?;
+    let initial_cold_s = t.elapsed().as_secs_f64();
+
+    // One run leaves, one enters: the steady-state shift every
+    // continuous-retraining tick pays.
+    base.push_run(&make_run(window_runs));
+    let mut warm_s = f64::INFINITY;
+    let mut cold_s = f64::INFINITY;
+    let mut outcomes = None;
+    for _ in 0..reps {
+        let mut engine = base.clone();
+        let t = Instant::now();
+        let warm = engine.retrain().map_err(|e| e.to_string())?;
+        warm_s = warm_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let cold = base.retrain_cold().map_err(|e| e.to_string())?;
+        cold_s = cold_s.min(t.elapsed().as_secs_f64());
+        if warm.lssvm_path != FactorPath::Warm {
+            return Err("shift fell off the warm factor path".to_string());
+        }
+        outcomes = Some((warm, cold));
+    }
+    let (warm, cold) = outcomes.expect("reps >= 1");
+
+    let probe = aggregate_run(&make_run(window_runs), &agg);
+    let max_pred_delta = probe
+        .iter()
+        .filter(|p| p.rttf.is_some())
+        .map(|p| {
+            let row = p.inputs_with(&agg);
+            (warm.model.predict_row(&row) - cold.model.predict_row(&row)).abs()
+        })
+        .fold(0.0, f64::max);
+
+    println!("initial cold build: {initial_cold_s:.4} s");
+    println!(
+        "steady-state shift ({} rows out, {} in):",
+        warm.retired_rows, warm.appended_rows
+    );
+    println!("  cold rebuild: {cold_s:.4} s");
+    println!("  warm shift:   {warm_s:.4} s  ({:.2}x)", cold_s / warm_s);
+    println!("  max warm/cold prediction delta: {max_pred_delta:.2e}");
+    if max_pred_delta >= 1e-6 {
+        return Err(format!(
+            "warm/cold prediction divergence {max_pred_delta:e} exceeds 1e-6"
+        ));
+    }
+    Ok(())
 }
 
 /// Shared helper so tests can synthesize a tiny valid history file.

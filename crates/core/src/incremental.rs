@@ -14,7 +14,7 @@
 //! runs out.
 
 use crate::config::F2pmConfig;
-use f2pm_features::{aggregate_run, RunTaggedDataset};
+use f2pm_features::{RunTaggedDataset, SlidingAggregator};
 use f2pm_ml::{evaluate_one, Regressor};
 use f2pm_sim::{Campaign, Run};
 
@@ -95,29 +95,34 @@ impl IncrementalTrainer {
         let mut runs: Vec<Run> = Vec::new();
         let mut iterations = Vec::new();
         let mut reached = false;
+        // Unbounded sliding cache: each run is aggregated exactly once, on
+        // the batch that collected it, instead of the whole accumulated
+        // history being re-aggregated every iteration (which made the
+        // aggregation cost of the loop quadratic in the batch count).
+        let mut cache = SlidingAggregator::new(self.cfg.base.aggregation, 0);
 
         for batch in 0..self.cfg.max_batches {
             // Collect one more batch (each batch gets its own derived seed
             // so runs never repeat).
             let campaign =
                 Campaign::new(campaign_cfg.clone(), self.seed.wrapping_add(batch as u64));
-            runs.extend(campaign.run_all());
+            for r in campaign.run_all() {
+                let data = f2pm_monitor::RunData {
+                    datapoints: r
+                        .samples
+                        .iter()
+                        .map(f2pm_monitor::history::sample_to_datapoint)
+                        .collect(),
+                    fail_time: r.fail_time,
+                };
+                cache.push_run(&data);
+                runs.push(r);
+            }
 
-            // Aggregate per run and estimate accuracy by leave-one-run-out.
-            let per_run: Vec<_> = runs
-                .iter()
-                .map(|r| {
-                    let data = f2pm_monitor::RunData {
-                        datapoints: r
-                            .samples
-                            .iter()
-                            .map(f2pm_monitor::history::sample_to_datapoint)
-                            .collect(),
-                        fail_time: r.fail_time,
-                    };
-                    aggregate_run(&data, &self.cfg.base.aggregation)
-                })
-                .collect();
+            // Estimate accuracy by leave-one-run-out over the cached
+            // aggregations (the cache stores only labeled points, which is
+            // exactly what `from_run_points_with` keeps anyway).
+            let per_run: Vec<_> = cache.runs().map(|r| r.points.clone()).collect();
             let tagged =
                 RunTaggedDataset::from_run_points_with(&per_run, &self.cfg.base.aggregation);
 

@@ -49,6 +49,7 @@ pub mod predictor;
 pub mod query;
 pub mod rejuvenation;
 pub mod report;
+pub mod retrain;
 pub mod serve_options;
 pub mod workflow;
 
@@ -60,5 +61,6 @@ pub use predictor::{predict_many, OnlinePredictor};
 pub use query::{run_query, Cohort, CohortStats, QueryFilter, QueryReport};
 pub use rejuvenation::{ProactiveRejuvenator, RejuvenationOutcome, RejuvenationPolicy};
 pub use report::{F2pmReport, VariantReport};
+pub use retrain::{FactorPath, RetrainConfig, RetrainEngine, RetrainOutcome, RidgeModel};
 pub use serve_options::{ModelSource, ServeOptions, ServeOptionsBuilder};
 pub use workflow::{run_workflow, run_workflow_on_history};

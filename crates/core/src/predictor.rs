@@ -125,7 +125,10 @@ impl OnlinePredictor {
         let Some(point) = points.into_iter().next_back() else {
             return false;
         };
-        let inputs = point.inputs();
+        // Stack scratch for the paper's 30-column layout — this runs once
+        // per closed window per host, so no per-window heap allocation.
+        let mut inputs = [0.0; 30];
+        point.write_into(&AggregationConfig::default(), &mut inputs);
         rows.extend(self.column_idx.iter().map(|&j| inputs[j]));
         true
     }

@@ -73,6 +73,12 @@ pub struct ServeOptions {
     /// `FleetSnapshot`/`TopKReply` frames and the
     /// `f2pm_serve_instance_info` exposition gauge.
     pub instance_id: u32,
+    /// Continuous retraining: keep a warm [`crate::RetrainEngine`] over
+    /// the last N completed failing runs and publish each refreshed model
+    /// back through the artifact store. Only valid with
+    /// [`ModelSource::Artifact`] — the published generations need a store
+    /// to land in (and the manifest poll to hot-reload them from).
+    pub retrain_window_runs: Option<usize>,
 }
 
 impl ServeOptions {
@@ -90,6 +96,7 @@ impl ServeOptions {
             watch: false,
             seconds: None,
             instance_id: 0,
+            retrain_window_runs: None,
         }
     }
 }
@@ -109,6 +116,7 @@ pub struct ServeOptionsBuilder {
     watch: bool,
     seconds: Option<u64>,
     instance_id: u32,
+    retrain_window_runs: Option<usize>,
 }
 
 impl ServeOptionsBuilder {
@@ -172,6 +180,13 @@ impl ServeOptionsBuilder {
         self
     }
 
+    /// Continuously retrain on a sliding window of the last `runs`
+    /// completed failing runs, publishing into the artifact store.
+    pub fn retrain_window_runs(mut self, runs: usize) -> Self {
+        self.retrain_window_runs = Some(runs);
+        self
+    }
+
     /// Validate the whole description. Every rule that used to be an
     /// ad-hoc CLI check lives here, and each violation is the same typed
     /// [`F2pmError::InvalidConfig`].
@@ -197,6 +212,17 @@ impl ServeOptionsBuilder {
         if let Some(w) = self.window_s {
             if !(w.is_finite() && w > 0.0) {
                 return Err(invalid("window_s must be positive"));
+            }
+        }
+        if let Some(runs) = self.retrain_window_runs {
+            if runs == 0 {
+                return Err(invalid("retrain window must hold at least one run"));
+            }
+            if !matches!(self.source, ModelSource::Artifact(_)) {
+                return Err(invalid(
+                    "retrain needs an artifact store (--models-dir) to publish refreshed \
+                     models into",
+                ));
             }
         }
         match &self.source {
@@ -241,6 +267,7 @@ impl ServeOptionsBuilder {
             watch: self.watch,
             seconds: self.seconds,
             instance_id: self.instance_id,
+            retrain_window_runs: self.retrain_window_runs,
         })
     }
 }
@@ -265,6 +292,7 @@ mod tests {
         assert_eq!(o.alert_hits, policy.consecutive_hits);
         assert!(!o.watch);
         assert_eq!(o.instance_id, 0);
+        assert_eq!(o.retrain_window_runs, None);
     }
 
     #[test]
@@ -331,6 +359,27 @@ mod tests {
             .watch(true)
             .build();
         assert_eq!(store.unwrap_err().kind(), "invalid_config");
+    }
+
+    #[test]
+    fn retrain_is_valid_only_for_artifact_sources() {
+        let o = ServeOptions::builder(ModelSource::Artifact(PathBuf::from("models")))
+            .retrain_window_runs(6)
+            .build()
+            .unwrap();
+        assert_eq!(o.retrain_window_runs, Some(6));
+        for b in [
+            ServeOptions::builder(file_source()).retrain_window_runs(6),
+            ServeOptions::builder(ModelSource::BootTrain {
+                history: PathBuf::from("h.csv"),
+                method: "ls_svm".to_string(),
+            })
+            .retrain_window_runs(6),
+            ServeOptions::builder(ModelSource::Artifact(PathBuf::from("models")))
+                .retrain_window_runs(0),
+        ] {
+            assert_eq!(b.clone().build().unwrap_err().kind(), "invalid_config");
+        }
     }
 
     #[test]

@@ -222,15 +222,34 @@ impl AggregatedPoint {
     /// Input values for a given configuration, in
     /// [`aggregated_column_names_with`] order.
     pub fn inputs_with(&self, cfg: &AggregationConfig) -> Vec<f64> {
-        let mut v = Vec::with_capacity(if cfg.include_stddev { 44 } else { 30 });
-        v.extend_from_slice(&self.means);
-        v.extend_from_slice(&self.slopes);
-        v.push(self.intergen_mean);
-        v.push(self.intergen_slope);
-        if cfg.include_stddev {
-            v.extend_from_slice(&self.stddevs);
-        }
+        let mut v = vec![0.0; self.input_width(cfg)];
+        self.write_into(cfg, &mut v);
         v
+    }
+
+    /// Number of input columns under a given configuration.
+    pub fn input_width(&self, cfg: &AggregationConfig) -> usize {
+        if cfg.include_stddev {
+            44
+        } else {
+            30
+        }
+    }
+
+    /// Write the input values into a caller-provided slice (exactly
+    /// [`Self::input_width`] long) — the allocation-free variant of
+    /// [`Self::inputs_with`] for hot re-score/retrain paths that fill one
+    /// matrix row per aggregated point.
+    pub fn write_into(&self, cfg: &AggregationConfig, out: &mut [f64]) {
+        let width = self.input_width(cfg);
+        assert_eq!(out.len(), width, "destination must be {width} columns");
+        out[..14].copy_from_slice(&self.means);
+        out[14..28].copy_from_slice(&self.slopes);
+        out[28] = self.intergen_mean;
+        out[29] = self.intergen_slope;
+        if cfg.include_stddev {
+            out[30..44].copy_from_slice(&self.stddevs);
+        }
     }
 }
 

@@ -494,7 +494,9 @@ impl ColumnStore {
                 let Some(rttf) = p.rttf else { continue };
                 row.clear();
                 row.extend_from_slice(&[run_id as f64, host_id as f64, p.t_repr, rttf]);
-                row.extend_from_slice(&p.inputs_with(agg));
+                let base = row.len();
+                row.resize(base + p.input_width(agg), 0.0);
+                p.write_into(agg, &mut row[base..]);
                 b.push_row(&row);
             }
         }

@@ -1,8 +1,6 @@
 //! Named regression datasets and deterministic splitting.
 
-use crate::aggregate::{
-    aggregated_column_names, aggregated_column_names_with, AggregatedPoint, AggregationConfig,
-};
+use crate::aggregate::{aggregated_column_names_with, AggregatedPoint, AggregationConfig};
 use f2pm_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -23,15 +21,7 @@ impl Dataset {
     /// Assemble a dataset from labeled aggregated points (censored points
     /// are skipped).
     pub fn from_points(points: &[AggregatedPoint]) -> Self {
-        let names = aggregated_column_names();
-        let labeled: Vec<&AggregatedPoint> = points.iter().filter(|p| p.rttf.is_some()).collect();
-        let mut x = Matrix::zeros(labeled.len(), names.len());
-        let mut y = Vec::with_capacity(labeled.len());
-        for (i, p) in labeled.iter().enumerate() {
-            x.row_mut(i).copy_from_slice(&p.inputs());
-            y.push(p.rttf.expect("filtered"));
-        }
-        Dataset { names, x, y }
+        Self::from_points_with(points, &AggregationConfig::default())
     }
 
     /// Assemble with an explicit aggregation configuration — with
@@ -43,7 +33,7 @@ impl Dataset {
         let mut x = Matrix::zeros(labeled.len(), names.len());
         let mut y = Vec::with_capacity(labeled.len());
         for (i, p) in labeled.iter().enumerate() {
-            x.row_mut(i).copy_from_slice(&p.inputs_with(cfg));
+            p.write_into(cfg, x.row_mut(i));
             y.push(p.rttf.expect("filtered"));
         }
         Dataset { names, x, y }

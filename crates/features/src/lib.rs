@@ -23,6 +23,7 @@ pub mod dataset;
 pub mod lasso;
 pub mod select;
 pub mod select_data;
+pub mod sliding;
 
 pub use aggregate::{aggregate_history, aggregate_run, AggregatedPoint, AggregationConfig};
 pub use column_store::{
@@ -30,6 +31,7 @@ pub use column_store::{
     FeatureChunk, ZoneMap, COL_HOST_ID, COL_RTTF, COL_RUN_ID, COL_T, DEFAULT_CHUNK_ROWS,
 };
 pub use dataset::{Dataset, KFold};
-pub use lasso::{LassoProblem, LassoSolution, LassoSolverConfig};
+pub use lasso::{LassoProblem, LassoSolution, LassoSolverConfig, LassoStats};
 pub use select::{lasso_path, paper_lambda_grid, LassoPathPoint, SelectionReport};
 pub use select_data::{robust_outlier_filter, RunTaggedDataset};
+pub use sliding::{CachedRun, SlidingAggregator, WindowShift};

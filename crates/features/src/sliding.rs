@@ -1,0 +1,216 @@
+//! Sliding-window aggregation with a per-run cache.
+//!
+//! The knowledge-base loop retrains on "the last W failing runs". Raw
+//! datapoints never change once a run has failed, so its
+//! [`aggregate_run`] output is immutable — yet the cold path re-aggregates
+//! the *entire* window on every shift. [`SlidingAggregator`] caches the
+//! aggregated points per run id: pushing a run aggregates only that run
+//! (`O(new run)`) and evicts the oldest beyond the window, reporting
+//! exactly which runs entered and left so a warm-start retrainer can map
+//! the shift onto factor rows.
+
+use crate::aggregate::{aggregate_run, AggregatedPoint, AggregationConfig};
+use f2pm_monitor::RunData;
+use std::collections::VecDeque;
+
+/// One cached run: its id (assigned on push, monotonically increasing)
+/// and its immutable aggregation output.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// Monotonic id assigned by [`SlidingAggregator::push_run`].
+    pub run_id: u64,
+    /// Aggregated points of this run, in time order. Only labeled points
+    /// (failing runs) are cached — censored runs are rejected upstream.
+    pub points: Vec<AggregatedPoint>,
+}
+
+/// What changed in one [`SlidingAggregator::push_run`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowShift {
+    /// Id of the run that entered (even if it aggregated to zero points).
+    pub added: u64,
+    /// Number of labeled points the new run contributed.
+    pub added_points: usize,
+    /// Ids of the runs evicted from the head of the window.
+    pub retired: Vec<u64>,
+    /// Total labeled points those evicted runs carried — the number of
+    /// *leading* rows a window-ordered design matrix loses.
+    pub retired_points: usize,
+}
+
+/// Sliding window of aggregated runs with per-run caching.
+#[derive(Debug, Clone)]
+pub struct SlidingAggregator {
+    cfg: AggregationConfig,
+    window_runs: usize,
+    runs: VecDeque<CachedRun>,
+    next_run_id: u64,
+}
+
+impl SlidingAggregator {
+    /// Create with an aggregation configuration and a window size in runs
+    /// (0 = unbounded: cache-only mode, nothing is ever evicted).
+    pub fn new(cfg: AggregationConfig, window_runs: usize) -> Self {
+        SlidingAggregator {
+            cfg,
+            window_runs,
+            runs: VecDeque::new(),
+            next_run_id: 0,
+        }
+    }
+
+    /// The aggregation configuration every cached run was aggregated with.
+    pub fn config(&self) -> &AggregationConfig {
+        &self.cfg
+    }
+
+    /// Push one completed run: aggregates *only this run*, appends it to
+    /// the window, and evicts whole runs from the head while the window
+    /// holds more than `window_runs` runs.
+    ///
+    /// Only labeled points (the run must have a `fail_time`) are kept,
+    /// matching [`crate::aggregate_history`]'s training-set semantics; a
+    /// censored run still enters the window but contributes zero rows.
+    pub fn push_run(&mut self, run: &RunData) -> WindowShift {
+        let run_id = self.next_run_id;
+        self.next_run_id += 1;
+        let mut points = if run.fail_time.is_some() {
+            aggregate_run(run, &self.cfg)
+        } else {
+            Vec::new()
+        };
+        points.retain(|p| p.rttf.is_some());
+        let added_points = points.len();
+        self.runs.push_back(CachedRun { run_id, points });
+
+        let mut retired = Vec::new();
+        let mut retired_points = 0;
+        if self.window_runs > 0 {
+            while self.runs.len() > self.window_runs {
+                let old = self.runs.pop_front().expect("len > window_runs > 0");
+                retired_points += old.points.len();
+                retired.push(old.run_id);
+            }
+        }
+        WindowShift {
+            added: run_id,
+            added_points,
+            retired,
+            retired_points,
+        }
+    }
+
+    /// Runs currently in the window, oldest first.
+    pub fn runs(&self) -> impl Iterator<Item = &CachedRun> {
+        self.runs.iter()
+    }
+
+    /// All labeled points in the window, oldest run first (window order —
+    /// the row order a warm-start design matrix must use so evictions
+    /// always retire *leading* rows).
+    pub fn points(&self) -> impl Iterator<Item = &AggregatedPoint> {
+        self.runs.iter().flat_map(|r| r.points.iter())
+    }
+
+    /// Number of runs in the window.
+    pub fn len_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of labeled points in the window.
+    pub fn len_points(&self) -> usize {
+        self.runs.iter().map(|r| r.points.len()).sum()
+    }
+
+    /// True when the window holds `window_runs` runs (always false for an
+    /// unbounded window).
+    pub fn is_full(&self) -> bool {
+        self.window_runs > 0 && self.runs.len() >= self.window_runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_monitor::Datapoint;
+
+    fn synth_run(seed: u64, n: usize, fail: Option<f64>) -> RunData {
+        let mut pts = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut values = [0.0; 14];
+            for (j, v) in values.iter_mut().enumerate() {
+                *v = ((seed as f64 + i as f64 * 0.7 + j as f64) * 0.31).sin() * 50.0 + 100.0;
+            }
+            pts.push(Datapoint {
+                t_gen: i as f64 * 1.5,
+                values,
+            });
+        }
+        RunData {
+            datapoints: pts,
+            fail_time: fail,
+        }
+    }
+
+    #[test]
+    fn window_matches_fresh_aggregation() {
+        let cfg = AggregationConfig::default();
+        let mut slider = SlidingAggregator::new(cfg, 3);
+        let runs: Vec<RunData> = (0..6)
+            .map(|i| synth_run(i, 40 + 5 * i as usize, Some(200.0 + i as f64)))
+            .collect();
+        for r in &runs {
+            slider.push_run(r);
+        }
+        // Window = last 3 runs; compare against aggregating them cold.
+        let expect: Vec<AggregatedPoint> = runs[3..]
+            .iter()
+            .flat_map(|r| aggregate_run(r, &cfg))
+            .filter(|p| p.rttf.is_some())
+            .collect();
+        let got: Vec<&AggregatedPoint> = slider.points().collect();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.t_repr, e.t_repr);
+            assert_eq!(g.means, e.means);
+            assert_eq!(g.rttf, e.rttf);
+        }
+        assert_eq!(slider.len_runs(), 3);
+        assert!(slider.is_full());
+    }
+
+    #[test]
+    fn shift_reports_added_and_retired() {
+        let mut slider = SlidingAggregator::new(AggregationConfig::default(), 2);
+        let s0 = slider.push_run(&synth_run(0, 30, Some(100.0)));
+        assert_eq!(s0.added, 0);
+        assert!(s0.retired.is_empty());
+        assert!(s0.added_points > 0);
+        let _ = slider.push_run(&synth_run(1, 30, Some(100.0)));
+        let n0 = slider.runs().next().unwrap().points.len();
+        let s2 = slider.push_run(&synth_run(2, 30, Some(100.0)));
+        assert_eq!(s2.retired, vec![0]);
+        assert_eq!(s2.retired_points, n0);
+        assert_eq!(slider.len_runs(), 2);
+    }
+
+    #[test]
+    fn censored_runs_contribute_no_points_but_occupy_the_window() {
+        let mut slider = SlidingAggregator::new(AggregationConfig::default(), 2);
+        let s = slider.push_run(&synth_run(0, 30, None));
+        assert_eq!(s.added_points, 0);
+        assert_eq!(slider.len_points(), 0);
+        assert_eq!(slider.len_runs(), 1);
+    }
+
+    #[test]
+    fn unbounded_window_never_evicts() {
+        let mut slider = SlidingAggregator::new(AggregationConfig::default(), 0);
+        for i in 0..10 {
+            let s = slider.push_run(&synth_run(i, 25, Some(60.0)));
+            assert!(s.retired.is_empty());
+        }
+        assert_eq!(slider.len_runs(), 10);
+        assert!(!slider.is_full());
+    }
+}

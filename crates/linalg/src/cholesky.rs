@@ -29,7 +29,8 @@ pub const CHOL_BLOCKED_MIN: usize = 256;
 #[derive(Debug, Clone)]
 pub struct Cholesky {
     /// Lower-triangular factor (upper triangle is left as zeros).
-    l: Matrix,
+    /// Crate-visible so `crate::update` can maintain it in place.
+    pub(crate) l: Matrix,
 }
 
 impl Cholesky {
@@ -200,13 +201,18 @@ impl Cholesky {
             }
             y[i] = s / li[i];
         }
-        // Back substitution: Lᵀ x = y
+        // Back substitution: Lᵀ x = y, outer-product form. The gather form
+        // strides down a column of `l` per unknown; eliminating each solved
+        // x[i] from all earlier equations instead reads row `i` of `l`,
+        // which is contiguous and vectorizes.
         for i in (0..n).rev() {
-            let mut s = y[i];
-            for k in i + 1..n {
-                s -= self.l[(k, i)] * y[k];
+            let li = self.l.row(i);
+            let xi = y[i] / li[i];
+            y[i] = xi;
+            let (head, _) = y.split_at_mut(i);
+            for (yk, lik) in head.iter_mut().zip(li) {
+                *yk -= lik * xi;
             }
-            y[i] = s / self.l[(i, i)];
         }
         Ok(y)
     }

@@ -39,6 +39,7 @@ mod matrix;
 mod qr;
 mod stats;
 mod threads;
+mod update;
 mod vector;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
@@ -52,7 +53,8 @@ pub use matrix::Matrix;
 pub use qr::{lstsq, residual_norm, QrFactorization};
 pub use stats::{mean, variance, ColumnStats, Standardizer};
 pub use threads::pool_threads;
-pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};
+pub use update::DOWNDATE_GUARD;
+pub use vector::{axpy, axpy2, dot, norm2, norm_inf, scale, sub};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,1170 @@
+//! Rank-k maintenance of Cholesky factors.
+//!
+//! A sliding-window retrain changes the factored matrix in three ways, and
+//! each gets a dedicated kernel so the engine never pays the `O(n³)`
+//! refactorization for an `O(k)`-row window shift:
+//!
+//! * **Append** `k` rows/columns ([`Cholesky::extend`]) — bordering: one
+//!   multi-RHS triangular solve for the new off-diagonal block, then a
+//!   factorization of the `k × k` Schur complement. `O(n²k)`.
+//! * **Retire the `r` leading** rows/columns ([`Cholesky::retire_leading`])
+//!   — the trailing submatrix `A₂₂` is unchanged, and its new factor
+//!   satisfies `L'L'ᵀ = L₂₂L₂₂ᵀ + L₂₁L₂₁ᵀ`: a *positive* rank-`r`
+//!   recombination annihilated row-by-row with Householder reflections.
+//!   Unconditionally stable (it is a QR factorization in disguise), so it
+//!   never needs a conditioning guard. `O(n²r)`.
+//! * **Subtract an outer product** `A − WᵀW` ([`Cholesky::downdate_rank_k`])
+//!   — hyperbolic rotations. Unlike the two above, this is only
+//!   *conditionally* stable: as a rotation parameter `|s| = |vⱼ|/lⱼⱼ`
+//!   approaches 1 the transformation amplifies rounding error without
+//!   bound. A guard refuses the downdate ([`LinalgError::IllConditioned`])
+//!   before any garbage is produced — the factor is only committed after
+//!   every pivot clears the guard — and the caller refactorizes instead.
+//!
+//! [`Cholesky::update_rank_k`] (add `WᵀW`) rides on the same Householder
+//! core as `retire_leading` and shares its unconditional stability.
+//!
+//! The multi-RHS solve ([`Cholesky::solve_multi`]) keeps the right-hand
+//! sides interleaved row-major (`n × k`, one row per unknown) so both
+//! substitution sweeps run contiguous length-`k` axpys — this is the
+//! "triangular-solve plumbing" that lets the LS-SVM refresh its dual
+//! solution from an updated factor at `O(n²)` instead of rebuilding and
+//! refactoring the Gram matrix.
+
+use crate::{Cholesky, LinalgError, Matrix, Result};
+
+/// Guard threshold for the hyperbolic downdate: pivot `j` is refused when
+/// `lⱼⱼ² − vⱼ² ≤ DOWNDATE_GUARD · lⱼⱼ²`, i.e. when the downdate would
+/// shrink the pivot by more than ~4 decimal digits. Beyond that the
+/// hyperbolic rotation amplifies rounding by ≥ 10⁴ and a refactorization
+/// (cheap for the `p × p` Gram systems this path serves) is both safer
+/// and barely slower.
+pub const DOWNDATE_GUARD: f64 = 1e-8;
+
+impl Cholesky {
+    /// Extend the factor of `A` to the factor of `[[A, B], [Bᵀ, C]]`.
+    ///
+    /// `b` is the `n × k` cross block between the existing and the new
+    /// rows; `c` is the `k × k` diagonal block of the new rows (only its
+    /// lower triangle is read). Cost `O(n²k)` against `O((n+k)³/3)` for a
+    /// cold factorization.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] (with the absolute
+    /// pivot index) if the bordered matrix is not positive definite; the
+    /// existing factor is left untouched on any error.
+    pub fn extend(&mut self, b: &Matrix, c: &Matrix) -> Result<()> {
+        let n = self.order();
+        let k = c.rows();
+        if b.rows() != n || b.cols() != k || c.cols() != k {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky extend",
+                lhs: b.shape(),
+                rhs: c.shape(),
+            });
+        }
+        if !b.is_finite() || !c.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "cholesky extend blocks",
+            });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        // Off-diagonal factor block: solve L Y = B for Y (n × k).
+        let mut y = b.clone();
+        self.forward_multi_in_place(&mut y);
+        // New factor rows carry Yᵀ in their first n columns; the transpose
+        // also puts each new row's coefficients contiguous for the syrk.
+        let yt = y.transpose();
+        // Schur complement S = C − YᵀY, then factor it. `factor` only
+        // reads the lower triangle, so the upper copy can stay stale.
+        let yy = crate::syrk_rows(&yt);
+        let mut s = Matrix::scratch(k, k);
+        for i in 0..k {
+            let si = s.row_mut(i);
+            for ((sv, cv), yv) in si[..=i]
+                .iter_mut()
+                .zip(&c.row(i)[..=i])
+                .zip(&yy.row(i)[..=i])
+            {
+                *sv = cv - yv;
+            }
+        }
+        let ls = match Cholesky::factor(&s) {
+            Ok(f) => f,
+            Err(LinalgError::NotPositiveDefinite { pivot }) => {
+                return Err(LinalgError::NotPositiveDefinite { pivot: n + pivot })
+            }
+            Err(e) => return Err(e),
+        };
+        // Assemble [[L, 0], [Yᵀ, L_S]]. Scratch + per-row upper zeroing:
+        // one write pass instead of a full memset followed by the copies.
+        let m = n + k;
+        let mut l = Matrix::scratch(m, m);
+        for i in 0..n {
+            let row = l.row_mut(i);
+            row[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+            row[i + 1..].fill(0.0);
+        }
+        for j in 0..k {
+            let row = l.row_mut(n + j);
+            row[..n].copy_from_slice(yt.row(j));
+            row[n..=n + j].copy_from_slice(&ls.l.row(j)[..=j]);
+            row[n + j + 1..].fill(0.0);
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// Shrink the factor of `A` to the factor of its trailing submatrix
+    /// `A[r.., r..]`, retiring the `r` leading rows/columns.
+    ///
+    /// The trailing block of the old factor already satisfies
+    /// `A₂₂ = L₂₂L₂₂ᵀ + L₂₁L₂₁ᵀ`, so the new factor is a positive rank-`r`
+    /// recombination — computed with Householder reflections, which are
+    /// unconditionally stable (no conditioning guard needed, in contrast
+    /// to [`Cholesky::downdate_rank_k`]). Cost `O((n−r)²·r)`.
+    pub fn retire_leading(&mut self, r: usize) -> Result<()> {
+        let n = self.order();
+        if r > n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky retire_leading",
+                lhs: (n, n),
+                rhs: (r, r),
+            });
+        }
+        if r == 0 {
+            return Ok(());
+        }
+        let m = n - r;
+        let mut l = Matrix::scratch(m, m);
+        let mut w = Matrix::scratch(m, r);
+        for i in 0..m {
+            let src = self.l.row(r + i);
+            let dst = l.row_mut(i);
+            dst[..=i].copy_from_slice(&src[r..=r + i]);
+            dst[i + 1..].fill(0.0);
+            w.row_mut(i).copy_from_slice(&src[..r]);
+        }
+        fold_rank_update(&mut l, &mut w)?;
+        self.l = l;
+        Ok(())
+    }
+
+    /// One steady-state sliding-window shift in a single pass: retire the
+    /// `r` leading rows/columns and border by `k = c.rows()` incoming
+    /// ones. When `r == k` (the factored order is unchanged — the
+    /// continuous-retraining steady state) the whole shift happens inside
+    /// the factor's own buffer: slide the kept triangle up-left, fold the
+    /// retired coupling block into it, then write the new border rows
+    /// over the vacated tail — no second `n²` assembly, no reallocation.
+    /// When `r ≠ k` it delegates to [`Cholesky::retire_leading`] +
+    /// [`Cholesky::extend`].
+    ///
+    /// `b` is the `(n − r) × k` cross block between the kept and the new
+    /// rows; `c` the `k × k` diagonal block of the new rows (only its
+    /// lower triangle is read).
+    ///
+    /// Unlike the two-step sequence, the fused path mutates in place: if
+    /// it fails (non-positive-definite shifted window, non-finite border)
+    /// **the factor is left unusable** and the caller must rebuild cold —
+    /// which is exactly the retrain engine's fallback contract.
+    pub fn shift_window(&mut self, r: usize, b: &Matrix, c: &Matrix) -> Result<()> {
+        let n = self.order();
+        let k = c.rows();
+        if r > n || b.rows() != n - r || b.cols() != k || c.cols() != k {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky shift_window",
+                lhs: b.shape(),
+                rhs: c.shape(),
+            });
+        }
+        if r != k {
+            self.retire_leading(r)?;
+            return self.extend(b, c);
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        if !b.is_finite() || !c.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "cholesky shift blocks",
+            });
+        }
+        let m = n - r;
+        // Extract the retired coupling block, then slide the kept
+        // triangle up-left in place (destination row i sits strictly
+        // above source row r+i) with the upper tail zeroed in the same
+        // write pass.
+        let mut w = Matrix::scratch(m, r);
+        {
+            let data = self.l.as_mut_slice();
+            for i in 0..m {
+                let src = (r + i) * n;
+                w.row_mut(i).copy_from_slice(&data[src..src + r]);
+                data.copy_within(src + r..src + r + i + 1, i * n);
+                data[i * n + i + 1..(i + 1) * n].fill(0.0);
+            }
+        }
+        fold_rank_update_sub(&mut self.l, m, &mut w)?;
+        // Border against the folded top-left block: Y = L⁻¹B, Schur
+        // complement S = C − YᵀY, new rows written straight into the
+        // vacated tail.
+        let mut y = b.clone();
+        self.forward_multi_sub(m, &mut y);
+        let yt = y.transpose();
+        let yy = crate::syrk_rows(&yt);
+        let mut s = Matrix::scratch(k, k);
+        for i in 0..k {
+            let si = s.row_mut(i);
+            for ((sv, cv), yv) in si[..=i]
+                .iter_mut()
+                .zip(&c.row(i)[..=i])
+                .zip(&yy.row(i)[..=i])
+            {
+                *sv = cv - yv;
+            }
+        }
+        let ls = match Cholesky::factor(&s) {
+            Ok(f) => f,
+            Err(LinalgError::NotPositiveDefinite { pivot }) => {
+                return Err(LinalgError::NotPositiveDefinite { pivot: m + pivot })
+            }
+            Err(e) => return Err(e),
+        };
+        for j in 0..k {
+            let row = self.l.row_mut(m + j);
+            row[..m].copy_from_slice(yt.row(j));
+            row[m..=m + j].copy_from_slice(&ls.l.row(j)[..=j]);
+            row[m + j + 1..].fill(0.0);
+        }
+        Ok(())
+    }
+
+    /// Rank-k update: replace the factor of `A` with the factor of
+    /// `A + WᵀW`, where `w` is `k × n` (one added data row per matrix
+    /// row, matching the Gram-matrix convention `G += Σ xxᵀ`).
+    ///
+    /// Unconditionally stable — shares the Householder recombination core
+    /// with [`Cholesky::retire_leading`]. Cost `O(n²k)`.
+    pub fn update_rank_k(&mut self, w: &Matrix) -> Result<()> {
+        let n = self.order();
+        if w.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky update_rank_k",
+                lhs: (n, n),
+                rhs: w.shape(),
+            });
+        }
+        if !w.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "cholesky update rows",
+            });
+        }
+        if w.rows() == 0 {
+            return Ok(());
+        }
+        // Align the update rows with the factor rows: wt[i] holds the k
+        // coefficients that touch unknown i, contiguous per factor row.
+        let mut wt = w.transpose();
+        fold_rank_update(&mut self.l, &mut wt)
+    }
+
+    /// Rank-k downdate: replace the factor of `A` with the factor of
+    /// `A − WᵀW`, where `w` is `k × n` (one retired data row per matrix
+    /// row).
+    ///
+    /// Implemented as `k` sequential hyperbolic rank-1 downdates. This is
+    /// the one *conditionally* stable factor operation: when a rotation
+    /// parameter approaches 1 — the downdated matrix is nearly singular at
+    /// that pivot — rounding error is amplified without bound. The guard
+    /// ([`DOWNDATE_GUARD`]) returns [`LinalgError::IllConditioned`]
+    /// *before* committing anything: on error the stored factor is
+    /// bit-for-bit untouched and the caller should refactorize from the
+    /// explicitly-maintained matrix instead.
+    pub fn downdate_rank_k(&mut self, w: &Matrix) -> Result<()> {
+        let n = self.order();
+        if w.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky downdate_rank_k",
+                lhs: (n, n),
+                rhs: w.shape(),
+            });
+        }
+        if !w.is_finite() {
+            return Err(LinalgError::NonFinite {
+                what: "cholesky downdate rows",
+            });
+        }
+        if w.rows() == 0 {
+            return Ok(());
+        }
+        // Work on a copy so a guard trip at any pivot of any of the k
+        // rank-1 passes leaves the stored factor untouched.
+        let mut l = self.l.clone();
+        let mut v = vec![0.0; n];
+        for r in 0..w.rows() {
+            v.copy_from_slice(w.row(r));
+            downdate_rank1(&mut l, &mut v)?;
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// Solve `A X = B` for `k` right-hand sides stored *row-major
+    /// interleaved*: `b` is `n × k` with row `i` holding the `i`-th entry
+    /// of every right-hand side. Both substitution sweeps then run
+    /// contiguous length-`k` axpys instead of `k` independent strided
+    /// solves. Returns `X` in the same layout.
+    pub fn solve_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_multi",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut y = b.clone();
+        self.forward_multi_in_place(&mut y);
+        self.backward_multi_in_place(&mut y);
+        Ok(y)
+    }
+
+    /// Forward substitution `L Y = B` over `k` interleaved right-hand
+    /// sides, in place.
+    fn forward_multi_in_place(&self, y: &mut Matrix) {
+        self.forward_multi_sub(self.order(), y);
+    }
+
+    /// [`Cholesky::forward_multi_in_place`] against the leading `n × n`
+    /// sub-factor only (`y` has `n` rows) — the in-place window shift
+    /// solves its border against the already-folded top-left block while
+    /// the trailing rows still hold retired state.
+    fn forward_multi_sub(&self, n: usize, y: &mut Matrix) {
+        let k = y.cols();
+        if k == 0 {
+            return;
+        }
+        if k == 2 {
+            return self.forward_2rhs(n, y.as_mut_slice());
+        }
+        // Row-panel blocking: rows [i0, i1) first absorb every already-
+        // solved row — j-blocked so a block of solved rows stays in cache
+        // across the whole panel instead of being re-streamed per row,
+        // and solved-row pairs fused into one sweep of the target row —
+        // then solve against the panel's own triangle.
+        const PANEL: usize = 64;
+        let data = y.as_mut_slice();
+        let mut i0 = 0;
+        while i0 < n {
+            let i1 = (i0 + PANEL).min(n);
+            let (solved, rest) = data.split_at_mut(i0 * k);
+            let block = &mut rest[..(i1 - i0) * k];
+            for jj in (0..i0).step_by(PANEL) {
+                let jend = (jj + PANEL).min(i0);
+                for (local, yi) in block.chunks_exact_mut(k).enumerate() {
+                    let li = self.l.row(i0 + local);
+                    let mut j = jj;
+                    while j + 1 < jend {
+                        crate::axpy2(
+                            -li[j],
+                            &solved[j * k..(j + 1) * k],
+                            -li[j + 1],
+                            &solved[(j + 1) * k..(j + 2) * k],
+                            yi,
+                        );
+                        j += 2;
+                    }
+                    if j < jend {
+                        crate::axpy(-li[j], &solved[j * k..(j + 1) * k], yi);
+                    }
+                }
+            }
+            for i in i0..i1 {
+                let li = self.l.row(i);
+                let (done, cur) = block.split_at_mut((i - i0) * k);
+                let yi = &mut cur[..k];
+                for (j, &lij) in li[i0..i].iter().enumerate() {
+                    crate::axpy(-lij, &done[j * k..(j + 1) * k], yi);
+                }
+                let inv = 1.0 / li[i];
+                for a in yi.iter_mut() {
+                    *a *= inv;
+                }
+            }
+            i0 = i1;
+        }
+    }
+
+    /// Forward substitution specialised to two interleaved right-hand
+    /// sides (the engine's `(1 | y)` dual refresh): both accumulators
+    /// live in registers across the whole gather over the contiguous
+    /// `L` row, with two partial chains per side to hide add latency.
+    fn forward_2rhs(&self, n: usize, data: &mut [f64]) {
+        for i in 0..n {
+            let li = self.l.row(i);
+            let (solved, cur) = data.split_at_mut(2 * i);
+            let (mut a0, mut a1, mut b0, mut b1) = (0.0, 0.0, 0.0, 0.0);
+            let mut quads = solved.chunks_exact(4);
+            let mut lj = li[..i].chunks_exact(2);
+            for (s, l2) in (&mut quads).zip(&mut lj) {
+                a0 += l2[0] * s[0];
+                b0 += l2[0] * s[1];
+                a1 += l2[1] * s[2];
+                b1 += l2[1] * s[3];
+            }
+            if let (&[s0, s1], &[l0]) = (quads.remainder(), lj.remainder()) {
+                a0 += l0 * s0;
+                b0 += l0 * s1;
+            }
+            let inv = 1.0 / li[i];
+            cur[0] = (cur[0] - (a0 + a1)) * inv;
+            cur[1] = (cur[1] - (b0 + b1)) * inv;
+        }
+    }
+
+    /// Back substitution specialised to two right-hand sides: the solved
+    /// pair stays in registers while the pending column is swept once in
+    /// scatter form (the gather form would stride down a column of `L`).
+    fn backward_2rhs(&self, data: &mut [f64]) {
+        let n = self.order();
+        for i in (0..n).rev() {
+            let li = self.l.row(i);
+            let (pending, rest) = data.split_at_mut(2 * i);
+            let inv = 1.0 / li[i];
+            let a = rest[0] * inv;
+            let b = rest[1] * inv;
+            rest[0] = a;
+            rest[1] = b;
+            for (p, &lij) in pending.chunks_exact_mut(2).zip(li[..i].iter()) {
+                p[0] -= lij * a;
+                p[1] -= lij * b;
+            }
+        }
+    }
+
+    /// Back substitution `Lᵀ X = Y` over `k` interleaved right-hand sides,
+    /// in place (outer-product form: row `i` of `L` is read contiguously).
+    fn backward_multi_in_place(&self, y: &mut Matrix) {
+        let n = self.order();
+        let k = y.cols();
+        if k == 0 {
+            return;
+        }
+        if k == 2 {
+            return self.backward_2rhs(y.as_mut_slice());
+        }
+        let data = y.as_mut_slice();
+        for i in (0..n).rev() {
+            let li = self.l.row(i);
+            let (pending, rest) = data.split_at_mut(i * k);
+            let yi = &mut rest[..k];
+            let inv = 1.0 / li[i];
+            for a in yi.iter_mut() {
+                *a *= inv;
+            }
+            for (j, &lij) in li[..i].iter().enumerate() {
+                let yj = &mut pending[j * k..(j + 1) * k];
+                for (a, &b) in yj.iter_mut().zip(yi.iter()) {
+                    *a -= lij * b;
+                }
+            }
+        }
+    }
+}
+
+/// Pivot-panel width of [`fold_rank_update`]. The reflector recurrence
+/// is inherently serial, but only rows *inside* the panel need each
+/// reflection immediately — every trailing row can absorb the whole
+/// panel's reflections in one deferred pass. That pass loads each `w`
+/// row once per panel instead of once per pivot (the unblocked loop
+/// re-streamed the entire `w` mirror from memory `m` times) and its rows
+/// are independent, so it fans out across the thread pool.
+const FOLD_PANEL: usize = 32;
+
+/// Replace `l` (lower-triangular, `m × m`) with the factor of
+/// `L Lᵀ + W Wᵀ`, consuming `w` (`m × k`, rows aligned with factor rows)
+/// as workspace.
+///
+/// Row `j` is annihilated by one Householder reflection over the
+/// `(k+1)`-vector `[lⱼⱼ, wⱼ]`; applying it to each later row `i` touches
+/// only `l[i][j]` plus the contiguous `w` row `i`, so the inner loop is a
+/// pair of length-`k` fused multiply-adds. The reflector is built in the
+/// cancellation-free form `v₀ = −σ/(d + ρ)` so the new pivot comes out
+/// `+ρ` directly and the factor keeps a positive diagonal.
+///
+/// Reflections reach any given row in pivot order whether it sits inside
+/// or below the current panel, so the blocked schedule performs exactly
+/// the operations of the serial one.
+fn fold_rank_update(l: &mut Matrix, w: &mut Matrix) -> Result<()> {
+    let m = l.rows();
+    fold_rank_update_sub(l, m, w)
+}
+
+/// [`fold_rank_update`] over the leading `m × m` sub-triangle of `l`
+/// only (`w` has `m` rows); trailing rows and columns of `l` are never
+/// read or written, which is what lets the in-place window shift fold
+/// the slid-up triangle before overwriting the retired tail rows.
+fn fold_rank_update_sub(l: &mut Matrix, m: usize, w: &mut Matrix) -> Result<()> {
+    let k = w.cols();
+    debug_assert_eq!(w.rows(), m);
+    if k == 0 {
+        // W Wᵀ = 0: only the pivot-positivity contract remains.
+        for j in 0..m {
+            let d = l[(j, j)];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+        }
+        return Ok(());
+    }
+    // Pad the workspace stride to a whole number of 8-wide SIMD blocks.
+    // The padded tail starts at zero and stays zero under every
+    // reflection (they are linear in the w rows), so the arithmetic over
+    // the real k columns is bit-identical — but no inner sweep ever
+    // drops into a scalar remainder loop. `w` is workspace the callers
+    // discard, so the padded copy needs no write-back.
+    let ks = k.next_multiple_of(8);
+    if ks != k {
+        let mut wp = Matrix::scratch(m, ks);
+        for (dst, src) in wp
+            .as_mut_slice()
+            .chunks_exact_mut(ks)
+            .zip(w.as_slice().chunks_exact(k))
+        {
+            dst[..k].copy_from_slice(src);
+            dst[k..].fill(0.0);
+        }
+        return fold_rank_update_padded(l, m, &mut wp);
+    }
+    fold_rank_update_padded(l, m, w)
+}
+
+/// [`fold_rank_update_sub`] body; requires `w.cols()` to be a multiple
+/// of 8 (or the original unpadded width when it already is one).
+fn fold_rank_update_padded(l: &mut Matrix, m: usize, w: &mut Matrix) -> Result<()> {
+    let k = w.cols();
+    let mut v0s = [0.0; FOLD_PANEL];
+    let mut taus = [0.0; FOLD_PANEL];
+    let mut j0 = 0;
+    while j0 < m {
+        let j1 = (j0 + FOLD_PANEL).min(m);
+        // Serial panel factorization. Pivot j reads w.row(j) after
+        // reflections j0..j only — and since no reflection ever touches
+        // rows at or above its own pivot, panel rows are *final* here:
+        // the deferred pass below reads exactly the reflector states the
+        // panel pivots saw.
+        for j in j0..j1 {
+            let d = l[(j, j)];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let sigma = crate::dot(w.row(j), w.row(j));
+            if sigma == 0.0 {
+                v0s[j - j0] = 0.0;
+                taus[j - j0] = 0.0;
+                continue;
+            }
+            let rho = (d * d + sigma).sqrt();
+            if !rho.is_finite() {
+                return Err(LinalgError::NonFinite {
+                    what: "cholesky rank update pivot",
+                });
+            }
+            let v0 = -sigma / (d + rho); // = d − ρ without cancellation
+            let tau = 2.0 / (v0 * v0 + sigma);
+            l[(j, j)] = rho;
+            v0s[j - j0] = v0;
+            taus[j - j0] = tau;
+            // Apply within the panel only; trailing rows take the whole
+            // panel at once below.
+            let (head, tail) = w.as_mut_slice().split_at_mut((j + 1) * k);
+            let wj = &head[j * k..];
+            for (t, wi) in tail[..(j1 - j - 1) * k].chunks_exact_mut(k).enumerate() {
+                let i = j + 1 + t;
+                let lij = l[(i, j)];
+                let proj = v0 * lij + crate::dot(wj, wi);
+                let coef = tau * proj;
+                l[(i, j)] = lij - coef * v0;
+                crate::axpy(-coef, wj, wi);
+            }
+        }
+        // Deferred pass: every row below the panel absorbs reflections
+        // j0..j1 in pivot order, via the compact-WY form
+        // `Q = H_{j0}···H_{j1−1} = I − V T Vᵀ`. A row (over the combined
+        // coordinates `x = [l[i][j0..j1] | wᵢ]`, where each reflector is
+        // `vⱼ = [v0ⱼ eⱼ | uⱼ]`) becomes `x ← x − ((x·V)·T)·Vᵀ` — every
+        // inner loop is a contiguous axpy over L1-resident panel data,
+        // with none of the per-pivot dot-reduction chains the sequential
+        // application pays. Rows are independent — fan out.
+        let lm = l.cols();
+        let nb = j1 - j0;
+        let rows = m - j1;
+        if rows > 0 {
+            // uᵢᵀuⱼ cross products, the transposed panel (for the x·V
+            // product in axpy form), and the T factor
+            // (`T[0..j, j] = −τⱼ · T[0..j, 0..j] · (Vᵀvⱼ)[0..j]`,
+            // `T[j][j] = τⱼ`). A τ = 0 pivot (σ was 0, so uⱼ = 0) zeroes
+            // its whole T row/column and drops out exactly.
+            let (wt, tmat) = {
+                let panel = &w.as_slice()[j0 * k..j1 * k];
+                let mut wt = Matrix::scratch(k, nb);
+                for jj in 0..nb {
+                    for (c, &v) in panel[jj * k..(jj + 1) * k].iter().enumerate() {
+                        wt[(c, jj)] = v;
+                    }
+                }
+                let mut tm = Matrix::zeros(nb, nb);
+                let mut g = vec![0.0; nb];
+                for j in 0..nb {
+                    tm[(j, j)] = taus[j];
+                    if taus[j] == 0.0 {
+                        continue;
+                    }
+                    let uj = &panel[j * k..(j + 1) * k];
+                    for i in 0..j {
+                        g[i] = crate::dot(&panel[i * k..(i + 1) * k], uj);
+                    }
+                    for i in 0..j {
+                        let mut s = 0.0;
+                        for (i2, &gi2) in g[i..j].iter().enumerate() {
+                            s += tm[(i, i + i2)] * gi2;
+                        }
+                        tm[(i, j)] = -taus[j] * s;
+                    }
+                }
+                (wt, tm)
+            };
+            let l_tail = &mut l.as_mut_slice()[j1 * lm..m * lm];
+            let (w_head, w_tail) = w.as_mut_slice().split_at_mut(j1 * k);
+            let panel_w = &w_head[j0 * k..];
+            let (v0s, taus) = (&v0s[..nb], &taus[..nb]);
+            let (wt, tmat) = (&wt, &tmat);
+            let apply_band = |l_band: &mut [f64], w_band: &mut [f64]| {
+                let mut p = vec![0.0; nb];
+                let mut q = vec![0.0; nb];
+                for (lrow, wi) in l_band.chunks_exact_mut(lm).zip(w_band.chunks_exact_mut(k)) {
+                    let lij = &mut lrow[j0..j1];
+                    // p = x·V, absorbing wt rows two at a time so each
+                    // sweep of `p` does double the arithmetic.
+                    for ((pj, &v0), &t) in p.iter_mut().zip(v0s).zip(lij.iter()) {
+                        *pj = v0 * t;
+                    }
+                    let mut c = 0;
+                    while c + 1 < k {
+                        crate::axpy2(wi[c], wt.row(c), wi[c + 1], wt.row(c + 1), &mut p);
+                        c += 2;
+                    }
+                    if c < k {
+                        crate::axpy(wi[c], wt.row(c), &mut p);
+                    }
+                    // q = p·T (T upper triangular), row pairs fused over
+                    // their common tail.
+                    q.fill(0.0);
+                    let mut i2 = 0;
+                    while i2 + 1 < nb {
+                        q[i2] += p[i2] * tmat[(i2, i2)];
+                        crate::axpy2(
+                            p[i2],
+                            &tmat.row(i2)[i2 + 1..],
+                            p[i2 + 1],
+                            &tmat.row(i2 + 1)[i2 + 1..],
+                            &mut q[i2 + 1..],
+                        );
+                        i2 += 2;
+                    }
+                    if i2 < nb {
+                        q[i2] += p[i2] * tmat[(i2, i2)];
+                    }
+                    // x ← x − q·Vᵀ, panel_w row pairs fused into one
+                    // sweep of wᵢ.
+                    for ((t, &qj), &v0) in lij.iter_mut().zip(q.iter()).zip(v0s) {
+                        *t -= qj * v0;
+                    }
+                    let mut jj = 0;
+                    while jj + 1 < nb {
+                        crate::axpy2(
+                            -q[jj],
+                            &panel_w[jj * k..(jj + 1) * k],
+                            -q[jj + 1],
+                            &panel_w[(jj + 1) * k..(jj + 2) * k],
+                            wi,
+                        );
+                        jj += 2;
+                    }
+                    if jj < nb {
+                        crate::axpy(-q[jj], &panel_w[jj * k..(jj + 1) * k], wi);
+                    }
+                }
+            };
+            let _ = taus;
+            let workers = crate::worker_count(rows, rows * nb * k);
+            if workers <= 1 {
+                apply_band(l_tail, w_tail);
+            } else {
+                let band = rows.div_ceil(workers);
+                let apply_band = &apply_band;
+                std::thread::scope(|scope| {
+                    for (lc, wc) in l_tail
+                        .chunks_mut(band * lm)
+                        .zip(w_tail.chunks_mut(band * k))
+                    {
+                        scope.spawn(move || apply_band(lc, wc));
+                    }
+                });
+            }
+        }
+        j0 = j1;
+    }
+    Ok(())
+}
+
+/// One hyperbolic rank-1 downdate `L Lᵀ − v vᵀ`, consuming `v` as
+/// workspace. Errors with [`LinalgError::IllConditioned`] when any pivot
+/// would shrink below [`DOWNDATE_GUARD`] of its square — `l` may be
+/// partially modified on error, so callers stage on a copy.
+fn downdate_rank1(l: &mut Matrix, v: &mut [f64]) -> Result<()> {
+    let n = l.rows();
+    for j in 0..n {
+        let ljj = l[(j, j)];
+        let vj = v[j];
+        let d2 = ljj * ljj - vj * vj;
+        if d2 <= DOWNDATE_GUARD * ljj * ljj || !d2.is_finite() {
+            return Err(LinalgError::IllConditioned {
+                op: "cholesky downdate",
+                pivot: j,
+            });
+        }
+        let djj = d2.sqrt();
+        let s = vj / ljj;
+        let c_inv = ljj / djj; // 1/√(1−s²)
+        l[(j, j)] = djj;
+        for i in j + 1..n {
+            let lij = l[(i, j)];
+            l[(i, j)] = (lij - s * v[i]) * c_inv;
+            v[i] = (v[i] - s * lij) * c_inv;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random stream in [-1, 1).
+    fn rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    /// Random SPD matrix `M Mᵀ + ridge·I` of order `n`.
+    fn spd(n: usize, seed: u64, ridge: f64) -> Matrix {
+        let mut next = rng(seed);
+        let mut m = Matrix::zeros(n, n);
+        for v in m.as_mut_slice() {
+            *v = next();
+        }
+        let mut a = crate::syrk_rows(&m);
+        for i in 0..n {
+            a[(i, i)] += ridge;
+        }
+        a
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut next = rng(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = next();
+        }
+        m
+    }
+
+    /// Max elementwise difference between two factors, scaled.
+    fn factor_diff(a: &Cholesky, b: &Cholesky) -> f64 {
+        assert_eq!(a.order(), b.order());
+        let mut worst = 0.0_f64;
+        for i in 0..a.order() {
+            for j in 0..=i {
+                let scale = b.l()[(i, j)].abs().max(1.0);
+                worst = worst.max((a.l()[(i, j)] - b.l()[(i, j)]).abs() / scale);
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn extend_matches_cold_factor() {
+        for (n, k) in [(1, 1), (8, 3), (40, 7), (64, 64)] {
+            let a = spd(n + k, 11 + n as u64, (n + k) as f64);
+            // Leading block, cross block, trailing block.
+            let lead = a.select_rows(&(0..n).collect::<Vec<_>>());
+            let lead = lead.select_columns(&(0..n).collect::<Vec<_>>());
+            let b = a
+                .select_rows(&(0..n).collect::<Vec<_>>())
+                .select_columns(&(n..n + k).collect::<Vec<_>>());
+            let c = a
+                .select_rows(&(n..n + k).collect::<Vec<_>>())
+                .select_columns(&(n..n + k).collect::<Vec<_>>());
+            let mut warm = Cholesky::factor(&lead).unwrap();
+            warm.extend(&b, &c).unwrap();
+            let cold = Cholesky::factor(&a).unwrap();
+            let diff = factor_diff(&warm, &cold);
+            assert!(diff < 1e-10, "n={n} k={k}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn extend_rejects_indefinite_border_and_keeps_factor() {
+        let n = 6;
+        let a = spd(n, 3, n as f64);
+        let mut ch = Cholesky::factor(&a).unwrap();
+        let before = ch.l().clone();
+        // A huge cross block makes the Schur complement indefinite.
+        let mut b = Matrix::zeros(n, 2);
+        for v in b.as_mut_slice() {
+            *v = 100.0;
+        }
+        let c = Matrix::identity(2);
+        match ch.extend(&b, &c) {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => {
+                assert!(pivot >= n, "pivot {pivot} should be absolute");
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+        assert_eq!(
+            ch.l().as_slice(),
+            before.as_slice(),
+            "factor must be untouched"
+        );
+    }
+
+    #[test]
+    fn retire_leading_matches_cold_factor() {
+        for (n, r) in [(2, 1), (10, 3), (50, 13), (64, 1)] {
+            let a = spd(n, 29 + r as u64, n as f64);
+            let mut warm = Cholesky::factor(&a).unwrap();
+            warm.retire_leading(r).unwrap();
+            let keep: Vec<usize> = (r..n).collect();
+            let trailing = a.select_rows(&keep).select_columns(&keep);
+            let cold = Cholesky::factor(&trailing).unwrap();
+            let diff = factor_diff(&warm, &cold);
+            assert!(diff < 1e-10, "n={n} r={r}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn retire_all_rows_gives_empty_factor() {
+        let a = spd(5, 1, 5.0);
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.retire_leading(5).unwrap();
+        assert_eq!(ch.order(), 0);
+        assert!(Cholesky::factor(&spd(3, 1, 3.0))
+            .unwrap()
+            .retire_leading(4)
+            .is_err());
+    }
+
+    #[test]
+    fn update_rank_k_matches_cold_factor() {
+        for (n, k) in [(5, 1), (30, 4), (64, 9)] {
+            let a = spd(n, 7, n as f64);
+            let w = random_matrix(k, n, 17);
+            let mut updated = a.clone();
+            let wtw = crate::syrk_rows(&w.transpose());
+            for i in 0..n {
+                for j in 0..n {
+                    updated[(i, j)] += wtw[(i, j)];
+                }
+            }
+            let mut warm = Cholesky::factor(&a).unwrap();
+            warm.update_rank_k(&w).unwrap();
+            let cold = Cholesky::factor_scalar(&updated).unwrap();
+            let diff = factor_diff(&warm, &cold);
+            assert!(diff < 1e-10, "n={n} k={k}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn downdate_reverses_update() {
+        for (n, k) in [(4, 1), (24, 5), (48, 3)] {
+            let a = spd(n, 41, n as f64);
+            let w = random_matrix(k, n, 43);
+            let cold = Cholesky::factor_scalar(&a).unwrap();
+            let mut warm = cold.clone();
+            warm.update_rank_k(&w).unwrap();
+            warm.downdate_rank_k(&w).unwrap();
+            let diff = factor_diff(&warm, &cold);
+            assert!(diff < 1e-9, "n={n} k={k}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn downdate_guard_refuses_near_singular_and_keeps_factor() {
+        // A = WᵀW + δI with tiny δ: downdating by W leaves ≈ δI, which
+        // drives the hyperbolic rotation parameter to 1. The guard must
+        // refuse and the stored factor must be bit-for-bit untouched.
+        let n = 12;
+        let w = random_matrix(3, n, 97);
+        let mut a = crate::syrk_rows(&w.transpose());
+        for i in 0..n {
+            a[(i, i)] += 1e-12;
+        }
+        let mut ch = Cholesky::factor(&a).unwrap();
+        let before = ch.l().clone();
+        match ch.downdate_rank_k(&w) {
+            Err(LinalgError::IllConditioned { op, .. }) => {
+                assert_eq!(op, "cholesky downdate");
+            }
+            other => panic!("expected IllConditioned, got {other:?}"),
+        }
+        assert_eq!(ch.l().as_slice(), before.as_slice());
+        // And the solve still works off the untouched factor.
+        let x = ch.solve(&vec![1.0; n]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn solve_multi_matches_per_column_solve() {
+        let n = 20;
+        let k = 5;
+        let a = spd(n, 5, n as f64);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = random_matrix(n, k, 23);
+        let x = ch.solve_multi(&b).unwrap();
+        for j in 0..k {
+            let bj = b.col(j);
+            let xj = ch.solve(&bj).unwrap();
+            for i in 0..n {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        assert!(ch.solve_multi(&Matrix::zeros(n + 1, k)).is_err());
+    }
+
+    #[test]
+    fn extend_then_retire_roundtrip_slides_the_window() {
+        // Factor rows 0..n, slide by r three times, and compare against a
+        // cold factor of the final window — the factor lifecycle a
+        // sliding-window retrain exercises.
+        let total = 60;
+        let n = 36;
+        let r = 8;
+        let a = spd(total, 71, total as f64);
+        let idx = |lo: usize, hi: usize| (lo..hi).collect::<Vec<usize>>();
+        let window =
+            |lo: usize, hi: usize| a.select_rows(&idx(lo, hi)).select_columns(&idx(lo, hi));
+        let mut warm = Cholesky::factor(&window(0, n)).unwrap();
+        let mut lo = 0;
+        let mut hi = n;
+        for _ in 0..3 {
+            warm.retire_leading(r).unwrap();
+            lo += r;
+            let b = a.select_rows(&idx(lo, hi)).select_columns(&idx(hi, hi + r));
+            let c = window(hi, hi + r);
+            warm.extend(&b, &c).unwrap();
+            hi += r;
+        }
+        let cold = Cholesky::factor(&window(lo, hi)).unwrap();
+        let diff = factor_diff(&warm, &cold);
+        assert!(diff < 1e-9, "{diff:e}");
+    }
+
+    #[test]
+    fn shift_window_matches_cold_factor() {
+        // r == k exercises the fused in-place slide, including sizes on
+        // both sides of the fold panel width.
+        for (n, r) in [(2, 1), (12, 4), (40, 8), (70, 16), (90, 40)] {
+            let total = n + r;
+            let a = spd(total, 131 + n as u64, total as f64);
+            let idx = |lo: usize, hi: usize| (lo..hi).collect::<Vec<usize>>();
+            let mut warm =
+                Cholesky::factor(&a.select_rows(&idx(0, n)).select_columns(&idx(0, n))).unwrap();
+            let b = a.select_rows(&idx(r, n)).select_columns(&idx(n, total));
+            let c = a.select_rows(&idx(n, total)).select_columns(&idx(n, total));
+            warm.shift_window(r, &b, &c).unwrap();
+            let cold =
+                Cholesky::factor(&a.select_rows(&idx(r, total)).select_columns(&idx(r, total)))
+                    .unwrap();
+            let diff = factor_diff(&warm, &cold);
+            assert!(diff < 1e-9, "n={n} r={r}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn shift_window_unequal_sizes_delegates() {
+        // r != k falls back to retire + extend; the result must still be
+        // the cold factor of the shifted window.
+        for (n, r, k) in [(20, 3, 7), (30, 9, 2), (16, 0, 5), (16, 5, 0)] {
+            let total = n + k;
+            let a = spd(total, 177 + (n + r) as u64, total as f64);
+            let idx = |lo: usize, hi: usize| (lo..hi).collect::<Vec<usize>>();
+            let mut warm =
+                Cholesky::factor(&a.select_rows(&idx(0, n)).select_columns(&idx(0, n))).unwrap();
+            let b = a.select_rows(&idx(r, n)).select_columns(&idx(n, total));
+            let c = a.select_rows(&idx(n, total)).select_columns(&idx(n, total));
+            warm.shift_window(r, &b, &c).unwrap();
+            let cold =
+                Cholesky::factor(&a.select_rows(&idx(r, total)).select_columns(&idx(r, total)))
+                    .unwrap();
+            let diff = factor_diff(&warm, &cold);
+            assert!(diff < 1e-9, "n={n} r={r} k={k}: {diff:e}");
+        }
+    }
+
+    #[test]
+    fn shift_window_rejects_indefinite_border() {
+        // The fused path is destructive on error by contract (callers
+        // rebuild cold), but the error itself must still be the absolute
+        // pivot the extend path would report.
+        let n = 10;
+        let r = 2;
+        let a = spd(n, 53, n as f64);
+        let mut ch = Cholesky::factor(&a).unwrap();
+        let mut b = Matrix::zeros(n - r, r);
+        for v in b.as_mut_slice() {
+            *v = 100.0;
+        }
+        let c = Matrix::identity(r);
+        match ch.shift_window(r, &b, &c) {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => {
+                assert!(pivot >= n - r, "pivot {pivot} should be absolute");
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Warm factor after a random sequence of extends/retires matches
+        /// the cold factor of the final window.
+        #[test]
+        fn prop_window_shifts_match_cold_factor(
+            seed in 0u64..500,
+            n0 in 6usize..24,
+            shifts in proptest::collection::vec((0usize..6, 0usize..6), 1..5),
+        ) {
+            let total = n0 + shifts.iter().map(|s| s.1).sum::<usize>();
+            let a = spd(total.max(n0), seed, total as f64 + 4.0);
+            let idx = |lo: usize, hi: usize| (lo..hi).collect::<Vec<usize>>();
+            let mut warm = Cholesky::factor(
+                &a.select_rows(&idx(0, n0)).select_columns(&idx(0, n0)),
+            ).unwrap();
+            let (mut lo, mut hi) = (0usize, n0);
+            for &(retire, append) in &shifts {
+                let retire = retire.min(hi - lo - 1);
+                warm.retire_leading(retire).unwrap();
+                lo += retire;
+                if append > 0 {
+                    let b = a.select_rows(&idx(lo, hi)).select_columns(&idx(hi, hi + append));
+                    let c = a.select_rows(&idx(hi, hi + append)).select_columns(&idx(hi, hi + append));
+                    warm.extend(&b, &c).unwrap();
+                    hi += append;
+                }
+            }
+            let cold = Cholesky::factor(
+                &a.select_rows(&idx(lo, hi)).select_columns(&idx(lo, hi)),
+            ).unwrap();
+            let diff = factor_diff(&warm, &cold);
+            prop_assert!(diff < 1e-8, "window [{lo},{hi}): {diff:e}");
+        }
+
+        /// Repeated equal-size `shift_window` calls (the retrain engine's
+        /// steady state) stay equivalent to the cold factor of the final
+        /// window.
+        #[test]
+        fn prop_shift_window_matches_cold_factor(
+            seed in 0u64..500,
+            n0 in 4usize..28,
+            r in 1usize..6,
+            steps in 1usize..4,
+        ) {
+            let r = r.min(n0 - 1);
+            let total = n0 + r * steps;
+            let a = spd(total, seed, total as f64 + 4.0);
+            let idx = |lo: usize, hi: usize| (lo..hi).collect::<Vec<usize>>();
+            let mut warm = Cholesky::factor(
+                &a.select_rows(&idx(0, n0)).select_columns(&idx(0, n0)),
+            ).unwrap();
+            let (mut lo, mut hi) = (0usize, n0);
+            for _ in 0..steps {
+                let b = a.select_rows(&idx(lo + r, hi)).select_columns(&idx(hi, hi + r));
+                let c = a.select_rows(&idx(hi, hi + r)).select_columns(&idx(hi, hi + r));
+                warm.shift_window(r, &b, &c).unwrap();
+                lo += r;
+                hi += r;
+            }
+            let cold = Cholesky::factor(
+                &a.select_rows(&idx(lo, hi)).select_columns(&idx(lo, hi)),
+            ).unwrap();
+            let diff = factor_diff(&warm, &cold);
+            prop_assert!(diff < 1e-8, "window [{lo},{hi}): {diff:e}");
+        }
+
+        /// Adversarial near-singular downdates: whatever the guard decides,
+        /// it must never return garbage — either `Ok` with a factor close
+        /// to the cold factor of the downdated matrix, or `IllConditioned`
+        /// with the original factor untouched.
+        #[test]
+        fn prop_downdate_guard_never_returns_garbage(
+            seed in 0u64..500,
+            n in 3usize..16,
+            k in 1usize..4,
+            // log10 of the residual ridge left after downdating: spans
+            // comfortably-conditioned through hopeless.
+            log_delta in -14.0f64..2.0,
+        ) {
+            let w = random_matrix(k, n, seed.wrapping_add(1));
+            let delta = 10f64.powf(log_delta);
+            // A = WᵀW + B + δI where B is a mild SPD base scaled by δ:
+            // downdating W leaves δ·(B/δ·δ + I)… i.e. conditioning of the
+            // result is controlled by how small δ is relative to ‖WᵀW‖.
+            let mut a = crate::syrk_rows(&w.transpose());
+            let base = spd(n, seed.wrapping_add(2), 1.0);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] += delta * base[(i, j)];
+                }
+            }
+            let mut ch = Cholesky::factor(&a).unwrap();
+            let before = ch.l().clone();
+            match ch.downdate_rank_k(&w) {
+                Ok(()) => {
+                    // Result must reconstruct A − WᵀW to a tolerance that
+                    // scales with the guard's worst allowed amplification.
+                    let mut target = a.clone();
+                    let wtw = crate::syrk_rows(&w.transpose());
+                    for i in 0..n {
+                        for j in 0..n {
+                            target[(i, j)] -= wtw[(i, j)];
+                        }
+                    }
+                    let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+                    let scale = (0..n).map(|i| a[(i, i)]).fold(1.0f64, f64::max);
+                    for i in 0..n {
+                        for j in 0..n {
+                            let err = (rec[(i, j)] - target[(i, j)]).abs() / scale;
+                            prop_assert!(err < 1e-7, "({i},{j}): {err:e}");
+                        }
+                    }
+                    for i in 0..n {
+                        prop_assert!(ch.l()[(i, i)] > 0.0, "diag {i} not positive");
+                    }
+                }
+                Err(LinalgError::IllConditioned { .. }) => {
+                    prop_assert_eq!(ch.l().as_slice(), before.as_slice());
+                }
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
+        }
+    }
+}

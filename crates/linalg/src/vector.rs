@@ -52,6 +52,36 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Fused axpy pair `y += a0·x0 + a1·x1` in one sweep: one `y`
+/// load/store and one loop per element instead of two, which is what
+/// short-vector update kernels (where per-sweep overhead rivals the
+/// arithmetic) need to keep the SIMD units fed.
+#[inline]
+pub fn axpy2(a0: f64, x0: &[f64], a1: f64, x1: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x0.len(), y.len(), "axpy2: length mismatch");
+    debug_assert_eq!(x1.len(), y.len(), "axpy2: length mismatch");
+    // Explicit 8-wide blocks: the auto-vectorizer's main loop wants ≥ 32
+    // elements before it engages, which the short panel vectors of the
+    // rank-k kernels never reach — a fixed trip count of 8 compiles to
+    // one full-width SIMD op per block on every ISA tier instead.
+    let split = y.len() / 8 * 8;
+    let (y8, yt) = y.split_at_mut(split);
+    let (x08, x0t) = x0.split_at(split);
+    let (x18, x1t) = x1.split_at(split);
+    for ((yc, xc), zc) in y8
+        .chunks_exact_mut(8)
+        .zip(x08.chunks_exact(8))
+        .zip(x18.chunks_exact(8))
+    {
+        for i in 0..8 {
+            yc[i] += a0 * xc[i] + a1 * zc[i];
+        }
+    }
+    for ((yi, xi), zi) in yt.iter_mut().zip(x0t).zip(x1t) {
+        *yi += a0 * xi + a1 * zi;
+    }
+}
+
 /// `a *= alpha` in place.
 #[inline]
 pub fn scale(alpha: f64, a: &mut [f64]) {

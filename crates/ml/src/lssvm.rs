@@ -51,6 +51,37 @@ impl LsSvmRegressor {
         self.fit_with_solver(x, y, None)
     }
 
+    /// Fit on rows that are *already standardized* with the given
+    /// standardizer, which is stored in the model as-is.
+    ///
+    /// This is the cold-fit half of the warm-start retraining contract
+    /// (`f2pm-core`'s `RetrainEngine`): the engine freezes one
+    /// standardizer across window shifts so kernel entries — and hence
+    /// the maintained Cholesky factor — stay valid, and uses this entry
+    /// point whenever it must refactorize, so warm and cold paths share
+    /// the exact same standardization and are comparable within rounding.
+    pub fn fit_prestandardized(
+        &self,
+        standardizer: Standardizer,
+        z: &Matrix,
+        y: &[f64],
+    ) -> Result<LsSvmModel, MlError> {
+        check_training_data(z, y)?;
+        self.fit_standardized(standardizer, z.clone(), y, None)
+    }
+
+    /// The kernel this regressor trains with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The regularization parameter γ. The trained system's SPD block is
+    /// `K + I/γ` — callers maintaining that factor incrementally need the
+    /// same diagonal shift.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
     /// Fit with the linear-system path forced (`Some(true)` → CG,
     /// `Some(false)` → Cholesky) instead of the size-based dispatch — the
     /// equivalence tests pin the two solvers against each other at sizes
@@ -64,8 +95,17 @@ impl LsSvmRegressor {
         check_training_data(x, y)?;
         let standardizer = Standardizer::fit(x);
         let z = standardizer.transform(x);
-        let n = z.rows();
+        self.fit_standardized(standardizer, z, y, force_cg)
+    }
 
+    fn fit_standardized(
+        &self,
+        standardizer: Standardizer,
+        z: Matrix,
+        y: &[f64],
+        force_cg: Option<bool>,
+    ) -> Result<LsSvmModel, MlError> {
+        let n = z.rows();
         let mut a = self.kernel.matrix(&z);
         for i in 0..n {
             a[(i, i)] += 1.0 / self.gamma;
@@ -87,24 +127,35 @@ impl LsSvmRegressor {
             )
         };
 
-        let ones_dot_s: f64 = s.iter().sum();
-        if ones_dot_s.abs() < 1e-300 {
-            return Err(MlError::DidNotConverge {
-                stage: "ls-svm bias elimination",
-            });
-        }
-        let bias = zvec.iter().sum::<f64>() / ones_dot_s;
-        let alpha: Vec<f64> = zvec.iter().zip(&s).map(|(zi, si)| zi - bias * si).collect();
-
+        let (alpha, bias) = eliminate_bias(&s, &zvec)?;
         Ok(LsSvmModel {
             kernel: self.kernel,
             standardizer,
+            width: z.cols(),
             support: z,
             alpha,
             bias,
-            width: x.cols(),
         })
     }
+}
+
+/// Block elimination of the LS-SVM bias row: given the two solves
+/// `A s = 1` and `A z = y` of the SPD block `A = K + I/γ`, recover
+/// `b = (1ᵀz)/(1ᵀs)` and `α = z − b·s`.
+///
+/// Public so a warm-start retrainer holding an incrementally-maintained
+/// factor of `A` can finish the dual refresh exactly the way a cold fit
+/// does.
+pub fn eliminate_bias(s: &[f64], zvec: &[f64]) -> Result<(Vec<f64>, f64), MlError> {
+    let ones_dot_s: f64 = s.iter().sum();
+    if ones_dot_s.abs() < 1e-300 {
+        return Err(MlError::DidNotConverge {
+            stage: "ls-svm bias elimination",
+        });
+    }
+    let bias = zvec.iter().sum::<f64>() / ones_dot_s;
+    let alpha: Vec<f64> = zvec.iter().zip(s).map(|(zi, si)| zi - bias * si).collect();
+    Ok((alpha, bias))
 }
 
 /// A fitted LS-SVM model.
@@ -119,6 +170,32 @@ pub struct LsSvmModel {
 }
 
 impl LsSvmModel {
+    /// Assemble a model from an externally-computed dual solution — the
+    /// warm-start retrainer refreshes `α`/`b` from its maintained factor
+    /// and only needs the assembly. `support` must hold the standardized
+    /// training rows and `alpha` one coefficient per row.
+    pub fn from_parts(
+        kernel: Kernel,
+        standardizer: Standardizer,
+        support: Matrix,
+        alpha: Vec<f64>,
+        bias: f64,
+    ) -> LsSvmModel {
+        assert_eq!(
+            support.rows(),
+            alpha.len(),
+            "one dual coefficient per support row"
+        );
+        LsSvmModel {
+            kernel,
+            standardizer,
+            width: support.cols(),
+            support,
+            alpha,
+            bias,
+        }
+    }
+
     /// The fitted bias term.
     pub fn bias(&self) -> f64 {
         self.bias

@@ -43,7 +43,24 @@ pub struct SvrParams {
     /// always before declaring convergence). Disable for the plain
     /// reference sweep — the equivalence tests compare both settings.
     pub shrinking: bool,
+    /// Problem-size activation threshold for shrinking: below this many
+    /// training rows, `shrinking: true` is ignored and the plain sweep
+    /// runs. The gradient axpy per *moved* coordinate is full-length
+    /// either way (see the comment in `fit_svr`), so at small/medium n
+    /// the sweeps are axpy-bound and shrinking's bookkeeping is pure
+    /// overhead — BENCH_compute.json measured 0.95–0.96x at n = 800 and
+    /// n = 1600. Only once the pinned-majority late phase is large enough
+    /// for the skipped evaluations to outweigh the bookkeeping does
+    /// shrinking engage. Set to 0 to force shrinking at any size (the
+    /// equivalence tests do).
+    pub shrink_min_n: usize,
 }
+
+/// Default [`SvrParams::shrink_min_n`]: sized so shrinking stays off at
+/// every size the perf suite showed it losing (≤ 1600) with margin, and
+/// engages in the same regime where the O(n²)-storage kernel pressure
+/// starts to dominate training anyway.
+pub const SVR_SHRINK_MIN_N: usize = 4000;
 
 impl Default for SvrParams {
     fn default() -> Self {
@@ -57,6 +74,7 @@ impl Default for SvrParams {
             max_sweeps: 400,
             tol: 1e-4,
             shrinking: true,
+            shrink_min_n: SVR_SHRINK_MIN_N,
         }
     }
 }
@@ -140,6 +158,8 @@ impl SvrRegressor {
         // second n×n matrix.
         let k = p.kernel.matrix(&z);
 
+        let shrinking = p.shrinking && n >= p.shrink_min_n;
+
         let mut beta = vec![0.0; n];
         // Gradient cache: g_core = Kβ − y, maintained incrementally; the
         // effective gradient of coordinate i is g_core[i] + s with s = Σβ.
@@ -179,7 +199,7 @@ impl SvrRegressor {
 
         let mut converged = false;
         for _ in 0..p.max_sweeps {
-            let full = !p.shrinking || active.len() == n || since_full >= full_every;
+            let full = !shrinking || active.len() == n || since_full >= full_every;
             if full {
                 since_full = 0;
                 if active.len() != n {
@@ -226,7 +246,7 @@ impl SvrRegressor {
                 let at_pin = (beta[i] == p.c && tgt >= 1.1 * p.c)
                     || (beta[i] == -p.c && tgt <= -1.1 * p.c)
                     || (beta[i] == 0.0 && gi.abs() < 0.9 * p.epsilon);
-                let keep = if p.shrinking && delta == 0.0 && at_pin {
+                let keep = if shrinking && delta == 0.0 && at_pin {
                     pinned[i] = pinned[i].saturating_add(1);
                     pinned[i] < 2
                 } else {

@@ -23,6 +23,11 @@
 //! - **[`registry`]** — hot-reloadable model storage: an atomic `Arc`
 //!   swap re-points every host's next prediction at the new model without
 //!   dropping connections or window state.
+//! - **[`retrain`]** — the continuous-retraining plane: a lossy tap off
+//!   the shard workers feeds a background worker that reassembles each
+//!   host's life into runs, slides them through a warm
+//!   `f2pm::RetrainEngine`, and publishes every refreshed LS-SVM back
+//!   through the artifact store for the manifest watcher to hot-reload.
 //! - **[`fleet`]** — the fleet plane (wire v4): a consistent-hash
 //!   [`HashRing`] routes hosts across N serve instances, and the
 //!   [`Fleet`] aggregator fans `TopKRequest`/`StatsRequest`/metrics
@@ -43,6 +48,7 @@ pub mod poller;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod registry;
+pub mod retrain;
 pub mod server;
 pub mod shard;
 
@@ -52,6 +58,7 @@ pub use fleet::{
 };
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use registry::{ModelEntry, ModelRegistry, StoreWatcher};
+pub use retrain::{RetrainTap, RetrainWorker, RetrainerConfig};
 pub use server::{default_reactors, PredictionServer, ServeConfig, ServeHandle};
 pub use shard::{
     AlertPolicy, ClientWriter, EstimateBoard, PublishedEstimate, ShardEvent, ShardPool,

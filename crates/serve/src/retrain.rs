@@ -1,0 +1,461 @@
+//! The continuous-retraining plane: close the loop from live ingest back
+//! to the model artifact store.
+//!
+//! The serving path predicts with whatever model the [`ModelRegistry`]
+//! holds; this module keeps that model *fresh*. A [`RetrainTap`] rides
+//! the shard workers (see [`crate::shard`]): every `Datapoint` and `Fail`
+//! event they process is offered to a bounded channel with a lossy
+//! `try_send`, so the ingest hot path never blocks on training — under
+//! overload the tap drops (counted), never the serving pipeline. A
+//! background [`RetrainWorker`] drains the tap, reassembles each host's
+//! life into a [`RunData`] (a `Fail` closes the run), slides it into a
+//! warm [`RetrainEngine`](f2pm::RetrainEngine), and publishes the
+//! refreshed LS-SVM through [`ModelStore::publish`] — the same atomic
+//! manifest protocol every other publisher uses, so the server's
+//! [`StoreWatcher`](crate::StoreWatcher) (or any other instance polling
+//! the store) hot-reloads it with zero connection disruption.
+//!
+//! Separation of duties, on purpose: the worker only *publishes*. It
+//! never touches a registry directly — installation stays with the
+//! manifest watcher, which already handles corrupted artifacts, rollback
+//! and the generation gauge. Killing the worker loses nothing but
+//! freshness.
+//!
+//! Telemetry lands on the process-global `f2pm_obs` registry (the serve
+//! exposition appends it, so a v3 scrape carries the retrain plane too):
+//!
+//! - `f2pm_retrain_runs_total` — completed failing runs ingested;
+//! - `f2pm_retrain_total` / `_warm_total` / `_fallback_total` — retrains,
+//!   and how many kept the warm factor path vs fell back to an exact
+//!   refactorization;
+//! - `f2pm_retrain_failures_total` / `f2pm_retrain_publish_failures_total`
+//!   — retrains or publishes that errored (the worker keeps going);
+//! - `f2pm_retrain_tap_dropped_total` — events the lossy tap shed;
+//! - `f2pm_retrain_runs_skipped_total` — runs discarded as unusable
+//!   (overflowed assembly buffer or no labeled points);
+//! - `f2pm_retrain_published_generation` — the last store generation this
+//!   worker published.
+
+use f2pm::{FactorPath, RetrainConfig as EngineConfig, RetrainEngine};
+use f2pm_features::aggregate::{aggregate_run, aggregated_column_names_with};
+use f2pm_features::AggregationConfig;
+use f2pm_ml::persist::SavedModel;
+use f2pm_ml::{Metrics, Model, SMaeThreshold};
+use f2pm_monitor::{Datapoint, RunData};
+use f2pm_registry::{ArtifactMeta, ModelStore};
+use std::collections::HashMap;
+
+/// Per-host assembly buffers beyond this many datapoints mark the run
+/// unusable (it is skipped at `Fail` instead of trained truncated). Far
+/// above any realistic run length; exists to bound worker memory.
+pub const MAX_RUN_DATAPOINTS: usize = 100_000;
+
+/// Default bounded capacity of the tap channel.
+pub const DEFAULT_TAP_CAP: usize = 8192;
+
+/// One ingest event mirrored off the shard hot path.
+pub(crate) enum TapEvent {
+    /// A datapoint of `host`'s current life.
+    Datapoint {
+        /// Originating host.
+        host: u32,
+        /// The sample.
+        d: Datapoint,
+    },
+    /// `host` failed at time `t`, closing its current run.
+    Fail {
+        /// Originating host.
+        host: u32,
+        /// Failure time (s).
+        t: f64,
+    },
+}
+
+/// Lossy, non-blocking feed into the [`RetrainWorker`]. Cloned into every
+/// shard worker; offering an event never blocks — when the channel is
+/// full the event is dropped and counted, because serving latency always
+/// outranks training freshness.
+#[derive(Clone)]
+pub struct RetrainTap {
+    tx: crossbeam::channel::Sender<TapEvent>,
+    dropped: f2pm_obs::Counter,
+}
+
+impl RetrainTap {
+    fn offer(&self, event: TapEvent) {
+        if self.tx.try_send(event).is_err() {
+            self.dropped.inc();
+        }
+    }
+
+    /// Mirror one datapoint of `host`'s current life.
+    pub(crate) fn offer_datapoint(&self, host: u32, d: Datapoint) {
+        self.offer(TapEvent::Datapoint { host, d });
+    }
+
+    /// Mirror `host`'s failure at time `t`.
+    pub(crate) fn offer_fail(&self, host: u32, t: f64) {
+        self.offer(TapEvent::Fail { host, t });
+    }
+}
+
+/// Configuration of a [`RetrainWorker`].
+#[derive(Debug, Clone)]
+pub struct RetrainerConfig {
+    /// The warm engine's configuration (window length, kernel, λs). Its
+    /// aggregation MUST match what the serving registry aggregates with —
+    /// the published artifact records it, and a mismatched publish would
+    /// swap the server onto a model speaking different columns.
+    pub engine: EngineConfig,
+    /// Publish only once the window holds at least this many runs
+    /// (defaults to the full window).
+    pub min_window_runs: usize,
+    /// Bounded tap-channel capacity.
+    pub queue_cap: usize,
+}
+
+impl RetrainerConfig {
+    /// Defaults: publish on a full window, [`DEFAULT_TAP_CAP`] tap slots.
+    pub fn new(engine: EngineConfig) -> Self {
+        let min_window_runs = engine.window_runs;
+        RetrainerConfig {
+            engine,
+            min_window_runs: min_window_runs.max(1),
+            queue_cap: DEFAULT_TAP_CAP,
+        }
+    }
+}
+
+/// One host's in-assembly run.
+#[derive(Default)]
+struct PendingRun {
+    points: Vec<Datapoint>,
+    /// The assembly buffer overflowed [`MAX_RUN_DATAPOINTS`]; the run is
+    /// discarded at `Fail` rather than trained on truncated data.
+    overflowed: bool,
+}
+
+/// The background retraining worker (see the module docs). Owns one OS
+/// thread; exits when every [`RetrainTap`] clone has been dropped (i.e.
+/// after the shard pool shuts down).
+pub struct RetrainWorker {
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl RetrainWorker {
+    /// Spawn the worker publishing into `store`. Returns the tap to hand
+    /// to [`PredictionServer::start_with_tap`](crate::PredictionServer::start_with_tap)
+    /// together with the worker handle.
+    ///
+    /// # Panics
+    /// Panics if the engine configuration is invalid (zero window) or the
+    /// worker thread cannot be spawned.
+    pub fn start(cfg: RetrainerConfig, store: ModelStore) -> (RetrainTap, RetrainWorker) {
+        let (tx, rx) = crossbeam::channel::bounded(cfg.queue_cap.max(1));
+        let tap = RetrainTap {
+            tx,
+            dropped: f2pm_obs::global().counter("f2pm_retrain_tap_dropped_total"),
+        };
+        let handle = std::thread::Builder::new()
+            .name("f2pm-retrain".to_string())
+            .spawn(move || worker_loop(rx, cfg, store))
+            .expect("spawn retrain worker");
+        (tap, RetrainWorker { handle })
+    }
+
+    /// Wait for the worker to drain and exit. Call after the server (and
+    /// with it every tap clone) has shut down; joining earlier blocks
+    /// until the taps drop.
+    pub fn join(self) {
+        self.handle.join().ok();
+    }
+}
+
+/// Handles into the global registry, grabbed once at spawn.
+struct RetrainMetrics {
+    runs: f2pm_obs::Counter,
+    runs_skipped: f2pm_obs::Counter,
+    retrains: f2pm_obs::Counter,
+    warm: f2pm_obs::Counter,
+    fallback: f2pm_obs::Counter,
+    failures: f2pm_obs::Counter,
+    publish_failures: f2pm_obs::Counter,
+    published_generation: f2pm_obs::Gauge,
+    window_runs: f2pm_obs::Gauge,
+}
+
+impl RetrainMetrics {
+    fn new() -> Self {
+        let g = f2pm_obs::global();
+        RetrainMetrics {
+            runs: g.counter("f2pm_retrain_runs_total"),
+            runs_skipped: g.counter("f2pm_retrain_runs_skipped_total"),
+            retrains: g.counter("f2pm_retrain_total"),
+            warm: g.counter("f2pm_retrain_warm_total"),
+            fallback: g.counter("f2pm_retrain_fallback_total"),
+            failures: g.counter("f2pm_retrain_failures_total"),
+            publish_failures: g.counter("f2pm_retrain_publish_failures_total"),
+            published_generation: g.gauge("f2pm_retrain_published_generation"),
+            window_runs: g.gauge("f2pm_retrain_window_runs"),
+        }
+    }
+}
+
+fn worker_loop(
+    rx: crossbeam::channel::Receiver<TapEvent>,
+    cfg: RetrainerConfig,
+    store: ModelStore,
+) {
+    let metrics = RetrainMetrics::new();
+    let mut engine = RetrainEngine::new(cfg.engine.clone());
+    let mut pending: HashMap<u32, PendingRun> = HashMap::new();
+    while let Ok(event) = rx.recv() {
+        match event {
+            TapEvent::Datapoint { host, d } => {
+                let run = pending.entry(host).or_default();
+                if run.points.len() >= MAX_RUN_DATAPOINTS {
+                    run.overflowed = true;
+                } else {
+                    run.points.push(d);
+                }
+            }
+            TapEvent::Fail { host, t } => {
+                let Some(run) = pending.remove(&host) else {
+                    continue;
+                };
+                if run.overflowed || run.points.is_empty() {
+                    metrics.runs_skipped.inc();
+                    continue;
+                }
+                let run = RunData {
+                    datapoints: run.points,
+                    fail_time: Some(t),
+                };
+                engine.push_run(&run);
+                metrics.runs.inc();
+                metrics.window_runs.set_u64(engine.window_runs() as u64);
+                if engine.window_runs() < cfg.min_window_runs {
+                    continue;
+                }
+                retrain_and_publish(&mut engine, &run, &store, &metrics);
+            }
+        }
+    }
+}
+
+/// One retrain → publish cycle. Failures are counted and swallowed: the
+/// current model keeps serving, and the next completed run retries.
+fn retrain_and_publish(
+    engine: &mut RetrainEngine,
+    newest_run: &RunData,
+    store: &ModelStore,
+    metrics: &RetrainMetrics,
+) {
+    let agg = engine.config().aggregation;
+    let outcome = match engine.retrain() {
+        Ok(outcome) => outcome,
+        Err(f2pm::F2pmError::NotEnoughData { .. }) => return,
+        Err(_) => {
+            metrics.failures.inc();
+            return;
+        }
+    };
+    metrics.retrains.inc();
+    if outcome.lssvm_path == FactorPath::Warm {
+        metrics.warm.inc();
+    }
+    if outcome.lssvm_path == FactorPath::Fallback || outcome.ridge_path == FactorPath::Fallback {
+        metrics.fallback.inc();
+    }
+    let meta = ArtifactMeta::new(
+        "ls_svm",
+        agg,
+        aggregated_column_names_with(&agg),
+        run_train_smae(&outcome.model, newest_run, &agg),
+    );
+    match store.publish(&meta, &SavedModel::LsSvm(outcome.model)) {
+        Ok(generation) => metrics.published_generation.set_u64(generation),
+        Err(_) => metrics.publish_failures.inc(),
+    }
+}
+
+/// In-sample S-MAE of the fresh model over the newest run's labeled
+/// aggregated points — the cheap freshness proxy recorded as the
+/// artifact's `train_smae`. `NaN` when the run aggregates to no labeled
+/// point (metadata contract for "unknown").
+fn run_train_smae(model: &dyn Model, run: &RunData, agg: &AggregationConfig) -> f64 {
+    let mut predicted = Vec::new();
+    let mut actual = Vec::new();
+    for p in aggregate_run(run, agg) {
+        if let Some(rttf) = p.rttf {
+            predicted.push(model.predict_row(&p.inputs_with(agg)));
+            actual.push(rttf);
+        }
+    }
+    if actual.is_empty() {
+        return f64::NAN;
+    }
+    Metrics::compute(&predicted, &actual, SMaeThreshold::paper_default()).smae
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2pm_monitor::FeatureId;
+    use std::time::{Duration, Instant};
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, ModelStore) {
+        let dir = std::env::temp_dir().join(format!("f2pm_retrain_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ModelStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn agg() -> AggregationConfig {
+        AggregationConfig {
+            window_s: 30.0,
+            min_points: 2,
+            ..AggregationConfig::default()
+        }
+    }
+
+    fn engine_cfg(window_runs: usize) -> EngineConfig {
+        EngineConfig {
+            aggregation: agg(),
+            ..EngineConfig::new(window_runs)
+        }
+    }
+
+    fn dp(t: f64, seed: u64) -> Datapoint {
+        // Deterministic per-(t, seed) variation so the standardized
+        // columns are not degenerate.
+        let mut d = Datapoint {
+            t_gen: t,
+            values: [1.0; 14],
+        };
+        for (j, v) in d.values.iter_mut().enumerate() {
+            *v = 1.0 + 0.01 * t * (1.0 + j as f64 * 0.1) + (seed as f64 * 0.37 + j as f64).sin();
+        }
+        d.set(FeatureId::SwapUsed, 2.0 * t + (seed as f64).sin());
+        d
+    }
+
+    /// Stream one synthetic failing run for `host` through the tap:
+    /// datapoints every 5 s over [0, 200) and a fail at 205 s → six 30 s
+    /// windows, all labeled.
+    fn stream_run(tap: &RetrainTap, host: u32, seed: u64) {
+        let mut t = 0.0;
+        while t < 200.0 {
+            tap.offer_datapoint(host, dp(t, seed));
+            t += 5.0;
+        }
+        tap.offer_fail(host, 205.0);
+    }
+
+    fn wait_generation(store: &ModelStore, at_least: u64) -> u64 {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(Some(g)) = store.active_generation() {
+                if g >= at_least {
+                    return g;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "store never reached generation {at_least}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn worker_publishes_lssvm_artifacts_as_runs_complete() {
+        let (dir, store) = temp_store("publish");
+        let cfg = RetrainerConfig::new(engine_cfg(2));
+        let (tap, worker) = RetrainWorker::start(cfg, ModelStore::open(&dir).unwrap());
+
+        // One run is below min_window_runs → nothing published yet.
+        stream_run(&tap, 1, 0);
+        // Second run fills the window → first (cold) publish; later runs
+        // slide the window → warm publishes.
+        stream_run(&tap, 1, 1);
+        let g1 = wait_generation(&store, 1);
+        stream_run(&tap, 1, 2);
+        let g2 = wait_generation(&store, g1 + 1);
+        assert!(g2 > g1);
+
+        let (_, meta, saved) = store.load_active().unwrap().unwrap();
+        assert_eq!(meta.method, "ls_svm");
+        assert_eq!(saved.kind(), "ls_svm");
+        assert_eq!(meta.columns, aggregated_column_names_with(&agg()));
+        assert_eq!(meta.agg.window_s, agg().window_s);
+        assert!(
+            meta.train_smae.is_finite(),
+            "in-sample S-MAE recorded, got {}",
+            meta.train_smae
+        );
+
+        drop(tap);
+        worker.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runs_interleave_per_host_and_empty_or_unknown_fails_are_ignored() {
+        let (dir, store) = temp_store("interleave");
+        let cfg = RetrainerConfig::new(engine_cfg(2));
+        let (tap, worker) = RetrainWorker::start(cfg, ModelStore::open(&dir).unwrap());
+
+        // A fail for a host the worker never saw a datapoint of: ignored.
+        tap.offer_fail(99, 50.0);
+        // Two hosts interleaved: each closes its own run; two completed
+        // runs fill the window and publish.
+        let mut t = 0.0;
+        while t < 200.0 {
+            tap.offer_datapoint(7, dp(t, 10));
+            tap.offer_datapoint(8, dp(t, 11));
+            t += 5.0;
+        }
+        tap.offer_fail(7, 205.0);
+        tap.offer_fail(8, 205.0);
+        wait_generation(&store, 1);
+
+        drop(tap);
+        worker.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_tap_drops_instead_of_blocking() {
+        let (dir, _store) = temp_store("drop");
+        let dropped = f2pm_obs::global().counter("f2pm_retrain_tap_dropped_total");
+        let before = dropped.get();
+        let mut cfg = RetrainerConfig::new(engine_cfg(2));
+        cfg.queue_cap = 1;
+        // Worker never started: nothing drains the 1-slot channel, so the
+        // second offer must drop, not block.
+        let (tx, _rx) = crossbeam::channel::bounded(cfg.queue_cap);
+        let tap = RetrainTap {
+            tx,
+            dropped: dropped.clone(),
+        };
+        tap.offer_datapoint(1, dp(0.0, 0));
+        tap.offer_datapoint(1, dp(1.0, 0));
+        tap.offer_fail(1, 2.0);
+        assert_eq!(dropped.get() - before, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_smae_is_nan_without_labeled_points() {
+        let model = f2pm_ml::linreg::LinearModel {
+            intercept: 0.0,
+            coefficients: vec![0.0; 30],
+        };
+        let run = RunData {
+            datapoints: vec![dp(0.0, 0)],
+            fail_time: None, // censored → no labels
+        };
+        assert!(run_train_smae(&model, &run, &agg()).is_nan());
+    }
+}

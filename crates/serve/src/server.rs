@@ -148,16 +148,31 @@ impl PredictionServer {
         cfg: ServeConfig,
         registry: Arc<ModelRegistry>,
     ) -> io::Result<ServeHandle> {
+        Self::start_with_tap(addr, cfg, registry, None)
+    }
+
+    /// [`PredictionServer::start`] with a continuous-retraining tap: the
+    /// shard workers mirror every `Datapoint`/`Fail` into it (lossy,
+    /// never blocking the ingest path), feeding the background
+    /// [`crate::retrain::RetrainWorker`] that publishes refreshed models
+    /// back through the artifact store.
+    pub fn start_with_tap(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        registry: Arc<ModelRegistry>,
+        tap: Option<crate::retrain::RetrainTap>,
+    ) -> io::Result<ServeHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(ServeMetrics::new());
-        let pool = ShardPool::start(
+        let pool = ShardPool::start_tapped(
             cfg.shards,
             cfg.queue_cap,
             cfg.batch_cap,
             Arc::clone(&registry),
             cfg.policy,
             Arc::clone(&metrics),
+            tap,
         );
         let board = pool.board();
         metrics.set_instance_info(cfg.instance_id);

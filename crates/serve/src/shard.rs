@@ -383,6 +383,24 @@ impl ShardPool {
         policy: AlertPolicy,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
+        Self::start_tapped(
+            n_shards, queue_cap, batch_cap, registry, policy, metrics, None,
+        )
+    }
+
+    /// [`ShardPool::start`] with a continuous-retraining tap: every
+    /// `Datapoint`/`Fail` a worker processes is also offered (lossy,
+    /// never blocking) to the [`crate::retrain::RetrainWorker`] feeding
+    /// the tap.
+    pub fn start_tapped(
+        n_shards: usize,
+        queue_cap: usize,
+        batch_cap: usize,
+        registry: Arc<ModelRegistry>,
+        policy: AlertPolicy,
+        metrics: Arc<ServeMetrics>,
+        tap: Option<crate::retrain::RetrainTap>,
+    ) -> Self {
         let n_shards = n_shards.max(1);
         let batch_cap = batch_cap.max(1);
         let board = Arc::new(EstimateBoard::new(n_shards * 4));
@@ -396,12 +414,14 @@ impl ShardPool {
             let events = metrics.shard_events(shard);
             let queue_wait = metrics.shard_queue_wait(shard);
             let metrics = Arc::clone(&metrics);
+            let tap = tap.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("f2pm-shard-{shard}"))
                     .spawn(move || {
                         worker_loop(
                             rx, batch_cap, registry, policy, board, metrics, events, queue_wait,
+                            tap,
                         )
                     })
                     .expect("spawn shard worker"),
@@ -484,6 +504,7 @@ fn worker_loop(
     metrics: Arc<ServeMetrics>,
     events: f2pm_obs::Counter,
     queue_wait: f2pm_obs::Histogram,
+    tap: Option<crate::retrain::RetrainTap>,
 ) {
     let mut hosts: HashMap<u32, HostState> = HashMap::new();
     let width = registry.columns().len();
@@ -507,6 +528,16 @@ fn worker_loop(
         }
         for event in batch.drain(..) {
             events.inc();
+            // Mirror ingest into the retraining plane before processing:
+            // the offer is lossy and non-blocking, so the tap can never
+            // stall a shard (training freshness never outranks latency).
+            if let Some(tap) = &tap {
+                match &event {
+                    ShardEvent::Datapoint { host, d, .. } => tap.offer_datapoint(*host, *d),
+                    ShardEvent::Fail { host, t } => tap.offer_fail(*host, *t),
+                    _ => {}
+                }
+            }
             match event {
                 ShardEvent::Datapoint { host, d, enqueued } => {
                     queue_wait.record_duration(enqueued.elapsed());
